@@ -1,0 +1,127 @@
+//! ElGamal encryption over ristretto255 with re-randomization — the
+//! primitive underlying re-encryption mix-nets (Atom's chains, Stadium's
+//! mixers).  XRD itself avoids this (that's the point of AHS); we build
+//! it so the baselines do real work on real data.
+
+use rand::RngCore;
+
+use xrd_crypto::ristretto::GroupElement;
+use xrd_crypto::scalar::Scalar;
+
+/// An ElGamal ciphertext `(c1, c2) = (g^r, m + pk^r)` (additive group
+/// notation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ElGamalCiphertext {
+    /// `g^r`.
+    pub c1: GroupElement,
+    /// `m * pk^r`.
+    pub c2: GroupElement,
+}
+
+/// Encrypt a group-element message.
+pub fn encrypt<R: RngCore + ?Sized>(
+    rng: &mut R,
+    pk: &GroupElement,
+    m: &GroupElement,
+) -> ElGamalCiphertext {
+    let r = Scalar::random(rng);
+    ElGamalCiphertext {
+        c1: GroupElement::base_mul(&r),
+        c2: m.add(&pk.mul(&r)),
+    }
+}
+
+/// Decrypt with the secret key.
+pub fn decrypt(sk: &Scalar, ct: &ElGamalCiphertext) -> GroupElement {
+    ct.c2.sub(&ct.c1.mul(sk))
+}
+
+/// Re-randomize a ciphertext (the per-hop operation of a re-encryption
+/// mixnet): fresh `r'` such that the plaintext is unchanged but the
+/// ciphertext is unlinkable.
+pub fn reencrypt<R: RngCore + ?Sized>(
+    rng: &mut R,
+    pk: &GroupElement,
+    ct: &ElGamalCiphertext,
+) -> ElGamalCiphertext {
+    let r = Scalar::random(rng);
+    ElGamalCiphertext {
+        c1: ct.c1.add(&GroupElement::base_mul(&r)),
+        c2: ct.c2.add(&pk.mul(&r)),
+    }
+}
+
+/// One mix hop: re-encrypt every ciphertext and shuffle.  Returns the
+/// permuted batch (2 exponentiations per message — the cost Atom pays at
+/// every one of its ~hundreds of sequential servers).
+pub fn mix_hop<R: RngCore + ?Sized>(
+    rng: &mut R,
+    pk: &GroupElement,
+    batch: &[ElGamalCiphertext],
+) -> Vec<ElGamalCiphertext> {
+    use rand::Rng;
+    let mut out: Vec<ElGamalCiphertext> =
+        batch.iter().map(|ct| reencrypt(rng, pk, ct)).collect();
+    for i in (1..out.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        out.swap(i, j);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use xrd_crypto::keys::KeyPair;
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let kp = KeyPair::generate(&mut rng);
+        let m = GroupElement::random(&mut rng);
+        let ct = encrypt(&mut rng, &kp.pk, &m);
+        assert_eq!(decrypt(&kp.sk, &ct), m);
+    }
+
+    #[test]
+    fn reencryption_preserves_plaintext_and_unlinks() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let kp = KeyPair::generate(&mut rng);
+        let m = GroupElement::random(&mut rng);
+        let ct = encrypt(&mut rng, &kp.pk, &m);
+        let ct2 = reencrypt(&mut rng, &kp.pk, &ct);
+        assert_ne!(ct, ct2);
+        assert_eq!(decrypt(&kp.sk, &ct2), m);
+    }
+
+    #[test]
+    fn mix_hop_is_a_permutation_of_plaintexts() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let kp = KeyPair::generate(&mut rng);
+        let msgs: Vec<GroupElement> = (0..8).map(|_| GroupElement::random(&mut rng)).collect();
+        let batch: Vec<ElGamalCiphertext> =
+            msgs.iter().map(|m| encrypt(&mut rng, &kp.pk, m)).collect();
+        let mixed = mix_hop(&mut rng, &kp.pk, &batch);
+        assert_eq!(mixed.len(), 8);
+        let mut decrypted: Vec<[u8; 32]> = mixed
+            .iter()
+            .map(|ct| decrypt(&kp.sk, ct).encode())
+            .collect();
+        let mut expected: Vec<[u8; 32]> = msgs.iter().map(|m| m.encode()).collect();
+        decrypted.sort();
+        expected.sort();
+        assert_eq!(decrypted, expected);
+    }
+
+    #[test]
+    fn wrong_key_decrypts_garbage() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let kp = KeyPair::generate(&mut rng);
+        let other = KeyPair::generate(&mut rng);
+        let m = GroupElement::random(&mut rng);
+        let ct = encrypt(&mut rng, &kp.pk, &m);
+        assert_ne!(decrypt(&other.sk, &ct), m);
+    }
+}

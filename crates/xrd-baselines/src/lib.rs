@@ -1,0 +1,32 @@
+//! # xrd-baselines
+//!
+//! The systems XRD is evaluated against in §8, each implemented as a
+//! runnable kernel (real crypto / real scans, exercising the dominant
+//! cost of the system) plus a structural latency/bandwidth model priced
+//! either by the same calibrated op-costs as XRD's own model (Atom,
+//! Stadium) or anchored to the baseline's published operating points
+//! (Pung).  DESIGN.md records the substitution rationale per system.
+//!
+//! * [`elgamal`] — ElGamal + re-encryption over ristretto255, the
+//!   primitive of re-encryption mixnets;
+//! * [`atom`] — Atom \[30\]: long serial chains of re-encryption mixes;
+//! * [`pung`] — Pung \[4, 3\]: CPIR messaging (XPIR and SealPIR client
+//!   variants) with a runnable linear-scan PIR kernel;
+//! * [`stadium`] — Stadium \[45\]: parallel mixnets with traditional
+//!   verifiable shuffles;
+//! * [`vshuffle`] — a cost-faithful verifiable-shuffle kernel (the
+//!   expensive thing AHS replaces), used for the headline ablation.
+
+#![warn(missing_docs)]
+
+pub mod atom;
+pub mod elgamal;
+pub mod pung;
+pub mod stadium;
+pub mod vshuffle;
+
+pub use atom::AtomModel;
+pub use elgamal::{decrypt, encrypt, mix_hop, reencrypt, ElGamalCiphertext};
+pub use pung::{PirDatabase, PungModel, PungVariant, RECORD_BYTES};
+pub use stadium::StadiumModel;
+pub use vshuffle::{prove_shuffle_workload, verify_shuffle_workload, ShuffleCostProof};

@@ -1,0 +1,158 @@
+//! Traditional verifiable-shuffle **cost kernel** — the expensive
+//! primitive XRD's AHS replaces (§6: "these techniques are
+//! computationally expensive, requiring many exponentiations").
+//!
+//! Prior systems (Stadium, Riffle, Atom's proof variant) use
+//! Neff/Bayer–Groth style shuffle arguments costing on the order of
+//! **8 exponentiations per message to prove and 10 to verify** (see
+//! Bayer–Groth 2012, §1; Stadium reports the same order).  Implementing
+//! a full Bayer–Groth argument is out of scope for a performance
+//! reproduction, so this module provides a *cost-faithful kernel*: it
+//! performs real group exponentiations and additions over the real
+//! ciphertext batch with exactly those per-message counts, producing a
+//! commitment chain that is checked for consistency — but it is **not**
+//! a sound zero-knowledge shuffle argument, and is labelled accordingly.
+//! Benchmarks that compare "AHS vs. verifiable shuffle" use this kernel
+//! for the verifiable-shuffle side.
+
+use rand::RngCore;
+
+use xrd_crypto::ristretto::GroupElement;
+use xrd_crypto::scalar::Scalar;
+
+use crate::elgamal::ElGamalCiphertext;
+
+/// Exponentiations per message to generate a shuffle proof (literature
+/// figure for Bayer–Groth-class arguments).
+pub const PROVE_EXPS_PER_MSG: usize = 8;
+/// Exponentiations per message to verify a shuffle proof.
+pub const VERIFY_EXPS_PER_MSG: usize = 10;
+
+/// Opaque "proof" produced by the kernel (a chain of commitments whose
+/// recomputation exercises the verifier-side workload).
+#[derive(Clone, Debug)]
+pub struct ShuffleCostProof {
+    commitments: Vec<GroupElement>,
+    challenge: Scalar,
+}
+
+/// Run the prover-side workload over a shuffled batch: 8 real
+/// exponentiations per message.
+pub fn prove_shuffle_workload<R: RngCore + ?Sized>(
+    rng: &mut R,
+    inputs: &[ElGamalCiphertext],
+    outputs: &[ElGamalCiphertext],
+) -> ShuffleCostProof {
+    assert_eq!(inputs.len(), outputs.len());
+    let challenge = Scalar::random(rng);
+    let mut commitments = Vec::with_capacity(inputs.len());
+    let mut acc = GroupElement::identity();
+    for (inp, out) in inputs.iter().zip(outputs.iter()) {
+        // 8 exponentiations per message, over the real ciphertexts.
+        let r1 = Scalar::random(rng);
+        let r2 = Scalar::random(rng);
+        let c = inp
+            .c1
+            .mul(&r1)
+            .add(&inp.c2.mul(&r2))
+            .add(&out.c1.mul(&challenge))
+            .add(&out.c2.mul(&r1))
+            .add(&inp.c1.mul(&challenge))
+            .add(&out.c2.mul(&r2))
+            .add(&GroupElement::base_mul(&r1))
+            .add(&GroupElement::base_mul(&r2));
+        acc = acc.add(&c);
+        commitments.push(c);
+    }
+    commitments.push(acc);
+    ShuffleCostProof {
+        commitments,
+        challenge,
+    }
+}
+
+/// Run the verifier-side workload: 10 real exponentiations per message
+/// plus the commitment-chain consistency check.
+pub fn verify_shuffle_workload(
+    proof: &ShuffleCostProof,
+    inputs: &[ElGamalCiphertext],
+    outputs: &[ElGamalCiphertext],
+) -> bool {
+    if proof.commitments.len() != inputs.len() + 1 || inputs.len() != outputs.len() {
+        return false;
+    }
+    let mut acc = GroupElement::identity();
+    let c = &proof.challenge;
+    for ((inp, out), commitment) in inputs
+        .iter()
+        .zip(outputs.iter())
+        .zip(proof.commitments.iter())
+    {
+        // 10 exponentiations per message.
+        let check = inp
+            .c1
+            .mul(c)
+            .add(&inp.c2.mul(c))
+            .add(&out.c1.mul(c))
+            .add(&out.c2.mul(c))
+            .add(&inp.c1.mul(&c.add(&Scalar::ONE)))
+            .add(&inp.c2.mul(&c.add(&Scalar::ONE)))
+            .add(&out.c1.mul(&c.add(&Scalar::ONE)))
+            .add(&out.c2.mul(&c.add(&Scalar::ONE)))
+            .add(&GroupElement::base_mul(c))
+            .add(&commitment.mul(c));
+        acc = acc.add(commitment);
+        let _ = check; // workload only; see module docs
+    }
+    let last = proof.commitments[proof.commitments.len() - 1];
+    acc == last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elgamal::{encrypt, mix_hop};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use xrd_crypto::keys::KeyPair;
+
+    fn batch(rng: &mut StdRng, n: usize) -> (KeyPair, Vec<ElGamalCiphertext>) {
+        let kp = KeyPair::generate(rng);
+        let batch = (0..n)
+            .map(|_| {
+                let m = GroupElement::random(rng);
+                encrypt(rng, &kp.pk, &m)
+            })
+            .collect();
+        (kp, batch)
+    }
+
+    #[test]
+    fn workload_runs_and_checks() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (kp, inputs) = batch(&mut rng, 6);
+        let outputs = mix_hop(&mut rng, &kp.pk, &inputs);
+        let proof = prove_shuffle_workload(&mut rng, &inputs, &outputs);
+        assert!(verify_shuffle_workload(&proof, &inputs, &outputs));
+    }
+
+    #[test]
+    fn truncated_proof_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (kp, inputs) = batch(&mut rng, 4);
+        let outputs = mix_hop(&mut rng, &kp.pk, &inputs);
+        let mut proof = prove_shuffle_workload(&mut rng, &inputs, &outputs);
+        proof.commitments.pop();
+        assert!(!verify_shuffle_workload(&proof, &inputs, &outputs));
+    }
+
+    #[test]
+    fn corrupted_commitment_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (kp, inputs) = batch(&mut rng, 4);
+        let outputs = mix_hop(&mut rng, &kp.pk, &inputs);
+        let mut proof = prove_shuffle_workload(&mut rng, &inputs, &outputs);
+        proof.commitments[0] = GroupElement::random(&mut rng);
+        assert!(!verify_shuffle_workload(&proof, &inputs, &outputs));
+    }
+}

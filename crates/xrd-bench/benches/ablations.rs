@@ -1,0 +1,57 @@
+//! Ablations of XRD's own design choices (DESIGN.md §5):
+//! staggered vs aligned chain positions, cover traffic on/off, and the
+//! ℓ ≈ √(2n) selection table's load balance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use xrd_core::cost::{PipelineConfig, PipelineModel};
+use xrd_sim::OpCosts;
+use xrd_topology::{Beacon, SelectionTable, Topology};
+
+fn bench_stagger_ablation(c: &mut Criterion) {
+    // Staggering is a scheduling optimization; its effect shows up as
+    // pipeline latency in the round simulation over the real topology.
+    let beacon = Beacon::from_u64(5);
+    let topo = Topology::build_with(&beacon, 0, 50, 50, 8, 0.2);
+    let model = PipelineModel::new(&topo, PipelineConfig::paper(OpCosts::nominal()));
+    let mut group = c.benchmark_group("pipeline_sim");
+    group.bench_function("simulate_round_200k_users", |b| {
+        b.iter(|| model.simulate_round(200_000))
+    });
+    group.finish();
+}
+
+fn bench_cover_ablation(c: &mut Criterion) {
+    let beacon = Beacon::from_u64(6);
+    let topo = Topology::build_with(&beacon, 0, 50, 50, 8, 0.2);
+    let with = PipelineModel::new(&topo, PipelineConfig::paper(OpCosts::nominal()));
+    let mut cfg = PipelineConfig::paper(OpCosts::nominal());
+    cfg.cover_traffic = false;
+    let without = PipelineModel::new(&topo, cfg);
+    let mut group = c.benchmark_group("cover_traffic");
+    group.bench_function("with_cover", |b| b.iter(|| with.simulate_round(100_000)));
+    group.bench_function("without_cover", |b| {
+        b.iter(|| without.simulate_round(100_000))
+    });
+    group.finish();
+}
+
+fn bench_selection_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection_table");
+    group.bench_function("build_n2000", |b| b.iter(|| SelectionTable::build(2000)));
+    let table = SelectionTable::build(2000);
+    group.bench_function("group_of", |b| {
+        let pk = [42u8; 32];
+        b.iter(|| table.group_of(&pk))
+    });
+    group.bench_function("meeting_chain", |b| b.iter(|| table.meeting_chain(3, 17)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stagger_ablation,
+    bench_cover_ablation,
+    bench_selection_table
+);
+criterion_main!(benches);

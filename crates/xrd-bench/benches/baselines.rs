@@ -1,0 +1,50 @@
+//! Baseline kernels: the dominant per-message operations of the systems
+//! XRD is compared against (grounding their structural models).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use xrd_baselines::elgamal::{encrypt, mix_hop};
+use xrd_baselines::pung::{PirDatabase, RECORD_BYTES};
+use xrd_crypto::keys::KeyPair;
+use xrd_crypto::ristretto::GroupElement;
+
+fn bench_atom_kernel(c: &mut Criterion) {
+    // Atom's per-server operation: re-encrypt + shuffle a batch.
+    let mut rng = StdRng::seed_from_u64(1);
+    let kp = KeyPair::generate(&mut rng);
+    let batch: Vec<_> = (0..64)
+        .map(|_| {
+            let m = GroupElement::random(&mut rng);
+            encrypt(&mut rng, &kp.pk, &m)
+        })
+        .collect();
+    let mut group = c.benchmark_group("atom_kernel");
+    group.throughput(Throughput::Elements(64));
+    group.bench_function("reencrypt_shuffle_64", |b| {
+        b.iter(|| mix_hop(&mut rng, &kp.pk, &batch))
+    });
+    group.finish();
+}
+
+fn bench_pung_kernel(c: &mut Criterion) {
+    // Pung's per-query operation: the full-database PIR scan.
+    let mut group = c.benchmark_group("pung_pir_scan");
+    for &db_size in &[1_000usize, 10_000, 100_000] {
+        let db = PirDatabase::new((0..db_size).map(|i| {
+            let mut r = [0u8; RECORD_BYTES];
+            r[0] = i as u8;
+            r
+        }));
+        let query: Vec<u64> = (0..db_size).map(|i| (i * 31) as u64).collect();
+        group.throughput(Throughput::Elements(db_size as u64));
+        group.bench_with_input(BenchmarkId::new("records", db_size), &db_size, |b, _| {
+            b.iter(|| db.answer(&query))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_atom_kernel, bench_pung_kernel);
+criterion_main!(benches);

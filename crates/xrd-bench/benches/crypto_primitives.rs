@@ -1,0 +1,89 @@
+//! Microbenchmarks of the from-scratch crypto substrate: the per-op
+//! costs every figure model is priced with.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use xrd_crypto::nizk::{DleqProof, SchnorrProof};
+use xrd_crypto::ristretto::GroupElement;
+use xrd_crypto::scalar::Scalar;
+use xrd_crypto::{adec, aenc, blake2b_512, round_nonce};
+
+fn bench_group_ops(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let p = GroupElement::random(&mut rng);
+    let q = GroupElement::random(&mut rng);
+    let x = Scalar::random(&mut rng);
+
+    c.bench_function("group/exponentiation", |b| b.iter(|| p.mul(&x)));
+    c.bench_function("group/base_mul", |b| b.iter(|| GroupElement::base_mul(&x)));
+    c.bench_function("group/add", |b| b.iter(|| p.add(&q)));
+    c.bench_function("group/encode", |b| b.iter(|| p.encode()));
+    let enc = p.encode();
+    c.bench_function("group/decode", |b| b.iter(|| GroupElement::decode(&enc)));
+}
+
+fn bench_scalar_ops(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let a = Scalar::random(&mut rng);
+    let b_s = Scalar::random(&mut rng);
+    c.bench_function("scalar/mul", |b| b.iter(|| a.mul(&b_s)));
+    c.bench_function("scalar/invert", |b| b.iter(|| a.invert()));
+}
+
+fn bench_aead(c: &mut Criterion) {
+    let key = [7u8; 32];
+    let nonce = round_nonce(1, 0);
+    let msg256 = vec![0u8; 256];
+    let sealed = aenc(&key, &nonce, b"", &msg256);
+    c.bench_function("aead/seal_256B", |b| {
+        b.iter(|| aenc(&key, &nonce, b"", &msg256))
+    });
+    c.bench_function("aead/open_256B", |b| {
+        b.iter(|| adec(&key, &nonce, b"", &sealed))
+    });
+    let msg = vec![0u8; 850]; // ~ a full AHS onion at k=32
+    c.bench_function("aead/seal_onion_sized", |b| {
+        b.iter(|| aenc(&key, &nonce, b"", &msg))
+    });
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let data = vec![0u8; 1024];
+    c.bench_function("blake2b/1KiB", |b| b.iter(|| blake2b_512(&data)));
+}
+
+fn bench_nizk(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let g = GroupElement::generator();
+    let x = Scalar::random(&mut rng);
+    let gx = GroupElement::base_mul(&x);
+    c.bench_function("nizk/schnorr_prove", |b| {
+        b.iter(|| SchnorrProof::prove(&mut rng, b"bench", &g, &gx, &x))
+    });
+    let proof = SchnorrProof::prove(&mut rng, b"bench", &g, &gx, &x);
+    c.bench_function("nizk/schnorr_verify", |b| {
+        b.iter(|| proof.verify(b"bench", &g, &gx))
+    });
+
+    let b2 = GroupElement::random(&mut rng);
+    let p2 = b2.mul(&x);
+    c.bench_function("nizk/dleq_prove", |b| {
+        b.iter(|| DleqProof::prove(&mut rng, b"bench", &g, &gx, &b2, &p2, &x))
+    });
+    let dleq = DleqProof::prove(&mut rng, b"bench", &g, &gx, &b2, &p2, &x);
+    c.bench_function("nizk/dleq_verify", |b| {
+        b.iter(|| dleq.verify(b"bench", &g, &gx, &b2, &p2))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_group_ops,
+    bench_scalar_ops,
+    bench_aead,
+    bench_hash,
+    bench_nizk
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Macro-benchmark: a complete real round through the in-process
+//! deployment (Figure 1 end to end — submissions, AHS mixing with all
+//! verifications, mailbox delivery, fetch and decrypt).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use xrd_core::{Deployment, DeploymentConfig, User};
+
+fn bench_full_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2e_round");
+    group.sample_size(10);
+    for &n_users in &[8usize, 24] {
+        group.throughput(Throughput::Elements(n_users as u64));
+        group.bench_with_input(BenchmarkId::new("users", n_users), &n_users, |b, _| {
+            b.iter_batched(
+                || {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    let deployment =
+                        Deployment::new(&mut rng, DeploymentConfig::small(6, 2));
+                    let mut users: Vec<User> =
+                        (0..n_users).map(|_| User::new(&mut rng)).collect();
+                    // Pair users up for conversations.
+                    for i in (0..n_users).step_by(2) {
+                        if i + 1 < n_users {
+                            let (a, b2) = (users[i].pk(), users[i + 1].pk());
+                            users[i].start_conversation(b2);
+                            users[i + 1].start_conversation(a);
+                        }
+                    }
+                    (rng, deployment, users)
+                },
+                |(mut rng, mut deployment, mut users)| {
+                    deployment.run_round(&mut rng, &mut users)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_round);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerate Figure 4: end-to-end latency vs number of users.
+fn main() {
+    let op = xrd_bench::calibrate(false);
+    println!("{}\n", xrd_bench::format_op_costs(&op));
+    println!("{}", xrd_bench::report::fig4_table(&xrd_bench::figures::fig4(&op)));
+}

@@ -1,0 +1,6 @@
+//! Regenerate Figure 6: latency vs assumed malicious fraction f.
+fn main() {
+    let op = xrd_bench::calibrate(false);
+    println!("{}\n", xrd_bench::format_op_costs(&op));
+    println!("{}", xrd_bench::report::fig6_table(&xrd_bench::figures::fig6(&op)));
+}

@@ -1,0 +1,5 @@
+//! Regenerate Figure 7: blame-protocol latency vs malicious users.
+fn main() {
+    let (per_user, rows) = xrd_bench::figures::fig7(false);
+    println!("{}", xrd_bench::report::fig7_table(per_user, &rows));
+}

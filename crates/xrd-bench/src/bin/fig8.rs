@@ -1,0 +1,5 @@
+//! Regenerate Figure 8: conversation failure rate vs server churn.
+fn main() {
+    let rows = xrd_bench::figures::fig8(false);
+    println!("{}", xrd_bench::report::fig8_table(&rows));
+}

@@ -1,0 +1,29 @@
+//! # xrd-bench
+//!
+//! The benchmark harness that regenerates **every figure** of the XRD
+//! paper's evaluation (§8, Figures 2-8):
+//!
+//! | binary | paper artifact |
+//! |--------|----------------|
+//! | `fig2` | user bandwidth vs. #servers |
+//! | `fig3` | user computation vs. #servers |
+//! | `fig4` | end-to-end latency vs. #users (100 servers) |
+//! | `fig5` | latency vs. #servers (2M users) |
+//! | `fig6` | latency vs. malicious fraction f |
+//! | `fig7` | blame-protocol latency vs. #malicious users |
+//! | `fig8` | conversation failure rate vs. server churn |
+//! | `all_figures` | everything above, in EXPERIMENTS.md layout |
+//!
+//! Each binary first runs [`calibrate::calibrate`] to measure the real
+//! per-operation costs of this repository's crypto on the current
+//! machine, prints the calibration table, then produces the figure's
+//! series next to the paper's reported values.  Criterion
+//! micro/macro-benchmarks live in `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod figures;
+pub mod report;
+
+pub use calibrate::{calibrate, format_op_costs};

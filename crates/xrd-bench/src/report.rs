@@ -1,0 +1,266 @@
+//! Table rendering for the figure binaries: each figure prints our
+//! measured/modeled series next to the values the paper reports, so the
+//! shape comparison is immediate.
+
+use crate::figures::{Fig2Row, Fig3Row, Fig6Row, Fig7Row, Fig8Row, LatencyRow};
+
+fn kb(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / 1000.0)
+}
+
+/// Paper-reported XRD latencies for Figure 4 (users in millions →
+/// seconds); entries absent from the paper are `None`.
+pub fn paper_fig4_xrd(millions: f64) -> Option<f64> {
+    match millions as u64 {
+        1 => Some(128.0),
+        2 => Some(251.0),
+        4 => Some(508.0),
+        6 => Some(793.0),
+        8 => Some(1009.0),
+        _ => None,
+    }
+}
+
+/// Paper-reported baselines at 100 servers for Figure 4.
+pub fn paper_fig4_baselines(millions: f64) -> (Option<f64>, Option<f64>, Option<f64>) {
+    // (atom, pung, stadium)
+    match millions as u64 {
+        1 => (Some(1532.0), Some(272.0), Some(64.0)),
+        2 => (None, Some(927.0), Some(138.0)),
+        _ => (None, None, None),
+    }
+}
+
+/// Paper's Figure 5 follows latency ∝ √(2/N) anchored at 251 s / 100
+/// servers (§8.2 "the latency of XRD reduces as √(2/N)").
+pub fn paper_fig5_xrd(n_servers: f64) -> f64 {
+    251.0 * (100.0 / n_servers).sqrt()
+}
+
+fn opt(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:8.1}")).unwrap_or_else(|| format!("{:>8}", "-"))
+}
+
+/// Figure 2 table.
+pub fn fig2_table(rows: &[Fig2Row]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Figure 2: user bandwidth per round (KB) vs number of servers\n\
+         paper reference: XRD ~54 KB @100, ~238 KB @2000; Pung-XPIR 5800 KB @1M users,\n\
+         11000 KB @4M; Pung-SealPIR comparable to XRD; Stadium/Atom < 1 KB\n\n",
+    );
+    out.push_str(&format!(
+        "{:>8} {:>10} {:>14} {:>14} {:>14} {:>10}\n",
+        "N", "XRD", "Pung-XPIR-1M", "Pung-XPIR-4M", "Pung-SealPIR", "Stadium"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>8} {:>10} {:>14} {:>14} {:>14} {:>10}\n",
+            r.n_servers,
+            kb(r.xrd),
+            kb(r.pung_xpir_1m),
+            kb(r.pung_xpir_4m),
+            kb(r.pung_sealpir),
+            kb(r.stadium),
+        ));
+    }
+    out
+}
+
+/// Figure 3 table.
+pub fn fig3_table(rows: &[Fig3Row]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Figure 3: single-core user computation per round (seconds) vs servers\n\
+         paper reference: XRD < 0.5 s below 2000 servers (grows ~sqrt(N));\n\
+         Pung-XPIR highest and flat; Stadium/Atom negligible\n\n",
+    );
+    out.push_str(&format!(
+        "{:>8} {:>12} {:>12} {:>10} {:>13} {:>9} {:>9}\n",
+        "N", "XRD(meas)", "XRD(model)", "PungXPIR", "PungSealPIR", "Stadium", "Atom"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>8} {:>12.3} {:>12.3} {:>10.3} {:>13.3} {:>9.4} {:>9.4}\n",
+            r.n_servers,
+            r.xrd_measured,
+            r.xrd_model,
+            r.pung_xpir,
+            r.pung_sealpir,
+            r.stadium,
+            r.atom,
+        ));
+    }
+    out
+}
+
+/// Figure 4 table.
+pub fn fig4_table(rows: &[LatencyRow]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Figure 4: end-to-end latency (s) vs users (millions), 100 servers, f=0.2\n\
+         'XRD(norm)' anchors our 1M/100-server point to the paper's 128 s so shapes\n\
+         compare; 'paper' columns are the published values\n\n",
+    );
+    out.push_str(&format!(
+        "{:>4} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+        "M", "XRD", "XRD(norm)", "paperXRD", "Atom", "paperAtom", "Pung", "paperPung", "Stadium"
+    ));
+    for r in rows {
+        let (pa, pp, _ps) = paper_fig4_baselines(r.x);
+        out.push_str(&format!(
+            "{:>4} {:>9.1} {:>9.1} {} {:>9.1} {} {:>9.1} {} {:>9.1}\n",
+            r.x,
+            r.xrd,
+            r.xrd_normalized,
+            opt(paper_fig4_xrd(r.x)),
+            r.atom,
+            opt(pa),
+            r.pung,
+            opt(pp),
+            r.stadium,
+        ));
+    }
+    out
+}
+
+/// Figure 5 table.
+pub fn fig5_table(rows: &[LatencyRow]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Figure 5: end-to-end latency (s) vs number of servers, 2M users, f=0.2\n\
+         paper: XRD scales as sqrt(2/N) anchored at 251 s / 100 servers;\n\
+         Atom and Pung shown on a different scale in the paper (2000-6000 s range)\n\n",
+    );
+    out.push_str(&format!(
+        "{:>5} {:>9} {:>10} {:>10} {:>9} {:>9} {:>9}\n",
+        "N", "XRD", "XRD(norm)", "paperXRD", "Atom", "Pung", "Stadium"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>5} {:>9.1} {:>10.1} {:>10.1} {:>9.1} {:>9.1} {:>9.1}\n",
+            r.x,
+            r.xrd,
+            r.xrd_normalized,
+            paper_fig5_xrd(r.x),
+            r.atom,
+            r.pung,
+            r.stadium,
+        ));
+    }
+    out
+}
+
+/// The §8.2 extrapolation table (beyond the paper's 200-server testbed).
+pub fn fig5_extrapolation_table(rows: &[LatencyRow]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Figure 5 extrapolation: beyond the testbed (2M users)\n\
+         paper (§8.2 text): XRD ~84 s at 1000 servers; Atom catches up at ~3000\n\
+         servers, Pung at ~1000; Stadium ~8 s at 1000 servers\n\n",
+    );
+    out.push_str(&format!(
+        "{:>5} {:>9} {:>10} {:>9} {:>9} {:>9}\n",
+        "N", "XRD", "XRD(norm)", "Atom", "Pung", "Stadium"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>5} {:>9.1} {:>10.1} {:>9.1} {:>9.1} {:>9.1}\n",
+            r.x, r.xrd, r.xrd_normalized, r.atom, r.pung, r.stadium,
+        ));
+    }
+    out
+}
+
+/// Figure 6 table.
+pub fn fig6_table(rows: &[Fig6Row]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Figure 6: latency (s) vs malicious fraction f, 2M users, 100 servers\n\
+         paper: latency grows with k(f) ~ -1/log(f); ~251 s at f=0.2, rising to\n\
+         ~430 s at f=0.4\n\n",
+    );
+    out.push_str(&format!(
+        "{:>6} {:>6} {:>9} {:>10}\n",
+        "f", "k(f)", "XRD", "XRD(norm)"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>6.2} {:>6} {:>9.1} {:>10.1}\n",
+            r.f, r.chain_len, r.xrd, r.xrd_normalized
+        ));
+    }
+    out
+}
+
+/// Figure 7 table.
+pub fn fig7_table(per_user_secs: f64, rows: &[Fig7Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Figure 7: worst-case blame latency vs malicious users in one chain (f=0.2)\n\
+         paper: ~13 s at 5k users, ~150 s at 100k (linear)\n\
+         measured per-malicious-user blame cost on this machine: {:.4} s (single core)\n\n",
+        per_user_secs
+    ));
+    out.push_str(&format!("{:>10} {:>12} {:>12}\n", "bad users", "ours (s)", "paper (s)"));
+    for r in rows {
+        let paper = 13.0 * r.malicious_users as f64 / 5000.0;
+        out.push_str(&format!(
+            "{:>10} {:>12.1} {:>12.1}\n",
+            r.malicious_users, r.latency_secs, paper
+        ));
+    }
+    out
+}
+
+/// Figure 8 table.
+pub fn fig8_table(rows: &[Fig8Row]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Figure 8: conversation failure rate vs server churn rate\n\
+         paper: ~27% at 1% churn (100 servers), ~70% at 4%; higher N -> slightly\n\
+         higher failure (longer chains)\n\n",
+    );
+    let sizes: Vec<usize> = rows
+        .first()
+        .map(|r| r.failure_by_n.iter().map(|(n, _)| *n).collect())
+        .unwrap_or_default();
+    out.push_str(&format!("{:>7}", "churn"));
+    for n in &sizes {
+        out.push_str(&format!(" {:>9}", format!("N={n}")));
+    }
+    out.push_str(&format!(" {:>9}\n", "analytic"));
+    for r in rows {
+        out.push_str(&format!("{:>7.3}", r.churn));
+        for (_, rate) in &r.failure_by_n {
+            out.push_str(&format!(" {:>9.3}", rate));
+        }
+        let analytic = xrd_core::churn::analytic_failure_rate(r.churn, 32);
+        out.push_str(&format!(" {:>9.3}\n", analytic));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchor_helpers() {
+        assert_eq!(paper_fig4_xrd(2.0), Some(251.0));
+        assert_eq!(paper_fig4_xrd(3.0), None);
+        assert!((paper_fig5_xrd(100.0) - 251.0).abs() < 1e-9);
+        assert!(paper_fig5_xrd(200.0) < 200.0);
+    }
+
+    #[test]
+    fn tables_render() {
+        let rows = vec![Fig7Row {
+            malicious_users: 5000,
+            latency_secs: 12.0,
+        }];
+        let t = fig7_table(0.09, &rows);
+        assert!(t.contains("5000"));
+        assert!(t.contains("12.0"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Server-churn availability analysis (§8.3, Figure 8).
+//!
+//! "We simulated deployment scenarios with 2 million users ... assumed
+//! that all users were in a conversation, and show the fraction of the
+//! users whose conversation messages did not reach their partner."
+//!
+//! A conversation fails in a round iff its meeting chain contains at
+//! least one failed server.  This module runs that Monte-Carlo directly
+//! on a real [`Topology`] — it is exact (no modeling shortcuts), because
+//! the experiment is purely combinatorial.
+
+use rand::Rng;
+use rand::RngCore;
+
+use xrd_topology::Topology;
+
+/// Result of a churn simulation.
+#[derive(Clone, Debug)]
+pub struct ChurnResult {
+    /// Server failure probability used.
+    pub churn_rate: f64,
+    /// Fraction of conversations whose meeting chain failed.
+    pub conversation_failure_rate: f64,
+    /// Fraction of chains that failed entirely.
+    pub chain_failure_rate: f64,
+}
+
+/// Estimate the per-round conversation failure rate under independent
+/// per-server failure probability `churn_rate`.
+///
+/// `trials` independent failure patterns are sampled; in each, every
+/// (unordered) pair of user groups is weighed equally — users are
+/// uniformly hashed into groups, so group pairs are a uniform proxy for
+/// conversation pairs at scale.
+pub fn simulate_churn<R: RngCore + ?Sized>(
+    rng: &mut R,
+    topo: &Topology,
+    churn_rate: f64,
+    trials: usize,
+) -> ChurnResult {
+    assert!((0.0..=1.0).contains(&churn_rate));
+    let n_chains = topo.n_chains();
+    let num_groups = topo.selection.num_groups();
+
+    let mut failed_conversations = 0u64;
+    let mut total_conversations = 0u64;
+    let mut failed_chains = 0u64;
+
+    for _ in 0..trials {
+        // Sample failed servers.
+        let failed: Vec<bool> = (0..topo.n_servers)
+            .map(|_| rng.gen_bool(churn_rate))
+            .collect();
+        // A chain fails if any member failed (§5.2.3: only chains that
+        // contain failing servers are affected).
+        let chain_ok: Vec<bool> = topo
+            .chains
+            .iter()
+            .map(|c| c.members.iter().all(|s| !failed[s.0 as usize]))
+            .collect();
+        failed_chains += chain_ok.iter().filter(|ok| !**ok).count() as u64;
+
+        // Every group pair: one representative conversation.
+        for a in 0..num_groups {
+            for b in a..num_groups {
+                let meeting = topo
+                    .selection
+                    .meeting_chain(a, b)
+                    .expect("pairwise intersection");
+                total_conversations += 1;
+                if !chain_ok[meeting.0 as usize] {
+                    failed_conversations += 1;
+                }
+            }
+        }
+    }
+
+    ChurnResult {
+        churn_rate,
+        conversation_failure_rate: failed_conversations as f64 / total_conversations.max(1) as f64,
+        chain_failure_rate: failed_chains as f64 / (trials as u64 * n_chains as u64).max(1) as f64,
+    }
+}
+
+/// Closed-form approximation ignoring server overlap between chains:
+/// `1 - (1 - churn)^k`.  Used as a cross-check on the Monte-Carlo.
+pub fn analytic_failure_rate(churn_rate: f64, chain_len: usize) -> f64 {
+    1.0 - (1.0 - churn_rate).powi(chain_len as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use xrd_topology::Beacon;
+
+    fn topo(n: usize, k: usize) -> Topology {
+        Topology::build_with(&Beacon::from_u64(1), 0, n, n, k, 0.2)
+    }
+
+    #[test]
+    fn zero_churn_zero_failures() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = topo(50, 8);
+        let r = simulate_churn(&mut rng, &t, 0.0, 10);
+        assert_eq!(r.conversation_failure_rate, 0.0);
+        assert_eq!(r.chain_failure_rate, 0.0);
+    }
+
+    #[test]
+    fn full_churn_full_failures() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = topo(50, 8);
+        let r = simulate_churn(&mut rng, &t, 1.0, 3);
+        assert_eq!(r.conversation_failure_rate, 1.0);
+    }
+
+    #[test]
+    fn monte_carlo_matches_analytic() {
+        // With small overlap, the MC estimate must track 1-(1-p)^k.
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = topo(100, 8);
+        let p = 0.01;
+        let r = simulate_churn(&mut rng, &t, p, 200);
+        let expect = analytic_failure_rate(p, 8);
+        assert!(
+            (r.conversation_failure_rate - expect).abs() < 0.03,
+            "mc = {}, analytic = {}",
+            r.conversation_failure_rate,
+            expect
+        );
+    }
+
+    #[test]
+    fn failure_rate_increases_with_churn() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = topo(60, 10);
+        let r1 = simulate_churn(&mut rng, &t, 0.01, 100);
+        let r2 = simulate_churn(&mut rng, &t, 0.04, 100);
+        assert!(r2.conversation_failure_rate > r1.conversation_failure_rate);
+    }
+
+    #[test]
+    fn paper_figure8_magnitude() {
+        // §8.3: ~27% of conversations fail at 1% churn with k≈32 chains.
+        let expect = analytic_failure_rate(0.01, 32);
+        assert!((expect - 0.275).abs() < 0.01, "got {expect}");
+        // And ~70%... the paper says "reaching 70% with 4% failures";
+        // 1-(0.96)^32 = 0.729.
+        let expect4 = analytic_failure_rate(0.04, 32);
+        assert!((expect4 - 0.70).abs() < 0.05, "got {expect4}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Conversation bootstrapping (§3.1's out-of-band agreement).
+//!
+//! "XRD assumes that the users can agree to start talking at a certain
+//! time out-of-band.  This could be done, for example, via two users
+//! exchanging this information offline, or by using systems like
+//! Alpenhorn \[34\]."
+//!
+//! This module provides the minimal in-band substitute: both endpoints
+//! *derive* a rendezvous round deterministically from their shared DH
+//! secret and a dialing epoch, so no additional protocol messages are
+//! needed.  Each party computes the same round without communicating;
+//! an observer without the shared secret learns nothing (the derivation
+//! is a PRF under the DH secret).  A deployment wanting deniable
+//! dialing would run full Alpenhorn; the property XRD itself needs —
+//! synchronized start rounds — is exactly what this provides.
+
+use xrd_crypto::kdf;
+use xrd_crypto::keys::KeyPair;
+use xrd_crypto::ristretto::GroupElement;
+
+/// Derive the rendezvous round for a conversation between `me` and
+/// `peer` within a dialing window.
+///
+/// Both endpoints compute the identical value: the derivation uses the
+/// unordered pair of public keys and the shared DH secret.  The result
+/// lies in `[window_start, window_start + window_len)`.
+pub fn rendezvous_round(
+    me: &KeyPair,
+    peer: &GroupElement,
+    window_start: u64,
+    window_len: u64,
+) -> u64 {
+    assert!(window_len > 0);
+    let shared = me.dh(peer);
+    // Order the pair canonically so both sides agree.
+    let my_pk = me.pk.encode();
+    let peer_pk = peer.encode();
+    let (lo, hi) = if my_pk <= peer_pk {
+        (my_pk, peer_pk)
+    } else {
+        (peer_pk, my_pk)
+    };
+    let digest = kdf::derive_key(
+        "xrd/dialing-v1",
+        &[&shared.encode(), &lo, &hi, &window_start.to_le_bytes()],
+    );
+    let x = u64::from_le_bytes(digest[..8].try_into().expect("8 bytes"));
+    window_start + x % window_len
+}
+
+/// A dialing schedule: check whether the conversation with `peer`
+/// starts at `round` (users poll this each round).
+pub fn should_start(
+    me: &KeyPair,
+    peer: &GroupElement,
+    round: u64,
+    window_len: u64,
+) -> bool {
+    let window_start = (round / window_len) * window_len;
+    rendezvous_round(me, peer, window_start, window_len) == round
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn both_endpoints_agree() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let alice = KeyPair::generate(&mut rng);
+        let bob = KeyPair::generate(&mut rng);
+        for window in [1u64, 10, 100] {
+            let a = rendezvous_round(&alice, &bob.pk, 1000, window);
+            let b = rendezvous_round(&bob, &alice.pk, 1000, window);
+            assert_eq!(a, b, "window {window}");
+            assert!((1000..1000 + window).contains(&a));
+        }
+    }
+
+    #[test]
+    fn different_pairs_different_rounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let alice = KeyPair::generate(&mut rng);
+        let bob = KeyPair::generate(&mut rng);
+        let carol = KeyPair::generate(&mut rng);
+        let ab = rendezvous_round(&alice, &bob.pk, 0, 1_000_000);
+        let ac = rendezvous_round(&alice, &carol.pk, 0, 1_000_000);
+        assert_ne!(ab, ac);
+    }
+
+    #[test]
+    fn outsider_cannot_predict() {
+        // Eve, knowing both public keys but no secret, derives a
+        // different value (she has no way to compute the DH secret; here
+        // we just confirm the derivation isn't a function of public keys
+        // alone by using a wrong keypair).
+        let mut rng = StdRng::seed_from_u64(3);
+        let alice = KeyPair::generate(&mut rng);
+        let bob = KeyPair::generate(&mut rng);
+        let eve = KeyPair::generate(&mut rng);
+        let real = rendezvous_round(&alice, &bob.pk, 0, 1_000_000_000);
+        let eve_guess = rendezvous_round(&eve, &bob.pk, 0, 1_000_000_000);
+        assert_ne!(real, eve_guess);
+    }
+
+    #[test]
+    fn should_start_fires_once_per_window() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let alice = KeyPair::generate(&mut rng);
+        let bob = KeyPair::generate(&mut rng);
+        let window = 50u64;
+        for w in 0..4u64 {
+            let hits: Vec<u64> = (w * window..(w + 1) * window)
+                .filter(|&r| should_start(&alice, &bob.pk, r, window))
+                .collect();
+            assert_eq!(hits.len(), 1, "window {w}: {hits:?}");
+            // Symmetric.
+            assert!(should_start(&bob, &alice.pk, hits[0], window));
+        }
+    }
+
+    #[test]
+    fn windows_derive_independently() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let alice = KeyPair::generate(&mut rng);
+        let bob = KeyPair::generate(&mut rng);
+        let r1 = rendezvous_round(&alice, &bob.pk, 0, 1_000_000);
+        let r2 = rendezvous_round(&alice, &bob.pk, 1_000_000, 1_000_000);
+        assert_ne!(r1, r2 - 1_000_000, "offsets should differ across windows");
+    }
+}

@@ -1,0 +1,33 @@
+//! # xrd-core
+//!
+//! The complete XRD system (NSDI 2020): users, mailbox servers, and the
+//! round protocol of Figure 1, assembled from the `xrd-topology` and
+//! `xrd-mixnet` substrates — plus the calibrated performance models that
+//! stand in for the paper's EC2 testbed.
+//!
+//! * [`user::User`] — chain selection, loopback/conversation/cover
+//!   messages (§5.3), mailbox decryption;
+//! * [`mailbox::MailboxHub`] — sharded mailbox servers (§5.1);
+//! * [`deployment::Deployment`] — a faithful in-process deployment that
+//!   runs real rounds end to end (used by tests, examples, and scaled
+//!   experiments);
+//! * [`churn`] — the §8.3 availability Monte-Carlo (Figure 8);
+//! * [`cost`] — user-cost accounting and the discrete-event round model
+//!   (Figures 2-6), priced with per-op costs measured on the real
+//!   crypto implementation.
+
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod cost;
+pub mod deployment;
+pub mod dialing;
+pub mod mailbox;
+pub mod payload;
+pub mod secgame;
+pub mod user;
+
+pub use deployment::{Deployment, DeploymentConfig, RoundReport};
+pub use mailbox::MailboxHub;
+pub use payload::{Payload, MAX_CHAT_LEN};
+pub use user::{Received, User};

@@ -1,0 +1,124 @@
+//! Mailbox servers (§5.1).
+//!
+//! Mailboxes are keyed by the owner's public key; different users'
+//! mailboxes live on different shards ("similar to e-mail servers,
+//! different users' mailboxes can be maintained by different servers").
+//! Mailbox servers are trusted for availability only — everything they
+//! hold is sealed for its owner.
+
+use std::collections::HashMap;
+
+use xrd_crypto::blake2b::Blake2b;
+use xrd_mixnet::MailboxMessage;
+
+/// A set of mailbox servers, sharded by mailbox id.
+#[derive(Clone, Debug)]
+pub struct MailboxHub {
+    shards: Vec<HashMap<[u8; 32], Vec<Vec<u8>>>>,
+}
+
+impl MailboxHub {
+    /// Create a hub with `n_shards` mailbox servers.
+    pub fn new(n_shards: usize) -> MailboxHub {
+        assert!(n_shards >= 1);
+        MailboxHub {
+            shards: vec![HashMap::new(); n_shards],
+        }
+    }
+
+    /// Which shard (mailbox server) owns a mailbox.
+    pub fn shard_of(&self, mailbox: &[u8; 32]) -> usize {
+        let mut h = Blake2b::new(32);
+        h.update(b"xrd-mailbox-shard");
+        h.update(mailbox);
+        let d = h.finalize_32();
+        (u64::from_le_bytes(d[..8].try_into().expect("8 bytes")) % self.shards.len() as u64)
+            as usize
+    }
+
+    /// `put`: deliver a message into its mailbox (Algorithm 1, step 2b).
+    pub fn put(&mut self, msg: MailboxMessage) {
+        let shard = self.shard_of(&msg.mailbox);
+        self.shards[shard]
+            .entry(msg.mailbox)
+            .or_default()
+            .push(msg.sealed);
+    }
+
+    /// `get`: drain all messages currently in a mailbox ("each user
+    /// downloads all messages in her mailbox at the end of a round").
+    pub fn fetch(&mut self, mailbox: &[u8; 32]) -> Vec<Vec<u8>> {
+        let shard = self.shard_of(mailbox);
+        self.shards[shard].remove(mailbox).unwrap_or_default()
+    }
+
+    /// Peek at the number of messages waiting in a mailbox (the quantity
+    /// an adversary observing the mailbox server sees; tests use it to
+    /// check the uniformity invariant).
+    pub fn pending(&self, mailbox: &[u8; 32]) -> usize {
+        let shard = self.shard_of(mailbox);
+        self.shards[shard]
+            .get(mailbox)
+            .map(|v| v.len())
+            .unwrap_or(0)
+    }
+
+    /// Total messages currently held across all shards.
+    pub fn total_pending(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.values().map(|v| v.len()).sum::<usize>())
+            .sum()
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(mailbox: u8, body: u8) -> MailboxMessage {
+        MailboxMessage {
+            mailbox: [mailbox; 32],
+            sealed: vec![body; 4],
+        }
+    }
+
+    #[test]
+    fn put_then_fetch_drains() {
+        let mut hub = MailboxHub::new(4);
+        hub.put(msg(1, 10));
+        hub.put(msg(1, 11));
+        hub.put(msg(2, 20));
+        assert_eq!(hub.pending(&[1u8; 32]), 2);
+        let got = hub.fetch(&[1u8; 32]);
+        assert_eq!(got, vec![vec![10u8; 4], vec![11u8; 4]]);
+        assert_eq!(hub.pending(&[1u8; 32]), 0);
+        assert!(hub.fetch(&[1u8; 32]).is_empty());
+        assert_eq!(hub.total_pending(), 1);
+    }
+
+    #[test]
+    fn sharding_is_stable_and_spread() {
+        let hub = MailboxHub::new(10);
+        let mut used = std::collections::HashSet::new();
+        for i in 0..100u8 {
+            let s = hub.shard_of(&[i; 32]);
+            assert_eq!(s, hub.shard_of(&[i; 32]));
+            assert!(s < 10);
+            used.insert(s);
+        }
+        assert!(used.len() >= 7, "shard spread too poor: {used:?}");
+    }
+
+    #[test]
+    fn single_shard_works() {
+        let mut hub = MailboxHub::new(1);
+        hub.put(msg(9, 1));
+        assert_eq!(hub.fetch(&[9u8; 32]).len(), 1);
+    }
+}

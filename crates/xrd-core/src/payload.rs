@@ -1,0 +1,115 @@
+//! Application payload framing inside the fixed 256-byte message body.
+//!
+//! Every sealed mailbox message carries exactly [`PAYLOAD_LEN`] bytes, so
+//! loopback dummies, chat messages, and the §5.3.3 "I have gone offline"
+//! cover notification are indistinguishable on the wire.
+
+pub use xrd_mixnet::PAYLOAD_LEN;
+
+/// Maximum chat bytes per message (framing: 1 tag byte + 2 length bytes).
+pub const MAX_CHAT_LEN: usize = PAYLOAD_LEN - 3;
+
+/// What a decrypted payload means.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Payload {
+    /// A loopback dummy ("messages with all zeroes", §5.3.2).
+    Dummy,
+    /// Conversation content.
+    Chat(Vec<u8>),
+    /// Cover-message notification: the sender has gone offline (§5.3.3).
+    Offline,
+}
+
+const TAG_DUMMY: u8 = 0;
+const TAG_CHAT: u8 = 1;
+const TAG_OFFLINE: u8 = 2;
+
+impl Payload {
+    /// Encode into the fixed-size body.
+    pub fn encode(&self) -> [u8; PAYLOAD_LEN] {
+        let mut out = [0u8; PAYLOAD_LEN];
+        match self {
+            Payload::Dummy => {
+                out[0] = TAG_DUMMY;
+            }
+            Payload::Chat(data) => {
+                assert!(
+                    data.len() <= MAX_CHAT_LEN,
+                    "chat messages over {MAX_CHAT_LEN} bytes must be split by the caller"
+                );
+                out[0] = TAG_CHAT;
+                out[1..3].copy_from_slice(&(data.len() as u16).to_le_bytes());
+                out[3..3 + data.len()].copy_from_slice(data);
+            }
+            Payload::Offline => {
+                out[0] = TAG_OFFLINE;
+            }
+        }
+        out
+    }
+
+    /// Decode from a fixed-size body.
+    pub fn decode(bytes: &[u8]) -> Option<Payload> {
+        if bytes.len() != PAYLOAD_LEN {
+            return None;
+        }
+        match bytes[0] {
+            TAG_DUMMY => Some(Payload::Dummy),
+            TAG_CHAT => {
+                let len = u16::from_le_bytes([bytes[1], bytes[2]]) as usize;
+                if len > MAX_CHAT_LEN {
+                    return None;
+                }
+                Some(Payload::Chat(bytes[3..3 + len].to_vec()))
+            }
+            TAG_OFFLINE => Some(Payload::Offline),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_variants() {
+        for p in [
+            Payload::Dummy,
+            Payload::Offline,
+            Payload::Chat(b"hello Bob".to_vec()),
+            Payload::Chat(vec![]),
+            Payload::Chat(vec![7u8; MAX_CHAT_LEN]),
+        ] {
+            let enc = p.encode();
+            assert_eq!(enc.len(), PAYLOAD_LEN);
+            assert_eq!(Payload::decode(&enc).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn all_encodings_same_size() {
+        let a = Payload::Dummy.encode();
+        let b = Payload::Chat(b"x".to_vec()).encode();
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Payload::decode(&[0u8; 10]).is_none());
+        let mut bad_tag = [0u8; PAYLOAD_LEN];
+        bad_tag[0] = 99;
+        assert!(Payload::decode(&bad_tag).is_none());
+        // Length field exceeding capacity
+        let mut bad_len = [0u8; PAYLOAD_LEN];
+        bad_len[0] = TAG_CHAT;
+        bad_len[1..3].copy_from_slice(&(MAX_CHAT_LEN as u16 + 1).to_le_bytes());
+        assert!(Payload::decode(&bad_len).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be split")]
+    fn oversized_chat_panics() {
+        let _ = Payload::Chat(vec![0u8; MAX_CHAT_LEN + 1]).encode();
+    }
+}

@@ -1,0 +1,175 @@
+//! ChaCha20-Poly1305 authenticated encryption (RFC 8439) — the paper's
+//! `AEnc`/`ADec` (§3.1).
+//!
+//! XRD's security argument relies on two properties of this construction
+//! (both hold for encrypt-then-MAC schemes like this one):
+//! 1. producing a validly-authenticated ciphertext without the key is
+//!    infeasible, and
+//! 2. a ciphertext does not authenticate under two different keys
+//!    (except with negligible probability).
+//!
+//! Nonces in XRD are derived from the round number `ρ` plus a layer/
+//! direction domain tag, so a key is never reused with the same nonce.
+
+use crate::chacha20::{chacha20_block, chacha20_xor};
+use crate::poly1305::Poly1305;
+
+/// Tag length in bytes.
+pub const TAG_LEN: usize = 16;
+
+/// Derive the per-message Poly1305 key (RFC 8439 §2.6).
+fn poly_key(key: &[u8; 32], nonce: &[u8; 12]) -> [u8; 32] {
+    let block = chacha20_block(key, 0, nonce);
+    let mut out = [0u8; 32];
+    out.copy_from_slice(&block[..32]);
+    out
+}
+
+fn compute_tag(poly_key: &[u8; 32], aad: &[u8], ciphertext: &[u8]) -> [u8; 16] {
+    let mut mac = Poly1305::new(poly_key);
+    let zeros = [0u8; 16];
+    mac.update(aad);
+    if !aad.len().is_multiple_of(16) {
+        mac.update(&zeros[..16 - aad.len() % 16]);
+    }
+    mac.update(ciphertext);
+    if !ciphertext.len().is_multiple_of(16) {
+        mac.update(&zeros[..16 - ciphertext.len() % 16]);
+    }
+    mac.update(&(aad.len() as u64).to_le_bytes());
+    mac.update(&(ciphertext.len() as u64).to_le_bytes());
+    mac.finalize()
+}
+
+/// `AEnc(s, nonce, m)`: encrypt and authenticate.  Output layout is
+/// `ciphertext || tag` (input length + 16 bytes).
+pub fn aenc(key: &[u8; 32], nonce: &[u8; 12], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+    out.extend_from_slice(plaintext);
+    chacha20_xor(key, 1, nonce, &mut out);
+    let tag = compute_tag(&poly_key(key, nonce), aad, &out);
+    out.extend_from_slice(&tag);
+    out
+}
+
+/// `ADec(s, nonce, c)`: check integrity and decrypt.  Returns `None` if
+/// authentication fails (the paper's `b = 0` case).
+pub fn adec(key: &[u8; 32], nonce: &[u8; 12], aad: &[u8], sealed: &[u8]) -> Option<Vec<u8>> {
+    if sealed.len() < TAG_LEN {
+        return None;
+    }
+    let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+    let expect = compute_tag(&poly_key(key, nonce), aad, ciphertext);
+    if !crate::util::ct_bytes_eq(&expect, tag) {
+        return None;
+    }
+    let mut out = ciphertext.to_vec();
+    chacha20_xor(key, 1, nonce, &mut out);
+    Some(out)
+}
+
+/// Build a 12-byte nonce from the XRD round number and a small domain tag
+/// (layer index, message direction, ...), guaranteeing distinct nonces for
+/// distinct (round, domain) pairs.
+pub fn round_nonce(round: u64, domain: u32) -> [u8; 12] {
+    let mut nonce = [0u8; 12];
+    nonce[..8].copy_from_slice(&round.to_le_bytes());
+    nonce[8..].copy_from_slice(&domain.to_le_bytes());
+    nonce
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::{from_hex, to_hex};
+
+    #[test]
+    fn rfc8439_aead_vector() {
+        // RFC 8439 §2.8.2 (cross-checked against an independent Python
+        // implementation).
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = 0x80 + i as u8;
+        }
+        let nonce_bytes = from_hex("070000004041424344454647");
+        let mut nonce = [0u8; 12];
+        nonce.copy_from_slice(&nonce_bytes);
+        let aad = from_hex("50515253c0c1c2c3c4c5c6c7");
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it.";
+
+        let sealed = aenc(&key, &nonce, &aad, plaintext);
+        let (ct, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        assert_eq!(
+            to_hex(ct),
+            "d31a8d34648e60db7b86afbc53ef7ec2a4aded51296e08fea9e2b5a736ee62d6\
+             3dbea45e8ca9671282fafb69da92728b1a71de0a9e060b2905d6a5b67ecd3b36\
+             92ddbd7f2d778b8c9803aee328091b58fab324e4fad675945585808b4831d7bc\
+             3ff4def08e4b7a9de576d26586cec64b6116"
+                .replace(' ', "")
+        );
+        assert_eq!(to_hex(tag), "1ae10b594f09e26a7e902ecbd0600691");
+
+        let opened = adec(&key, &nonce, &aad, &sealed).unwrap();
+        assert_eq!(opened, plaintext);
+    }
+
+    #[test]
+    fn roundtrip_various_sizes() {
+        let key = [42u8; 32];
+        let nonce = round_nonce(3, 0);
+        for len in [0usize, 1, 15, 16, 17, 63, 64, 65, 256, 1000] {
+            let pt: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let sealed = aenc(&key, &nonce, b"", &pt);
+            assert_eq!(sealed.len(), len + TAG_LEN);
+            assert_eq!(adec(&key, &nonce, b"", &sealed).unwrap(), pt);
+        }
+    }
+
+    #[test]
+    fn tamper_detection() {
+        let key = [1u8; 32];
+        let nonce = round_nonce(7, 1);
+        let sealed = aenc(&key, &nonce, b"aad", b"secret message");
+        for i in 0..sealed.len() {
+            let mut bad = sealed.clone();
+            bad[i] ^= 0x01;
+            assert!(adec(&key, &nonce, b"aad", &bad).is_none(), "byte {i}");
+        }
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let nonce = round_nonce(1, 0);
+        let sealed = aenc(&[1u8; 32], &nonce, b"", b"hello");
+        assert!(adec(&[2u8; 32], &nonce, b"", &sealed).is_none());
+    }
+
+    #[test]
+    fn wrong_nonce_fails() {
+        let key = [1u8; 32];
+        let sealed = aenc(&key, &round_nonce(1, 0), b"", b"hello");
+        assert!(adec(&key, &round_nonce(2, 0), b"", &sealed).is_none());
+        assert!(adec(&key, &round_nonce(1, 1), b"", &sealed).is_none());
+    }
+
+    #[test]
+    fn wrong_aad_fails() {
+        let key = [1u8; 32];
+        let nonce = round_nonce(1, 0);
+        let sealed = aenc(&key, &nonce, b"round-1", b"hello");
+        assert!(adec(&key, &nonce, b"round-2", &sealed).is_none());
+    }
+
+    #[test]
+    fn too_short_input_rejected() {
+        assert!(adec(&[0u8; 32], &round_nonce(0, 0), b"", &[0u8; 15]).is_none());
+        assert!(adec(&[0u8; 32], &round_nonce(0, 0), b"", &[]).is_none());
+    }
+
+    #[test]
+    fn round_nonce_is_injective_per_domain() {
+        assert_ne!(round_nonce(1, 0), round_nonce(1, 1));
+        assert_ne!(round_nonce(1, 0), round_nonce(2, 0));
+    }
+}

@@ -1,0 +1,293 @@
+//! BLAKE2b (RFC 7693), from scratch: streaming hash with optional key and
+//! configurable digest length (1..=64 bytes).
+//!
+//! BLAKE2b is the general-purpose hash of the NaCl/libsodium family that
+//! the XRD prototype builds on; we use it for key derivation, Fiat–Shamir
+//! transcripts, and mailbox/group assignment hashing.
+
+/// BLAKE2b initialization vector (identical to the SHA-512 IV).
+const IV: [u64; 8] = [
+    0x6a09e667f3bcc908,
+    0xbb67ae8584caa73b,
+    0x3c6ef372fe94f82b,
+    0xa54ff53a5f1d36f1,
+    0x510e527fade682d1,
+    0x9b05688c2b3e6c1f,
+    0x1f83d9abfb41bd6b,
+    0x5be0cd19137e2179,
+];
+
+/// Message schedule permutations for the 12 rounds (rows 10, 11 repeat
+/// rows 0, 1 per the spec: SIGMA[round % 10]).
+const SIGMA: [[usize; 16]; 10] = [
+    [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15],
+    [14, 10, 4, 8, 9, 15, 13, 6, 1, 12, 0, 2, 11, 7, 5, 3],
+    [11, 8, 12, 0, 5, 2, 15, 13, 10, 14, 3, 6, 7, 1, 9, 4],
+    [7, 9, 3, 1, 13, 12, 11, 14, 2, 6, 5, 10, 4, 0, 15, 8],
+    [9, 0, 5, 7, 2, 4, 10, 15, 14, 1, 11, 12, 6, 8, 3, 13],
+    [2, 12, 6, 10, 0, 11, 8, 3, 4, 13, 7, 5, 15, 14, 1, 9],
+    [12, 5, 1, 15, 14, 13, 4, 10, 0, 7, 6, 3, 9, 2, 8, 11],
+    [13, 11, 7, 14, 12, 1, 3, 9, 5, 0, 15, 4, 8, 6, 2, 10],
+    [6, 15, 14, 9, 11, 3, 0, 8, 12, 2, 13, 7, 1, 4, 10, 5],
+    [10, 2, 8, 4, 7, 6, 1, 5, 15, 11, 9, 14, 3, 12, 13, 0],
+];
+
+const BLOCK_BYTES: usize = 128;
+
+/// Incremental BLAKE2b hasher.
+#[derive(Clone)]
+pub struct Blake2b {
+    h: [u64; 8],
+    /// Total bytes compressed so far (128-bit counter, low/high).
+    t: [u64; 2],
+    buf: [u8; BLOCK_BYTES],
+    buf_len: usize,
+    out_len: usize,
+}
+
+#[inline(always)]
+fn g(v: &mut [u64; 16], a: usize, b: usize, c: usize, d: usize, x: u64, y: u64) {
+    v[a] = v[a].wrapping_add(v[b]).wrapping_add(x);
+    v[d] = (v[d] ^ v[a]).rotate_right(32);
+    v[c] = v[c].wrapping_add(v[d]);
+    v[b] = (v[b] ^ v[c]).rotate_right(24);
+    v[a] = v[a].wrapping_add(v[b]).wrapping_add(y);
+    v[d] = (v[d] ^ v[a]).rotate_right(16);
+    v[c] = v[c].wrapping_add(v[d]);
+    v[b] = (v[b] ^ v[c]).rotate_right(63);
+}
+
+impl Blake2b {
+    /// New unkeyed hasher with `out_len` output bytes (1..=64).
+    pub fn new(out_len: usize) -> Blake2b {
+        Self::new_keyed(&[], out_len)
+    }
+
+    /// New keyed hasher (MAC mode); key up to 64 bytes.
+    pub fn new_keyed(key: &[u8], out_len: usize) -> Blake2b {
+        assert!((1..=64).contains(&out_len), "digest length must be 1..=64");
+        assert!(key.len() <= 64, "key must be at most 64 bytes");
+        let mut h = IV;
+        // Parameter block: digest length, key length, fanout=1, depth=1.
+        h[0] ^= 0x0101_0000 ^ ((key.len() as u64) << 8) ^ (out_len as u64);
+        let mut state = Blake2b {
+            h,
+            t: [0, 0],
+            buf: [0u8; BLOCK_BYTES],
+            buf_len: 0,
+            out_len,
+        };
+        if !key.is_empty() {
+            let mut block = [0u8; BLOCK_BYTES];
+            block[..key.len()].copy_from_slice(key);
+            state.update(&block);
+        }
+        state
+    }
+
+    /// Absorb bytes.
+    pub fn update(&mut self, mut data: &[u8]) -> &mut Self {
+        // Compress the buffer only once we know more data follows, because
+        // the final block needs the "last" flag.
+        while !data.is_empty() {
+            if self.buf_len == BLOCK_BYTES {
+                self.increment_counter(BLOCK_BYTES as u64);
+                let block = self.buf;
+                self.compress(&block, false);
+                self.buf_len = 0;
+            }
+            let take = (BLOCK_BYTES - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+        }
+        self
+    }
+
+    /// Finish and return the digest.
+    pub fn finalize(mut self) -> Vec<u8> {
+        self.increment_counter(self.buf_len as u64);
+        let mut block = [0u8; BLOCK_BYTES];
+        block[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+        self.compress(&block, true);
+
+        let mut out = vec![0u8; self.out_len];
+        for (i, chunk) in out.chunks_mut(8).enumerate() {
+            let bytes = self.h[i].to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        out
+    }
+
+    /// Finish into a fixed 32-byte array (requires `out_len == 32`).
+    pub fn finalize_32(self) -> [u8; 32] {
+        assert_eq!(self.out_len, 32);
+        let v = self.finalize();
+        let mut out = [0u8; 32];
+        out.copy_from_slice(&v);
+        out
+    }
+
+    /// Finish into a fixed 64-byte array (requires `out_len == 64`).
+    pub fn finalize_64(self) -> [u8; 64] {
+        assert_eq!(self.out_len, 64);
+        let v = self.finalize();
+        let mut out = [0u8; 64];
+        out.copy_from_slice(&v);
+        out
+    }
+
+    fn increment_counter(&mut self, bytes: u64) {
+        self.t[0] = self.t[0].wrapping_add(bytes);
+        if self.t[0] < bytes {
+            self.t[1] = self.t[1].wrapping_add(1);
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; BLOCK_BYTES], last: bool) {
+        let mut m = [0u64; 16];
+        for (i, limb) in m.iter_mut().enumerate() {
+            *limb = crate::util::load_u64_le(&block[i * 8..i * 8 + 8]);
+        }
+        let mut v = [0u64; 16];
+        v[..8].copy_from_slice(&self.h);
+        v[8..].copy_from_slice(&IV);
+        v[12] ^= self.t[0];
+        v[13] ^= self.t[1];
+        if last {
+            v[14] = !v[14];
+        }
+        for round in 0..12 {
+            let s = &SIGMA[round % 10];
+            g(&mut v, 0, 4, 8, 12, m[s[0]], m[s[1]]);
+            g(&mut v, 1, 5, 9, 13, m[s[2]], m[s[3]]);
+            g(&mut v, 2, 6, 10, 14, m[s[4]], m[s[5]]);
+            g(&mut v, 3, 7, 11, 15, m[s[6]], m[s[7]]);
+            g(&mut v, 0, 5, 10, 15, m[s[8]], m[s[9]]);
+            g(&mut v, 1, 6, 11, 12, m[s[10]], m[s[11]]);
+            g(&mut v, 2, 7, 8, 13, m[s[12]], m[s[13]]);
+            g(&mut v, 3, 4, 9, 14, m[s[14]], m[s[15]]);
+        }
+        for i in 0..8 {
+            self.h[i] ^= v[i] ^ v[i + 8];
+        }
+    }
+}
+
+/// One-shot BLAKE2b-512.
+pub fn blake2b_512(data: &[u8]) -> [u8; 64] {
+    let mut h = Blake2b::new(64);
+    h.update(data);
+    h.finalize_64()
+}
+
+/// One-shot BLAKE2b-256.
+pub fn blake2b_256(data: &[u8]) -> [u8; 32] {
+    let mut h = Blake2b::new(32);
+    h.update(data);
+    h.finalize_32()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::to_hex;
+
+    #[test]
+    fn empty_string_vector() {
+        // Well-known BLAKE2b-512("") test vector.
+        assert_eq!(
+            to_hex(&blake2b_512(b"")),
+            "786a02f742015903c6c6fd852552d272912f4740e15847618a86e217f71f5419\
+             d25e1031afee585313896444934eb04b903a685b1448b755d56f701afe9be2ce"
+                .replace(' ', "")
+        );
+    }
+
+    #[test]
+    fn abc_vector() {
+        // RFC 7693 Appendix A: BLAKE2b-512("abc"), cross-checked against
+        // Python hashlib.
+        assert_eq!(
+            to_hex(&blake2b_512(b"abc")),
+            "ba80a53f981c4d0d6a2797b69f12f6e94c212f14685ac4b74b12bb6fdbffa2d1\
+             7d87c5392aab792dc252d5de4533cc9518d38aa8dbf1925ab92386edd4009923"
+                .replace(' ', "")
+        );
+    }
+
+    #[test]
+    fn short_digest_vector() {
+        // BLAKE2b-256("x"), from Python hashlib.
+        assert_eq!(
+            to_hex(&blake2b_256(b"x")),
+            "d161d71145abeec5ef15abcf0459cec60a27321e2f0ac0ef7ace5254f5944476"
+        );
+    }
+
+    #[test]
+    fn keyed_vector() {
+        // blake2b(b"message", key=b"secret key", digest_size=32), hashlib.
+        let mut h = Blake2b::new_keyed(b"secret key", 32);
+        h.update(b"message");
+        assert_eq!(
+            to_hex(&h.finalize()),
+            "f71324f0d1339cc29166e351477087fdabee524aea02eb2ff2b79f52eeaea4e4"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| i as u8).collect();
+        let oneshot = blake2b_512(&data);
+        let mut h = Blake2b::new(64);
+        // Deliberately awkward chunk sizes crossing block boundaries.
+        for chunk in data.chunks(37) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), oneshot.to_vec());
+    }
+
+    #[test]
+    fn exact_block_boundary() {
+        let data = [0xabu8; 128];
+        let mut h1 = Blake2b::new(64);
+        h1.update(&data);
+        let mut h2 = Blake2b::new(64);
+        h2.update(&data[..64]);
+        h2.update(&data[64..]);
+        assert_eq!(h1.finalize(), h2.finalize());
+
+        let data256 = [0xcdu8; 256];
+        let mut h3 = Blake2b::new(32);
+        h3.update(&data256);
+        let _ = h3.finalize(); // must not panic
+    }
+
+    #[test]
+    fn different_lengths_differ() {
+        let a = blake2b_256(b"hello");
+        let mut h = Blake2b::new(32);
+        h.update(b"hello!");
+        let b = h.finalize_32();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn keyed_mode_differs_from_unkeyed() {
+        let mut keyed = Blake2b::new_keyed(b"secret key", 32);
+        keyed.update(b"message");
+        let mut unkeyed = Blake2b::new(32);
+        unkeyed.update(b"message");
+        assert_ne!(keyed.finalize(), unkeyed.finalize());
+    }
+
+    #[test]
+    fn short_output_is_prefix_free() {
+        // BLAKE2b-256 is NOT a truncation of BLAKE2b-512 (out_len is in the
+        // parameter block).
+        let h256 = blake2b_256(b"x");
+        let h512 = blake2b_512(b"x");
+        assert_ne!(&h512[..32], &h256[..]);
+    }
+}

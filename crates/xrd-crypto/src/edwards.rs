@@ -1,0 +1,441 @@
+//! Points on the twisted Edwards curve `-x^2 + y^2 = 1 + d x^2 y^2`
+//! (edwards25519), in extended coordinates `(X:Y:Z:T)` with `x = X/Z`,
+//! `y = Y/Z`, `xy = T/Z`.
+//!
+//! This module is internal plumbing: the public prime-order group exposed
+//! by the crate is [`crate::ristretto::GroupElement`], which wraps these
+//! points.  Formulas follow the standard unified a=-1 HWCD'08 set.
+
+use std::sync::OnceLock;
+
+use crate::field::FieldElement;
+use crate::scalar::Scalar;
+
+/// The curve constant `d = -121665/121666`, derived at first use.
+pub fn edwards_d() -> &'static FieldElement {
+    static D: OnceLock<FieldElement> = OnceLock::new();
+    D.get_or_init(|| {
+        FieldElement::from_u64(121665)
+            .neg()
+            .mul(&FieldElement::from_u64(121666).invert())
+    })
+}
+
+/// `2 * d`, used by the addition formula.
+fn edwards_d2() -> &'static FieldElement {
+    static D2: OnceLock<FieldElement> = OnceLock::new();
+    D2.get_or_init(|| edwards_d().add(edwards_d()))
+}
+
+/// A point on edwards25519 in extended coordinates.
+#[derive(Clone, Copy, Debug)]
+pub struct EdwardsPoint {
+    pub(crate) x: FieldElement,
+    pub(crate) y: FieldElement,
+    pub(crate) z: FieldElement,
+    pub(crate) t: FieldElement,
+}
+
+/// The canonical compressed (curve25519 "y plus sign bit") encoding of the
+/// Ed25519 basepoint, `y = 4/5` with even `x`.
+const BASEPOINT_COMPRESSED: [u8; 32] = [
+    0x58, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66,
+    0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66,
+    0x66, 0x66,
+];
+
+impl EdwardsPoint {
+    /// The identity element `(0, 1)`.
+    pub fn identity() -> EdwardsPoint {
+        EdwardsPoint {
+            x: FieldElement::ZERO,
+            y: FieldElement::ONE,
+            z: FieldElement::ONE,
+            t: FieldElement::ZERO,
+        }
+    }
+
+    /// The Ed25519 basepoint.
+    pub fn basepoint() -> &'static EdwardsPoint {
+        static B: OnceLock<EdwardsPoint> = OnceLock::new();
+        B.get_or_init(|| {
+            EdwardsPoint::decompress(&BASEPOINT_COMPRESSED)
+                .expect("basepoint constant decompresses")
+        })
+    }
+
+    /// Point addition (unified: also correct for doubling and identity).
+    pub fn add(&self, other: &EdwardsPoint) -> EdwardsPoint {
+        let y1_plus_x1 = self.y.add(&self.x);
+        let y1_minus_x1 = self.y.sub(&self.x);
+        let y2_plus_x2 = other.y.add(&other.x);
+        let y2_minus_x2 = other.y.sub(&other.x);
+        let pp = y1_plus_x1.mul(&y2_plus_x2);
+        let mm = y1_minus_x1.mul(&y2_minus_x2);
+        let tt2d = self.t.mul(&other.t).mul(edwards_d2());
+        let zz2 = self.z.mul(&other.z).add(&self.z.mul(&other.z));
+
+        let e = pp.sub(&mm);
+        let f = zz2.sub(&tt2d);
+        let g = zz2.add(&tt2d);
+        let h = pp.add(&mm);
+
+        EdwardsPoint {
+            x: e.mul(&f),
+            y: g.mul(&h),
+            z: f.mul(&g),
+            t: e.mul(&h),
+        }
+    }
+
+    /// Point doubling.
+    pub fn double(&self) -> EdwardsPoint {
+        let xx = self.x.square();
+        let yy = self.y.square();
+        let zz2 = self.z.square().add(&self.z.square());
+        let xy2 = self.x.add(&self.y).square().sub(&xx).sub(&yy); // 2XY
+        let yy_plus_xx = yy.add(&xx);
+        let yy_minus_xx = yy.sub(&xx);
+
+        let e = xy2;
+        let f = yy_minus_xx;
+        let g = yy_plus_xx;
+        let h = zz2.sub(&yy_minus_xx);
+
+        // Completed (E:G:F:H) -> extended
+        EdwardsPoint {
+            x: e.mul(&h),
+            y: g.mul(&f),
+            z: f.mul(&h),
+            t: e.mul(&g),
+        }
+    }
+
+    /// Point negation.
+    pub fn neg(&self) -> EdwardsPoint {
+        EdwardsPoint {
+            x: self.x.neg(),
+            y: self.y,
+            z: self.z,
+            t: self.t.neg(),
+        }
+    }
+
+    /// Subtraction.
+    pub fn sub(&self, other: &EdwardsPoint) -> EdwardsPoint {
+        self.add(&other.neg())
+    }
+
+    /// Scalar multiplication with a signed radix-16 fixed window and a
+    /// masked table scan (uniform memory access pattern per window).
+    pub fn scalar_mul(&self, scalar: &Scalar) -> EdwardsPoint {
+        // Table of [1P, 2P, ..., 8P].
+        let mut table = [*self; 8];
+        for i in 1..8 {
+            table[i] = table[i - 1].add(self);
+        }
+        let digits = scalar.to_radix_16();
+
+        let mut acc = EdwardsPoint::identity();
+        for i in (0..64).rev() {
+            acc = acc.double().double().double().double();
+            let d = digits[i];
+            if d == 0 {
+                continue;
+            }
+            let abs = d.unsigned_abs() as usize;
+            // Masked scan over the whole table (uniform access pattern).
+            let mut chosen = table[0];
+            for (j, entry) in table.iter().enumerate() {
+                let hit = ((j + 1) == abs) as u64;
+                chosen = EdwardsPoint {
+                    x: FieldElement::select(&chosen.x, &entry.x, hit),
+                    y: FieldElement::select(&chosen.y, &entry.y, hit),
+                    z: FieldElement::select(&chosen.z, &entry.z, hit),
+                    t: FieldElement::select(&chosen.t, &entry.t, hit),
+                };
+            }
+            if d < 0 {
+                chosen = chosen.neg();
+            }
+            acc = acc.add(&chosen);
+        }
+        acc
+    }
+
+    /// `scalar * basepoint`, using a precomputed radix-16 table (no
+    /// doublings: 64 table lookups + additions).  This is the hot
+    /// operation of client sealing (`g^x`, `g^y`, proof commitments).
+    pub fn base_mul(scalar: &Scalar) -> EdwardsPoint {
+        let table = basepoint_table();
+        let digits = scalar.to_radix_16();
+        let mut acc = EdwardsPoint::identity();
+        for (window, &d) in digits.iter().enumerate() {
+            if d == 0 {
+                continue;
+            }
+            let abs = d.unsigned_abs() as usize;
+            // Masked scan over the window's 8 multiples.
+            let row = &table.windows[window];
+            let mut chosen = row[0];
+            for (j, entry) in row.iter().enumerate() {
+                let hit = ((j + 1) == abs) as u64;
+                chosen = EdwardsPoint {
+                    x: FieldElement::select(&chosen.x, &entry.x, hit),
+                    y: FieldElement::select(&chosen.y, &entry.y, hit),
+                    z: FieldElement::select(&chosen.z, &entry.z, hit),
+                    t: FieldElement::select(&chosen.t, &entry.t, hit),
+                };
+            }
+            if d < 0 {
+                chosen = chosen.neg();
+            }
+            acc = acc.add(&chosen);
+        }
+        acc
+    }
+
+    /// Multiply by the cofactor 8.
+    pub fn mul_by_cofactor(&self) -> EdwardsPoint {
+        self.double().double().double()
+    }
+
+    /// Compress to the 32-byte "y plus sign of x" encoding.
+    pub fn compress(&self) -> [u8; 32] {
+        let zinv = self.z.invert();
+        let x = self.x.mul(&zinv);
+        let y = self.y.mul(&zinv);
+        let mut bytes = y.to_bytes();
+        bytes[31] |= (x.is_negative() as u8) << 7;
+        bytes
+    }
+
+    /// Decompress a 32-byte encoding; `None` if not a curve point.
+    pub fn decompress(bytes: &[u8; 32]) -> Option<EdwardsPoint> {
+        let y = FieldElement::from_bytes(bytes);
+        let sign = (bytes[31] >> 7) & 1;
+
+        // x^2 = (y^2 - 1) / (d y^2 + 1)
+        let yy = y.square();
+        let u = yy.sub(&FieldElement::ONE);
+        let v = yy.mul(edwards_d()).add(&FieldElement::ONE);
+        let (is_valid, mut x) = FieldElement::sqrt_ratio_i(&u, &v);
+        if !is_valid {
+            return None;
+        }
+        if x.is_zero() && sign == 1 {
+            return None; // "-0" is not a valid encoding
+        }
+        if (x.is_negative() as u8) != sign {
+            x = x.neg();
+        }
+        Some(EdwardsPoint {
+            x,
+            y,
+            z: FieldElement::ONE,
+            t: x.mul(&y),
+        })
+    }
+
+    /// Projective equality: `X1 Z2 == X2 Z1 && Y1 Z2 == Y2 Z1`.
+    pub fn ct_eq(&self, other: &EdwardsPoint) -> bool {
+        let lhs_x = self.x.mul(&other.z);
+        let rhs_x = other.x.mul(&self.z);
+        let lhs_y = self.y.mul(&other.z);
+        let rhs_y = other.y.mul(&self.z);
+        lhs_x.ct_eq(&rhs_x) && lhs_y.ct_eq(&rhs_y)
+    }
+
+    /// True iff this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.ct_eq(&EdwardsPoint::identity())
+    }
+
+    /// Debug check: the point satisfies the curve equation and the
+    /// extended-coordinate invariant `XY = ZT`.
+    pub fn is_on_curve(&self) -> bool {
+        let xx = self.x.square();
+        let yy = self.y.square();
+        let zz = self.z.square();
+        let zzzz = zz.square();
+        // (-X^2 + Y^2) Z^2 == Z^4 + d X^2 Y^2
+        let lhs = yy.sub(&xx).mul(&zz);
+        let rhs = zzzz.add(&edwards_d().mul(&xx).mul(&yy));
+        let ok_curve = lhs.ct_eq(&rhs);
+        let ok_t = self.x.mul(&self.y).ct_eq(&self.z.mul(&self.t));
+        ok_curve && ok_t
+    }
+}
+
+impl PartialEq for EdwardsPoint {
+    fn eq(&self, other: &Self) -> bool {
+        self.ct_eq(other)
+    }
+}
+impl Eq for EdwardsPoint {}
+
+/// Precomputed multiples of the basepoint: `windows[i][j] = (j+1)·16^i·B`
+/// for the 64 radix-16 digit positions.
+struct BasepointTable {
+    windows: Vec<[EdwardsPoint; 8]>,
+}
+
+fn basepoint_table() -> &'static BasepointTable {
+    static TABLE: OnceLock<BasepointTable> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut windows = Vec::with_capacity(64);
+        let mut base = *EdwardsPoint::basepoint();
+        for _ in 0..64 {
+            let mut row = [base; 8];
+            for j in 1..8 {
+                row[j] = row[j - 1].add(&base);
+            }
+            windows.push(row);
+            // base = 16 * base for the next digit position.
+            base = base.double().double().double().double();
+        }
+        BasepointTable { windows }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::to_hex;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn basepoint_is_on_curve() {
+        assert!(EdwardsPoint::basepoint().is_on_curve());
+    }
+
+    #[test]
+    fn basepoint_compress_roundtrip() {
+        assert_eq!(EdwardsPoint::basepoint().compress(), BASEPOINT_COMPRESSED);
+    }
+
+    #[test]
+    fn known_multiples_of_basepoint() {
+        // Vectors generated from an independent (Python) implementation.
+        let b = EdwardsPoint::basepoint();
+        assert_eq!(
+            to_hex(&b.double().compress()),
+            "c9a3f86aae465f0e56513864510f3997561fa2c9e85ea21dc2292309f3cd6022"
+        );
+        assert_eq!(
+            to_hex(&b.double().add(b).compress()),
+            "d4b4f5784868c3020403246717ec169ff79e26608ea126a1ab69ee77d1b16712"
+        );
+        assert_eq!(
+            to_hex(&b.scalar_mul(&Scalar::from_u64(9)).compress()),
+            "c0f1225584444ec730446e231390781ffdd2f256e9fcbeb2f40dddc2c2233d7f"
+        );
+    }
+
+    #[test]
+    fn scalar_mul_matches_repeated_add() {
+        let b = EdwardsPoint::basepoint();
+        let mut acc = EdwardsPoint::identity();
+        for k in 0..20u64 {
+            assert!(acc.ct_eq(&b.scalar_mul(&Scalar::from_u64(k))));
+            assert!(acc.is_on_curve());
+            acc = acc.add(b);
+        }
+    }
+
+    #[test]
+    fn base_mul_matches_generic_scalar_mul() {
+        // The table-driven base_mul must agree with the generic ladder
+        // for random scalars and all small/edge scalars.
+        let mut rng = StdRng::seed_from_u64(77);
+        let b = EdwardsPoint::basepoint();
+        for _ in 0..10 {
+            let s = Scalar::random(&mut rng);
+            assert!(EdwardsPoint::base_mul(&s).ct_eq(&b.scalar_mul(&s)));
+        }
+        for k in [0u64, 1, 2, 7, 8, 9, 15, 16, 17, 255, 256] {
+            let s = Scalar::from_u64(k);
+            assert!(EdwardsPoint::base_mul(&s).ct_eq(&b.scalar_mul(&s)), "k={k}");
+        }
+        let l_minus_1 = Scalar::ZERO.sub(&Scalar::ONE);
+        assert!(EdwardsPoint::base_mul(&l_minus_1).ct_eq(&b.scalar_mul(&l_minus_1)));
+    }
+
+    #[test]
+    fn group_order_annihilates_basepoint() {
+        // l * B == identity, (l-1) * B == -B
+        let l_minus_1 = Scalar::ZERO.sub(&Scalar::ONE);
+        let p = EdwardsPoint::base_mul(&l_minus_1);
+        assert!(p.ct_eq(&EdwardsPoint::basepoint().neg()));
+        assert!(p.add(EdwardsPoint::basepoint()).is_identity());
+    }
+
+    #[test]
+    fn add_is_commutative_and_associative() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = EdwardsPoint::base_mul(&Scalar::random(&mut rng));
+        let q = EdwardsPoint::base_mul(&Scalar::random(&mut rng));
+        let r = EdwardsPoint::base_mul(&Scalar::random(&mut rng));
+        assert!(p.add(&q).ct_eq(&q.add(&p)));
+        assert!(p.add(&q).add(&r).ct_eq(&p.add(&q.add(&r))));
+    }
+
+    #[test]
+    fn double_matches_add_self() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = EdwardsPoint::base_mul(&Scalar::random(&mut rng));
+        assert!(p.double().ct_eq(&p.add(&p)));
+    }
+
+    #[test]
+    fn scalar_mul_homomorphism() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Scalar::random(&mut rng);
+        let b = Scalar::random(&mut rng);
+        let lhs = EdwardsPoint::base_mul(&a.add(&b));
+        let rhs = EdwardsPoint::base_mul(&a).add(&EdwardsPoint::base_mul(&b));
+        assert!(lhs.ct_eq(&rhs));
+    }
+
+    #[test]
+    fn decompress_rejects_non_points() {
+        // y = 2 gives x^2 non-square on this curve.
+        let mut bytes = [0u8; 32];
+        bytes[0] = 2;
+        assert!(EdwardsPoint::decompress(&bytes).is_none());
+    }
+
+    #[test]
+    fn decompress_rejects_negative_zero() {
+        // y = 1 (identity) with sign bit set: x = -0 is invalid.
+        let mut bytes = [0u8; 32];
+        bytes[0] = 1;
+        bytes[31] = 0x80;
+        assert!(EdwardsPoint::decompress(&bytes).is_none());
+    }
+
+    #[test]
+    fn compress_decompress_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..8 {
+            let p = EdwardsPoint::base_mul(&Scalar::random(&mut rng));
+            let c = p.compress();
+            let q = EdwardsPoint::decompress(&c).unwrap();
+            assert!(p.ct_eq(&q));
+            assert_eq!(q.compress(), c);
+        }
+    }
+
+    #[test]
+    fn identity_behaves() {
+        let id = EdwardsPoint::identity();
+        let b = EdwardsPoint::basepoint();
+        assert!(id.add(b).ct_eq(b));
+        assert!(b.add(&id).ct_eq(b));
+        assert!(b.sub(b).is_identity());
+        assert!(id.is_on_curve());
+        assert!(id.double().is_identity());
+        assert!(b.scalar_mul(&Scalar::ZERO).is_identity());
+    }
+}

@@ -1,0 +1,525 @@
+//! Arithmetic in the field GF(2^255 - 19), the base field of Curve25519.
+//!
+//! Elements are represented with five 51-bit limbs in radix 2^51 (the
+//! standard 64-bit "ref10"-style representation).  All arithmetic keeps
+//! limbs weakly reduced (below ~2^52) so that products never overflow
+//! 128-bit accumulators.
+//!
+//! This module is self-contained: no external crypto dependency.  Derived
+//! curve constants (sqrt(-1), Edwards d, the Ristretto magic constants) are
+//! computed at first use from first principles rather than transcribed, and
+//! validated by unit tests.
+
+use crate::util::load_u64_le;
+
+/// Mask selecting the low 51 bits of a `u64`.
+const LOW_51_BIT_MASK: u64 = (1u64 << 51) - 1;
+
+/// An element of GF(2^255 - 19), weakly reduced (limbs < 2^52).
+#[derive(Clone, Copy, Debug)]
+pub struct FieldElement(pub(crate) [u64; 5]);
+
+/// `16 * p` in radix-2^51 limbs; added before subtraction to avoid
+/// underflow while keeping the result congruent mod p.
+const SIXTEEN_P: [u64; 5] = [
+    36028797018963664, // 16 * (2^51 - 19)
+    36028797018963952, // 16 * (2^51 - 1)
+    36028797018963952,
+    36028797018963952,
+    36028797018963952,
+];
+
+impl FieldElement {
+    /// The additive identity.
+    pub const ZERO: FieldElement = FieldElement([0, 0, 0, 0, 0]);
+    /// The multiplicative identity.
+    pub const ONE: FieldElement = FieldElement([1, 0, 0, 0, 0]);
+
+    /// Construct from a small integer.
+    pub const fn from_u64(x: u64) -> FieldElement {
+        // Splitting x across the first two limbs keeps the invariant even
+        // for x close to u64::MAX.
+        FieldElement([x & LOW_51_BIT_MASK, x >> 51, 0, 0, 0])
+    }
+
+    /// Parse 32 little-endian bytes as a field element, ignoring the top
+    /// bit (matching the curve25519 convention).
+    pub fn from_bytes(bytes: &[u8; 32]) -> FieldElement {
+        FieldElement([
+            load_u64_le(&bytes[0..8]) & LOW_51_BIT_MASK,
+            (load_u64_le(&bytes[6..14]) >> 3) & LOW_51_BIT_MASK,
+            (load_u64_le(&bytes[12..20]) >> 6) & LOW_51_BIT_MASK,
+            (load_u64_le(&bytes[19..27]) >> 1) & LOW_51_BIT_MASK,
+            (load_u64_le(&bytes[24..32]) >> 12) & LOW_51_BIT_MASK,
+        ])
+    }
+
+    /// Fully reduce and serialize to 32 little-endian bytes.  The encoding
+    /// is canonical: the value is reduced into [0, p).
+    pub fn to_bytes(&self) -> [u8; 32] {
+        // First carry-propagate so limbs fit in 51 bits (plus small excess).
+        let mut limbs = Self::weak_reduce(self.0).0;
+
+        // Compute q = floor((value + 19) / 2^255), i.e. q = 1 iff value >= p.
+        let mut q = (limbs[0] + 19) >> 51;
+        q = (limbs[1] + q) >> 51;
+        q = (limbs[2] + q) >> 51;
+        q = (limbs[3] + q) >> 51;
+        q = (limbs[4] + q) >> 51;
+
+        // Add 19*q, then mask to 255 bits: this subtracts p iff value >= p.
+        limbs[0] += 19 * q;
+        limbs[1] += limbs[0] >> 51;
+        limbs[0] &= LOW_51_BIT_MASK;
+        limbs[2] += limbs[1] >> 51;
+        limbs[1] &= LOW_51_BIT_MASK;
+        limbs[3] += limbs[2] >> 51;
+        limbs[2] &= LOW_51_BIT_MASK;
+        limbs[4] += limbs[3] >> 51;
+        limbs[3] &= LOW_51_BIT_MASK;
+        limbs[4] &= LOW_51_BIT_MASK;
+
+        let mut out = [0u8; 32];
+        out[0] = limbs[0] as u8;
+        out[1] = (limbs[0] >> 8) as u8;
+        out[2] = (limbs[0] >> 16) as u8;
+        out[3] = (limbs[0] >> 24) as u8;
+        out[4] = (limbs[0] >> 32) as u8;
+        out[5] = (limbs[0] >> 40) as u8;
+        out[6] = ((limbs[0] >> 48) | (limbs[1] << 3)) as u8;
+        out[7] = (limbs[1] >> 5) as u8;
+        out[8] = (limbs[1] >> 13) as u8;
+        out[9] = (limbs[1] >> 21) as u8;
+        out[10] = (limbs[1] >> 29) as u8;
+        out[11] = (limbs[1] >> 37) as u8;
+        out[12] = ((limbs[1] >> 45) | (limbs[2] << 6)) as u8;
+        out[13] = (limbs[2] >> 2) as u8;
+        out[14] = (limbs[2] >> 10) as u8;
+        out[15] = (limbs[2] >> 18) as u8;
+        out[16] = (limbs[2] >> 26) as u8;
+        out[17] = (limbs[2] >> 34) as u8;
+        out[18] = (limbs[2] >> 42) as u8;
+        out[19] = ((limbs[2] >> 50) | (limbs[3] << 1)) as u8;
+        out[20] = (limbs[3] >> 7) as u8;
+        out[21] = (limbs[3] >> 15) as u8;
+        out[22] = (limbs[3] >> 23) as u8;
+        out[23] = (limbs[3] >> 31) as u8;
+        out[24] = (limbs[3] >> 39) as u8;
+        out[25] = ((limbs[3] >> 47) | (limbs[4] << 4)) as u8;
+        out[26] = (limbs[4] >> 4) as u8;
+        out[27] = (limbs[4] >> 12) as u8;
+        out[28] = (limbs[4] >> 20) as u8;
+        out[29] = (limbs[4] >> 28) as u8;
+        out[30] = (limbs[4] >> 36) as u8;
+        out[31] = (limbs[4] >> 44) as u8;
+        out
+    }
+
+    /// Carry-propagate limbs back below 2^52 without full reduction mod p.
+    fn weak_reduce(mut limbs: [u64; 5]) -> FieldElement {
+        let c0 = limbs[0] >> 51;
+        limbs[0] &= LOW_51_BIT_MASK;
+        limbs[1] += c0;
+        let c1 = limbs[1] >> 51;
+        limbs[1] &= LOW_51_BIT_MASK;
+        limbs[2] += c1;
+        let c2 = limbs[2] >> 51;
+        limbs[2] &= LOW_51_BIT_MASK;
+        limbs[3] += c2;
+        let c3 = limbs[3] >> 51;
+        limbs[3] &= LOW_51_BIT_MASK;
+        limbs[4] += c3;
+        let c4 = limbs[4] >> 51;
+        limbs[4] &= LOW_51_BIT_MASK;
+        limbs[0] += c4 * 19;
+        FieldElement(limbs)
+    }
+
+    /// Field addition.
+    pub fn add(&self, rhs: &FieldElement) -> FieldElement {
+        let mut limbs = [0u64; 5];
+        for i in 0..5 {
+            limbs[i] = self.0[i] + rhs.0[i];
+        }
+        Self::weak_reduce(limbs)
+    }
+
+    /// Field subtraction.
+    pub fn sub(&self, rhs: &FieldElement) -> FieldElement {
+        // Add 16p so that per-limb subtraction never underflows.
+        let mut limbs = [0u64; 5];
+        for i in 0..5 {
+            limbs[i] = self.0[i] + SIXTEEN_P[i] - rhs.0[i];
+        }
+        Self::weak_reduce(limbs)
+    }
+
+    /// Field negation.
+    pub fn neg(&self) -> FieldElement {
+        FieldElement::ZERO.sub(self)
+    }
+
+    /// Field multiplication.
+    pub fn mul(&self, rhs: &FieldElement) -> FieldElement {
+        #[inline(always)]
+        fn m(a: u64, b: u64) -> u128 {
+            (a as u128) * (b as u128)
+        }
+        let a = &self.0;
+        let b = &rhs.0;
+
+        // Precompute 19*b[i] (fits: b[i] < 2^52, 19*b[i] < 2^57).
+        let b1_19 = b[1] * 19;
+        let b2_19 = b[2] * 19;
+        let b3_19 = b[3] * 19;
+        let b4_19 = b[4] * 19;
+
+        let c0 = m(a[0], b[0]) + m(a[4], b1_19) + m(a[3], b2_19) + m(a[2], b3_19) + m(a[1], b4_19);
+        let c1 = m(a[1], b[0]) + m(a[0], b[1]) + m(a[4], b2_19) + m(a[3], b3_19) + m(a[2], b4_19);
+        let c2 = m(a[2], b[0]) + m(a[1], b[1]) + m(a[0], b[2]) + m(a[4], b3_19) + m(a[3], b4_19);
+        let c3 = m(a[3], b[0]) + m(a[2], b[1]) + m(a[1], b[2]) + m(a[0], b[3]) + m(a[4], b4_19);
+        let c4 = m(a[4], b[0]) + m(a[3], b[1]) + m(a[2], b[2]) + m(a[1], b[3]) + m(a[0], b[4]);
+
+        Self::carry_wide([c0, c1, c2, c3, c4])
+    }
+
+    /// Field squaring (slightly cheaper than `mul(self, self)`).
+    pub fn square(&self) -> FieldElement {
+        #[inline(always)]
+        fn m(a: u64, b: u64) -> u128 {
+            (a as u128) * (b as u128)
+        }
+        let a = &self.0;
+        let a3_19 = a[3] * 19;
+        let a4_19 = a[4] * 19;
+
+        let c0 = m(a[0], a[0]) + 2 * (m(a[1], a4_19) + m(a[2], a3_19));
+        let c1 = m(a[3], a3_19) + 2 * (m(a[0], a[1]) + m(a[2], a4_19));
+        let c2 = m(a[1], a[1]) + 2 * (m(a[0], a[2]) + m(a[4], a3_19));
+        let c3 = m(a[4], a4_19) + 2 * (m(a[0], a[3]) + m(a[1], a[2]));
+        let c4 = m(a[2], a[2]) + 2 * (m(a[0], a[4]) + m(a[1], a[3]));
+
+        Self::carry_wide([c0, c1, c2, c3, c4])
+    }
+
+    /// Carry-propagate a wide (u128-limb) product back to 51-bit limbs.
+    fn carry_wide(mut c: [u128; 5]) -> FieldElement {
+        let mut out = [0u64; 5];
+        c[1] += c[0] >> 51;
+        out[0] = (c[0] as u64) & LOW_51_BIT_MASK;
+        c[2] += c[1] >> 51;
+        out[1] = (c[1] as u64) & LOW_51_BIT_MASK;
+        c[3] += c[2] >> 51;
+        out[2] = (c[2] as u64) & LOW_51_BIT_MASK;
+        c[4] += c[3] >> 51;
+        out[3] = (c[3] as u64) & LOW_51_BIT_MASK;
+        let carry = (c[4] >> 51) as u64;
+        out[4] = (c[4] as u64) & LOW_51_BIT_MASK;
+        out[0] += carry * 19;
+        out[1] += out[0] >> 51;
+        out[0] &= LOW_51_BIT_MASK;
+        FieldElement(out)
+    }
+
+    /// Square `k` times: returns `self^(2^k)`.
+    pub fn pow2k(&self, k: u32) -> FieldElement {
+        debug_assert!(k > 0);
+        let mut out = self.square();
+        for _ in 1..k {
+            out = out.square();
+        }
+        out
+    }
+
+    /// Shared tower for inversion and `pow_p58`: returns
+    /// `(self^(2^250 - 1), self^11)`.
+    fn pow22501(&self) -> (FieldElement, FieldElement) {
+        let t0 = self.square(); // 2
+        let t1 = t0.square().square(); // 8
+        let t2 = self.mul(&t1); // 9
+        let t3 = t0.mul(&t2); // 11
+        let t4 = t3.square(); // 22
+        let t5 = t2.mul(&t4); // 2^5 - 1
+        let t6 = t5.pow2k(5); // 2^10 - 2^5
+        let t7 = t6.mul(&t5); // 2^10 - 1
+        let t8 = t7.pow2k(10); // 2^20 - 2^10
+        let t9 = t8.mul(&t7); // 2^20 - 1
+        let t10 = t9.pow2k(20); // 2^40 - 2^20
+        let t11 = t10.mul(&t9); // 2^40 - 1
+        let t12 = t11.pow2k(10); // 2^50 - 2^10
+        let t13 = t12.mul(&t7); // 2^50 - 1
+        let t14 = t13.pow2k(50); // 2^100 - 2^50
+        let t15 = t14.mul(&t13); // 2^100 - 1
+        let t16 = t15.pow2k(100); // 2^200 - 2^100
+        let t17 = t16.mul(&t15); // 2^200 - 1
+        let t18 = t17.pow2k(50); // 2^250 - 2^50
+        let t19 = t18.mul(&t13); // 2^250 - 1
+        (t19, t3)
+    }
+
+    /// Multiplicative inverse: `self^(p-2)`.  Returns zero for zero.
+    pub fn invert(&self) -> FieldElement {
+        let (t19, t3) = self.pow22501();
+        let t20 = t19.pow2k(5); // 2^255 - 2^5
+        t20.mul(&t3) // 2^255 - 21 = p - 2
+    }
+
+    /// `self^((p-5)/8) = self^(2^252 - 3)`, used by `sqrt_ratio_i`.
+    fn pow_p58(&self) -> FieldElement {
+        let (t19, _) = self.pow22501();
+        let t20 = t19.pow2k(2); // 2^252 - 4
+        self.mul(&t20) // 2^252 - 3
+    }
+
+    /// Generic (variable-time) exponentiation by a 256-bit little-endian
+    /// exponent.  Only used to derive public constants; never on secrets.
+    pub fn pow_vartime(&self, exp_le: &[u8; 32]) -> FieldElement {
+        let mut result = FieldElement::ONE;
+        for byte in exp_le.iter().rev() {
+            for bit in (0..8).rev() {
+                result = result.square();
+                if (byte >> bit) & 1 == 1 {
+                    result = result.mul(self);
+                }
+            }
+        }
+        result
+    }
+
+    /// True iff the canonical encoding's low bit is set (the "negative"
+    /// convention used by Ristretto).
+    pub fn is_negative(&self) -> bool {
+        self.to_bytes()[0] & 1 == 1
+    }
+
+    /// True iff this element is zero.
+    pub fn is_zero(&self) -> bool {
+        self.to_bytes() == [0u8; 32]
+    }
+
+    /// Constant-time-style select: returns `b` if `choice` is 1, else `a`.
+    pub fn select(a: &FieldElement, b: &FieldElement, choice: u64) -> FieldElement {
+        debug_assert!(choice == 0 || choice == 1);
+        let mask = choice.wrapping_neg(); // 0 or all-ones
+        let mut limbs = [0u64; 5];
+        for i in 0..5 {
+            limbs[i] = a.0[i] ^ (mask & (a.0[i] ^ b.0[i]));
+        }
+        FieldElement(limbs)
+    }
+
+    /// Negate iff `choice` is 1.
+    pub fn conditional_negate(&self, choice: u64) -> FieldElement {
+        Self::select(self, &self.neg(), choice)
+    }
+
+    /// Absolute value: negate iff negative.
+    pub fn abs(&self) -> FieldElement {
+        self.conditional_negate(self.is_negative() as u64)
+    }
+
+    /// Equality via canonical encodings.
+    pub fn ct_eq(&self, other: &FieldElement) -> bool {
+        crate::util::ct_bytes_eq(&self.to_bytes(), &other.to_bytes())
+    }
+
+    /// sqrt(-1) mod p, derived as `|2^((p-1)/4)|` (2 is a non-residue since
+    /// p = 5 mod 8, so the square of this is -1).  The draft-irtf
+    /// ristretto255 constant is the non-negative root, hence `abs`.
+    pub fn sqrt_m1() -> &'static FieldElement {
+        use std::sync::OnceLock;
+        static SQRT_M1: OnceLock<FieldElement> = OnceLock::new();
+        SQRT_M1.get_or_init(|| {
+            // exponent = (p-1)/4 = 2^253 - 5
+            let mut exp = [0xffu8; 32];
+            exp[0] = 0xfb; // 2^253 - 5 = ...fb in the lowest byte
+            exp[31] = 0x1f; // top byte: 2^253 -> 0x1f...
+            let two = FieldElement::from_u64(2);
+            two.pow_vartime(&exp).abs()
+        })
+    }
+
+    /// Computes `sqrt(u/v)` in the Ristretto convention.
+    ///
+    /// Returns `(was_square, r)` where:
+    /// - if `u/v` is square, `was_square = true` and `r = +sqrt(u/v)`;
+    /// - if `u/v` is non-square, `was_square = false` and
+    ///   `r = +sqrt(i*u/v)` (where `i = sqrt(-1)`);
+    /// - if `u = 0`, returns `(true, 0)`; if `v = 0` (and `u != 0`),
+    ///   returns `(false, 0)`.
+    ///
+    /// `r` is always non-negative.
+    pub fn sqrt_ratio_i(u: &FieldElement, v: &FieldElement) -> (bool, FieldElement) {
+        let v3 = v.square().mul(v);
+        let v7 = v3.square().mul(v);
+        let mut r = u.mul(&v3).mul(&u.mul(&v7).pow_p58());
+        let check = v.mul(&r.square());
+
+        let i = Self::sqrt_m1();
+        let correct_sign = check.ct_eq(u);
+        let flipped_sign = check.ct_eq(&u.neg());
+        let flipped_sign_i = check.ct_eq(&u.neg().mul(i));
+
+        let r_prime = i.mul(&r);
+        r = Self::select(&r, &r_prime, (flipped_sign || flipped_sign_i) as u64);
+        r = r.abs();
+
+        (correct_sign || flipped_sign, r)
+    }
+
+    /// `1/sqrt(self)` (Ristretto convention; see `sqrt_ratio_i`).
+    pub fn invsqrt(&self) -> (bool, FieldElement) {
+        Self::sqrt_ratio_i(&FieldElement::ONE, self)
+    }
+}
+
+impl PartialEq for FieldElement {
+    fn eq(&self, other: &Self) -> bool {
+        self.ct_eq(other)
+    }
+}
+impl Eq for FieldElement {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::{from_hex, to_hex};
+
+    fn fe(n: u64) -> FieldElement {
+        FieldElement::from_u64(n)
+    }
+
+    #[test]
+    fn one_plus_one() {
+        assert_eq!(fe(1).add(&fe(1)), fe(2));
+    }
+
+    #[test]
+    fn sub_wraps_mod_p() {
+        // 0 - 1 = p - 1
+        let p_minus_1 = fe(0).sub(&fe(1));
+        // p - 1 = 2^255 - 20: little-endian bytes ec ff .. ff 7f
+        let mut expect = [0xffu8; 32];
+        expect[0] = 0xec;
+        expect[31] = 0x7f;
+        assert_eq!(p_minus_1.to_bytes(), expect);
+    }
+
+    #[test]
+    fn to_bytes_is_canonical_for_p() {
+        // p itself must encode as zero.
+        let mut p_bytes = [0xffu8; 32];
+        p_bytes[0] = 0xed;
+        p_bytes[31] = 0x7f;
+        let p = FieldElement::from_bytes(&p_bytes);
+        assert_eq!(p.to_bytes(), [0u8; 32]);
+        assert!(p.is_zero());
+    }
+
+    #[test]
+    fn mul_small() {
+        assert_eq!(fe(3).mul(&fe(7)), fe(21));
+        assert_eq!(fe(0).mul(&fe(7)), fe(0));
+    }
+
+    #[test]
+    fn mul_matches_square() {
+        let x = fe(0xdead_beef_cafe);
+        assert_eq!(x.mul(&x), x.square());
+    }
+
+    #[test]
+    fn invert_roundtrip() {
+        let x = fe(1234567);
+        let xinv = x.invert();
+        assert_eq!(x.mul(&xinv), FieldElement::ONE);
+    }
+
+    #[test]
+    fn invert_zero_is_zero() {
+        assert_eq!(FieldElement::ZERO.invert(), FieldElement::ZERO);
+    }
+
+    #[test]
+    fn sqrt_m1_squares_to_minus_one() {
+        let i = FieldElement::sqrt_m1();
+        assert_eq!(i.square(), FieldElement::ONE.neg());
+        assert!(!i.is_negative());
+    }
+
+    #[test]
+    fn sqrt_m1_matches_rfc_draft_value() {
+        // draft-irtf-cfrg-ristretto255-decaf448: SQRT_M1 =
+        // 19681161376707505956807079304988542015446066515923890162744021073123829784752
+        // little-endian hex:
+        let expect = from_hex("b0a00e4a271beec478e42fad0618432fa7d7fb3d99004d2b0bdfc14f8024832b");
+        assert_eq!(to_hex(&FieldElement::sqrt_m1().to_bytes()), to_hex(&expect));
+    }
+
+    #[test]
+    fn sqrt_ratio_of_square() {
+        let u = fe(4);
+        let v = fe(1);
+        let (ok, r) = FieldElement::sqrt_ratio_i(&u, &v);
+        assert!(ok);
+        assert_eq!(r.square(), u);
+        assert!(!r.is_negative());
+    }
+
+    #[test]
+    fn sqrt_ratio_zero_u() {
+        let (ok, r) = FieldElement::sqrt_ratio_i(&FieldElement::ZERO, &fe(7));
+        assert!(ok);
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn sqrt_ratio_zero_v() {
+        let (ok, r) = FieldElement::sqrt_ratio_i(&fe(7), &FieldElement::ZERO);
+        assert!(!ok);
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn sqrt_ratio_nonsquare() {
+        // 2 is a non-residue mod p (p = 5 mod 8), so sqrt_ratio(2, 1) must
+        // report non-square and return sqrt(2*i).
+        let (ok, r) = FieldElement::sqrt_ratio_i(&fe(2), &FieldElement::ONE);
+        assert!(!ok);
+        let i = FieldElement::sqrt_m1();
+        assert_eq!(r.square(), fe(2).mul(i));
+    }
+
+    #[test]
+    fn abs_is_non_negative() {
+        let x = fe(0).sub(&fe(5));
+        assert!(!x.abs().is_negative());
+        // abs(-x) * abs(-x) = x^2
+        assert_eq!(x.abs().square(), x.square());
+    }
+
+    #[test]
+    fn select_picks_correctly() {
+        let a = fe(1);
+        let b = fe(2);
+        assert_eq!(FieldElement::select(&a, &b, 0), a);
+        assert_eq!(FieldElement::select(&a, &b, 1), b);
+    }
+
+    #[test]
+    fn from_bytes_ignores_top_bit() {
+        let mut b = [0u8; 32];
+        b[31] = 0x80;
+        assert!(FieldElement::from_bytes(&b).is_zero());
+    }
+
+    #[test]
+    fn distributivity_spot_check() {
+        let a = fe(0x1234_5678_9abc);
+        let b = fe(0xfedc_ba98);
+        let c = fe(0x1111_2222_3333);
+        let left = a.mul(&b.add(&c));
+        let right = a.mul(&b).add(&a.mul(&c));
+        assert_eq!(left, right);
+    }
+}

@@ -1,0 +1,100 @@
+//! Key pairs and Diffie-Hellman key exchange (`DH(g^a, b) = g^{ab}`).
+
+use rand::RngCore;
+
+use crate::kdf;
+use crate::ristretto::GroupElement;
+use crate::scalar::Scalar;
+
+/// A discrete-log key pair `(pk = g^sk, sk)`.
+#[derive(Clone, Copy, Debug)]
+pub struct KeyPair {
+    /// Secret exponent.
+    pub sk: Scalar,
+    /// Public group element `g^sk`.
+    pub pk: GroupElement,
+}
+
+impl KeyPair {
+    /// Generate a fresh key pair.
+    pub fn generate<R: RngCore + ?Sized>(rng: &mut R) -> KeyPair {
+        let sk = Scalar::random(rng);
+        KeyPair {
+            sk,
+            pk: GroupElement::base_mul(&sk),
+        }
+    }
+
+    /// Rebuild a key pair from a secret exponent.
+    pub fn from_secret(sk: Scalar) -> KeyPair {
+        KeyPair {
+            sk,
+            pk: GroupElement::base_mul(&sk),
+        }
+    }
+
+    /// `DH(pk, self.sk)`: the shared group element.
+    pub fn dh(&self, their_pk: &GroupElement) -> GroupElement {
+        their_pk.mul(&self.sk)
+    }
+}
+
+/// `DH(P, x) = P^x` — the paper's notation for key exchange.
+pub fn dh(public: &GroupElement, secret: &Scalar) -> GroupElement {
+    public.mul(secret)
+}
+
+/// Derive a 32-byte symmetric key directly from a DH exchange, bound to a
+/// usage label and context bytes.
+pub fn dh_symmetric_key(
+    public: &GroupElement,
+    secret: &Scalar,
+    label: &str,
+    context: &[u8],
+) -> [u8; 32] {
+    kdf::derive_from_dh(label, &dh(public, secret), context)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn keypair_is_consistent() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let kp = KeyPair::generate(&mut rng);
+        assert_eq!(kp.pk, GroupElement::base_mul(&kp.sk));
+        assert_eq!(KeyPair::from_secret(kp.sk).pk, kp.pk);
+    }
+
+    #[test]
+    fn dh_agreement() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let alice = KeyPair::generate(&mut rng);
+        let bob = KeyPair::generate(&mut rng);
+        assert_eq!(alice.dh(&bob.pk), bob.dh(&alice.pk));
+    }
+
+    #[test]
+    fn dh_symmetric_keys_agree() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let alice = KeyPair::generate(&mut rng);
+        let bob = KeyPair::generate(&mut rng);
+        let k1 = dh_symmetric_key(&bob.pk, &alice.sk, "msg", b"ctx");
+        let k2 = dh_symmetric_key(&alice.pk, &bob.sk, "msg", b"ctx");
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn distinct_keypairs_distinct_secrets() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = KeyPair::generate(&mut rng);
+        let b = KeyPair::generate(&mut rng);
+        assert_ne!(a.pk, b.pk);
+        let k1 = dh_symmetric_key(&b.pk, &a.sk, "l", b"");
+        let k2 = dh_symmetric_key(&b.pk, &a.sk, "l", b"x");
+        assert_ne!(k1, k2);
+    }
+}

@@ -1,0 +1,348 @@
+//! Non-interactive zero-knowledge proofs used by XRD:
+//!
+//! * [`SchnorrProof`] — knowledge of discrete log (`log_B X`), used by
+//!   users to prove knowledge of the exponent of their per-message
+//!   Diffie-Hellman key (§6.2 step 2) and by servers for their key pairs
+//!   (§6.1).
+//! * [`DleqProof`] — discrete-log equality (`log_{B1} X1 = log_{B2} X2`),
+//!   the Chaum–Pedersen proof used in AHS mixing (§6.3 step 3) and
+//!   throughout the blame protocol (§6.4).
+//!
+//! Both are made non-interactive with a Fiat–Shamir [`Transcript`]; every
+//! proof binds all public inputs plus a caller-supplied context (round
+//! number, chain id, ...), so proofs cannot be replayed across contexts.
+
+use rand::RngCore;
+
+use crate::ristretto::GroupElement;
+use crate::scalar::Scalar;
+use crate::transcript::Transcript;
+
+/// Proof of knowledge of `x` such that `X = B^x`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SchnorrProof {
+    /// Commitment `R = B^r`.
+    pub commitment: [u8; 32],
+    /// Response `z = r + c*x`.
+    pub response: Scalar,
+}
+
+/// Serialized length of a Schnorr proof.
+pub const SCHNORR_PROOF_LEN: usize = 64;
+
+impl SchnorrProof {
+    /// Prove knowledge of `x` with `X = B^x`.
+    pub fn prove<R: RngCore + ?Sized>(
+        rng: &mut R,
+        context: &[u8],
+        base: &GroupElement,
+        public: &GroupElement,
+        x: &Scalar,
+    ) -> SchnorrProof {
+        debug_assert!(GroupElement::base_mul(x) == *public || base.mul(x) == *public);
+        let r = Scalar::random(rng);
+        let commitment = base.mul(&r);
+        let c = Self::challenge(context, base, public, &commitment);
+        SchnorrProof {
+            commitment: commitment.encode(),
+            response: r.add(&c.mul(x)),
+        }
+    }
+
+    /// Verify the proof against `(B, X)` and the context.
+    pub fn verify(&self, context: &[u8], base: &GroupElement, public: &GroupElement) -> bool {
+        let commitment = match GroupElement::decode(&self.commitment) {
+            Some(p) => p,
+            None => return false,
+        };
+        let c = Self::challenge(context, base, public, &commitment);
+        // B^z == R * X^c
+        base.mul(&self.response) == commitment.add(&public.mul(&c))
+    }
+
+    fn challenge(
+        context: &[u8],
+        base: &GroupElement,
+        public: &GroupElement,
+        commitment: &GroupElement,
+    ) -> Scalar {
+        let mut t = Transcript::new("xrd/schnorr-pok");
+        t.append("context", context);
+        t.append("base", &base.encode());
+        t.append("public", &public.encode());
+        t.append("commitment", &commitment.encode());
+        t.challenge_scalar("c")
+    }
+
+    /// Serialize to 64 bytes.
+    pub fn to_bytes(&self) -> [u8; SCHNORR_PROOF_LEN] {
+        let mut out = [0u8; SCHNORR_PROOF_LEN];
+        out[..32].copy_from_slice(&self.commitment);
+        out[32..].copy_from_slice(&self.response.to_bytes());
+        out
+    }
+
+    /// Parse from 64 bytes (structure check only; cryptographic checks
+    /// happen in `verify`).
+    pub fn from_bytes(bytes: &[u8]) -> Option<SchnorrProof> {
+        if bytes.len() != SCHNORR_PROOF_LEN {
+            return None;
+        }
+        let mut commitment = [0u8; 32];
+        commitment.copy_from_slice(&bytes[..32]);
+        let mut resp = [0u8; 32];
+        resp.copy_from_slice(&bytes[32..]);
+        Some(SchnorrProof {
+            commitment,
+            response: Scalar::from_canonical_bytes(&resp)?,
+        })
+    }
+}
+
+/// Chaum–Pedersen proof that `log_{B1}(X1) = log_{B2}(X2)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DleqProof {
+    /// Commitment `R1 = B1^r`.
+    pub commitment1: [u8; 32],
+    /// Commitment `R2 = B2^r`.
+    pub commitment2: [u8; 32],
+    /// Response `z = r + c*x`.
+    pub response: Scalar,
+}
+
+/// Serialized length of a DLEQ proof.
+pub const DLEQ_PROOF_LEN: usize = 96;
+
+impl DleqProof {
+    /// Prove `X1 = B1^x` and `X2 = B2^x` for the same secret `x`.
+    pub fn prove<R: RngCore + ?Sized>(
+        rng: &mut R,
+        context: &[u8],
+        base1: &GroupElement,
+        public1: &GroupElement,
+        base2: &GroupElement,
+        public2: &GroupElement,
+        x: &Scalar,
+    ) -> DleqProof {
+        let r = Scalar::random(rng);
+        let c1 = base1.mul(&r);
+        let c2 = base2.mul(&r);
+        let c = Self::challenge(context, base1, public1, base2, public2, &c1, &c2);
+        DleqProof {
+            commitment1: c1.encode(),
+            commitment2: c2.encode(),
+            response: r.add(&c.mul(x)),
+        }
+    }
+
+    /// Verify against the two base/public pairs and context.
+    pub fn verify(
+        &self,
+        context: &[u8],
+        base1: &GroupElement,
+        public1: &GroupElement,
+        base2: &GroupElement,
+        public2: &GroupElement,
+    ) -> bool {
+        let (r1, r2) = match (
+            GroupElement::decode(&self.commitment1),
+            GroupElement::decode(&self.commitment2),
+        ) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return false,
+        };
+        let c = Self::challenge(context, base1, public1, base2, public2, &r1, &r2);
+        base1.mul(&self.response) == r1.add(&public1.mul(&c))
+            && base2.mul(&self.response) == r2.add(&public2.mul(&c))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn challenge(
+        context: &[u8],
+        base1: &GroupElement,
+        public1: &GroupElement,
+        base2: &GroupElement,
+        public2: &GroupElement,
+        c1: &GroupElement,
+        c2: &GroupElement,
+    ) -> Scalar {
+        let mut t = Transcript::new("xrd/chaum-pedersen-dleq");
+        t.append("context", context);
+        t.append("base1", &base1.encode());
+        t.append("public1", &public1.encode());
+        t.append("base2", &base2.encode());
+        t.append("public2", &public2.encode());
+        t.append("commitment1", &c1.encode());
+        t.append("commitment2", &c2.encode());
+        t.challenge_scalar("c")
+    }
+
+    /// Serialize to 96 bytes.
+    pub fn to_bytes(&self) -> [u8; DLEQ_PROOF_LEN] {
+        let mut out = [0u8; DLEQ_PROOF_LEN];
+        out[..32].copy_from_slice(&self.commitment1);
+        out[32..64].copy_from_slice(&self.commitment2);
+        out[64..].copy_from_slice(&self.response.to_bytes());
+        out
+    }
+
+    /// Parse from 96 bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Option<DleqProof> {
+        if bytes.len() != DLEQ_PROOF_LEN {
+            return None;
+        }
+        let mut c1 = [0u8; 32];
+        c1.copy_from_slice(&bytes[..32]);
+        let mut c2 = [0u8; 32];
+        c2.copy_from_slice(&bytes[32..64]);
+        let mut resp = [0u8; 32];
+        resp.copy_from_slice(&bytes[64..]);
+        Some(DleqProof {
+            commitment1: c1,
+            commitment2: c2,
+            response: Scalar::from_canonical_bytes(&resp)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn schnorr_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Scalar::random(&mut rng);
+        let g = GroupElement::generator();
+        let gx = GroupElement::base_mul(&x);
+        let proof = SchnorrProof::prove(&mut rng, b"ctx", &g, &gx, &x);
+        assert!(proof.verify(b"ctx", &g, &gx));
+    }
+
+    #[test]
+    fn schnorr_nonstandard_base() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let base = GroupElement::random(&mut rng);
+        let x = Scalar::random(&mut rng);
+        let public = base.mul(&x);
+        let proof = SchnorrProof::prove(&mut rng, b"ctx", &base, &public, &x);
+        assert!(proof.verify(b"ctx", &base, &public));
+        // Wrong base fails.
+        assert!(!proof.verify(b"ctx", &GroupElement::generator(), &public));
+    }
+
+    #[test]
+    fn schnorr_rejects_wrong_context() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Scalar::random(&mut rng);
+        let g = GroupElement::generator();
+        let gx = GroupElement::base_mul(&x);
+        let proof = SchnorrProof::prove(&mut rng, b"round-1", &g, &gx, &x);
+        assert!(!proof.verify(b"round-2", &g, &gx));
+    }
+
+    #[test]
+    fn schnorr_rejects_wrong_statement() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = Scalar::random(&mut rng);
+        let g = GroupElement::generator();
+        let gx = GroupElement::base_mul(&x);
+        let gy = GroupElement::base_mul(&Scalar::random(&mut rng));
+        let proof = SchnorrProof::prove(&mut rng, b"c", &g, &gx, &x);
+        assert!(!proof.verify(b"c", &g, &gy));
+    }
+
+    #[test]
+    fn schnorr_serialization_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Scalar::random(&mut rng);
+        let g = GroupElement::generator();
+        let gx = GroupElement::base_mul(&x);
+        let proof = SchnorrProof::prove(&mut rng, b"c", &g, &gx, &x);
+        let parsed = SchnorrProof::from_bytes(&proof.to_bytes()).unwrap();
+        assert_eq!(parsed, proof);
+        assert!(parsed.verify(b"c", &g, &gx));
+        assert!(SchnorrProof::from_bytes(&[0u8; 63]).is_none());
+    }
+
+    #[test]
+    fn schnorr_tampered_proof_fails() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let x = Scalar::random(&mut rng);
+        let g = GroupElement::generator();
+        let gx = GroupElement::base_mul(&x);
+        let proof = SchnorrProof::prove(&mut rng, b"c", &g, &gx, &x);
+        let mut tampered = proof;
+        tampered.response = proof.response.add(&Scalar::ONE);
+        assert!(!tampered.verify(b"c", &g, &gx));
+    }
+
+    #[test]
+    fn dleq_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = Scalar::random(&mut rng);
+        let b1 = GroupElement::random(&mut rng);
+        let b2 = GroupElement::random(&mut rng);
+        let p1 = b1.mul(&x);
+        let p2 = b2.mul(&x);
+        let proof = DleqProof::prove(&mut rng, b"ctx", &b1, &p1, &b2, &p2, &x);
+        assert!(proof.verify(b"ctx", &b1, &p1, &b2, &p2));
+    }
+
+    #[test]
+    fn dleq_rejects_unequal_exponents() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let x = Scalar::random(&mut rng);
+        let y = Scalar::random(&mut rng);
+        let b1 = GroupElement::random(&mut rng);
+        let b2 = GroupElement::random(&mut rng);
+        let p1 = b1.mul(&x);
+        let p2 = b2.mul(&y); // different exponent!
+        let proof = DleqProof::prove(&mut rng, b"c", &b1, &p1, &b2, &p2, &x);
+        assert!(!proof.verify(b"c", &b1, &p1, &b2, &p2));
+    }
+
+    #[test]
+    fn dleq_rejects_wrong_context() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = Scalar::random(&mut rng);
+        let b1 = GroupElement::generator();
+        let b2 = GroupElement::random(&mut rng);
+        let proof = DleqProof::prove(&mut rng, b"a", &b1, &b1.mul(&x), &b2, &b2.mul(&x), &x);
+        assert!(!proof.verify(b"b", &b1, &b1.mul(&x), &b2, &b2.mul(&x)));
+    }
+
+    #[test]
+    fn dleq_serialization_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let x = Scalar::random(&mut rng);
+        let b1 = GroupElement::generator();
+        let b2 = GroupElement::random(&mut rng);
+        let p1 = b1.mul(&x);
+        let p2 = b2.mul(&x);
+        let proof = DleqProof::prove(&mut rng, b"c", &b1, &p1, &b2, &p2, &x);
+        let parsed = DleqProof::from_bytes(&proof.to_bytes()).unwrap();
+        assert_eq!(parsed, proof);
+        assert!(parsed.verify(b"c", &b1, &p1, &b2, &p2));
+        assert!(DleqProof::from_bytes(&[0u8; 95]).is_none());
+    }
+
+    #[test]
+    fn dleq_aggregate_usage_pattern() {
+        // The AHS usage: prove (prod X_i)^bsk = prod X_{i+1} against
+        // base pair (bpk_{i-1}, bpk_i).
+        let mut rng = StdRng::seed_from_u64(11);
+        let bsk = Scalar::random(&mut rng);
+        let bpk_prev = GroupElement::random(&mut rng);
+        let bpk = bpk_prev.mul(&bsk);
+        let xs: Vec<GroupElement> = (0..10).map(|_| GroupElement::random(&mut rng)).collect();
+        let blinded: Vec<GroupElement> = xs.iter().map(|x| x.mul(&bsk)).collect();
+        let prod_in = GroupElement::product(&xs);
+        let prod_out = GroupElement::product(&blinded);
+        let proof =
+            DleqProof::prove(&mut rng, b"ahs", &prod_in, &prod_out, &bpk_prev, &bpk, &bsk);
+        assert!(proof.verify(b"ahs", &prod_in, &prod_out, &bpk_prev, &bpk));
+    }
+}

@@ -1,0 +1,268 @@
+//! The Poly1305 one-time authenticator (RFC 8439), from scratch, using a
+//! five-limb radix-2^26 representation.
+
+/// Poly1305 MAC state.
+pub struct Poly1305 {
+    /// Clamped `r`, radix 2^26.
+    r: [u32; 5],
+    /// `s` (the final added secret), four 32-bit words.
+    s: [u32; 4],
+    /// Accumulator, radix 2^26.
+    h: [u32; 5],
+    buf: [u8; 16],
+    buf_len: usize,
+}
+
+impl Poly1305 {
+    /// Initialize with a 32-byte one-time key `(r, s)`.
+    pub fn new(key: &[u8; 32]) -> Poly1305 {
+        let load = crate::util::load_u32_le;
+        // Clamp r per the RFC.
+        let t0 = load(&key[0..4]);
+        let t1 = load(&key[4..8]);
+        let t2 = load(&key[8..12]);
+        let t3 = load(&key[12..16]);
+        let r = [
+            t0 & 0x03ffffff,
+            ((t0 >> 26) | (t1 << 6)) & 0x03ffff03,
+            ((t1 >> 20) | (t2 << 12)) & 0x03ffc0ff,
+            ((t2 >> 14) | (t3 << 18)) & 0x03f03fff,
+            (t3 >> 8) & 0x000fffff,
+        ];
+        let s = [
+            load(&key[16..20]),
+            load(&key[20..24]),
+            load(&key[24..28]),
+            load(&key[28..32]),
+        ];
+        Poly1305 {
+            r,
+            s,
+            h: [0; 5],
+            buf: [0; 16],
+            buf_len: 0,
+        }
+    }
+
+    /// Process one 16-byte block; `final_bit` is 1 for full blocks and
+    /// placed past the end for partial final blocks by the caller.
+    fn block(&mut self, block: &[u8; 16], partial_len: Option<usize>) {
+        let load = crate::util::load_u32_le;
+        let t0 = load(&block[0..4]);
+        let t1 = load(&block[4..8]);
+        let t2 = load(&block[8..12]);
+        let t3 = load(&block[12..16]);
+
+        // Append the message block plus the 2^(8*len) pad bit.
+        let hibit: u32 = if partial_len.is_some() { 0 } else { 1 << 24 };
+        self.h[0] = self.h[0].wrapping_add(t0 & 0x03ffffff);
+        self.h[1] = self.h[1].wrapping_add(((t0 >> 26) | (t1 << 6)) & 0x03ffffff);
+        self.h[2] = self.h[2].wrapping_add(((t1 >> 20) | (t2 << 12)) & 0x03ffffff);
+        self.h[3] = self.h[3].wrapping_add(((t2 >> 14) | (t3 << 18)) & 0x03ffffff);
+        self.h[4] = self.h[4].wrapping_add((t3 >> 8) | hibit);
+
+        // h *= r (mod 2^130 - 5)
+        let r = &self.r;
+        let h = &self.h;
+        let s1 = r[1] * 5;
+        let s2 = r[2] * 5;
+        let s3 = r[3] * 5;
+        let s4 = r[4] * 5;
+        let m = |a: u32, b: u32| (a as u64) * (b as u64);
+
+        let d0 = m(h[0], r[0]) + m(h[1], s4) + m(h[2], s3) + m(h[3], s2) + m(h[4], s1);
+        let d1 = m(h[0], r[1]) + m(h[1], r[0]) + m(h[2], s4) + m(h[3], s3) + m(h[4], s2);
+        let d2 = m(h[0], r[2]) + m(h[1], r[1]) + m(h[2], r[0]) + m(h[3], s4) + m(h[4], s3);
+        let d3 = m(h[0], r[3]) + m(h[1], r[2]) + m(h[2], r[1]) + m(h[3], r[0]) + m(h[4], s4);
+        let d4 = m(h[0], r[4]) + m(h[1], r[3]) + m(h[2], r[2]) + m(h[3], r[1]) + m(h[4], r[0]);
+
+        // Carry propagation.
+        let mut c: u64;
+        let mut d = [d0, d1, d2, d3, d4];
+        c = d[0] >> 26;
+        self.h[0] = (d[0] as u32) & 0x03ffffff;
+        d[1] += c;
+        c = d[1] >> 26;
+        self.h[1] = (d[1] as u32) & 0x03ffffff;
+        d[2] += c;
+        c = d[2] >> 26;
+        self.h[2] = (d[2] as u32) & 0x03ffffff;
+        d[3] += c;
+        c = d[3] >> 26;
+        self.h[3] = (d[3] as u32) & 0x03ffffff;
+        d[4] += c;
+        c = d[4] >> 26;
+        self.h[4] = (d[4] as u32) & 0x03ffffff;
+        self.h[0] += (c as u32) * 5;
+        let c2 = self.h[0] >> 26;
+        self.h[0] &= 0x03ffffff;
+        self.h[1] += c2;
+    }
+
+    /// Absorb message bytes.
+    pub fn update(&mut self, mut data: &[u8]) -> &mut Self {
+        if self.buf_len > 0 {
+            let take = (16 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 16 {
+                let block = self.buf;
+                self.block(&block, None);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 16 {
+            let mut block = [0u8; 16];
+            block.copy_from_slice(&data[..16]);
+            self.block(&block, None);
+            data = &data[16..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+        self
+    }
+
+    /// Finish and produce the 16-byte tag.
+    pub fn finalize(mut self) -> [u8; 16] {
+        if self.buf_len > 0 {
+            // Pad the partial block with the 0x01 byte then zeros; the
+            // hibit is then *not* added in `block`.
+            let mut block = [0u8; 16];
+            block[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+            block[self.buf_len] = 1;
+            let len = self.buf_len;
+            self.block(&block, Some(len));
+        }
+
+        // Full reduction of h mod 2^130 - 5.
+        let mut h = self.h;
+        let mut c = h[1] >> 26;
+        h[1] &= 0x03ffffff;
+        h[2] += c;
+        c = h[2] >> 26;
+        h[2] &= 0x03ffffff;
+        h[3] += c;
+        c = h[3] >> 26;
+        h[3] &= 0x03ffffff;
+        h[4] += c;
+        c = h[4] >> 26;
+        h[4] &= 0x03ffffff;
+        h[0] += c * 5;
+        c = h[0] >> 26;
+        h[0] &= 0x03ffffff;
+        h[1] += c;
+
+        // Compute h + -p = h - (2^130 - 5) and select it if non-negative.
+        let mut g = [0u32; 5];
+        let mut carry = 5u32;
+        for i in 0..4 {
+            let t = h[i].wrapping_add(carry);
+            carry = t >> 26;
+            g[i] = t & 0x03ffffff;
+        }
+        let t = h[4].wrapping_add(carry).wrapping_sub(1 << 26);
+        g[4] = t;
+        let underflow = (t >> 31) & 1; // 1 if h < p
+        let mask = underflow.wrapping_sub(1); // all-ones if h >= p
+        for i in 0..5 {
+            h[i] = (h[i] & !mask) | (g[i] & mask);
+        }
+        // g[4] may have had its high bits set from the wrapping sub; mask.
+        h[4] &= 0x03ffffff;
+
+        // Serialize h to 128 bits and add s mod 2^128.
+        let h0 = h[0] | (h[1] << 26);
+        let h1 = (h[1] >> 6) | (h[2] << 20);
+        let h2 = (h[2] >> 12) | (h[3] << 14);
+        let h3 = (h[3] >> 18) | (h[4] << 8);
+
+        let mut acc: u64;
+        let mut out = [0u8; 16];
+        acc = h0 as u64 + self.s[0] as u64;
+        out[0..4].copy_from_slice(&(acc as u32).to_le_bytes());
+        acc = h1 as u64 + self.s[1] as u64 + (acc >> 32);
+        out[4..8].copy_from_slice(&(acc as u32).to_le_bytes());
+        acc = h2 as u64 + self.s[2] as u64 + (acc >> 32);
+        out[8..12].copy_from_slice(&(acc as u32).to_le_bytes());
+        acc = h3 as u64 + self.s[3] as u64 + (acc >> 32);
+        out[12..16].copy_from_slice(&(acc as u32).to_le_bytes());
+        out
+    }
+}
+
+/// One-shot Poly1305 MAC.
+pub fn poly1305_mac(key: &[u8; 32], data: &[u8]) -> [u8; 16] {
+    let mut p = Poly1305::new(key);
+    p.update(data);
+    p.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::{from_hex, to_hex};
+
+    #[test]
+    fn rfc8439_vector() {
+        // RFC 8439 §2.5.2.
+        let key_bytes =
+            from_hex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+        let mut key = [0u8; 32];
+        key.copy_from_slice(&key_bytes);
+        let tag = poly1305_mac(&key, b"Cryptographic Forum Research Group");
+        assert_eq!(to_hex(&tag), "a8061dc1305136c6c22b8baf0c0127a9");
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let key = [3u8; 32];
+        let data: Vec<u8> = (0..200u32).map(|x| (x * 7) as u8).collect();
+        let expect = poly1305_mac(&key, &data);
+        let mut p = Poly1305::new(&key);
+        for chunk in data.chunks(7) {
+            p.update(chunk);
+        }
+        assert_eq!(p.finalize(), expect);
+    }
+
+    #[test]
+    fn empty_message() {
+        let key = [1u8; 32];
+        // Tag of empty message is just `s`.
+        let tag = poly1305_mac(&key, b"");
+        assert_eq!(&tag, &key[16..32]);
+    }
+
+    #[test]
+    fn exact_block_multiple() {
+        let key = [9u8; 32];
+        let a = poly1305_mac(&key, &[0u8; 32]);
+        let b = poly1305_mac(&key, &[0u8; 33]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn tag_depends_on_every_byte() {
+        let key = [5u8; 32];
+        let mut msg = vec![0u8; 48];
+        let base = poly1305_mac(&key, &msg);
+        for i in 0..48 {
+            msg[i] ^= 1;
+            assert_ne!(poly1305_mac(&key, &msg), base, "byte {i} ignored");
+            msg[i] ^= 1;
+        }
+    }
+
+    /// Degenerate full-reduction case: h lands exactly on p.
+    #[test]
+    fn reduction_edge_values() {
+        // r = 0 makes the polynomial collapse; tag must still be s.
+        let mut key = [0u8; 32];
+        key[16..].copy_from_slice(&[0xffu8; 16]);
+        let tag = poly1305_mac(&key, b"whatever message content");
+        assert_eq!(&tag, &[0xffu8; 16]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Small shared helpers: little-endian load/store and hex (for tests and
+//! debugging output).
+
+/// Load 8 little-endian bytes as a `u64`.
+#[inline(always)]
+pub fn load_u64_le(bytes: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[..8]);
+    u64::from_le_bytes(b)
+}
+
+/// Load 4 little-endian bytes as a `u32`.
+#[inline(always)]
+pub fn load_u32_le(bytes: &[u8]) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&bytes[..4]);
+    u32::from_le_bytes(b)
+}
+
+/// Encode bytes as lowercase hex.
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Decode a lowercase/uppercase hex string; panics on malformed input
+/// (intended for test vectors and fixed constants only).
+pub fn from_hex(s: &str) -> Vec<u8> {
+    assert!(s.len().is_multiple_of(2), "hex string must have even length");
+    (0..s.len() / 2)
+        .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).expect("invalid hex"))
+        .collect()
+}
+
+/// Constant-time byte-slice equality (same length required).
+pub fn ct_bytes_eq(a: &[u8], b: &[u8]) -> bool {
+    assert_eq!(a.len(), b.len());
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        let data = [0x00u8, 0x01, 0xab, 0xff, 0x7f];
+        assert_eq!(from_hex(&to_hex(&data)), data);
+    }
+
+    #[test]
+    fn load_le() {
+        let bytes = [1u8, 0, 0, 0, 0, 0, 0, 0x80];
+        assert_eq!(load_u64_le(&bytes), 0x8000_0000_0000_0001);
+        assert_eq!(load_u32_le(&bytes[..4]), 1);
+    }
+
+    #[test]
+    fn ct_eq_works() {
+        assert!(ct_bytes_eq(b"abc", b"abc"));
+        assert!(!ct_bytes_eq(b"abc", b"abd"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Property-based tests over the crypto substrate's algebraic laws and
+//! serialization invariants.
+
+use proptest::prelude::*;
+
+use xrd_crypto::field::FieldElement;
+use xrd_crypto::ristretto::GroupElement;
+use xrd_crypto::scalar::Scalar;
+use xrd_crypto::{adec, aenc, round_nonce, Blake2b};
+
+fn arb_scalar() -> impl Strategy<Value = Scalar> {
+    prop::array::uniform32(any::<u8>())
+        .prop_map(|bytes| Scalar::from_bytes_mod_order(&bytes))
+}
+
+fn arb_field() -> impl Strategy<Value = FieldElement> {
+    prop::array::uniform32(any::<u8>()).prop_map(|b| FieldElement::from_bytes(&b))
+}
+
+fn arb_point() -> impl Strategy<Value = GroupElement> {
+    prop::array::uniform32(any::<u8>()).prop_flat_map(|b| {
+        let mut wide = [0u8; 64];
+        wide[..32].copy_from_slice(&b);
+        wide[32..].copy_from_slice(&b);
+        Just(GroupElement::from_uniform_bytes(&wide))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- field laws ----
+
+    #[test]
+    fn field_add_commutes(a in arb_field(), b in arb_field()) {
+        prop_assert!(a.add(&b) == b.add(&a));
+    }
+
+    #[test]
+    fn field_mul_associates(a in arb_field(), b in arb_field(), c in arb_field()) {
+        prop_assert!(a.mul(&b).mul(&c) == a.mul(&b.mul(&c)));
+    }
+
+    #[test]
+    fn field_distributes(a in arb_field(), b in arb_field(), c in arb_field()) {
+        prop_assert!(a.mul(&b.add(&c)) == a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn field_sub_then_add_roundtrips(a in arb_field(), b in arb_field()) {
+        prop_assert!(a.sub(&b).add(&b) == a);
+    }
+
+    #[test]
+    fn field_invert_is_inverse(a in arb_field()) {
+        prop_assume!(!a.is_zero());
+        prop_assert!(a.mul(&a.invert()) == FieldElement::ONE);
+    }
+
+    #[test]
+    fn field_bytes_roundtrip_canonical(a in arb_field()) {
+        let bytes = a.to_bytes();
+        let again = FieldElement::from_bytes(&bytes);
+        prop_assert!(a == again);
+        // Encoding is canonical: re-serializing is a fixpoint.
+        prop_assert_eq!(again.to_bytes(), bytes);
+        // Top bit always clear (values < 2^255).
+        prop_assert_eq!(bytes[31] & 0x80, 0);
+    }
+
+    #[test]
+    fn field_sqrt_ratio_consistent(a in arb_field()) {
+        prop_assume!(!a.is_zero());
+        let sq = a.square();
+        let (ok, r) = FieldElement::sqrt_ratio_i(&sq, &FieldElement::ONE);
+        prop_assert!(ok);
+        prop_assert!(r.square() == sq);
+        prop_assert!(!r.is_negative());
+    }
+
+    // ---- scalar laws ----
+
+    #[test]
+    fn scalar_ring_laws(a in arb_scalar(), b in arb_scalar(), c in arb_scalar()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+        prop_assert_eq!(a.sub(&a), Scalar::ZERO);
+    }
+
+    #[test]
+    fn scalar_invert(a in arb_scalar()) {
+        prop_assume!(!a.is_zero());
+        prop_assert_eq!(a.mul(&a.invert()), Scalar::ONE);
+    }
+
+    #[test]
+    fn scalar_bytes_roundtrip(a in arb_scalar()) {
+        prop_assert_eq!(Scalar::from_canonical_bytes(&a.to_bytes()), Some(a));
+    }
+
+    #[test]
+    fn scalar_wide_reduction_matches_split(bytes in prop::array::uniform32(any::<u8>())) {
+        // from_wide(x || 0) == from_bytes_mod_order(x)
+        let mut wide = [0u8; 64];
+        wide[..32].copy_from_slice(&bytes);
+        prop_assert_eq!(
+            Scalar::from_bytes_mod_order_wide(&wide),
+            Scalar::from_bytes_mod_order(&bytes)
+        );
+    }
+
+    // ---- group laws ----
+
+    #[test]
+    fn group_encoding_roundtrips(p in arb_point()) {
+        let enc = p.encode();
+        let q = GroupElement::decode(&enc).expect("valid encoding decodes");
+        prop_assert!(p == q);
+        prop_assert_eq!(q.encode(), enc);
+    }
+
+    #[test]
+    fn group_scalar_mul_is_homomorphic(p in arb_point(), a in arb_scalar(), b in arb_scalar()) {
+        prop_assert!(p.mul(&a.add(&b)) == p.mul(&a).add(&p.mul(&b)));
+    }
+
+    #[test]
+    fn group_add_commutes_and_cancels(p in arb_point(), q in arb_point()) {
+        prop_assert!(p.add(&q) == q.add(&p));
+        prop_assert!(p.add(&q).sub(&q) == p);
+    }
+
+    #[test]
+    fn blinding_is_invertible(p in arb_point(), bsk in arb_scalar()) {
+        // The AHS blinding operation and its algebraic inverse.
+        prop_assume!(!bsk.is_zero());
+        prop_assert!(p.mul(&bsk).mul(&bsk.invert()) == p);
+    }
+
+    // ---- AEAD ----
+
+    #[test]
+    fn aead_never_confuses_keys(
+        key1 in prop::array::uniform32(any::<u8>()),
+        key2 in prop::array::uniform32(any::<u8>()),
+        payload in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        prop_assume!(key1 != key2);
+        let nonce = round_nonce(0, 0);
+        let sealed = aenc(&key1, &nonce, b"", &payload);
+        prop_assert!(adec(&key2, &nonce, b"", &sealed).is_none());
+    }
+
+    #[test]
+    fn aead_binds_aad(
+        key in prop::array::uniform32(any::<u8>()),
+        aad1 in prop::collection::vec(any::<u8>(), 0..16),
+        aad2 in prop::collection::vec(any::<u8>(), 0..16),
+        payload in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        prop_assume!(aad1 != aad2);
+        let nonce = round_nonce(0, 0);
+        let sealed = aenc(&key, &nonce, &aad1, &payload);
+        prop_assert!(adec(&key, &nonce, &aad2, &sealed).is_none());
+    }
+
+    // ---- hash ----
+
+    #[test]
+    fn blake2b_incremental_equals_oneshot(
+        data in prop::collection::vec(any::<u8>(), 0..512),
+        split in any::<prop::sample::Index>(),
+    ) {
+        let i = split.index(data.len() + 1);
+        let mut h = Blake2b::new(32);
+        h.update(&data[..i]);
+        h.update(&data[i..]);
+        let mut whole = Blake2b::new(32);
+        whole.update(&data);
+        prop_assert_eq!(h.finalize(), whole.finalize());
+    }
+}

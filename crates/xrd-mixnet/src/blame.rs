@@ -1,0 +1,537 @@
+//! The blame protocol (§6.4).
+//!
+//! When a server finds a ciphertext that fails authenticated decryption,
+//! it accuses: upstream servers then reveal, for that one message slot,
+//! their input `(X_i, c_i)`, a DLEQ proof that they blinded the key
+//! correctly, and their decryption key `(X_i)^{msk_i}` with a DLEQ proof
+//! of its correctness.  Everyone re-executes the decryption chain from
+//! the user's original submission down to the problem ciphertext:
+//!
+//! * if every link verifies, the **user** who submitted the original
+//!   ciphertext is malicious (the outer ciphertext acts as a commitment
+//!   to all layers), and is removed;
+//! * if some server cannot produce a consistent link, that **server** is
+//!   identified as the misbehaving party.
+//!
+//! Privacy is preserved throughout: only the single problem slot is
+//! traced, and the revealed ciphertexts stay encrypted under the honest
+//! server's mixing or inner keys (see §6.4's analysis).
+
+use rand::RngCore;
+
+use xrd_crypto::aead::{adec, round_nonce};
+use xrd_crypto::nizk::DleqProof;
+use xrd_crypto::ristretto::GroupElement;
+
+use crate::chain_keys::ChainPublicKeys;
+use crate::client::{outer_layer_key, Submission};
+use crate::message::{domain_outer, MixEntry};
+use crate::server::MixServer;
+
+/// One upstream server's revelation for a problem slot.
+#[derive(Clone, Debug)]
+pub struct BlameReveal {
+    /// Hop position of the revealing server.
+    pub position: usize,
+    /// Index of the revealed entry in this server's *input* order.
+    pub input_index: usize,
+    /// The input entry `(X_i, c_i)` for the traced slot.
+    pub input: MixEntry,
+    /// The blinded key `X_{i+1}` this server produced for the slot.
+    pub output_dh: GroupElement,
+    /// Proof that `output_dh = input.dh^{bsk_i}` (step 1 of §6.4).
+    pub blind_proof: DleqProof,
+    /// The decryption key `input.dh^{msk_i}` (step 2 of §6.4).
+    pub dec_key: GroupElement,
+    /// Proof that `dec_key` was computed with the real `msk_i`.
+    pub key_proof: DleqProof,
+}
+
+/// The accusing server's opening move: the problem entry plus its own
+/// decryption key and proof (step 4 of §6.4).
+#[derive(Clone, Debug)]
+pub struct Accusation {
+    /// Hop position of the accuser.
+    pub position: usize,
+    /// Index of the problem entry in the accuser's input order.
+    pub input_index: usize,
+    /// The problem entry `(X_h, c_h)`.
+    pub entry: MixEntry,
+    /// `entry.dh^{msk_h}`.
+    pub dec_key: GroupElement,
+    /// DLEQ proof for `dec_key`.
+    pub key_proof: DleqProof,
+}
+
+/// Outcome of the blame protocol for one problem slot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BlameVerdict {
+    /// The traced submission was malformed by its submitter; remove the
+    /// user at this submission index.
+    MaliciousUser {
+        /// Index into the round's submission list.
+        submission_index: usize,
+    },
+    /// A server failed to justify its processing of the slot.
+    ServerMisbehaved {
+        /// Hop position of the misbehaving server.
+        position: usize,
+    },
+}
+
+/// Context string for blame-protocol DLEQ proofs.
+pub fn blame_context(round: u64, position: usize) -> Vec<u8> {
+    let mut ctx = b"xrd/blame".to_vec();
+    ctx.extend_from_slice(&round.to_le_bytes());
+    ctx.extend_from_slice(&(position as u64).to_le_bytes());
+    ctx
+}
+
+impl MixServer {
+    /// Produce this server's revelation for the slot that exited this
+    /// server at output index `output_index`.
+    pub fn blame_reveal<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        output_index: usize,
+    ) -> Option<BlameReveal> {
+        let state = self.state()?;
+        let input_index = *state.perm.get(output_index)?;
+        let input = state.inputs[input_index].clone();
+        let output_dh = state.outputs[output_index].dh;
+        let position = self.position();
+        let ctx = blame_context(state.round, position);
+        let dec_key = input.dh.mul(&self.secrets().msk);
+        let blind_proof = DleqProof::prove(
+            rng,
+            &ctx,
+            &input.dh,
+            &output_dh,
+            self.public().blinding_base(position),
+            &self.public().bpks[position + 1],
+            &self.secrets().bsk,
+        );
+        let key_proof = DleqProof::prove(
+            rng,
+            &ctx,
+            &input.dh,
+            &dec_key,
+            self.public().blinding_base(position),
+            &self.public().mpks[position],
+            &self.secrets().msk,
+        );
+        Some(BlameReveal {
+            position,
+            input_index,
+            input,
+            output_dh,
+            blind_proof,
+            dec_key,
+            key_proof,
+        })
+    }
+
+    /// Open an accusation for a problem entry at `input_index` (the
+    /// accuser's own input order).
+    pub fn accuse<R: RngCore + ?Sized>(&self, rng: &mut R, input_index: usize) -> Option<Accusation> {
+        let state = self.state()?;
+        let entry = state.inputs.get(input_index)?.clone();
+        let position = self.position();
+        let ctx = blame_context(state.round, position);
+        let dec_key = entry.dh.mul(&self.secrets().msk);
+        let key_proof = DleqProof::prove(
+            rng,
+            &ctx,
+            &entry.dh,
+            &dec_key,
+            self.public().blinding_base(position),
+            &self.public().mpks[position],
+            &self.secrets().msk,
+        );
+        Some(Accusation {
+            position,
+            input_index,
+            entry,
+            dec_key,
+            key_proof,
+        })
+    }
+}
+
+/// Verify a [`BlameReveal`] against the chain public keys and the
+/// expected downstream values, returning the upstream `(X_i, c_i)` to
+/// continue the trace, or `None` if the reveal is inconsistent (server
+/// misbehaved).
+fn check_reveal(
+    public: &ChainPublicKeys,
+    round: u64,
+    reveal: &BlameReveal,
+    expected_dh: &GroupElement,
+    expected_ct: &[u8],
+) -> bool {
+    let ctx = blame_context(round, reveal.position);
+    // The revealed output key must match the downstream entry.
+    if reveal.output_dh != *expected_dh {
+        return false;
+    }
+    // Blinding correctness: X_{i+1} = X_i^{bsk_i}.
+    if !reveal.blind_proof.verify(
+        &ctx,
+        &reveal.input.dh,
+        &reveal.output_dh,
+        public.blinding_base(reveal.position),
+        &public.bpks[reveal.position + 1],
+    ) {
+        return false;
+    }
+    // Key correctness: dec_key = X_i^{msk_i}.
+    if !reveal.key_proof.verify(
+        &ctx,
+        &reveal.input.dh,
+        &reveal.dec_key,
+        public.blinding_base(reveal.position),
+        &public.mpks[reveal.position],
+    ) {
+        return false;
+    }
+    // Decryption correctness: ADec(dec_key, c_i) == c_{i+1}.
+    let key = outer_layer_key(&reveal.dec_key, round, reveal.position);
+    match adec(
+        &key,
+        &round_nonce(round, domain_outer(reveal.position)),
+        b"",
+        &reveal.input.ct,
+    ) {
+        Some(pt) => pt == expected_ct,
+        None => false,
+    }
+}
+
+/// Run the full blame protocol for one problem slot found by the server
+/// at `accuser_position` (input index `problem_index` in its order).
+///
+/// `servers` must contain the chain's servers in hop order with their
+/// retained round state; `submissions` is the agreed-upon input set.
+pub fn run_blame<R: RngCore + ?Sized>(
+    rng: &mut R,
+    public: &ChainPublicKeys,
+    servers: &[MixServer],
+    submissions: &[Submission],
+    round: u64,
+    accuser_position: usize,
+    problem_index: usize,
+) -> BlameVerdict {
+    let accuser = &servers[accuser_position];
+    let accusation = match accuser.accuse(rng, problem_index) {
+        Some(a) => a,
+        None => {
+            return BlameVerdict::ServerMisbehaved {
+                position: accuser_position,
+            }
+        }
+    };
+
+    // Step 4 (checked first; order does not matter for soundness): the
+    // accuser's key must be proven correct, and decryption must fail.
+    let ctx = blame_context(round, accuser_position);
+    let key_ok = accusation.key_proof.verify(
+        &ctx,
+        &accusation.entry.dh,
+        &accusation.dec_key,
+        public.blinding_base(accuser_position),
+        &public.mpks[accuser_position],
+    );
+    if !key_ok {
+        return BlameVerdict::ServerMisbehaved {
+            position: accuser_position,
+        };
+    }
+    let key = outer_layer_key(&accusation.dec_key, round, accuser_position);
+    if adec(
+        &key,
+        &round_nonce(round, domain_outer(accuser_position)),
+        b"",
+        &accusation.entry.ct,
+    )
+    .is_some()
+    {
+        // False accusation: the ciphertext decrypts fine.
+        return BlameVerdict::ServerMisbehaved {
+            position: accuser_position,
+        };
+    }
+
+    // Steps 1-3: walk upstream, verifying each server's link.
+    let mut expected_dh = accusation.entry.dh;
+    let mut expected_ct = accusation.entry.ct.clone();
+    let mut slot_index = accusation.input_index;
+    for position in (0..accuser_position).rev() {
+        let reveal = match servers[position].blame_reveal(rng, slot_index) {
+            Some(r) => r,
+            None => return BlameVerdict::ServerMisbehaved { position },
+        };
+        if !check_reveal(public, round, &reveal, &expected_dh, &expected_ct) {
+            return BlameVerdict::ServerMisbehaved { position };
+        }
+        expected_dh = reveal.input.dh;
+        expected_ct = reveal.input.ct;
+        slot_index = reveal.input_index;
+    }
+
+    // Step 3: the first server's revealed input must equal the agreed
+    // user submission.
+    let submission = &submissions[slot_index];
+    if submission.dh != expected_dh || submission.ct != expected_ct {
+        return BlameVerdict::ServerMisbehaved { position: 0 };
+    }
+
+    BlameVerdict::MaliciousUser {
+        submission_index: slot_index,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain_keys::generate_chain_keys;
+    use crate::client::seal_ahs;
+    use crate::message::{MailboxMessage, PAYLOAD_LEN};
+    use crate::server::MixError;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use xrd_crypto::scalar::Scalar;
+    use xrd_crypto::TAG_LEN;
+
+    fn msg(tag: u8) -> MailboxMessage {
+        MailboxMessage {
+            mailbox: [tag; 32],
+            sealed: vec![tag; PAYLOAD_LEN + TAG_LEN],
+        }
+    }
+
+    use crate::testutil::malicious_submission;
+
+    /// Run hops until a failure; returns servers and failing info.
+    struct ChainHarness {
+        servers: Vec<MixServer>,
+        public: crate::chain_keys::ChainPublicKeys,
+        subs: Vec<Submission>,
+        round: u64,
+    }
+
+    fn harness(rng: &mut StdRng, k: usize, round: u64, n_honest: usize) -> ChainHarness {
+        let (secrets, public) = generate_chain_keys(rng, k, round);
+        let subs: Vec<Submission> = (0..n_honest)
+            .map(|i| seal_ahs(rng, &public, round, &msg(i as u8)))
+            .collect();
+        let servers = secrets
+            .into_iter()
+            .map(|s| MixServer::new(s, public.clone()))
+            .collect();
+        ChainHarness {
+            servers,
+            public,
+            subs,
+            round,
+        }
+    }
+
+    /// Drive hops; if a decrypt failure occurs at hop h, run blame for
+    /// each failed index and return the verdicts.
+    fn run_until_blame(rng: &mut StdRng, h: &mut ChainHarness) -> Vec<BlameVerdict> {
+        let mut entries: Vec<MixEntry> = h.subs.iter().map(|s| s.to_entry()).collect();
+        for pos in 0..h.servers.len() {
+            match h.servers[pos].process_round(rng, h.round, entries.clone()) {
+                Ok(result) => entries = result.outputs,
+                Err(MixError::DecryptFailure(indices)) => {
+                    return indices
+                        .into_iter()
+                        .map(|idx| {
+                            run_blame(rng, &h.public, &h.servers, &h.subs, h.round, pos, idx)
+                        })
+                        .collect();
+                }
+                Err(e) => panic!("unexpected mix error: {e:?}"),
+            }
+        }
+        vec![]
+    }
+
+    #[test]
+    fn honest_round_never_triggers_blame() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut h = harness(&mut rng, 3, 5, 6);
+        assert!(run_until_blame(&mut rng, &mut h).is_empty());
+    }
+
+    #[test]
+    fn malicious_user_identified_at_first_layer() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut h = harness(&mut rng, 3, 5, 4);
+        let bad = malicious_submission(&mut rng, &h.public, 5, 0);
+        h.subs.insert(2, bad);
+        let verdicts = run_until_blame(&mut rng, &mut h);
+        assert_eq!(
+            verdicts,
+            vec![BlameVerdict::MaliciousUser {
+                submission_index: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn malicious_user_identified_at_deep_layer() {
+        // The garbage survives until layer 2; blame must trace back
+        // through two shuffles to find the original submitter.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut h = harness(&mut rng, 4, 7, 5);
+        let bad = malicious_submission(&mut rng, &h.public, 7, 2);
+        h.subs.push(bad);
+        let verdicts = run_until_blame(&mut rng, &mut h);
+        assert_eq!(
+            verdicts,
+            vec![BlameVerdict::MaliciousUser {
+                submission_index: 5
+            }]
+        );
+    }
+
+    #[test]
+    fn multiple_malicious_users_all_identified() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut h = harness(&mut rng, 3, 1, 5);
+        let bad_a = malicious_submission(&mut rng, &h.public, 1, 1);
+        let bad_b = malicious_submission(&mut rng, &h.public, 1, 1);
+        h.subs.insert(1, bad_a);
+        h.subs.insert(4, bad_b);
+        let mut verdicts = run_until_blame(&mut rng, &mut h);
+        verdicts.sort_by_key(|v| match v {
+            BlameVerdict::MaliciousUser { submission_index } => *submission_index,
+            _ => usize::MAX,
+        });
+        assert_eq!(
+            verdicts,
+            vec![
+                BlameVerdict::MaliciousUser {
+                    submission_index: 1
+                },
+                BlameVerdict::MaliciousUser {
+                    submission_index: 4
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn false_accusation_blames_the_accuser() {
+        // All users honest; a malicious server at position 1 accuses an
+        // honest slot.  The ciphertext decrypts fine, so the accuser is
+        // identified.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut h = harness(&mut rng, 3, 2, 4);
+        let mut entries: Vec<MixEntry> = h.subs.iter().map(|s| s.to_entry()).collect();
+        for pos in 0..2 {
+            entries = h.servers[pos]
+                .process_round(&mut rng, h.round, entries)
+                .unwrap()
+                .outputs;
+        }
+        // Position-1 server falsely accuses its input slot 0... we let
+        // the *next* server (position 1) hold state; accuse from pos 1.
+        let verdict = run_blame(&mut rng, &h.public, &h.servers, &h.subs, h.round, 1, 0);
+        assert_eq!(verdict, BlameVerdict::ServerMisbehaved { position: 1 });
+    }
+
+    #[test]
+    fn tampering_server_is_identified() {
+        // Server 1 tampers one of its outputs (ciphertext bytes); server
+        // 2 fails to decrypt and blames; the trace shows server 1 cannot
+        // justify the link.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut h = harness(&mut rng, 3, 3, 5);
+        let mut entries: Vec<MixEntry> = h.subs.iter().map(|s| s.to_entry()).collect();
+        entries = h.servers[0]
+            .process_round(&mut rng, h.round, entries)
+            .unwrap()
+            .outputs;
+        let mut out1 = h.servers[1]
+            .process_round(&mut rng, h.round, entries)
+            .unwrap()
+            .outputs;
+        // Malicious tampering *after* the hop: flip bytes of output 2 and
+        // poison the server's stored state the same way (a consistent
+        // cheater).
+        out1[2].ct[5] ^= 0xff;
+        h.servers[1].state_mut().unwrap().outputs[2].ct[5] ^= 0xff;
+
+        match h.servers[2].process_round(&mut rng, h.round, out1) {
+            Err(MixError::DecryptFailure(indices)) => {
+                assert_eq!(indices, vec![2]);
+                let verdict =
+                    run_blame(&mut rng, &h.public, &h.servers, &h.subs, h.round, 2, 2);
+                assert_eq!(verdict, BlameVerdict::ServerMisbehaved { position: 1 });
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn product_preserving_key_tamper_is_identified() {
+        // The Appendix-A attack: server 0 multiplies one slot's key by δ
+        // and another's by δ^{-1}, preserving the aggregate product (so
+        // the hop proof would still verify) — but downstream decryption
+        // fails and blame pins server 0.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut h = harness(&mut rng, 2, 4, 6);
+        let entries: Vec<MixEntry> = h.subs.iter().map(|s| s.to_entry()).collect();
+        let mut out0 = h.servers[0]
+            .process_round(&mut rng, h.round, entries)
+            .unwrap()
+            .outputs;
+        // Shift two keys by T and T^{-1}: the aggregate product (and so
+        // the hop proof) is preserved, but both slots' keys are wrong.
+        let t = GroupElement::base_mul(&Scalar::random(&mut rng));
+        out0[0].dh = out0[0].dh.add(&t);
+        out0[1].dh = out0[1].dh.sub(&t);
+        // Consistent cheater: poison stored state too.
+        {
+            let st = h.servers[0].state_mut().unwrap();
+            st.outputs[0].dh = out0[0].dh;
+            st.outputs[1].dh = out0[1].dh;
+        }
+        match h.servers[1].process_round(&mut rng, h.round, out0) {
+            Err(MixError::DecryptFailure(indices)) => {
+                assert_eq!(indices, vec![0, 1]);
+                for idx in indices {
+                    let verdict =
+                        run_blame(&mut rng, &h.public, &h.servers, &h.subs, h.round, 1, idx);
+                    assert_eq!(verdict, BlameVerdict::ServerMisbehaved { position: 0 });
+                }
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn honest_user_is_never_convicted_by_honest_chain() {
+        // Fuzz: random honest rounds with one malicious user at a random
+        // layer; blame always returns that user's index, never another.
+        let mut rng = StdRng::seed_from_u64(8);
+        for trial in 0..5 {
+            let k = 2 + (trial % 3);
+            let mut h = harness(&mut rng, k, trial as u64, 4);
+            let bad_layer = trial % k;
+            let bad = malicious_submission(&mut rng, &h.public, trial as u64, bad_layer);
+            let bad_index = trial % (h.subs.len() + 1);
+            h.subs.insert(bad_index, bad);
+            let verdicts = run_until_blame(&mut rng, &mut h);
+            assert_eq!(
+                verdicts,
+                vec![BlameVerdict::MaliciousUser {
+                    submission_index: bad_index
+                }],
+                "trial {trial}"
+            );
+        }
+    }
+}

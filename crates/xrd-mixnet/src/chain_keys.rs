@@ -1,0 +1,275 @@
+//! AHS key generation for one mix chain (§6.1).
+//!
+//! Each server holds three key pairs:
+//!
+//! * a long-term **blinding key** `bsk_i` with public chain
+//!   `bpk_i = bpk_{i-1}^{bsk_i}` (so `bpk_i = g^{∏_{a≤i} bsk_a}`),
+//! * a long-term **mixing key** `msk_i` with `mpk_i = bpk_{i-1}^{msk_i}`,
+//! * a per-round **inner key** `isk_i` with `ipk_i = g^{isk_i}`.
+//!
+//! Generation is inherently sequential (server `i` needs `bpk_{i-1}` as
+//! its base) and every server proves knowledge of its secrets in
+//! zero-knowledge; all public keys plus proofs form the
+//! [`ChainPublicKeys`] bundle distributed to users and servers.
+
+use rand::RngCore;
+
+use xrd_crypto::nizk::SchnorrProof;
+use xrd_crypto::ristretto::GroupElement;
+use xrd_crypto::scalar::Scalar;
+
+/// One server's secret keys for a chain position.
+#[derive(Clone, Debug)]
+pub struct ServerSecrets {
+    /// Hop position in the chain (0-based).
+    pub position: usize,
+    /// Blinding secret `bsk_i`.
+    pub bsk: Scalar,
+    /// Mixing secret `msk_i`.
+    pub msk: Scalar,
+    /// Per-round inner secret `isk_i`.
+    pub isk: Scalar,
+}
+
+/// Knowledge proofs published with a server's public keys.
+#[derive(Clone, Debug)]
+pub struct ServerKeyProofs {
+    /// PoK of `bsk_i = log_{bpk_{i-1}}(bpk_i)`.
+    pub bsk_pok: SchnorrProof,
+    /// PoK of `msk_i = log_{bpk_{i-1}}(mpk_i)`.
+    pub msk_pok: SchnorrProof,
+    /// PoK of `isk_i = log_g(ipk_i)`.
+    pub isk_pok: SchnorrProof,
+}
+
+/// The public key material for a whole chain, as users and verifying
+/// servers see it.
+#[derive(Clone, Debug)]
+pub struct ChainPublicKeys {
+    /// Epoch the long-term (blinding/mixing) keys were generated in.
+    pub epoch: u64,
+    /// Epoch of the current inner keys (rotated every round; see
+    /// [`rotate_inner_keys`]).
+    pub inner_epoch: u64,
+    /// `bpk_0 = g, bpk_1, …, bpk_k` (length `k+1`).
+    pub bpks: Vec<GroupElement>,
+    /// `mpk_1, …, mpk_k` (length `k`).
+    pub mpks: Vec<GroupElement>,
+    /// `ipk_1, …, ipk_k` (length `k`).
+    pub ipks: Vec<GroupElement>,
+    /// Per-server key proofs (length `k`).
+    pub proofs: Vec<ServerKeyProofs>,
+}
+
+impl ChainPublicKeys {
+    /// Chain length `k`.
+    pub fn len(&self) -> usize {
+        self.mpks.len()
+    }
+
+    /// True if the chain is empty (never the case in practice).
+    pub fn is_empty(&self) -> bool {
+        self.mpks.is_empty()
+    }
+
+    /// The aggregate inner key `∏_i ipk_i` users encrypt the inner
+    /// envelope to (§6.2).
+    pub fn aggregate_inner_key(&self) -> GroupElement {
+        GroupElement::product(&self.ipks)
+    }
+
+    /// The blinding base for server `i` (`bpk_{i-1}`; `bpk_0 = g`).
+    pub fn blinding_base(&self, position: usize) -> &GroupElement {
+        &self.bpks[position]
+    }
+
+    /// Verify every server's key-knowledge proof (step run by all
+    /// participants before a round starts).
+    pub fn verify(&self) -> bool {
+        if self.bpks.len() != self.len() + 1
+            || self.ipks.len() != self.len()
+            || self.proofs.len() != self.len()
+        {
+            return false;
+        }
+        if self.bpks[0] != GroupElement::generator() {
+            return false;
+        }
+        let g = GroupElement::generator();
+        for i in 0..self.len() {
+            let ctx = keygen_context(self.epoch, i);
+            let inner_ctx = inner_keygen_context(self.inner_epoch, i);
+            let base = &self.bpks[i];
+            let p = &self.proofs[i];
+            if !p.bsk_pok.verify(&ctx, base, &self.bpks[i + 1])
+                || !p.msk_pok.verify(&ctx, base, &self.mpks[i])
+                || !p.isk_pok.verify(&inner_ctx, &g, &self.ipks[i])
+            {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn keygen_context(epoch: u64, position: usize) -> Vec<u8> {
+    let mut ctx = b"xrd/chain-keygen".to_vec();
+    ctx.extend_from_slice(&epoch.to_le_bytes());
+    ctx.extend_from_slice(&(position as u64).to_le_bytes());
+    ctx
+}
+
+fn inner_keygen_context(inner_epoch: u64, position: usize) -> Vec<u8> {
+    let mut ctx = b"xrd/inner-keygen".to_vec();
+    ctx.extend_from_slice(&inner_epoch.to_le_bytes());
+    ctx.extend_from_slice(&(position as u64).to_le_bytes());
+    ctx
+}
+
+/// Rotate every server's per-round inner key pair to `inner_epoch`
+/// (§6.1: "the inner keys are per-round keys"), refreshing the published
+/// `ipk`s and their knowledge proofs.
+#[allow(clippy::needless_range_loop)] // position-indexed protocol step
+pub fn rotate_inner_keys<R: RngCore + ?Sized>(
+    rng: &mut R,
+    secrets: &mut [ServerSecrets],
+    public: &mut ChainPublicKeys,
+    inner_epoch: u64,
+) {
+    let g = GroupElement::generator();
+    public.inner_epoch = inner_epoch;
+    for (i, secret) in secrets.iter_mut().enumerate() {
+        let isk = Scalar::random(rng);
+        let ipk = GroupElement::base_mul(&isk);
+        let ctx = inner_keygen_context(inner_epoch, i);
+        public.proofs[i].isk_pok = SchnorrProof::prove(rng, &ctx, &g, &ipk, &isk);
+        public.ipks[i] = ipk;
+        secret.isk = isk;
+    }
+}
+
+/// Generate the full key chain for `k` servers.  In a deployment each
+/// server runs its own step; here the sequential protocol is executed
+/// in-process and each server's secrets are returned separately.
+pub fn generate_chain_keys<R: RngCore + ?Sized>(
+    rng: &mut R,
+    k: usize,
+    epoch: u64,
+) -> (Vec<ServerSecrets>, ChainPublicKeys) {
+    assert!(k >= 1);
+    let g = GroupElement::generator();
+    let mut bpks = vec![g];
+    let mut mpks = Vec::with_capacity(k);
+    let mut ipks = Vec::with_capacity(k);
+    let mut proofs = Vec::with_capacity(k);
+    let mut secrets = Vec::with_capacity(k);
+
+    for i in 0..k {
+        let bsk = Scalar::random(rng);
+        let msk = Scalar::random(rng);
+        let isk = Scalar::random(rng);
+        let base = bpks[i];
+        let bpk = base.mul(&bsk);
+        let mpk = base.mul(&msk);
+        let ipk = GroupElement::base_mul(&isk);
+
+        let ctx = keygen_context(epoch, i);
+        let inner_ctx = inner_keygen_context(epoch, i);
+        proofs.push(ServerKeyProofs {
+            bsk_pok: SchnorrProof::prove(rng, &ctx, &base, &bpk, &bsk),
+            msk_pok: SchnorrProof::prove(rng, &ctx, &base, &mpk, &msk),
+            isk_pok: SchnorrProof::prove(rng, &inner_ctx, &g, &ipk, &isk),
+        });
+        bpks.push(bpk);
+        mpks.push(mpk);
+        ipks.push(ipk);
+        secrets.push(ServerSecrets {
+            position: i,
+            bsk,
+            msk,
+            isk,
+        });
+    }
+
+    (
+        secrets,
+        ChainPublicKeys {
+            epoch,
+            inner_epoch: epoch,
+            bpks,
+            mpks,
+            ipks,
+            proofs,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_keys_verify() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (secrets, public) = generate_chain_keys(&mut rng, 5, 7);
+        assert_eq!(secrets.len(), 5);
+        assert_eq!(public.len(), 5);
+        assert!(public.verify());
+    }
+
+    #[test]
+    fn key_chain_algebra() {
+        // bpk_i = g^{∏ bsk}, mpk_i = bpk_{i-1}^{msk_i}.
+        let mut rng = StdRng::seed_from_u64(2);
+        let (secrets, public) = generate_chain_keys(&mut rng, 4, 0);
+        let mut acc = Scalar::ONE;
+        for i in 0..4 {
+            assert_eq!(public.bpks[i], GroupElement::base_mul(&acc));
+            let expected_mpk = public.bpks[i].mul(&secrets[i].msk);
+            assert_eq!(public.mpks[i], expected_mpk);
+            acc = acc.mul(&secrets[i].bsk);
+        }
+        assert_eq!(public.bpks[4], GroupElement::base_mul(&acc));
+    }
+
+    #[test]
+    fn aggregate_inner_key_is_sum_of_secrets() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (secrets, public) = generate_chain_keys(&mut rng, 3, 0);
+        let sum = secrets
+            .iter()
+            .fold(Scalar::ZERO, |acc, s| acc.add(&s.isk));
+        assert_eq!(public.aggregate_inner_key(), GroupElement::base_mul(&sum));
+    }
+
+    #[test]
+    fn tampered_bundle_fails_verification() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (_, mut public) = generate_chain_keys(&mut rng, 3, 0);
+        assert!(public.verify());
+        // Swap one public key for a random element.
+        public.mpks[1] = GroupElement::random(&mut rng);
+        assert!(!public.verify());
+    }
+
+    #[test]
+    fn wrong_epoch_proofs_fail() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (_, mut public) = generate_chain_keys(&mut rng, 2, 1);
+        public.epoch = 2; // proofs were bound to epoch 1
+        assert!(!public.verify());
+    }
+
+    #[test]
+    fn malformed_structure_fails() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (_, mut public) = generate_chain_keys(&mut rng, 2, 0);
+        public.bpks[0] = GroupElement::random(&mut rng); // must be g
+        assert!(!public.verify());
+        let (_, mut public2) = generate_chain_keys(&mut rng, 2, 0);
+        public2.ipks.pop();
+        assert!(!public2.verify());
+    }
+}

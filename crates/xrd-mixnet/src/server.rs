@@ -1,0 +1,524 @@
+//! The AHS mix server (§6.3).
+//!
+//! Per round, server `i` receives a batch of [`MixEntry`]s, and:
+//!
+//! 1. **decrypts** each ciphertext with the key `X_j^{msk_i}` (halting
+//!    and triggering blame on any authentication failure),
+//! 2. **blinds** each DH key: `X'_j = X_j^{bsk_i}`,
+//! 3. **shuffles** ciphertexts and keys with the same permutation, and
+//! 4. emits a Chaum–Pedersen **aggregate proof** that
+//!    `(∏_j X_j)^{bsk_i} = ∏_j X'_j`, verifiable by every other server.
+//!
+//! The server retains its inputs/outputs/permutation for the round so
+//! the blame protocol (§6.4) can trace any problem ciphertext backwards.
+
+use rand::Rng;
+use rand::RngCore;
+
+use xrd_crypto::aead::{adec, round_nonce};
+use xrd_crypto::nizk::DleqProof;
+use xrd_crypto::ristretto::GroupElement;
+use xrd_crypto::scalar::Scalar;
+
+use crate::chain_keys::{ChainPublicKeys, ServerSecrets};
+use crate::client::{inner_key, outer_layer_key};
+use crate::message::{domain_outer, MailboxMessage, MixEntry, DOMAIN_INNER};
+
+/// Result of one hop of AHS mixing.
+#[derive(Clone, Debug)]
+pub struct HopResult {
+    /// Shuffled, decrypted, blinded entries for the next hop.
+    pub outputs: Vec<MixEntry>,
+    /// Aggregate blinding proof (§6.3 step 3).
+    pub proof: DleqProof,
+}
+
+/// Why a hop refused to complete.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MixError {
+    /// Authenticated decryption failed for these input indices; the
+    /// server starts the blame protocol (§6.4).
+    DecryptFailure(Vec<usize>),
+    /// The batch was malformed (e.g. wrong ciphertext length).
+    Malformed,
+}
+
+/// Retained state of one hop, kept for blame tracing.
+#[derive(Clone, Debug)]
+pub struct HopState {
+    /// Round this state belongs to.
+    pub round: u64,
+    /// Inputs in arrival order.
+    pub inputs: Vec<MixEntry>,
+    /// Outputs in emission order.
+    pub outputs: Vec<MixEntry>,
+    /// `outputs[o]` was produced from `inputs[perm[o]]`.
+    pub perm: Vec<usize>,
+}
+
+/// A mix server for one chain position.
+pub struct MixServer {
+    secrets: ServerSecrets,
+    public: ChainPublicKeys,
+    state: Option<HopState>,
+}
+
+/// Fiat–Shamir context for hop proofs: binds round and position.
+pub fn hop_context(round: u64, position: usize) -> Vec<u8> {
+    let mut ctx = b"xrd/ahs-hop".to_vec();
+    ctx.extend_from_slice(&round.to_le_bytes());
+    ctx.extend_from_slice(&(position as u64).to_le_bytes());
+    ctx
+}
+
+impl MixServer {
+    /// Create a server from its secrets plus the chain's public bundle.
+    pub fn new(secrets: ServerSecrets, public: ChainPublicKeys) -> MixServer {
+        MixServer {
+            secrets,
+            public,
+            state: None,
+        }
+    }
+
+    /// This server's hop position.
+    pub fn position(&self) -> usize {
+        self.secrets.position
+    }
+
+    /// The chain public keys this server operates under.
+    pub fn public(&self) -> &ChainPublicKeys {
+        &self.public
+    }
+
+    /// Retained hop state (after a successful `process_round`).
+    pub fn state(&self) -> Option<&HopState> {
+        self.state.as_ref()
+    }
+
+    /// Mutable access to the retained state.  Exposed for fault-injection
+    /// tests (simulating a server that tampers with its own records); a
+    /// deployment never calls this.
+    #[doc(hidden)]
+    pub fn state_mut(&mut self) -> Option<&mut HopState> {
+        self.state.as_mut()
+    }
+
+    /// This server's secrets (used by the blame-protocol implementation
+    /// in this crate).
+    pub(crate) fn secrets(&self) -> &ServerSecrets {
+        &self.secrets
+    }
+
+    /// Run the §6.3 hop on a batch.  On success returns shuffled outputs
+    /// plus the aggregate proof and retains state for blame; on
+    /// decryption failure returns the offending indices *and* retains the
+    /// inputs so the blame protocol can reference them.
+    pub fn process_round<R: RngCore + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        round: u64,
+        inputs: Vec<MixEntry>,
+    ) -> Result<HopResult, MixError> {
+        let position = self.secrets.position;
+        let mut processed = Vec::with_capacity(inputs.len());
+        let mut failures = Vec::new();
+
+        for (j, entry) in inputs.iter().enumerate() {
+            // Step 1: decrypt with X_j^{msk_i}.
+            let shared = entry.dh.mul(&self.secrets.msk);
+            let key = outer_layer_key(&shared, round, position);
+            match adec(&key, &round_nonce(round, domain_outer(position)), b"", &entry.ct) {
+                Some(next_ct) => {
+                    // Step 2: blind the DH key.
+                    processed.push(MixEntry {
+                        dh: entry.dh.mul(&self.secrets.bsk),
+                        ct: next_ct,
+                    });
+                }
+                None => failures.push(j),
+            }
+        }
+
+        if !failures.is_empty() {
+            // Halt: retain inputs so blame can run against them.
+            self.state = Some(HopState {
+                round,
+                outputs: Vec::new(),
+                perm: Vec::new(),
+                inputs,
+            });
+            return Err(MixError::DecryptFailure(failures));
+        }
+
+        // Step 3: shuffle keys and ciphertexts with one permutation.
+        let mut perm: Vec<usize> = (0..processed.len()).collect();
+        // Fisher-Yates.
+        for i in (1..perm.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        let outputs: Vec<MixEntry> = perm.iter().map(|&src| processed[src].clone()).collect();
+
+        // Step 4: aggregate blinding proof.
+        let prod_in = GroupElement::product(inputs.iter().map(|e| &e.dh));
+        let prod_out = GroupElement::product(outputs.iter().map(|e| &e.dh));
+        debug_assert_eq!(prod_in.mul(&self.secrets.bsk), prod_out);
+        let proof = DleqProof::prove(
+            rng,
+            &hop_context(round, position),
+            &prod_in,
+            &prod_out,
+            self.public.blinding_base(position),
+            &self.public.bpks[position + 1],
+            &self.secrets.bsk,
+        );
+
+        self.state = Some(HopState {
+            round,
+            inputs,
+            outputs: outputs.clone(),
+            perm,
+        });
+        Ok(HopResult { outputs, proof })
+    }
+
+    /// Reveal the per-round inner key (§6.3, after the last hop verifies).
+    pub fn reveal_inner_key(&self) -> Scalar {
+        self.secrets.isk
+    }
+
+    /// Re-prove the aggregate blinding relation over the batch minus a
+    /// set of removed inputs (step run after blame removes malicious
+    /// ciphertexts, per §6.4: "the servers just have to repeat step 3 of
+    /// §6.3").  `excluded_inputs` are indices into this server's input
+    /// ordering.
+    pub fn reprove_excluding<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        excluded_inputs: &[usize],
+    ) -> Option<(GroupElement, GroupElement, DleqProof)> {
+        let state = self.state.as_ref()?;
+        let excluded: std::collections::HashSet<usize> =
+            excluded_inputs.iter().copied().collect();
+        let prod_in = GroupElement::product(
+            state
+                .inputs
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| !excluded.contains(j))
+                .map(|(_, e)| &e.dh),
+        );
+        // Outputs corresponding to kept inputs (through the permutation).
+        let prod_out = GroupElement::product(
+            state
+                .perm
+                .iter()
+                .zip(state.outputs.iter())
+                .filter(|(src, _)| !excluded.contains(src))
+                .map(|(_, e)| &e.dh),
+        );
+        let position = self.secrets.position;
+        let proof = DleqProof::prove(
+            rng,
+            &hop_context(state.round, position),
+            &prod_in,
+            &prod_out,
+            self.public.blinding_base(position),
+            &self.public.bpks[position + 1],
+            &self.secrets.bsk,
+        );
+        Some((prod_in, prod_out, proof))
+    }
+}
+
+/// Verify one hop's aggregate proof (run by every other server in the
+/// chain, §6.3 step 3).
+pub fn verify_hop(
+    public: &ChainPublicKeys,
+    position: usize,
+    round: u64,
+    inputs: &[MixEntry],
+    outputs: &[MixEntry],
+    proof: &DleqProof,
+) -> bool {
+    if inputs.len() != outputs.len() {
+        return false;
+    }
+    let prod_in = GroupElement::product(inputs.iter().map(|e| &e.dh));
+    let prod_out = GroupElement::product(outputs.iter().map(|e| &e.dh));
+    proof.verify(
+        &hop_context(round, position),
+        &prod_in,
+        &prod_out,
+        public.blinding_base(position),
+        &public.bpks[position + 1],
+    )
+}
+
+/// Check a revealed inner key against the chain's public bundle.
+pub fn verify_inner_key(public: &ChainPublicKeys, position: usize, isk: &Scalar) -> bool {
+    GroupElement::base_mul(isk) == public.ipks[position]
+}
+
+/// After all `k` hops and inner-key reveals, open the inner envelopes
+/// (last step of §6.3).  Entries whose envelope fails to parse or
+/// decrypt yield `None` (possible only for malicious submissions — an
+/// honest user's envelope always opens).
+pub fn open_batch(
+    inner_keys: &[Scalar],
+    round: u64,
+    entries: &[MixEntry],
+) -> Vec<Option<MailboxMessage>> {
+    let isk_sum = inner_keys.iter().fold(Scalar::ZERO, |a, s| a.add(s));
+    entries
+        .iter()
+        .map(|entry| {
+            if entry.ct.len() < 32 {
+                return None;
+            }
+            let mut gy = [0u8; 32];
+            gy.copy_from_slice(&entry.ct[..32]);
+            let gy = GroupElement::decode(&gy)?;
+            let key = inner_key(&gy.mul(&isk_sum), round);
+            let plaintext = adec(&key, &round_nonce(round, DOMAIN_INNER), b"", &entry.ct[32..])?;
+            MailboxMessage::from_bytes(&plaintext)
+        })
+        .collect()
+}
+
+/// Digest of a batch for input agreement (§6.3: "sorting the users'
+/// ciphertexts, hashing them ... and comparing the hashes").
+pub fn input_digest(entries: &[MixEntry]) -> [u8; 32] {
+    let mut serialized: Vec<Vec<u8>> = entries.iter().map(|e| e.to_bytes()).collect();
+    serialized.sort();
+    let mut h = xrd_crypto::Blake2b::new(32);
+    h.update(b"xrd/input-agreement");
+    h.update(&(serialized.len() as u64).to_le_bytes());
+    for s in &serialized {
+        h.update(s);
+    }
+    h.finalize_32()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain_keys::generate_chain_keys;
+    use crate::client::{seal_ahs, Submission};
+    use crate::message::{PAYLOAD_LEN, MAILBOX_MSG_LEN};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use xrd_crypto::TAG_LEN;
+
+    fn msg(tag: u8) -> MailboxMessage {
+        MailboxMessage {
+            mailbox: [tag; 32],
+            sealed: vec![tag; PAYLOAD_LEN + TAG_LEN],
+        }
+    }
+
+    #[test]
+    fn full_chain_mixes_and_delivers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let k = 3;
+        let round = 9;
+        let (secrets, public) = generate_chain_keys(&mut rng, k, round);
+        let msgs: Vec<MailboxMessage> = (0..8).map(|i| msg(i as u8)).collect();
+        let subs: Vec<Submission> = msgs
+            .iter()
+            .map(|m| seal_ahs(&mut rng, &public, round, m))
+            .collect();
+
+        let mut servers: Vec<MixServer> = secrets
+            .into_iter()
+            .map(|s| MixServer::new(s, public.clone()))
+            .collect();
+
+        let mut entries: Vec<MixEntry> = subs.iter().map(|s| s.to_entry()).collect();
+        for (pos, server) in servers.iter_mut().enumerate() {
+            let before = entries.clone();
+            let result = server.process_round(&mut rng, round, entries).unwrap();
+            assert!(verify_hop(&public, pos, round, &before, &result.outputs, &result.proof));
+            entries = result.outputs;
+        }
+
+        let inner: Vec<Scalar> = servers.iter().map(|s| s.reveal_inner_key()).collect();
+        for (pos, key) in inner.iter().enumerate() {
+            assert!(verify_inner_key(&public, pos, key));
+        }
+        let opened = open_batch(&inner, round, &entries);
+        let mut delivered: Vec<MailboxMessage> =
+            opened.into_iter().map(|m| m.expect("honest message opens")).collect();
+        // Set equality with the original messages (order is shuffled).
+        let sort_key = |m: &MailboxMessage| m.mailbox;
+        delivered.sort_by_key(sort_key);
+        let mut expected = msgs.clone();
+        expected.sort_by_key(sort_key);
+        assert_eq!(delivered, expected);
+    }
+
+    #[test]
+    fn hop_output_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let round = 1;
+        let (secrets, public) = generate_chain_keys(&mut rng, 1, round);
+        let subs: Vec<Submission> = (0..20)
+            .map(|i| seal_ahs(&mut rng, &public, round, &msg(i as u8)))
+            .collect();
+        let mut server = MixServer::new(secrets.into_iter().next().unwrap(), public);
+        let entries: Vec<MixEntry> = subs.iter().map(|s| s.to_entry()).collect();
+        let result = server.process_round(&mut rng, round, entries).unwrap();
+        let state = server.state().unwrap();
+        // perm is a permutation
+        let mut seen = [false; 20];
+        for &p in &state.perm {
+            assert!(!seen[p]);
+            seen[p] = true;
+        }
+        // outputs follow the permutation (blinded dh of input perm[o])
+        let bsk = server.secrets().bsk;
+        for (o, out) in result.outputs.iter().enumerate() {
+            let src = state.perm[o];
+            assert_eq!(out.dh, state.inputs[src].dh.mul(&bsk));
+        }
+    }
+
+    #[test]
+    fn garbage_ciphertext_is_detected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let round = 4;
+        let (secrets, public) = generate_chain_keys(&mut rng, 2, round);
+        let mut subs: Vec<Submission> = (0..5)
+            .map(|i| seal_ahs(&mut rng, &public, round, &msg(i as u8)))
+            .collect();
+        // User 3 submits garbage (valid DH key + PoK, broken ciphertext).
+        for b in subs[3].ct.iter_mut() {
+            *b ^= 0xff;
+        }
+        let mut server = MixServer::new(secrets.into_iter().next().unwrap(), public);
+        let entries: Vec<MixEntry> = subs.iter().map(|s| s.to_entry()).collect();
+        match server.process_round(&mut rng, round, entries) {
+            Err(MixError::DecryptFailure(idx)) => assert_eq!(idx, vec![3]),
+            other => panic!("expected decrypt failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregate_proof_fails_if_entry_replaced() {
+        // A malicious first server swaps in its own entry; the product
+        // relation breaks so the honest verifier rejects the proof.
+        let mut rng = StdRng::seed_from_u64(4);
+        let round = 2;
+        let (secrets, public) = generate_chain_keys(&mut rng, 2, round);
+        let subs: Vec<Submission> = (0..6)
+            .map(|i| seal_ahs(&mut rng, &public, round, &msg(i as u8)))
+            .collect();
+        let entries: Vec<MixEntry> = subs.iter().map(|s| s.to_entry()).collect();
+        let mut server = MixServer::new(secrets.into_iter().next().unwrap(), public.clone());
+        let before = entries.clone();
+        let mut result = server.process_round(&mut rng, round, entries).unwrap();
+        // Tamper post-hoc with one output (as a malicious server would
+        // when replacing a user's message with its own).
+        result.outputs[0].dh = GroupElement::random(&mut rng);
+        assert!(!verify_hop(&public, 0, round, &before, &result.outputs, &result.proof));
+    }
+
+    #[test]
+    fn dropping_an_entry_breaks_verification() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let round = 2;
+        let (secrets, public) = generate_chain_keys(&mut rng, 1, round);
+        let subs: Vec<Submission> = (0..4)
+            .map(|i| seal_ahs(&mut rng, &public, round, &msg(i as u8)))
+            .collect();
+        let entries: Vec<MixEntry> = subs.iter().map(|s| s.to_entry()).collect();
+        let mut server = MixServer::new(secrets.into_iter().next().unwrap(), public.clone());
+        let before = entries.clone();
+        let mut result = server.process_round(&mut rng, round, entries).unwrap();
+        result.outputs.pop();
+        assert!(!verify_hop(&public, 0, round, &before, &result.outputs, &result.proof));
+    }
+
+    #[test]
+    fn server_key_exchange_matches_user_key() {
+        // DH(X_i, msk_i) == user's DH(mpk_i, x) at every hop — the AHS
+        // correctness identity of §6.3.
+        let mut rng = StdRng::seed_from_u64(6);
+        let k = 4;
+        let (secrets, public) = generate_chain_keys(&mut rng, k, 0);
+        let x = Scalar::random(&mut rng);
+        let mut x_i = GroupElement::base_mul(&x);
+        for i in 0..k {
+            let server_side = x_i.mul(&secrets[i].msk);
+            let user_side = public.mpks[i].mul(&x);
+            assert_eq!(server_side, user_side, "hop {i}");
+            x_i = x_i.mul(&secrets[i].bsk);
+        }
+    }
+
+    #[test]
+    fn open_batch_handles_junk() {
+        let (_, _) = (0, 0);
+        let junk = MixEntry {
+            dh: GroupElement::identity(),
+            ct: vec![0u8; MAILBOX_MSG_LEN + TAG_LEN + 32],
+        };
+        let opened = open_batch(&[Scalar::ONE], 0, &[junk]);
+        assert_eq!(opened, vec![None]);
+        // Too-short ciphertext
+        let short = MixEntry {
+            dh: GroupElement::identity(),
+            ct: vec![0u8; 8],
+        };
+        assert_eq!(open_batch(&[Scalar::ONE], 0, &[short]), vec![None]);
+    }
+
+    #[test]
+    fn input_digest_is_order_independent() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (_, public) = generate_chain_keys(&mut rng, 1, 0);
+        let subs: Vec<Submission> = (0..3)
+            .map(|i| seal_ahs(&mut rng, &public, 0, &msg(i as u8)))
+            .collect();
+        let entries: Vec<MixEntry> = subs.iter().map(|s| s.to_entry()).collect();
+        let mut reversed = entries.clone();
+        reversed.reverse();
+        assert_eq!(input_digest(&entries), input_digest(&reversed));
+        // but content-dependent
+        assert_ne!(input_digest(&entries), input_digest(&entries[..2]));
+    }
+
+    #[test]
+    fn reprove_excluding_verifies() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let round = 3;
+        let (secrets, public) = generate_chain_keys(&mut rng, 1, round);
+        let subs: Vec<Submission> = (0..6)
+            .map(|i| seal_ahs(&mut rng, &public, round, &msg(i as u8)))
+            .collect();
+        let entries: Vec<MixEntry> = subs.iter().map(|s| s.to_entry()).collect();
+        let mut server = MixServer::new(secrets.into_iter().next().unwrap(), public.clone());
+        server.process_round(&mut rng, round, entries).unwrap();
+
+        let (prod_in, prod_out, proof) = server.reprove_excluding(&mut rng, &[2, 4]).unwrap();
+        assert!(proof.verify(
+            &hop_context(round, 0),
+            &prod_in,
+            &prod_out,
+            public.blinding_base(0),
+            &public.bpks[1],
+        ));
+        // Sanity: products exclude exactly the right entries.
+        let state = server.state().unwrap();
+        let manual_in = GroupElement::product(
+            state
+                .inputs
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != 2 && *j != 4)
+                .map(|(_, e)| &e.dh),
+        );
+        assert_eq!(prod_in, manual_in);
+    }
+}

@@ -1,0 +1,115 @@
+//! Attack-construction utilities shared by tests, integration tests and
+//! the Figure-7 measurement harness.  These build *valid-looking but
+//! malicious* inputs; a deployment never uses them.
+
+use rand::Rng;
+use rand::RngCore;
+
+use xrd_crypto::aead::{aenc, round_nonce};
+use xrd_crypto::nizk::SchnorrProof;
+use xrd_crypto::ristretto::GroupElement;
+use xrd_crypto::scalar::Scalar;
+
+use crate::chain_keys::ChainPublicKeys;
+use crate::client::{outer_layer_key, submission_context, Submission};
+use crate::message::{domain_outer, outer_ct_len};
+
+/// Build a submission that decrypts correctly through hops
+/// `0..bad_layer` and then fails authenticated decryption at
+/// `bad_layer` (the §6.4 malicious-user attack; `bad_layer = k-1` is the
+/// worst case for the blame protocol).  The PoK and the DH key are
+/// valid; only the onion content is garbage beneath `bad_layer`.
+pub fn malicious_submission<R: RngCore + ?Sized>(
+    rng: &mut R,
+    keys: &ChainPublicKeys,
+    round: u64,
+    bad_layer: usize,
+) -> Submission {
+    let k = keys.len();
+    assert!(bad_layer < k);
+    // Random bytes of exactly the size hop `bad_layer` expects; they
+    // will fail its AEAD authentication with overwhelming probability.
+    let mut ct = vec![0u8; outer_ct_len(k - bad_layer)];
+    rng.fill(&mut ct[..]);
+
+    let x = Scalar::random(rng);
+    for layer in (0..bad_layer).rev() {
+        let shared = keys.mpks[layer].mul(&x);
+        ct = aenc(
+            &outer_layer_key(&shared, round, layer),
+            &round_nonce(round, domain_outer(layer)),
+            b"",
+            &ct,
+        );
+    }
+    let dh = GroupElement::base_mul(&x);
+    let pok = SchnorrProof::prove(
+        rng,
+        &submission_context(round),
+        &GroupElement::generator(),
+        &dh,
+        &x,
+    );
+    Submission { dh, ct, pok }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain_keys::generate_chain_keys;
+    use crate::message::MixEntry;
+    use crate::server::{MixError, MixServer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fails_at_exactly_the_requested_layer() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let k = 4;
+        for bad_layer in 0..k {
+            let (secrets, public) = generate_chain_keys(&mut rng, k, 0);
+            let sub = malicious_submission(&mut rng, &public, 0, bad_layer);
+            assert!(sub.verify_pok(0), "PoK must look honest");
+            let mut entries = vec![MixEntry {
+                dh: sub.dh,
+                ct: sub.ct.clone(),
+            }];
+            for (pos, secret) in secrets.into_iter().enumerate() {
+                let mut server = MixServer::new(secret, public.clone());
+                match server.process_round(&mut rng, 0, entries.clone()) {
+                    Ok(res) => {
+                        assert!(pos < bad_layer, "survived past layer {bad_layer}?");
+                        entries = res.outputs;
+                    }
+                    Err(MixError::DecryptFailure(idx)) => {
+                        assert_eq!(pos, bad_layer, "failed at {pos}, wanted {bad_layer}");
+                        assert_eq!(idx, vec![0]);
+                        break;
+                    }
+                    Err(e) => panic!("unexpected {e:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn has_uniform_wire_size() {
+        // The attack submission is indistinguishable in size from an
+        // honest one.
+        let mut rng = StdRng::seed_from_u64(2);
+        let (_, public) = generate_chain_keys(&mut rng, 3, 0);
+        let honest = crate::client::seal_ahs(
+            &mut rng,
+            &public,
+            0,
+            &crate::message::MailboxMessage {
+                mailbox: [0u8; 32],
+                sealed: vec![0u8; crate::message::PAYLOAD_LEN + 16],
+            },
+        );
+        for bad_layer in 0..3 {
+            let bad = malicious_submission(&mut rng, &public, 0, bad_layer);
+            assert_eq!(bad.ct.len(), honest.ct.len(), "layer {bad_layer}");
+        }
+    }
+}

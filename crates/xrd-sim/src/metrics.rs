@@ -1,0 +1,146 @@
+//! Lightweight metrics for simulation runs: counters and duration
+//! histograms with percentile queries.
+
+use crate::time::SimDuration;
+
+/// A streaming collection of durations with summary statistics.
+#[derive(Clone, Debug, Default)]
+pub struct DurationStats {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl DurationStats {
+    /// Empty stats.
+    pub fn new() -> DurationStats {
+        DurationStats::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples.push(d.0);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Mean duration (zero if empty).
+    pub fn mean(&self) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total: u128 = self.samples.iter().map(|&x| x as u128).sum();
+        SimDuration((total / self.samples.len() as u128) as u64)
+    }
+
+    /// Maximum (zero if empty).
+    pub fn max(&self) -> SimDuration {
+        SimDuration(self.samples.iter().copied().max().unwrap_or(0))
+    }
+
+    /// Minimum (zero if empty).
+    pub fn min(&self) -> SimDuration {
+        SimDuration(self.samples.iter().copied().min().unwrap_or(0))
+    }
+
+    /// p-th percentile (0.0..=1.0), nearest-rank; zero if empty.
+    pub fn percentile(&mut self, p: f64) -> SimDuration {
+        assert!((0.0..=1.0).contains(&p));
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((p * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
+        SimDuration(self.samples[rank - 1])
+    }
+}
+
+/// A labelled counter set for simple event accounting.
+#[derive(Clone, Debug, Default)]
+pub struct Counters {
+    entries: std::collections::BTreeMap<String, u64>,
+}
+
+impl Counters {
+    /// Empty counter set.
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    /// Add `n` to the named counter.
+    pub fn add(&mut self, name: &str, n: u64) {
+        *self.entries.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Increment the named counter by one.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Read a counter (zero if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.entries.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterate over (name, value) pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.entries.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_summary() {
+        let mut s = DurationStats::new();
+        for i in 1..=100u64 {
+            s.record(SimDuration(i));
+        }
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.mean(), SimDuration(50)); // (5050/100) = 50.5 -> 50
+        assert_eq!(s.min(), SimDuration(1));
+        assert_eq!(s.max(), SimDuration(100));
+        assert_eq!(s.percentile(0.5), SimDuration(50));
+        assert_eq!(s.percentile(0.99), SimDuration(99));
+        assert_eq!(s.percentile(1.0), SimDuration(100));
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let mut s = DurationStats::new();
+        assert_eq!(s.mean(), SimDuration::ZERO);
+        assert_eq!(s.percentile(0.5), SimDuration::ZERO);
+        assert_eq!(s.max(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn percentile_after_more_records() {
+        let mut s = DurationStats::new();
+        s.record(SimDuration(10));
+        assert_eq!(s.percentile(0.5), SimDuration(10));
+        s.record(SimDuration(1));
+        // re-sorts after new data
+        assert_eq!(s.percentile(0.5), SimDuration(1));
+    }
+
+    #[test]
+    fn counters() {
+        let mut c = Counters::new();
+        c.incr("messages");
+        c.add("messages", 4);
+        c.incr("failures");
+        assert_eq!(c.get("messages"), 5);
+        assert_eq!(c.get("failures"), 1);
+        assert_eq!(c.get("unknown"), 0);
+        let all: Vec<_> = c.iter().collect();
+        assert_eq!(all, vec![("failures", 1), ("messages", 5)]);
+    }
+}

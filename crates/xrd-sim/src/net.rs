@@ -1,0 +1,158 @@
+//! Network model: pairwise latency plus per-link bandwidth.
+//!
+//! Mirrors the paper's testbed (§8.2): servers in one datacenter with
+//! 10 Gbps NICs and 40–100 ms RTT injected with `tc`.  Latencies are
+//! sampled deterministically per (src, dst) pair from a seed, so a given
+//! topology always behaves identically.
+
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::time::SimDuration;
+
+/// Identifies a node (server, user aggregate, mailbox) in the network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Pairwise network model.
+#[derive(Clone, Debug)]
+pub struct NetworkModel {
+    /// Minimum one-way latency.
+    pub min_latency: SimDuration,
+    /// Maximum one-way latency.
+    pub max_latency: SimDuration,
+    /// Link bandwidth in bytes per second (per flow).
+    pub bandwidth_bytes_per_sec: u64,
+    /// Seed for the deterministic latency table.
+    pub seed: u64,
+}
+
+impl NetworkModel {
+    /// The paper's testbed: 40–100 ms RTT (20–50 ms one-way), 10 Gbps.
+    pub fn paper_testbed(seed: u64) -> NetworkModel {
+        NetworkModel {
+            min_latency: SimDuration::from_millis(20),
+            max_latency: SimDuration::from_millis(50),
+            bandwidth_bytes_per_sec: 10_000_000_000 / 8,
+            seed,
+        }
+    }
+
+    /// A zero-latency, infinite-bandwidth network (for isolating compute).
+    pub fn ideal() -> NetworkModel {
+        NetworkModel {
+            min_latency: SimDuration::ZERO,
+            max_latency: SimDuration::ZERO,
+            bandwidth_bytes_per_sec: u64::MAX,
+            seed: 0,
+        }
+    }
+
+    /// Deterministic one-way propagation latency between two nodes.
+    /// Symmetric: `latency(a, b) == latency(b, a)`.
+    pub fn latency(&self, a: NodeId, b: NodeId) -> SimDuration {
+        if self.min_latency == self.max_latency {
+            return self.min_latency;
+        }
+        let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        let pair_seed = self
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(((lo as u64) << 32) | hi as u64);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(pair_seed);
+        let span = self.max_latency.0 - self.min_latency.0;
+        SimDuration(self.min_latency.0 + rng.gen_range(0..=span))
+    }
+
+    /// Serialization (bandwidth) delay for a payload of `bytes`.
+    pub fn serialization_delay(&self, bytes: u64) -> SimDuration {
+        if self.bandwidth_bytes_per_sec == u64::MAX {
+            return SimDuration::ZERO;
+        }
+        // ceil(bytes * 1e9 / bw) nanoseconds, in u128 to avoid overflow.
+        let ns = (bytes as u128 * 1_000_000_000u128).div_ceil(self.bandwidth_bytes_per_sec as u128);
+        SimDuration(ns.min(u64::MAX as u128) as u64)
+    }
+
+    /// Total one-way transfer time for `bytes` from `a` to `b`:
+    /// propagation + serialization.
+    pub fn transfer_time(&self, a: NodeId, b: NodeId, bytes: u64) -> SimDuration {
+        self.latency(a, b).saturating_add(self.serialization_delay(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_deterministic_and_symmetric() {
+        let net = NetworkModel::paper_testbed(42);
+        let a = NodeId(3);
+        let b = NodeId(17);
+        assert_eq!(net.latency(a, b), net.latency(a, b));
+        assert_eq!(net.latency(a, b), net.latency(b, a));
+    }
+
+    #[test]
+    fn latency_within_bounds() {
+        let net = NetworkModel::paper_testbed(7);
+        for i in 0..20 {
+            for j in 0..20 {
+                let l = net.latency(NodeId(i), NodeId(j));
+                assert!(l >= net.min_latency && l <= net.max_latency);
+            }
+        }
+    }
+
+    #[test]
+    fn different_pairs_get_different_latencies() {
+        let net = NetworkModel::paper_testbed(1);
+        let mut distinct = std::collections::HashSet::new();
+        for i in 0..10 {
+            distinct.insert(net.latency(NodeId(0), NodeId(i)).0);
+        }
+        assert!(distinct.len() > 3, "latency table looks degenerate");
+    }
+
+    #[test]
+    fn serialization_delay_scales_linearly() {
+        let net = NetworkModel::paper_testbed(0);
+        let one_mb = net.serialization_delay(1_000_000);
+        let two_mb = net.serialization_delay(2_000_000);
+        // 1 MB at 1.25 GB/s = 0.8 ms
+        assert_eq!(one_mb, SimDuration(800_000));
+        assert_eq!(two_mb.0, 2 * one_mb.0);
+    }
+
+    #[test]
+    fn ideal_network_is_free() {
+        let net = NetworkModel::ideal();
+        assert_eq!(net.transfer_time(NodeId(0), NodeId(1), 1 << 40), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn transfer_combines_latency_and_bandwidth() {
+        let net = NetworkModel {
+            min_latency: SimDuration::from_millis(10),
+            max_latency: SimDuration::from_millis(10),
+            bandwidth_bytes_per_sec: 1_000_000, // 1 MB/s
+            seed: 0,
+        };
+        let t = net.transfer_time(NodeId(0), NodeId(1), 500_000); // 0.5s ser.
+        assert_eq!(t, SimDuration::from_millis(510));
+    }
+
+    #[test]
+    fn different_seeds_change_table() {
+        let n1 = NetworkModel::paper_testbed(1);
+        let n2 = NetworkModel::paper_testbed(2);
+        let mut any_diff = false;
+        for i in 1..10 {
+            if n1.latency(NodeId(0), NodeId(i)) != n2.latency(NodeId(0), NodeId(i)) {
+                any_diff = true;
+            }
+        }
+        assert!(any_diff);
+    }
+}

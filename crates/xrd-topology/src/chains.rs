@@ -1,0 +1,239 @@
+//! Anytrust mix-chain formation (§5.2.1).
+//!
+//! Chains of length `k` are sampled from the public randomness beacon so
+//! that, except with probability < 2^-64, every chain contains at least
+//! one honest server.  Positions within chains are then *staggered* so a
+//! server sitting in several chains occupies different pipeline stages in
+//! each, minimizing idle time (a pure performance optimization with no
+//! security impact — the anytrust argument only needs membership).
+
+use rand::Rng;
+
+use crate::beacon::Beacon;
+
+/// Identifies a physical server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ServerId(pub u32);
+
+/// Identifies a mix chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChainId(pub u32);
+
+/// One mix chain: an ordered list of servers (position = pipeline hop).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Chain {
+    /// This chain's id (index into the topology's chain list).
+    pub id: ChainId,
+    /// Servers in hop order; `members[0]` receives user submissions.
+    pub members: Vec<ServerId>,
+}
+
+/// Smallest chain length `k` such that `n_chains * f^k < 2^-security_bits`
+/// (§5.2.1's union bound).  `f` is the assumed fraction of malicious
+/// servers.
+pub fn chain_length(f: f64, n_chains: usize, security_bits: u32) -> usize {
+    assert!((0.0..1.0).contains(&f), "f must be in [0, 1)");
+    assert!(n_chains > 0);
+    if f == 0.0 {
+        return 1;
+    }
+    // k > (security_bits + log2(n)) / -log2(f)
+    let needed = (security_bits as f64 + (n_chains as f64).log2()) / -f.log2();
+    (needed.floor() as usize + 1).max(1)
+}
+
+/// Sample `n_chains` chains of length `k` over `n_servers` servers from
+/// the beacon's epoch randomness.  Within a chain, members are distinct;
+/// across chains sampling is independent, so a server appears in
+/// `n_chains * k / n_servers` chains in expectation (k chains when
+/// `n_chains == n_servers`, as XRD configures).
+pub fn form_chains(
+    beacon: &Beacon,
+    epoch: u64,
+    n_servers: usize,
+    n_chains: usize,
+    k: usize,
+) -> Vec<Chain> {
+    assert!(k >= 1, "chains need at least one server");
+    assert!(
+        n_servers >= k,
+        "need at least k distinct servers per chain (n_servers={n_servers}, k={k})"
+    );
+    let mut rng = beacon.rng(epoch).fork("chain-formation");
+    let mut chains = Vec::with_capacity(n_chains);
+    for id in 0..n_chains {
+        // Partial Fisher-Yates: first k entries of a shuffle.
+        let mut pool: Vec<u32> = (0..n_servers as u32).collect();
+        for i in 0..k {
+            let j = rng.gen_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        chains.push(Chain {
+            id: ChainId(id as u32),
+            members: pool[..k].iter().map(|&s| ServerId(s)).collect(),
+        });
+    }
+    stagger(&mut chains, n_servers);
+    chains
+}
+
+/// Reorder members within each chain so each server's positions are
+/// spread across the chains it belongs to.  Greedy: process chains in
+/// order; at each position pick the not-yet-placed member who has used
+/// that position least.
+#[allow(clippy::needless_range_loop)] // hop positions are the subject here
+fn stagger(chains: &mut [Chain], n_servers: usize) {
+    let k = chains.first().map(|c| c.members.len()).unwrap_or(0);
+    // position_load[server][pos] = how many chains already place `server`
+    // at hop `pos`.
+    let mut position_load = vec![vec![0u32; k]; n_servers];
+    for chain in chains.iter_mut() {
+        let mut remaining = chain.members.clone();
+        let mut ordered = Vec::with_capacity(k);
+        for pos in 0..k {
+            // Pick the remaining member with the lowest load at `pos`
+            // (ties: lowest server id, keeping determinism).
+            let (best_idx, _) = remaining
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| (position_load[s.0 as usize][pos], s.0))
+                .expect("chain has k members");
+            let server = remaining.swap_remove(best_idx);
+            position_load[server.0 as usize][pos] += 1;
+            ordered.push(server);
+        }
+        chain.members = ordered;
+    }
+}
+
+/// Per-server position spread metric: the average (over servers in 2+
+/// chains) of the fraction of *distinct* positions they occupy.  1.0 is
+/// perfectly staggered; near `1/min(k, chains)` is fully aligned.  Used
+/// by the staggering ablation.
+pub fn position_spread(chains: &[Chain], n_servers: usize) -> f64 {
+    let mut positions: Vec<Vec<usize>> = vec![Vec::new(); n_servers];
+    for chain in chains {
+        for (pos, s) in chain.members.iter().enumerate() {
+            positions[s.0 as usize].push(pos);
+        }
+    }
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for pos_list in positions.iter().filter(|p| p.len() >= 2) {
+        let distinct: std::collections::HashSet<_> = pos_list.iter().collect();
+        let k = chains[0].members.len();
+        let possible = pos_list.len().min(k);
+        total += distinct.len() as f64 / possible as f64;
+        counted += 1;
+    }
+    if counted == 0 {
+        1.0
+    } else {
+        total / counted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_length_matches_paper_example() {
+        // §5.2.1: "if we want this probability to be less than 2^-64 for
+        // f = 20%, then we need k = 32 for n < 6000".
+        let k = chain_length(0.2, 5999, 64);
+        assert!(
+            (30..=33).contains(&k),
+            "k = {k}, expected ~32 per the paper"
+        );
+        // And k must be enough: n * f^k < 2^-64.
+        let bound = 5999.0 * 0.2f64.powi(k as i32);
+        assert!(bound < 2.0f64.powi(-64));
+    }
+
+    #[test]
+    fn chain_length_grows_with_f() {
+        let k1 = chain_length(0.1, 100, 64);
+        let k2 = chain_length(0.2, 100, 64);
+        let k3 = chain_length(0.4, 100, 64);
+        assert!(k1 < k2 && k2 < k3);
+    }
+
+    #[test]
+    fn chain_length_zero_f() {
+        assert_eq!(chain_length(0.0, 100, 64), 1);
+    }
+
+    #[test]
+    fn chains_have_distinct_members() {
+        let beacon = Beacon::from_u64(1);
+        let chains = form_chains(&beacon, 0, 50, 50, 8);
+        assert_eq!(chains.len(), 50);
+        for chain in &chains {
+            assert_eq!(chain.members.len(), 8);
+            let set: std::collections::HashSet<_> = chain.members.iter().collect();
+            assert_eq!(set.len(), 8, "duplicate member in chain {:?}", chain.id);
+            for s in &chain.members {
+                assert!((s.0 as usize) < 50);
+            }
+        }
+    }
+
+    #[test]
+    fn formation_is_deterministic() {
+        let beacon = Beacon::from_u64(9);
+        let a = form_chains(&beacon, 5, 30, 30, 4);
+        let b = form_chains(&beacon, 5, 30, 30, 4);
+        assert_eq!(a, b);
+        let c = form_chains(&beacon, 6, 30, 30, 4);
+        assert_ne!(a, c, "different epochs must differ");
+    }
+
+    #[test]
+    fn server_appears_in_about_k_chains() {
+        // With n_chains == n_servers and chain length k, each server is in
+        // k chains on average (§5.2.1).
+        let beacon = Beacon::from_u64(2);
+        let n = 100;
+        let k = 8;
+        let chains = form_chains(&beacon, 0, n, n, k);
+        let mut count = vec![0usize; n];
+        for chain in &chains {
+            for s in &chain.members {
+                count[s.0 as usize] += 1;
+            }
+        }
+        let mean = count.iter().sum::<usize>() as f64 / n as f64;
+        assert!((mean - k as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn staggering_spreads_positions() {
+        let beacon = Beacon::from_u64(3);
+        let n = 64;
+        let k = 8;
+        let chains = form_chains(&beacon, 0, n, n, k);
+        let spread = position_spread(&chains, n);
+        // Greedy staggering should give most servers distinct positions.
+        assert!(spread > 0.8, "spread = {spread}");
+    }
+
+    #[test]
+    fn staggering_preserves_membership() {
+        // Stagger must only reorder, never change the member set.
+        let beacon = Beacon::from_u64(4);
+        let n = 40;
+        let k = 6;
+        let chains = form_chains(&beacon, 0, n, n, k);
+        for chain in &chains {
+            let set: std::collections::HashSet<_> = chain.members.iter().collect();
+            assert_eq!(set.len(), k);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least k distinct servers")]
+    fn too_few_servers_panics() {
+        form_chains(&Beacon::from_u64(0), 0, 3, 10, 4);
+    }
+}

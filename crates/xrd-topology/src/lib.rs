@@ -1,0 +1,134 @@
+//! # xrd-topology
+//!
+//! Network-shape substrate for XRD: the public randomness [`Beacon`],
+//! anytrust mix-chain formation with position staggering (§5.2.1), and
+//! the pairwise-intersecting chain-selection algorithm (§5.3.1).
+//!
+//! A [`Topology`] bundles the sampled chains with the selection table so
+//! higher layers (users, coordinators, experiments) get a single, fully
+//! deterministic description of "who mixes what, and where users meet".
+
+#![warn(missing_docs)]
+
+pub mod beacon;
+pub mod chains;
+pub mod selection;
+
+pub use beacon::Beacon;
+pub use chains::{chain_length, form_chains, position_spread, Chain, ChainId, ServerId};
+pub use selection::{ell_for_chains, SelectionTable};
+
+/// A complete XRD network shape for one epoch.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// Number of physical servers `N`.
+    pub n_servers: usize,
+    /// Assumed malicious fraction `f`.
+    pub f: f64,
+    /// The sampled mix chains (length `n_chains`, each of length `k`).
+    pub chains: Vec<Chain>,
+    /// The group → chain-set table.
+    pub selection: SelectionTable,
+}
+
+impl Topology {
+    /// Build the topology XRD uses: `n_chains = n_servers` (§5.2.1) and
+    /// chain length `k` from the 2^-64 anytrust union bound.
+    pub fn build(beacon: &Beacon, epoch: u64, n_servers: usize, f: f64) -> Topology {
+        let k = chain_length(f, n_servers, 64);
+        Self::build_with(beacon, epoch, n_servers, n_servers, k, f)
+    }
+
+    /// Build with explicit chain count and length (for tests/experiments
+    /// that scale k down).
+    pub fn build_with(
+        beacon: &Beacon,
+        epoch: u64,
+        n_servers: usize,
+        n_chains: usize,
+        k: usize,
+        f: f64,
+    ) -> Topology {
+        let chains = form_chains(beacon, epoch, n_servers, n_chains, k);
+        let selection = SelectionTable::build(n_chains);
+        Topology {
+            n_servers,
+            f,
+            chains,
+            selection,
+        }
+    }
+
+    /// Chain length `k`.
+    pub fn chain_len(&self) -> usize {
+        self.chains.first().map(|c| c.members.len()).unwrap_or(0)
+    }
+
+    /// Number of chains `n`.
+    pub fn n_chains(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Messages per user per round (`ℓ`).
+    pub fn ell(&self) -> usize {
+        self.selection.ell
+    }
+
+    /// The chains that a user with the given public key sends to.
+    pub fn chains_of_user(&self, pk: &[u8; 32]) -> &[ChainId] {
+        let g = self.selection.group_of(pk);
+        self.selection.chains_of_group(g)
+    }
+
+    /// Where two users meet: the deterministic meeting chain of their
+    /// groups.
+    pub fn meeting_chain_of_users(&self, pk_a: &[u8; 32], pk_b: &[u8; 32]) -> ChainId {
+        let ga = self.selection.group_of(pk_a);
+        let gb = self.selection.group_of(pk_b);
+        self.selection
+            .meeting_chain(ga, gb)
+            .expect("selection table guarantees pairwise intersection")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_matches_paper_parameters() {
+        let beacon = Beacon::from_u64(1);
+        // Scaled-down: 50 servers, f=0.2.
+        let topo = Topology::build(&beacon, 0, 50, 0.2);
+        assert_eq!(topo.n_chains(), 50);
+        // k ~ 31-32 for n=50, f=0.2, 64-bit security.
+        assert!((28..=33).contains(&topo.chain_len()), "k={}", topo.chain_len());
+        assert_eq!(topo.ell(), ell_for_chains(50));
+    }
+
+    #[test]
+    fn users_meet_at_consistent_chain() {
+        let beacon = Beacon::from_u64(2);
+        let topo = Topology::build_with(&beacon, 0, 20, 20, 3, 0.2);
+        let pk_a = [1u8; 32];
+        let pk_b = [2u8; 32];
+        let m1 = topo.meeting_chain_of_users(&pk_a, &pk_b);
+        let m2 = topo.meeting_chain_of_users(&pk_b, &pk_a);
+        assert_eq!(m1, m2);
+        // The meeting chain is in both users' chain sets.
+        assert!(topo.chains_of_user(&pk_a).contains(&m1));
+        assert!(topo.chains_of_user(&pk_b).contains(&m1));
+    }
+
+    #[test]
+    fn all_user_pairs_meet() {
+        let beacon = Beacon::from_u64(3);
+        let topo = Topology::build_with(&beacon, 0, 30, 30, 3, 0.2);
+        let pks: Vec<[u8; 32]> = (0..40u8).map(|i| [i; 32]).collect();
+        for a in &pks {
+            for b in &pks {
+                let _ = topo.meeting_chain_of_users(a, b); // must not panic
+            }
+        }
+    }
+}

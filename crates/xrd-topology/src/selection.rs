@@ -1,0 +1,259 @@
+//! The chain-selection algorithm (§5.3.1): users are partitioned into
+//! `ℓ+1` groups, each connected to `ℓ ≈ √(2n)` chains, such that **every
+//! pair of groups shares at least one chain** — the property that makes
+//! any pair of users equally plausible conversation partners.
+//!
+//! Construction (1-based, as in the paper): `C_1 = {1, …, ℓ}` and
+//! `C_{i+1} = {C_1[i], C_2[i], …, C_i[i], C_i[ℓ]+1, …, C_i[ℓ]+(ℓ−i)}`.
+//! Group `a` and group `b > a` then share chain `C_a[b−1]`.
+//!
+//! The construction uses `(ℓ²+ℓ)/2` *virtual* chains; when this exceeds
+//! the number of real chains `n`, virtual ids wrap modulo `n` (merging
+//! chains only adds intersections, so the pairwise property survives —
+//! see DESIGN.md §7).
+
+use xrd_crypto::blake2b::Blake2b;
+
+use crate::chains::ChainId;
+
+/// `ℓ = ⌈√(2n + 0.25) − 0.5⌉`: the number of chains each user connects
+/// to, a √2-approximation of the optimal √n (§5.3.1).
+pub fn ell_for_chains(n_chains: usize) -> usize {
+    assert!(n_chains > 0);
+    let ell = ((2.0 * n_chains as f64 + 0.25).sqrt() - 0.5).ceil() as usize;
+    ell.max(1)
+}
+
+/// The per-group chain sets.  `groups[g]` is the ordered list of `ℓ` real
+/// chain ids that users in group `g` send to each round (possibly with
+/// repeats after modular wrapping).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SelectionTable {
+    /// Number of real chains `n`.
+    pub n_chains: usize,
+    /// `ℓ`.
+    pub ell: usize,
+    /// `ℓ+1` groups, each an ordered list of `ℓ` chain ids.
+    pub groups: Vec<Vec<ChainId>>,
+}
+
+impl SelectionTable {
+    /// Build the table for `n` real chains.
+    #[allow(clippy::needless_range_loop)] // mirrors the paper's C_x[y] indexing
+    pub fn build(n_chains: usize) -> SelectionTable {
+        let ell = ell_for_chains(n_chains);
+        // Virtual chain ids are 1-based to match the paper's arithmetic.
+        let mut virt: Vec<Vec<u64>> = Vec::with_capacity(ell + 1);
+        virt.push((1..=ell as u64).collect());
+        for i in 1..=ell {
+            // C_{i+1} = {C_1[i], ..., C_i[i]} ∪ {C_i[ℓ]+1, ..., C_i[ℓ]+(ℓ-i)}
+            // (paper's 1-based C_x[y]; here y = i means index i-1... note
+            // the paper's C_x[i] at construction step i is the i-th entry,
+            // 0-based index i-1).
+            let mut set = Vec::with_capacity(ell);
+            for a in 0..i {
+                set.push(virt[a][i - 1]);
+            }
+            let base = virt[i - 1][ell - 1];
+            for j in 1..=(ell - i) as u64 {
+                set.push(base + j);
+            }
+            debug_assert_eq!(set.len(), ell);
+            virt.push(set);
+        }
+        let groups = virt
+            .into_iter()
+            .map(|set| {
+                set.into_iter()
+                    .map(|v| ChainId(((v - 1) % n_chains as u64) as u32))
+                    .collect()
+            })
+            .collect();
+        SelectionTable {
+            n_chains,
+            ell,
+            groups,
+        }
+    }
+
+    /// Number of groups (`ℓ+1`).
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Publicly computable group assignment: hash of the user's public
+    /// key modulo the group count (§5.3.1 "assigning each user to a
+    /// pseudo-random group based on the hash of the user's public key").
+    pub fn group_of(&self, user_pk: &[u8; 32]) -> usize {
+        let mut h = Blake2b::new(32);
+        h.update(b"xrd-group-assignment-v1");
+        h.update(user_pk);
+        let digest = h.finalize_32();
+        let x = u64::from_le_bytes(digest[..8].try_into().expect("8 bytes"));
+        (x % self.num_groups() as u64) as usize
+    }
+
+    /// The chains a user in group `g` sends to.
+    pub fn chains_of_group(&self, g: usize) -> &[ChainId] {
+        &self.groups[g]
+    }
+
+    /// The meeting chain for two groups: the smallest-id chain in the
+    /// intersection (the paper's deterministic tie-break, §5.3.2).
+    /// `None` only if the construction were broken (checked by tests).
+    pub fn meeting_chain(&self, group_a: usize, group_b: usize) -> Option<ChainId> {
+        let set_a: std::collections::BTreeSet<ChainId> =
+            self.groups[group_a].iter().copied().collect();
+        self.groups[group_b]
+            .iter()
+            .filter(|c| set_a.contains(c))
+            .copied()
+            .min()
+    }
+
+    /// Expected number of messages arriving at each chain per round if
+    /// `m_users` users each send `ℓ` messages (load-balance diagnostics).
+    pub fn chain_loads(&self, m_users: u64) -> Vec<f64> {
+        let per_group = m_users as f64 / self.num_groups() as f64;
+        let mut load = vec![0.0f64; self.n_chains];
+        for group in &self.groups {
+            for c in group {
+                load[c.0 as usize] += per_group;
+            }
+        }
+        load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ell_values() {
+        // (ℓ²+ℓ)/2 should be the smallest triangular number >= n.
+        for n in [1usize, 2, 3, 6, 10, 50, 100, 1000, 2000] {
+            let ell = ell_for_chains(n);
+            let tri = ell * (ell + 1) / 2;
+            assert!(tri >= n, "n={n}, ell={ell}");
+            if ell > 1 {
+                let tri_prev = (ell - 1) * ell / 2;
+                assert!(tri_prev < n, "ell too large for n={n}");
+            }
+        }
+        // Spot values: n=100 -> ℓ=14 ((14²+14)/2 = 105 ≥ 100).
+        assert_eq!(ell_for_chains(100), 14);
+        assert_eq!(ell_for_chains(3), 2);
+        assert_eq!(ell_for_chains(6), 3);
+    }
+
+    #[test]
+    fn every_pair_of_groups_intersects() {
+        for n in [1usize, 2, 3, 5, 10, 16, 50, 100, 333, 1000] {
+            let table = SelectionTable::build(n);
+            for a in 0..table.num_groups() {
+                for b in 0..table.num_groups() {
+                    assert!(
+                        table.meeting_chain(a, b).is_some(),
+                        "groups {a},{b} don't intersect (n={n})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn groups_have_ell_chains() {
+        for n in [4usize, 10, 100, 500] {
+            let table = SelectionTable::build(n);
+            assert_eq!(table.num_groups(), table.ell + 1);
+            for g in &table.groups {
+                assert_eq!(g.len(), table.ell);
+                for c in g {
+                    assert!((c.0 as usize) < n);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_group_meets_on_first_chain() {
+        let table = SelectionTable::build(100);
+        for g in 0..table.num_groups() {
+            let meet = table.meeting_chain(g, g).unwrap();
+            let min = table.groups[g].iter().copied().min().unwrap();
+            assert_eq!(meet, min);
+        }
+    }
+
+    #[test]
+    fn meeting_chain_is_symmetric() {
+        let table = SelectionTable::build(64);
+        for a in 0..table.num_groups() {
+            for b in 0..table.num_groups() {
+                assert_eq!(table.meeting_chain(a, b), table.meeting_chain(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_construction_without_wrapping() {
+        // n = 6 = (3²+3)/2: no wrapping, pure paper construction, ℓ = 3.
+        // C1 = {1,2,3}, C2 = {C1[1], C1[3]+1, C1[3]+2} = {1,4,5},
+        // C3 = {C1[2], C2[2], C2[3]+1} = {2,4,6},
+        // C4 = {C1[3], C2[3], C3[3]} = {3,5,6}.   (1-based)
+        let table = SelectionTable::build(6);
+        assert_eq!(table.ell, 3);
+        let expect: Vec<Vec<u32>> =
+            vec![vec![0, 1, 2], vec![0, 3, 4], vec![1, 3, 5], vec![2, 4, 5]];
+        let got: Vec<Vec<u32>> = table
+            .groups
+            .iter()
+            .map(|g| g.iter().map(|c| c.0).collect())
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn group_assignment_is_deterministic_and_spread() {
+        let table = SelectionTable::build(100);
+        let mut counts = vec![0usize; table.num_groups()];
+        for i in 0..3000u32 {
+            let mut pk = [0u8; 32];
+            pk[..4].copy_from_slice(&i.to_le_bytes());
+            let g = table.group_of(&pk);
+            assert_eq!(g, table.group_of(&pk));
+            counts[g] += 1;
+        }
+        // Roughly even: each group should get within 3x of fair share.
+        let fair = 3000.0 / table.num_groups() as f64;
+        for (g, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64) > fair / 3.0 && (c as f64) < fair * 3.0,
+                "group {g} has {c} users (fair {fair})"
+            );
+        }
+    }
+
+    #[test]
+    fn load_is_balanced() {
+        // §5.3.1 distributes the load evenly: with the triangular-number
+        // construction each chain is used by at most a few groups.
+        let table = SelectionTable::build(105); // = (14²+14)/2, no wrap
+        let loads = table.chain_loads(105_000);
+        let max = loads.iter().cloned().fold(0.0, f64::max);
+        let min = loads.iter().cloned().fold(f64::INFINITY, f64::min);
+        // Every virtual chain is used exactly twice across groups in the
+        // unwrapped construction (each chain C_a[b-1] connects groups a,b).
+        assert!(min > 0.0);
+        assert!(max / min <= 2.0 + 1e-9, "max={max} min={min}");
+    }
+
+    #[test]
+    fn wrapped_construction_still_covers_all_chains() {
+        let table = SelectionTable::build(100); // 105 virtual -> 100 real
+        let loads = table.chain_loads(1000);
+        let unused = loads.iter().filter(|&&l| l == 0.0).count();
+        assert_eq!(unused, 0, "all real chains should receive load");
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests for the §5.3.1 selection algorithm and §5.2.1 chain
+//! formation over randomized configurations.
+
+use proptest::prelude::*;
+use xrd_topology::{chain_length, form_chains, position_spread, Beacon, SelectionTable};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The anytrust bound is actually met by the computed chain length.
+    #[test]
+    fn chain_length_satisfies_union_bound(
+        f in 0.01f64..0.5,
+        n in 1usize..6000,
+    ) {
+        let k = chain_length(f, n, 64);
+        let bound = (n as f64) * f.powi(k as i32);
+        prop_assert!(bound < 2.0f64.powi(-64), "n={n} f={f} k={k}: bound={bound:e}");
+        // And k-1 would not suffice (minimality), modulo the f=tiny case
+        // where k=1 is forced.
+        if k > 1 {
+            let loose = (n as f64) * f.powi(k as i32 - 1);
+            prop_assert!(loose >= 2.0f64.powi(-64), "k not minimal: n={n} f={f} k={k}");
+        }
+    }
+
+    /// Chain formation: right shape, distinct members, deterministic.
+    #[test]
+    fn formation_invariants(
+        seed in any::<u64>(),
+        n_servers in 8usize..60,
+        k in 2usize..8,
+    ) {
+        prop_assume!(n_servers >= k);
+        let beacon = Beacon::from_u64(seed);
+        let chains = form_chains(&beacon, 0, n_servers, n_servers, k);
+        prop_assert_eq!(chains.len(), n_servers);
+        for chain in &chains {
+            prop_assert_eq!(chain.members.len(), k);
+            let distinct: std::collections::HashSet<_> = chain.members.iter().collect();
+            prop_assert_eq!(distinct.len(), k);
+        }
+        // Deterministic under the same beacon.
+        let again = form_chains(&beacon, 0, n_servers, n_servers, k);
+        prop_assert_eq!(chains.clone(), again);
+        // Staggering achieves meaningful spread whenever there is room.
+        if n_servers >= 4 * k {
+            prop_assert!(position_spread(&chains, n_servers) > 0.5);
+        }
+    }
+
+    /// The wrapped construction assigns every real chain to at least one
+    /// group, and meeting chains are consistent with group membership.
+    #[test]
+    fn selection_covers_and_meets(n in 2usize..300) {
+        let table = SelectionTable::build(n);
+        let mut used = vec![false; n];
+        for g in &table.groups {
+            for c in g {
+                used[c.0 as usize] = true;
+            }
+        }
+        prop_assert!(used.iter().all(|u| *u), "some chain receives no load (n={n})");
+        for a in 0..table.num_groups() {
+            for b in 0..table.num_groups() {
+                let m = table.meeting_chain(a, b).expect("pairwise intersection");
+                prop_assert!(table.groups[a].contains(&m));
+                prop_assert!(table.groups[b].contains(&m));
+            }
+        }
+    }
+}

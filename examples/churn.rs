@@ -1,0 +1,41 @@
+//! Availability under server churn (§8.3 / Figure 8): Monte-Carlo over
+//! real sampled topologies, printing the conversation failure rate as
+//! churn grows — reproduce the paper's "27% of conversations fail at 1%
+//! churn" observation.
+//!
+//! ```sh
+//! cargo run --release --example churn
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use xrd::core::churn::{analytic_failure_rate, simulate_churn};
+use xrd::topology::{chain_length, Beacon, Topology};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let n = 100;
+    let k = chain_length(0.2, n, 64);
+    let topo = Topology::build_with(&Beacon::from_u64(1), 0, n, n, k, 0.2);
+    println!("topology: {n} servers, {n} chains of length {k} (f = 0.2)\n");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "churn", "conv fail", "chain fail", "analytic"
+    );
+    for churn in [0.0, 0.005, 0.01, 0.02, 0.03, 0.04] {
+        let r = simulate_churn(&mut rng, &topo, churn, 40);
+        println!(
+            "{:>8.3} {:>12.3} {:>12.3} {:>12.3}",
+            churn,
+            r.conversation_failure_rate,
+            r.chain_failure_rate,
+            analytic_failure_rate(churn, k)
+        );
+    }
+    println!(
+        "\npaper (§8.3): ~27% of conversations fail at 1% churn; ~70% at 4%.\n\
+         The failing chains do not hurt privacy — only delivery — but this is\n\
+         the paper's acknowledged DoS surface."
+    );
+}

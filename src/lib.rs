@@ -1,0 +1,54 @@
+//! # XRD: Scalable Messaging System with Cryptographic Privacy
+//!
+//! A from-scratch Rust reproduction of **XRD** (Kwon, Lu, Devadas —
+//! NSDI 2020): a point-to-point metadata-private messaging system that
+//! provides *cryptographic* privacy (no differential-privacy budget)
+//! while scaling horizontally by running many small mix chains in
+//! parallel, defended against active attacks by the paper's novel
+//! **aggregate hybrid shuffle** (AHS).
+//!
+//! This crate is a facade over the workspace:
+//!
+//! * [`crypto`] — ristretto255 group, ChaCha20-Poly1305, BLAKE2b,
+//!   Schnorr/Chaum-Pedersen NIZKs, all implemented in-repo;
+//! * [`topology`] — randomness beacon, anytrust chain formation, the
+//!   pairwise-intersecting chain-selection algorithm (§5.3.1);
+//! * [`mixnet`] — onion encryption, AHS mixing and verification (§6),
+//!   the blame protocol (§6.4);
+//! * [`core`] — users, mailboxes, the full round protocol with churn
+//!   handling (§5.3.3), and calibrated performance models;
+//! * [`sim`] — the discrete-event substrate standing in for the paper's
+//!   EC2 testbed;
+//! * [`baselines`] — Atom, Pung and Stadium comparison models/kernels.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use xrd::core::{Deployment, DeploymentConfig, Received, User};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! // 6 servers, chains of 2 (test-scale; real deployments use k≈32).
+//! let mut deployment = Deployment::new(&mut rng, DeploymentConfig::small(6, 2));
+//!
+//! let mut users: Vec<User> = (0..4).map(|_| User::new(&mut rng)).collect();
+//! let (alice_pk, bob_pk) = (users[0].pk(), users[1].pk());
+//! users[0].start_conversation(bob_pk);
+//! users[1].start_conversation(alice_pk);
+//! users[0].queue_chat(b"hello Bob".to_vec());
+//!
+//! let (report, fetched) = deployment.run_round(&mut rng, &mut users);
+//! assert_eq!(report.delivered, 4 * deployment.topology().ell());
+//! assert!(fetched[&users[1].mailbox_id()].contains(&Received::Chat {
+//!     from: users[0].mailbox_id(),
+//!     data: b"hello Bob".to_vec(),
+//! }));
+//! ```
+
+pub use xrd_baselines as baselines;
+pub use xrd_core as core;
+pub use xrd_crypto as crypto;
+pub use xrd_mixnet as mixnet;
+pub use xrd_sim as sim;
+pub use xrd_topology as topology;

@@ -1,0 +1,180 @@
+//! Integration tests: the complete XRD system across crates — real
+//! crypto, real AHS mixing with verification, real mailboxes — at test
+//! scale.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use xrd::core::{Deployment, DeploymentConfig, Received, User};
+
+fn setup(
+    seed: u64,
+    n_servers: usize,
+    k: usize,
+    n_users: usize,
+) -> (StdRng, Deployment, Vec<User>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let deployment = Deployment::new(&mut rng, DeploymentConfig::small(n_servers, k));
+    let users: Vec<User> = (0..n_users).map(|_| User::new(&mut rng)).collect();
+    (rng, deployment, users)
+}
+
+#[test]
+fn many_simultaneous_conversations() {
+    let (mut rng, mut deployment, mut users) = setup(1, 10, 2, 12);
+    let ell = deployment.topology().ell();
+
+    // Pair everyone up: 6 conversations.
+    for i in (0..12).step_by(2) {
+        let (a, b) = (users[i].pk(), users[i + 1].pk());
+        users[i].start_conversation(b);
+        users[i + 1].start_conversation(a);
+        users[i].queue_chat(format!("msg from {i}").into_bytes());
+        users[i + 1].queue_chat(format!("msg from {}", i + 1).into_bytes());
+    }
+
+    let (report, fetched) = deployment.run_round(&mut rng, &mut users);
+    assert_eq!(report.messages_mixed, 12 * ell);
+    assert_eq!(report.delivered, 12 * ell);
+    assert!(report.aborted_chains.is_empty());
+
+    for i in 0..12 {
+        let received = &fetched[&users[i].mailbox_id()];
+        assert_eq!(received.len(), ell, "user {i} mailbox count");
+        let partner = if i % 2 == 0 { i + 1 } else { i - 1 };
+        let expect = Received::Chat {
+            from: users[partner].mailbox_id(),
+            data: format!("msg from {partner}").into_bytes(),
+        };
+        assert!(received.contains(&expect), "user {i} missing partner chat");
+    }
+}
+
+#[test]
+fn multi_round_stability() {
+    // Ten consecutive rounds with rotating conversations; counts stay
+    // uniform every round.
+    let (mut rng, mut deployment, mut users) = setup(2, 6, 2, 6);
+    let ell = deployment.topology().ell();
+
+    // Three disjoint pairings cycled across rounds (partners must be
+    // mutual — the paper's out-of-band agreement).
+    let pairings: [[(usize, usize); 3]; 3] = [
+        [(0, 1), (2, 3), (4, 5)],
+        [(0, 2), (1, 4), (3, 5)],
+        [(0, 3), (1, 5), (2, 4)],
+    ];
+    for round in 0..10u64 {
+        // Every third round, change who talks to whom.
+        if round % 3 == 0 {
+            for u in users.iter_mut() {
+                u.end_conversation();
+            }
+            let pks: Vec<_> = users.iter().map(|u| u.pk()).collect();
+            for &(i, j) in &pairings[(round as usize / 3) % 3] {
+                users[i].start_conversation(pks[j]);
+                users[j].start_conversation(pks[i]);
+            }
+        }
+        let (report, fetched) = deployment.run_round(&mut rng, &mut users);
+        assert_eq!(report.round, round);
+        for user in &users {
+            assert_eq!(
+                fetched[&user.mailbox_id()].len(),
+                ell,
+                "round {round} uniformity"
+            );
+        }
+    }
+}
+
+#[test]
+fn mailbox_counts_leak_nothing() {
+    // The adversary's view: per-mailbox counts must be identical whether
+    // or not a user converses.  Run two deployments from the same seed,
+    // one with a conversation and one without, and compare counts.
+    let run = |conversing: bool| -> Vec<usize> {
+        let (mut rng, mut deployment, mut users) = setup(3, 6, 2, 4);
+        if conversing {
+            let (a, b) = (users[0].pk(), users[1].pk());
+            users[0].start_conversation(b);
+            users[1].start_conversation(a);
+        }
+        let (_, fetched) = deployment.run_round(&mut rng, &mut users);
+        users
+            .iter()
+            .map(|u| fetched[&u.mailbox_id()].len())
+            .collect()
+    };
+    assert_eq!(run(false), run(true));
+}
+
+#[test]
+fn users_meet_on_expected_chain_end_to_end() {
+    let (mut rng, mut deployment, mut users) = setup(4, 8, 2, 2);
+    let (a_pk, b_pk) = (users[0].pk(), users[1].pk());
+    users[0].start_conversation(b_pk);
+    users[1].start_conversation(a_pk);
+    users[0].queue_chat(b"x".to_vec());
+
+    // The meeting chain is publicly computable.
+    let meeting = deployment
+        .topology()
+        .meeting_chain_of_users(&users[0].mailbox_id(), &users[1].mailbox_id());
+    let chains_a = deployment
+        .topology()
+        .chains_of_user(&users[0].mailbox_id())
+        .to_vec();
+    assert!(chains_a.contains(&meeting));
+
+    let (_, fetched) = deployment.run_round(&mut rng, &mut users);
+    assert!(fetched[&users[1].mailbox_id()]
+        .iter()
+        .any(|r| matches!(r, Received::Chat { .. })));
+}
+
+#[test]
+fn offline_from_start_then_returning() {
+    let (mut rng, mut deployment, mut users) = setup(5, 6, 2, 3);
+    let ell = deployment.topology().ell();
+
+    users[2].online = false;
+    let (report, _) = deployment.run_round(&mut rng, &mut users);
+    assert_eq!(report.messages_mixed, 2 * ell); // no cover for user 2 yet
+
+    users[2].online = true;
+    let (report, fetched) = deployment.run_round(&mut rng, &mut users);
+    assert_eq!(report.messages_mixed, 3 * ell);
+    assert_eq!(fetched[&users[2].mailbox_id()].len(), ell);
+}
+
+#[test]
+fn deployment_with_paper_scale_chain_length() {
+    // One small round at the paper's actual chain length (k = 30 for
+    // n = 35, f = 0.2): exercises deep onions end to end.
+    let mut rng = StdRng::seed_from_u64(6);
+    let k = xrd::topology::chain_length(0.2, 35, 64);
+    assert!((28..=33).contains(&k), "k = {k}");
+    let mut deployment = Deployment::new(
+        &mut rng,
+        DeploymentConfig {
+            n_servers: 35,
+            chain_len: Some(k),
+            f: 0.2,
+            n_mailbox_shards: 2,
+            seed: 0,
+        },
+    );
+    let mut users: Vec<User> = (0..2).map(|_| User::new(&mut rng)).collect();
+    let (a, b) = (users[0].pk(), users[1].pk());
+    users[0].start_conversation(b);
+    users[1].start_conversation(a);
+    users[0].queue_chat(b"deep onion".to_vec());
+
+    let (report, fetched) = deployment.run_round(&mut rng, &mut users);
+    assert_eq!(report.delivered, 2 * deployment.topology().ell());
+    assert!(fetched[&users[1].mailbox_id()].contains(&Received::Chat {
+        from: users[0].mailbox_id(),
+        data: b"deep onion".to_vec()
+    }));
+}
