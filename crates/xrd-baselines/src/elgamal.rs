@@ -60,8 +60,7 @@ pub fn mix_hop<R: RngCore + ?Sized>(
     batch: &[ElGamalCiphertext],
 ) -> Vec<ElGamalCiphertext> {
     use rand::Rng;
-    let mut out: Vec<ElGamalCiphertext> =
-        batch.iter().map(|ct| reencrypt(rng, pk, ct)).collect();
+    let mut out: Vec<ElGamalCiphertext> = batch.iter().map(|ct| reencrypt(rng, pk, ct)).collect();
     for i in (1..out.len()).rev() {
         let j = rng.gen_range(0..=i);
         out.swap(i, j);

@@ -58,7 +58,11 @@ impl PirDatabase {
     /// query this returns the selected record; with ciphertext
     /// coefficients it is exactly XPIR's absorption workload.
     pub fn answer(&self, query: &[u64]) -> [u64; WORDS] {
-        assert_eq!(query.len(), self.records.len(), "query length must match db");
+        assert_eq!(
+            query.len(),
+            self.records.len(),
+            "query length must match db"
+        );
         let mut acc = [0u64; WORDS];
         for (q, record) in query.iter().zip(self.records.iter()) {
             for (a, r) in acc.iter_mut().zip(record.iter()) {
@@ -215,6 +219,9 @@ mod tests {
         let b4m = m.user_bandwidth_bytes(PungVariant::Xpir, 4_000_000);
         assert!((5_500_000..6_100_000).contains(&b1m), "{b1m}");
         assert!((11_000_000..12_000_000).contains(&b4m), "{b4m}");
-        assert_eq!(m.user_bandwidth_bytes(PungVariant::SealPir, 4_000_000), 65536);
+        assert_eq!(
+            m.user_bandwidth_bytes(PungVariant::SealPir, 4_000_000),
+            65536
+        );
     }
 }

@@ -62,8 +62,7 @@ impl StadiumModel {
         compute: &ServerCompute,
     ) -> f64 {
         let chains = (n_servers / self.chain_len).max(1);
-        let batch =
-            ((m_users as f64) * (1.0 + self.noise_overhead) / chains as f64).ceil() as u64;
+        let batch = ((m_users as f64) * (1.0 + self.noise_overhead) / chains as f64).ceil() as u64;
         let exps_per_msg = self.prove_exps + self.verify_exps;
         let hop_compute = compute
             .parallel_batch(batch, op.exp.scale(exps_per_msg))

@@ -48,9 +48,7 @@ fn bench_ahs_hop(c: &mut Criterion) {
                         StdRng::seed_from_u64(9),
                     )
                 },
-                |(mut server, input, mut rng2)| {
-                    server.process_round(&mut rng2, 0, input).unwrap()
-                },
+                |(mut server, input, mut rng2)| server.process_round(&mut rng2, 0, input).unwrap(),
                 criterion::BatchSize::SmallInput,
             )
         });
@@ -123,5 +121,10 @@ fn bench_ahs_vs_vshuffle(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ahs_hop, bench_ahs_verify, bench_ahs_vs_vshuffle);
+criterion_group!(
+    benches,
+    bench_ahs_hop,
+    bench_ahs_verify,
+    bench_ahs_vs_vshuffle
+);
 criterion_main!(benches);

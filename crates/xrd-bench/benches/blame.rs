@@ -28,8 +28,7 @@ fn bench_blame(c: &mut Criterion) {
 
         let public = chain.public().clone();
         let servers = chain.servers_mut();
-        let mut entries: Vec<xrd_mixnet::MixEntry> =
-            subs.iter().map(|s| s.to_entry()).collect();
+        let mut entries: Vec<xrd_mixnet::MixEntry> = subs.iter().map(|s| s.to_entry()).collect();
         let mut failure = None;
         for (pos, server) in servers.iter_mut().enumerate() {
             match server.process_round(&mut rng, round, entries.clone()) {

@@ -41,7 +41,9 @@ fn bench_seal_ahs_vs_basic(c: &mut Criterion) {
     let m = msg();
 
     let mut group = c.benchmark_group("seal_onion_k32");
-    group.bench_function("ahs_shared_x", |b| b.iter(|| seal_ahs(&mut rng, &keys, 0, &m)));
+    group.bench_function("ahs_shared_x", |b| {
+        b.iter(|| seal_ahs(&mut rng, &keys, 0, &m))
+    });
     group.bench_function("basic_fresh_x_per_layer", |b| {
         b.iter(|| seal_basic(&mut rng, &mpks, 0, &m))
     });

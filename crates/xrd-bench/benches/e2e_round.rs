@@ -17,10 +17,8 @@ fn bench_full_round(c: &mut Criterion) {
             b.iter_batched(
                 || {
                     let mut rng = StdRng::seed_from_u64(1);
-                    let deployment =
-                        Deployment::new(&mut rng, DeploymentConfig::small(6, 2));
-                    let mut users: Vec<User> =
-                        (0..n_users).map(|_| User::new(&mut rng)).collect();
+                    let deployment = Deployment::new(&mut rng, DeploymentConfig::small(6, 2));
+                    let mut users: Vec<User> = (0..n_users).map(|_| User::new(&mut rng)).collect();
                     // Pair users up for conversations.
                     for i in (0..n_users).step_by(2) {
                         if i + 1 < n_users {
@@ -31,9 +29,7 @@ fn bench_full_round(c: &mut Criterion) {
                     }
                     (rng, deployment, users)
                 },
-                |(mut rng, mut deployment, mut users)| {
-                    deployment.run_round(&mut rng, &mut users)
-                },
+                |(mut rng, mut deployment, mut users)| deployment.run_round(&mut rng, &mut users),
                 criterion::BatchSize::SmallInput,
             )
         });

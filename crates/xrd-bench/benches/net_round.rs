@@ -1,0 +1,43 @@
+//! Macro-benchmark: a complete round through the *networked* deployment
+//! (loopback TCP daemons) next to the same round in-process — the cost
+//! of the wire.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use xrd_core::{Deployment, DeploymentConfig, User};
+use xrd_net::launch_local;
+
+fn bench_networked_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net_round");
+    group.sample_size(10);
+    let config = DeploymentConfig::small(4, 3);
+
+    for &n_users in &[8usize, 24] {
+        group.throughput(Throughput::Elements(n_users as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("in_process", n_users),
+            &n_users,
+            |b, &n| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut deployment = Deployment::new(&mut rng, config.clone());
+                let mut users: Vec<User> = (0..n).map(|_| User::new(&mut rng)).collect();
+                b.iter(|| deployment.run_round(&mut rng, &mut users));
+            },
+        );
+
+        group.bench_with_input(BenchmarkId::new("over_tcp", n_users), &n_users, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let (_cluster, mut deployment) =
+                launch_local(&mut rng, &config).expect("cluster launches");
+            let mut users: Vec<User> = (0..n).map(|_| User::new(&mut rng)).collect();
+            b.iter(|| deployment.run_round(&mut rng, &mut users));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_networked_round);
+criterion_main!(benches);

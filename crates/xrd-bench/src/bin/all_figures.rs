@@ -3,16 +3,34 @@
 fn main() {
     let op = xrd_bench::calibrate(false);
     println!("{}\n", xrd_bench::format_op_costs(&op));
-    println!("{}", xrd_bench::report::fig2_table(&xrd_bench::figures::fig2(&op)));
-    println!("{}", xrd_bench::report::fig3_table(&xrd_bench::figures::fig3(&op)));
-    println!("{}", xrd_bench::report::fig4_table(&xrd_bench::figures::fig4(&op)));
-    println!("{}", xrd_bench::report::fig5_table(&xrd_bench::figures::fig5(&op)));
+    println!(
+        "{}",
+        xrd_bench::report::fig2_table(&xrd_bench::figures::fig2(&op))
+    );
+    println!(
+        "{}",
+        xrd_bench::report::fig3_table(&xrd_bench::figures::fig3(&op))
+    );
+    println!(
+        "{}",
+        xrd_bench::report::fig4_table(&xrd_bench::figures::fig4(&op))
+    );
+    println!(
+        "{}",
+        xrd_bench::report::fig5_table(&xrd_bench::figures::fig5(&op))
+    );
     println!(
         "{}",
         xrd_bench::report::fig5_extrapolation_table(&xrd_bench::figures::fig5_extrapolation(&op))
     );
-    println!("{}", xrd_bench::report::fig6_table(&xrd_bench::figures::fig6(&op)));
+    println!(
+        "{}",
+        xrd_bench::report::fig6_table(&xrd_bench::figures::fig6(&op))
+    );
     let (per_user, rows) = xrd_bench::figures::fig7(false);
     println!("{}", xrd_bench::report::fig7_table(per_user, &rows));
-    println!("{}", xrd_bench::report::fig8_table(&xrd_bench::figures::fig8(false)));
+    println!(
+        "{}",
+        xrd_bench::report::fig8_table(&xrd_bench::figures::fig8(false))
+    );
 }

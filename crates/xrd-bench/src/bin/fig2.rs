@@ -2,5 +2,8 @@
 fn main() {
     let op = xrd_bench::calibrate(false);
     println!("{}\n", xrd_bench::format_op_costs(&op));
-    println!("{}", xrd_bench::report::fig2_table(&xrd_bench::figures::fig2(&op)));
+    println!(
+        "{}",
+        xrd_bench::report::fig2_table(&xrd_bench::figures::fig2(&op))
+    );
 }

@@ -2,7 +2,10 @@
 fn main() {
     let op = xrd_bench::calibrate(false);
     println!("{}\n", xrd_bench::format_op_costs(&op));
-    println!("{}", xrd_bench::report::fig5_table(&xrd_bench::figures::fig5(&op)));
+    println!(
+        "{}",
+        xrd_bench::report::fig5_table(&xrd_bench::figures::fig5(&op))
+    );
     println!(
         "{}",
         xrd_bench::report::fig5_extrapolation_table(&xrd_bench::figures::fig5_extrapolation(&op))

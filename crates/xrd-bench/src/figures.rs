@@ -14,8 +14,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use xrd_baselines::{AtomModel, PungModel, PungVariant, StadiumModel};
-use xrd_core::cost::{PipelineConfig, PipelineModel, UserCostModel};
 use xrd_core::churn::simulate_churn;
+use xrd_core::cost::{PipelineConfig, PipelineModel, UserCostModel};
 use xrd_mixnet::blame::BlameVerdict;
 use xrd_mixnet::client::seal_ahs;
 use xrd_mixnet::{ChainRunner, MailboxMessage, PAYLOAD_LEN};
@@ -292,9 +292,13 @@ pub fn fig7(quick: bool) -> (f64, Vec<Fig7Row>) {
     let start = Instant::now();
     let reps = if quick { 1 } else { 4 };
     for _ in 0..reps {
-        let verdict =
-            xrd_mixnet::run_blame(&mut rng, &public, servers, &subs, round, pos, idx);
-        assert_eq!(verdict, BlameVerdict::MaliciousUser { submission_index: 3 });
+        let verdict = xrd_mixnet::run_blame(&mut rng, &public, servers, &subs, round, pos, idx);
+        assert_eq!(
+            verdict,
+            BlameVerdict::MaliciousUser {
+                submission_index: 3
+            }
+        );
     }
     let mut per_user = start.elapsed().as_secs_f64() / reps as f64;
     if quick {

@@ -38,7 +38,8 @@ pub fn paper_fig5_xrd(n_servers: f64) -> f64 {
 }
 
 fn opt(v: Option<f64>) -> String {
-    v.map(|x| format!("{x:8.1}")).unwrap_or_else(|| format!("{:>8}", "-"))
+    v.map(|x| format!("{x:8.1}"))
+        .unwrap_or_else(|| format!("{:>8}", "-"))
 }
 
 /// Figure 2 table.
@@ -202,7 +203,10 @@ pub fn fig7_table(per_user_secs: f64, rows: &[Fig7Row]) -> String {
          measured per-malicious-user blame cost on this machine: {:.4} s (single core)\n\n",
         per_user_secs
     ));
-    out.push_str(&format!("{:>10} {:>12} {:>12}\n", "bad users", "ours (s)", "paper (s)"));
+    out.push_str(&format!(
+        "{:>10} {:>12} {:>12}\n",
+        "bad users", "ours (s)", "paper (s)"
+    ));
     for r in rows {
         let paper = 13.0 * r.malicious_users as f64 / 5000.0;
         out.push_str(&format!(

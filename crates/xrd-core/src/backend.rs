@@ -1,0 +1,123 @@
+//! The round-protocol backend abstraction.
+//!
+//! A *backend* is anything that can execute one XRD round for a set of
+//! users: the in-process [`Deployment`](crate::Deployment) (every hop a
+//! function call) or a networked deployment (every hop a TCP exchange,
+//! see the `xrd-net` crate).  Tests and experiment harnesses written
+//! against [`RoundBackend`] run unchanged on either, which is how the
+//! two are held to identical protocol semantics.
+//!
+//! The *user side* of a round — sealing ℓ submissions per user against
+//! the current keys, pre-sealing §5.3.3 covers against the next round's
+//! keys, and decrypting fetched mailboxes — is the same regardless of
+//! where the servers live, so it is implemented once here
+//! ([`collect_submissions`], [`open_fetched`]) and shared by every
+//! backend.
+
+use std::collections::HashMap;
+
+use rand::RngCore;
+
+use xrd_mixnet::client::Submission;
+use xrd_mixnet::ChainPublicKeys;
+use xrd_topology::{ChainId, Topology};
+
+use crate::deployment::{FetchResults, RoundReport};
+use crate::user::{Received, User};
+
+/// Stored §5.3.3 cover submissions, keyed by mailbox id: what the
+/// servers replay for a user who went offline after round ρ.
+pub type CoverStore = HashMap<[u8; 32], Vec<(ChainId, Submission)>>;
+
+/// Anything that can run XRD rounds for a set of users.
+pub trait RoundBackend {
+    /// The network shape this backend executes on.
+    fn topology(&self) -> &Topology;
+
+    /// The next round number to be executed.
+    fn round(&self) -> u64;
+
+    /// The chain key bundles for the current round (what fresh
+    /// submissions are sealed against).
+    fn chain_keys(&self) -> &[ChainPublicKeys];
+
+    /// Execute one full round (Figure 1) and return the report plus
+    /// each online user's decrypted mailbox contents.
+    fn run_round(
+        &mut self,
+        rng: &mut dyn RngCore,
+        users: &mut [User],
+    ) -> (RoundReport, FetchResults);
+}
+
+/// Build the per-chain submission batches for one round: online users
+/// seal fresh messages for `round` and store covers for `round + 1`;
+/// offline users fall back to their stored covers (§5.3.3).
+pub fn collect_submissions<R: RngCore + ?Sized>(
+    rng: &mut R,
+    topo: &Topology,
+    current_keys: &[ChainPublicKeys],
+    next_keys: &[ChainPublicKeys],
+    round: u64,
+    cover_store: &mut CoverStore,
+    users: &[User],
+) -> Vec<Vec<Submission>> {
+    let mut per_chain: Vec<Vec<Submission>> = vec![Vec::new(); topo.n_chains()];
+    for user in users.iter() {
+        let submissions: Vec<(ChainId, Submission)> = if user.online {
+            let current = user.seal_round(rng, topo, current_keys, round, false);
+            let cover = user.seal_round(rng, topo, next_keys, round + 1, true);
+            cover_store.insert(user.mailbox_id(), cover);
+            current
+        } else {
+            match cover_store.remove(&user.mailbox_id()) {
+                Some(cover) => cover,
+                None => continue, // offline with no cover: absent
+            }
+        };
+        for (chain, sub) in submissions {
+            per_chain[chain.0 as usize].push(sub);
+        }
+    }
+    per_chain
+}
+
+/// The fetch-and-decrypt half of a round: every online user opens the
+/// sealed blobs `fetch` returns for her mailbox, conversation
+/// bookkeeping advances, and partners who signalled offline are dropped
+/// (§5.3.3).  `fetch` is the only backend-specific part — a local
+/// mailbox drain or a TCP exchange with a mailbox daemon.
+pub fn open_fetched(
+    topo: &Topology,
+    round: u64,
+    users: &mut [User],
+    mut fetch: impl FnMut(&[u8; 32]) -> Vec<Vec<u8>>,
+) -> FetchResults {
+    let mut fetched: FetchResults = HashMap::new();
+    for user in users.iter_mut() {
+        if !user.online {
+            continue;
+        }
+        let sealed = fetch(&user.mailbox_id());
+        let received = user.open_mailbox(topo, round, &sealed);
+        // Conversation bookkeeping: consume the queued chats that went
+        // out this round.
+        if !user.partners().is_empty() {
+            user.mark_round_sent();
+        }
+        // Partner-offline handling: stop conversing with exactly the
+        // partner who left (§5.3.3).
+        let offline: Vec<[u8; 32]> = received
+            .iter()
+            .filter_map(|r| match r {
+                Received::PartnerOffline { partner } => Some(*partner),
+                _ => None,
+            })
+            .collect();
+        for partner in offline {
+            user.end_conversation_with(&partner);
+        }
+        fetched.insert(user.mailbox_id(), received);
+    }
+    fetched
+}

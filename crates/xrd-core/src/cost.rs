@@ -22,8 +22,8 @@
 use xrd_sim::{Engine, NetworkModel, NodeId, OpCosts, ServerCompute, SimDuration, SimTime};
 use xrd_topology::{chain_length, ell_for_chains, Topology};
 
-use xrd_mixnet::message::{inner_envelope_len, outer_ct_len, MAILBOX_MSG_LEN};
 use xrd_crypto::SCHNORR_PROOF_LEN;
+use xrd_mixnet::message::{inner_envelope_len, outer_ct_len, MAILBOX_MSG_LEN};
 
 /// Submission wire size for chain length `k` (entry + PoK).
 pub fn submission_wire_len(k: usize) -> u64 {
@@ -160,13 +160,14 @@ impl<'t> PipelineModel<'t> {
             let first = chain.members[0];
             let factor = if cfg.cover_traffic { 2 } else { 1 };
             let bytes = batches[c] * submission_wire_len(k) * factor;
-            let at = cfg
-                .net
-                .transfer_time(user_node, NodeId(first.0), bytes);
-            engine.schedule_at(SimTime::ZERO + at, Ev::HopArrive {
-                chain: c as u32,
-                hop: 0,
-            });
+            let at = cfg.net.transfer_time(user_node, NodeId(first.0), bytes);
+            engine.schedule_at(
+                SimTime::ZERO + at,
+                Ev::HopArrive {
+                    chain: c as u32,
+                    hop: 0,
+                },
+            );
         }
 
         // Drive the pipeline.
@@ -182,9 +183,8 @@ impl<'t> PipelineModel<'t> {
                 let mut dur = cfg.compute.parallel_batch(batch, per_hop_msg);
                 if h == 0 {
                     // PoK screening of the batch.
-                    dur = dur.saturating_add(
-                        cfg.compute.parallel_batch(batch, cfg.op.schnorr_verify),
-                    );
+                    dur = dur
+                        .saturating_add(cfg.compute.parallel_batch(batch, cfg.op.schnorr_verify));
                 }
                 dur = dur.saturating_add(cfg.op.dleq_prove);
                 if h + 1 == k {
@@ -209,10 +209,14 @@ impl<'t> PipelineModel<'t> {
                     let lat = cfg
                         .net
                         .latency(NodeId(topo.chains[c].members[h].0), NodeId(member.0));
-                    engine_schedule(eng, done + lat, Ev::Verify {
-                        chain,
-                        member: m_idx as u32,
-                    });
+                    engine_schedule(
+                        eng,
+                        done + lat,
+                        Ev::Verify {
+                            chain,
+                            member: m_idx as u32,
+                        },
+                    );
                 }
 
                 if h + 1 < k {
@@ -223,10 +227,14 @@ impl<'t> PipelineModel<'t> {
                         NodeId(next.0),
                         bytes,
                     );
-                    engine_schedule(eng, done + t, Ev::HopArrive {
-                        chain,
-                        hop: hop + 1,
-                    });
+                    engine_schedule(
+                        eng,
+                        done + t,
+                        Ev::HopArrive {
+                            chain,
+                            hop: hop + 1,
+                        },
+                    );
                 } else {
                     // Deliver to mailboxes.
                     let bytes = batch * (inner_envelope_len() as u64);
@@ -254,11 +262,7 @@ impl<'t> PipelineModel<'t> {
         });
 
         // Users fetch: one more one-way latency after the slowest chain.
-        let slowest = finish
-            .iter()
-            .copied()
-            .max()
-            .unwrap_or(SimTime::ZERO);
+        let slowest = finish.iter().copied().max().unwrap_or(SimTime::ZERO);
         let fetch = cfg.net.max_latency;
         let latency = (slowest + fetch).since(SimTime::ZERO);
 
@@ -332,8 +336,12 @@ mod tests {
         let t4 = topo(20, 4);
         let t8 = topo(20, 8);
         let m = 50_000;
-        let l4 = PipelineModel::new(&t4, model_cfg()).simulate_round(m).latency;
-        let l8 = PipelineModel::new(&t8, model_cfg()).simulate_round(m).latency;
+        let l4 = PipelineModel::new(&t4, model_cfg())
+            .simulate_round(m)
+            .latency;
+        let l8 = PipelineModel::new(&t8, model_cfg())
+            .simulate_round(m)
+            .latency;
         assert!(l8 > l4, "k=8 ({l8}) must be slower than k=4 ({l4})");
     }
 

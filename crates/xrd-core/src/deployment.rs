@@ -15,6 +15,7 @@ use xrd_mixnet::client::Submission;
 use xrd_mixnet::{ChainPublicKeys, ChainRunner};
 use xrd_topology::{Beacon, ChainId, Topology};
 
+use crate::backend::{collect_submissions, open_fetched, CoverStore, RoundBackend};
 use crate::mailbox::MailboxHub;
 use crate::user::{Received, User};
 
@@ -78,7 +79,7 @@ pub struct Deployment {
     next_keys: Vec<ChainPublicKeys>,
     /// Cover submissions stored at round ρ for use in round ρ+1,
     /// keyed by mailbox id (§5.3.3).
-    cover_store: HashMap<[u8; 32], Vec<(ChainId, Submission)>>,
+    cover_store: CoverStore,
     /// Raw submissions injected for the next round (attack testing).
     injected: Vec<(ChainId, Submission)>,
 }
@@ -90,14 +91,8 @@ impl Deployment {
         let k = config
             .chain_len
             .unwrap_or_else(|| xrd_topology::chain_length(config.f, config.n_servers, 64));
-        let topo = Topology::build_with(
-            &beacon,
-            0,
-            config.n_servers,
-            config.n_servers,
-            k,
-            config.f,
-        );
+        let topo =
+            Topology::build_with(&beacon, 0, config.n_servers, config.n_servers, k, config.f);
         let mut chains: Vec<ChainRunner> = (0..topo.n_chains())
             .map(|c| ChainRunner::new(rng, k, c as u64))
             .collect();
@@ -193,25 +188,15 @@ impl Deployment {
         // (sealed against this round's keys) and covers for ρ+1 (sealed
         // against the pre-published next-round keys); offline users fall
         // back to stored covers.
-        let mut per_chain: Vec<Vec<Submission>> = vec![Vec::new(); self.topo.n_chains()];
-        for user in users.iter() {
-            let submissions: Vec<(ChainId, Submission)> = if user.online {
-                let current =
-                    user.seal_round(rng, &self.topo, &self.current_keys, round, false);
-                let cover =
-                    user.seal_round(rng, &self.topo, &self.next_keys, round + 1, true);
-                self.cover_store.insert(user.mailbox_id(), cover);
-                current
-            } else {
-                match self.cover_store.remove(&user.mailbox_id()) {
-                    Some(cover) => cover,
-                    None => continue, // offline with no cover: absent
-                }
-            };
-            for (chain, sub) in submissions {
-                per_chain[chain.0 as usize].push(sub);
-            }
-        }
+        let mut per_chain = collect_submissions(
+            rng,
+            &self.topo,
+            &self.current_keys,
+            &self.next_keys,
+            round,
+            &mut self.cover_store,
+            users,
+        );
         for (chain, sub) in self.injected.drain(..) {
             per_chain[chain.0 as usize].push(sub);
         }
@@ -266,32 +251,8 @@ impl Deployment {
         }
 
         // Online users fetch and decrypt.
-        let mut fetched: FetchResults = HashMap::new();
-        for user in users.iter_mut() {
-            if !user.online {
-                continue;
-            }
-            let sealed = self.mailboxes.fetch(&user.mailbox_id());
-            let received = user.open_mailbox(&self.topo, round, &sealed);
-            // Conversation bookkeeping: consume the queued chats that
-            // went out this round.
-            if !user.partners().is_empty() {
-                user.mark_round_sent();
-            }
-            // Partner-offline handling: stop conversing with exactly the
-            // partner who left (§5.3.3).
-            let offline: Vec<[u8; 32]> = received
-                .iter()
-                .filter_map(|r| match r {
-                    Received::PartnerOffline { partner } => Some(*partner),
-                    _ => None,
-                })
-                .collect();
-            for partner in offline {
-                user.end_conversation_with(&partner);
-            }
-            fetched.insert(user.mailbox_id(), received);
-        }
+        let mailboxes = &mut self.mailboxes;
+        let fetched = open_fetched(&self.topo, round, users, |mailbox| mailboxes.fetch(mailbox));
 
         // Advance the key schedule: activate ρ+1, pre-publish ρ+2.
         self.round += 1;
@@ -306,6 +267,28 @@ impl Deployment {
     /// Direct mailbox inspection (tests).
     pub fn mailboxes(&self) -> &MailboxHub {
         &self.mailboxes
+    }
+}
+
+impl RoundBackend for Deployment {
+    fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    fn round(&self) -> u64 {
+        self.round
+    }
+
+    fn chain_keys(&self) -> &[ChainPublicKeys] {
+        &self.current_keys
+    }
+
+    fn run_round(
+        &mut self,
+        rng: &mut dyn rand::RngCore,
+        users: &mut [User],
+    ) -> (RoundReport, FetchResults) {
+        Deployment::run_round(self, rng, users)
     }
 }
 
@@ -354,12 +337,21 @@ mod tests {
             assert_eq!(fetched[&user.mailbox_id()].len(), ell);
         }
         let alice_got = &fetched[&users[0].mailbox_id()];
-        assert!(alice_got.contains(&Received::Chat { from: users[1].mailbox_id(), data: b"hello alice".to_vec() }));
+        assert!(alice_got.contains(&Received::Chat {
+            from: users[1].mailbox_id(),
+            data: b"hello alice".to_vec()
+        }));
         let bob_got = &fetched[&users[1].mailbox_id()];
-        assert!(bob_got.contains(&Received::Chat { from: users[0].mailbox_id(), data: b"hello bob".to_vec() }));
+        assert!(bob_got.contains(&Received::Chat {
+            from: users[0].mailbox_id(),
+            data: b"hello bob".to_vec()
+        }));
         // And ℓ-1 loopbacks each.
         assert_eq!(
-            alice_got.iter().filter(|r| **r == Received::Loopback).count(),
+            alice_got
+                .iter()
+                .filter(|r| **r == Received::Loopback)
+                .count(),
             ell - 1
         );
     }
@@ -374,11 +366,15 @@ mod tests {
         users[0].queue_chat(b"two");
 
         let (_, fetched1) = deployment.run_round(&mut rng, &mut users);
-        assert!(fetched1[&users[1].mailbox_id()]
-            .contains(&Received::Chat { from: users[0].mailbox_id(), data: b"one".to_vec() }));
+        assert!(fetched1[&users[1].mailbox_id()].contains(&Received::Chat {
+            from: users[0].mailbox_id(),
+            data: b"one".to_vec()
+        }));
         let (_, fetched2) = deployment.run_round(&mut rng, &mut users);
-        assert!(fetched2[&users[1].mailbox_id()]
-            .contains(&Received::Chat { from: users[0].mailbox_id(), data: b"two".to_vec() }));
+        assert!(fetched2[&users[1].mailbox_id()].contains(&Received::Chat {
+            from: users[0].mailbox_id(),
+            data: b"two".to_vec()
+        }));
     }
 
     #[test]
@@ -400,7 +396,9 @@ mod tests {
         assert_eq!(report.messages_mixed, 4 * ell);
         let bob_got = &fetched[&users[1].mailbox_id()];
         assert_eq!(bob_got.len(), ell, "Bob's mailbox count unchanged");
-        assert!(bob_got.contains(&Received::PartnerOffline { partner: users[0].mailbox_id() }));
+        assert!(bob_got.contains(&Received::PartnerOffline {
+            partner: users[0].mailbox_id()
+        }));
         assert!(users[1].partner().is_none(), "Bob stopped conversing");
 
         // Round 2: Alice still offline, no cover left — but Bob now

@@ -50,12 +50,7 @@ pub fn rendezvous_round(
 
 /// A dialing schedule: check whether the conversation with `peer`
 /// starts at `round` (users poll this each round).
-pub fn should_start(
-    me: &KeyPair,
-    peer: &GroupElement,
-    round: u64,
-    window_len: u64,
-) -> bool {
+pub fn should_start(me: &KeyPair, peer: &GroupElement, round: u64, window_len: u64) -> bool {
     let window_start = (round / window_len) * window_len;
     rendezvous_round(me, peer, window_start, window_len) == round
 }

@@ -11,6 +11,9 @@
 //! * [`deployment::Deployment`] — a faithful in-process deployment that
 //!   runs real rounds end to end (used by tests, examples, and scaled
 //!   experiments);
+//! * [`backend::RoundBackend`] — the backend abstraction shared with
+//!   the networked deployment in `xrd-net`, plus the user-side round
+//!   logic common to every backend;
 //! * [`churn`] — the §8.3 availability Monte-Carlo (Figure 8);
 //! * [`cost`] — user-cost accounting and the discrete-event round model
 //!   (Figures 2-6), priced with per-op costs measured on the real
@@ -18,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod churn;
 pub mod cost;
 pub mod deployment;
@@ -27,7 +31,8 @@ pub mod payload;
 pub mod secgame;
 pub mod user;
 
-pub use deployment::{Deployment, DeploymentConfig, RoundReport};
+pub use backend::RoundBackend;
+pub use deployment::{Deployment, DeploymentConfig, FetchResults, RoundReport};
 pub use mailbox::MailboxHub;
 pub use payload::{Payload, MAX_CHAT_LEN};
 pub use user::{Received, User};

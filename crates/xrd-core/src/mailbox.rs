@@ -11,6 +11,20 @@ use std::collections::HashMap;
 use xrd_crypto::blake2b::Blake2b;
 use xrd_mixnet::MailboxMessage;
 
+/// Which of `n_shards` mailbox servers owns `mailbox`.
+///
+/// A free function (rather than a method on [`MailboxHub`]) because the
+/// assignment is public protocol state: users, chains and networked
+/// deployments all derive it locally from the mailbox id alone.
+pub fn shard_of(mailbox: &[u8; 32], n_shards: usize) -> usize {
+    assert!(n_shards >= 1);
+    let mut h = Blake2b::new(32);
+    h.update(b"xrd-mailbox-shard");
+    h.update(mailbox);
+    let d = h.finalize_32();
+    (u64::from_le_bytes(d[..8].try_into().expect("8 bytes")) % n_shards as u64) as usize
+}
+
 /// A set of mailbox servers, sharded by mailbox id.
 #[derive(Clone, Debug)]
 pub struct MailboxHub {
@@ -28,12 +42,7 @@ impl MailboxHub {
 
     /// Which shard (mailbox server) owns a mailbox.
     pub fn shard_of(&self, mailbox: &[u8; 32]) -> usize {
-        let mut h = Blake2b::new(32);
-        h.update(b"xrd-mailbox-shard");
-        h.update(mailbox);
-        let d = h.finalize_32();
-        (u64::from_le_bytes(d[..8].try_into().expect("8 bytes")) % self.shards.len() as u64)
-            as usize
+        shard_of(mailbox, self.shards.len())
     }
 
     /// `put`: deliver a message into its mailbox (Algorithm 1, step 2b).

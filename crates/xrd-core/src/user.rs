@@ -232,9 +232,7 @@ impl User {
                 let peer_id = peer.encode();
                 let payload = if offline_cover {
                     Payload::Offline
-                } else if let Some(chat) =
-                    self.outbox.get(&peer_id).and_then(|q| q.first())
-                {
+                } else if let Some(chat) = self.outbox.get(&peer_id).and_then(|q| q.first()) {
                     Payload::Chat(chat.clone())
                 } else {
                     Payload::Chat(Vec::new())
@@ -318,9 +316,7 @@ impl User {
                 // Each partner's incoming conversation key.
                 for peer in &self.partners {
                     let key = self.conversation_key(peer, &self.keypair.pk);
-                    if let Some(pt) =
-                        adec(&key, &round_nonce(round, DOMAIN_MAILBOX), b"", sealed)
-                    {
+                    if let Some(pt) = adec(&key, &round_nonce(round, DOMAIN_MAILBOX), b"", sealed) {
                         return match Payload::decode(&pt) {
                             Some(Payload::Chat(data)) => Received::Chat {
                                 from: peer.encode(),
@@ -336,9 +332,7 @@ impl User {
                 // Then each chain's loopback key.
                 for &chain in my_chains {
                     let key = self.loopback_key(chain, round);
-                    if let Some(pt) =
-                        adec(&key, &round_nonce(round, DOMAIN_MAILBOX), b"", sealed)
-                    {
+                    if let Some(pt) = adec(&key, &round_nonce(round, DOMAIN_MAILBOX), b"", sealed) {
                         return match Payload::decode(&pt) {
                             Some(Payload::Dummy) => Received::Loopback,
                             _ => Received::Opaque,
@@ -503,8 +497,7 @@ mod tests {
         let mut chains = std::collections::HashSet::new();
         while found.len() < want {
             let candidate = User::new(rng);
-            let chain =
-                topo.meeting_chain_of_users(&host.mailbox_id(), &candidate.mailbox_id());
+            let chain = topo.meeting_chain_of_users(&host.mailbox_id(), &candidate.mailbox_id());
             if chains.insert(chain) {
                 found.push(candidate);
             }
@@ -566,14 +559,11 @@ mod tests {
         let mut alice = User::new(&mut rng);
         let first = User::new(&mut rng);
         alice.add_conversation(&topo, first.pk()).unwrap();
-        let first_chain =
-            topo.meeting_chain_of_users(&alice.mailbox_id(), &first.mailbox_id());
+        let first_chain = topo.meeting_chain_of_users(&alice.mailbox_id(), &first.mailbox_id());
         // Find a user colliding on the same meeting chain.
         let collider = loop {
             let c = User::new(&mut rng);
-            if topo.meeting_chain_of_users(&alice.mailbox_id(), &c.mailbox_id())
-                == first_chain
-            {
+            if topo.meeting_chain_of_users(&alice.mailbox_id(), &c.mailbox_id()) == first_chain {
                 break c;
             }
         };

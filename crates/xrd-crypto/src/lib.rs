@@ -27,7 +27,6 @@
 //! microarchitectural side channels.
 
 #![warn(missing_docs)]
-
 // Fixed-size limb arithmetic reads more clearly with explicit indices.
 #![allow(clippy::needless_range_loop)]
 

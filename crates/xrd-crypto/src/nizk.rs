@@ -341,8 +341,7 @@ mod tests {
         let blinded: Vec<GroupElement> = xs.iter().map(|x| x.mul(&bsk)).collect();
         let prod_in = GroupElement::product(&xs);
         let prod_out = GroupElement::product(&blinded);
-        let proof =
-            DleqProof::prove(&mut rng, b"ahs", &prod_in, &prod_out, &bpk_prev, &bpk, &bsk);
+        let proof = DleqProof::prove(&mut rng, b"ahs", &prod_in, &prod_out, &bpk_prev, &bpk, &bsk);
         assert!(proof.verify(b"ahs", &prod_in, &prod_out, &bpk_prev, &bpk));
     }
 }

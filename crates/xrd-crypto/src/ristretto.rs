@@ -151,12 +151,7 @@ impl GroupElement {
         if !was_square || t.is_negative() || y.is_zero() {
             return None;
         }
-        Some(GroupElement(EdwardsPoint {
-            x,
-            y,
-            z: one,
-            t,
-        }))
+        Some(GroupElement(EdwardsPoint { x, y, z: one, t }))
     }
 
     /// The Elligator-style one-way map from a field element to a group
@@ -176,10 +171,7 @@ impl GroupElement {
         s = FieldElement::select(&s_prime, &s, was_square as u64);
         let c_sel = FieldElement::select(&r, &one.neg(), was_square as u64);
 
-        let n = c_sel
-            .mul(&r.sub(&one))
-            .mul(&c.d_minus_one_sq)
-            .sub(&v);
+        let n = c_sel.mul(&r.sub(&one)).mul(&c.d_minus_one_sq).sub(&v);
 
         let w0 = s.add(&s).mul(&v);
         let w1 = n.mul(&c.sqrt_ad_minus_one);
@@ -353,7 +345,10 @@ mod tests {
         // l * g = identity in Ristretto.
         let l_minus_1 = Scalar::ZERO.sub(&Scalar::ONE);
         let almost = GroupElement::base_mul(&l_minus_1);
-        assert_eq!(almost.add(&GroupElement::generator()), GroupElement::identity());
+        assert_eq!(
+            almost.add(&GroupElement::generator()),
+            GroupElement::identity()
+        );
     }
 
     #[test]
@@ -392,7 +387,10 @@ mod tests {
         let xs: Vec<Scalar> = (0..5).map(|_| Scalar::random(&mut rng)).collect();
         let points: Vec<GroupElement> = xs.iter().map(GroupElement::base_mul).collect();
         let sum_scalar = xs.iter().fold(Scalar::ZERO, |a, b| a.add(b));
-        assert_eq!(GroupElement::product(&points), GroupElement::base_mul(&sum_scalar));
+        assert_eq!(
+            GroupElement::product(&points),
+            GroupElement::base_mul(&sum_scalar)
+        );
     }
 
     #[test]

@@ -37,9 +37,8 @@ const NINV: u64 = 0xd2b51da312547e1b;
 
 /// `l - 2`, little-endian bytes (inversion exponent).
 const L_MINUS_2_LE: [u8; 32] = [
-    0xeb, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58, 0xd6, 0x9c, 0xf7, 0xa2, 0xde, 0xf9, 0xde,
-    0x14, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
-    0x00, 0x10,
+    0xeb, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58, 0xd6, 0x9c, 0xf7, 0xa2, 0xde, 0xf9, 0xde, 0x14,
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x10,
 ];
 
 /// An integer modulo the ristretto255 group order, canonically reduced.
@@ -163,9 +162,7 @@ impl Scalar {
         // Value < 2^256 < l * 2^4, so a few conditional subtracts... but a
         // single Montgomery round-trip is simpler and fully general:
         // REDC(x) = x/R, then * RR / R = x mod l.
-        let redc = montgomery_reduce(&[
-            limbs[0], limbs[1], limbs[2], limbs[3], 0, 0, 0, 0,
-        ]);
+        let redc = montgomery_reduce(&[limbs[0], limbs[1], limbs[2], limbs[3], 0, 0, 0, 0]);
         mont_mul(&redc, &Scalar(RR))
     }
 

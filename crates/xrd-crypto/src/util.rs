@@ -29,7 +29,10 @@ pub fn to_hex(bytes: &[u8]) -> String {
 /// Decode a lowercase/uppercase hex string; panics on malformed input
 /// (intended for test vectors and fixed constants only).
 pub fn from_hex(s: &str) -> Vec<u8> {
-    assert!(s.len().is_multiple_of(2), "hex string must have even length");
+    assert!(
+        s.len().is_multiple_of(2),
+        "hex string must have even length"
+    );
     (0..s.len() / 2)
         .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).expect("invalid hex"))
         .collect()

@@ -9,8 +9,7 @@ use xrd_crypto::scalar::Scalar;
 use xrd_crypto::{adec, aenc, round_nonce, Blake2b};
 
 fn arb_scalar() -> impl Strategy<Value = Scalar> {
-    prop::array::uniform32(any::<u8>())
-        .prop_map(|bytes| Scalar::from_bytes_mod_order(&bytes))
+    prop::array::uniform32(any::<u8>()).prop_map(|bytes| Scalar::from_bytes_mod_order(&bytes))
 }
 
 fn arb_field() -> impl Strategy<Value = FieldElement> {

@@ -29,7 +29,7 @@ use crate::message::{domain_outer, MixEntry};
 use crate::server::MixServer;
 
 /// One upstream server's revelation for a problem slot.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BlameReveal {
     /// Hop position of the revealing server.
     pub position: usize,
@@ -49,7 +49,7 @@ pub struct BlameReveal {
 
 /// The accusing server's opening move: the problem entry plus its own
 /// decryption key and proof (step 4 of §6.4).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Accusation {
     /// Hop position of the accuser.
     pub position: usize,
@@ -133,7 +133,11 @@ impl MixServer {
 
     /// Open an accusation for a problem entry at `input_index` (the
     /// accuser's own input order).
-    pub fn accuse<R: RngCore + ?Sized>(&self, rng: &mut R, input_index: usize) -> Option<Accusation> {
+    pub fn accuse<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        input_index: usize,
+    ) -> Option<Accusation> {
         let state = self.state()?;
         let entry = state.inputs.get(input_index)?.clone();
         let position = self.position();
@@ -207,29 +211,27 @@ fn check_reveal(
     }
 }
 
-/// Run the full blame protocol for one problem slot found by the server
-/// at `accuser_position` (input index `problem_index` in its order).
+/// Run the full blame protocol for one problem slot, given the
+/// accusation and a way to obtain each upstream server's reveal.
 ///
-/// `servers` must contain the chain's servers in hop order with their
-/// retained round state; `submissions` is the agreed-upon input set.
-pub fn run_blame<R: RngCore + ?Sized>(
-    rng: &mut R,
+/// This is the *verifier's* side of §6.4, independent of where the
+/// servers live: the in-process [`run_blame`] passes a closure over
+/// local [`MixServer`]s, while a networked coordinator passes one that
+/// performs the reveal request over the wire.  `fetch_reveal(position,
+/// output_index)` must return the reveal of the server at `position`
+/// for the slot that left it at `output_index` (or `None` if the server
+/// refuses — which convicts it).
+pub fn trace_blame<F>(
     public: &ChainPublicKeys,
-    servers: &[MixServer],
     submissions: &[Submission],
     round: u64,
-    accuser_position: usize,
-    problem_index: usize,
-) -> BlameVerdict {
-    let accuser = &servers[accuser_position];
-    let accusation = match accuser.accuse(rng, problem_index) {
-        Some(a) => a,
-        None => {
-            return BlameVerdict::ServerMisbehaved {
-                position: accuser_position,
-            }
-        }
-    };
+    accusation: &Accusation,
+    mut fetch_reveal: F,
+) -> BlameVerdict
+where
+    F: FnMut(usize, usize) -> Option<BlameReveal>,
+{
+    let accuser_position = accusation.position;
 
     // Step 4 (checked first; order does not matter for soundness): the
     // accuser's key must be proven correct, and decryption must fail.
@@ -266,10 +268,14 @@ pub fn run_blame<R: RngCore + ?Sized>(
     let mut expected_ct = accusation.entry.ct.clone();
     let mut slot_index = accusation.input_index;
     for position in (0..accuser_position).rev() {
-        let reveal = match servers[position].blame_reveal(rng, slot_index) {
+        let reveal = match fetch_reveal(position, slot_index) {
             Some(r) => r,
             None => return BlameVerdict::ServerMisbehaved { position },
         };
+        // The reveal must be for the position and slot that were asked.
+        if reveal.position != position {
+            return BlameVerdict::ServerMisbehaved { position };
+        }
         if !check_reveal(public, round, &reveal, &expected_dh, &expected_ct) {
             return BlameVerdict::ServerMisbehaved { position };
         }
@@ -279,8 +285,13 @@ pub fn run_blame<R: RngCore + ?Sized>(
     }
 
     // Step 3: the first server's revealed input must equal the agreed
-    // user submission.
-    let submission = &submissions[slot_index];
+    // user submission.  The index is adversary-supplied (it came from
+    // the accusation or the last reveal, possibly over a network), so
+    // an out-of-range value convicts whoever produced it rather than
+    // crashing the verifier.
+    let Some(submission) = submissions.get(slot_index) else {
+        return BlameVerdict::ServerMisbehaved { position: 0 };
+    };
     if submission.dh != expected_dh || submission.ct != expected_ct {
         return BlameVerdict::ServerMisbehaved { position: 0 };
     }
@@ -288,6 +299,34 @@ pub fn run_blame<R: RngCore + ?Sized>(
     BlameVerdict::MaliciousUser {
         submission_index: slot_index,
     }
+}
+
+/// Run the full blame protocol for one problem slot found by the server
+/// at `accuser_position` (input index `problem_index` in its order).
+///
+/// `servers` must contain the chain's servers in hop order with their
+/// retained round state; `submissions` is the agreed-upon input set.
+pub fn run_blame<R: RngCore + ?Sized>(
+    rng: &mut R,
+    public: &ChainPublicKeys,
+    servers: &[MixServer],
+    submissions: &[Submission],
+    round: u64,
+    accuser_position: usize,
+    problem_index: usize,
+) -> BlameVerdict {
+    let accuser = &servers[accuser_position];
+    let accusation = match accuser.accuse(rng, problem_index) {
+        Some(a) => a,
+        None => {
+            return BlameVerdict::ServerMisbehaved {
+                position: accuser_position,
+            }
+        }
+    };
+    trace_blame(public, submissions, round, &accusation, |position, slot| {
+        servers[position].blame_reveal(rng, slot)
+    })
 }
 
 #[cfg(test)]
@@ -467,8 +506,7 @@ mod tests {
         match h.servers[2].process_round(&mut rng, h.round, out1) {
             Err(MixError::DecryptFailure(indices)) => {
                 assert_eq!(indices, vec![2]);
-                let verdict =
-                    run_blame(&mut rng, &h.public, &h.servers, &h.subs, h.round, 2, 2);
+                let verdict = run_blame(&mut rng, &h.public, &h.servers, &h.subs, h.round, 2, 2);
                 assert_eq!(verdict, BlameVerdict::ServerMisbehaved { position: 1 });
             }
             other => panic!("expected failure, got {other:?}"),
@@ -533,5 +571,29 @@ mod tests {
                 "trial {trial}"
             );
         }
+    }
+
+    #[test]
+    fn out_of_range_trace_indices_convict_not_panic() {
+        // A networked adversary controls the indices inside accusations
+        // and reveals; bogus values must convict the sender, never
+        // panic the verifying coordinator.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut h = harness(&mut rng, 1, 0, 3);
+        let entries: Vec<MixEntry> = h.subs.iter().map(|s| s.to_entry()).collect();
+        // Make slot 1 undecryptable so the (single, position-0) server
+        // can produce a *valid* accusation, then tamper its index.
+        let mut bad_entries = entries;
+        bad_entries[1].ct[0] ^= 0xff;
+        match h.servers[0].process_round(&mut rng, 0, bad_entries) {
+            Err(MixError::DecryptFailure(idx)) => assert_eq!(idx, vec![1]),
+            other => panic!("expected failure, got {other:?}"),
+        }
+        let mut accusation = h.servers[0].accuse(&mut rng, 1).expect("accuses");
+        accusation.input_index = usize::MAX; // adversarial index
+        let verdict = trace_blame(&h.public, &h.subs, 0, &accusation, |_, _| {
+            panic!("no upstream servers for k = 1")
+        });
+        assert_eq!(verdict, BlameVerdict::ServerMisbehaved { position: 0 });
     }
 }

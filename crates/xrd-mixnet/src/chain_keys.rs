@@ -32,7 +32,7 @@ pub struct ServerSecrets {
 }
 
 /// Knowledge proofs published with a server's public keys.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ServerKeyProofs {
     /// PoK of `bsk_i = log_{bpk_{i-1}}(bpk_i)`.
     pub bsk_pok: SchnorrProof,
@@ -44,7 +44,7 @@ pub struct ServerKeyProofs {
 
 /// The public key material for a whole chain, as users and verifying
 /// servers see it.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ChainPublicKeys {
     /// Epoch the long-term (blinding/mixing) keys were generated in.
     pub epoch: u64,
@@ -126,26 +126,77 @@ fn inner_keygen_context(inner_epoch: u64, position: usize) -> Vec<u8> {
     ctx
 }
 
+/// One server's contribution to an inner-key rotation: the new public
+/// key plus its knowledge proof (§6.1).  What a server publishes — and,
+/// in a networked deployment, what it sends over the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RotationShare {
+    /// Hop position of the rotating server.
+    pub position: usize,
+    /// The new `ipk_i = g^{isk_i}`.
+    pub ipk: GroupElement,
+    /// PoK of the new `isk_i`.
+    pub pok: SchnorrProof,
+}
+
+/// Generate one server's fresh per-round inner key for `inner_epoch`:
+/// the secret stays with the server, the share is published.
+pub fn rotation_share<R: RngCore + ?Sized>(
+    rng: &mut R,
+    position: usize,
+    inner_epoch: u64,
+) -> (Scalar, RotationShare) {
+    let isk = Scalar::random(rng);
+    let ipk = GroupElement::base_mul(&isk);
+    let ctx = inner_keygen_context(inner_epoch, position);
+    let pok = SchnorrProof::prove(rng, &ctx, &GroupElement::generator(), &ipk, &isk);
+    (isk, RotationShare { position, ipk, pok })
+}
+
+/// Assemble the rotated public bundle from every server's share.
+/// Returns `false` (leaving `public` untouched) if the shares are not
+/// exactly one valid share per position.
+pub fn apply_rotation_shares(
+    public: &mut ChainPublicKeys,
+    inner_epoch: u64,
+    shares: &[RotationShare],
+) -> bool {
+    if shares.len() != public.len() {
+        return false;
+    }
+    let g = GroupElement::generator();
+    for (i, share) in shares.iter().enumerate() {
+        let ctx = inner_keygen_context(inner_epoch, i);
+        if share.position != i || !share.pok.verify(&ctx, &g, &share.ipk) {
+            return false;
+        }
+    }
+    public.inner_epoch = inner_epoch;
+    for (i, share) in shares.iter().enumerate() {
+        public.ipks[i] = share.ipk;
+        public.proofs[i].isk_pok = share.pok;
+    }
+    true
+}
+
 /// Rotate every server's per-round inner key pair to `inner_epoch`
 /// (§6.1: "the inner keys are per-round keys"), refreshing the published
-/// `ipk`s and their knowledge proofs.
-#[allow(clippy::needless_range_loop)] // position-indexed protocol step
+/// `ipk`s and their knowledge proofs.  The in-process composition of
+/// [`rotation_share`] + [`apply_rotation_shares`].
 pub fn rotate_inner_keys<R: RngCore + ?Sized>(
     rng: &mut R,
     secrets: &mut [ServerSecrets],
     public: &mut ChainPublicKeys,
     inner_epoch: u64,
 ) {
-    let g = GroupElement::generator();
-    public.inner_epoch = inner_epoch;
+    let mut shares = Vec::with_capacity(secrets.len());
     for (i, secret) in secrets.iter_mut().enumerate() {
-        let isk = Scalar::random(rng);
-        let ipk = GroupElement::base_mul(&isk);
-        let ctx = inner_keygen_context(inner_epoch, i);
-        public.proofs[i].isk_pok = SchnorrProof::prove(rng, &ctx, &g, &ipk, &isk);
-        public.ipks[i] = ipk;
+        let (isk, share) = rotation_share(rng, i, inner_epoch);
         secret.isk = isk;
+        shares.push(share);
     }
+    let ok = apply_rotation_shares(public, inner_epoch, &shares);
+    debug_assert!(ok, "locally generated shares must apply");
 }
 
 /// Generate the full key chain for `k` servers.  In a deployment each
@@ -238,9 +289,7 @@ mod tests {
     fn aggregate_inner_key_is_sum_of_secrets() {
         let mut rng = StdRng::seed_from_u64(3);
         let (secrets, public) = generate_chain_keys(&mut rng, 3, 0);
-        let sum = secrets
-            .iter()
-            .fold(Scalar::ZERO, |acc, s| acc.add(&s.isk));
+        let sum = secrets.iter().fold(Scalar::ZERO, |acc, s| acc.add(&s.isk));
         assert_eq!(public.aggregate_inner_key(), GroupElement::base_mul(&sum));
     }
 

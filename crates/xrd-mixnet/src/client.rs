@@ -29,7 +29,7 @@ use crate::message::{
 
 /// A user's AHS submission to one chain: `(g^x, c_1)` plus the proof of
 /// knowledge of `x` (§6.2).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Submission {
     /// `g^x`.
     pub dh: GroupElement,
@@ -47,8 +47,11 @@ impl Submission {
 
     /// Verify the knowledge proof (run by every server on submission).
     pub fn verify_pok(&self, round: u64) -> bool {
-        self.pok
-            .verify(&submission_context(round), &GroupElement::generator(), &self.dh)
+        self.pok.verify(
+            &submission_context(round),
+            &GroupElement::generator(),
+            &self.dh,
+        )
     }
 
     /// View as the first hop's mix entry.
@@ -107,7 +110,11 @@ pub(crate) fn outer_layer_context(round: u64, layer: usize) -> Vec<u8> {
 /// shared element; used identically by the user (from `mpk_i^x`) and
 /// server `i` (from `X_i^{msk_i}` — the same element by the AHS algebra).
 pub(crate) fn outer_layer_key(shared: &GroupElement, round: u64, layer: usize) -> [u8; 32] {
-    kdf::derive_from_dh("xrd/outer-layer", shared, &outer_layer_context(round, layer))
+    kdf::derive_from_dh(
+        "xrd/outer-layer",
+        shared,
+        &outer_layer_context(round, layer),
+    )
 }
 
 /// Symmetric key for the inner envelope.

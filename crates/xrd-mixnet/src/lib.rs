@@ -22,7 +22,6 @@
 //!   attack demonstrations.
 
 #![warn(missing_docs)]
-
 // Hop-position-indexed loops mirror the paper's server-i notation.
 #![allow(clippy::needless_range_loop)]
 
@@ -35,8 +34,11 @@ pub mod runner;
 pub mod server;
 pub mod testutil;
 
-pub use blame::{run_blame, Accusation, BlameReveal, BlameVerdict};
-pub use chain_keys::{generate_chain_keys, ChainPublicKeys, ServerKeyProofs, ServerSecrets};
+pub use blame::{run_blame, trace_blame, Accusation, BlameReveal, BlameVerdict};
+pub use chain_keys::{
+    apply_rotation_shares, generate_chain_keys, rotation_share, ChainPublicKeys, RotationShare,
+    ServerKeyProofs, ServerSecrets,
+};
 pub use client::{seal_ahs, seal_basic, Submission};
 pub use message::{MailboxMessage, MixEntry, MAILBOX_MSG_LEN, PAYLOAD_LEN};
 pub use runner::{ChainRoundOutcome, ChainRoundStats, ChainRunner};

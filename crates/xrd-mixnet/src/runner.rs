@@ -17,9 +17,7 @@ use crate::blame::{run_blame, BlameVerdict};
 use crate::chain_keys::{generate_chain_keys, ChainPublicKeys, ServerSecrets};
 use crate::client::Submission;
 use crate::message::{MailboxMessage, MixEntry};
-use crate::server::{
-    input_digest, open_batch, verify_hop, verify_inner_key, MixError, MixServer,
-};
+use crate::server::{input_digest, open_batch, verify_hop, verify_inner_key, MixError, MixServer};
 
 /// Statistics from one chain-round execution.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -87,12 +85,7 @@ impl ChainRunner {
     /// Rotate the per-round inner keys to `inner_epoch` (§6.1) and reset
     /// the servers for a fresh round.
     pub fn rotate_inner_keys<R: RngCore + ?Sized>(&mut self, rng: &mut R, inner_epoch: u64) {
-        crate::chain_keys::rotate_inner_keys(
-            rng,
-            &mut self.secrets,
-            &mut self.public,
-            inner_epoch,
-        );
+        crate::chain_keys::rotate_inner_keys(rng, &mut self.secrets, &mut self.public, inner_epoch);
         self.rebuild_servers();
     }
 
@@ -249,11 +242,7 @@ impl ChainRunner {
         };
 
         // Inner key reveal + verification, then open.
-        let inner_keys: Vec<Scalar> = self
-            .servers
-            .iter()
-            .map(|s| s.reveal_inner_key())
-            .collect();
+        let inner_keys: Vec<Scalar> = self.servers.iter().map(|s| s.reveal_inner_key()).collect();
         for (pos, key) in inner_keys.iter().enumerate() {
             assert!(
                 verify_inner_key(&self.public, pos, key),
@@ -321,10 +310,7 @@ impl ChainRunner {
 
 enum MixPassResult {
     Clean(Vec<MixEntry>),
-    Blame {
-        position: usize,
-        failed: Vec<usize>,
-    },
+    Blame { position: usize, failed: Vec<usize> },
 }
 
 #[cfg(test)]
@@ -358,10 +344,12 @@ mod tests {
         assert_eq!(outcome.delivered.len(), 10);
         assert_eq!(outcome.stats.proofs_generated, 3);
         assert_eq!(outcome.stats.proofs_verified, 3 * 2);
-        let mut mailboxes: Vec<[u8; 32]> =
-            outcome.delivered.iter().map(|m| m.mailbox).collect();
+        let mut mailboxes: Vec<[u8; 32]> = outcome.delivered.iter().map(|m| m.mailbox).collect();
         mailboxes.sort();
-        assert_eq!(mailboxes, (0..10).map(|i| [i as u8; 32]).collect::<Vec<_>>());
+        assert_eq!(
+            mailboxes,
+            (0..10).map(|i| [i as u8; 32]).collect::<Vec<_>>()
+        );
     }
 
     #[test]

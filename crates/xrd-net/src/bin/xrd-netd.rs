@@ -1,0 +1,212 @@
+//! `xrd-netd`: the standalone XRD daemon launcher.
+//!
+//! Subcommands:
+//!
+//! * `keygen --chain-len K --epoch E --out-dir DIR` — run the §6.1 key
+//!   ceremony for one chain and write `server-<i>.cfg` (secrets +
+//!   public bundle; distribute each to its server, keep it secret) —
+//!   in a real deployment each server would generate its own keys;
+//! * `mix --config FILE [--listen ADDR]` — serve one mix hop;
+//! * `mailbox --shard S --shards N [--listen ADDR]` — serve one shard;
+//! * `demo [--users N] [--rounds R]` — spin a full loopback deployment
+//!   (daemons, coordinator, client swarm) in one process and print
+//!   round latency/throughput.
+//!
+//! Daemons print `LISTENING <addr>` once bound, so launchers (and
+//! tests) binding port 0 can discover the assigned port.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use xrd_core::DeploymentConfig;
+use xrd_net::codec::{decode_server_config, encode_server_config};
+use xrd_net::{launch_local, run_swarm, MailboxDaemon, MixServerDaemon, SwarmConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  xrd-netd keygen --chain-len K [--epoch E] --out-dir DIR\n  \
+         xrd-netd mix --config FILE [--listen ADDR]\n  \
+         xrd-netd mailbox --shard S --shards N [--listen ADDR]\n  \
+         xrd-netd demo [--servers N] [--chain-len K] [--shards S] [--users U] [--rounds R]"
+    );
+    ExitCode::FAILURE
+}
+
+/// Pull `--name value` out of an argument list.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "keygen" => keygen(rest),
+        "mix" => mix(rest),
+        "mailbox" => mailbox(rest),
+        "demo" => demo(rest),
+        _ => usage(),
+    }
+}
+
+fn keygen(args: &[String]) -> ExitCode {
+    let Some(k) = flag(args, "--chain-len").and_then(|v| v.parse::<usize>().ok()) else {
+        return usage();
+    };
+    let epoch = flag(args, "--epoch")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0);
+    let Some(out_dir) = flag(args, "--out-dir") else {
+        return usage();
+    };
+    let mut rng = StdRng::seed_from_u64(rand::rngs::OsRng.next_u64());
+    let (mut secrets, mut public) = xrd_mixnet::generate_chain_keys(&mut rng, k, epoch);
+    // Activate round-0 inner keys, exactly as deployments expect.
+    xrd_mixnet::chain_keys::rotate_inner_keys(&mut rng, &mut secrets, &mut public, 0);
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("keygen: cannot create {out_dir}: {e}");
+        return ExitCode::FAILURE;
+    }
+    for s in &secrets {
+        let path = format!("{out_dir}/server-{}.cfg", s.position);
+        let blob = encode_server_config(s, &public);
+        if let Err(e) = std::fs::write(&path, blob) {
+            eprintln!("keygen: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn mix(args: &[String]) -> ExitCode {
+    let Some(config_path) = flag(args, "--config") else {
+        return usage();
+    };
+    let listen = flag(args, "--listen").unwrap_or_else(|| "127.0.0.1:0".into());
+    let blob = match std::fs::read(&config_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("mix: cannot read {config_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (secrets, public) = match decode_server_config(&blob) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("mix: bad config: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let daemon = match MixServerDaemon::spawn_os_seeded(listen.as_str(), secrets, public) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("mix: cannot listen on {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    announce(daemon.addr());
+    park(daemon)
+}
+
+fn mailbox(args: &[String]) -> ExitCode {
+    let Some(shard) = flag(args, "--shard").and_then(|v| v.parse::<usize>().ok()) else {
+        return usage();
+    };
+    let Some(shards) = flag(args, "--shards").and_then(|v| v.parse::<usize>().ok()) else {
+        return usage();
+    };
+    let listen = flag(args, "--listen").unwrap_or_else(|| "127.0.0.1:0".into());
+    let daemon = match MailboxDaemon::spawn(listen.as_str(), shard, shards) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("mailbox: cannot listen on {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    announce(daemon.addr());
+    park(daemon)
+}
+
+fn announce(addr: std::net::SocketAddr) {
+    println!("LISTENING {addr}");
+    let _ = std::io::stdout().flush();
+}
+
+/// Keep the process alive until the daemon is shut down over the wire.
+fn park(mut daemon: xrd_net::DaemonHandle) -> ExitCode {
+    daemon.wait();
+    ExitCode::SUCCESS
+}
+
+fn demo(args: &[String]) -> ExitCode {
+    let servers = flag(args, "--servers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6usize);
+    let chain_len = flag(args, "--chain-len")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3usize);
+    let shards = flag(args, "--shards")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2usize);
+    let users = flag(args, "--users")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(128usize);
+    let rounds = flag(args, "--rounds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3u64);
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let config = DeploymentConfig {
+        n_servers: servers,
+        chain_len: Some(chain_len),
+        f: 0.2,
+        n_mailbox_shards: shards,
+        seed: 0,
+    };
+    let (mut cluster, mut deployment) = match launch_local(&mut rng, &config) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("demo: launch failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "demo: {} daemons up ({} chains × {} hops + {} mailbox shards)",
+        cluster.n_daemons(),
+        deployment.topology().n_chains(),
+        chain_len,
+        shards
+    );
+    let report = run_swarm(
+        &mut rng,
+        &mut deployment,
+        &SwarmConfig {
+            n_users: users,
+            rounds,
+            ..Default::default()
+        },
+    );
+    for r in &report.rounds {
+        println!(
+            "round {:>3}: {:>8.1?}  mixed {:>5}  delivered {:>5}  {:>8.0} msg/s",
+            r.round, r.latency, r.messages_mixed, r.delivered, r.msgs_per_sec
+        );
+    }
+    println!(
+        "mean latency {:.1?}, mean throughput {:.0} msg/s, {:.2} MiB on the wire",
+        report.mean_latency(),
+        report.mean_throughput(),
+        report.bytes_on_wire as f64 / (1024.0 * 1024.0)
+    );
+    cluster.shutdown();
+    ExitCode::SUCCESS
+}

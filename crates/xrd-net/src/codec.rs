@@ -1,0 +1,1135 @@
+//! The XRD wire protocol: length-prefixed binary frames.
+//!
+//! Every message exchanged between clients, mix-server daemons, mailbox
+//! daemons and the round coordinator is one [`Frame`], encoded as
+//!
+//! ```text
+//! [ u32 length (LE) | u8 tag | payload... ]
+//! ```
+//!
+//! where `length` covers the tag byte plus the payload.  All integers
+//! are little-endian; group elements and scalars use their canonical
+//! 32-byte encodings (non-canonical encodings are rejected on parse);
+//! proofs use the fixed-size encodings from `xrd-crypto`; byte strings
+//! and sequences carry a `u32` length prefix checked against hard caps
+//! so a malicious peer cannot force huge allocations.
+//!
+//! The codec is hand-rolled over byte slices — no serde, no external
+//! dependencies — and every frame type round-trips exactly (see the
+//! property tests in `tests/codec_properties.rs`).
+
+use xrd_crypto::nizk::{DleqProof, SchnorrProof, DLEQ_PROOF_LEN, SCHNORR_PROOF_LEN};
+use xrd_crypto::ristretto::GroupElement;
+use xrd_crypto::scalar::Scalar;
+use xrd_mixnet::blame::{Accusation, BlameReveal};
+use xrd_mixnet::chain_keys::{ChainPublicKeys, RotationShare, ServerKeyProofs};
+use xrd_mixnet::client::Submission;
+use xrd_mixnet::message::{MailboxMessage, MixEntry, MAILBOX_MSG_LEN};
+
+/// Hard cap on one frame's encoded size (tag + payload).  Sized so a
+/// [`MAX_BATCH`]-entry batch of paper-scale onions (k ≈ 32, ~1 KiB per
+/// entry) still fits: encoders reject anything larger at runtime
+/// ([`write_frame`]) rather than shipping a frame the receiver must
+/// refuse.
+pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+
+/// Hard cap on entries in one batch (submissions, mix entries,
+/// mailbox messages, sealed blobs).
+pub const MAX_BATCH: usize = 1 << 15;
+
+/// Hard cap on one variable-length byte string (an onion ciphertext is
+/// a few hundred bytes even at paper-scale chain lengths).
+pub const MAX_BYTES: usize = 1 << 16;
+
+/// Hard cap on chain length in key bundles.
+pub const MAX_CHAIN_LEN: usize = 256;
+
+/// Why a frame failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the structure was complete.
+    Truncated,
+    /// A declared length exceeds its hard cap.
+    Oversized {
+        /// The declared length.
+        declared: usize,
+        /// The cap it exceeds.
+        cap: usize,
+    },
+    /// Unknown frame tag byte.
+    UnknownTag(u8),
+    /// A 32-byte string was not a canonical ristretto encoding.
+    InvalidGroupElement,
+    /// A 32-byte string was not a canonical scalar encoding.
+    InvalidScalar,
+    /// A proof failed structural parsing.
+    InvalidProof,
+    /// A fixed-size field had the wrong length.
+    BadLength,
+    /// Bytes were left over after the frame's payload.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "frame truncated"),
+            CodecError::Oversized { declared, cap } => {
+                write!(f, "declared length {declared} exceeds cap {cap}")
+            }
+            CodecError::UnknownTag(t) => write!(f, "unknown frame tag {t:#04x}"),
+            CodecError::InvalidGroupElement => write!(f, "invalid group element encoding"),
+            CodecError::InvalidScalar => write!(f, "invalid scalar encoding"),
+            CodecError::InvalidProof => write!(f, "invalid proof encoding"),
+            CodecError::BadLength => write!(f, "fixed-size field has wrong length"),
+            CodecError::TrailingBytes => write!(f, "trailing bytes after frame payload"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+// ---------------------------------------------------------------------
+// Frame tags.  Stable protocol constants — append, never renumber.
+// ---------------------------------------------------------------------
+
+const TAG_OK: u8 = 0x01;
+const TAG_ERROR: u8 = 0x02;
+const TAG_PING: u8 = 0x03;
+const TAG_SHUTDOWN: u8 = 0x04;
+const TAG_OPEN_ROUND: u8 = 0x10;
+const TAG_SUBMIT: u8 = 0x11;
+const TAG_CLOSE_SUBMISSIONS: u8 = 0x12;
+const TAG_BATCH_DIGEST: u8 = 0x13;
+const TAG_GET_BATCH: u8 = 0x14;
+const TAG_SUBMISSION_BATCH: u8 = 0x15;
+const TAG_MIX_BATCH: u8 = 0x20;
+const TAG_HOP_OUTPUT: u8 = 0x21;
+const TAG_HOP_FAILURE: u8 = 0x22;
+const TAG_VERIFY_HOP: u8 = 0x23;
+const TAG_VERIFY_RESULT: u8 = 0x24;
+const TAG_REVEAL_INNER_KEY: u8 = 0x30;
+const TAG_INNER_KEY_REVEAL: u8 = 0x31;
+const TAG_PREPARE_ROTATION: u8 = 0x32;
+const TAG_ROTATION_SHARE: u8 = 0x33;
+const TAG_ACTIVATE_ROTATION: u8 = 0x34;
+const TAG_ACCUSE: u8 = 0x40;
+const TAG_ACCUSATION: u8 = 0x41;
+const TAG_REVEAL_SLOT: u8 = 0x42;
+const TAG_SLOT_REVEAL: u8 = 0x43;
+const TAG_DELIVER: u8 = 0x50;
+const TAG_FETCH: u8 = 0x51;
+const TAG_MAILBOX_CONTENTS: u8 = 0x52;
+
+/// Error codes carried by [`Frame::Error`].
+pub mod error_code {
+    /// The frame could not be handled in the daemon's current state.
+    pub const BAD_STATE: u16 = 1;
+    /// A submission was rejected (bad proof of knowledge or size).
+    pub const REJECTED_SUBMISSION: u16 = 2;
+    /// The requested round is unknown to the daemon.
+    pub const UNKNOWN_ROUND: u16 = 3;
+    /// A rotation bundle failed verification.
+    pub const BAD_ROTATION: u16 = 4;
+    /// The daemon could not produce the requested blame material.
+    pub const NO_BLAME_STATE: u16 = 5;
+    /// The peer sent a frame this daemon does not serve.
+    pub const UNSUPPORTED: u16 = 6;
+}
+
+/// One message of the XRD wire protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// Generic success acknowledgement.
+    Ok,
+    /// Generic failure with a machine code and human-readable detail.
+    Error {
+        /// One of [`error_code`]'s constants.
+        code: u16,
+        /// Human-readable context.
+        message: String,
+    },
+    /// Liveness probe (answered with [`Frame::Ok`]).
+    Ping,
+    /// Ask the daemon to exit after this connection.
+    Shutdown,
+
+    /// Open the submission window for a round (coordinator → mix).
+    OpenRound {
+        /// Round number.
+        round: u64,
+    },
+    /// One user submission for an open round (client → mix).
+    Submit {
+        /// Round the submission is sealed for.
+        round: u64,
+        /// The AHS submission.
+        submission: Submission,
+    },
+    /// Close the window; the daemon fixes its canonical batch
+    /// (coordinator → mix; answered with [`Frame::BatchDigest`]).
+    CloseSubmissions {
+        /// Round number.
+        round: u64,
+    },
+    /// The daemon's input-agreement digest over its canonical batch.
+    BatchDigest {
+        /// Round number.
+        round: u64,
+        /// `input_digest` over the batch entries.
+        digest: [u8; 32],
+        /// Batch size.
+        count: u64,
+    },
+    /// Request the canonical batch (coordinator → mix).
+    GetBatch {
+        /// Round number.
+        round: u64,
+    },
+    /// The canonical submission batch, in agreed order.
+    SubmissionBatch {
+        /// Round number.
+        round: u64,
+        /// Submissions in canonical order.
+        submissions: Vec<Submission>,
+    },
+
+    /// Run one AHS hop on a batch (coordinator → mix; answered with
+    /// [`Frame::HopOutput`] or [`Frame::HopFailure`]).
+    MixBatch {
+        /// Round number.
+        round: u64,
+        /// Entries to decrypt, blind and shuffle.
+        entries: Vec<MixEntry>,
+    },
+    /// A completed hop: shuffled outputs plus the aggregate proof.
+    HopOutput {
+        /// Round number.
+        round: u64,
+        /// The prover's hop position.
+        position: u32,
+        /// Shuffled, decrypted, blinded entries.
+        outputs: Vec<MixEntry>,
+        /// Aggregate blinding attestation (§6.3 step 3).
+        proof: DleqProof,
+    },
+    /// A hop halted on authentication failures (blame follows).
+    HopFailure {
+        /// Round number.
+        round: u64,
+        /// The halting server's position.
+        position: u32,
+        /// Failing indices into the hop's input batch.
+        failed: Vec<u64>,
+    },
+    /// Ask a server to verify another server's hop attestation
+    /// (coordinator → mix; answered with [`Frame::VerifyResult`]).
+    VerifyHop {
+        /// Round number.
+        round: u64,
+        /// The *prover's* position.
+        position: u32,
+        /// The prover's inputs.
+        inputs: Vec<MixEntry>,
+        /// The prover's outputs.
+        outputs: Vec<MixEntry>,
+        /// The aggregate proof to check.
+        proof: DleqProof,
+    },
+    /// The verdict of a [`Frame::VerifyHop`] request.
+    VerifyResult {
+        /// Whether the attestation verified.
+        ok: bool,
+    },
+
+    /// Ask a server to reveal its per-round inner key (after the last
+    /// hop verifies; answered with [`Frame::InnerKeyReveal`]).
+    RevealInnerKey {
+        /// Round number.
+        round: u64,
+    },
+    /// A revealed inner key.
+    InnerKeyReveal {
+        /// The revealing server's position.
+        position: u32,
+        /// The inner secret `isk_i`.
+        isk: Scalar,
+    },
+    /// Ask a server to generate fresh inner keys for a future round
+    /// (answered with [`Frame::RotationShare`]).
+    PrepareRotation {
+        /// The inner-key epoch (round number) being prepared.
+        inner_epoch: u64,
+    },
+    /// One server's inner-key rotation share.
+    RotationShare {
+        /// The epoch the share belongs to.
+        inner_epoch: u64,
+        /// The share: position, new `ipk`, knowledge proof.
+        share: RotationShare,
+    },
+    /// Distribute the assembled rotated bundle and switch to it
+    /// (answered with [`Frame::Ok`]).
+    ActivateRotation {
+        /// The verified bundle for the new epoch.
+        keys: ChainPublicKeys,
+    },
+
+    /// Open the blame protocol for a slot that failed decryption
+    /// (coordinator → accusing server; answered with
+    /// [`Frame::Accusation`]).
+    Accuse {
+        /// Round number.
+        round: u64,
+        /// Failing index in the accuser's input order.
+        input_index: u64,
+    },
+    /// The accuser's opening move (§6.4 step 4).
+    Accusation {
+        /// The accusation: entry, decryption key, proof.
+        accusation: Accusation,
+    },
+    /// Ask an upstream server to reveal one traced slot (answered with
+    /// [`Frame::SlotReveal`]).
+    RevealSlot {
+        /// Round number.
+        round: u64,
+        /// Index in the revealing server's *output* order.
+        output_index: u64,
+    },
+    /// An upstream server's revelation for a traced slot; `None` if it
+    /// cannot produce one (which convicts it).
+    SlotReveal {
+        /// The reveal, if the server produced one (boxed: it is by far
+        /// the largest payload in the protocol).
+        reveal: Option<Box<BlameReveal>>,
+    },
+
+    /// Deliver opened messages to a mailbox shard (answered with
+    /// [`Frame::Ok`]).
+    Deliver {
+        /// Round number (for logging/auditing).
+        round: u64,
+        /// The opened mailbox messages.
+        messages: Vec<MailboxMessage>,
+    },
+    /// Drain one mailbox (client → mailbox; answered with
+    /// [`Frame::MailboxContents`]).
+    Fetch {
+        /// Mailbox id to drain.
+        mailbox: [u8; 32],
+    },
+    /// Everything a mailbox held.
+    MailboxContents {
+        /// Sealed payloads, in delivery order.
+        sealed: Vec<Vec<u8>>,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new(tag: u8) -> Writer {
+        // Reserve the length prefix; filled in `finish`.
+        Writer {
+            buf: vec![0, 0, 0, 0, tag],
+        }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        debug_assert!(bytes.len() <= MAX_BYTES);
+        self.u32(bytes.len() as u32);
+        self.raw(bytes);
+    }
+
+    fn string(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+
+    fn group(&mut self, p: &GroupElement) {
+        self.raw(&p.encode());
+    }
+
+    fn scalar(&mut self, s: &Scalar) {
+        self.raw(&s.to_bytes());
+    }
+
+    fn schnorr(&mut self, p: &SchnorrProof) {
+        self.raw(&p.to_bytes());
+    }
+
+    fn dleq(&mut self, p: &DleqProof) {
+        self.raw(&p.to_bytes());
+    }
+
+    fn seq_len(&mut self, n: usize) {
+        debug_assert!(n <= MAX_BATCH);
+        self.u32(n as u32);
+    }
+
+    fn mix_entry(&mut self, e: &MixEntry) {
+        self.group(&e.dh);
+        self.bytes(&e.ct);
+    }
+
+    fn mix_entries(&mut self, entries: &[MixEntry]) {
+        self.seq_len(entries.len());
+        for e in entries {
+            self.mix_entry(e);
+        }
+    }
+
+    fn submission(&mut self, s: &Submission) {
+        self.group(&s.dh);
+        self.schnorr(&s.pok);
+        self.bytes(&s.ct);
+    }
+
+    fn mailbox_message(&mut self, m: &MailboxMessage) {
+        self.raw(&m.mailbox);
+        self.bytes(&m.sealed);
+    }
+
+    fn chain_keys(&mut self, k: &ChainPublicKeys) {
+        debug_assert!(k.len() <= MAX_CHAIN_LEN);
+        self.u64(k.epoch);
+        self.u64(k.inner_epoch);
+        self.u32(k.len() as u32);
+        for p in &k.bpks {
+            self.group(p);
+        }
+        for p in &k.mpks {
+            self.group(p);
+        }
+        for p in &k.ipks {
+            self.group(p);
+        }
+        for proofs in &k.proofs {
+            self.schnorr(&proofs.bsk_pok);
+            self.schnorr(&proofs.msk_pok);
+            self.schnorr(&proofs.isk_pok);
+        }
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        let len = (self.buf.len() - 4) as u32;
+        self.buf[..4].copy_from_slice(&len.to_le_bytes());
+        self.buf
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.buf.len() < n {
+            return Err(CodecError::Truncated);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn array32(&mut self) -> Result<[u8; 32], CodecError> {
+        Ok(self.take(32)?.try_into().unwrap())
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+        let len = self.u32()? as usize;
+        if len > MAX_BYTES {
+            return Err(CodecError::Oversized {
+                declared: len,
+                cap: MAX_BYTES,
+            });
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn string(&mut self) -> Result<String, CodecError> {
+        String::from_utf8(self.bytes()?).map_err(|_| CodecError::BadLength)
+    }
+
+    fn group(&mut self) -> Result<GroupElement, CodecError> {
+        GroupElement::decode(&self.array32()?).ok_or(CodecError::InvalidGroupElement)
+    }
+
+    fn scalar(&mut self) -> Result<Scalar, CodecError> {
+        Scalar::from_canonical_bytes(&self.array32()?).ok_or(CodecError::InvalidScalar)
+    }
+
+    fn schnorr(&mut self) -> Result<SchnorrProof, CodecError> {
+        SchnorrProof::from_bytes(self.take(SCHNORR_PROOF_LEN)?).ok_or(CodecError::InvalidProof)
+    }
+
+    fn dleq(&mut self) -> Result<DleqProof, CodecError> {
+        DleqProof::from_bytes(self.take(DLEQ_PROOF_LEN)?).ok_or(CodecError::InvalidProof)
+    }
+
+    fn seq_len(&mut self) -> Result<usize, CodecError> {
+        let n = self.u32()? as usize;
+        if n > MAX_BATCH {
+            return Err(CodecError::Oversized {
+                declared: n,
+                cap: MAX_BATCH,
+            });
+        }
+        Ok(n)
+    }
+
+    fn mix_entry(&mut self) -> Result<MixEntry, CodecError> {
+        Ok(MixEntry {
+            dh: self.group()?,
+            ct: self.bytes()?,
+        })
+    }
+
+    fn mix_entries(&mut self) -> Result<Vec<MixEntry>, CodecError> {
+        let n = self.seq_len()?;
+        (0..n).map(|_| self.mix_entry()).collect()
+    }
+
+    fn submission(&mut self) -> Result<Submission, CodecError> {
+        Ok(Submission {
+            dh: self.group()?,
+            pok: self.schnorr()?,
+            ct: self.bytes()?,
+        })
+    }
+
+    fn mailbox_message(&mut self) -> Result<MailboxMessage, CodecError> {
+        let mailbox = self.array32()?;
+        let sealed = self.bytes()?;
+        if sealed.len() != MAILBOX_MSG_LEN - 32 {
+            return Err(CodecError::BadLength);
+        }
+        Ok(MailboxMessage { mailbox, sealed })
+    }
+
+    fn chain_keys(&mut self) -> Result<ChainPublicKeys, CodecError> {
+        let epoch = self.u64()?;
+        let inner_epoch = self.u64()?;
+        let k = self.u32()? as usize;
+        if k == 0 || k > MAX_CHAIN_LEN {
+            return Err(CodecError::Oversized {
+                declared: k,
+                cap: MAX_CHAIN_LEN,
+            });
+        }
+        let bpks = (0..k + 1).map(|_| self.group()).collect::<Result<_, _>>()?;
+        let mpks = (0..k).map(|_| self.group()).collect::<Result<_, _>>()?;
+        let ipks = (0..k).map(|_| self.group()).collect::<Result<_, _>>()?;
+        let proofs = (0..k)
+            .map(|_| {
+                Ok(ServerKeyProofs {
+                    bsk_pok: self.schnorr()?,
+                    msk_pok: self.schnorr()?,
+                    isk_pok: self.schnorr()?,
+                })
+            })
+            .collect::<Result<_, CodecError>>()?;
+        Ok(ChainPublicKeys {
+            epoch,
+            inner_epoch,
+            bpks,
+            mpks,
+            ipks,
+            proofs,
+        })
+    }
+
+    fn accusation(&mut self) -> Result<Accusation, CodecError> {
+        Ok(Accusation {
+            position: self.u32()? as usize,
+            input_index: self.u64()? as usize,
+            entry: self.mix_entry()?,
+            dec_key: self.group()?,
+            key_proof: self.dleq()?,
+        })
+    }
+
+    fn blame_reveal(&mut self) -> Result<BlameReveal, CodecError> {
+        Ok(BlameReveal {
+            position: self.u32()? as usize,
+            input_index: self.u64()? as usize,
+            input: self.mix_entry()?,
+            output_dh: self.group()?,
+            blind_proof: self.dleq()?,
+            dec_key: self.group()?,
+            key_proof: self.dleq()?,
+        })
+    }
+
+    fn finish(self) -> Result<(), CodecError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes)
+        }
+    }
+}
+
+fn write_accusation(w: &mut Writer, a: &Accusation) {
+    w.u32(a.position as u32);
+    w.u64(a.input_index as u64);
+    w.mix_entry(&a.entry);
+    w.group(&a.dec_key);
+    w.dleq(&a.key_proof);
+}
+
+fn write_blame_reveal(w: &mut Writer, r: &BlameReveal) {
+    w.u32(r.position as u32);
+    w.u64(r.input_index as u64);
+    w.mix_entry(&r.input);
+    w.group(&r.output_dh);
+    w.dleq(&r.blind_proof);
+    w.group(&r.dec_key);
+    w.dleq(&r.key_proof);
+}
+
+impl Frame {
+    /// Encode the full frame, including the 4-byte length prefix.
+    pub fn encode(&self) -> Vec<u8> {
+        let w = match self {
+            Frame::Ok => Writer::new(TAG_OK),
+            Frame::Error { code, message } => {
+                let mut w = Writer::new(TAG_ERROR);
+                w.u16(*code);
+                w.string(message);
+                w
+            }
+            Frame::Ping => Writer::new(TAG_PING),
+            Frame::Shutdown => Writer::new(TAG_SHUTDOWN),
+            Frame::OpenRound { round } => {
+                let mut w = Writer::new(TAG_OPEN_ROUND);
+                w.u64(*round);
+                w
+            }
+            Frame::Submit { round, submission } => {
+                let mut w = Writer::new(TAG_SUBMIT);
+                w.u64(*round);
+                w.submission(submission);
+                w
+            }
+            Frame::CloseSubmissions { round } => {
+                let mut w = Writer::new(TAG_CLOSE_SUBMISSIONS);
+                w.u64(*round);
+                w
+            }
+            Frame::BatchDigest {
+                round,
+                digest,
+                count,
+            } => {
+                let mut w = Writer::new(TAG_BATCH_DIGEST);
+                w.u64(*round);
+                w.raw(digest);
+                w.u64(*count);
+                w
+            }
+            Frame::GetBatch { round } => {
+                let mut w = Writer::new(TAG_GET_BATCH);
+                w.u64(*round);
+                w
+            }
+            Frame::SubmissionBatch { round, submissions } => {
+                let mut w = Writer::new(TAG_SUBMISSION_BATCH);
+                w.u64(*round);
+                w.seq_len(submissions.len());
+                for s in submissions {
+                    w.submission(s);
+                }
+                w
+            }
+            Frame::MixBatch { round, entries } => {
+                let mut w = Writer::new(TAG_MIX_BATCH);
+                w.u64(*round);
+                w.mix_entries(entries);
+                w
+            }
+            Frame::HopOutput {
+                round,
+                position,
+                outputs,
+                proof,
+            } => {
+                let mut w = Writer::new(TAG_HOP_OUTPUT);
+                w.u64(*round);
+                w.u32(*position);
+                w.mix_entries(outputs);
+                w.dleq(proof);
+                w
+            }
+            Frame::HopFailure {
+                round,
+                position,
+                failed,
+            } => {
+                let mut w = Writer::new(TAG_HOP_FAILURE);
+                w.u64(*round);
+                w.u32(*position);
+                w.seq_len(failed.len());
+                for i in failed {
+                    w.u64(*i);
+                }
+                w
+            }
+            Frame::VerifyHop {
+                round,
+                position,
+                inputs,
+                outputs,
+                proof,
+            } => {
+                let mut w = Writer::new(TAG_VERIFY_HOP);
+                w.u64(*round);
+                w.u32(*position);
+                w.mix_entries(inputs);
+                w.mix_entries(outputs);
+                w.dleq(proof);
+                w
+            }
+            Frame::VerifyResult { ok } => {
+                let mut w = Writer::new(TAG_VERIFY_RESULT);
+                w.u8(*ok as u8);
+                w
+            }
+            Frame::RevealInnerKey { round } => {
+                let mut w = Writer::new(TAG_REVEAL_INNER_KEY);
+                w.u64(*round);
+                w
+            }
+            Frame::InnerKeyReveal { position, isk } => {
+                let mut w = Writer::new(TAG_INNER_KEY_REVEAL);
+                w.u32(*position);
+                w.scalar(isk);
+                w
+            }
+            Frame::PrepareRotation { inner_epoch } => {
+                let mut w = Writer::new(TAG_PREPARE_ROTATION);
+                w.u64(*inner_epoch);
+                w
+            }
+            Frame::RotationShare { inner_epoch, share } => {
+                let mut w = Writer::new(TAG_ROTATION_SHARE);
+                w.u64(*inner_epoch);
+                w.u32(share.position as u32);
+                w.group(&share.ipk);
+                w.schnorr(&share.pok);
+                w
+            }
+            Frame::ActivateRotation { keys } => {
+                let mut w = Writer::new(TAG_ACTIVATE_ROTATION);
+                w.chain_keys(keys);
+                w
+            }
+            Frame::Accuse { round, input_index } => {
+                let mut w = Writer::new(TAG_ACCUSE);
+                w.u64(*round);
+                w.u64(*input_index);
+                w
+            }
+            Frame::Accusation { accusation } => {
+                let mut w = Writer::new(TAG_ACCUSATION);
+                write_accusation(&mut w, accusation);
+                w
+            }
+            Frame::RevealSlot {
+                round,
+                output_index,
+            } => {
+                let mut w = Writer::new(TAG_REVEAL_SLOT);
+                w.u64(*round);
+                w.u64(*output_index);
+                w
+            }
+            Frame::SlotReveal { reveal } => {
+                let mut w = Writer::new(TAG_SLOT_REVEAL);
+                match reveal {
+                    None => w.u8(0),
+                    Some(r) => {
+                        w.u8(1);
+                        write_blame_reveal(&mut w, r);
+                    }
+                }
+                w
+            }
+            Frame::Deliver { round, messages } => {
+                let mut w = Writer::new(TAG_DELIVER);
+                w.u64(*round);
+                w.seq_len(messages.len());
+                for m in messages {
+                    w.mailbox_message(m);
+                }
+                w
+            }
+            Frame::Fetch { mailbox } => {
+                let mut w = Writer::new(TAG_FETCH);
+                w.raw(mailbox);
+                w
+            }
+            Frame::MailboxContents { sealed } => {
+                let mut w = Writer::new(TAG_MAILBOX_CONTENTS);
+                w.seq_len(sealed.len());
+                for s in sealed {
+                    w.bytes(s);
+                }
+                w
+            }
+        };
+        let out = w.finish();
+        debug_assert!(
+            out.len() - 4 <= MAX_FRAME_LEN,
+            "frame exceeds MAX_FRAME_LEN"
+        );
+        out
+    }
+
+    /// Decode a frame from its body (everything after the length
+    /// prefix: the tag byte plus the payload).
+    pub fn decode(body: &[u8]) -> Result<Frame, CodecError> {
+        if body.len() > MAX_FRAME_LEN {
+            return Err(CodecError::Oversized {
+                declared: body.len(),
+                cap: MAX_FRAME_LEN,
+            });
+        }
+        let mut r = Reader { buf: body };
+        let tag = r.u8()?;
+        let frame = match tag {
+            TAG_OK => Frame::Ok,
+            TAG_ERROR => Frame::Error {
+                code: r.u16()?,
+                message: r.string()?,
+            },
+            TAG_PING => Frame::Ping,
+            TAG_SHUTDOWN => Frame::Shutdown,
+            TAG_OPEN_ROUND => Frame::OpenRound { round: r.u64()? },
+            TAG_SUBMIT => Frame::Submit {
+                round: r.u64()?,
+                submission: r.submission()?,
+            },
+            TAG_CLOSE_SUBMISSIONS => Frame::CloseSubmissions { round: r.u64()? },
+            TAG_BATCH_DIGEST => Frame::BatchDigest {
+                round: r.u64()?,
+                digest: r.array32()?,
+                count: r.u64()?,
+            },
+            TAG_GET_BATCH => Frame::GetBatch { round: r.u64()? },
+            TAG_SUBMISSION_BATCH => {
+                let round = r.u64()?;
+                let n = r.seq_len()?;
+                let submissions = (0..n).map(|_| r.submission()).collect::<Result<_, _>>()?;
+                Frame::SubmissionBatch { round, submissions }
+            }
+            TAG_MIX_BATCH => Frame::MixBatch {
+                round: r.u64()?,
+                entries: r.mix_entries()?,
+            },
+            TAG_HOP_OUTPUT => Frame::HopOutput {
+                round: r.u64()?,
+                position: r.u32()?,
+                outputs: r.mix_entries()?,
+                proof: r.dleq()?,
+            },
+            TAG_HOP_FAILURE => {
+                let round = r.u64()?;
+                let position = r.u32()?;
+                let n = r.seq_len()?;
+                let failed = (0..n).map(|_| r.u64()).collect::<Result<_, _>>()?;
+                Frame::HopFailure {
+                    round,
+                    position,
+                    failed,
+                }
+            }
+            TAG_VERIFY_HOP => Frame::VerifyHop {
+                round: r.u64()?,
+                position: r.u32()?,
+                inputs: r.mix_entries()?,
+                outputs: r.mix_entries()?,
+                proof: r.dleq()?,
+            },
+            TAG_VERIFY_RESULT => Frame::VerifyResult {
+                ok: match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(CodecError::BadLength),
+                },
+            },
+            TAG_REVEAL_INNER_KEY => Frame::RevealInnerKey { round: r.u64()? },
+            TAG_INNER_KEY_REVEAL => Frame::InnerKeyReveal {
+                position: r.u32()?,
+                isk: r.scalar()?,
+            },
+            TAG_PREPARE_ROTATION => Frame::PrepareRotation {
+                inner_epoch: r.u64()?,
+            },
+            TAG_ROTATION_SHARE => Frame::RotationShare {
+                inner_epoch: r.u64()?,
+                share: RotationShare {
+                    position: r.u32()? as usize,
+                    ipk: r.group()?,
+                    pok: r.schnorr()?,
+                },
+            },
+            TAG_ACTIVATE_ROTATION => Frame::ActivateRotation {
+                keys: r.chain_keys()?,
+            },
+            TAG_ACCUSE => Frame::Accuse {
+                round: r.u64()?,
+                input_index: r.u64()?,
+            },
+            TAG_ACCUSATION => Frame::Accusation {
+                accusation: r.accusation()?,
+            },
+            TAG_REVEAL_SLOT => Frame::RevealSlot {
+                round: r.u64()?,
+                output_index: r.u64()?,
+            },
+            TAG_SLOT_REVEAL => Frame::SlotReveal {
+                reveal: match r.u8()? {
+                    0 => None,
+                    1 => Some(Box::new(r.blame_reveal()?)),
+                    _ => return Err(CodecError::BadLength),
+                },
+            },
+            TAG_DELIVER => {
+                let round = r.u64()?;
+                let n = r.seq_len()?;
+                let messages = (0..n)
+                    .map(|_| r.mailbox_message())
+                    .collect::<Result<_, _>>()?;
+                Frame::Deliver { round, messages }
+            }
+            TAG_FETCH => Frame::Fetch {
+                mailbox: r.array32()?,
+            },
+            TAG_MAILBOX_CONTENTS => {
+                let n = r.seq_len()?;
+                let sealed = (0..n).map(|_| r.bytes()).collect::<Result<_, _>>()?;
+                Frame::MailboxContents { sealed }
+            }
+            other => return Err(CodecError::UnknownTag(other)),
+        };
+        r.finish()?;
+        Ok(frame)
+    }
+}
+
+/// Serialize one mix server's launch configuration — its secrets plus
+/// the chain's active public bundle — for distribution to a standalone
+/// daemon process (`xrd-netd mix --config <file>`).
+pub fn encode_server_config(
+    secrets: &xrd_mixnet::chain_keys::ServerSecrets,
+    public: &ChainPublicKeys,
+) -> Vec<u8> {
+    let mut w = Writer::new(0);
+    w.u32(secrets.position as u32);
+    w.scalar(&secrets.bsk);
+    w.scalar(&secrets.msk);
+    w.scalar(&secrets.isk);
+    w.chain_keys(public);
+    // Strip the frame header (length + tag): this is a file format, not
+    // a wire frame.
+    w.finish()[5..].to_vec()
+}
+
+/// Parse a [`encode_server_config`] blob.
+pub fn decode_server_config(
+    bytes: &[u8],
+) -> Result<(xrd_mixnet::chain_keys::ServerSecrets, ChainPublicKeys), CodecError> {
+    let mut r = Reader { buf: bytes };
+    let position = r.u32()? as usize;
+    let secrets = xrd_mixnet::chain_keys::ServerSecrets {
+        position,
+        bsk: r.scalar()?,
+        msk: r.scalar()?,
+        isk: r.scalar()?,
+    };
+    let public = r.chain_keys()?;
+    r.finish()?;
+    if position >= public.len() {
+        return Err(CodecError::BadLength);
+    }
+    Ok((secrets, public))
+}
+
+/// Read one frame from a stream (blocking).  Returns `Ok(None)` on a
+/// clean EOF at a frame boundary.
+pub fn read_frame<R: std::io::Read>(
+    stream: &mut R,
+) -> std::io::Result<Option<Result<Frame, CodecError>>> {
+    Ok(read_frame_with_len(stream)?.map(|r| r.map(|(frame, _)| frame)))
+}
+
+/// [`read_frame`], additionally reporting the frame's total size on the
+/// wire (length prefix included) for byte accounting.
+pub fn read_frame_with_len<R: std::io::Read>(
+    stream: &mut R,
+) -> std::io::Result<Option<Result<(Frame, u64), CodecError>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match stream.read(&mut len_bytes[filled..])? {
+            0 if filled == 0 => return Ok(None), // clean EOF
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame length",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len == 0 || len > MAX_FRAME_LEN {
+        return Ok(Some(Err(CodecError::Oversized {
+            declared: len,
+            cap: MAX_FRAME_LEN,
+        })));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    Ok(Some(
+        Frame::decode(&body).map(|frame| (frame, 4 + len as u64)),
+    ))
+}
+
+/// Write one frame to a stream (blocking).  Refuses (with
+/// `InvalidData`) to ship a frame the receiver would reject as
+/// oversized — the runtime counterpart of the encoder's debug
+/// assertions.
+pub fn write_frame<W: std::io::Write>(stream: &mut W, frame: &Frame) -> std::io::Result<()> {
+    let encoded = frame.encode();
+    if encoded.len() - 4 > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {} bytes exceeds MAX_FRAME_LEN", encoded.len() - 4),
+        ));
+    }
+    stream.write_all(&encoded)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_frames_roundtrip() {
+        for frame in [Frame::Ok, Frame::Ping, Frame::Shutdown] {
+            let enc = frame.encode();
+            let body = &enc[4..];
+            assert_eq!(Frame::decode(body).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn length_prefix_matches_body() {
+        let frame = Frame::OpenRound { round: 99 };
+        let enc = frame.encode();
+        let len = u32::from_le_bytes(enc[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, enc.len() - 4);
+    }
+
+    #[test]
+    fn error_frame_carries_code_and_message() {
+        let frame = Frame::Error {
+            code: error_code::REJECTED_SUBMISSION,
+            message: "bad pok".into(),
+        };
+        let enc = frame.encode();
+        assert_eq!(Frame::decode(&enc[4..]).unwrap(), frame);
+    }
+
+    #[test]
+    fn stream_roundtrip() {
+        let frames = vec![
+            Frame::OpenRound { round: 3 },
+            Frame::Ok,
+            Frame::Fetch { mailbox: [9; 32] },
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(wire);
+        for f in &frames {
+            let got = read_frame(&mut cursor).unwrap().unwrap().unwrap();
+            assert_eq!(&got, f);
+        }
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn zero_and_oversized_lengths_rejected() {
+        let mut zero = std::io::Cursor::new(vec![0u8, 0, 0, 0]);
+        assert!(matches!(
+            read_frame(&mut zero).unwrap().unwrap(),
+            Err(CodecError::Oversized { .. })
+        ));
+        let huge = (MAX_FRAME_LEN as u32 + 1).to_le_bytes().to_vec();
+        let mut huge = std::io::Cursor::new(huge);
+        assert!(matches!(
+            read_frame(&mut huge).unwrap().unwrap(),
+            Err(CodecError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn eof_mid_frame_is_io_error() {
+        // Length says 10 bytes, only 3 present.
+        let mut wire = 10u32.to_le_bytes().to_vec();
+        wire.extend_from_slice(&[1, 2, 3]);
+        let mut cursor = std::io::Cursor::new(wire);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

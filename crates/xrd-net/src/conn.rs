@@ -1,0 +1,142 @@
+//! Client side of an XRD wire-protocol connection: a persistent TCP
+//! stream carrying request/response [`Frame`] pairs, with byte
+//! accounting for throughput reporting.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use crate::codec::{CodecError, Frame};
+
+/// Errors surfaced by wire operations.
+#[derive(Debug)]
+pub enum NetError {
+    /// The underlying socket failed.
+    Io(std::io::Error),
+    /// The peer sent bytes that do not parse as a frame.
+    Codec(CodecError),
+    /// The peer closed the connection mid-exchange.
+    Disconnected,
+    /// The peer answered with [`Frame::Error`].
+    Remote {
+        /// Machine-readable error code.
+        code: u16,
+        /// Human-readable context.
+        message: String,
+    },
+    /// The peer answered with an unexpected frame type.
+    Protocol(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io error: {e}"),
+            NetError::Codec(e) => write!(f, "codec error: {e}"),
+            NetError::Disconnected => write!(f, "peer disconnected"),
+            NetError::Remote { code, message } => {
+                write!(f, "remote error {code}: {message}")
+            }
+            NetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> NetError {
+        NetError::Io(e)
+    }
+}
+
+impl From<CodecError> for NetError {
+    fn from(e: CodecError) -> NetError {
+        NetError::Codec(e)
+    }
+}
+
+/// A persistent request/response connection to one daemon.
+pub struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    peer: SocketAddr,
+    bytes_sent: u64,
+    bytes_received: u64,
+}
+
+impl Conn {
+    /// Connect to a daemon.
+    pub fn connect(addr: SocketAddr) -> Result<Conn, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        Ok(Conn {
+            reader,
+            writer,
+            peer: addr,
+            bytes_sent: 0,
+            bytes_received: 0,
+        })
+    }
+
+    /// The daemon's address.
+    pub fn peer(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Bytes written so far (frame bytes, including prefixes).
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Bytes read so far (approximate: counted per decoded frame).
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received
+    }
+
+    /// Fire one frame without awaiting a response.
+    pub fn send(&mut self, frame: &Frame) -> Result<(), NetError> {
+        let encoded = frame.encode();
+        if encoded.len() - 4 > crate::codec::MAX_FRAME_LEN {
+            return Err(NetError::Codec(CodecError::Oversized {
+                declared: encoded.len() - 4,
+                cap: crate::codec::MAX_FRAME_LEN,
+            }));
+        }
+        self.bytes_sent += encoded.len() as u64;
+        self.writer.write_all(&encoded)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Await one frame.
+    pub fn recv(&mut self) -> Result<Frame, NetError> {
+        match crate::codec::read_frame_with_len(&mut self.reader)? {
+            None => Err(NetError::Disconnected),
+            Some(Err(e)) => Err(e.into()),
+            Some(Ok((frame, wire_len))) => {
+                self.bytes_received += wire_len;
+                Ok(frame)
+            }
+        }
+    }
+
+    /// One request/response exchange.  [`Frame::Error`] responses are
+    /// turned into [`NetError::Remote`].
+    pub fn request(&mut self, frame: &Frame) -> Result<Frame, NetError> {
+        self.send(frame)?;
+        match self.recv()? {
+            Frame::Error { code, message } => Err(NetError::Remote { code, message }),
+            other => Ok(other),
+        }
+    }
+
+    /// Request and insist on [`Frame::Ok`].
+    pub fn request_ok(&mut self, frame: &Frame) -> Result<(), NetError> {
+        match self.request(frame)? {
+            Frame::Ok => Ok(()),
+            other => Err(NetError::Protocol(format!("expected Ok, got {other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,439 @@
+//! The round coordinator for one networked mix chain.
+//!
+//! Drives the chain's `k` daemons through the round state machine over
+//! the wire — the networked equivalent of
+//! [`ChainRunner::run_round`](xrd_mixnet::ChainRunner::run_round):
+//!
+//! 1. **submission window** — open the window on every server, let
+//!    clients submit (to *all* servers of the chain, per the paper's
+//!    input-agreement step), close it, and check that every server
+//!    fixed the same canonical batch (digest comparison, §6.3);
+//! 2. **k hops** — each server mixes in turn; every *other* server
+//!    verifies the hop's aggregate attestation before the pipeline
+//!    advances (cross-server proof verification over the wire);
+//! 3. **blame** (§6.4, only on decryption failure) — fetch the
+//!    accusation, trace reveals upstream server by server, convict the
+//!    user or server, and restart the hops with convicted users
+//!    removed;
+//! 4. **reveal** — collect and verify every server's inner key, then
+//!    open the inner envelopes.
+//!
+//! The coordinator holds no key material beyond the public bundle; in a
+//! real deployment this role is played by the servers gossiping among
+//! themselves, and any party can replay the coordinator's checks.
+
+use std::net::SocketAddr;
+
+use xrd_crypto::scalar::Scalar;
+use xrd_mixnet::blame::{trace_blame, BlameVerdict};
+use xrd_mixnet::chain_keys::{apply_rotation_shares, ChainPublicKeys, RotationShare};
+use xrd_mixnet::client::Submission;
+use xrd_mixnet::message::{MailboxMessage, MixEntry};
+use xrd_mixnet::server::{input_digest, open_batch, verify_hop, verify_inner_key};
+use xrd_mixnet::{ChainRoundOutcome, ChainRoundStats};
+
+use crate::codec::Frame;
+use crate::conn::{Conn, NetError};
+
+/// Coordinator-side handle for one chain: persistent connections to its
+/// `k` mix daemons plus the active/pending key bundles.
+pub struct ChainClient {
+    conns: Vec<Conn>,
+    public: ChainPublicKeys,
+    pending: Option<ChainPublicKeys>,
+}
+
+impl ChainClient {
+    /// Connect to a chain's daemons (hop order) with its active bundle.
+    pub fn connect(addrs: &[SocketAddr], public: ChainPublicKeys) -> Result<ChainClient, NetError> {
+        assert_eq!(addrs.len(), public.len(), "one daemon per hop");
+        let conns = addrs
+            .iter()
+            .map(|&a| Conn::connect(a))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ChainClient {
+            conns,
+            public,
+            pending: None,
+        })
+    }
+
+    /// Chain length `k`.
+    pub fn len(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// True if the chain has no servers (never in practice).
+    pub fn is_empty(&self) -> bool {
+        self.conns.is_empty()
+    }
+
+    /// The active public bundle.
+    pub fn public(&self) -> &ChainPublicKeys {
+        &self.public
+    }
+
+    /// The prepared next-round bundle, if any.
+    pub fn pending_public(&self) -> Option<&ChainPublicKeys> {
+        self.pending.as_ref()
+    }
+
+    /// Total bytes exchanged with this chain's daemons so far.
+    pub fn bytes_on_wire(&self) -> u64 {
+        self.conns
+            .iter()
+            .map(|c| c.bytes_sent() + c.bytes_received())
+            .sum()
+    }
+
+    /// Open the submission window for `round` on every server.
+    pub fn open_round(&mut self, round: u64) -> Result<(), NetError> {
+        for conn in &mut self.conns {
+            conn.request_ok(&Frame::OpenRound { round })?;
+        }
+        Ok(())
+    }
+
+    /// Close the window and run input agreement: every server reports
+    /// its canonical-batch digest; all must match.  Returns the agreed
+    /// batch (fetched from server 0 and re-hashed locally).
+    pub fn close_and_agree(&mut self, round: u64) -> Result<Vec<Submission>, NetError> {
+        let mut digests = Vec::with_capacity(self.conns.len());
+        for conn in &mut self.conns {
+            match conn.request(&Frame::CloseSubmissions { round })? {
+                Frame::BatchDigest {
+                    round: r, digest, ..
+                } if r == round => digests.push(digest),
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "expected BatchDigest, got {other:?}"
+                    )))
+                }
+            }
+        }
+        if digests.windows(2).any(|w| w[0] != w[1]) {
+            return Err(NetError::Protocol(
+                "input agreement failed: servers hold different batches".into(),
+            ));
+        }
+        let batch = match self.conns[0].request(&Frame::GetBatch { round })? {
+            Frame::SubmissionBatch {
+                round: r,
+                submissions,
+            } if r == round => submissions,
+            other => {
+                return Err(NetError::Protocol(format!(
+                    "expected SubmissionBatch, got {other:?}"
+                )))
+            }
+        };
+        // Never trust server 0's transcript blindly: re-derive the
+        // digest locally and compare against the agreed one.
+        let entries: Vec<MixEntry> = batch.iter().map(|s| s.to_entry()).collect();
+        if input_digest(&entries) != digests[0] {
+            return Err(NetError::Protocol(
+                "server 0 returned a batch that does not match the agreed digest".into(),
+            ));
+        }
+        Ok(batch)
+    }
+
+    /// Drive the mixing/blame/reveal phases for an agreed batch and
+    /// return the outcome (delivered messages still need mailbox
+    /// delivery, which is deployment-level).
+    pub fn mix_round(
+        &mut self,
+        round: u64,
+        submissions: &[Submission],
+    ) -> Result<ChainRoundOutcome, NetError> {
+        let k = self.conns.len();
+        let mut stats = ChainRoundStats::default();
+        let mut malicious_users: Vec<usize> = Vec::new();
+        let mut misbehaving_servers: Vec<usize> = Vec::new();
+        let mut active: Vec<usize> = (0..submissions.len()).collect();
+
+        // Mixing with blame-retry: repeat until a clean pass (§6.4).
+        let final_entries: Vec<MixEntry> = 'retry: loop {
+            let mut entries: Vec<MixEntry> =
+                active.iter().map(|&i| submissions[i].to_entry()).collect();
+            for pos in 0..k {
+                let inputs = entries.clone();
+                let response = self.conns[pos].request(&Frame::MixBatch {
+                    round,
+                    entries: entries.clone(),
+                })?;
+                match response {
+                    Frame::HopOutput {
+                        round: r,
+                        position,
+                        outputs,
+                        proof,
+                    } => {
+                        if r != round || position as usize != pos {
+                            return Err(NetError::Protocol(
+                                "hop output for wrong round/position".into(),
+                            ));
+                        }
+                        stats.proofs_generated += 1;
+                        // Every other server verifies the attestation,
+                        // concurrently (they are independent machines).
+                        let public = &self.public;
+                        let verdicts: Vec<(usize, Result<Frame, NetError>)> =
+                            std::thread::scope(|scope| {
+                                let handles: Vec<_> = self
+                                    .conns
+                                    .iter_mut()
+                                    .enumerate()
+                                    .filter(|(verifier, _)| *verifier != pos)
+                                    .map(|(verifier, conn)| {
+                                        let request = Frame::VerifyHop {
+                                            round,
+                                            position: pos as u32,
+                                            inputs: inputs.clone(),
+                                            outputs: outputs.clone(),
+                                            proof,
+                                        };
+                                        scope.spawn(move || (verifier, conn.request(&request)))
+                                    })
+                                    .collect();
+                                handles
+                                    .into_iter()
+                                    .map(|h| h.join().expect("verifier thread panicked"))
+                                    .collect()
+                            });
+                        for (verifier, verdict) in verdicts {
+                            stats.proofs_verified += 1;
+                            match verdict? {
+                                Frame::VerifyResult { ok: true } => {}
+                                Frame::VerifyResult { ok: false } => {
+                                    // A rejection over the wire could be a
+                                    // bad proof *or* a lying verifier; the
+                                    // coordinator holds everything needed
+                                    // to re-check locally and convict the
+                                    // right party.
+                                    let really_bad =
+                                        !verify_hop(public, pos, round, &inputs, &outputs, &proof);
+                                    misbehaving_servers.push(if really_bad {
+                                        pos
+                                    } else {
+                                        verifier
+                                    });
+                                    return Ok(ChainRoundOutcome {
+                                        delivered: Vec::new(),
+                                        malicious_users,
+                                        misbehaving_servers,
+                                        stats,
+                                    });
+                                }
+                                other => {
+                                    return Err(NetError::Protocol(format!(
+                                        "expected VerifyResult, got {other:?}"
+                                    )))
+                                }
+                            }
+                        }
+                        entries = outputs;
+                    }
+                    Frame::HopFailure {
+                        round: r,
+                        position,
+                        failed,
+                    } => {
+                        if r != round || position as usize != pos {
+                            return Err(NetError::Protocol(
+                                "hop failure for wrong round/position".into(),
+                            ));
+                        }
+                        stats.blame_rounds += 1;
+                        let active_subs: Vec<Submission> =
+                            active.iter().map(|&i| submissions[i].clone()).collect();
+                        let mut to_remove = Vec::new();
+                        for idx in failed {
+                            match self.run_blame_over_wire(
+                                round,
+                                pos,
+                                idx as usize,
+                                &active_subs,
+                            )? {
+                                BlameVerdict::MaliciousUser { submission_index } => {
+                                    to_remove.push(active[submission_index]);
+                                }
+                                BlameVerdict::ServerMisbehaved { position } => {
+                                    misbehaving_servers.push(position);
+                                }
+                            }
+                        }
+                        if !misbehaving_servers.is_empty() {
+                            // A malicious server: halt with nothing
+                            // delivered (§6.4).
+                            return Ok(ChainRoundOutcome {
+                                delivered: Vec::new(),
+                                malicious_users,
+                                misbehaving_servers,
+                                stats,
+                            });
+                        }
+                        if to_remove.is_empty() {
+                            return Err(NetError::Protocol(
+                                "blame identified no party for a failed slot".into(),
+                            ));
+                        }
+                        stats.removed_by_blame += to_remove.len();
+                        for bad in to_remove {
+                            malicious_users.push(bad);
+                            active.retain(|&i| i != bad);
+                        }
+                        continue 'retry;
+                    }
+                    other => {
+                        return Err(NetError::Protocol(format!(
+                            "expected HopOutput/HopFailure, got {other:?}"
+                        )))
+                    }
+                }
+            }
+            break entries;
+        };
+
+        // Inner-key reveal + verification, then open the envelopes.
+        let mut inner_keys: Vec<Scalar> = Vec::with_capacity(k);
+        for (pos, conn) in self.conns.iter_mut().enumerate() {
+            match conn.request(&Frame::RevealInnerKey { round })? {
+                Frame::InnerKeyReveal { position, isk } => {
+                    if position as usize != pos || !verify_inner_key(&self.public, pos, &isk) {
+                        misbehaving_servers.push(pos);
+                        return Ok(ChainRoundOutcome {
+                            delivered: Vec::new(),
+                            malicious_users,
+                            misbehaving_servers,
+                            stats,
+                        });
+                    }
+                    inner_keys.push(isk);
+                }
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "expected InnerKeyReveal, got {other:?}"
+                    )))
+                }
+            }
+        }
+        let delivered: Vec<MailboxMessage> = open_batch(&inner_keys, round, &final_entries)
+            .into_iter()
+            .flatten()
+            .collect();
+
+        Ok(ChainRoundOutcome {
+            delivered,
+            malicious_users,
+            misbehaving_servers,
+            stats,
+        })
+    }
+
+    /// The §6.4 trace, with each reveal fetched over the wire.
+    fn run_blame_over_wire(
+        &mut self,
+        round: u64,
+        accuser_position: usize,
+        input_index: usize,
+        active_subs: &[Submission],
+    ) -> Result<BlameVerdict, NetError> {
+        let accusation = match self.conns[accuser_position].request(&Frame::Accuse {
+            round,
+            input_index: input_index as u64,
+        }) {
+            Ok(Frame::Accusation { accusation }) => accusation,
+            Ok(other) => {
+                return Err(NetError::Protocol(format!(
+                    "expected Accusation, got {other:?}"
+                )))
+            }
+            Err(NetError::Remote { .. }) => {
+                // Refusing to accuse convicts the accuser.
+                return Ok(BlameVerdict::ServerMisbehaved {
+                    position: accuser_position,
+                });
+            }
+            Err(e) => return Err(e),
+        };
+        if accusation.position != accuser_position {
+            return Ok(BlameVerdict::ServerMisbehaved {
+                position: accuser_position,
+            });
+        }
+
+        // trace_blame's fetcher cannot return wire errors, so capture
+        // them on the side and rethrow after.
+        let mut wire_error: Option<NetError> = None;
+        let conns = &mut self.conns;
+        let verdict = trace_blame(
+            &self.public,
+            active_subs,
+            round,
+            &accusation,
+            |position, output_index| {
+                if wire_error.is_some() {
+                    return None;
+                }
+                match conns[position].request(&Frame::RevealSlot {
+                    round,
+                    output_index: output_index as u64,
+                }) {
+                    Ok(Frame::SlotReveal { reveal }) => reveal.map(|r| *r),
+                    Ok(_) | Err(NetError::Remote { .. }) => None, // convicts the server
+                    Err(e) => {
+                        wire_error = Some(e);
+                        None
+                    }
+                }
+            },
+        );
+        match wire_error {
+            Some(e) => Err(e),
+            None => Ok(verdict),
+        }
+    }
+
+    /// Prepare the inner-key rotation for `inner_epoch`: every server
+    /// generates a fresh key and the assembled, verified bundle becomes
+    /// this chain's pending bundle (what covers are sealed against).
+    pub fn prepare_rotation(&mut self, inner_epoch: u64) -> Result<ChainPublicKeys, NetError> {
+        let mut shares: Vec<RotationShare> = Vec::with_capacity(self.conns.len());
+        for (pos, conn) in self.conns.iter_mut().enumerate() {
+            match conn.request(&Frame::PrepareRotation { inner_epoch })? {
+                Frame::RotationShare {
+                    inner_epoch: e,
+                    share,
+                } if e == inner_epoch && share.position == pos => shares.push(share),
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "bad rotation share from position {pos}: {other:?}"
+                    )))
+                }
+            }
+        }
+        let mut next = self.public.clone();
+        if !apply_rotation_shares(&mut next, inner_epoch, &shares) {
+            return Err(NetError::Protocol(
+                "rotation shares failed verification".into(),
+            ));
+        }
+        self.pending = Some(next.clone());
+        Ok(next)
+    }
+
+    /// Activate the pending rotation on every server and switch the
+    /// coordinator's active bundle.
+    pub fn activate_rotation(&mut self) -> Result<(), NetError> {
+        let next = self
+            .pending
+            .take()
+            .expect("prepare_rotation must be called first");
+        for conn in &mut self.conns {
+            conn.request_ok(&Frame::ActivateRotation { keys: next.clone() })?;
+        }
+        self.public = next;
+        Ok(())
+    }
+}

@@ -1,0 +1,472 @@
+//! The XRD server daemons: long-lived TCP services speaking the wire
+//! protocol of [`crate::codec`].
+//!
+//! * [`MixServerDaemon`] — one hop position of one mix chain: accepts
+//!   user submissions during the round window, fixes the canonical
+//!   batch, runs AHS hops, verifies other servers' hop attestations,
+//!   answers blame requests, reveals inner keys and rotates them.
+//! * [`MailboxDaemon`] — one mailbox shard: accepts deliveries from the
+//!   mix layer and drains mailboxes for fetching clients.
+//!
+//! Both are thread-per-connection over `std::net::TcpListener` — no
+//! async runtime — which is plenty for chain-scale fan-in (a chain has
+//! one coordinator plus its submitting users) and keeps the daemons
+//! dependency-free.  A [`DaemonHandle`] owns the listener thread and
+//! shuts the daemon down when asked (or on drop).
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use xrd_core::mailbox::shard_of;
+use xrd_mixnet::chain_keys::{rotation_share, ChainPublicKeys, ServerSecrets};
+use xrd_mixnet::client::Submission;
+use xrd_mixnet::message::outer_ct_len;
+use xrd_mixnet::server::{input_digest, verify_hop, MixError, MixServer};
+
+use crate::codec::{error_code, read_frame, write_frame, Frame};
+
+// ---------------------------------------------------------------------
+// Generic daemon plumbing
+// ---------------------------------------------------------------------
+
+/// A running daemon: its bound address plus shutdown control.
+pub struct DaemonHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    /// Live client sockets, so shutdown can unblock handler threads
+    /// parked in `read`.
+    conns: ConnRegistry,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Open client sockets, keyed by a per-connection id so handler
+/// threads can deregister (and thereby release the fd) on exit.
+type ConnRegistry = Arc<Mutex<Vec<(u64, TcpStream)>>>;
+
+impl DaemonHandle {
+    /// The daemon's bound address (useful with `port 0` binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Block until the daemon stops of its own accord (a peer sent
+    /// [`Frame::Shutdown`]).
+    pub fn wait(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Stop accepting, unblock every open connection, and join the
+    /// listener.
+    pub fn shutdown(&mut self) {
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            // Unblock handler threads parked in `read` on live peers.
+            for (_, stream) in self.conns.lock().expect("conn registry").iter() {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+            // Wake the blocking accept with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for DaemonHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serve `handler` on `addr` with a thread per connection.  The handler
+/// maps each request frame to a response frame; [`Frame::Shutdown`]
+/// additionally stops the whole daemon.
+fn spawn_daemon<A: ToSocketAddrs>(
+    addr: A,
+    handler: Arc<dyn Fn(Frame) -> Frame + Send + Sync>,
+) -> std::io::Result<DaemonHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let conns: ConnRegistry = Arc::new(Mutex::new(Vec::new()));
+    let stop_accept = Arc::clone(&stop);
+    let conns_accept = Arc::clone(&conns);
+
+    let accept_thread = std::thread::spawn(move || {
+        let mut conn_threads = Vec::new();
+        let mut next_id = 0u64;
+        for stream in listener.incoming() {
+            if stop_accept.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let id = next_id;
+            next_id += 1;
+            if let Ok(clone) = stream.try_clone() {
+                conns_accept
+                    .lock()
+                    .expect("conn registry")
+                    .push((id, clone));
+            }
+            let handler = Arc::clone(&handler);
+            let stop_conn = Arc::clone(&stop_accept);
+            let conns_conn = Arc::clone(&conns_accept);
+            let daemon_addr = addr;
+            conn_threads.push(std::thread::spawn(move || {
+                let _ = serve_connection(&stream, handler, stop_conn, &conns_conn, daemon_addr);
+                // Close the socket for every clone (the registry holds
+                // one) so the peer sees EOF, then release the fd.
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                conns_conn
+                    .lock()
+                    .expect("conn registry")
+                    .retain(|(i, _)| *i != id);
+            }));
+        }
+        for t in conn_threads {
+            let _ = t.join();
+        }
+    });
+
+    Ok(DaemonHandle {
+        addr,
+        stop,
+        conns,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn serve_connection(
+    stream: &TcpStream,
+    handler: Arc<dyn Fn(Frame) -> Frame + Send + Sync>,
+    stop: Arc<AtomicBool>,
+    conns: &ConnRegistry,
+    daemon_addr: SocketAddr,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    loop {
+        let frame = match read_frame(&mut reader)? {
+            None => return Ok(()), // peer hung up
+            Some(Err(e)) => {
+                // Unparseable bytes: report and drop the connection (the
+                // stream may be desynchronized).
+                let _ = write_frame(
+                    &mut writer,
+                    &Frame::Error {
+                        code: error_code::BAD_STATE,
+                        message: format!("bad frame: {e}"),
+                    },
+                );
+                return Ok(());
+            }
+            Some(Ok(frame)) => frame,
+        };
+        if matches!(frame, Frame::Shutdown) {
+            write_frame(&mut writer, &Frame::Ok)?;
+            if !stop.swap(true, Ordering::SeqCst) {
+                // Unblock sibling connections and the accept loop so
+                // the daemon can wind down.
+                for (_, peer) in conns.lock().expect("conn registry").iter() {
+                    let _ = peer.shutdown(std::net::Shutdown::Both);
+                }
+                let _ = TcpStream::connect(daemon_addr);
+            }
+            return Ok(());
+        }
+        let response = handler(frame);
+        write_frame(&mut writer, &response)?;
+    }
+}
+
+fn err(code: u16, message: impl Into<String>) -> Frame {
+    let mut message = message.into();
+    // Error detail is advisory; keep it far below the codec's byte-string
+    // cap no matter what (e.g. a Debug-printed jumbo frame).
+    if message.len() > 512 {
+        let cut = (0..=512).rev().find(|&i| message.is_char_boundary(i));
+        message.truncate(cut.unwrap_or(0));
+        message.push('…');
+    }
+    Frame::Error { code, message }
+}
+
+// ---------------------------------------------------------------------
+// Mix-server daemon
+// ---------------------------------------------------------------------
+
+/// Mutable state of one mix-server daemon.
+struct MixState {
+    /// Long-term secrets (bsk/msk survive rotations; isk is per-round).
+    secrets: ServerSecrets,
+    /// The server executing hops under the *active* key bundle.
+    server: MixServer,
+    /// Prepared-but-inactive inner key: `(inner_epoch, isk)`.
+    pending_isk: Option<(u64, xrd_crypto::Scalar)>,
+    /// Round currently accepting submissions.
+    open_round: Option<u64>,
+    /// Submissions received for the open round (arrival order).
+    pending_subs: Vec<Submission>,
+    /// Canonical (sorted) batches per closed round.
+    batches: HashMap<u64, Vec<Submission>>,
+    /// Daemon-local randomness (shuffles, proofs).
+    rng: StdRng,
+}
+
+impl MixState {
+    fn public(&self) -> &ChainPublicKeys {
+        self.server.public()
+    }
+
+    fn handle(&mut self, frame: Frame) -> Frame {
+        match frame {
+            Frame::Ping => Frame::Ok,
+            Frame::OpenRound { round } => {
+                self.open_round = Some(round);
+                self.pending_subs.clear();
+                Frame::Ok
+            }
+            Frame::Submit { round, submission } => {
+                if self.open_round != Some(round) {
+                    return err(error_code::UNKNOWN_ROUND, "no submission window open");
+                }
+                let k = self.public().len();
+                if submission.ct.len() != outer_ct_len(k) {
+                    return err(error_code::REJECTED_SUBMISSION, "wrong onion size");
+                }
+                if !submission.verify_pok(round) {
+                    return err(error_code::REJECTED_SUBMISSION, "invalid PoK");
+                }
+                self.pending_subs.push(submission);
+                Frame::Ok
+            }
+            Frame::CloseSubmissions { round } => {
+                if self.open_round != Some(round) {
+                    return err(error_code::UNKNOWN_ROUND, "window not open for round");
+                }
+                self.open_round = None;
+                // Canonical order: sort by serialized bytes, so every
+                // server that received the same set fixes the same batch.
+                let mut batch = std::mem::take(&mut self.pending_subs);
+                batch.sort_by_cached_key(|s| s.to_bytes());
+                batch.dedup();
+                let entries: Vec<_> = batch.iter().map(|s| s.to_entry()).collect();
+                let digest = input_digest(&entries);
+                let count = batch.len() as u64;
+                self.batches.insert(round, batch);
+                // Only the current and previous rounds are ever fetched
+                // or blamed; pruning older batches bounds daemon memory
+                // over a long-lived deployment.
+                self.batches.retain(|&r, _| r + 1 >= round);
+                Frame::BatchDigest {
+                    round,
+                    digest,
+                    count,
+                }
+            }
+            Frame::GetBatch { round } => match self.batches.get(&round) {
+                Some(batch) => Frame::SubmissionBatch {
+                    round,
+                    submissions: batch.clone(),
+                },
+                None => err(error_code::UNKNOWN_ROUND, "no batch for round"),
+            },
+            Frame::MixBatch { round, entries } => {
+                let position = self.secrets.position as u32;
+                match self.server.process_round(&mut self.rng, round, entries) {
+                    Ok(result) => Frame::HopOutput {
+                        round,
+                        position,
+                        outputs: result.outputs,
+                        proof: result.proof,
+                    },
+                    Err(MixError::DecryptFailure(failed)) => Frame::HopFailure {
+                        round,
+                        position,
+                        failed: failed.into_iter().map(|i| i as u64).collect(),
+                    },
+                    Err(MixError::Malformed) => err(error_code::BAD_STATE, "malformed batch"),
+                }
+            }
+            Frame::VerifyHop {
+                round,
+                position,
+                inputs,
+                outputs,
+                proof,
+            } => {
+                let ok = (position as usize) < self.public().len()
+                    && verify_hop(
+                        self.public(),
+                        position as usize,
+                        round,
+                        &inputs,
+                        &outputs,
+                        &proof,
+                    );
+                Frame::VerifyResult { ok }
+            }
+            Frame::RevealInnerKey { round: _ } => Frame::InnerKeyReveal {
+                position: self.secrets.position as u32,
+                isk: self.server.reveal_inner_key(),
+            },
+            Frame::PrepareRotation { inner_epoch } => {
+                let (isk, share) =
+                    rotation_share(&mut self.rng, self.secrets.position, inner_epoch);
+                self.pending_isk = Some((inner_epoch, isk));
+                Frame::RotationShare { inner_epoch, share }
+            }
+            Frame::ActivateRotation { keys } => {
+                let Some((epoch, isk)) = self.pending_isk.take() else {
+                    return err(error_code::BAD_ROTATION, "no rotation prepared");
+                };
+                if keys.inner_epoch != epoch {
+                    self.pending_isk = Some((epoch, isk));
+                    return err(error_code::BAD_ROTATION, "epoch mismatch");
+                }
+                let position = self.secrets.position;
+                if keys.len() != self.public().len()
+                    || keys.ipks[position] != xrd_crypto::GroupElement::base_mul(&isk)
+                {
+                    return err(error_code::BAD_ROTATION, "bundle does not carry my share");
+                }
+                if !keys.verify() {
+                    return err(error_code::BAD_ROTATION, "bundle fails verification");
+                }
+                self.secrets.isk = isk;
+                self.server = MixServer::new(self.secrets.clone(), keys);
+                Frame::Ok
+            }
+            Frame::Accuse {
+                round: _,
+                input_index,
+            } => match self.server.accuse(&mut self.rng, input_index as usize) {
+                Some(accusation) => Frame::Accusation { accusation },
+                None => err(error_code::NO_BLAME_STATE, "no retained state for slot"),
+            },
+            Frame::RevealSlot {
+                round: _,
+                output_index,
+            } => Frame::SlotReveal {
+                reveal: self
+                    .server
+                    .blame_reveal(&mut self.rng, output_index as usize)
+                    .map(Box::new),
+            },
+            other => err(
+                error_code::UNSUPPORTED,
+                format!("mix daemon cannot serve {other:?}"),
+            ),
+        }
+    }
+}
+
+/// A running mix-server daemon for one `(chain, position)`.
+pub struct MixServerDaemon;
+
+impl MixServerDaemon {
+    /// Spawn a daemon serving hop `secrets.position` of a chain whose
+    /// active public bundle is `public`, listening on `addr` (use
+    /// `127.0.0.1:0` for an OS-assigned port).
+    pub fn spawn<A: ToSocketAddrs>(
+        addr: A,
+        secrets: ServerSecrets,
+        public: ChainPublicKeys,
+        rng_seed: u64,
+    ) -> std::io::Result<DaemonHandle> {
+        let state = Arc::new(Mutex::new(MixState {
+            server: MixServer::new(secrets.clone(), public),
+            secrets,
+            pending_isk: None,
+            open_round: None,
+            pending_subs: Vec::new(),
+            batches: HashMap::new(),
+            rng: StdRng::seed_from_u64(rng_seed),
+        }));
+        spawn_daemon(
+            addr,
+            Arc::new(move |frame| state.lock().expect("mix state poisoned").handle(frame)),
+        )
+    }
+
+    /// Spawn with a seed drawn from the OS RNG.
+    pub fn spawn_os_seeded<A: ToSocketAddrs>(
+        addr: A,
+        secrets: ServerSecrets,
+        public: ChainPublicKeys,
+    ) -> std::io::Result<DaemonHandle> {
+        let seed = rand::rngs::OsRng.next_u64();
+        Self::spawn(addr, secrets, public, seed)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mailbox daemon
+// ---------------------------------------------------------------------
+
+struct MailboxState {
+    /// This daemon's shard index and the deployment's shard count, used
+    /// to reject deliveries that belong elsewhere.
+    shard: usize,
+    n_shards: usize,
+    boxes: HashMap<[u8; 32], Vec<Vec<u8>>>,
+}
+
+impl MailboxState {
+    fn handle(&mut self, frame: Frame) -> Frame {
+        match frame {
+            Frame::Ping => Frame::Ok,
+            Frame::Deliver { round: _, messages } => {
+                for m in &messages {
+                    if shard_of(&m.mailbox, self.n_shards) != self.shard {
+                        return err(error_code::BAD_STATE, "message routed to wrong shard");
+                    }
+                }
+                for m in messages {
+                    self.boxes.entry(m.mailbox).or_default().push(m.sealed);
+                }
+                Frame::Ok
+            }
+            Frame::Fetch { mailbox } => Frame::MailboxContents {
+                sealed: self.boxes.remove(&mailbox).unwrap_or_default(),
+            },
+            other => err(
+                error_code::UNSUPPORTED,
+                format!("mailbox daemon cannot serve {other:?}"),
+            ),
+        }
+    }
+}
+
+/// A running mailbox-shard daemon.
+pub struct MailboxDaemon;
+
+impl MailboxDaemon {
+    /// Spawn the daemon owning `shard` of `n_shards`, listening on
+    /// `addr`.
+    pub fn spawn<A: ToSocketAddrs>(
+        addr: A,
+        shard: usize,
+        n_shards: usize,
+    ) -> std::io::Result<DaemonHandle> {
+        assert!(shard < n_shards);
+        let state = Arc::new(Mutex::new(MailboxState {
+            shard,
+            n_shards,
+            boxes: HashMap::new(),
+        }));
+        spawn_daemon(
+            addr,
+            Arc::new(move |frame| state.lock().expect("mailbox state poisoned").handle(frame)),
+        )
+    }
+}

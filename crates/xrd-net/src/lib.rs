@@ -1,0 +1,44 @@
+//! # xrd-net
+//!
+//! The networked XRD deployment: everything needed to run the round
+//! protocol of the in-process `xrd_core::Deployment` as real services
+//! exchanging batches over TCP — the reproduction's analogue of the
+//! paper's EC2 testbed (§8).
+//!
+//! * [`codec`] — the length-prefixed binary wire protocol: submissions,
+//!   mix batches, hop attestations, inner-key reveals and rotations,
+//!   blame messages, mailbox delivery/fetch; hand-rolled, hard size
+//!   caps, canonical-encoding checks;
+//! * [`conn`] — the client side of a connection (request/response with
+//!   byte accounting);
+//! * [`daemon`] — [`MixServerDaemon`] (one hop of one chain) and
+//!   [`MailboxDaemon`] (one shard), thread-per-connection on
+//!   `std::net`;
+//! * [`coordinator`] — [`ChainClient`], driving one chain's round state
+//!   machine over the wire: submission window → k hops with
+//!   cross-server proof verification → blame → inner-key reveal;
+//! * [`remote`] — [`RemoteDeployment`] (implements
+//!   `xrd_core::RoundBackend`, so it is interchangeable with the
+//!   in-process deployment) and [`launch_local`] (a whole deployment on
+//!   loopback, one port per daemon);
+//! * [`swarm`] — a concurrent client fleet with latency/throughput
+//!   reporting.
+//!
+//! The `xrd-netd` binary wraps the daemons for standalone (multi-
+//! process or multi-machine) operation.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod conn;
+pub mod coordinator;
+pub mod daemon;
+pub mod remote;
+pub mod swarm;
+
+pub use codec::{CodecError, Frame};
+pub use conn::{Conn, NetError};
+pub use coordinator::ChainClient;
+pub use daemon::{DaemonHandle, MailboxDaemon, MixServerDaemon};
+pub use remote::{launch_local, LocalCluster, RemoteDeployment};
+pub use swarm::{run_swarm, SwarmConfig, SwarmReport, SwarmRoundStats};

@@ -1,0 +1,443 @@
+//! [`RemoteDeployment`]: the full XRD round protocol against networked
+//! daemons, presenting the same [`RoundBackend`] face as the in-process
+//! `Deployment` — plus [`launch_local`], which spins a whole deployment
+//! up on loopback TCP (one daemon per mix-server hop and per mailbox
+//! shard, each on its own port).
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+
+use rand::RngCore;
+
+use xrd_core::backend::{collect_submissions, open_fetched, CoverStore, RoundBackend};
+use xrd_core::deployment::{DeploymentConfig, FetchResults, RoundReport};
+use xrd_core::mailbox::shard_of;
+use xrd_core::user::User;
+use xrd_mixnet::chain_keys::{generate_chain_keys, rotate_inner_keys, ChainPublicKeys};
+use xrd_mixnet::client::Submission;
+use xrd_mixnet::message::MailboxMessage;
+use xrd_mixnet::ChainRoundOutcome;
+use xrd_topology::{Beacon, Topology};
+
+use crate::codec::Frame;
+use crate::conn::{Conn, NetError};
+use crate::coordinator::ChainClient;
+use crate::daemon::{DaemonHandle, MailboxDaemon, MixServerDaemon};
+
+/// A deployment whose chains and mailboxes live behind TCP endpoints.
+pub struct RemoteDeployment {
+    topo: Topology,
+    chains: Vec<ChainClient>,
+    /// Daemon addresses per chain (hop order) — what submitting clients
+    /// connect to.
+    chain_addrs: Vec<Vec<SocketAddr>>,
+    mailbox_addrs: Vec<SocketAddr>,
+    /// Coordinator-side connections to the mailbox daemons (delivery +
+    /// fetching).
+    mailbox_conns: Vec<Conn>,
+    round: u64,
+    current_keys: Vec<ChainPublicKeys>,
+    next_keys: Vec<ChainPublicKeys>,
+    cover_store: CoverStore,
+    /// Concurrent submitter connections during the submission window.
+    submit_workers: usize,
+    /// Raw submissions injected for the next round (attack testing).
+    injected: Vec<(xrd_topology::ChainId, Submission)>,
+}
+
+impl RemoteDeployment {
+    /// Connect to a running deployment: `chain_addrs[c]` are chain `c`'s
+    /// daemons in hop order with active bundle `chain_keys[c]`;
+    /// `mailbox_addrs[s]` is shard `s`.  Prepares the round-1 inner-key
+    /// rotation so §5.3.3 covers can be sealed immediately.
+    pub fn connect(
+        topo: Topology,
+        chain_addrs: Vec<Vec<SocketAddr>>,
+        chain_keys: Vec<ChainPublicKeys>,
+        mailbox_addrs: Vec<SocketAddr>,
+    ) -> Result<RemoteDeployment, NetError> {
+        assert_eq!(chain_addrs.len(), topo.n_chains());
+        assert_eq!(chain_keys.len(), topo.n_chains());
+        let mut chains = Vec::with_capacity(chain_addrs.len());
+        for (addrs, keys) in chain_addrs.iter().zip(chain_keys.iter()) {
+            assert!(keys.verify(), "chain bundle must verify");
+            chains.push(ChainClient::connect(addrs, keys.clone())?);
+        }
+        let mailbox_conns = mailbox_addrs
+            .iter()
+            .map(|&a| Conn::connect(a))
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let mut deployment = RemoteDeployment {
+            topo,
+            chains,
+            chain_addrs,
+            mailbox_addrs,
+            mailbox_conns,
+            round: 0,
+            current_keys: chain_keys,
+            next_keys: Vec::new(),
+            cover_store: CoverStore::new(),
+            submit_workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
+            injected: Vec::new(),
+        };
+        // Pre-publish round-1 inner keys (§5.3.3: covers for ρ+1 are
+        // sealed while ρ runs).
+        deployment.next_keys = deployment
+            .chains
+            .iter_mut()
+            .map(|c| c.prepare_rotation(1))
+            .collect::<Result<_, _>>()?;
+        Ok(deployment)
+    }
+
+    /// The deployment's topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Current round number.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The public key bundles of all chains for the current round.
+    pub fn chain_keys(&self) -> &[ChainPublicKeys] {
+        &self.current_keys
+    }
+
+    /// The pre-published bundles for the next round.
+    pub fn next_chain_keys(&self) -> &[ChainPublicKeys] {
+        &self.next_keys
+    }
+
+    /// Daemon addresses per chain, hop order (for external submitters).
+    pub fn chain_addrs(&self) -> &[Vec<SocketAddr>] {
+        &self.chain_addrs
+    }
+
+    /// Mailbox shard addresses (for external fetchers).
+    pub fn mailbox_addrs(&self) -> &[SocketAddr] {
+        &self.mailbox_addrs
+    }
+
+    /// Total bytes exchanged with all daemons so far.
+    pub fn bytes_on_wire(&self) -> u64 {
+        let chain_bytes: u64 = self.chains.iter().map(|c| c.bytes_on_wire()).sum();
+        let mailbox_bytes: u64 = self
+            .mailbox_conns
+            .iter()
+            .map(|c| c.bytes_sent() + c.bytes_received())
+            .sum();
+        chain_bytes + mailbox_bytes
+    }
+
+    /// Set the number of concurrent submitter connections.
+    pub fn set_submit_workers(&mut self, n: usize) {
+        self.submit_workers = n.max(1);
+    }
+
+    /// Queue a raw submission for the next round (simulating a user
+    /// that does not follow the protocol).  Fault-injection hook for
+    /// tests, mirroring `Deployment::inject_submission`.
+    #[doc(hidden)]
+    pub fn inject_submission(&mut self, chain: xrd_topology::ChainId, submission: Submission) {
+        self.injected.push((chain, submission));
+    }
+
+    /// Execute one full round over the wire; panics on infrastructure
+    /// failure (see [`RemoteDeployment::try_run_round`] for the fallible
+    /// version).
+    pub fn run_round<R: RngCore + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        users: &mut [User],
+    ) -> (RoundReport, FetchResults) {
+        self.try_run_round(rng, users)
+            .expect("networked round failed")
+    }
+
+    /// Execute one full round over the wire: submission window → k hops
+    /// with cross-server verification (and blame) → inner-key reveal →
+    /// mailbox delivery → fetch → key rotation.
+    pub fn try_run_round<R: RngCore + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        users: &mut [User],
+    ) -> Result<(RoundReport, FetchResults), NetError> {
+        let round = self.round;
+
+        // Client side: seal ℓ submissions per user (+ covers for ρ+1).
+        let mut per_chain = collect_submissions(
+            rng,
+            &self.topo,
+            &self.current_keys,
+            &self.next_keys,
+            round,
+            &mut self.cover_store,
+            users,
+        );
+        for (chain, sub) in self.injected.drain(..) {
+            per_chain[chain.0 as usize].push(sub);
+        }
+
+        // Submission window: open on every chain, submit concurrently,
+        // then close and run input agreement.
+        for chain in &mut self.chains {
+            chain.open_round(round)?;
+        }
+        self.submit_concurrently(round, &per_chain)?;
+
+        // Drive every chain's mix in parallel — each chain is an
+        // independent set of machines.
+        let mut report = RoundReport {
+            round,
+            ..Default::default()
+        };
+        let outcomes: Vec<Result<(usize, ChainRoundOutcome), NetError>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .chains
+                    .iter_mut()
+                    .map(|chain| {
+                        scope.spawn(move || {
+                            let batch = chain.close_and_agree(round)?;
+                            let outcome = chain.mix_round(round, &batch)?;
+                            Ok((batch.len(), outcome))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("chain coordinator panicked"))
+                    .collect()
+            });
+
+        let mut delivered: Vec<MailboxMessage> = Vec::new();
+        for (c, result) in outcomes.into_iter().enumerate() {
+            let (mixed, outcome) = result?;
+            report.messages_mixed += mixed;
+            if !outcome.misbehaving_servers.is_empty() {
+                report.aborted_chains.push(c as u32);
+            }
+            if !outcome.malicious_users.is_empty() {
+                report
+                    .malicious_by_chain
+                    .insert(c as u32, outcome.malicious_users.len());
+            }
+            report.delivered += outcome.delivered.len();
+            delivered.extend(outcome.delivered);
+        }
+
+        // Deliver to mailbox shards.
+        let n_shards = self.mailbox_conns.len();
+        let mut per_shard: Vec<Vec<MailboxMessage>> = vec![Vec::new(); n_shards];
+        for msg in delivered {
+            per_shard[shard_of(&msg.mailbox, n_shards)].push(msg);
+        }
+        for (conn, messages) in self.mailbox_conns.iter_mut().zip(per_shard) {
+            if !messages.is_empty() {
+                conn.request_ok(&Frame::Deliver { round, messages })?;
+            }
+        }
+
+        // Fetch and decrypt (client side again).
+        let mailbox_conns = &mut self.mailbox_conns;
+        let mut fetch_error: Option<NetError> = None;
+        let fetched = open_fetched(&self.topo, round, users, |mailbox| {
+            if fetch_error.is_some() {
+                return Vec::new();
+            }
+            let shard = shard_of(mailbox, n_shards);
+            match mailbox_conns[shard].request(&Frame::Fetch { mailbox: *mailbox }) {
+                Ok(Frame::MailboxContents { sealed }) => sealed,
+                Ok(other) => {
+                    fetch_error = Some(NetError::Protocol(format!(
+                        "expected MailboxContents, got {other:?}"
+                    )));
+                    Vec::new()
+                }
+                Err(e) => {
+                    fetch_error = Some(e);
+                    Vec::new()
+                }
+            }
+        });
+        if let Some(e) = fetch_error {
+            return Err(e);
+        }
+
+        // Advance the key schedule: activate ρ+1, pre-publish ρ+2.
+        self.round += 1;
+        for (c, chain) in self.chains.iter_mut().enumerate() {
+            chain.activate_rotation()?;
+            self.current_keys[c] = chain.public().clone();
+            self.next_keys[c] = chain.prepare_rotation(self.round + 1)?;
+        }
+
+        Ok((report, fetched))
+    }
+
+    /// Submit every sealed submission to every daemon of its chain (the
+    /// paper's input-agreement fan-out), spread across
+    /// `submit_workers` concurrent client connections.
+    fn submit_concurrently(
+        &self,
+        round: u64,
+        per_chain: &[Vec<Submission>],
+    ) -> Result<(), NetError> {
+        let tasks: Vec<(usize, &Submission)> = per_chain
+            .iter()
+            .enumerate()
+            .flat_map(|(c, subs)| subs.iter().map(move |s| (c, s)))
+            .collect();
+        if tasks.is_empty() {
+            return Ok(());
+        }
+        let workers = self.submit_workers.min(tasks.len());
+        let chunk = tasks.len().div_ceil(workers);
+        let chain_addrs = &self.chain_addrs;
+
+        let results: Vec<Result<(), NetError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = tasks
+                .chunks(chunk)
+                .map(|chunk_tasks| {
+                    scope.spawn(move || {
+                        // Each worker keeps one connection per daemon it
+                        // talks to (a client device in miniature).
+                        let mut conns: HashMap<SocketAddr, Conn> = HashMap::new();
+                        for &(c, submission) in chunk_tasks {
+                            for &addr in &chain_addrs[c] {
+                                let conn = match conns.entry(addr) {
+                                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                                    std::collections::hash_map::Entry::Vacant(e) => {
+                                        e.insert(Conn::connect(addr)?)
+                                    }
+                                };
+                                conn.request_ok(&Frame::Submit {
+                                    round,
+                                    submission: submission.clone(),
+                                })?;
+                            }
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("submitter panicked"))
+                .collect()
+        });
+        results.into_iter().collect()
+    }
+}
+
+impl RoundBackend for RemoteDeployment {
+    fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    fn round(&self) -> u64 {
+        self.round
+    }
+
+    fn chain_keys(&self) -> &[ChainPublicKeys] {
+        &self.current_keys
+    }
+
+    fn run_round(
+        &mut self,
+        rng: &mut dyn RngCore,
+        users: &mut [User],
+    ) -> (RoundReport, FetchResults) {
+        RemoteDeployment::run_round(self, rng, users)
+    }
+}
+
+/// Handles for a deployment launched by [`launch_local`]; dropping it
+/// shuts every daemon down.
+pub struct LocalCluster {
+    /// `mix[c][i]` is hop `i` of chain `c`.
+    pub mix: Vec<Vec<DaemonHandle>>,
+    /// One handle per mailbox shard.
+    pub mailboxes: Vec<DaemonHandle>,
+}
+
+impl LocalCluster {
+    /// Total daemon count (mix servers + mailbox shards).
+    pub fn n_daemons(&self) -> usize {
+        self.mix.iter().map(|c| c.len()).sum::<usize>() + self.mailboxes.len()
+    }
+
+    /// Stop every daemon.
+    pub fn shutdown(&mut self) {
+        for chain in &mut self.mix {
+            for daemon in chain {
+                daemon.shutdown();
+            }
+        }
+        for daemon in &mut self.mailboxes {
+            daemon.shutdown();
+        }
+    }
+}
+
+/// Launch a complete deployment on loopback TCP: one daemon per mix
+/// hop (`n_chains × k` of them) and one per mailbox shard, each bound
+/// to its own OS-assigned port — then connect a [`RemoteDeployment`]
+/// to it.
+///
+/// The topology and key schedule match `Deployment::new` for the same
+/// config, so the two backends are directly comparable.
+pub fn launch_local<R: RngCore + ?Sized>(
+    rng: &mut R,
+    config: &DeploymentConfig,
+) -> std::io::Result<(LocalCluster, RemoteDeployment)> {
+    let beacon = Beacon::from_u64(config.seed);
+    let k = config
+        .chain_len
+        .unwrap_or_else(|| xrd_topology::chain_length(config.f, config.n_servers, 64));
+    let topo = Topology::build_with(&beacon, 0, config.n_servers, config.n_servers, k, config.f);
+
+    let mut mix = Vec::with_capacity(topo.n_chains());
+    let mut chain_addrs = Vec::with_capacity(topo.n_chains());
+    let mut chain_keys = Vec::with_capacity(topo.n_chains());
+    for c in 0..topo.n_chains() {
+        // Long-term keys for epoch `c` (chain identity), inner keys
+        // rotated to round 0 — the same schedule as the in-process
+        // deployment.
+        let (mut secrets, mut public) = generate_chain_keys(rng, k, c as u64);
+        rotate_inner_keys(rng, &mut secrets, &mut public, 0);
+        let mut daemons = Vec::with_capacity(k);
+        let mut addrs = Vec::with_capacity(k);
+        for server_secrets in secrets {
+            let daemon = MixServerDaemon::spawn(
+                "127.0.0.1:0",
+                server_secrets,
+                public.clone(),
+                rng.next_u64(),
+            )?;
+            addrs.push(daemon.addr());
+            daemons.push(daemon);
+        }
+        mix.push(daemons);
+        chain_addrs.push(addrs);
+        chain_keys.push(public);
+    }
+
+    let mut mailboxes = Vec::with_capacity(config.n_mailbox_shards);
+    let mut mailbox_addrs = Vec::with_capacity(config.n_mailbox_shards);
+    for shard in 0..config.n_mailbox_shards {
+        let daemon = MailboxDaemon::spawn("127.0.0.1:0", shard, config.n_mailbox_shards)?;
+        mailbox_addrs.push(daemon.addr());
+        mailboxes.push(daemon);
+    }
+
+    let cluster = LocalCluster { mix, mailboxes };
+    let deployment = RemoteDeployment::connect(topo, chain_addrs, chain_keys, mailbox_addrs)
+        .map_err(|e| std::io::Error::other(format!("connect failed: {e}")))?;
+    Ok((cluster, deployment))
+}

@@ -1,0 +1,155 @@
+//! A client swarm for load-driving a networked deployment: hundreds of
+//! users submitting concurrently over TCP, with per-round wall-clock
+//! latency and throughput reporting — the reproduction's stand-in for
+//! the paper's §8 client fleet.
+
+use std::time::{Duration, Instant};
+
+use rand::RngCore;
+
+use xrd_core::user::{Received, User};
+
+use crate::remote::RemoteDeployment;
+
+/// Swarm shape.
+#[derive(Clone, Debug)]
+pub struct SwarmConfig {
+    /// Number of users.
+    pub n_users: usize,
+    /// Rounds to run.
+    pub rounds: u64,
+    /// Fraction of users in pairwise conversations (the rest idle and
+    /// send loopback cover traffic only).
+    pub conversing_fraction: f64,
+    /// Concurrent submitter connections.
+    pub submit_workers: usize,
+}
+
+impl Default for SwarmConfig {
+    fn default() -> SwarmConfig {
+        SwarmConfig {
+            n_users: 128,
+            rounds: 3,
+            conversing_fraction: 0.5,
+            submit_workers: 8,
+        }
+    }
+}
+
+/// Timing and delivery accounting for one swarm round.
+#[derive(Clone, Debug)]
+pub struct SwarmRoundStats {
+    /// Round number.
+    pub round: u64,
+    /// Wall-clock latency of the whole round (submit → fetch).
+    pub latency: Duration,
+    /// Submissions mixed.
+    pub messages_mixed: usize,
+    /// Messages delivered to mailboxes.
+    pub delivered: usize,
+    /// Chat payloads received by the intended partners this round.
+    pub chats_received: usize,
+    /// End-to-end mailbox messages per second for this round.
+    pub msgs_per_sec: f64,
+}
+
+/// Whole-run accounting.
+#[derive(Clone, Debug)]
+pub struct SwarmReport {
+    /// Per-round stats.
+    pub rounds: Vec<SwarmRoundStats>,
+    /// Total bytes exchanged with the daemons.
+    pub bytes_on_wire: u64,
+    /// Total users driven.
+    pub n_users: usize,
+}
+
+impl SwarmReport {
+    /// Mean round latency.
+    pub fn mean_latency(&self) -> Duration {
+        if self.rounds.is_empty() {
+            return Duration::ZERO;
+        }
+        self.rounds.iter().map(|r| r.latency).sum::<Duration>() / self.rounds.len() as u32
+    }
+
+    /// Mean delivered messages per second across rounds.
+    pub fn mean_throughput(&self) -> f64 {
+        if self.rounds.is_empty() {
+            return 0.0;
+        }
+        self.rounds.iter().map(|r| r.msgs_per_sec).sum::<f64>() / self.rounds.len() as f64
+    }
+}
+
+/// Drive a swarm of users through `config.rounds` rounds of the
+/// networked deployment, verifying chat delivery along the way.
+///
+/// Panics if a conversing user fails to receive a queued chat — the
+/// swarm doubles as an end-to-end correctness check under load.
+pub fn run_swarm<R: RngCore + ?Sized>(
+    rng: &mut R,
+    deployment: &mut RemoteDeployment,
+    config: &SwarmConfig,
+) -> SwarmReport {
+    deployment.set_submit_workers(config.submit_workers);
+
+    let mut users: Vec<User> = (0..config.n_users).map(|_| User::new(rng)).collect();
+    // Pair the first `conversing_fraction` of users: (0,1), (2,3), …
+    let paired = ((config.n_users as f64 * config.conversing_fraction) as usize) & !1;
+    for i in (0..paired).step_by(2) {
+        let (a, b) = (users[i].pk(), users[i + 1].pk());
+        users[i].start_conversation(b);
+        users[i + 1].start_conversation(a);
+    }
+
+    let mut rounds = Vec::with_capacity(config.rounds as usize);
+    for _ in 0..config.rounds {
+        let round = deployment.round();
+        // Fresh chat content every round, tagged for verification.
+        for i in (0..paired).step_by(2) {
+            users[i].queue_chat(format!("r{round} {i}→{}", i + 1).into_bytes());
+            users[i + 1].queue_chat(format!("r{round} {}→{i}", i + 1).into_bytes());
+        }
+
+        let start = Instant::now();
+        let (report, fetched) = deployment.run_round(rng, &mut users);
+        let latency = start.elapsed();
+
+        // Verify: every paired user received their partner's tagged
+        // chat; every user received exactly ℓ messages.
+        let ell = deployment.topology().ell();
+        let mut chats_received = 0;
+        for (i, user) in users.iter().enumerate() {
+            let got = &fetched[&user.mailbox_id()];
+            assert_eq!(got.len(), ell, "user {i} mailbox count");
+            if i < paired {
+                let partner = if i % 2 == 0 { i + 1 } else { i - 1 };
+                let expect = format!("r{round} {partner}→{i}").into_bytes();
+                assert!(
+                    got.iter().any(|r| matches!(
+                        r,
+                        Received::Chat { data, .. } if *data == expect
+                    )),
+                    "user {i} missing chat from {partner} in round {round}"
+                );
+                chats_received += 1;
+            }
+        }
+
+        rounds.push(SwarmRoundStats {
+            round,
+            latency,
+            messages_mixed: report.messages_mixed,
+            delivered: report.delivered,
+            chats_received,
+            msgs_per_sec: report.delivered as f64 / latency.as_secs_f64().max(1e-9),
+        });
+    }
+
+    SwarmReport {
+        rounds,
+        bytes_on_wire: deployment.bytes_on_wire(),
+        n_users: config.n_users,
+    }
+}

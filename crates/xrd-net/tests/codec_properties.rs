@@ -1,0 +1,372 @@
+//! Wire-codec property tests: every frame type round-trips exactly,
+//! and malformed / truncated / oversized frames are rejected without
+//! panicking.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use xrd_crypto::nizk::{DleqProof, SchnorrProof};
+use xrd_crypto::ristretto::GroupElement;
+use xrd_crypto::scalar::Scalar;
+use xrd_mixnet::blame::{Accusation, BlameReveal};
+use xrd_mixnet::chain_keys::{RotationShare, ServerKeyProofs, ServerSecrets};
+use xrd_mixnet::client::Submission;
+use xrd_mixnet::message::{MailboxMessage, MixEntry, MAILBOX_MSG_LEN};
+use xrd_net::codec::{
+    decode_server_config, encode_server_config, error_code, CodecError, Frame, MAX_FRAME_LEN,
+};
+
+// ---- structural generators (random but well-formed values) ----
+
+fn g(rng: &mut StdRng) -> GroupElement {
+    GroupElement::random(rng)
+}
+
+fn scalar(rng: &mut StdRng) -> Scalar {
+    Scalar::random(rng)
+}
+
+fn schnorr(rng: &mut StdRng) -> SchnorrProof {
+    SchnorrProof {
+        commitment: g(rng).encode(),
+        response: scalar(rng),
+    }
+}
+
+fn dleq(rng: &mut StdRng) -> DleqProof {
+    DleqProof {
+        commitment1: g(rng).encode(),
+        commitment2: g(rng).encode(),
+        response: scalar(rng),
+    }
+}
+
+fn bytes(rng: &mut StdRng, max: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..=max);
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+fn mix_entry(rng: &mut StdRng) -> MixEntry {
+    MixEntry {
+        dh: g(rng),
+        ct: bytes(rng, 600),
+    }
+}
+
+fn mix_entries(rng: &mut StdRng) -> Vec<MixEntry> {
+    let n = rng.gen_range(0..6);
+    (0..n).map(|_| mix_entry(rng)).collect()
+}
+
+fn submission(rng: &mut StdRng) -> Submission {
+    Submission {
+        dh: g(rng),
+        ct: bytes(rng, 600),
+        pok: schnorr(rng),
+    }
+}
+
+fn mailbox_message(rng: &mut StdRng) -> MailboxMessage {
+    let mut sealed = vec![0u8; MAILBOX_MSG_LEN - 32];
+    rng.fill_bytes(&mut sealed);
+    let mut mailbox = [0u8; 32];
+    rng.fill_bytes(&mut mailbox);
+    MailboxMessage { mailbox, sealed }
+}
+
+fn chain_keys(rng: &mut StdRng) -> xrd_mixnet::ChainPublicKeys {
+    let k = rng.gen_range(1..5);
+    xrd_mixnet::ChainPublicKeys {
+        epoch: rng.next_u64(),
+        inner_epoch: rng.next_u64(),
+        bpks: (0..k + 1).map(|_| g(rng)).collect(),
+        mpks: (0..k).map(|_| g(rng)).collect(),
+        ipks: (0..k).map(|_| g(rng)).collect(),
+        proofs: (0..k)
+            .map(|_| ServerKeyProofs {
+                bsk_pok: schnorr(rng),
+                msk_pok: schnorr(rng),
+                isk_pok: schnorr(rng),
+            })
+            .collect(),
+    }
+}
+
+fn accusation(rng: &mut StdRng) -> Accusation {
+    Accusation {
+        position: rng.gen_range(0..64usize),
+        input_index: rng.gen_range(0..1000usize),
+        entry: mix_entry(rng),
+        dec_key: g(rng),
+        key_proof: dleq(rng),
+    }
+}
+
+fn blame_reveal(rng: &mut StdRng) -> BlameReveal {
+    BlameReveal {
+        position: rng.gen_range(0..64usize),
+        input_index: rng.gen_range(0..1000usize),
+        input: mix_entry(rng),
+        output_dh: g(rng),
+        blind_proof: dleq(rng),
+        dec_key: g(rng),
+        key_proof: dleq(rng),
+    }
+}
+
+/// Number of distinct frame constructors below (keep in sync).
+const N_VARIANTS: usize = 25;
+
+/// A random well-formed frame of the chosen variant.
+fn arb_frame(rng: &mut StdRng, variant: usize) -> Frame {
+    match variant % N_VARIANTS {
+        0 => Frame::Ok,
+        1 => Frame::Error {
+            code: error_code::REJECTED_SUBMISSION,
+            message: String::from_utf8_lossy(&bytes(rng, 40)).into_owned(),
+        },
+        2 => Frame::Ping,
+        3 => Frame::Shutdown,
+        4 => Frame::OpenRound {
+            round: rng.next_u64(),
+        },
+        5 => Frame::Submit {
+            round: rng.next_u64(),
+            submission: submission(rng),
+        },
+        6 => Frame::CloseSubmissions {
+            round: rng.next_u64(),
+        },
+        7 => {
+            let mut digest = [0u8; 32];
+            rng.fill_bytes(&mut digest);
+            Frame::BatchDigest {
+                round: rng.next_u64(),
+                digest,
+                count: rng.next_u64(),
+            }
+        }
+        8 => Frame::GetBatch {
+            round: rng.next_u64(),
+        },
+        9 => Frame::SubmissionBatch {
+            round: rng.next_u64(),
+            submissions: (0..rng.gen_range(0..5)).map(|_| submission(rng)).collect(),
+        },
+        10 => Frame::MixBatch {
+            round: rng.next_u64(),
+            entries: mix_entries(rng),
+        },
+        11 => Frame::HopOutput {
+            round: rng.next_u64(),
+            position: rng.gen_range(0..64u32),
+            outputs: mix_entries(rng),
+            proof: dleq(rng),
+        },
+        12 => Frame::HopFailure {
+            round: rng.next_u64(),
+            position: rng.gen_range(0..64u32),
+            failed: (0..rng.gen_range(0..8)).map(|_| rng.next_u64()).collect(),
+        },
+        13 => Frame::VerifyHop {
+            round: rng.next_u64(),
+            position: rng.gen_range(0..64u32),
+            inputs: mix_entries(rng),
+            outputs: mix_entries(rng),
+            proof: dleq(rng),
+        },
+        14 => Frame::VerifyResult {
+            ok: rng.gen_bool(0.5),
+        },
+        15 => Frame::RevealInnerKey {
+            round: rng.next_u64(),
+        },
+        16 => Frame::InnerKeyReveal {
+            position: rng.gen_range(0..64u32),
+            isk: scalar(rng),
+        },
+        17 => Frame::PrepareRotation {
+            inner_epoch: rng.next_u64(),
+        },
+        18 => Frame::RotationShare {
+            inner_epoch: rng.next_u64(),
+            share: RotationShare {
+                position: rng.gen_range(0..64usize),
+                ipk: g(rng),
+                pok: schnorr(rng),
+            },
+        },
+        19 => Frame::ActivateRotation {
+            keys: chain_keys(rng),
+        },
+        20 => Frame::Accuse {
+            round: rng.next_u64(),
+            input_index: rng.next_u64(),
+        },
+        21 => Frame::Accusation {
+            accusation: accusation(rng),
+        },
+        22 => Frame::RevealSlot {
+            round: rng.next_u64(),
+            output_index: rng.next_u64(),
+        },
+        23 => Frame::SlotReveal {
+            reveal: if rng.gen_bool(0.3) {
+                None
+            } else {
+                Some(Box::new(blame_reveal(rng)))
+            },
+        },
+        _ => match variant % 3 {
+            0 => Frame::Deliver {
+                round: rng.next_u64(),
+                messages: (0..rng.gen_range(0..4))
+                    .map(|_| mailbox_message(rng))
+                    .collect(),
+            },
+            1 => {
+                let mut mailbox = [0u8; 32];
+                rng.fill_bytes(&mut mailbox);
+                Frame::Fetch { mailbox }
+            }
+            _ => Frame::MailboxContents {
+                sealed: (0..rng.gen_range(0..4)).map(|_| bytes(rng, 300)).collect(),
+            },
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every frame type round-trips through encode/decode exactly.
+    #[test]
+    fn every_frame_roundtrips(seed in any::<u64>(), variant in 0usize..N_VARIANTS * 3) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let frame = arb_frame(&mut rng, variant);
+        let encoded = frame.encode();
+        // Length prefix is consistent.
+        let len = u32::from_le_bytes(encoded[..4].try_into().unwrap()) as usize;
+        prop_assert_eq!(len, encoded.len() - 4);
+        prop_assert!(len <= MAX_FRAME_LEN);
+        // Exact round-trip.
+        let decoded = Frame::decode(&encoded[4..]).expect("well-formed frame decodes");
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// Every strict prefix of a frame body fails with `Truncated` —
+    /// never a panic, never a bogus success.
+    #[test]
+    fn truncation_is_always_rejected(seed in any::<u64>(), variant in 0usize..N_VARIANTS) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let frame = arb_frame(&mut rng, variant);
+        let body = &frame.encode()[4..];
+        for cut in 0..body.len() {
+            match Frame::decode(&body[..cut]) {
+                Err(_) => {}
+                Ok(_) => prop_assert!(false, "prefix of len {} decoded", cut),
+            }
+        }
+    }
+
+    /// Appending garbage after a valid body is rejected as trailing
+    /// bytes.
+    #[test]
+    fn trailing_bytes_rejected(seed in any::<u64>(), variant in 0usize..N_VARIANTS) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let frame = arb_frame(&mut rng, variant);
+        let mut body = frame.encode()[4..].to_vec();
+        body.push(0x00);
+        prop_assert_eq!(Frame::decode(&body), Err(CodecError::TrailingBytes));
+    }
+
+    /// Random byte soup never panics the decoder.
+    #[test]
+    fn fuzz_decode_never_panics(soup in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Frame::decode(&soup);
+    }
+
+    /// The server-config blob round-trips.
+    #[test]
+    fn server_config_roundtrips(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let public = chain_keys(&mut rng);
+        let secrets = ServerSecrets {
+            position: rng.gen_range(0..public.len()),
+            bsk: scalar(&mut rng),
+            msk: scalar(&mut rng),
+            isk: scalar(&mut rng),
+        };
+        let blob = encode_server_config(&secrets, &public);
+        let (s2, p2) = decode_server_config(&blob).expect("config decodes");
+        prop_assert_eq!(s2.position, secrets.position);
+        prop_assert_eq!(s2.bsk, secrets.bsk);
+        prop_assert_eq!(s2.msk, secrets.msk);
+        prop_assert_eq!(s2.isk, secrets.isk);
+        prop_assert_eq!(p2, public);
+    }
+}
+
+#[test]
+fn unknown_tag_rejected() {
+    assert_eq!(Frame::decode(&[0xee]), Err(CodecError::UnknownTag(0xee)));
+    assert_eq!(Frame::decode(&[]), Err(CodecError::Truncated));
+}
+
+#[test]
+fn oversized_sequence_rejected() {
+    // A MixBatch whose declared entry count exceeds MAX_BATCH.
+    let mut body = vec![0x20]; // TAG_MIX_BATCH
+    body.extend_from_slice(&7u64.to_le_bytes());
+    body.extend_from_slice(&(u32::MAX).to_le_bytes());
+    assert!(matches!(
+        Frame::decode(&body),
+        Err(CodecError::Oversized { .. })
+    ));
+}
+
+#[test]
+fn oversized_byte_string_rejected() {
+    // An Error frame whose message length is absurd.
+    let mut body = vec![0x02]; // TAG_ERROR
+    body.extend_from_slice(&1u16.to_le_bytes());
+    body.extend_from_slice(&(u32::MAX).to_le_bytes());
+    assert!(matches!(
+        Frame::decode(&body),
+        Err(CodecError::Oversized { .. })
+    ));
+}
+
+#[test]
+fn non_canonical_group_encoding_rejected() {
+    // Fetch carries a raw 32-byte mailbox id (any bytes fine), but
+    // InnerKeyReveal carries a scalar that must be canonical: the group
+    // order ℓ < 2^253, so 32 bytes of 0xff is never canonical.
+    let mut body = vec![0x31]; // TAG_INNER_KEY_REVEAL
+    body.extend_from_slice(&0u32.to_le_bytes());
+    body.extend_from_slice(&[0xff; 32]);
+    assert_eq!(Frame::decode(&body), Err(CodecError::InvalidScalar));
+
+    // And a Submit whose DH key is not a canonical ristretto encoding.
+    let mut body = vec![0x11]; // TAG_SUBMIT
+    body.extend_from_slice(&0u64.to_le_bytes());
+    body.extend_from_slice(&[0xff; 32]); // dh: invalid encoding
+    body.extend_from_slice(&[0u8; 64]); // pok
+    body.extend_from_slice(&0u32.to_le_bytes()); // empty ct
+    assert_eq!(Frame::decode(&body), Err(CodecError::InvalidGroupElement));
+}
+
+#[test]
+fn wrong_size_mailbox_message_rejected() {
+    // Deliver with a sealed payload of the wrong length.
+    let mut body = vec![0x50]; // TAG_DELIVER
+    body.extend_from_slice(&0u64.to_le_bytes());
+    body.extend_from_slice(&1u32.to_le_bytes()); // one message
+    body.extend_from_slice(&[7u8; 32]); // mailbox id
+    body.extend_from_slice(&3u32.to_le_bytes()); // sealed: 3 bytes (wrong)
+    body.extend_from_slice(&[1, 2, 3]);
+    assert_eq!(Frame::decode(&body), Err(CodecError::BadLength));
+}

@@ -1,0 +1,261 @@
+//! Loopback integration tests: a complete XRD deployment as real TCP
+//! services — every mix hop and every mailbox shard its own daemon on
+//! its own port — driven through full rounds over the wire.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use xrd_core::user::{Received, User};
+use xrd_core::DeploymentConfig;
+use xrd_net::launch_local;
+use xrd_topology::ChainId;
+
+/// The acceptance-scale round: 64 users across 6 chains of 3 mix
+/// servers each (18 mix daemons) plus 2 mailbox shards, entirely over
+/// TCP.  Every recipient receives exactly the plaintext sent to them;
+/// a cover-traffic-only user receives no chat at all.
+#[test]
+fn full_round_64_users_over_tcp() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let config = DeploymentConfig::small(6, 3); // 6 chains × k=3, 2 shards
+    let (mut cluster, mut deployment) = launch_local(&mut rng, &config).expect("cluster launches");
+    assert_eq!(deployment.topology().n_chains(), 6);
+    assert_eq!(deployment.topology().chain_len(), 3);
+    assert_eq!(cluster.n_daemons(), 6 * 3 + 2, "one port per daemon");
+
+    let n_users = 64;
+    let mut users: Vec<User> = (0..n_users).map(|_| User::new(&mut rng)).collect();
+    let ell = deployment.topology().ell();
+
+    // Users 0..40 converse in pairs with distinct payloads; users
+    // 40..64 are cover-traffic-only (they send ℓ loopbacks and must
+    // receive no chat).
+    let paired = 40;
+    for i in (0..paired).step_by(2) {
+        let (a, b) = (users[i].pk(), users[i + 1].pk());
+        users[i].start_conversation(b);
+        users[i + 1].start_conversation(a);
+        users[i].queue_chat(format!("hello {} from {}", i + 1, i).into_bytes());
+        users[i + 1].queue_chat(format!("hello {} from {}", i, i + 1).into_bytes());
+    }
+
+    let (report, fetched) = deployment.run_round(&mut rng, &mut users);
+
+    // Uniformity: everyone's traffic is ℓ in, ℓ out.
+    assert_eq!(report.messages_mixed, n_users * ell);
+    assert_eq!(report.delivered, n_users * ell);
+    assert!(report.aborted_chains.is_empty());
+    assert!(report.malicious_by_chain.is_empty());
+
+    for (i, user) in users.iter().enumerate() {
+        let got = &fetched[&user.mailbox_id()];
+        assert_eq!(got.len(), ell, "user {i} receives exactly ℓ messages");
+        if i < paired {
+            // Exactly the partner's plaintext, plus ℓ-1 loopbacks.
+            let partner = if i % 2 == 0 { i + 1 } else { i - 1 };
+            let expect = Received::Chat {
+                from: users[partner].mailbox_id(),
+                data: format!("hello {i} from {partner}").into_bytes(),
+            };
+            assert!(got.contains(&expect), "user {i} missing partner chat");
+            assert_eq!(
+                got.iter().filter(|r| **r == Received::Loopback).count(),
+                ell - 1,
+                "user {i} loopback count"
+            );
+        } else {
+            // Cover-traffic user: nothing but her own loopbacks — no
+            // chat, no opaque residue.
+            assert!(
+                got.iter().all(|r| *r == Received::Loopback),
+                "cover-traffic user {i} must receive nothing but loopbacks, got {got:?}"
+            );
+        }
+    }
+
+    cluster.shutdown();
+}
+
+/// Multiple consecutive rounds over the wire: inner keys rotate each
+/// round, queued chats flow in order, counts stay uniform.
+#[test]
+fn multi_round_conversation_over_tcp() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let config = DeploymentConfig::small(4, 3);
+    let (mut cluster, mut deployment) = launch_local(&mut rng, &config).expect("cluster launches");
+    let ell = deployment.topology().ell();
+
+    let mut users: Vec<User> = (0..8).map(|_| User::new(&mut rng)).collect();
+    let (a, b) = (users[0].pk(), users[1].pk());
+    users[0].start_conversation(b);
+    users[1].start_conversation(a);
+    users[0].queue_chat(b"one".to_vec());
+    users[0].queue_chat(b"two".to_vec());
+    users[0].queue_chat(b"three".to_vec());
+
+    for (round, expect) in [b"one".as_slice(), b"two", b"three"].iter().enumerate() {
+        let (report, fetched) = deployment.run_round(&mut rng, &mut users);
+        assert_eq!(report.round, round as u64);
+        for user in &users {
+            assert_eq!(fetched[&user.mailbox_id()].len(), ell, "round {round}");
+        }
+        assert!(
+            fetched[&users[1].mailbox_id()].contains(&Received::Chat {
+                from: users[0].mailbox_id(),
+                data: expect.to_vec(),
+            }),
+            "round {round}: chat {:?} not delivered",
+            String::from_utf8_lossy(expect)
+        );
+    }
+
+    cluster.shutdown();
+}
+
+/// §5.3.3 churn over the wire: a user who goes offline is represented
+/// by her stored cover submissions (sealed against pre-published
+/// next-round keys), and her partner is notified.
+#[test]
+fn offline_cover_replay_over_tcp() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let config = DeploymentConfig::small(4, 3);
+    let (mut cluster, mut deployment) = launch_local(&mut rng, &config).expect("cluster launches");
+    let ell = deployment.topology().ell();
+
+    let mut users: Vec<User> = (0..6).map(|_| User::new(&mut rng)).collect();
+    let (a, b) = (users[0].pk(), users[1].pk());
+    users[0].start_conversation(b);
+    users[1].start_conversation(a);
+
+    let (_, _) = deployment.run_round(&mut rng, &mut users);
+    users[0].online = false;
+
+    let (report, fetched) = deployment.run_round(&mut rng, &mut users);
+    assert_eq!(report.messages_mixed, 6 * ell, "covers replayed for user 0");
+    let bob_got = &fetched[&users[1].mailbox_id()];
+    assert_eq!(bob_got.len(), ell);
+    assert!(bob_got.contains(&Received::PartnerOffline {
+        partner: users[0].mailbox_id()
+    }));
+    assert!(users[1].partner().is_none(), "partner conversation ended");
+
+    cluster.shutdown();
+}
+
+/// The blame protocol over the wire: a protocol-violating submission
+/// (valid PoK, garbage onion) is traced via Accuse/RevealSlot frames
+/// and removed; every honest message still lands.
+#[test]
+fn wire_blame_removes_malicious_submission() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let config = DeploymentConfig::small(4, 3);
+    let (mut cluster, mut deployment) = launch_local(&mut rng, &config).expect("cluster launches");
+    let ell = deployment.topology().ell();
+
+    let mut users: Vec<User> = (0..5).map(|_| User::new(&mut rng)).collect();
+    // Garbage fails at the last hop — the worst case for blame (traces
+    // through every shuffle).
+    let bad = xrd_mixnet::testutil::malicious_submission(
+        &mut rng,
+        &deployment.chain_keys()[0],
+        0,
+        deployment.topology().chain_len() - 1,
+    );
+    deployment.inject_submission(ChainId(0), bad);
+
+    let (report, fetched) = deployment.run_round(&mut rng, &mut users);
+    assert!(report.aborted_chains.is_empty(), "no server is at fault");
+    assert_eq!(
+        report.malicious_by_chain.get(&0),
+        Some(&1),
+        "the injected submission is convicted"
+    );
+    assert_eq!(report.messages_mixed, 5 * ell + 1);
+    assert_eq!(report.delivered, 5 * ell, "honest messages all survive");
+    for user in &users {
+        assert_eq!(fetched[&user.mailbox_id()].len(), ell);
+    }
+
+    // The next round is unaffected.
+    let (report2, _) = deployment.run_round(&mut rng, &mut users);
+    assert!(report2.malicious_by_chain.is_empty());
+
+    cluster.shutdown();
+}
+
+/// A submission with an invalid proof of knowledge is rejected at the
+/// daemon's door (never enters the batch).
+#[test]
+fn bad_pok_rejected_at_submission() {
+    use xrd_net::codec::Frame;
+    use xrd_net::Conn;
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let config = DeploymentConfig::small(3, 3);
+    let (mut cluster, deployment) = launch_local(&mut rng, &config).expect("cluster launches");
+
+    // Seal for the wrong round: the PoK is round-bound, so it fails.
+    let msg = xrd_mixnet::MailboxMessage {
+        mailbox: [7u8; 32],
+        sealed: vec![1u8; xrd_mixnet::PAYLOAD_LEN + xrd_crypto::TAG_LEN],
+    };
+    let wrong_round = xrd_mixnet::seal_ahs(&mut rng, &deployment.chain_keys()[0], 99, &msg);
+
+    let addr = deployment.chain_addrs()[0][0];
+    let mut conn = Conn::connect(addr).expect("connect");
+    conn.request_ok(&Frame::OpenRound { round: 0 }).unwrap();
+    let response = conn.request(&Frame::Submit {
+        round: 0,
+        submission: wrong_round,
+    });
+    assert!(
+        matches!(response, Err(xrd_net::NetError::Remote { code, .. })
+            if code == xrd_net::codec::error_code::REJECTED_SUBMISSION),
+        "daemon must reject a bad PoK, got {response:?}"
+    );
+
+    cluster.shutdown();
+}
+
+/// The standalone `xrd-netd` binary really serves the protocol as its
+/// own OS process: spawn a mailbox daemon, deliver and fetch over TCP,
+/// then shut it down over the wire.
+#[test]
+fn netd_process_serves_mailbox() {
+    use std::io::BufRead;
+    use std::process::{Command, Stdio};
+    use xrd_net::codec::Frame;
+    use xrd_net::Conn;
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_xrd-netd"))
+        .args(["mailbox", "--shard", "0", "--shards", "1"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn xrd-netd");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let addr: std::net::SocketAddr = loop {
+        let line = lines.next().expect("daemon announces").expect("readable");
+        if let Some(rest) = line.strip_prefix("LISTENING ") {
+            break rest.parse().expect("valid addr");
+        }
+    };
+
+    let mut conn = Conn::connect(addr).expect("connect to daemon process");
+    let sealed = vec![9u8; xrd_mixnet::MAILBOX_MSG_LEN - 32];
+    conn.request_ok(&Frame::Deliver {
+        round: 0,
+        messages: vec![xrd_mixnet::MailboxMessage {
+            mailbox: [3u8; 32],
+            sealed: sealed.clone(),
+        }],
+    })
+    .expect("deliver");
+    match conn.request(&Frame::Fetch { mailbox: [3u8; 32] }).unwrap() {
+        Frame::MailboxContents { sealed: got } => assert_eq!(got, vec![sealed]),
+        other => panic!("expected contents, got {other:?}"),
+    }
+    conn.request_ok(&Frame::Shutdown).expect("shutdown");
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success());
+}

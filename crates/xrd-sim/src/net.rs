@@ -77,7 +77,8 @@ impl NetworkModel {
     /// Total one-way transfer time for `bytes` from `a` to `b`:
     /// propagation + serialization.
     pub fn transfer_time(&self, a: NodeId, b: NodeId, bytes: u64) -> SimDuration {
-        self.latency(a, b).saturating_add(self.serialization_delay(bytes))
+        self.latency(a, b)
+            .saturating_add(self.serialization_delay(bytes))
     }
 }
 
@@ -128,7 +129,10 @@ mod tests {
     #[test]
     fn ideal_network_is_free() {
         let net = NetworkModel::ideal();
-        assert_eq!(net.transfer_time(NodeId(0), NodeId(1), 1 << 40), SimDuration::ZERO);
+        assert_eq!(
+            net.transfer_time(NodeId(0), NodeId(1), 1 << 40),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

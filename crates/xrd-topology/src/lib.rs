@@ -102,7 +102,11 @@ mod tests {
         let topo = Topology::build(&beacon, 0, 50, 0.2);
         assert_eq!(topo.n_chains(), 50);
         // k ~ 31-32 for n=50, f=0.2, 64-bit security.
-        assert!((28..=33).contains(&topo.chain_len()), "k={}", topo.chain_len());
+        assert!(
+            (28..=33).contains(&topo.chain_len()),
+            "k={}",
+            topo.chain_len()
+        );
         assert_eq!(topo.ell(), ell_for_chains(50));
     }
 

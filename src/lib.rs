@@ -16,7 +16,10 @@
 //! * [`mixnet`] — onion encryption, AHS mixing and verification (§6),
 //!   the blame protocol (§6.4);
 //! * [`core`] — users, mailboxes, the full round protocol with churn
-//!   handling (§5.3.3), and calibrated performance models;
+//!   handling (§5.3.3), the backend abstraction, and calibrated
+//!   performance models;
+//! * [`net`] — the networked deployment: wire codec, mix/mailbox
+//!   daemons over TCP, round coordinator, client swarm driver;
 //! * [`sim`] — the discrete-event substrate standing in for the paper's
 //!   EC2 testbed;
 //! * [`baselines`] — Atom, Pung and Stadium comparison models/kernels.
@@ -50,5 +53,6 @@ pub use xrd_baselines as baselines;
 pub use xrd_core as core;
 pub use xrd_crypto as crypto;
 pub use xrd_mixnet as mixnet;
+pub use xrd_net as net;
 pub use xrd_sim as sim;
 pub use xrd_topology as topology;

@@ -10,9 +10,7 @@ use xrd::crypto::scalar::Scalar;
 use xrd::mixnet::blame::BlameVerdict;
 use xrd::mixnet::client::seal_ahs;
 use xrd::mixnet::testutil::malicious_submission;
-use xrd::mixnet::{
-    run_blame, ChainRunner, MailboxMessage, MixError, Submission, PAYLOAD_LEN,
-};
+use xrd::mixnet::{run_blame, ChainRunner, MailboxMessage, MixError, Submission, PAYLOAD_LEN};
 
 fn honest_submission(rng: &mut StdRng, chain: &ChainRunner, round: u64, tag: u8) -> Submission {
     let msg = MailboxMessage {
@@ -31,7 +29,10 @@ fn malicious_users_at_every_layer_are_caught() {
         let mut subs: Vec<Submission> = (0..6)
             .map(|i| honest_submission(&mut rng, &chain, 0, i))
             .collect();
-        subs.insert(3, malicious_submission(&mut rng, chain.public(), 0, bad_layer));
+        subs.insert(
+            3,
+            malicious_submission(&mut rng, chain.public(), 0, bad_layer),
+        );
         let outcome = chain.run_round(&mut rng, 0, &subs);
         assert_eq!(
             outcome.malicious_users,

@@ -1,0 +1,135 @@
+//! The same round-protocol test suite, run against both backends via
+//! the common `RoundBackend` trait: the in-process `Deployment` and the
+//! networked `RemoteDeployment` must be indistinguishable to users.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use xrd::core::backend::RoundBackend;
+use xrd::core::{Deployment, DeploymentConfig, Received, User};
+use xrd_net::launch_local;
+
+/// Drive any backend through the core protocol properties:
+///
+/// 1. an idle round is all loopbacks, exactly ℓ per user;
+/// 2. a conversation round delivers exactly the queued plaintexts while
+///    every mailbox still holds exactly ℓ messages;
+/// 3. multi-round: queued chats arrive in order as inner keys rotate;
+/// 4. churn: an offline user's stored covers are replayed and the
+///    partner is notified (§5.3.3).
+fn round_protocol_suite(backend: &mut dyn RoundBackend, rng: &mut StdRng) {
+    let ell = backend.topology().ell();
+    let mut users: Vec<User> = (0..6).map(|_| User::new(rng)).collect();
+
+    // 1. Idle round.
+    let (report, fetched) = backend.run_round(rng, &mut users);
+    assert_eq!(report.messages_mixed, 6 * ell);
+    assert_eq!(report.delivered, 6 * ell);
+    for user in &users {
+        let got = &fetched[&user.mailbox_id()];
+        assert_eq!(got.len(), ell);
+        assert!(got.iter().all(|r| *r == Received::Loopback));
+    }
+
+    // 2. Conversation round.
+    let (a, b) = (users[0].pk(), users[1].pk());
+    users[0].start_conversation(b);
+    users[1].start_conversation(a);
+    users[0].queue_chat(b"first".to_vec());
+    users[0].queue_chat(b"second".to_vec());
+    users[1].queue_chat(b"reply".to_vec());
+
+    let (_, fetched) = backend.run_round(rng, &mut users);
+    for user in &users {
+        assert_eq!(fetched[&user.mailbox_id()].len(), ell, "uniformity");
+    }
+    assert!(fetched[&users[1].mailbox_id()].contains(&Received::Chat {
+        from: users[0].mailbox_id(),
+        data: b"first".to_vec(),
+    }));
+    assert!(fetched[&users[0].mailbox_id()].contains(&Received::Chat {
+        from: users[1].mailbox_id(),
+        data: b"reply".to_vec(),
+    }));
+
+    // 3. Second queued chat arrives next round.
+    let (_, fetched) = backend.run_round(rng, &mut users);
+    assert!(fetched[&users[1].mailbox_id()].contains(&Received::Chat {
+        from: users[0].mailbox_id(),
+        data: b"second".to_vec(),
+    }));
+
+    // 4. Churn: user 0 vanishes; her covers are replayed, user 1 is
+    // notified and ends the conversation.
+    users[0].online = false;
+    let (report, fetched) = backend.run_round(rng, &mut users);
+    assert_eq!(report.messages_mixed, 6 * ell, "covers stand in");
+    let partner_view = &fetched[&users[1].mailbox_id()];
+    assert_eq!(partner_view.len(), ell);
+    assert!(partner_view.contains(&Received::PartnerOffline {
+        partner: users[0].mailbox_id(),
+    }));
+    assert!(users[1].partner().is_none());
+
+    assert_eq!(backend.round(), 4);
+}
+
+#[test]
+fn in_process_backend_passes_protocol_suite() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut deployment = Deployment::new(&mut rng, DeploymentConfig::small(4, 3));
+    round_protocol_suite(&mut deployment, &mut rng);
+}
+
+#[test]
+fn networked_backend_passes_protocol_suite() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let (mut cluster, mut deployment) =
+        launch_local(&mut rng, &DeploymentConfig::small(4, 3)).expect("cluster launches");
+    round_protocol_suite(&mut deployment, &mut rng);
+    cluster.shutdown();
+}
+
+/// The two backends expose identical public round state for identical
+/// configs: topology shape and key schedule move in lockstep.
+#[test]
+fn backends_agree_on_round_state() {
+    let config = DeploymentConfig::small(4, 3);
+    let mut rng_a = StdRng::seed_from_u64(5);
+    let mut rng_b = StdRng::seed_from_u64(5);
+    let mut local = Deployment::new(&mut rng_a, config.clone());
+    let (mut cluster, mut remote) = launch_local(&mut rng_b, &config).expect("cluster launches");
+
+    let (lt, rt) = (
+        RoundBackend::topology(&local),
+        RoundBackend::topology(&remote),
+    );
+    assert_eq!(lt.n_chains(), rt.n_chains());
+    assert_eq!(lt.chain_len(), rt.chain_len());
+    assert_eq!(lt.ell(), rt.ell());
+    // Chain formation is beacon-driven, so the chains are identical.
+    for c in 0..lt.n_chains() {
+        assert_eq!(lt.chains[c].members, rt.chains[c].members, "chain {c}");
+    }
+
+    let mut users_a: Vec<User> = (0..3).map(|_| User::new(&mut rng_a)).collect();
+    let mut users_b: Vec<User> = (0..3).map(|_| User::new(&mut rng_b)).collect();
+    for round in 0..2u64 {
+        assert_eq!(RoundBackend::round(&local), round);
+        assert_eq!(RoundBackend::round(&remote), round);
+        assert_eq!(
+            RoundBackend::chain_keys(&local).len(),
+            RoundBackend::chain_keys(&remote).len()
+        );
+        for keys in RoundBackend::chain_keys(&remote) {
+            assert_eq!(keys.inner_epoch, round, "wire keys rotate per round");
+            assert!(keys.verify());
+        }
+        let (ra, _) = local.run_round(&mut rng_a, &mut users_a);
+        let (rb, _) = remote.run_round(&mut rng_b, &mut users_b);
+        assert_eq!(ra.messages_mixed, rb.messages_mixed);
+        assert_eq!(ra.delivered, rb.delivered);
+    }
+
+    cluster.shutdown();
+}

@@ -7,12 +7,7 @@ use rand::SeedableRng;
 
 use xrd::core::{Deployment, DeploymentConfig, Received, User};
 
-fn setup(
-    seed: u64,
-    n_servers: usize,
-    k: usize,
-    n_users: usize,
-) -> (StdRng, Deployment, Vec<User>) {
+fn setup(seed: u64, n_servers: usize, k: usize, n_users: usize) -> (StdRng, Deployment, Vec<User>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let deployment = Deployment::new(&mut rng, DeploymentConfig::small(n_servers, k));
     let users: Vec<User> = (0..n_users).map(|_| User::new(&mut rng)).collect();

@@ -1,0 +1,314 @@
+//! In-repo, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the slice of criterion its benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher`] with `iter`/`iter_batched`,
+//! [`BenchmarkId`], [`Throughput`], [`BatchSize`], [`black_box`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! It is a real (if simple) harness: each benchmark is warmed up, then
+//! timed over enough iterations to fill a small measurement window, and
+//! a mean per-iteration time (plus throughput, when set) is printed.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost (ignored by this shim beyond
+/// running setup once per measured iteration).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Declared work-per-iteration, used to report throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Bare parameter id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher<'a> {
+    measured: &'a mut Option<Measurement>,
+    sample_size: usize,
+}
+
+/// One benchmark's timing result.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Mean wall-clock time per iteration.
+    pub mean: Duration,
+    /// Iterations measured.
+    pub iters: u64,
+}
+
+impl Bencher<'_> {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: run until ~20ms elapsed to pick a count.
+        let calib_start = Instant::now();
+        let mut calib_iters = 0u64;
+        while calib_start.elapsed() < Duration::from_millis(20) && calib_iters < 1_000_000 {
+            black_box(routine());
+            calib_iters += 1;
+        }
+        let per_iter = calib_start.elapsed() / calib_iters.max(1) as u32;
+        // Measurement window scaled by sample size (default 100ms).
+        let window = Duration::from_millis(self.sample_size as u64);
+        let iters = (window.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        *self.measured = Some(Measurement {
+            mean: elapsed / iters as u32,
+            iters,
+        });
+    }
+
+    /// Time `routine` with per-iteration setup excluded from the timing.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // One calibration run.
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let per_iter = t0.elapsed();
+        let window = Duration::from_millis(self.sample_size as u64);
+        let iters = (window.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 10_000) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        *self.measured = Some(Measurement {
+            mean: total / iters as u32,
+            iters,
+        });
+    }
+}
+
+fn report(id: &str, measurement: &Option<Measurement>, throughput: &Option<Throughput>) {
+    match measurement {
+        Some(m) => {
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    let per_sec = *n as f64 / m.mean.as_secs_f64();
+                    format!("  [{per_sec:.0} elem/s]")
+                }
+                Some(Throughput::Bytes(n)) => {
+                    let per_sec = *n as f64 / m.mean.as_secs_f64() / 1e6;
+                    format!("  [{per_sec:.1} MB/s]")
+                }
+                None => String::new(),
+            };
+            println!(
+                "bench {id:<48} {:>12.3?} /iter ({} iters){rate}",
+                m.mean, m.iters
+            );
+        }
+        None => println!("bench {id:<48} (no measurement)"),
+    }
+}
+
+/// The benchmark manager.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut measured = None;
+        let mut b = Bencher {
+            measured: &mut measured,
+            sample_size: 100,
+        };
+        f(&mut b);
+        report(id, &measured, &None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 100,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the declared per-iteration throughput for following benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Set the sample size (scales the measurement window here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(10);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let mut measured = None;
+        let mut b = Bencher {
+            measured: &mut measured,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id.id),
+            &measured,
+            &self.throughput,
+        );
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let id = id.into();
+        let mut measured = None;
+        let mut b = Bencher {
+            measured: &mut measured,
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id.id),
+            &measured,
+            &self.throughput,
+        );
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(4));
+        group.bench_function(BenchmarkId::new("f", 4), |b| {
+            b.iter(|| black_box(2u64.pow(black_box(10))))
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3u64, |b, &n| {
+            b.iter_batched(|| vec![0u8; n as usize], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

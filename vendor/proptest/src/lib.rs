@@ -1,0 +1,603 @@
+//! In-repo, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the slice of proptest it uses: the [`proptest!`] macro, [`Strategy`]
+//! with `prop_map`/`prop_flat_map`, [`any`], `prop::collection::vec`,
+//! `prop::array::uniform32`, `prop::sample::Index`, [`Just`], the
+//! `prop_assert*`/`prop_assume!` macros and [`ProptestConfig`].
+//!
+//! Unlike upstream there is no shrinking: a failing case panics with the
+//! case number and the deterministic per-case seed, which is enough to
+//! reproduce (cases are derived from the test name, so runs are stable).
+
+use std::fmt;
+
+/// Test-runner configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Maximum rejected (prop_assume) cases before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; draw new ones.
+    Reject(String),
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+/// Result alias used by generated test bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The deterministic RNG strategies draw from (splitmix64 stream).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded constructor; each test case gets its own stream.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The produced value type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map produced values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Map produced values to a new strategy and draw from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn sample(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// A strategy that always produces a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "arbitrary value" strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, moderately sized values are what the tests want.
+        (rng.unit_f64() - 0.5) * 2e6
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for a type.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_strategy_for_int_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + (rng.below(span) as $t)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (self.start(), self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (*hi as u64) - (*lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_strategy_for_int_ranges!(u8, u16, u32, u64, usize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// Strategy namespace mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+
+        /// Size specification for collection strategies.
+        #[derive(Clone, Debug)]
+        pub struct SizeRange {
+            min: usize,
+            /// Exclusive upper bound.
+            max: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> SizeRange {
+                SizeRange { min: n, max: n + 1 }
+            }
+        }
+
+        impl From<core::ops::Range<usize>> for SizeRange {
+            fn from(r: core::ops::Range<usize>) -> SizeRange {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange {
+                    min: r.start,
+                    max: r.end,
+                }
+            }
+        }
+
+        impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+                SizeRange {
+                    min: *r.start(),
+                    max: *r.end() + 1,
+                }
+            }
+        }
+
+        /// Strategy for `Vec<S::Value>` with random length.
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: SizeRange,
+        }
+
+        /// A vector of values drawn from `elem`, with length drawn from
+        /// `size`.
+        pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                elem,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.max - self.size.min) as u64;
+                let len = self.size.min + rng.below(span.max(1)) as usize;
+                (0..len).map(|_| self.elem.sample(rng)).collect()
+            }
+        }
+    }
+
+    /// Fixed-size array strategies.
+    pub mod array {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy for `[S::Value; N]`.
+        pub struct UniformArray<S, const N: usize> {
+            elem: S,
+        }
+
+        impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+            type Value = [S::Value; N];
+            fn sample(&self, rng: &mut TestRng) -> [S::Value; N] {
+                std::array::from_fn(|_| self.elem.sample(rng))
+            }
+        }
+
+        macro_rules! uniform_fns {
+            ($($name:ident => $n:literal),*) => {$(
+                /// An array of values drawn independently from `elem`.
+                pub fn $name<S: Strategy>(elem: S) -> UniformArray<S, $n> {
+                    UniformArray { elem }
+                }
+            )*};
+        }
+        uniform_fns!(uniform4 => 4, uniform8 => 8, uniform16 => 16, uniform24 => 24, uniform32 => 32);
+    }
+
+    /// Sampling helpers.
+    pub mod sample {
+        use crate::{Arbitrary, TestRng};
+
+        /// An index into a collection whose size is only known at use
+        /// time (`Index::index(len)` maps it uniformly into `0..len`).
+        #[derive(Clone, Copy, Debug)]
+        pub struct Index(u64);
+
+        impl Index {
+            /// Map into `0..len`; panics if `len == 0`.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "Index::index on empty collection");
+                (self.0 % len as u64) as usize
+            }
+        }
+
+        impl Arbitrary for Index {
+            fn arbitrary(rng: &mut TestRng) -> Index {
+                Index(rng.next_u64())
+            }
+        }
+    }
+}
+
+/// The deterministic per-(test, case) seed, so failures are reproducible.
+pub fn case_seed(test_name: &str, case: u32) -> u64 {
+    // FNV-1a over the name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^ ((case as u64) << 32 | case as u64)
+}
+
+/// Drives the cases for one generated test.
+pub fn run_cases<F>(test_name: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut attempt = 0u32;
+    while passed < config.cases {
+        let seed = case_seed(test_name, attempt);
+        let mut rng = TestRng::new(seed);
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "{test_name}: too many prop_assume rejections \
+                         ({rejected}) after {passed} passing cases"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "{test_name}: property failed on case {attempt} \
+                     (seed {seed:#x}): {msg}"
+                );
+            }
+        }
+        attempt += 1;
+    }
+}
+
+/// Assert inside a proptest body (returns a test-case failure, which the
+/// runner reports with the reproducing seed).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                ::std::format!($($fmt)*),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Reject the current case's inputs (draw fresh ones).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// The proptest entry macro: declares `#[test]` functions whose
+/// arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal item expansion for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( config = $config:expr; ) => {};
+    (
+        config = $config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            $crate::run_cases(stringify!($name), &config, |__proptest_rng| {
+                $(
+                    let $arg = $crate::Strategy::sample(&($strat), __proptest_rng);
+                )*
+                let mut __proptest_body = || -> $crate::TestCaseResult {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                };
+                __proptest_body()
+            });
+        }
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+}
+
+/// Everything a proptest file usually imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3usize..10, b in 0u64..=5) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!(b <= 5);
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in prop::collection::vec(any::<u8>(), 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+        }
+
+        #[test]
+        fn arrays_and_maps_compose(
+            bytes in prop::array::uniform32(any::<u8>()),
+            doubled in (1u32..100).prop_map(|x| x * 2),
+        ) {
+            prop_assert_eq!(bytes.len(), 32);
+            prop_assert_eq!(doubled % 2, 0);
+            prop_assert!(doubled >= 2);
+        }
+
+        #[test]
+        fn index_maps_into_range(i in any::<prop::sample::Index>(), len in 1usize..40) {
+            prop_assert!(i.index(len) < len);
+        }
+
+        #[test]
+        fn assume_filters(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn flat_map_chains(v in (1usize..5).prop_flat_map(|n| prop::collection::vec(any::<u8>(), n..n + 1))) {
+            prop_assert!((1..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics_with_seed() {
+        crate::run_cases(
+            "always_fails",
+            &crate::ProptestConfig::with_cases(1),
+            |_rng| Err(crate::TestCaseError::Fail("nope".into())),
+        );
+    }
+}

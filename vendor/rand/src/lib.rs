@@ -1,0 +1,494 @@
+//! In-repo, API-compatible subset of the `rand` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the slice of `rand` 0.8 it actually uses: [`RngCore`], [`Rng`],
+//! [`SeedableRng`], [`CryptoRng`], [`rngs::StdRng`], [`rngs::OsRng`] and
+//! [`seq::SliceRandom`].  Semantics match the upstream contracts (uniform
+//! ranges via rejection sampling, Fisher–Yates shuffling); the concrete
+//! `StdRng` stream is xoshiro256++ seeded with splitmix64, so seeded
+//! sequences differ from upstream `rand` but are deterministic and of
+//! high statistical quality, which is all the repo relies on.
+
+use std::fmt;
+
+/// Error type for fallible RNG operations (always succeeds in this shim).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator: raw integer and byte output.
+pub trait RngCore {
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible fill (never fails here).
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Marker trait for cryptographically secure generators.
+pub trait CryptoRng {}
+
+impl<R: CryptoRng + ?Sized> CryptoRng for &mut R {}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Seed byte array type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Build from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build from a `u64`, expanding it with splitmix64.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let out = splitmix64(&mut state);
+            let bytes = out.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+mod uniform {
+    /// Types a `Range`/`RangeInclusive` over which can be sampled
+    /// uniformly.
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// Sample uniformly from `[low, high]` (inclusive bounds).
+        fn sample_inclusive<R: super::RngCore + ?Sized>(rng: &mut R, low: Self, high: Self)
+            -> Self;
+    }
+
+    macro_rules! impl_uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_inclusive<R: super::RngCore + ?Sized>(
+                    rng: &mut R,
+                    low: Self,
+                    high: Self,
+                ) -> Self {
+                    debug_assert!(low <= high);
+                    let span = (high as u64).wrapping_sub(low as u64);
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    let span = span + 1;
+                    // Rejection sampling on the top zone to avoid modulo bias.
+                    let zone = u64::MAX - (u64::MAX % span);
+                    loop {
+                        let v = rng.next_u64();
+                        if v < zone {
+                            return low.wrapping_add((v % span) as $t);
+                        }
+                    }
+                }
+            }
+        )*};
+    }
+    impl_uniform_int!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_uniform_signed {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_inclusive<R: super::RngCore + ?Sized>(
+                    rng: &mut R,
+                    low: Self,
+                    high: Self,
+                ) -> Self {
+                    debug_assert!(low <= high);
+                    let span = (high as i64).wrapping_sub(low as i64) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    let span = span + 1;
+                    let zone = u64::MAX - (u64::MAX % span);
+                    loop {
+                        let v = rng.next_u64();
+                        if v < zone {
+                            return (low as i64).wrapping_add((v % span) as i64) as $t;
+                        }
+                    }
+                }
+            }
+        )*};
+    }
+    impl_uniform_signed!(i8, i16, i32, i64, isize);
+
+    impl SampleUniform for f64 {
+        fn sample_inclusive<R: super::RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+        ) -> Self {
+            let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            low + unit * (high - low)
+        }
+    }
+
+    impl SampleUniform for f32 {
+        fn sample_inclusive<R: super::RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+        ) -> Self {
+            let unit = (rng.next_u32() >> 8) as f32 / (1u32 << 24) as f32;
+            low + unit * (high - low)
+        }
+    }
+
+    /// A range that can be turned into uniform samples.
+    pub trait SampleRange<T> {
+        /// Draw one sample.
+        fn sample_single<R: super::RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+        fn sample_single<R: super::RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "cannot sample empty range");
+            // Exclusive upper bound: find the largest value below `end`.
+            // For floats the closed formula below never returns `end`
+            // except for degenerate spans, which the assert excludes.
+            sample_exclusive(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+        fn sample_single<R: super::RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            assert!(low <= high, "cannot sample empty range");
+            T::sample_inclusive(rng, low, high)
+        }
+    }
+
+    fn sample_exclusive<T: SampleUniform, R: super::RngCore + ?Sized>(
+        rng: &mut R,
+        low: T,
+        high: T,
+    ) -> T {
+        // Drawing from [low, high) via repeated inclusive draws; for
+        // integer types `high` maps back into range with probability
+        // 1/span so the loop terminates immediately in practice, and for
+        // floats a draw equal to `high` has measure zero.
+        loop {
+            let v = T::sample_inclusive(rng, low, high);
+            if v < high {
+                return v;
+            }
+        }
+    }
+}
+
+pub use uniform::{SampleRange, SampleUniform};
+
+/// Convenience extensions over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a range (`a..b` or `a..=b`).
+    fn gen_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        T: SampleUniform,
+        Rg: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli sample with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// Fill a byte slice with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Error, RngCore, SeedableRng};
+
+    /// The workspace's standard seedable PRNG: xoshiro256++.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+        /// Buffered output bytes for `fill_bytes`.
+        buf: u64,
+        buf_len: usize,
+    }
+
+    impl StdRng {
+        fn next_raw(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_raw() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // Discard any partially consumed byte buffer so u64 draws are
+            // whole outputs (keeps draws independent of interleaving).
+            self.buf_len = 0;
+            self.next_raw()
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for byte in dest.iter_mut() {
+                if self.buf_len == 0 {
+                    self.buf = self.next_raw();
+                    self.buf_len = 8;
+                }
+                *byte = (self.buf & 0xff) as u8;
+                self.buf >>= 8;
+                self.buf_len -= 1;
+            }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> StdRng {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                *word = u64::from_le_bytes(seed[i * 8..(i + 1) * 8].try_into().unwrap());
+            }
+            // All-zero state is the one degenerate case for xoshiro.
+            if s == [0; 4] {
+                s = [
+                    0x9e37_79b9_7f4a_7c15,
+                    0x6a09_e667_f3bc_c909,
+                    0xbb67_ae85_84ca_a73b,
+                    0x3c6e_f372_fe94_f82b,
+                ];
+            }
+            StdRng {
+                s,
+                buf: 0,
+                buf_len: 0,
+            }
+        }
+    }
+
+    impl super::CryptoRng for StdRng {}
+
+    /// Randomness from the operating system (`/dev/urandom`).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct OsRng;
+
+    impl RngCore for OsRng {
+        fn next_u32(&mut self) -> u32 {
+            let mut b = [0u8; 4];
+            self.fill_bytes(&mut b);
+            u32::from_le_bytes(b)
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let mut b = [0u8; 8];
+            self.fill_bytes(&mut b);
+            u64::from_le_bytes(b)
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            use std::io::Read;
+            let mut f = std::fs::File::open("/dev/urandom").expect("open /dev/urandom");
+            f.read_exact(dest).expect("read /dev/urandom");
+        }
+
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+            self.fill_bytes(dest);
+            Ok(())
+        }
+    }
+
+    impl super::CryptoRng for OsRng {}
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Extension trait for random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly pick one element (None if empty).
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: u64 = rng.gen_range(0..=5);
+            assert!(w <= 5);
+            let f: f64 = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_domain() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_500..5_500).contains(&heads), "heads = {heads}");
+        assert!((0..1000).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..1000).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn fill_bytes_matches_byte_at_a_time() {
+        let mut a = StdRng::seed_from_u64(4);
+        let mut b = StdRng::seed_from_u64(4);
+        let mut big = [0u8; 37];
+        a.fill_bytes(&mut big);
+        let mut small = [0u8; 37];
+        for byte in small.iter_mut() {
+            let mut one = [0u8; 1];
+            b.fill_bytes(&mut one);
+            *byte = one[0];
+        }
+        assert_eq!(big, small);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn os_rng_produces_entropy() {
+        let mut rng = super::rngs::OsRng;
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert!(a != b || a != 0, "astronomically unlikely");
+    }
+
+    #[test]
+    fn dyn_rng_core_is_object_safe() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let dyn_rng: &mut dyn RngCore = &mut rng;
+        let _ = dyn_rng.next_u64();
+        let v: usize = dyn_rng.gen_range(0..10);
+        assert!(v < 10);
+    }
+}
