@@ -1,0 +1,215 @@
+//! Benchmarks of the batch/amortized crypto fast paths introduced for
+//! the hop kernel and batched proof verification, each against the
+//! naive per-element path it replaces.  `BENCH_crypto.json` at the
+//! repo root records the measured before/after trajectory.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use xrd_crypto::field::FieldElement;
+use xrd_crypto::nizk::{DleqBatchEntry, DleqProof, SchnorrBatchEntry, SchnorrProof};
+use xrd_crypto::ristretto::{GroupElement, GroupTable};
+use xrd_crypto::scalar::Scalar;
+use xrd_mixnet::chain_keys::generate_chain_keys;
+use xrd_mixnet::client::seal_ahs;
+use xrd_mixnet::message::{MailboxMessage, MixEntry, PAYLOAD_LEN};
+use xrd_mixnet::MixServer;
+
+const BATCH: usize = 64;
+
+/// The §6.3 two-scalar hop kernel: per entry, raise the same DH key to
+/// both `msk` (decrypt) and `bsk` (blind).
+fn bench_hop_kernel(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let msk = Scalar::random(&mut rng);
+    let bsk = Scalar::random(&mut rng);
+    let points: Vec<GroupElement> = (0..BATCH).map(|_| GroupElement::random(&mut rng)).collect();
+
+    let mut group = c.benchmark_group("hop_kernel");
+    // The pre-PR path: two from-scratch ladders per entry, using the
+    // retained reference implementation of the old `scalar_mul`.
+    group.bench_function("naive_two_muls_per_entry", |b| {
+        b.iter(|| {
+            let mut acc = GroupElement::identity();
+            for p in &points {
+                let (pm, pb) = p.naive_two_muls_reference(&msk, &bsk);
+                acc = acc.add(&pm).add(&pb);
+            }
+            acc
+        })
+    });
+    // The shared-table kernel: batch-built affine tables (one shared
+    // field inversion), both exponentiations off each table.
+    group.bench_function("shared_table_per_entry", |b| {
+        b.iter(|| {
+            let tables = GroupTable::batch_new(&points);
+            let mut acc = GroupElement::identity();
+            for table in &tables {
+                let (pm, pb) = table.mul_pair(&msk, &bsk);
+                acc = acc.add(&pm).add(&pb);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+/// Montgomery batch inversion vs one inversion per element.
+fn bench_batch_invert(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let elements: Vec<FieldElement> = (0..256)
+        .map(|_| FieldElement::from_bytes(&Scalar::random(&mut rng).to_bytes()))
+        .collect();
+
+    let mut group = c.benchmark_group("batch_invert_256");
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            elements
+                .iter()
+                .map(|e| e.invert())
+                .fold(FieldElement::ZERO, |acc, e| acc.add(&e))
+        })
+    });
+    group.bench_function("batch", |b| {
+        b.iter_batched(
+            || elements.clone(),
+            |mut es| {
+                FieldElement::batch_invert(&mut es);
+                es
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+/// Batch encoding (shared inversion) vs per-point encoding.
+fn bench_batch_encode(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let points: Vec<GroupElement> = (0..256).map(|_| GroupElement::random(&mut rng)).collect();
+    let mut group = c.benchmark_group("encode_256");
+    group.bench_function("serial", |b| {
+        b.iter(|| points.iter().map(|p| p.encode()).collect::<Vec<_>>())
+    });
+    group.bench_function("batch", |b| b.iter(|| GroupElement::batch_encode(&points)));
+    group.finish();
+}
+
+/// Batched NIZK verification (one multiscalar mul) vs a verify loop.
+fn bench_batch_verify(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+
+    let dleqs: Vec<_> = (0..BATCH)
+        .map(|_| {
+            let x = Scalar::random(&mut rng);
+            let b1 = GroupElement::random(&mut rng);
+            let b2 = GroupElement::random(&mut rng);
+            let p1 = b1.mul(&x);
+            let p2 = b2.mul(&x);
+            let proof = DleqProof::prove(&mut rng, b"bench", &b1, &p1, &b2, &p2, &x);
+            (b1, p1, b2, p2, proof)
+        })
+        .collect();
+    let dleq_entries: Vec<DleqBatchEntry> = dleqs
+        .iter()
+        .map(|(b1, p1, b2, p2, proof)| DleqBatchEntry {
+            context: b"bench",
+            base1: *b1,
+            public1: *p1,
+            base2: *b2,
+            public2: *p2,
+            proof: *proof,
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("dleq_verify_64");
+    group.sample_size(10);
+    group.bench_function("loop", |b| {
+        b.iter(|| {
+            dleqs
+                .iter()
+                .all(|(b1, p1, b2, p2, proof)| proof.verify(b"bench", b1, p1, b2, p2))
+        })
+    });
+    group.bench_function("batch", |b| {
+        b.iter(|| DleqProof::batch_verify(&dleq_entries))
+    });
+    group.finish();
+
+    let schnorrs: Vec<_> = (0..BATCH)
+        .map(|_| {
+            let base = GroupElement::random(&mut rng);
+            let x = Scalar::random(&mut rng);
+            let public = base.mul(&x);
+            let proof = SchnorrProof::prove(&mut rng, b"bench", &base, &public, &x);
+            (base, public, proof)
+        })
+        .collect();
+    let schnorr_entries: Vec<SchnorrBatchEntry> = schnorrs
+        .iter()
+        .map(|(base, public, proof)| SchnorrBatchEntry {
+            context: b"bench",
+            base: *base,
+            public: *public,
+            proof: *proof,
+        })
+        .collect();
+    let mut group = c.benchmark_group("schnorr_verify_64");
+    group.sample_size(10);
+    group.bench_function("loop", |b| {
+        b.iter(|| {
+            schnorrs
+                .iter()
+                .all(|(base, public, proof)| proof.verify(b"bench", base, public))
+        })
+    });
+    group.bench_function("batch", |b| {
+        b.iter(|| SchnorrProof::batch_verify(&schnorr_entries))
+    });
+    group.finish();
+}
+
+/// The hop kernel end to end: a full `MixServer::process_round` over a
+/// sealed batch (tables + AEAD + shuffle + aggregate proof).
+fn bench_hop_end_to_end(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let round = 1;
+    let (secrets, public) = generate_chain_keys(&mut rng, 1, round);
+    let entries: Vec<MixEntry> = (0..BATCH)
+        .map(|i| {
+            let msg = MailboxMessage {
+                mailbox: [i as u8; 32],
+                sealed: vec![i as u8; PAYLOAD_LEN + xrd_crypto::TAG_LEN],
+            };
+            seal_ahs(&mut rng, &public, round, &msg).to_entry()
+        })
+        .collect();
+    let secrets = secrets.into_iter().next().unwrap();
+
+    let mut group = c.benchmark_group("hop_e2e_64");
+    group.sample_size(10);
+    group.bench_function("process_round", |b| {
+        b.iter_batched(
+            || {
+                (
+                    MixServer::new(secrets.clone(), public.clone()),
+                    entries.clone(),
+                )
+            },
+            |(mut server, batch)| server.process_round(&mut rng, round, batch).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hop_kernel,
+    bench_batch_invert,
+    bench_batch_encode,
+    bench_batch_verify,
+    bench_hop_end_to_end
+);
+criterion_main!(benches);

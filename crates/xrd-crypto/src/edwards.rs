@@ -4,7 +4,24 @@
 //!
 //! This module is internal plumbing: the public prime-order group exposed
 //! by the crate is [`crate::ristretto::GroupElement`], which wraps these
-//! points.  Formulas follow the standard unified a=-1 HWCD'08 set.
+//! points.  Formulas follow the standard unified a=-1 HWCD'08 set, with
+//! the hot paths running on the mixed-coordinate pipeline (projective
+//! "P2" doublings, cached-Niels additions) so a scalar multiplication
+//! costs roughly half the field work of the naive extended-only ladder.
+//!
+//! Three multiplication strategies coexist:
+//!
+//! * [`EdwardsPoint::scalar_mul`] — constant-time-style signed radix-16
+//!   ladder with a masked table scan; safe for secret scalars.
+//! * [`PointTable`] — a reusable signed radix-16 table of a fixed point,
+//!   batch-normalized to affine Niels form with one shared field
+//!   inversion ([`FieldElement::batch_invert`]); the AHS hop kernel
+//!   builds one table per entry and runs both the `msk` and `bsk`
+//!   multiplications off it, still with masked (constant-time-style)
+//!   scans.
+//! * [`EdwardsPoint::vartime_multiscalar_mul`] — Straus (small n) or
+//!   Pippenger (large n) multi-scalar multiplication, **variable time**:
+//!   only ever used on public data (batched proof verification).
 
 use std::sync::OnceLock;
 
@@ -43,6 +60,337 @@ const BASEPOINT_COMPRESSED: [u8; 32] = [
     0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66,
 ];
 
+// ---------------------------------------------------------------------
+// Internal curve models (mixed-coordinate pipeline)
+//
+//   ProjectivePoint ("P2"):   x = X/Z, y = Y/Z          — cheap doubling
+//   CompletedPoint ("P1xP1"): x = X/Z, y = Y/T          — formula output
+//   ProjectiveNielsPoint:     (Y+X, Y-X, Z, 2dT) cache  — 4-mul addition
+//   AffineNielsPoint:         (y+x, y-x, 2dxy)   cache  — 3-mul addition
+// ---------------------------------------------------------------------
+
+/// A point in projective "P2" coordinates (no `T`): doubling input.
+#[derive(Clone, Copy, Debug)]
+struct ProjectivePoint {
+    x: FieldElement,
+    y: FieldElement,
+    z: FieldElement,
+}
+
+/// The output of an addition/doubling formula before renormalization:
+/// `x = X/Z`, `y = Y/T`.
+#[derive(Clone, Copy, Debug)]
+struct CompletedPoint {
+    x: FieldElement,
+    y: FieldElement,
+    z: FieldElement,
+    t: FieldElement,
+}
+
+/// Cached form of a point for repeated additions (projective).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ProjectiveNielsPoint {
+    y_plus_x: FieldElement,
+    y_minus_x: FieldElement,
+    z: FieldElement,
+    t2d: FieldElement,
+}
+
+/// Cached form of an *affine* (`Z = 1`) point: one multiplication
+/// cheaper to add than [`ProjectiveNielsPoint`], and 3 field elements
+/// instead of 4, so masked table scans touch less memory.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct AffineNielsPoint {
+    y_plus_x: FieldElement,
+    y_minus_x: FieldElement,
+    xy2d: FieldElement,
+}
+
+impl ProjectiveNielsPoint {
+    /// The cached form of the identity.
+    const IDENTITY: ProjectiveNielsPoint = ProjectiveNielsPoint {
+        y_plus_x: FieldElement::ONE,
+        y_minus_x: FieldElement::ONE,
+        z: FieldElement::ONE,
+        t2d: FieldElement::ZERO,
+    };
+
+    /// Negate iff `choice` is 1 (swaps the sum/difference caches and
+    /// negates the `2dT` term).
+    #[inline(always)]
+    fn conditional_negate(&self, choice: u64) -> Self {
+        ProjectiveNielsPoint {
+            y_plus_x: FieldElement::select(&self.y_plus_x, &self.y_minus_x, choice),
+            y_minus_x: FieldElement::select(&self.y_minus_x, &self.y_plus_x, choice),
+            z: self.z,
+            t2d: self.t2d.conditional_negate(choice),
+        }
+    }
+
+    /// All limbs ANDed with `0 - choice` (scan seed).
+    #[inline(always)]
+    fn masked(&self, choice: u64) -> Self {
+        let m = choice.wrapping_neg();
+        let f = |x: &FieldElement| FieldElement(x.0.map(|l| l & m));
+        ProjectiveNielsPoint {
+            y_plus_x: f(&self.y_plus_x),
+            y_minus_x: f(&self.y_minus_x),
+            z: f(&self.z),
+            t2d: f(&self.t2d),
+        }
+    }
+
+    /// OR in `entry`'s limbs under the mask `0 - choice`.
+    #[inline(always)]
+    fn accumulate(&mut self, entry: &Self, choice: u64) {
+        let m = choice.wrapping_neg();
+        for i in 0..5 {
+            self.y_plus_x.0[i] |= entry.y_plus_x.0[i] & m;
+            self.y_minus_x.0[i] |= entry.y_minus_x.0[i] & m;
+            self.z.0[i] |= entry.z.0[i] & m;
+            self.t2d.0[i] |= entry.t2d.0[i] & m;
+        }
+    }
+}
+
+impl AffineNielsPoint {
+    /// The cached form of the identity.
+    const IDENTITY: AffineNielsPoint = AffineNielsPoint {
+        y_plus_x: FieldElement::ONE,
+        y_minus_x: FieldElement::ONE,
+        xy2d: FieldElement::ZERO,
+    };
+
+    /// Negate iff `choice` is 1.
+    #[inline(always)]
+    fn conditional_negate(&self, choice: u64) -> Self {
+        AffineNielsPoint {
+            y_plus_x: FieldElement::select(&self.y_plus_x, &self.y_minus_x, choice),
+            y_minus_x: FieldElement::select(&self.y_minus_x, &self.y_plus_x, choice),
+            xy2d: self.xy2d.conditional_negate(choice),
+        }
+    }
+
+    /// All limbs ANDed with `0 - choice` (scan seed).
+    #[inline(always)]
+    fn masked(&self, choice: u64) -> Self {
+        let m = choice.wrapping_neg();
+        let f = |x: &FieldElement| FieldElement(x.0.map(|l| l & m));
+        AffineNielsPoint {
+            y_plus_x: f(&self.y_plus_x),
+            y_minus_x: f(&self.y_minus_x),
+            xy2d: f(&self.xy2d),
+        }
+    }
+
+    /// OR in `entry`'s limbs under the mask `0 - choice`.
+    #[inline(always)]
+    fn accumulate(&mut self, entry: &Self, choice: u64) {
+        let m = choice.wrapping_neg();
+        for i in 0..5 {
+            self.y_plus_x.0[i] |= entry.y_plus_x.0[i] & m;
+            self.y_minus_x.0[i] |= entry.y_minus_x.0[i] & m;
+            self.xy2d.0[i] |= entry.xy2d.0[i] & m;
+        }
+    }
+}
+
+impl ProjectivePoint {
+    /// Doubling: 4 squarings, no general multiplications.  Inputs are
+    /// reduced (they come out of multiplications); the additive steps
+    /// are lazy, with bounds noted inline (see `field.rs` lazy rules).
+    #[inline(always)]
+    fn double(&self) -> CompletedPoint {
+        let xx = self.x.square();
+        let yy = self.y.square();
+        let zz = self.z.square();
+        let zz2 = zz.lazy_add(&zz); // < 2^53
+        let x_plus_y_sq = self.x.lazy_add(&self.y).square();
+        let yy_plus_xx = yy.lazy_add(&xx); // < 2^53
+        let yy_minus_xx = yy.lazy_sub(&xx); // < 2^55.4
+        CompletedPoint {
+            x: x_plus_y_sq.lazy_sub(&yy_plus_xx), // 2XY, < 2^55.4
+            y: yy_plus_xx,
+            z: yy_minus_xx,
+            t: zz2.lazy_sub_wide(&yy_minus_xx), // < 2^56.5
+        }
+    }
+}
+
+impl CompletedPoint {
+    /// Renormalize to "P2" (3 multiplications): enough to keep doubling.
+    #[inline(always)]
+    fn to_projective(self) -> ProjectivePoint {
+        ProjectivePoint {
+            x: self.x.mul(&self.t),
+            y: self.y.mul(&self.z),
+            z: self.z.mul(&self.t),
+        }
+    }
+
+    /// Renormalize to extended coordinates (4 multiplications): needed
+    /// before the next cached-Niels addition.
+    #[inline(always)]
+    fn to_extended(self) -> EdwardsPoint {
+        EdwardsPoint {
+            x: self.x.mul(&self.t),
+            y: self.y.mul(&self.z),
+            z: self.z.mul(&self.t),
+            t: self.x.mul(&self.y),
+        }
+    }
+}
+
+/// Constant-time-style `a == b` for small table indices: returns 1 iff
+/// equal, without a data-dependent branch.
+#[inline(always)]
+fn ct_eq_index(a: u64, b: u64) -> u64 {
+    // a ^ b is zero iff equal; (x - 1) underflows to all-ones iff x == 0.
+    ((a ^ b).wrapping_sub(1) >> 63) & 1
+}
+
+/// Split a signed radix-16 digit into `(sign, |digit|)` without a
+/// secret-dependent branch.
+#[inline(always)]
+fn digit_sign_abs(d: i8) -> (u64, u64) {
+    let x = d as i16; // in [-8, 8)
+    let xmask = x >> 15; // 0 if non-negative, -1 if negative
+    let abs = ((x + xmask) ^ xmask) as u64;
+    debug_assert!(abs <= 8);
+    ((xmask & 1) as u64, abs)
+}
+
+/// The shared signed radix-16 window ladder: 63 windows of (4 cheap
+/// doublings + one masked-scan addition) after seeding with the top
+/// digit.  The window state is carried in completed form — the
+/// doubling chain only needs P2 (3-mul renormalization) and only the
+/// final pre-addition double pays for extended coordinates.  `$add`
+/// maps `(EdwardsPoint, digit)` to a `CompletedPoint` via the caller's
+/// table-scan-and-add (affine or projective Niels).
+macro_rules! radix16_ladder {
+    ($scalar:expr, $add:expr) => {{
+        let add = $add;
+        let digits = $scalar.to_radix_16();
+        let mut c = add(EdwardsPoint::identity(), digits[63]);
+        for i in (0..63).rev() {
+            let mut p = c.to_projective();
+            for _ in 0..3 {
+                p = p.double().to_projective();
+            }
+            c = add(p.double().to_extended(), digits[i]);
+        }
+        c.to_extended()
+    }};
+}
+
+/// One-shot signed radix-16 lookup table in projective Niels form,
+/// used by [`EdwardsPoint::scalar_mul`].  Built without any inversion.
+struct LookupTable([ProjectiveNielsPoint; 8]);
+
+impl LookupTable {
+    fn new(p: &EdwardsPoint) -> LookupTable {
+        let mut multiples = [*p; 8];
+        for i in 1..8 {
+            multiples[i] = multiples[i - 1]
+                .add_projective_niels(&p.to_projective_niels())
+                .to_extended();
+        }
+        LookupTable(multiples.map(|m| m.to_projective_niels()))
+    }
+
+    /// Masked scan for digit `d` in `[-8, 8)`: uniform access pattern,
+    /// accumulating `mask AND limb` over every entry (plus the identity)
+    /// so exactly one all-ones mask contributes.
+    #[inline(always)]
+    fn select(&self, d: i8) -> ProjectiveNielsPoint {
+        let (sign, abs) = digit_sign_abs(d);
+        let mut chosen = ProjectiveNielsPoint::IDENTITY.masked(ct_eq_index(0, abs));
+        for (j, entry) in self.0.iter().enumerate() {
+            chosen.accumulate(entry, ct_eq_index(j as u64 + 1, abs));
+        }
+        chosen.conditional_negate(sign)
+    }
+}
+
+/// A reusable signed radix-16 table of multiples `[1P, ..., 8P]` of a
+/// fixed point, normalized to affine Niels form.
+///
+/// Building the table costs a handful of additions plus (a share of)
+/// one field inversion — [`PointTable::batch_new`] normalizes the
+/// tables of a whole batch of points with a *single* inversion via
+/// [`FieldElement::batch_invert`].  Once built, every scalar
+/// multiplication off the table skips the per-call table construction
+/// and uses the cheaper 3-mul affine additions; this is the §6.3 hop
+/// kernel's shape, where each entry's DH key is raised to both `msk`
+/// and `bsk`.
+///
+/// Scans are masked (uniform access pattern), so the table is safe to
+/// drive with secret scalars.
+pub struct PointTable {
+    entries: [AffineNielsPoint; 8],
+}
+
+impl PointTable {
+    /// Build the table for one point (costs one field inversion; prefer
+    /// [`PointTable::batch_new`] for more than one point).
+    pub fn new(point: &EdwardsPoint) -> PointTable {
+        PointTable::batch_new(std::slice::from_ref(point))
+            .pop()
+            .expect("one table per point")
+    }
+
+    /// Build tables for a batch of points, sharing a single field
+    /// inversion across every table's affine normalization.
+    pub fn batch_new(points: &[EdwardsPoint]) -> Vec<PointTable> {
+        // Multiples in extended coordinates; even multiples come from
+        // the cheaper doubling pipeline.
+        let mut multiples: Vec<[EdwardsPoint; 8]> = Vec::with_capacity(points.len());
+        for p in points {
+            let cached = p.to_projective_niels();
+            let mut row = [*p; 8];
+            row[1] = p.double(); // 2P
+            row[2] = row[1].add_projective_niels(&cached).to_extended(); // 3P
+            row[3] = row[1].double(); // 4P
+            row[4] = row[3].add_projective_niels(&cached).to_extended(); // 5P
+            row[5] = row[2].double(); // 6P
+            row[6] = row[5].add_projective_niels(&cached).to_extended(); // 7P
+            row[7] = row[3].double(); // 8P
+            multiples.push(row);
+        }
+        // One inversion for all 8n Z coordinates.
+        rows_to_affine_niels(&multiples)
+            .into_iter()
+            .map(|entries| PointTable { entries })
+            .collect()
+    }
+
+    /// Masked scan for digit `d` in `[-8, 8)`: uniform access pattern,
+    /// accumulating `mask AND limb` over every entry (plus the identity).
+    #[inline(always)]
+    fn select(&self, d: i8) -> AffineNielsPoint {
+        let (sign, abs) = digit_sign_abs(d);
+        let mut chosen = AffineNielsPoint::IDENTITY.masked(ct_eq_index(0, abs));
+        for (j, entry) in self.entries.iter().enumerate() {
+            chosen.accumulate(entry, ct_eq_index(j as u64 + 1, abs));
+        }
+        chosen.conditional_negate(sign)
+    }
+
+    /// `scalar * P` off the precomputed table (constant-time-style).
+    pub fn scalar_mul(&self, scalar: &Scalar) -> EdwardsPoint {
+        radix16_ladder!(scalar, |acc: EdwardsPoint, d: i8| acc
+            .add_affine_niels(&self.select(d)))
+    }
+
+    /// `(a * P, b * P)`: two ladders off the same table — the §6.3
+    /// per-entry hop kernel: `X^msk` (decrypt) and `X^bsk` (blind) from
+    /// one table build.  (The ladders run sequentially; an interleaved
+    /// variant measured no faster on throughput-bound hardware.)
+    pub fn scalar_mul_pair(&self, a: &Scalar, b: &Scalar) -> (EdwardsPoint, EdwardsPoint) {
+        (self.scalar_mul(a), self.scalar_mul(b))
+    }
+}
+
 impl EdwardsPoint {
     /// The identity element `(0, 1)`.
     pub fn identity() -> EdwardsPoint {
@@ -63,6 +411,100 @@ impl EdwardsPoint {
         })
     }
 
+    /// View the extended point as "P2" (drop `T`) for doubling chains.
+    #[inline(always)]
+    fn to_projective_view(self) -> ProjectivePoint {
+        ProjectivePoint {
+            x: self.x,
+            y: self.y,
+            z: self.z,
+        }
+    }
+
+    /// Cache this point for repeated additions (1 multiplication).
+    #[inline(always)]
+    pub(crate) fn to_projective_niels(self) -> ProjectiveNielsPoint {
+        ProjectiveNielsPoint {
+            y_plus_x: self.y.add(&self.x),
+            y_minus_x: self.y.sub(&self.x),
+            z: self.z,
+            t2d: self.t.mul(edwards_d2()),
+        }
+    }
+
+    /// Mixed addition against a projective Niels cache (4 muls).
+    #[inline(always)]
+    fn add_projective_niels(&self, other: &ProjectiveNielsPoint) -> CompletedPoint {
+        let pp = self.y.lazy_add(&self.x).mul(&other.y_plus_x);
+        let mm = self.y.lazy_sub(&self.x).mul(&other.y_minus_x);
+        let tt2d = self.t.mul(&other.t2d);
+        let zz = self.z.mul(&other.z);
+        let zz2 = zz.lazy_add(&zz);
+        CompletedPoint {
+            x: pp.lazy_sub(&mm),
+            y: pp.lazy_add(&mm),
+            z: zz2.lazy_add(&tt2d),
+            t: zz2.lazy_sub(&tt2d),
+        }
+    }
+
+    /// Mixed subtraction against a projective Niels cache (4 muls).
+    #[inline(always)]
+    fn sub_projective_niels(&self, other: &ProjectiveNielsPoint) -> CompletedPoint {
+        let pp = self.y.lazy_add(&self.x).mul(&other.y_minus_x);
+        let mm = self.y.lazy_sub(&self.x).mul(&other.y_plus_x);
+        let tt2d = self.t.mul(&other.t2d);
+        let zz = self.z.mul(&other.z);
+        let zz2 = zz.lazy_add(&zz);
+        CompletedPoint {
+            x: pp.lazy_sub(&mm),
+            y: pp.lazy_add(&mm),
+            z: zz2.lazy_sub(&tt2d),
+            t: zz2.lazy_add(&tt2d),
+        }
+    }
+
+    /// Mixed addition against an affine Niels cache (3 muls).
+    #[inline(always)]
+    fn add_affine_niels(&self, other: &AffineNielsPoint) -> CompletedPoint {
+        let pp = self.y.lazy_add(&self.x).mul(&other.y_plus_x);
+        let mm = self.y.lazy_sub(&self.x).mul(&other.y_minus_x);
+        let txy2d = self.t.mul(&other.xy2d);
+        let z2 = self.z.lazy_add(&self.z);
+        CompletedPoint {
+            x: pp.lazy_sub(&mm),
+            y: pp.lazy_add(&mm),
+            z: z2.lazy_add(&txy2d),
+            t: z2.lazy_sub(&txy2d),
+        }
+    }
+
+    /// Mixed subtraction against an affine Niels cache (3 muls).
+    #[inline(always)]
+    fn sub_affine_niels(&self, other: &AffineNielsPoint) -> CompletedPoint {
+        let pp = self.y.lazy_add(&self.x).mul(&other.y_minus_x);
+        let mm = self.y.lazy_sub(&self.x).mul(&other.y_plus_x);
+        let txy2d = self.t.mul(&other.xy2d);
+        let z2 = self.z.lazy_add(&self.z);
+        CompletedPoint {
+            x: pp.lazy_sub(&mm),
+            y: pp.lazy_add(&mm),
+            z: z2.lazy_sub(&txy2d),
+            t: z2.lazy_add(&txy2d),
+        }
+    }
+
+    /// `2^k * self` via the cheap projective doubling chain.
+    #[inline(always)]
+    fn mul_by_pow_2(&self, k: u32) -> EdwardsPoint {
+        debug_assert!(k > 0);
+        let mut p = self.to_projective_view();
+        for _ in 0..k - 1 {
+            p = p.double().to_projective();
+        }
+        p.double().to_extended()
+    }
+
     /// Point addition (unified: also correct for doubling and identity).
     pub fn add(&self, other: &EdwardsPoint) -> EdwardsPoint {
         let y1_plus_x1 = self.y.add(&self.x);
@@ -72,7 +514,8 @@ impl EdwardsPoint {
         let pp = y1_plus_x1.mul(&y2_plus_x2);
         let mm = y1_minus_x1.mul(&y2_minus_x2);
         let tt2d = self.t.mul(&other.t).mul(edwards_d2());
-        let zz2 = self.z.mul(&other.z).add(&self.z.mul(&other.z));
+        let zz = self.z.mul(&other.z);
+        let zz2 = zz.add(&zz);
 
         let e = pp.sub(&mm);
         let f = zz2.sub(&tt2d);
@@ -89,25 +532,7 @@ impl EdwardsPoint {
 
     /// Point doubling.
     pub fn double(&self) -> EdwardsPoint {
-        let xx = self.x.square();
-        let yy = self.y.square();
-        let zz2 = self.z.square().add(&self.z.square());
-        let xy2 = self.x.add(&self.y).square().sub(&xx).sub(&yy); // 2XY
-        let yy_plus_xx = yy.add(&xx);
-        let yy_minus_xx = yy.sub(&xx);
-
-        let e = xy2;
-        let f = yy_minus_xx;
-        let g = yy_plus_xx;
-        let h = zz2.sub(&yy_minus_xx);
-
-        // Completed (E:G:F:H) -> extended
-        EdwardsPoint {
-            x: e.mul(&h),
-            y: g.mul(&f),
-            z: f.mul(&h),
-            t: e.mul(&g),
-        }
+        self.to_projective_view().double().to_extended()
     }
 
     /// Point negation.
@@ -128,13 +553,22 @@ impl EdwardsPoint {
     /// Scalar multiplication with a signed radix-16 fixed window and a
     /// masked table scan (uniform memory access pattern per window).
     pub fn scalar_mul(&self, scalar: &Scalar) -> EdwardsPoint {
-        // Table of [1P, 2P, ..., 8P].
+        let table = LookupTable::new(self);
+        radix16_ladder!(scalar, |acc: EdwardsPoint, d: i8| acc
+            .add_projective_niels(&table.select(d)))
+    }
+
+    /// The pre-optimization scalar multiplication (fresh table of full
+    /// extended points, unified additions throughout).  Kept as a
+    /// differential-testing reference and as the bench baseline for the
+    /// optimized ladders; never called on a hot path.
+    #[doc(hidden)]
+    pub fn scalar_mul_reference(&self, scalar: &Scalar) -> EdwardsPoint {
         let mut table = [*self; 8];
         for i in 1..8 {
             table[i] = table[i - 1].add(self);
         }
         let digits = scalar.to_radix_16();
-
         let mut acc = EdwardsPoint::identity();
         for i in (0..64).rev() {
             acc = acc.double().double().double().double();
@@ -143,7 +577,6 @@ impl EdwardsPoint {
                 continue;
             }
             let abs = d.unsigned_abs() as usize;
-            // Masked scan over the whole table (uniform access pattern).
             let mut chosen = table[0];
             for (j, entry) in table.iter().enumerate() {
                 let hit = ((j + 1) == abs) as u64;
@@ -163,50 +596,54 @@ impl EdwardsPoint {
     }
 
     /// `scalar * basepoint`, using a precomputed radix-16 table (no
-    /// doublings: 64 table lookups + additions).  This is the hot
-    /// operation of client sealing (`g^x`, `g^y`, proof commitments).
+    /// doublings: 64 table lookups + affine Niels additions).  This is
+    /// the hot operation of client sealing (`g^x`, `g^y`, proof
+    /// commitments).
     pub fn base_mul(scalar: &Scalar) -> EdwardsPoint {
         let table = basepoint_table();
         let digits = scalar.to_radix_16();
         let mut acc = EdwardsPoint::identity();
         for (window, &d) in digits.iter().enumerate() {
-            if d == 0 {
-                continue;
-            }
-            let abs = d.unsigned_abs() as usize;
-            // Masked scan over the window's 8 multiples.
+            let (sign, abs) = digit_sign_abs(d);
             let row = &table.windows[window];
-            let mut chosen = row[0];
+            let mut chosen = AffineNielsPoint::IDENTITY.masked(ct_eq_index(0, abs));
             for (j, entry) in row.iter().enumerate() {
-                let hit = ((j + 1) == abs) as u64;
-                chosen = EdwardsPoint {
-                    x: FieldElement::select(&chosen.x, &entry.x, hit),
-                    y: FieldElement::select(&chosen.y, &entry.y, hit),
-                    z: FieldElement::select(&chosen.z, &entry.z, hit),
-                    t: FieldElement::select(&chosen.t, &entry.t, hit),
-                };
+                chosen.accumulate(entry, ct_eq_index(j as u64 + 1, abs));
             }
-            if d < 0 {
-                chosen = chosen.neg();
-            }
-            acc = acc.add(&chosen);
+            acc = acc
+                .add_affine_niels(&chosen.conditional_negate(sign))
+                .to_extended();
         }
         acc
     }
 
     /// Multiply by the cofactor 8.
     pub fn mul_by_cofactor(&self) -> EdwardsPoint {
-        self.double().double().double()
+        self.mul_by_pow_2(3)
     }
 
     /// Compress to the 32-byte "y plus sign of x" encoding.
     pub fn compress(&self) -> [u8; 32] {
-        let zinv = self.z.invert();
-        let x = self.x.mul(&zinv);
-        let y = self.y.mul(&zinv);
-        let mut bytes = y.to_bytes();
-        bytes[31] |= (x.is_negative() as u8) << 7;
-        bytes
+        EdwardsPoint::batch_compress(std::slice::from_ref(self))[0]
+    }
+
+    /// Compress a batch of points, sharing one field inversion across
+    /// all the `Z` denominators ([`FieldElement::batch_invert`]): `n`
+    /// inversions become 1 inversion plus `3n` multiplications.
+    pub fn batch_compress(points: &[EdwardsPoint]) -> Vec<[u8; 32]> {
+        let mut zs: Vec<FieldElement> = points.iter().map(|p| p.z).collect();
+        FieldElement::batch_invert(&mut zs);
+        points
+            .iter()
+            .zip(&zs)
+            .map(|(p, zinv)| {
+                let x = p.x.mul(zinv);
+                let y = p.y.mul(zinv);
+                let mut bytes = y.to_bytes();
+                bytes[31] |= (x.is_negative() as u8) << 7;
+                bytes
+            })
+            .collect()
     }
 
     /// Decompress a 32-byte encoding; `None` if not a curve point.
@@ -234,6 +671,40 @@ impl EdwardsPoint {
             z: FieldElement::ONE,
             t: x.mul(&y),
         })
+    }
+
+    /// Variable-time multi-scalar multiplication `sum_i scalars[i] *
+    /// points[i]`.
+    ///
+    /// **Variable time**: the memory access pattern and instruction
+    /// count depend on the scalars.  Only ever call this with *public*
+    /// data — batched proof verification, where scalars are
+    /// verifier-generated random coefficients and proof responses, all
+    /// of which travel in cleartext anyway.  Secret exponents
+    /// (`msk`/`bsk`/`isk`, sealing randomness) must use the masked-scan
+    /// ladders above.
+    ///
+    /// Strategy: Straus with width-5 NAF tables below
+    /// [`PIPPENGER_THRESHOLD`] points, Pippenger bucketing above it.
+    pub fn vartime_multiscalar_mul(scalars: &[Scalar], points: &[EdwardsPoint]) -> EdwardsPoint {
+        assert_eq!(scalars.len(), points.len(), "one scalar per point");
+        if points.is_empty() {
+            return EdwardsPoint::identity();
+        }
+        if points.len() < PIPPENGER_THRESHOLD {
+            vartime_straus(scalars, points)
+        } else {
+            vartime_pippenger(scalars, points)
+        }
+    }
+
+    /// Variable-time single-scalar multiplication (width-5 NAF).
+    ///
+    /// **Variable time** — public data only (see
+    /// [`EdwardsPoint::vartime_multiscalar_mul`]); the §6.3 batch-open
+    /// path uses it with the *revealed* inner keys.
+    pub fn vartime_scalar_mul(&self, scalar: &Scalar) -> EdwardsPoint {
+        vartime_straus(std::slice::from_ref(scalar), std::slice::from_ref(self))
     }
 
     /// Projective equality: `X1 Z2 == X2 Z1 && Y1 Z2 == Y2 Z1`.
@@ -273,27 +744,182 @@ impl PartialEq for EdwardsPoint {
 }
 impl Eq for EdwardsPoint {}
 
-/// Precomputed multiples of the basepoint: `windows[i][j] = (j+1)·16^i·B`
-/// for the 64 radix-16 digit positions.
+// ---------------------------------------------------------------------
+// Variable-time multi-scalar multiplication (public data only)
+// ---------------------------------------------------------------------
+
+/// Below this point count Straus beats Pippenger (per-point NAF tables
+/// amortize); above it the bucket method wins.  Matches the crossover
+/// measured in `xrd-bench`'s `batch_crypto` bench on 64..512 points.
+const PIPPENGER_THRESHOLD: usize = 190;
+
+/// Per-point table of odd multiples `[1P, 3P, 5P, ..., 15P]` for
+/// width-5 NAF (variable-time lookups: plain indexing, no masked scan).
+struct NafLookupTable5([ProjectiveNielsPoint; 8]);
+
+impl NafLookupTable5 {
+    fn new(p: &EdwardsPoint) -> NafLookupTable5 {
+        let p2 = p.double().to_projective_niels();
+        let mut odd = [p.to_projective_niels(); 8];
+        let mut current = *p;
+        for i in 1..8 {
+            current = current.add_projective_niels(&p2).to_extended();
+            odd[i] = current.to_projective_niels();
+        }
+        NafLookupTable5(odd)
+    }
+
+    /// Entry for odd positive `d` (variable time).
+    #[inline(always)]
+    fn select(&self, d: i8) -> &ProjectiveNielsPoint {
+        debug_assert!(d > 0 && d % 2 == 1);
+        &self.0[(d as usize) / 2]
+    }
+}
+
+/// Straus' interleaved method over width-5 NAFs.
+fn vartime_straus(scalars: &[Scalar], points: &[EdwardsPoint]) -> EdwardsPoint {
+    let nafs: Vec<[i8; 256]> = scalars.iter().map(|s| s.non_adjacent_form(5)).collect();
+    let tables: Vec<NafLookupTable5> = points.iter().map(NafLookupTable5::new).collect();
+
+    let mut acc = EdwardsPoint::identity();
+    let mut started = false;
+    for i in (0..256).rev() {
+        if started {
+            acc = acc.double();
+        }
+        for (naf, table) in nafs.iter().zip(&tables) {
+            let d = naf[i];
+            if d > 0 {
+                acc = acc.add_projective_niels(table.select(d)).to_extended();
+                started = true;
+            } else if d < 0 {
+                acc = acc.sub_projective_niels(table.select(-d)).to_extended();
+                started = true;
+            }
+        }
+    }
+    acc
+}
+
+/// Normalize a slice of extended points to affine Niels caches with a
+/// single shared field inversion.
+fn batch_to_affine_niels(points: &[EdwardsPoint]) -> Vec<AffineNielsPoint> {
+    let mut zs: Vec<FieldElement> = points.iter().map(|p| p.z).collect();
+    FieldElement::batch_invert(&mut zs);
+    let d2 = edwards_d2();
+    points
+        .iter()
+        .zip(&zs)
+        .map(|(p, zinv)| {
+            let x = p.x.mul(zinv);
+            let y = p.y.mul(zinv);
+            AffineNielsPoint {
+                y_plus_x: y.lazy_add(&x),
+                y_minus_x: y.lazy_sub(&x),
+                xy2d: x.mul(&y).mul(d2),
+            }
+        })
+        .collect()
+}
+
+/// Normalize 8-wide rows of window multiples to affine Niels form,
+/// sharing a single field inversion across the whole table.
+fn rows_to_affine_niels(rows: &[[EdwardsPoint; 8]]) -> Vec<[AffineNielsPoint; 8]> {
+    let flat: Vec<EdwardsPoint> = rows.iter().flatten().copied().collect();
+    batch_to_affine_niels(&flat)
+        .chunks_exact(8)
+        .map(|row| {
+            let mut out = [AffineNielsPoint::IDENTITY; 8];
+            out.copy_from_slice(row);
+            out
+        })
+        .collect()
+}
+
+/// Pippenger's bucket method with signed radix-2^c digits.
+fn vartime_pippenger(scalars: &[Scalar], points: &[EdwardsPoint]) -> EdwardsPoint {
+    // Window size tuned by problem size (standard heuristic).
+    let c: usize = if points.len() < 500 { 7 } else { 8 };
+    let digits_count = 256usize.div_ceil(c);
+    let buckets_count = 1usize << (c - 1);
+
+    let digits: Vec<Vec<i64>> = scalars.iter().map(|s| s.to_signed_radix_2w(c)).collect();
+    // Affine caches (one shared inversion) make every digit placement a
+    // 3-mul mixed addition instead of 4.
+    let cached: Vec<AffineNielsPoint> = batch_to_affine_niels(points);
+
+    let mut total = EdwardsPoint::identity();
+    let mut started = false;
+    for w in (0..digits_count).rev() {
+        if started {
+            for _ in 0..c {
+                total = total.double();
+            }
+        }
+        // Fill buckets for this window.
+        let mut buckets = vec![EdwardsPoint::identity(); buckets_count];
+        for (digit_row, point) in digits.iter().zip(&cached) {
+            let d = digit_row[w];
+            match d.cmp(&0) {
+                std::cmp::Ordering::Greater => {
+                    let b = (d - 1) as usize;
+                    buckets[b] = buckets[b].add_affine_niels(point).to_extended();
+                }
+                std::cmp::Ordering::Less => {
+                    let b = (-d - 1) as usize;
+                    buckets[b] = buckets[b].sub_affine_niels(point).to_extended();
+                }
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+        // sum_j (j+1) * buckets[j] via running suffix sums.
+        let mut running = EdwardsPoint::identity();
+        let mut window_sum = EdwardsPoint::identity();
+        let mut any = false;
+        for bucket in buckets.iter().rev() {
+            running = running.add(bucket);
+            window_sum = window_sum.add(&running);
+        }
+        for digit_row in &digits {
+            if digit_row[w] != 0 {
+                any = true;
+                break;
+            }
+        }
+        total = total.add(&window_sum);
+        started = started || any;
+    }
+    total
+}
+
+/// Precomputed multiples of the basepoint in affine Niels form:
+/// `windows[i][j] = (j+1) * 16^i * B` for the 64 radix-16 digit
+/// positions, normalized with a single shared inversion.
 struct BasepointTable {
-    windows: Vec<[EdwardsPoint; 8]>,
+    windows: Vec<[AffineNielsPoint; 8]>,
 }
 
 fn basepoint_table() -> &'static BasepointTable {
     static TABLE: OnceLock<BasepointTable> = OnceLock::new();
     TABLE.get_or_init(|| {
-        let mut windows = Vec::with_capacity(64);
+        // All 64*8 multiples in extended coordinates first...
+        let mut rows: Vec<[EdwardsPoint; 8]> = Vec::with_capacity(64);
         let mut base = *EdwardsPoint::basepoint();
         for _ in 0..64 {
+            let cached = base.to_projective_niels();
             let mut row = [base; 8];
             for j in 1..8 {
-                row[j] = row[j - 1].add(&base);
+                row[j] = row[j - 1].add_projective_niels(&cached).to_extended();
             }
-            windows.push(row);
+            rows.push(row);
             // base = 16 * base for the next digit position.
-            base = base.double().double().double().double();
+            base = base.mul_by_pow_2(4);
         }
-        BasepointTable { windows }
+        // ...then one batched normalization for the whole table.
+        BasepointTable {
+            windows: rows_to_affine_niels(&rows),
+        }
     })
 }
 
@@ -341,6 +967,66 @@ mod tests {
             assert!(acc.is_on_curve());
             acc = acc.add(b);
         }
+    }
+
+    #[test]
+    fn scalar_mul_matches_reference() {
+        // The optimized mixed-coordinate ladder must agree with the
+        // retained reference implementation on random and edge scalars.
+        let mut rng = StdRng::seed_from_u64(70);
+        let p = EdwardsPoint::base_mul(&Scalar::random(&mut rng));
+        for _ in 0..10 {
+            let s = Scalar::random(&mut rng);
+            assert!(p.scalar_mul(&s).ct_eq(&p.scalar_mul_reference(&s)));
+        }
+        for k in [0u64, 1, 2, 7, 8, 9, 15, 16, 17, 255, 256] {
+            let s = Scalar::from_u64(k);
+            assert!(p.scalar_mul(&s).ct_eq(&p.scalar_mul_reference(&s)), "k={k}");
+        }
+        let l_minus_1 = Scalar::ZERO.sub(&Scalar::ONE);
+        assert!(p
+            .scalar_mul(&l_minus_1)
+            .ct_eq(&p.scalar_mul_reference(&l_minus_1)));
+    }
+
+    #[test]
+    fn point_table_matches_scalar_mul() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let points: Vec<EdwardsPoint> = (0..5)
+            .map(|_| EdwardsPoint::base_mul(&Scalar::random(&mut rng)))
+            .collect();
+        let tables = PointTable::batch_new(&points);
+        for (p, table) in points.iter().zip(&tables) {
+            for _ in 0..4 {
+                let s = Scalar::random(&mut rng);
+                assert!(table.scalar_mul(&s).ct_eq(&p.scalar_mul(&s)));
+            }
+            for k in [0u64, 1, 8, 16] {
+                let s = Scalar::from_u64(k);
+                assert!(table.scalar_mul(&s).ct_eq(&p.scalar_mul(&s)), "k={k}");
+            }
+        }
+        // Single-point constructor agrees with the batch one.
+        let single = PointTable::new(&points[0]);
+        let s = Scalar::random(&mut rng);
+        assert!(single.scalar_mul(&s).ct_eq(&points[0].scalar_mul(&s)));
+    }
+
+    #[test]
+    fn point_table_pair_matches_two_muls() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let p = EdwardsPoint::base_mul(&Scalar::random(&mut rng));
+        let table = PointTable::new(&p);
+        for _ in 0..5 {
+            let a = Scalar::random(&mut rng);
+            let b = Scalar::random(&mut rng);
+            let (pa, pb) = table.scalar_mul_pair(&a, &b);
+            assert!(pa.ct_eq(&p.scalar_mul(&a)));
+            assert!(pb.ct_eq(&p.scalar_mul(&b)));
+        }
+        let (z, o) = table.scalar_mul_pair(&Scalar::ZERO, &Scalar::ONE);
+        assert!(z.is_identity());
+        assert!(o.ct_eq(&p));
     }
 
     #[test]
@@ -395,6 +1081,68 @@ mod tests {
         let lhs = EdwardsPoint::base_mul(&a.add(&b));
         let rhs = EdwardsPoint::base_mul(&a).add(&EdwardsPoint::base_mul(&b));
         assert!(lhs.ct_eq(&rhs));
+    }
+
+    #[test]
+    fn vartime_scalar_mul_matches_ct() {
+        let mut rng = StdRng::seed_from_u64(78);
+        let p = EdwardsPoint::base_mul(&Scalar::random(&mut rng));
+        for _ in 0..8 {
+            let s = Scalar::random(&mut rng);
+            assert!(p.vartime_scalar_mul(&s).ct_eq(&p.scalar_mul(&s)));
+        }
+        for k in [0u64, 1, 2, 16, 31, 32] {
+            let s = Scalar::from_u64(k);
+            assert!(p.vartime_scalar_mul(&s).ct_eq(&p.scalar_mul(&s)), "k={k}");
+        }
+    }
+
+    #[test]
+    fn multiscalar_small_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(79);
+        for n in [0usize, 1, 2, 3, 8, 20] {
+            let scalars: Vec<Scalar> = (0..n).map(|_| Scalar::random(&mut rng)).collect();
+            let points: Vec<EdwardsPoint> = (0..n)
+                .map(|_| EdwardsPoint::base_mul(&Scalar::random(&mut rng)))
+                .collect();
+            let naive = scalars
+                .iter()
+                .zip(&points)
+                .fold(EdwardsPoint::identity(), |acc, (s, p)| {
+                    acc.add(&p.scalar_mul(s))
+                });
+            let fast = EdwardsPoint::vartime_multiscalar_mul(&scalars, &points);
+            assert!(fast.ct_eq(&naive), "n={n}");
+        }
+    }
+
+    #[test]
+    fn multiscalar_pippenger_matches_straus() {
+        // Force both code paths over the same input.
+        let mut rng = StdRng::seed_from_u64(80);
+        let n = PIPPENGER_THRESHOLD + 5;
+        let scalars: Vec<Scalar> = (0..n).map(|_| Scalar::random(&mut rng)).collect();
+        let points: Vec<EdwardsPoint> = (0..n)
+            .map(|_| EdwardsPoint::base_mul(&Scalar::random(&mut rng)))
+            .collect();
+        let a = vartime_straus(&scalars, &points);
+        let b = vartime_pippenger(&scalars, &points);
+        assert!(a.ct_eq(&b));
+        assert!(EdwardsPoint::vartime_multiscalar_mul(&scalars, &points).ct_eq(&a));
+    }
+
+    #[test]
+    fn batch_compress_matches_compress() {
+        let mut rng = StdRng::seed_from_u64(81);
+        let mut points: Vec<EdwardsPoint> = (0..9)
+            .map(|_| EdwardsPoint::base_mul(&Scalar::random(&mut rng)))
+            .collect();
+        points.push(EdwardsPoint::identity());
+        let batch = EdwardsPoint::batch_compress(&points);
+        for (p, enc) in points.iter().zip(&batch) {
+            assert_eq!(*enc, p.compress());
+        }
+        assert!(EdwardsPoint::batch_compress(&[]).is_empty());
     }
 
     #[test]

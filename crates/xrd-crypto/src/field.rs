@@ -116,6 +116,7 @@ impl FieldElement {
     }
 
     /// Carry-propagate limbs back below 2^52 without full reduction mod p.
+    #[inline(always)]
     fn weak_reduce(mut limbs: [u64; 5]) -> FieldElement {
         let c0 = limbs[0] >> 51;
         limbs[0] &= LOW_51_BIT_MASK;
@@ -136,6 +137,7 @@ impl FieldElement {
     }
 
     /// Field addition.
+    #[inline(always)]
     pub fn add(&self, rhs: &FieldElement) -> FieldElement {
         let mut limbs = [0u64; 5];
         for i in 0..5 {
@@ -145,6 +147,7 @@ impl FieldElement {
     }
 
     /// Field subtraction.
+    #[inline(always)]
     pub fn sub(&self, rhs: &FieldElement) -> FieldElement {
         // Add 16p so that per-limb subtraction never underflows.
         let mut limbs = [0u64; 5];
@@ -155,11 +158,72 @@ impl FieldElement {
     }
 
     /// Field negation.
+    #[inline(always)]
     pub fn neg(&self) -> FieldElement {
         FieldElement::ZERO.sub(self)
     }
 
+    // -----------------------------------------------------------------
+    // Lazy (non-reducing) additive ops for the point-arithmetic kernels.
+    //
+    // `mul`/`square` tolerate inputs with limbs up to 2^57 (products
+    // stay under 2^121 across the five-term accumulators, and the
+    // 19-fold premultiply stays under 2^62), so a bounded amount of
+    // carry-postponement between multiplications is sound.  The rules,
+    // checked by debug asserts:
+    //
+    //   * reduced values (mul/square/weak_reduce outputs) have limbs
+    //     < 2^52;
+    //   * `lazy_add` accepts limbs < 2^56 and yields limbs < 2^57 —
+    //     mul-safe, NOT safe as a `lazy_sub` rhs;
+    //   * `lazy_sub` accepts an rhs with limbs < 2^55 (it adds 16p
+    //     before subtracting) and yields limbs < 2^56 given lhs limbs
+    //     < 2^55.8 — mul-safe;
+    //   * `lazy_sub_wide` accepts an rhs with limbs < 2^56.1 (it adds
+    //     32p) for the one doubling step whose rhs is itself a
+    //     `lazy_sub` output.
+    //
+    // These are pub(crate): every call site lives in `edwards.rs` where
+    // the bounds are established structurally.
+    // -----------------------------------------------------------------
+
+    /// Addition without carry propagation (see module rules above).
+    #[inline(always)]
+    pub(crate) fn lazy_add(&self, rhs: &FieldElement) -> FieldElement {
+        let mut limbs = [0u64; 5];
+        for i in 0..5 {
+            debug_assert!(self.0[i] < 1 << 56 && rhs.0[i] < 1 << 56);
+            limbs[i] = self.0[i] + rhs.0[i];
+        }
+        FieldElement(limbs)
+    }
+
+    /// Subtraction (adding 16p first) without carry propagation; the
+    /// rhs must have limbs below 16p's (< ~2^55).
+    #[inline(always)]
+    pub(crate) fn lazy_sub(&self, rhs: &FieldElement) -> FieldElement {
+        let mut limbs = [0u64; 5];
+        for i in 0..5 {
+            debug_assert!(rhs.0[i] <= SIXTEEN_P[i]);
+            limbs[i] = self.0[i] + SIXTEEN_P[i] - rhs.0[i];
+        }
+        FieldElement(limbs)
+    }
+
+    /// Subtraction (adding 32p first) without carry propagation, for an
+    /// rhs that is itself a `lazy_sub` output (limbs < 2^56.1).
+    #[inline(always)]
+    pub(crate) fn lazy_sub_wide(&self, rhs: &FieldElement) -> FieldElement {
+        let mut limbs = [0u64; 5];
+        for i in 0..5 {
+            debug_assert!(rhs.0[i] <= 2 * SIXTEEN_P[i]);
+            limbs[i] = self.0[i] + 2 * SIXTEEN_P[i] - rhs.0[i];
+        }
+        FieldElement(limbs)
+    }
+
     /// Field multiplication.
+    #[inline(always)]
     pub fn mul(&self, rhs: &FieldElement) -> FieldElement {
         #[inline(always)]
         fn m(a: u64, b: u64) -> u128 {
@@ -184,40 +248,48 @@ impl FieldElement {
     }
 
     /// Field squaring (slightly cheaper than `mul(self, self)`).
+    #[inline(always)]
     pub fn square(&self) -> FieldElement {
         #[inline(always)]
         fn m(a: u64, b: u64) -> u128 {
             (a as u128) * (b as u128)
         }
         let a = &self.0;
+        // Pre-double the u64 operands so the off-diagonal terms need no
+        // 128-bit shifts (cheaper than doubling the wide accumulators).
+        let a0_2 = a[0] * 2;
+        let a1_2 = a[1] * 2;
         let a3_19 = a[3] * 19;
         let a4_19 = a[4] * 19;
 
-        let c0 = m(a[0], a[0]) + 2 * (m(a[1], a4_19) + m(a[2], a3_19));
-        let c1 = m(a[3], a3_19) + 2 * (m(a[0], a[1]) + m(a[2], a4_19));
-        let c2 = m(a[1], a[1]) + 2 * (m(a[0], a[2]) + m(a[4], a3_19));
-        let c3 = m(a[4], a4_19) + 2 * (m(a[0], a[3]) + m(a[1], a[2]));
-        let c4 = m(a[2], a[2]) + 2 * (m(a[0], a[4]) + m(a[1], a[3]));
+        let c0 = m(a[0], a[0]) + m(a1_2, a4_19) + m(2 * a[2], a3_19);
+        let c1 = m(a[3], a3_19) + m(a0_2, a[1]) + m(2 * a[2], a4_19);
+        let c2 = m(a[1], a[1]) + m(a0_2, a[2]) + m(2 * a[4], a3_19);
+        let c3 = m(a[4], a4_19) + m(a0_2, a[3]) + m(a1_2, a[2]);
+        let c4 = m(a[2], a[2]) + m(a0_2, a[4]) + m(a1_2, a[3]);
 
         Self::carry_wide([c0, c1, c2, c3, c4])
     }
 
     /// Carry-propagate a wide (u128-limb) product back to 51-bit limbs.
+    /// The final 19-fold runs in 128 bits so that products of *lazy*
+    /// (non-reduced, limbs < 2^57) operands stay sound: each input limb
+    /// product is then < 2^121 and the top carry can exceed 64 bits.
+    #[inline(always)]
     fn carry_wide(mut c: [u128; 5]) -> FieldElement {
         let mut out = [0u64; 5];
         c[1] += c[0] >> 51;
-        out[0] = (c[0] as u64) & LOW_51_BIT_MASK;
         c[2] += c[1] >> 51;
         out[1] = (c[1] as u64) & LOW_51_BIT_MASK;
         c[3] += c[2] >> 51;
         out[2] = (c[2] as u64) & LOW_51_BIT_MASK;
         c[4] += c[3] >> 51;
         out[3] = (c[3] as u64) & LOW_51_BIT_MASK;
-        let carry = (c[4] >> 51) as u64;
+        let carry = c[4] >> 51;
         out[4] = (c[4] as u64) & LOW_51_BIT_MASK;
-        out[0] += carry * 19;
-        out[1] += out[0] >> 51;
-        out[0] &= LOW_51_BIT_MASK;
+        let c0 = ((c[0] as u64 & LOW_51_BIT_MASK) as u128) + carry * 19;
+        out[0] = (c0 as u64) & LOW_51_BIT_MASK;
+        out[1] += (c0 >> 51) as u64;
         FieldElement(out)
     }
 
@@ -298,6 +370,7 @@ impl FieldElement {
     }
 
     /// Constant-time-style select: returns `b` if `choice` is 1, else `a`.
+    #[inline(always)]
     pub fn select(a: &FieldElement, b: &FieldElement, choice: u64) -> FieldElement {
         debug_assert!(choice == 0 || choice == 1);
         let mask = choice.wrapping_neg(); // 0 or all-ones
@@ -309,6 +382,7 @@ impl FieldElement {
     }
 
     /// Negate iff `choice` is 1.
+    #[inline(always)]
     pub fn conditional_negate(&self, choice: u64) -> FieldElement {
         Self::select(self, &self.neg(), choice)
     }
@@ -365,6 +439,40 @@ impl FieldElement {
         r = r.abs();
 
         (correct_sign || flipped_sign, r)
+    }
+
+    /// Montgomery batch inversion: invert every element of `elements`
+    /// in place using a single field inversion plus `3n` multiplications
+    /// (instead of `n` inversions).
+    ///
+    /// Zeros are left as zeros (matching [`FieldElement::invert`]).  The
+    /// zero-masking uses constant-time selects, but callers on the XRD
+    /// hot paths only ever pass public data (projective `Z` coordinates
+    /// of wire-visible points, encoding denominators).
+    pub fn batch_invert(elements: &mut [FieldElement]) {
+        if elements.is_empty() {
+            return;
+        }
+        // Replace zeros by one so the running product stays invertible;
+        // remember where they were to restore them at the end.
+        let zero_mask: Vec<u64> = elements.iter().map(|e| e.is_zero() as u64).collect();
+        // prefix[i] = product of (masked) elements[0..=i]
+        let mut prefix = Vec::with_capacity(elements.len());
+        let mut acc = FieldElement::ONE;
+        for (e, &z) in elements.iter().zip(&zero_mask) {
+            let masked = FieldElement::select(e, &FieldElement::ONE, z);
+            acc = acc.mul(&masked);
+            prefix.push(acc);
+        }
+        // One inversion of the total product...
+        let mut inv = acc.invert();
+        // ...then walk backwards peeling one element per step.
+        for i in (0..elements.len()).rev() {
+            let masked = FieldElement::select(&elements[i], &FieldElement::ONE, zero_mask[i]);
+            let this_inv = if i == 0 { inv } else { prefix[i - 1].mul(&inv) };
+            inv = inv.mul(&masked);
+            elements[i] = FieldElement::select(&this_inv, &FieldElement::ZERO, zero_mask[i]);
+        }
     }
 
     /// `1/sqrt(self)` (Ristretto convention; see `sqrt_ratio_i`).

@@ -49,8 +49,10 @@ pub use aead::{adec, aenc, round_nonce, TAG_LEN};
 pub use blake2b::{blake2b_256, blake2b_512, Blake2b};
 pub use drbg::ChaChaRng;
 pub use keys::{dh, dh_symmetric_key, KeyPair};
-pub use nizk::{DleqProof, SchnorrProof, DLEQ_PROOF_LEN, SCHNORR_PROOF_LEN};
-pub use ristretto::GroupElement;
+pub use nizk::{
+    DleqBatchEntry, DleqProof, SchnorrBatchEntry, SchnorrProof, DLEQ_PROOF_LEN, SCHNORR_PROOF_LEN,
+};
+pub use ristretto::{GroupElement, GroupTable};
 pub use scalar::Scalar;
 pub use transcript::Transcript;
 

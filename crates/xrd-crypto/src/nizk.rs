@@ -12,11 +12,54 @@
 //! proof binds all public inputs plus a caller-supplied context (round
 //! number, chain id, ...), so proofs cannot be replayed across contexts.
 
-use rand::RngCore;
+use rand::{RngCore, SeedableRng};
 
+use crate::drbg::ChaChaRng;
 use crate::ristretto::GroupElement;
 use crate::scalar::Scalar;
 use crate::transcript::Transcript;
+
+/// Draw a 128-bit random-linear-combination coefficient from the batch
+/// DRBG.  128 bits keep the false-accept probability below 2^-128 while
+/// halving the coefficient-scalar multiplications.
+fn rlc_coefficient(rng: &mut ChaChaRng) -> Scalar {
+    let mut wide = [0u8; 32];
+    rng.fill_bytes(&mut wide[..16]);
+    Scalar::from_bytes_mod_order(&wide)
+}
+
+/// One statement of a Schnorr batch verification:
+/// "`proof` proves knowledge of `log_base public` under `context`".
+#[derive(Clone, Copy, Debug)]
+pub struct SchnorrBatchEntry<'a> {
+    /// Caller-supplied domain-separation context.
+    pub context: &'a [u8],
+    /// The proof's base `B`.
+    pub base: GroupElement,
+    /// The public value `X = B^x`.
+    pub public: GroupElement,
+    /// The proof being checked.
+    pub proof: SchnorrProof,
+}
+
+/// One statement of a DLEQ batch verification:
+/// "`proof` proves `log_base1 public1 = log_base2 public2` under
+/// `context`".
+#[derive(Clone, Copy, Debug)]
+pub struct DleqBatchEntry<'a> {
+    /// Caller-supplied domain-separation context.
+    pub context: &'a [u8],
+    /// First base `B1`.
+    pub base1: GroupElement,
+    /// `X1 = B1^x`.
+    pub public1: GroupElement,
+    /// Second base `B2`.
+    pub base2: GroupElement,
+    /// `X2 = B2^x`.
+    pub public2: GroupElement,
+    /// The proof being checked.
+    pub proof: DleqProof,
+}
 
 /// Proof of knowledge of `x` such that `X = B^x`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -41,10 +84,10 @@ impl SchnorrProof {
     ) -> SchnorrProof {
         debug_assert!(GroupElement::base_mul(x) == *public || base.mul(x) == *public);
         let r = Scalar::random(rng);
-        let commitment = base.mul(&r);
+        let commitment = base.mul(&r).encode();
         let c = Self::challenge(context, base, public, &commitment);
         SchnorrProof {
-            commitment: commitment.encode(),
+            commitment,
             response: r.add(&c.mul(x)),
         }
     }
@@ -55,22 +98,74 @@ impl SchnorrProof {
             Some(p) => p,
             None => return false,
         };
-        let c = Self::challenge(context, base, public, &commitment);
+        let c = Self::challenge(context, base, public, &self.commitment);
         // B^z == R * X^c
         base.mul(&self.response) == commitment.add(&public.mul(&c))
     }
 
+    /// Verify `n` Schnorr proofs in one multiscalar multiplication.
+    ///
+    /// Each statement is `(context, base, public, proof)`.  The proofs
+    /// are folded with random-linear-combination coefficients drawn
+    /// from a transcript-seeded DRBG (bound to every statement and
+    /// proof), so the combined equation
+    /// `sum_i rho_i * (z_i*B_i - R_i - c_i*X_i) = 0`
+    /// accepts iff every individual proof verifies, except with
+    /// probability < n * 2^-128.  All inputs are public wire data, so
+    /// the variable-time multiscalar engine is safe here.
+    pub fn batch_verify(statements: &[SchnorrBatchEntry<'_>]) -> bool {
+        if statements.is_empty() {
+            return true;
+        }
+        let mut commitments = Vec::with_capacity(statements.len());
+        let mut challenges = Vec::with_capacity(statements.len());
+        let mut seed_t = Transcript::new("xrd/schnorr-batch-verify");
+        seed_t.append_u64("n", statements.len() as u64);
+        for st in statements {
+            let commitment = match GroupElement::decode(&st.proof.commitment) {
+                Some(p) => p,
+                None => return false,
+            };
+            let c = Self::challenge(st.context, &st.base, &st.public, &st.proof.commitment);
+            // The challenge binds context, base, public and commitment,
+            // so absorbing (challenge, response) binds the statement.
+            seed_t.append("challenge", &c.to_bytes());
+            seed_t.append("response", &st.proof.response.to_bytes());
+            commitments.push(commitment);
+            challenges.push(c);
+        }
+        let mut drbg = ChaChaRng::from_seed(seed_t.challenge_bytes("rlc-seed"));
+
+        let mut scalars = Vec::with_capacity(3 * statements.len());
+        let mut points = Vec::with_capacity(3 * statements.len());
+        for ((st, commitment), c) in statements.iter().zip(&commitments).zip(&challenges) {
+            let rho = rlc_coefficient(&mut drbg);
+            scalars.push(rho.mul(&st.proof.response));
+            points.push(st.base);
+            scalars.push(rho.neg());
+            points.push(*commitment);
+            scalars.push(rho.mul(c).neg());
+            points.push(st.public);
+        }
+        GroupElement::vartime_multiscalar_mul(&scalars, &points).is_identity()
+    }
+
+    /// The Fiat-Shamir challenge.  The commitment is taken as its
+    /// canonical 32-byte encoding (what travels in the proof): since
+    /// decoding rejects non-canonical strings, absorbing the bytes is
+    /// equivalent to absorbing `decode(bytes).encode()` and saves a
+    /// re-encoding on every verification.
     fn challenge(
         context: &[u8],
         base: &GroupElement,
         public: &GroupElement,
-        commitment: &GroupElement,
+        commitment: &[u8; 32],
     ) -> Scalar {
         let mut t = Transcript::new("xrd/schnorr-pok");
         t.append("context", context);
         t.append("base", &base.encode());
         t.append("public", &public.encode());
-        t.append("commitment", &commitment.encode());
+        t.append("commitment", commitment);
         t.challenge_scalar("c")
     }
 
@@ -125,12 +220,12 @@ impl DleqProof {
         x: &Scalar,
     ) -> DleqProof {
         let r = Scalar::random(rng);
-        let c1 = base1.mul(&r);
-        let c2 = base2.mul(&r);
+        let c1 = base1.mul(&r).encode();
+        let c2 = base2.mul(&r).encode();
         let c = Self::challenge(context, base1, public1, base2, public2, &c1, &c2);
         DleqProof {
-            commitment1: c1.encode(),
-            commitment2: c2.encode(),
+            commitment1: c1,
+            commitment2: c2,
             response: r.add(&c.mul(x)),
         }
     }
@@ -151,11 +246,79 @@ impl DleqProof {
             (Some(a), Some(b)) => (a, b),
             _ => return false,
         };
-        let c = Self::challenge(context, base1, public1, base2, public2, &r1, &r2);
+        let c = Self::challenge(
+            context,
+            base1,
+            public1,
+            base2,
+            public2,
+            &self.commitment1,
+            &self.commitment2,
+        );
         base1.mul(&self.response) == r1.add(&public1.mul(&c))
             && base2.mul(&self.response) == r2.add(&public2.mul(&c))
     }
 
+    /// Verify `n` DLEQ proofs in one multiscalar multiplication (see
+    /// [`SchnorrProof::batch_verify`] for the soundness argument); the
+    /// two per-proof equations get independent 128-bit coefficients, so
+    /// the whole batch is a single `6n`-term multiscalar mul.  Public
+    /// wire data only — the multiscalar engine is variable time.
+    pub fn batch_verify(statements: &[DleqBatchEntry<'_>]) -> bool {
+        if statements.is_empty() {
+            return true;
+        }
+        let mut commitments = Vec::with_capacity(statements.len());
+        let mut challenges = Vec::with_capacity(statements.len());
+        let mut seed_t = Transcript::new("xrd/dleq-batch-verify");
+        seed_t.append_u64("n", statements.len() as u64);
+        for st in statements {
+            let (r1, r2) = match (
+                GroupElement::decode(&st.proof.commitment1),
+                GroupElement::decode(&st.proof.commitment2),
+            ) {
+                (Some(a), Some(b)) => (a, b),
+                _ => return false,
+            };
+            let c = Self::challenge(
+                st.context,
+                &st.base1,
+                &st.public1,
+                &st.base2,
+                &st.public2,
+                &st.proof.commitment1,
+                &st.proof.commitment2,
+            );
+            seed_t.append("challenge", &c.to_bytes());
+            seed_t.append("response", &st.proof.response.to_bytes());
+            commitments.push((r1, r2));
+            challenges.push(c);
+        }
+        let mut drbg = ChaChaRng::from_seed(seed_t.challenge_bytes("rlc-seed"));
+
+        let mut scalars = Vec::with_capacity(6 * statements.len());
+        let mut points = Vec::with_capacity(6 * statements.len());
+        for ((st, (r1, r2)), c) in statements.iter().zip(&commitments).zip(&challenges) {
+            let rho1 = rlc_coefficient(&mut drbg);
+            let rho2 = rlc_coefficient(&mut drbg);
+            scalars.push(rho1.mul(&st.proof.response));
+            points.push(st.base1);
+            scalars.push(rho1.neg());
+            points.push(*r1);
+            scalars.push(rho1.mul(c).neg());
+            points.push(st.public1);
+            scalars.push(rho2.mul(&st.proof.response));
+            points.push(st.base2);
+            scalars.push(rho2.neg());
+            points.push(*r2);
+            scalars.push(rho2.mul(c).neg());
+            points.push(st.public2);
+        }
+        GroupElement::vartime_multiscalar_mul(&scalars, &points).is_identity()
+    }
+
+    /// The Fiat-Shamir challenge; commitments are absorbed as their
+    /// canonical wire bytes (see [`SchnorrProof::challenge`]).
     #[allow(clippy::too_many_arguments)]
     fn challenge(
         context: &[u8],
@@ -163,8 +326,8 @@ impl DleqProof {
         public1: &GroupElement,
         base2: &GroupElement,
         public2: &GroupElement,
-        c1: &GroupElement,
-        c2: &GroupElement,
+        c1: &[u8; 32],
+        c2: &[u8; 32],
     ) -> Scalar {
         let mut t = Transcript::new("xrd/chaum-pedersen-dleq");
         t.append("context", context);
@@ -172,8 +335,8 @@ impl DleqProof {
         t.append("public1", &public1.encode());
         t.append("base2", &base2.encode());
         t.append("public2", &public2.encode());
-        t.append("commitment1", &c1.encode());
-        t.append("commitment2", &c2.encode());
+        t.append("commitment1", c1);
+        t.append("commitment2", c2);
         t.challenge_scalar("c")
     }
 
@@ -327,6 +490,162 @@ mod tests {
         assert_eq!(parsed, proof);
         assert!(parsed.verify(b"c", &b1, &p1, &b2, &p2));
         assert!(DleqProof::from_bytes(&[0u8; 95]).is_none());
+    }
+
+    fn schnorr_batch(
+        rng: &mut StdRng,
+        n: usize,
+    ) -> (Vec<GroupElement>, Vec<GroupElement>, Vec<SchnorrProof>) {
+        let mut bases = Vec::new();
+        let mut publics = Vec::new();
+        let mut proofs = Vec::new();
+        for _ in 0..n {
+            let base = GroupElement::random(rng);
+            let x = Scalar::random(rng);
+            let public = base.mul(&x);
+            proofs.push(SchnorrProof::prove(rng, b"batch", &base, &public, &x));
+            bases.push(base);
+            publics.push(public);
+        }
+        (bases, publics, proofs)
+    }
+
+    #[test]
+    fn schnorr_batch_verify_accepts_valid_and_rejects_tampered() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let (bases, publics, mut proofs) = schnorr_batch(&mut rng, 8);
+        let entries = |proofs: &[SchnorrProof]| -> Vec<SchnorrBatchEntry<'static>> {
+            proofs
+                .iter()
+                .zip(bases.iter().zip(&publics))
+                .map(|(proof, (base, public))| SchnorrBatchEntry {
+                    context: b"batch",
+                    base: *base,
+                    public: *public,
+                    proof: *proof,
+                })
+                .collect()
+        };
+        assert!(SchnorrProof::batch_verify(&entries(&proofs)));
+        assert!(SchnorrProof::batch_verify(&[]));
+        // Tamper a single response: the whole batch must reject.
+        proofs[5].response = proofs[5].response.add(&Scalar::ONE);
+        assert!(!SchnorrProof::batch_verify(&entries(&proofs)));
+    }
+
+    #[test]
+    fn schnorr_batch_verify_rejects_wrong_context() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let (bases, publics, proofs) = schnorr_batch(&mut rng, 3);
+        let mut entries: Vec<SchnorrBatchEntry> = proofs
+            .iter()
+            .zip(bases.iter().zip(&publics))
+            .map(|(proof, (base, public))| SchnorrBatchEntry {
+                context: b"batch",
+                base: *base,
+                public: *public,
+                proof: *proof,
+            })
+            .collect();
+        entries[1].context = b"other";
+        assert!(!SchnorrProof::batch_verify(&entries));
+    }
+
+    fn dleq_batch(
+        rng: &mut StdRng,
+        n: usize,
+    ) -> Vec<(
+        GroupElement,
+        GroupElement,
+        GroupElement,
+        GroupElement,
+        DleqProof,
+    )> {
+        (0..n)
+            .map(|_| {
+                let x = Scalar::random(rng);
+                let b1 = GroupElement::random(rng);
+                let b2 = GroupElement::random(rng);
+                let p1 = b1.mul(&x);
+                let p2 = b2.mul(&x);
+                let proof = DleqProof::prove(rng, b"batch", &b1, &p1, &b2, &p2, &x);
+                (b1, p1, b2, p2, proof)
+            })
+            .collect()
+    }
+
+    fn dleq_entries(
+        stmts: &[(
+            GroupElement,
+            GroupElement,
+            GroupElement,
+            GroupElement,
+            DleqProof,
+        )],
+    ) -> Vec<DleqBatchEntry<'_>> {
+        stmts
+            .iter()
+            .map(|(b1, p1, b2, p2, proof)| DleqBatchEntry {
+                context: b"batch",
+                base1: *b1,
+                public1: *p1,
+                base2: *b2,
+                public2: *p2,
+                proof: *proof,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dleq_batch_verify_accepts_valid_and_rejects_tampered() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let mut stmts = dleq_batch(&mut rng, 8);
+        assert!(DleqProof::batch_verify(&dleq_entries(&stmts)));
+        assert!(DleqProof::batch_verify(&[]));
+        // Tamper one statement (swap its second public): reject.
+        let other = GroupElement::random(&mut rng);
+        stmts[3].3 = other;
+        assert!(!DleqProof::batch_verify(&dleq_entries(&stmts)));
+    }
+
+    #[test]
+    fn dleq_batch_verify_rejects_unequal_exponents() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut stmts = dleq_batch(&mut rng, 4);
+        // Replace one proof with a proof over different exponents.
+        let x = Scalar::random(&mut rng);
+        let y = Scalar::random(&mut rng);
+        let b1 = GroupElement::random(&mut rng);
+        let b2 = GroupElement::random(&mut rng);
+        let p1 = b1.mul(&x);
+        let p2 = b2.mul(&y);
+        let proof = DleqProof::prove(&mut rng, b"batch", &b1, &p1, &b2, &p2, &x);
+        stmts[0] = (b1, p1, b2, p2, proof);
+        assert!(!DleqProof::batch_verify(&dleq_entries(&stmts)));
+    }
+
+    #[test]
+    fn batch_verify_matches_individual_verify() {
+        // Randomized agreement: for random mixes of valid/invalid
+        // proofs, batch_verify accepts iff every individual verify does.
+        let mut rng = StdRng::seed_from_u64(34);
+        for trial in 0..6 {
+            let mut stmts = dleq_batch(&mut rng, 5);
+            let corrupt = trial % 2 == 1;
+            if corrupt {
+                let idx = trial % stmts.len();
+                stmts[idx].4.response = stmts[idx].4.response.add(&Scalar::ONE);
+            }
+            let individual = stmts
+                .iter()
+                .all(|(b1, p1, b2, p2, proof)| proof.verify(b"batch", b1, p1, b2, p2));
+            assert_eq!(
+                DleqProof::batch_verify(&dleq_entries(&stmts)),
+                individual,
+                "trial {trial}"
+            );
+            assert_eq!(individual, !corrupt);
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::sync::OnceLock;
 
 use rand::RngCore;
 
-use crate::edwards::{edwards_d, EdwardsPoint};
+use crate::edwards::{edwards_d, EdwardsPoint, PointTable};
 use crate::field::FieldElement;
 use crate::scalar::Scalar;
 
@@ -77,6 +77,38 @@ impl GroupElement {
         GroupElement(self.0.scalar_mul(x))
     }
 
+    /// The pre-optimization two-exponent hop kernel (two from-scratch
+    /// reference ladders).  Kept as the bench baseline and for
+    /// differential tests; never called on a hot path.
+    #[doc(hidden)]
+    pub fn naive_two_muls_reference(&self, a: &Scalar, b: &Scalar) -> (GroupElement, GroupElement) {
+        (
+            GroupElement(self.0.scalar_mul_reference(a)),
+            GroupElement(self.0.scalar_mul_reference(b)),
+        )
+    }
+
+    /// `self^x` in **variable time** (width-5 NAF, no masked scans).
+    ///
+    /// Only for *public* exponents and elements — e.g. opening the inner
+    /// envelopes after the servers have broadcast their inner keys
+    /// (§6.3), or re-checking proof equations.  Secret exponents must
+    /// use [`GroupElement::mul`].
+    pub fn vartime_mul(&self, x: &Scalar) -> GroupElement {
+        GroupElement(self.0.vartime_scalar_mul(x))
+    }
+
+    /// `prod_i points[i]^scalars[i]` in **variable time** (Straus for
+    /// small batches, Pippenger above ~200 points).
+    ///
+    /// Only for *public* data: this is the engine of batched proof
+    /// verification ([`crate::nizk`]), where every input is a wire
+    /// value or a verifier-chosen random coefficient.
+    pub fn vartime_multiscalar_mul(scalars: &[Scalar], points: &[GroupElement]) -> GroupElement {
+        let inner: Vec<EdwardsPoint> = points.iter().map(|p| p.0).collect();
+        GroupElement(EdwardsPoint::vartime_multiscalar_mul(scalars, &inner))
+    }
+
     /// Group operation (written multiplicatively in the paper; this is
     /// the product of two elements).
     pub fn add(&self, other: &GroupElement) -> GroupElement {
@@ -124,6 +156,63 @@ impl GroupElement {
         y = y.conditional_negate(x.mul(&z_inv).is_negative() as u64);
 
         den_inv.mul(&z0.sub(&y)).abs().to_bytes()
+    }
+
+    /// Encode a batch of elements, sharing one field inversion across
+    /// all the `1/u2` denominators via [`FieldElement::batch_invert`].
+    ///
+    /// Produces exactly the same canonical encodings as per-point
+    /// [`GroupElement::encode`].  The per-point inverse square root is
+    /// inherent to the ristretto encoding (square roots do not batch
+    /// with Montgomery's trick), so the asymptotic win here is the
+    /// shared inversion plus the removal of a few per-point
+    /// multiplications; the wire path calls this so n-entry batch
+    /// frames pay one inversion instead of n hidden in the encodes.
+    pub fn batch_encode(points: &[GroupElement]) -> Vec<[u8; 32]> {
+        let c = constants();
+        let i = FieldElement::sqrt_m1();
+
+        // Per-point numerators/denominators; u2 inverses batched.
+        let u2s: Vec<FieldElement> = points.iter().map(|p| p.0.x.mul(&p.0.y)).collect();
+        let u2_invs = {
+            let mut tmp = u2s.clone();
+            FieldElement::batch_invert(&mut tmp);
+            tmp
+        };
+
+        points
+            .iter()
+            .zip(u2s.iter().zip(u2_invs))
+            .map(|(p, (u2, u2_inv))| {
+                let (x0, y0, z0, t0) = (p.0.x, p.0.y, p.0.z, p.0.t);
+                let u1 = z0.add(&y0).mul(&z0.sub(&y0));
+                // invsqrt(u1) = 1/sqrt(u1); u1*u2^2 is always square for
+                // a valid point, hence so is u1.
+                let (_, s1_inv) = u1.invsqrt();
+                // den1 = sqrt(u1)/u2, den2 = 1/sqrt(u1), z_inv = t0/u2:
+                // identical (up to the encoding-irrelevant root sign) to
+                // the serial r = invsqrt(u1*u2^2) formulation — except
+                // that the serial r vanishes whenever u2 = 0 (torsion
+                // representatives), which the mask reproduces.
+                let u2_zero = u2.is_zero() as u64;
+                let den1 = u1.mul(&s1_inv).mul(&u2_inv);
+                let den2 = FieldElement::select(&s1_inv, &FieldElement::ZERO, u2_zero);
+                let z_inv = t0.mul(&u2_inv);
+
+                let ix0 = x0.mul(i);
+                let iy0 = y0.mul(i);
+                let enchanted_denominator = den1.mul(&c.invsqrt_a_minus_d);
+                let rotate = t0.mul(&z_inv).is_negative() as u64;
+
+                let x = FieldElement::select(&x0, &iy0, rotate);
+                let mut y = FieldElement::select(&y0, &ix0, rotate);
+                let den_inv = FieldElement::select(&den2, &enchanted_denominator, rotate);
+
+                y = y.conditional_negate(x.mul(&z_inv).is_negative() as u64);
+
+                den_inv.mul(&z0.sub(&y)).abs().to_bytes()
+            })
+            .collect()
     }
 
     /// Decode a canonical 32-byte encoding; `None` for invalid encodings.
@@ -227,6 +316,47 @@ impl PartialEq for GroupElement {
     }
 }
 impl Eq for GroupElement {}
+
+/// A reusable window table of a fixed group element (wrapping
+/// [`PointTable`]): build once, exponentiate many times.
+///
+/// The §6.3 hop kernel builds one table per entry (batched across the
+/// whole hop with [`GroupTable::batch_new`], sharing a single field
+/// inversion) and runs both the decrypt (`msk`) and blind (`bsk`)
+/// exponentiations off it with [`GroupTable::mul_pair`].  Scans stay
+/// masked, so secret exponents are safe here.
+pub struct GroupTable(PointTable);
+
+impl GroupTable {
+    /// Precompute the table for one element (prefer
+    /// [`GroupTable::batch_new`] for several).
+    pub fn new(point: &GroupElement) -> GroupTable {
+        GroupTable(PointTable::new(&point.0))
+    }
+
+    /// Precompute tables for a batch of elements with one shared field
+    /// inversion.
+    pub fn batch_new(points: &[GroupElement]) -> Vec<GroupTable> {
+        let inner: Vec<EdwardsPoint> = points.iter().map(|p| p.0).collect();
+        PointTable::batch_new(&inner)
+            .into_iter()
+            .map(GroupTable)
+            .collect()
+    }
+
+    /// `P^x` off the precomputed table (constant-time-style scans).
+    pub fn mul(&self, x: &Scalar) -> GroupElement {
+        GroupElement(self.0.scalar_mul(x))
+    }
+
+    /// `(P^a, P^b)`: two ladders off one precomputed table — the
+    /// two-scalar hop kernel (the savings come from sharing the table
+    /// build; the ladders themselves run back to back).
+    pub fn mul_pair(&self, a: &Scalar, b: &Scalar) -> (GroupElement, GroupElement) {
+        let (pa, pb) = self.0.scalar_mul_pair(a, b);
+        (GroupElement(pa), GroupElement(pb))
+    }
+}
 
 impl std::ops::Add for GroupElement {
     type Output = GroupElement;
@@ -409,5 +539,73 @@ mod tests {
     fn identity_encoding_is_all_zero() {
         assert_eq!(GroupElement::identity().encode(), [0u8; 32]);
         assert!(GroupElement::decode(&[0u8; 32]).unwrap().is_identity());
+    }
+
+    #[test]
+    fn batch_encode_matches_encode() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let mut points: Vec<GroupElement> =
+            (0..10).map(|_| GroupElement::random(&mut rng)).collect();
+        points.push(GroupElement::identity());
+        // Torsion representatives: same coset, so same encoding — and
+        // they exercise the u2 = 0 masking.
+        let e = GroupElement::random(&mut rng).0;
+        let l_minus_1 = Scalar::ZERO.sub(&Scalar::ONE);
+        let torsion = e.scalar_mul(&l_minus_1).add(&e); // pure torsion
+        points.push(GroupElement(GroupElement::identity().0.add(&torsion)));
+        points.push(GroupElement(points[0].0.add(&torsion)));
+        let batch = GroupElement::batch_encode(&points);
+        for (p, enc) in points.iter().zip(&batch) {
+            assert_eq!(*enc, p.encode());
+        }
+        assert!(GroupElement::batch_encode(&[]).is_empty());
+    }
+
+    #[test]
+    fn group_table_matches_mul() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let points: Vec<GroupElement> = (0..4).map(|_| GroupElement::random(&mut rng)).collect();
+        let tables = GroupTable::batch_new(&points);
+        for (p, table) in points.iter().zip(&tables) {
+            let a = Scalar::random(&mut rng);
+            let b = Scalar::random(&mut rng);
+            assert_eq!(table.mul(&a), p.mul(&a));
+            let (pa, pb) = table.mul_pair(&a, &b);
+            assert_eq!(pa, p.mul(&a));
+            assert_eq!(pb, p.mul(&b));
+        }
+        let single = GroupTable::new(&points[0]);
+        let s = Scalar::random(&mut rng);
+        assert_eq!(single.mul(&s), points[0].mul(&s));
+    }
+
+    #[test]
+    fn vartime_mul_matches_ct_mul() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let p = GroupElement::random(&mut rng);
+        for _ in 0..6 {
+            let x = Scalar::random(&mut rng);
+            assert_eq!(p.vartime_mul(&x), p.mul(&x));
+        }
+        assert!(p.vartime_mul(&Scalar::ZERO).is_identity());
+    }
+
+    #[test]
+    fn vartime_multiscalar_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for n in [0usize, 1, 3, 17] {
+            let scalars: Vec<Scalar> = (0..n).map(|_| Scalar::random(&mut rng)).collect();
+            let points: Vec<GroupElement> =
+                (0..n).map(|_| GroupElement::random(&mut rng)).collect();
+            let naive = scalars
+                .iter()
+                .zip(&points)
+                .fold(GroupElement::identity(), |acc, (s, p)| acc.add(&p.mul(s)));
+            assert_eq!(
+                GroupElement::vartime_multiscalar_mul(&scalars, &points),
+                naive,
+                "n={n}"
+            );
+        }
     }
 }

@@ -299,6 +299,82 @@ impl Scalar {
         // Top digit stays < 8 because l < 2^253.
         digits
     }
+
+    /// Width-`w` non-adjacent form: 256 signed digits, each either zero
+    /// or odd with absolute value below `2^(w-1)`, at most one nonzero
+    /// digit in any `w` consecutive positions.  Used by the
+    /// **variable-time** Straus multi-scalar ladder; never call on
+    /// secret scalars (the digit pattern leaks through timing).
+    pub fn non_adjacent_form(&self, w: usize) -> [i8; 256] {
+        debug_assert!((2..=8).contains(&w));
+        let mut naf = [0i8; 256];
+        // Five limbs so windows can read past the top limb.
+        let mut limbs = [0u64; 5];
+        limbs[..4].copy_from_slice(&self.0);
+
+        let width = 1u64 << w;
+        let window_mask = width - 1;
+
+        let mut pos = 0;
+        let mut carry = 0u64;
+        while pos < 256 {
+            let idx = pos / 64;
+            let bit = pos % 64;
+            let bit_buf = if bit == 0 {
+                limbs[idx]
+            } else {
+                (limbs[idx] >> bit) | (limbs[idx + 1] << (64 - bit))
+            };
+            let window = carry + (bit_buf & window_mask);
+            if window & 1 == 0 {
+                pos += 1;
+                continue;
+            }
+            if window < width / 2 {
+                carry = 0;
+                naf[pos] = window as i8;
+            } else {
+                carry = 1;
+                naf[pos] = (window as i64 - width as i64) as i8;
+            }
+            pos += w;
+        }
+        naf
+    }
+
+    /// Signed radix-`2^w` digits (each in `[-2^(w-1), 2^(w-1)]`), for
+    /// the **variable-time** Pippenger bucket method; never call on
+    /// secret scalars.
+    pub fn to_signed_radix_2w(&self, w: usize) -> Vec<i64> {
+        debug_assert!((4..=8).contains(&w));
+        let digits_count = 256usize.div_ceil(w);
+        let mut limbs = [0u64; 5];
+        limbs[..4].copy_from_slice(&self.0);
+
+        let radix = 1i64 << w;
+        let window_mask = (radix - 1) as u64;
+        let mut digits = vec![0i64; digits_count];
+        let mut carry = 0i64;
+        for (i, digit) in digits.iter_mut().enumerate() {
+            let bit_offset = i * w;
+            let idx = bit_offset / 64;
+            let bit = bit_offset % 64;
+            let bit_buf = if bit == 0 {
+                limbs[idx]
+            } else {
+                (limbs[idx] >> bit) | (limbs[idx + 1] << (64 - bit))
+            };
+            let coef = carry + (bit_buf & window_mask) as i64;
+            // Recenter into [-2^(w-1), 2^(w-1)).
+            carry = (coef + radix / 2) >> w;
+            *digit = coef - (carry << w);
+        }
+        // Top carry folds into the last digit (l < 2^253 leaves room).
+        if carry != 0 {
+            *digits.last_mut().expect("at least one digit") += carry << w;
+        }
+        digits
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,165 @@
+//! Property tests for the batch/amortized fast paths: every batched
+//! API must agree exactly with its per-element counterpart, and batched
+//! verification must accept all-valid batches while rejecting any
+//! single tampered proof.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use xrd_crypto::field::FieldElement;
+use xrd_crypto::nizk::{DleqBatchEntry, SchnorrBatchEntry};
+use xrd_crypto::ristretto::{GroupElement, GroupTable};
+use xrd_crypto::scalar::Scalar;
+use xrd_crypto::{DleqProof, SchnorrProof};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `batch_invert` agrees with per-element `invert`, including
+    /// zeros mixed into the batch (which must stay zero, matching the
+    /// serial convention).
+    #[test]
+    fn batch_invert_matches_serial(seed in any::<u64>(), n in 0usize..24) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut elements: Vec<FieldElement> = (0..n)
+            .map(|i| {
+                if i % 5 == 3 {
+                    FieldElement::ZERO
+                } else {
+                    // random-ish nonzero element
+                    let s = Scalar::random(&mut rng);
+                    FieldElement::from_bytes(&s.to_bytes())
+                }
+            })
+            .collect();
+        let expected: Vec<FieldElement> = elements.iter().map(|e| e.invert()).collect();
+        FieldElement::batch_invert(&mut elements);
+        for (i, (got, want)) in elements.iter().zip(&expected).enumerate() {
+            prop_assert_eq!(got.to_bytes(), want.to_bytes(), "index {}", i);
+        }
+    }
+
+    /// `batch_encode` agrees with per-point `encode`.
+    #[test]
+    fn batch_encode_matches_serial(seed in any::<u64>(), n in 0usize..16) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut points: Vec<GroupElement> =
+            (0..n).map(|_| GroupElement::random(&mut rng)).collect();
+        points.push(GroupElement::identity());
+        let batch = GroupElement::batch_encode(&points);
+        prop_assert_eq!(batch.len(), points.len());
+        for (p, enc) in points.iter().zip(&batch) {
+            prop_assert_eq!(*enc, p.encode());
+        }
+    }
+
+    /// `vartime_multiscalar_mul` agrees with the naive sum of
+    /// per-point multiplications.
+    #[test]
+    fn multiscalar_matches_naive(seed in any::<u64>(), n in 0usize..12) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scalars: Vec<Scalar> = (0..n).map(|_| Scalar::random(&mut rng)).collect();
+        let points: Vec<GroupElement> = (0..n).map(|_| GroupElement::random(&mut rng)).collect();
+        let naive = scalars
+            .iter()
+            .zip(&points)
+            .fold(GroupElement::identity(), |acc, (s, p)| acc.add(&p.mul(s)));
+        prop_assert_eq!(GroupElement::vartime_multiscalar_mul(&scalars, &points), naive);
+    }
+
+    /// Precomputed tables agree with direct exponentiation, for both
+    /// the single- and pair-exponent paths.
+    #[test]
+    fn group_table_matches_mul(seed in any::<u64>(), n in 1usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points: Vec<GroupElement> = (0..n).map(|_| GroupElement::random(&mut rng)).collect();
+        let tables = GroupTable::batch_new(&points);
+        for (p, table) in points.iter().zip(&tables) {
+            let a = Scalar::random(&mut rng);
+            let b = Scalar::random(&mut rng);
+            let (pa, pb) = table.mul_pair(&a, &b);
+            prop_assert_eq!(pa, p.mul(&a));
+            prop_assert_eq!(pb, p.mul(&b));
+        }
+    }
+
+    /// Schnorr batch verification accepts n valid proofs and rejects
+    /// the batch when any single proof is tampered.
+    #[test]
+    fn schnorr_batch_accepts_valid_rejects_tampered(
+        seed in any::<u64>(),
+        n in 1usize..10,
+        tamper in any::<bool>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stmts: Vec<(GroupElement, GroupElement, SchnorrProof)> = (0..n)
+            .map(|_| {
+                let base = GroupElement::random(&mut rng);
+                let x = Scalar::random(&mut rng);
+                let public = base.mul(&x);
+                let proof = SchnorrProof::prove(&mut rng, b"prop", &base, &public, &x);
+                (base, public, proof)
+            })
+            .collect();
+        if tamper {
+            let idx = (seed as usize) % n;
+            stmts[idx].2.response = stmts[idx].2.response.add(&Scalar::ONE);
+        }
+        let entries: Vec<SchnorrBatchEntry> = stmts
+            .iter()
+            .map(|(base, public, proof)| SchnorrBatchEntry {
+                context: b"prop",
+                base: *base,
+                public: *public,
+                proof: *proof,
+            })
+            .collect();
+        prop_assert_eq!(SchnorrProof::batch_verify(&entries), !tamper);
+    }
+
+    /// DLEQ batch verification accepts n valid proofs and rejects the
+    /// batch when any single proof is tampered.
+    #[test]
+    fn dleq_batch_accepts_valid_rejects_tampered(
+        seed in any::<u64>(),
+        n in 1usize..8,
+        tamper in any::<bool>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stmts: Vec<(GroupElement, GroupElement, GroupElement, GroupElement, DleqProof)> =
+            (0..n)
+                .map(|_| {
+                    let x = Scalar::random(&mut rng);
+                    let b1 = GroupElement::random(&mut rng);
+                    let b2 = GroupElement::random(&mut rng);
+                    let p1 = b1.mul(&x);
+                    let p2 = b2.mul(&x);
+                    let proof = DleqProof::prove(&mut rng, b"prop", &b1, &p1, &b2, &p2, &x);
+                    (b1, p1, b2, p2, proof)
+                })
+                .collect();
+        if tamper {
+            let idx = (seed as usize) % n;
+            stmts[idx].4.response = stmts[idx].4.response.add(&Scalar::ONE);
+        }
+        let entries: Vec<DleqBatchEntry> = stmts
+            .iter()
+            .map(|(b1, p1, b2, p2, proof)| DleqBatchEntry {
+                context: b"prop",
+                base1: *b1,
+                public1: *p1,
+                base2: *b2,
+                public2: *p2,
+                proof: *proof,
+            })
+            .collect();
+        prop_assert_eq!(DleqProof::batch_verify(&entries), !tamper);
+
+        // Every batch member also passes/fails individually the same way.
+        let individual = stmts
+            .iter()
+            .all(|(b1, p1, b2, p2, proof)| proof.verify(b"prop", b1, p1, b2, p2));
+        prop_assert_eq!(individual, !tamper);
+    }
+}

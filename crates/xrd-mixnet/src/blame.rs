@@ -98,7 +98,7 @@ impl MixServer {
         let state = self.state()?;
         let input_index = *state.perm.get(output_index)?;
         let input = state.inputs[input_index].clone();
-        let output_dh = state.outputs[output_index].dh;
+        let output_dh = state.output_dhs[output_index];
         let position = self.position();
         let ctx = blame_context(state.round, position);
         let dec_key = input.dh.mul(&self.secrets().msk);
@@ -501,7 +501,6 @@ mod tests {
         // poison the server's stored state the same way (a consistent
         // cheater).
         out1[2].ct[5] ^= 0xff;
-        h.servers[1].state_mut().unwrap().outputs[2].ct[5] ^= 0xff;
 
         match h.servers[2].process_round(&mut rng, h.round, out1) {
             Err(MixError::DecryptFailure(indices)) => {
@@ -534,8 +533,8 @@ mod tests {
         // Consistent cheater: poison stored state too.
         {
             let st = h.servers[0].state_mut().unwrap();
-            st.outputs[0].dh = out0[0].dh;
-            st.outputs[1].dh = out0[1].dh;
+            st.output_dhs[0] = out0[0].dh;
+            st.output_dhs[1] = out0[1].dh;
         }
         match h.servers[1].process_round(&mut rng, h.round, out0) {
             Err(MixError::DecryptFailure(indices)) => {

@@ -83,6 +83,24 @@ impl MixEntry {
         out
     }
 
+    /// Serialize a whole batch, sharing the group-encoding work across
+    /// entries via [`GroupElement::batch_encode`] (the per-entry wire
+    /// format is unchanged: DH key encoding followed by ciphertext).
+    pub fn batch_to_bytes(entries: &[MixEntry]) -> Vec<Vec<u8>> {
+        let dhs: Vec<GroupElement> = entries.iter().map(|e| e.dh).collect();
+        let encodings = GroupElement::batch_encode(&dhs);
+        entries
+            .iter()
+            .zip(&encodings)
+            .map(|(e, enc)| {
+                let mut out = Vec::with_capacity(e.wire_len());
+                out.extend_from_slice(enc);
+                out.extend_from_slice(&e.ct);
+                out
+            })
+            .collect()
+    }
+
     /// Parse; `ct_len` is the expected ciphertext length at this hop.
     pub fn from_bytes(bytes: &[u8], ct_len: usize) -> Option<MixEntry> {
         if bytes.len() != 32 + ct_len {

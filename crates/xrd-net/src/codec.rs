@@ -400,8 +400,15 @@ impl Writer {
 
     fn mix_entries(&mut self, entries: &[MixEntry]) {
         self.seq_len(entries.len());
-        for e in entries {
-            self.mix_entry(e);
+        // Batch frames share the group-encoding work across all entries
+        // (one batched pass instead of n independent encodes), so the
+        // round path pays no per-point inversion work when serializing
+        // mix batches.
+        let dhs: Vec<GroupElement> = entries.iter().map(|e| e.dh).collect();
+        let encodings = GroupElement::batch_encode(&dhs);
+        for (e, enc) in entries.iter().zip(&encodings) {
+            self.raw(enc);
+            self.bytes(&e.ct);
         }
     }
 
@@ -683,8 +690,13 @@ impl Frame {
                 let mut w = Writer::new(TAG_SUBMISSION_BATCH);
                 w.u64(*round);
                 w.seq_len(submissions.len());
-                for s in submissions {
-                    w.submission(s);
+                // Share the DH-key encoding work across the batch.
+                let dhs: Vec<GroupElement> = submissions.iter().map(|s| s.dh).collect();
+                let encodings = GroupElement::batch_encode(&dhs);
+                for (s, enc) in submissions.iter().zip(&encodings) {
+                    w.raw(enc);
+                    w.schnorr(&s.pok);
+                    w.bytes(&s.ct);
                 }
                 w
             }
