@@ -1,13 +1,14 @@
 //! Macro-benchmark: a complete round through the *networked* deployment
 //! (loopback TCP daemons) next to the same round in-process — the cost
-//! of the wire.
+//! of the wire — plus the reactor concurrency probe: a connection storm
+//! of concurrent submitters against a single daemon.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use xrd_core::{Deployment, DeploymentConfig, User};
-use xrd_net::launch_local;
+use xrd_net::{launch_local, submit_storm, StormConfig};
 
 fn bench_networked_round(c: &mut Criterion) {
     let mut group = c.benchmark_group("net_round");
@@ -39,5 +40,31 @@ fn bench_networked_round(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_networked_round);
+/// The event-loop scalability probe: N concurrent submitter
+/// connections (each a real sealed submission, PoK verified by the
+/// daemon) through one submission window plus one mix hop, all served
+/// by a single daemon on one reactor thread.
+fn bench_submit_storm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net_storm");
+    group.sample_size(10);
+    for &n_conns in &[128usize, 512] {
+        group.throughput(Throughput::Elements(n_conns as u64));
+        group.bench_with_input(
+            BenchmarkId::new("storm", n_conns),
+            &n_conns,
+            |b, &n_conns| {
+                let mut rng = StdRng::seed_from_u64(3);
+                let config = StormConfig {
+                    n_conns,
+                    workers: 4,
+                    chain_len: 3,
+                };
+                b.iter(|| submit_storm(&mut rng, &config).expect("storm completes"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_networked_round, bench_submit_storm);
 criterion_main!(benches);

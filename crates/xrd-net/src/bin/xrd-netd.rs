@@ -10,7 +10,11 @@
 //! * `mailbox --shard S --shards N [--listen ADDR]` — serve one shard;
 //! * `demo [--users N] [--rounds R]` — spin a full loopback deployment
 //!   (daemons, coordinator, client swarm) in one process and print
-//!   round latency/throughput.
+//!   round latency/throughput;
+//! * `stress [--conns N] [--workers W] [--chain-len K]` — storm one
+//!   mix daemon with N concurrent submitter connections (default
+//!   1000) and print connect/submit/hop wall clock — the
+//!   connection-scalability probe for the event-driven reactor.
 //!
 //! Daemons print `LISTENING <addr>` once bound, so launchers (and
 //! tests) binding port 0 can discover the assigned port.
@@ -23,14 +27,17 @@ use rand::{RngCore, SeedableRng};
 
 use xrd_core::DeploymentConfig;
 use xrd_net::codec::{decode_server_config, encode_server_config};
-use xrd_net::{launch_local, run_swarm, MailboxDaemon, MixServerDaemon, SwarmConfig};
+use xrd_net::{
+    launch_local, run_swarm, submit_storm, MailboxDaemon, MixServerDaemon, StormConfig, SwarmConfig,
+};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  xrd-netd keygen --chain-len K [--epoch E] --out-dir DIR\n  \
          xrd-netd mix --config FILE [--listen ADDR]\n  \
          xrd-netd mailbox --shard S --shards N [--listen ADDR]\n  \
-         xrd-netd demo [--servers N] [--chain-len K] [--shards S] [--users U] [--rounds R]"
+         xrd-netd demo [--servers N] [--chain-len K] [--shards S] [--users U] [--rounds R]\n  \
+         xrd-netd stress [--conns N] [--workers W] [--chain-len K]"
     );
     ExitCode::FAILURE
 }
@@ -53,8 +60,48 @@ fn main() -> ExitCode {
         "mix" => mix(rest),
         "mailbox" => mailbox(rest),
         "demo" => demo(rest),
+        "stress" => stress(rest),
         _ => usage(),
     }
+}
+
+fn stress(args: &[String]) -> ExitCode {
+    let config = StormConfig {
+        n_conns: flag(args, "--conns")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1000),
+        workers: flag(args, "--workers")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(8),
+        chain_len: flag(args, "--chain-len")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(3),
+    };
+    let mut rng = StdRng::seed_from_u64(rand::rngs::OsRng.next_u64());
+    println!(
+        "stress: {} concurrent submitter connections against one mix daemon \
+         ({} client pump threads, k = {})",
+        config.n_conns, config.workers, config.chain_len
+    );
+    let report = match submit_storm(&mut rng, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("stress: storm failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if report.accepted != report.n_conns as u64 {
+        eprintln!(
+            "stress: only {} of {} submissions accepted",
+            report.accepted, report.n_conns
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "connect {:.1?} | submit {:.1?} ({:.0} verified submissions/s) | hop {:.1?}",
+        report.connect_elapsed, report.submit_elapsed, report.submits_per_sec, report.hop_elapsed
+    );
+    ExitCode::SUCCESS
 }
 
 fn keygen(args: &[String]) -> ExitCode {

@@ -1014,6 +1014,95 @@ pub fn decode_server_config(
     Ok((secrets, public))
 }
 
+// ---------------------------------------------------------------------
+// Incremental decoding
+// ---------------------------------------------------------------------
+
+/// An incremental, non-blocking frame decoder: feed it bytes as they
+/// arrive off a socket (in chunks of any size, down to one byte at a
+/// time) and pull complete [`Frame`]s out as they become available.
+///
+/// This is the event-loop counterpart of [`read_frame`]: where
+/// `read_frame` blocks until a whole frame is buffered, `FrameDecoder`
+/// never blocks and never copies more than once — partial frames stay
+/// buffered until completed by a later `feed`.
+///
+/// Error semantics mirror the blocking reader's:
+///
+/// * a malformed frame *body* (bad tag, bad encoding, trailing bytes)
+///   is consumed and reported per frame — the stream itself is still
+///   framed, so decoding could in principle continue;
+/// * a bad *length prefix* (zero or over [`MAX_FRAME_LEN`]) means the
+///   stream is desynchronized; the decoder latches the error and
+///   reports it from every subsequent [`FrameDecoder::try_frame`].
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Start of un-consumed bytes in `buf` (consumed prefix is
+    /// compacted away lazily, so pulling frames is O(frame), not
+    /// O(buffer)).
+    pos: usize,
+    /// Latched framing-level failure (bad length prefix).
+    desynced: Option<CodecError>,
+}
+
+impl FrameDecoder {
+    /// A decoder with nothing buffered.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Buffer `bytes` (a chunk read off the wire) for decoding.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > 64 * 1024 {
+            // Keep the consumed prefix from growing without bound on
+            // long-lived connections.
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a decoded frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Try to pull one complete frame out of the buffer.
+    ///
+    /// * `None` — not enough bytes yet; feed more.
+    /// * `Some(Ok(frame))` — one frame, consumed from the buffer.
+    /// * `Some(Err(_))` — a malformed frame (consumed) or a
+    ///   desynchronized stream (latched; see type-level docs).
+    pub fn try_frame(&mut self) -> Option<Result<Frame, CodecError>> {
+        if let Some(e) = &self.desynced {
+            return Some(Err(e.clone()));
+        }
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return None;
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().unwrap()) as usize;
+        if len == 0 || len > MAX_FRAME_LEN {
+            let e = CodecError::Oversized {
+                declared: len,
+                cap: MAX_FRAME_LEN,
+            };
+            self.desynced = Some(e.clone());
+            return Some(Err(e));
+        }
+        if avail.len() < 4 + len {
+            return None;
+        }
+        let frame = Frame::decode(&avail[4..4 + len]);
+        self.pos += 4 + len;
+        Some(frame)
+    }
+}
+
 /// Read one frame from a stream (blocking).  Returns `Ok(None)` on a
 /// clean EOF at a frame boundary.
 pub fn read_frame<R: std::io::Read>(
@@ -1134,6 +1223,96 @@ mod tests {
             read_frame(&mut huge).unwrap().unwrap(),
             Err(CodecError::Oversized { .. })
         ));
+    }
+
+    #[test]
+    fn incremental_decoder_yields_frames_byte_at_a_time() {
+        let frames = vec![
+            Frame::OpenRound { round: 7 },
+            Frame::Error {
+                code: error_code::BAD_STATE,
+                message: "nope".into(),
+            },
+            Frame::Fetch { mailbox: [4; 32] },
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&f.encode());
+        }
+        // Dribble the stream one byte at a time: each frame must appear
+        // exactly when its last byte lands, never earlier.
+        let mut decoder = FrameDecoder::new();
+        let mut got = Vec::new();
+        for &b in &wire {
+            decoder.feed(&[b]);
+            while let Some(f) = decoder.try_frame() {
+                got.push(f.expect("valid frame"));
+            }
+        }
+        assert_eq!(got, frames);
+        assert_eq!(decoder.buffered(), 0);
+        assert!(decoder.try_frame().is_none());
+    }
+
+    #[test]
+    fn incremental_decoder_handles_coalesced_frames() {
+        // Several frames in one feed: all must come out, in order.
+        let frames = vec![Frame::Ok, Frame::Ping, Frame::OpenRound { round: 1 }];
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&f.encode());
+        }
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&wire);
+        for f in &frames {
+            assert_eq!(decoder.try_frame().unwrap().unwrap(), *f);
+        }
+        assert!(decoder.try_frame().is_none());
+    }
+
+    #[test]
+    fn incremental_decoder_reports_malformed_body_and_recovers() {
+        // A well-framed but bogus body (unknown tag) is consumed and
+        // reported; the next frame on the stream still decodes.
+        let mut wire = 3u32.to_le_bytes().to_vec();
+        wire.extend_from_slice(&[0xEE, 1, 2]);
+        wire.extend_from_slice(&Frame::Ping.encode());
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&wire);
+        assert_eq!(
+            decoder.try_frame().unwrap(),
+            Err(CodecError::UnknownTag(0xEE))
+        );
+        assert_eq!(decoder.try_frame().unwrap().unwrap(), Frame::Ping);
+    }
+
+    #[test]
+    fn incremental_decoder_latches_on_bad_length_prefix() {
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        decoder.feed(&Frame::Ping.encode());
+        // A desynchronized stream stays failed: the bytes after a bogus
+        // length cannot be trusted as a frame boundary.
+        for _ in 0..2 {
+            assert!(matches!(
+                decoder.try_frame().unwrap(),
+                Err(CodecError::Oversized { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn incremental_decoder_truncated_frame_stays_pending() {
+        let enc = Frame::OpenRound { round: 3 }.encode();
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&enc[..enc.len() - 1]);
+        assert!(decoder.try_frame().is_none(), "missing final byte");
+        assert_eq!(decoder.buffered(), enc.len() - 1);
+        decoder.feed(&enc[enc.len() - 1..]);
+        assert_eq!(
+            decoder.try_frame().unwrap().unwrap(),
+            Frame::OpenRound { round: 3 }
+        );
     }
 
     #[test]

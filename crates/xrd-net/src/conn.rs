@@ -1,6 +1,19 @@
 //! Client side of an XRD wire-protocol connection: a persistent TCP
 //! stream carrying request/response [`Frame`] pairs, with byte
 //! accounting for throughput reporting.
+//!
+//! The client side stays deliberately simple — blocking sockets, one
+//! [`Conn`] per daemon endpoint.  The event-driven daemons answer a
+//! connection's requests strictly in order and apply backpressure by
+//! not reading ahead, so *pipelining* — several [`Conn::send`]s before
+//! collecting responses with [`Conn::recv`] — works as long as the
+//! in-flight requests plus their responses fit in the kernel socket
+//! buffers (small frames like `Submit`/`Ok`: the storm driver in
+//! [`crate::swarm`] pipelines a thousand connections this way).  Do
+//! not pipeline behind a request with a large response (`GetBatch`,
+//! `MixBatch`): the daemon stops reading until that response drains,
+//! and a client still blocked in `send` never reaches `recv` — both
+//! sides would wait on full buffers forever.
 
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -95,7 +108,9 @@ impl Conn {
         self.bytes_received
     }
 
-    /// Fire one frame without awaiting a response.
+    /// Fire one frame without awaiting a response.  Responses to
+    /// pipelined sends arrive in send order; collect each with
+    /// [`Conn::recv`].
     pub fn send(&mut self, frame: &Frame) -> Result<(), NetError> {
         let encoded = frame.encode();
         if encoded.len() - 4 > crate::codec::MAX_FRAME_LEN {

@@ -8,15 +8,18 @@
 //! * [`MailboxDaemon`] — one mailbox shard: accepts deliveries from the
 //!   mix layer and drains mailboxes for fetching clients.
 //!
-//! Both are thread-per-connection over `std::net::TcpListener` — no
-//! async runtime — which is plenty for chain-scale fan-in (a chain has
-//! one coordinator plus its submitting users) and keeps the daemons
-//! dependency-free.  A [`DaemonHandle`] owns the listener thread and
-//! shuts the daemon down when asked (or on drop).
+//! Both daemons are event-driven: all connections of a daemon are
+//! served by **one** reactor thread (see [`crate::reactor`]) running a
+//! readiness loop over nonblocking sockets — no async runtime, no
+//! per-connection threads, no external crates.  One daemon holds
+//! thousands of concurrent submitter connections at a constant thread
+//! count; batch-boundary crypto (`MixBatch`) still fans out across the
+//! scoped-thread pool inside `MixServer::process_round`.  A
+//! [`DaemonHandle`] owns the reactor thread and shuts the daemon down
+//! when asked (or on drop).
 
 use std::collections::HashMap;
-use std::io::{BufReader, BufWriter};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -29,25 +32,20 @@ use xrd_mixnet::client::Submission;
 use xrd_mixnet::message::outer_ct_len;
 use xrd_mixnet::server::{input_digest, verify_hop, MixError, MixServer};
 
-use crate::codec::{error_code, read_frame, write_frame, Frame};
+use crate::codec::{error_code, Frame};
+use crate::reactor::{FrameHandler, Reactor};
 
 // ---------------------------------------------------------------------
 // Generic daemon plumbing
 // ---------------------------------------------------------------------
 
-/// A running daemon: its bound address plus shutdown control.
+/// A running daemon: its bound address plus shutdown control.  The
+/// daemon itself is one reactor thread serving every connection.
 pub struct DaemonHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    /// Live client sockets, so shutdown can unblock handler threads
-    /// parked in `read`.
-    conns: ConnRegistry,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
+    reactor_thread: Option<std::thread::JoinHandle<()>>,
 }
-
-/// Open client sockets, keyed by a per-connection id so handler
-/// threads can deregister (and thereby release the fd) on exit.
-type ConnRegistry = Arc<Mutex<Vec<(u64, TcpStream)>>>;
 
 impl DaemonHandle {
     /// The daemon's bound address (useful with `port 0` binds).
@@ -58,23 +56,19 @@ impl DaemonHandle {
     /// Block until the daemon stops of its own accord (a peer sent
     /// [`Frame::Shutdown`]).
     pub fn wait(&mut self) {
-        if let Some(t) = self.accept_thread.take() {
+        if let Some(t) = self.reactor_thread.take() {
             let _ = t.join();
         }
     }
 
-    /// Stop accepting, unblock every open connection, and join the
-    /// listener.
+    /// Stop the reactor (closing every open connection) and join it.
     pub fn shutdown(&mut self) {
         if !self.stop.swap(true, Ordering::SeqCst) {
-            // Unblock handler threads parked in `read` on live peers.
-            for (_, stream) in self.conns.lock().expect("conn registry").iter() {
-                let _ = stream.shutdown(std::net::Shutdown::Both);
-            }
-            // Wake the blocking accept with a throwaway connection.
+            // The reactor re-checks the flag at its next wakeup; a
+            // throwaway connect makes that wakeup immediate.
             let _ = TcpStream::connect(self.addr);
         }
-        if let Some(t) = self.accept_thread.take() {
+        if let Some(t) = self.reactor_thread.take() {
             let _ = t.join();
         }
     }
@@ -86,109 +80,22 @@ impl Drop for DaemonHandle {
     }
 }
 
-/// Serve `handler` on `addr` with a thread per connection.  The handler
-/// maps each request frame to a response frame; [`Frame::Shutdown`]
-/// additionally stops the whole daemon.
-fn spawn_daemon<A: ToSocketAddrs>(
-    addr: A,
-    handler: Arc<dyn Fn(Frame) -> Frame + Send + Sync>,
-) -> std::io::Result<DaemonHandle> {
-    let listener = TcpListener::bind(addr)?;
-    let addr = listener.local_addr()?;
-    let stop = Arc::new(AtomicBool::new(false));
-    let conns: ConnRegistry = Arc::new(Mutex::new(Vec::new()));
-    let stop_accept = Arc::clone(&stop);
-    let conns_accept = Arc::clone(&conns);
-
-    let accept_thread = std::thread::spawn(move || {
-        let mut conn_threads = Vec::new();
-        let mut next_id = 0u64;
-        for stream in listener.incoming() {
-            if stop_accept.load(Ordering::SeqCst) {
-                break;
-            }
-            let Ok(stream) = stream else { continue };
-            let id = next_id;
-            next_id += 1;
-            if let Ok(clone) = stream.try_clone() {
-                conns_accept
-                    .lock()
-                    .expect("conn registry")
-                    .push((id, clone));
-            }
-            let handler = Arc::clone(&handler);
-            let stop_conn = Arc::clone(&stop_accept);
-            let conns_conn = Arc::clone(&conns_accept);
-            let daemon_addr = addr;
-            conn_threads.push(std::thread::spawn(move || {
-                let _ = serve_connection(&stream, handler, stop_conn, &conns_conn, daemon_addr);
-                // Close the socket for every clone (the registry holds
-                // one) so the peer sees EOF, then release the fd.
-                let _ = stream.shutdown(std::net::Shutdown::Both);
-                conns_conn
-                    .lock()
-                    .expect("conn registry")
-                    .retain(|(i, _)| *i != id);
-            }));
-        }
-        for t in conn_threads {
-            let _ = t.join();
-        }
-    });
-
+/// Serve `handler` on `addr` from one reactor thread.  The handler maps
+/// each request frame to a response frame; [`Frame::Shutdown`] (handled
+/// by the reactor itself) additionally stops the whole daemon.
+fn spawn_daemon<A: ToSocketAddrs>(addr: A, handler: FrameHandler) -> std::io::Result<DaemonHandle> {
+    let reactor = Reactor::bind(addr, handler)?;
+    let addr = reactor.local_addr();
+    let stop = reactor.stop_flag();
+    let reactor_thread = std::thread::spawn(move || reactor.run());
     Ok(DaemonHandle {
         addr,
         stop,
-        conns,
-        accept_thread: Some(accept_thread),
+        reactor_thread: Some(reactor_thread),
     })
 }
 
-fn serve_connection(
-    stream: &TcpStream,
-    handler: Arc<dyn Fn(Frame) -> Frame + Send + Sync>,
-    stop: Arc<AtomicBool>,
-    conns: &ConnRegistry,
-    daemon_addr: SocketAddr,
-) -> std::io::Result<()> {
-    stream.set_nodelay(true)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream.try_clone()?);
-    loop {
-        let frame = match read_frame(&mut reader)? {
-            None => return Ok(()), // peer hung up
-            Some(Err(e)) => {
-                // Unparseable bytes: report and drop the connection (the
-                // stream may be desynchronized).
-                let _ = write_frame(
-                    &mut writer,
-                    &Frame::Error {
-                        code: error_code::BAD_STATE,
-                        message: format!("bad frame: {e}"),
-                    },
-                );
-                return Ok(());
-            }
-            Some(Ok(frame)) => frame,
-        };
-        if matches!(frame, Frame::Shutdown) {
-            write_frame(&mut writer, &Frame::Ok)?;
-            if !stop.swap(true, Ordering::SeqCst) {
-                // Unblock sibling connections and the accept loop so
-                // the daemon can wind down.
-                for (_, peer) in conns.lock().expect("conn registry").iter() {
-                    let _ = peer.shutdown(std::net::Shutdown::Both);
-                }
-                let _ = TcpStream::connect(daemon_addr);
-            }
-            return Ok(());
-        }
-        let response = handler(frame);
-        write_frame(&mut writer, &response)?;
-    }
-}
-
-fn err(code: u16, message: impl Into<String>) -> Frame {
+pub(crate) fn err(code: u16, message: impl Into<String>) -> Frame {
     let mut message = message.into();
     // Error detail is advisory; keep it far below the codec's byte-string
     // cap no matter what (e.g. a Debug-printed jumbo frame).

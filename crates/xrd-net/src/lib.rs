@@ -11,9 +11,14 @@
 //!   caps, canonical-encoding checks;
 //! * [`conn`] — the client side of a connection (request/response with
 //!   byte accounting);
+//! * [`reactor`] — the event-driven core: a dependency-free
+//!   epoll-based readiness loop (raw syscalls on Linux/x86-64, sweep
+//!   fallback elsewhere) serving every connection of a daemon from one
+//!   thread, with per-connection incremental decode/encode state
+//!   machines;
 //! * [`daemon`] — [`MixServerDaemon`] (one hop of one chain) and
-//!   [`MailboxDaemon`] (one shard), thread-per-connection on
-//!   `std::net`;
+//!   [`MailboxDaemon`] (one shard), each a single reactor thread
+//!   holding thousands of concurrent connections;
 //! * [`coordinator`] — [`ChainClient`], driving one chain's round state
 //!   machine over the wire: submission window → k hops with
 //!   cross-server proof verification → blame → inner-key reveal;
@@ -22,7 +27,8 @@
 //!   in-process deployment) and [`launch_local`] (a whole deployment on
 //!   loopback, one port per daemon);
 //! * [`swarm`] — a concurrent client fleet with latency/throughput
-//!   reporting.
+//!   reporting, plus [`submit_storm`]: ≥1000 concurrent submitter
+//!   connections against a single daemon.
 //!
 //! The `xrd-netd` binary wraps the daemons for standalone (multi-
 //! process or multi-machine) operation.
@@ -33,6 +39,7 @@ pub mod codec;
 pub mod conn;
 pub mod coordinator;
 pub mod daemon;
+pub mod reactor;
 pub mod remote;
 pub mod swarm;
 
@@ -41,4 +48,6 @@ pub use conn::{Conn, NetError};
 pub use coordinator::ChainClient;
 pub use daemon::{DaemonHandle, MailboxDaemon, MixServerDaemon};
 pub use remote::{launch_local, LocalCluster, RemoteDeployment};
-pub use swarm::{run_swarm, SwarmConfig, SwarmReport, SwarmRoundStats};
+pub use swarm::{
+    run_swarm, submit_storm, StormConfig, StormReport, SwarmConfig, SwarmReport, SwarmRoundStats,
+};

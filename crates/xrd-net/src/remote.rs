@@ -78,8 +78,12 @@ impl RemoteDeployment {
             current_keys: chain_keys,
             next_keys: Vec::new(),
             cover_store: CoverStore::new(),
+            // Since the daemons went event-driven, connections cost the
+            // server nothing but a buffer: worker count is purely a
+            // client-side CPU knob (sealed frames per second), so scale
+            // it with the client's cores.
             submit_workers: std::thread::available_parallelism()
-                .map(|n| n.get().min(8))
+                .map(|n| (2 * n.get()).min(16))
                 .unwrap_or(4),
             injected: Vec::new(),
         };
@@ -134,7 +138,10 @@ impl RemoteDeployment {
         chain_bytes + mailbox_bytes
     }
 
-    /// Set the number of concurrent submitter connections.
+    /// Set the number of concurrent submitter connections.  The
+    /// event-driven daemons hold thousands of connections each (see
+    /// `submit_storm` for the single-daemon probe), so this only trades
+    /// client-side threads against submission-window wall clock.
     pub fn set_submit_workers(&mut self, n: usize) {
         self.submit_workers = n.max(1);
     }

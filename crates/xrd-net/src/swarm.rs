@@ -2,13 +2,30 @@
 //! users submitting concurrently over TCP, with per-round wall-clock
 //! latency and throughput reporting — the reproduction's stand-in for
 //! the paper's §8 client fleet.
+//!
+//! Two drivers live here:
+//!
+//! * [`run_swarm`] — a full-deployment swarm: real users, whole rounds,
+//!   delivery verification;
+//! * [`submit_storm`] — a single-daemon connection storm: N concurrent
+//!   submitter connections (thousands) against *one* mix daemon,
+//!   measuring the submission window plus one mix hop.  This is the
+//!   connection-scalability probe for the event-driven daemons.
 
+use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
 use rand::RngCore;
 
 use xrd_core::user::{Received, User};
+use xrd_mixnet::chain_keys::{generate_chain_keys, rotate_inner_keys};
+use xrd_mixnet::client::{seal_ahs, Submission};
+use xrd_mixnet::message::{MailboxMessage, MixEntry, MAILBOX_MSG_LEN};
+use xrd_mixnet::server::verify_hop;
 
+use crate::codec::Frame;
+use crate::conn::{Conn, NetError};
+use crate::daemon::MixServerDaemon;
 use crate::remote::RemoteDeployment;
 
 /// Swarm shape.
@@ -152,4 +169,248 @@ pub fn run_swarm<R: RngCore + ?Sized>(
         bytes_on_wire: deployment.bytes_on_wire(),
         n_users: config.n_users,
     }
+}
+
+// ---------------------------------------------------------------------
+// Single-daemon connection storm
+// ---------------------------------------------------------------------
+
+/// Shape of a [`submit_storm`] run.
+#[derive(Clone, Debug)]
+pub struct StormConfig {
+    /// Concurrent submitter connections (one submission each).  All of
+    /// them are open against the daemon at the same time.
+    pub n_conns: usize,
+    /// OS threads pumping the blocking client sockets.  This is a
+    /// *client-side* cost knob only; the daemon serves every connection
+    /// from its one event loop regardless.
+    pub workers: usize,
+    /// Chain length `k` the submissions are sealed for.
+    pub chain_len: usize,
+}
+
+impl Default for StormConfig {
+    fn default() -> StormConfig {
+        StormConfig {
+            n_conns: 1000,
+            workers: 8,
+            chain_len: 3,
+        }
+    }
+}
+
+/// What one [`submit_storm`] measured.
+#[derive(Clone, Debug)]
+pub struct StormReport {
+    /// Connections driven (all concurrently open).
+    pub n_conns: usize,
+    /// Size of the daemon's canonical batch after the window closed —
+    /// every accepted submission, deduplicated.
+    pub accepted: u64,
+    /// Wall clock for opening all connections.
+    pub connect_elapsed: Duration,
+    /// Wall clock for the submission phase (every connection submits
+    /// once, with its proof of knowledge verified by the daemon).
+    pub submit_elapsed: Duration,
+    /// Wall clock for one mix hop over the full batch.
+    pub hop_elapsed: Duration,
+    /// Verified submissions per second during the submission phase.
+    pub submits_per_sec: f64,
+}
+
+/// `n` distinct, fully valid sealed submissions for `round` (distinct
+/// mailbox → distinct onion).  The fixture builder behind
+/// [`submit_storm`], exported so stress tests drive the daemons with
+/// exactly the storm's submissions.
+pub fn sealed_submissions<R: RngCore + ?Sized>(
+    rng: &mut R,
+    public: &xrd_mixnet::chain_keys::ChainPublicKeys,
+    round: u64,
+    n: usize,
+) -> Vec<Submission> {
+    (0..n)
+        .map(|i| {
+            let mut mailbox = [0u8; 32];
+            mailbox[..8].copy_from_slice(&(i as u64).to_le_bytes());
+            let msg = MailboxMessage {
+                mailbox,
+                sealed: vec![0u8; MAILBOX_MSG_LEN - 32],
+            };
+            seal_ahs(rng, public, round, &msg)
+        })
+        .collect()
+}
+
+/// Drive `config.n_conns` *concurrent* submitter connections against a
+/// single [`MixServerDaemon`] through one submission window, then run
+/// one mix hop over the accepted batch and verify its attestation —
+/// the per-daemon slice of a round, at paper-scale client counts.
+///
+/// Every submission is a real sealed AHS onion with a valid proof of
+/// knowledge, so the daemon does full verification work per connection.
+/// Returns an error if any connection fails, if the daemon rejects a
+/// submission, or if the hop attestation does not verify.
+pub fn submit_storm<R: RngCore + ?Sized>(
+    rng: &mut R,
+    config: &StormConfig,
+) -> Result<StormReport, NetError> {
+    if config.n_conns == 0 {
+        return Err(NetError::Protocol(
+            "storm needs at least one connection".into(),
+        ));
+    }
+    let k = config.chain_len.max(1);
+    let round = 0u64;
+    let (mut secrets, mut public) = generate_chain_keys(rng, k, 0);
+    rotate_inner_keys(rng, &mut secrets, &mut public, round);
+    let daemon = MixServerDaemon::spawn(
+        "127.0.0.1:0",
+        secrets.remove(0),
+        public.clone(),
+        rng.next_u64(),
+    )?;
+    let addr = daemon.addr();
+
+    let mut control = Conn::connect(addr)?;
+    control.request_ok(&Frame::OpenRound { round })?;
+
+    // One distinct sealed submission per connection, prepared up front
+    // so the timed phases measure the wire and the daemon, not
+    // client-side sealing.
+    let submissions = sealed_submissions(rng, &public, round, config.n_conns);
+
+    let workers = config.workers.clamp(1, config.n_conns);
+    let chunk = config.n_conns.div_ceil(workers);
+    // `chunks(chunk)` can yield fewer pieces than `workers` (e.g. 5
+    // connections across 4 workers → 3 chunks of 2), so the barriers
+    // must be sized by the thread count actually spawned or nobody
+    // ever gets past them.
+    let n_workers = config.n_conns.div_ceil(chunk);
+    // Two rendezvous points: one after every connection is open (so the
+    // full population is concurrently connected before anyone submits),
+    // one before submitting (so the submit phase is timed alone).
+    let connected = Barrier::new(n_workers + 1);
+    let submitting = Barrier::new(n_workers + 1);
+
+    let connect_start = Instant::now();
+    let mut connect_elapsed = Duration::ZERO;
+    let mut submit_elapsed = Duration::ZERO;
+    let results: Vec<Result<(), NetError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = submissions
+            .chunks(chunk)
+            .map(|subs| {
+                let connected = &connected;
+                let submitting = &submitting;
+                scope.spawn(move || -> Result<(), NetError> {
+                    // Whatever happens, this thread must reach both
+                    // barriers — an early `?` here would leave the
+                    // other workers (and the main thread) parked on a
+                    // barrier that can never fill, turning one failed
+                    // connect into a permanent hang.
+                    let mut conns = Vec::with_capacity(subs.len());
+                    let mut failure: Option<NetError> = None;
+                    for _ in 0..subs.len() {
+                        match Conn::connect(addr) {
+                            Ok(conn) => conns.push(conn),
+                            Err(e) => {
+                                failure = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                    connected.wait();
+                    submitting.wait();
+                    if let Some(e) = failure {
+                        return Err(e);
+                    }
+                    // Pipeline: fire every submission, then collect the
+                    // acknowledgements — all connections have a request
+                    // in flight at once.
+                    for (conn, submission) in conns.iter_mut().zip(subs) {
+                        conn.send(&Frame::Submit {
+                            round,
+                            submission: submission.clone(),
+                        })?;
+                    }
+                    for conn in &mut conns {
+                        match conn.recv()? {
+                            Frame::Ok => {}
+                            Frame::Error { code, message } => {
+                                return Err(NetError::Remote { code, message })
+                            }
+                            other => {
+                                return Err(NetError::Protocol(format!(
+                                    "expected Ok for submission, got {other:?}"
+                                )))
+                            }
+                        }
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        connected.wait();
+        connect_elapsed = connect_start.elapsed();
+        let submit_start = Instant::now();
+        submitting.wait();
+        let results = handles
+            .into_iter()
+            .map(|h| h.join().expect("storm worker panicked"))
+            .collect();
+        submit_elapsed = submit_start.elapsed();
+        results
+    });
+    results.into_iter().collect::<Result<(), NetError>>()?;
+
+    // Close the window: the digest count is the daemon's own statement
+    // of how many distinct submissions landed.
+    let accepted = match control.request(&Frame::CloseSubmissions { round })? {
+        Frame::BatchDigest { count, .. } => count,
+        other => {
+            return Err(NetError::Protocol(format!(
+                "expected BatchDigest, got {other:?}"
+            )))
+        }
+    };
+
+    // One mix hop over the whole batch, attestation verified locally —
+    // the daemon's other per-round duty at this scale.
+    let batch = match control.request(&Frame::GetBatch { round })? {
+        Frame::SubmissionBatch { submissions, .. } => submissions,
+        other => {
+            return Err(NetError::Protocol(format!(
+                "expected SubmissionBatch, got {other:?}"
+            )))
+        }
+    };
+    let entries: Vec<MixEntry> = batch.iter().map(|s| s.to_entry()).collect();
+    let hop_start = Instant::now();
+    let hop = control.request(&Frame::MixBatch {
+        round,
+        entries: entries.clone(),
+    })?;
+    let hop_elapsed = hop_start.elapsed();
+    match hop {
+        Frame::HopOutput { outputs, proof, .. } => {
+            if !verify_hop(&public, 0, round, &entries, &outputs, &proof) {
+                return Err(NetError::Protocol(
+                    "storm hop attestation failed verification".into(),
+                ));
+            }
+        }
+        other => {
+            return Err(NetError::Protocol(format!(
+                "expected HopOutput, got {other:?}"
+            )))
+        }
+    }
+
+    Ok(StormReport {
+        n_conns: config.n_conns,
+        accepted,
+        connect_elapsed,
+        submit_elapsed,
+        hop_elapsed,
+        submits_per_sec: config.n_conns as f64 / submit_elapsed.as_secs_f64().max(1e-9),
+    })
 }

@@ -14,7 +14,8 @@ use xrd_mixnet::chain_keys::{RotationShare, ServerKeyProofs, ServerSecrets};
 use xrd_mixnet::client::Submission;
 use xrd_mixnet::message::{MailboxMessage, MixEntry, MAILBOX_MSG_LEN};
 use xrd_net::codec::{
-    decode_server_config, encode_server_config, error_code, CodecError, Frame, MAX_FRAME_LEN,
+    decode_server_config, encode_server_config, error_code, CodecError, Frame, FrameDecoder,
+    MAX_FRAME_LEN,
 };
 
 // ---- structural generators (random but well-formed values) ----
@@ -287,6 +288,64 @@ proptest! {
     #[test]
     fn fuzz_decode_never_panics(soup in prop::collection::vec(any::<u8>(), 0..256)) {
         let _ = Frame::decode(&soup);
+    }
+
+    /// The incremental decoder agrees with one-shot decoding for any
+    /// frame stream split at arbitrary chunk boundaries — down to one
+    /// byte at a time, across frame boundaries, frames coalesced or
+    /// fragmented however the wire happens to deliver them.
+    #[test]
+    fn incremental_decoder_matches_oneshot(
+        seed in any::<u64>(),
+        n_frames in 1usize..5,
+        chunk_seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let frames: Vec<Frame> = (0..n_frames)
+            .map(|i| arb_frame(&mut rng, seed as usize % N_VARIANTS + i))
+            .collect();
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&f.encode());
+        }
+
+        let mut chunk_rng = StdRng::seed_from_u64(chunk_seed);
+        let mut decoder = FrameDecoder::new();
+        let mut got = Vec::new();
+        let mut off = 0;
+        while off < wire.len() {
+            let take = chunk_rng.gen_range(1..=(wire.len() - off).min(4096));
+            decoder.feed(&wire[off..off + take]);
+            off += take;
+            while let Some(f) = decoder.try_frame() {
+                got.push(f.expect("well-formed stream"));
+            }
+        }
+        prop_assert_eq!(got, frames);
+        prop_assert_eq!(decoder.buffered(), 0);
+        prop_assert!(decoder.try_frame().is_none());
+    }
+
+    /// Cutting the stream mid-frame leaves the incremental decoder
+    /// pending (never an error, never a bogus frame) until the missing
+    /// bytes arrive.
+    #[test]
+    fn incremental_decoder_pends_on_any_truncation(
+        seed in any::<u64>(),
+        variant in 0usize..N_VARIANTS,
+        cut_seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let frame = arb_frame(&mut rng, variant);
+        let wire = frame.encode();
+        let cut = StdRng::seed_from_u64(cut_seed).gen_range(0..wire.len());
+
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&wire[..cut]);
+        prop_assert!(decoder.try_frame().is_none(), "partial frame must pend");
+        prop_assert_eq!(decoder.buffered(), cut);
+        decoder.feed(&wire[cut..]);
+        prop_assert_eq!(decoder.try_frame().unwrap().unwrap(), frame);
     }
 
     /// The server-config blob round-trips.

@@ -1,0 +1,211 @@
+//! Adversarial-peer and lifecycle tests for the reactor daemons: byte
+//! dribblers, desynchronized streams, pipelined clients and graceful
+//! shutdown with connections still open — all over real loopback TCP.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use xrd_net::codec::{error_code, read_frame, Frame};
+use xrd_net::{submit_storm, Conn, MailboxDaemon, NetError, StormConfig};
+
+fn mailbox_message(byte: u8) -> xrd_mixnet::MailboxMessage {
+    xrd_mixnet::MailboxMessage {
+        mailbox: [byte; 32],
+        sealed: vec![byte; xrd_mixnet::MAILBOX_MSG_LEN - 32],
+    }
+}
+
+/// A peer that dribbles its frame one byte at a time must not stall
+/// anyone else: between every byte of A's crawl, B completes a full
+/// request/response round trip on the same daemon.  (The deterministic
+/// interleaving is the point — under the old thread-per-connection
+/// daemon this passed trivially, under a *blocking* single-thread loop
+/// it would deadlock.)
+#[test]
+fn byte_dribbling_peer_does_not_stall_other_connections() {
+    let daemon = MailboxDaemon::spawn("127.0.0.1:0", 0, 1).expect("daemon spawns");
+    let addr = daemon.addr();
+
+    let mut dribbler = TcpStream::connect(addr).expect("dribbler connects");
+    let mut fast = Conn::connect(addr).expect("fast client connects");
+
+    let wire = Frame::Fetch { mailbox: [5; 32] }.encode();
+    let (head, last) = wire.split_at(wire.len() - 1);
+    for &byte in head {
+        dribbler.write_all(&[byte]).expect("dribble one byte");
+        // While A is mid-frame, B's requests fly.
+        fast.request_ok(&Frame::Ping).expect("fast ping served");
+    }
+
+    // A's frame completes only now — and gets its answer.
+    dribbler.write_all(last).expect("final byte");
+    match read_frame(&mut dribbler).expect("response readable") {
+        Some(Ok(Frame::MailboxContents { sealed })) => assert!(sealed.is_empty()),
+        other => panic!("expected MailboxContents, got {other:?}"),
+    }
+}
+
+/// A well-framed but unparseable body is answered with [`Frame::Error`]
+/// and the connection is closed (the stream may be desynchronized).
+#[test]
+fn malformed_frame_answered_with_error_then_close() {
+    let daemon = MailboxDaemon::spawn("127.0.0.1:0", 0, 1).expect("daemon spawns");
+    let mut stream = TcpStream::connect(daemon.addr()).expect("connects");
+
+    let mut wire = 3u32.to_le_bytes().to_vec();
+    wire.extend_from_slice(&[0xEE, 1, 2]); // unknown tag, 2 payload bytes
+    stream.write_all(&wire).expect("garbage sent");
+
+    match read_frame(&mut stream).expect("error frame readable") {
+        Some(Ok(Frame::Error { code, .. })) => assert_eq!(code, error_code::BAD_STATE),
+        other => panic!("expected Error, got {other:?}"),
+    }
+    assert!(
+        read_frame(&mut stream).expect("EOF readable").is_none(),
+        "daemon must close after a malformed frame"
+    );
+}
+
+/// A length prefix over the frame cap means the stream can never be
+/// re-synchronized: the daemon reports and closes without reading the
+/// declared mountain of bytes.
+#[test]
+fn oversized_length_prefix_answered_with_error_then_close() {
+    let daemon = MailboxDaemon::spawn("127.0.0.1:0", 0, 1).expect("daemon spawns");
+    let mut stream = TcpStream::connect(daemon.addr()).expect("connects");
+
+    stream
+        .write_all(&u32::MAX.to_le_bytes())
+        .expect("bogus prefix sent");
+    match read_frame(&mut stream).expect("error frame readable") {
+        Some(Ok(Frame::Error { code, .. })) => assert_eq!(code, error_code::BAD_STATE),
+        other => panic!("expected Error, got {other:?}"),
+    }
+    assert!(read_frame(&mut stream).expect("EOF readable").is_none());
+}
+
+/// Requests pipelined on one connection are answered in order: the
+/// reactor processes a connection's next request only after the
+/// previous response has fully drained, so the stream stays a strict
+/// request/response sequence even when the client fires ahead.
+#[test]
+fn pipelined_requests_on_one_connection_answered_in_order() {
+    let daemon = MailboxDaemon::spawn("127.0.0.1:0", 0, 1).expect("daemon spawns");
+    let mut conn = Conn::connect(daemon.addr()).expect("connects");
+
+    let msg = mailbox_message(9);
+    conn.send(&Frame::Deliver {
+        round: 0,
+        messages: vec![msg.clone()],
+    })
+    .expect("deliver fired");
+    conn.send(&Frame::Fetch {
+        mailbox: msg.mailbox,
+    })
+    .expect("fetch fired");
+    conn.send(&Frame::Ping).expect("ping fired");
+
+    assert!(matches!(conn.recv().expect("ack 1"), Frame::Ok));
+    match conn.recv().expect("ack 2") {
+        Frame::MailboxContents { sealed } => assert_eq!(sealed, vec![msg.sealed]),
+        other => panic!("expected MailboxContents, got {other:?}"),
+    }
+    assert!(matches!(conn.recv().expect("ack 3"), Frame::Ok));
+}
+
+/// Regression: a connection/worker split where `chunks()` yields fewer
+/// pieces than requested workers (5 across 4 → 3 chunks of 2) must
+/// complete — the storm's barriers are sized by the threads actually
+/// spawned, not the requested worker count.
+#[test]
+fn submit_storm_with_uneven_worker_split_completes() {
+    let mut rng = StdRng::seed_from_u64(33);
+    let report = submit_storm(
+        &mut rng,
+        &StormConfig {
+            n_conns: 5,
+            workers: 4,
+            chain_len: 2,
+        },
+    )
+    .expect("uneven split storm completes");
+    assert_eq!(report.accepted, 5);
+}
+
+/// A peer that keeps hundreds of pipelined frames in flight (and
+/// drains its responses, so backpressure never pauses it) must not
+/// monopolize the single reactor thread: the per-visit frame budget
+/// forces the reactor to yield back to the event loop, and another
+/// connection's requests complete while the flood is in full swing.
+#[test]
+fn pipelined_flooder_does_not_monopolize_reactor() {
+    let daemon = MailboxDaemon::spawn("127.0.0.1:0", 0, 1).expect("daemon spawns");
+    let addr = daemon.addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flood = Arc::clone(&stop);
+    let flooder = std::thread::spawn(move || {
+        let mut conn = Conn::connect(addr).expect("flooder connects");
+        let mut in_flight = 0usize;
+        while !stop_flood.load(Ordering::Relaxed) {
+            // Keep a deep pipeline: hundreds of buffered frames force
+            // the reactor through its per-visit budget repeatedly.
+            while in_flight < 256 {
+                conn.send(&Frame::Ping).expect("flood ping");
+                in_flight += 1;
+            }
+            while in_flight > 128 {
+                assert!(matches!(conn.recv().expect("flood ack"), Frame::Ok));
+                in_flight -= 1;
+            }
+        }
+        while in_flight > 0 {
+            let _ = conn.recv();
+            in_flight -= 1;
+        }
+    });
+
+    // Mid-flood, a second connection's requests all complete.
+    let mut fast = Conn::connect(addr).expect("fast client connects");
+    for _ in 0..50 {
+        fast.request_ok(&Frame::Ping)
+            .expect("fast ping served mid-flood");
+    }
+    stop.store(true, Ordering::Relaxed);
+    flooder.join().expect("flooder exits cleanly");
+}
+
+/// [`Frame::Shutdown`] with other connections still open: the sender
+/// gets its acknowledgement, the daemon's reactor exits of its own
+/// accord, and every other connection sees EOF — no hang, no leak.
+#[test]
+fn shutdown_acknowledged_and_open_connections_see_eof() {
+    let mut daemon = MailboxDaemon::spawn("127.0.0.1:0", 0, 1).expect("daemon spawns");
+    let addr = daemon.addr();
+
+    let mut idle: Vec<Conn> = (0..10)
+        .map(|_| Conn::connect(addr).expect("idle conn"))
+        .collect();
+    // Prove they are live connections, not half-open sockets.
+    for conn in &mut idle {
+        conn.request_ok(&Frame::Ping).expect("idle conn serves");
+    }
+
+    let mut closer = Conn::connect(addr).expect("closer connects");
+    closer
+        .request_ok(&Frame::Shutdown)
+        .expect("shutdown acknowledged");
+    daemon.wait(); // the reactor exits on its own — no external stop
+
+    for (i, conn) in idle.iter_mut().enumerate() {
+        match conn.recv() {
+            Err(NetError::Disconnected) | Err(NetError::Io(_)) => {}
+            other => panic!("idle conn {i} must see EOF after shutdown, got {other:?}"),
+        }
+    }
+}

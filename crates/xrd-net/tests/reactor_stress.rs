@@ -1,0 +1,177 @@
+//! Connection-scalability acceptance tests for the event-driven
+//! daemons: one `MixServerDaemon` holding ≥1000 concurrent submitter
+//! connections on O(1) I/O threads, and connection churn that leaves
+//! the daemon's thread count flat.
+//!
+//! These two tests live alone in this binary on purpose: they assert
+//! on `/proc/self/status` thread counts, and sibling tests spawning
+//! daemons of their own would perturb the accounting.  A shared lock
+//! additionally serializes them against each other.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use xrd_mixnet::chain_keys::{generate_chain_keys, rotate_inner_keys};
+use xrd_net::codec::Frame;
+use xrd_net::swarm::sealed_submissions;
+use xrd_net::{Conn, MixServerDaemon};
+
+/// Serializes the thread-count-sensitive tests.
+static THREAD_ACCOUNTING: Mutex<()> = Mutex::new(());
+
+/// Threads in this process right now (`None` off Linux).
+fn process_threads() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// Test-thread scheduling in the harness can add a couple of parked
+/// threads between two samples; what we rule out is O(clients).
+const THREAD_SLACK: usize = 8;
+
+/// The acceptance bar: one mix daemon, 1000 submitter connections all
+/// open (and then all with a request in flight) at once, every
+/// submission verified and accepted — without the daemon's thread
+/// count moving.  The pre-reactor daemon spawned one thread per
+/// connection and sat near 1000 extra threads at this point.
+#[test]
+fn one_daemon_serves_1000_concurrent_submitters_on_o1_io_threads() {
+    let _guard = THREAD_ACCOUNTING.lock().unwrap();
+    const N: usize = 1000;
+    let round = 0u64;
+    let mut rng = StdRng::seed_from_u64(17);
+    let (mut secrets, mut public) = generate_chain_keys(&mut rng, 3, 0);
+    rotate_inner_keys(&mut rng, &mut secrets, &mut public, round);
+    let daemon = MixServerDaemon::spawn("127.0.0.1:0", secrets.remove(0), public.clone(), 7)
+        .expect("daemon spawns");
+    let addr = daemon.addr();
+
+    let mut control = Conn::connect(addr).expect("control connects");
+    control
+        .request_ok(&Frame::OpenRound { round })
+        .expect("window opens");
+
+    let submissions = sealed_submissions(&mut rng, &public, round, N);
+    let baseline = process_threads();
+
+    // Open every connection before any submission: the whole
+    // population is concurrently connected.
+    let mut conns: Vec<Conn> = (0..N)
+        .map(|_| Conn::connect(addr).expect("submitter connects"))
+        .collect();
+    let with_conns_open = process_threads();
+
+    // Pipeline one submission per connection: fire them all, then
+    // collect every acknowledgement — all 1000 connections have a
+    // request in flight at once.
+    for (conn, submission) in conns.iter_mut().zip(&submissions) {
+        conn.send(&Frame::Submit {
+            round,
+            submission: submission.clone(),
+        })
+        .expect("submit sends");
+    }
+    let with_requests_in_flight = process_threads();
+    for (i, conn) in conns.iter_mut().enumerate() {
+        match conn.recv().expect("ack arrives") {
+            Frame::Ok => {}
+            other => panic!("submission {i} not accepted: {other:?}"),
+        }
+    }
+
+    // The daemon's own statement: all 1000 distinct submissions landed
+    // in the canonical batch.
+    match control
+        .request(&Frame::CloseSubmissions { round })
+        .expect("window closes")
+    {
+        Frame::BatchDigest { count, .. } => assert_eq!(count, N as u64),
+        other => panic!("expected BatchDigest, got {other:?}"),
+    }
+
+    if let (Some(b), Some(o), Some(f)) = (baseline, with_conns_open, with_requests_in_flight) {
+        assert!(
+            o <= b + THREAD_SLACK,
+            "opening {N} connections grew threads {b} -> {o}: I/O threading is O(clients)"
+        );
+        assert!(
+            f <= b + THREAD_SLACK,
+            "{N} in-flight requests grew threads {b} -> {f}: I/O threading is O(clients)"
+        );
+    }
+}
+
+/// §"connection churn": clients that connect, dribble half a
+/// submission frame and vanish — wave after wave — must leave the
+/// daemon serving, and its thread count flat.  A reconnecting client
+/// then completes the round's window normally.
+#[test]
+fn churned_connections_leave_daemon_serving_and_thread_count_flat() {
+    let _guard = THREAD_ACCOUNTING.lock().unwrap();
+    let round = 0u64;
+    let mut rng = StdRng::seed_from_u64(18);
+    let (mut secrets, mut public) = generate_chain_keys(&mut rng, 3, 0);
+    rotate_inner_keys(&mut rng, &mut secrets, &mut public, round);
+    let daemon = MixServerDaemon::spawn("127.0.0.1:0", secrets.remove(0), public.clone(), 9)
+        .expect("daemon spawns");
+    let addr = daemon.addr();
+
+    let mut control = Conn::connect(addr).expect("control connects");
+    control
+        .request_ok(&Frame::OpenRound { round })
+        .expect("window opens");
+
+    let subs = sealed_submissions(&mut rng, &public, round, 2);
+    let partial = Frame::Submit {
+        round,
+        submission: subs[0].clone(),
+    }
+    .encode();
+    let baseline = process_threads();
+
+    // Three waves of 100 connections that each die mid-frame.
+    for wave in 0..3 {
+        let mut doomed = Vec::with_capacity(100);
+        for i in 0..100 {
+            let mut stream = TcpStream::connect(addr).expect("churn client connects");
+            stream
+                .write_all(&partial[..partial.len() / 2])
+                .unwrap_or_else(|e| panic!("wave {wave} client {i} write: {e}"));
+            doomed.push(stream);
+        }
+        drop(doomed); // every socket closes with a frame half-sent
+    }
+
+    // The daemon is still serving: a well-behaved reconnect completes.
+    let mut survivor = Conn::connect(addr).expect("reconnect after churn");
+    survivor
+        .request_ok(&Frame::Submit {
+            round,
+            submission: subs[1].clone(),
+        })
+        .expect("post-churn submission accepted");
+
+    // Only the completed submission is in the batch; the 300 dribbled
+    // half-frames left nothing behind.
+    match control
+        .request(&Frame::CloseSubmissions { round })
+        .expect("window closes")
+    {
+        Frame::BatchDigest { count, .. } => assert_eq!(count, 1),
+        other => panic!("expected BatchDigest, got {other:?}"),
+    }
+
+    if let (Some(b), Some(after)) = (baseline, process_threads()) {
+        assert!(
+            after <= b + THREAD_SLACK,
+            "300 churned connections grew threads {b} -> {after}"
+        );
+    }
+}

@@ -5,17 +5,61 @@
 //!
 //! ```text
 //! cargo run --release --example networked_round [n_users] [rounds]
+//! cargo run --release --example networked_round stress [n_conns] [workers]
 //! ```
+//!
+//! The `stress` mode skips the full deployment and instead storms a
+//! *single* mix daemon with `n_conns` concurrent submitter connections
+//! (default 1000) — the connection-scalability probe for the
+//! event-driven daemon reactor.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use xrd::core::DeploymentConfig;
-use xrd_net::{launch_local, run_swarm, SwarmConfig};
+use xrd_net::{launch_local, run_swarm, submit_storm, StormConfig, SwarmConfig};
+
+fn stress(mut args: impl Iterator<Item = String>) {
+    let n_conns: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(1000);
+    let workers: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(8);
+    let config = StormConfig {
+        n_conns,
+        workers,
+        ..Default::default()
+    };
+    println!(
+        "storming one mix daemon with {n_conns} concurrent submitter connections \
+         ({workers} client pump threads, chain k = {})…",
+        config.chain_len
+    );
+    let mut rng = StdRng::seed_from_u64(99);
+    let report = submit_storm(&mut rng, &config).expect("submission storm failed");
+    assert_eq!(
+        report.accepted, report.n_conns as u64,
+        "every distinct submission must be accepted"
+    );
+    println!(
+        "connect  : {:>9.1?}  ({} concurrent connections)",
+        report.connect_elapsed, report.n_conns
+    );
+    println!(
+        "submit   : {:>9.1?}  ({:.0} verified submissions/sec)",
+        report.submit_elapsed, report.submits_per_sec
+    );
+    println!(
+        "mix hop  : {:>9.1?}  ({} entries, attestation verified)",
+        report.hop_elapsed, report.accepted
+    );
+    println!("STRESS OK: {} submissions accepted", report.accepted);
+}
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let n_users: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(200);
+    let first = args.next();
+    if first.as_deref() == Some("stress") {
+        return stress(args);
+    }
+    let n_users: usize = first.and_then(|v| v.parse().ok()).unwrap_or(200);
     let rounds: u64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(3);
 
     let mut rng = StdRng::seed_from_u64(42);
