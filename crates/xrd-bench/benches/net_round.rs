@@ -8,7 +8,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use xrd_core::{Deployment, DeploymentConfig, User};
-use xrd_net::{launch_local, submit_storm, StormConfig};
+use xrd_mixnet::chain_keys::{generate_chain_keys, rotate_inner_keys};
+use xrd_net::swarm::sealed_submissions;
+use xrd_net::{launch_local, submit_storm, ChainClient, MixServerDaemon, StormConfig, Transport};
 
 fn bench_networked_round(c: &mut Criterion) {
     let mut group = c.benchmark_group("net_round");
@@ -66,5 +68,59 @@ fn bench_submit_storm(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_networked_round, bench_submit_storm);
+/// The streamed-pipeline probe: one k=3 chain (three mix daemons on
+/// loopback), one agreed batch, the complete mix phase — k hops,
+/// cross-server verification, the coordinator's batched audit,
+/// inner-key reveal and envelope opening — whole-batch versus
+/// streamed.  The whole-batch path transfers, computes and
+/// cross-verifies each hop serially; the streamed path forwards output
+/// chunks to the next hop as they arrive, starts hop crypto on arrived
+/// chunks, and cross-verifies keys-only at end of chain.
+fn bench_hop_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hop_pipeline");
+    group.sample_size(10);
+    const K: usize = 3;
+    const N: usize = 384;
+    group.throughput(Throughput::Elements(N as u64));
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let round = 0u64;
+    let (mut secrets, mut public) = generate_chain_keys(&mut rng, K, 0);
+    rotate_inner_keys(&mut rng, &mut secrets, &mut public, round);
+    let daemons: Vec<_> = secrets
+        .into_iter()
+        .map(|s| {
+            MixServerDaemon::spawn("127.0.0.1:0", s, public.clone(), 5).expect("daemon spawns")
+        })
+        .collect();
+    let addrs: Vec<_> = daemons.iter().map(|d| d.addr()).collect();
+    let submissions = sealed_submissions(&mut rng, &public, round, N);
+
+    for (label, transport) in [
+        ("whole_batch", Transport::Whole),
+        ("streamed", Transport::Streamed { chunk: 64 }),
+    ] {
+        group.bench_function(BenchmarkId::new(label, N), |b| {
+            let mut chain =
+                ChainClient::connect(&addrs, public.clone()).expect("coordinator connects");
+            chain.set_transport(transport);
+            b.iter(|| {
+                let outcome = chain
+                    .mix_round(round, &submissions)
+                    .expect("mix round runs");
+                assert_eq!(outcome.delivered.len(), N);
+                outcome
+            });
+        });
+    }
+    group.finish();
+    drop(daemons);
+}
+
+criterion_group!(
+    benches,
+    bench_networked_round,
+    bench_submit_storm,
+    bench_hop_pipeline
+);
 criterion_main!(benches);

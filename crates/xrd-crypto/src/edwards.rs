@@ -685,7 +685,7 @@ impl EdwardsPoint {
     /// ladders above.
     ///
     /// Strategy: Straus with width-5 NAF tables below
-    /// [`PIPPENGER_THRESHOLD`] points, Pippenger bucketing above it.
+    /// `PIPPENGER_THRESHOLD` points, Pippenger bucketing above it.
     pub fn vartime_multiscalar_mul(scalars: &[Scalar], points: &[EdwardsPoint]) -> EdwardsPoint {
         assert_eq!(scalars.len(), points.len(), "one scalar per point");
         if points.is_empty() {

@@ -88,6 +88,99 @@ pub fn hop_context(round: u64, position: usize) -> Vec<u8> {
     ctx
 }
 
+/// The per-entry decrypt-and-blind kernel of one hop (§6.3 steps 1-2),
+/// detached from [`MixServer`] so it can be cloned into worker threads
+/// and run over *chunks* of a batch while later chunks are still in
+/// flight — the compute half of a streamed hop.
+///
+/// A kernel is a snapshot of one server's per-round hop parameters
+/// (`msk`, `bsk`, position, round); chunk results are position-stable
+/// (`process` returns slots in input order, `None` marking a decrypt
+/// failure), so any partition of a batch into chunks reassembles into
+/// exactly the serial result.  Feed the collected slots back through
+/// [`MixServer::finish_round`] to shuffle, prove and retain blame
+/// state.
+#[derive(Clone)]
+pub struct ChunkKernel {
+    msk: Scalar,
+    bsk: Scalar,
+    position: usize,
+    round: u64,
+}
+
+impl ChunkKernel {
+    /// The hop position this kernel decrypts for.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// The round this kernel is bound to.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Decrypt-and-blind one entry off its precomputed window table:
+    /// both the decrypt (`msk`) and blind (`bsk`) exponentiations run
+    /// off one table with masked constant-time scans, so the per-entry
+    /// cost is two table ladders instead of two from-scratch
+    /// multiplications.  `None` on authentication failure.
+    fn decrypt_and_blind(&self, entry: &MixEntry, table: &GroupTable) -> Option<MixEntry> {
+        // Steps 1+2 share the table: X_j^{msk_i} and X_j^{bsk_i}.
+        let (shared, blinded) = table.mul_pair(&self.msk, &self.bsk);
+        let key = outer_layer_key(&shared, self.round, self.position);
+        let next_ct = adec(
+            &key,
+            &round_nonce(self.round, domain_outer(self.position)),
+            b"",
+            &entry.ct,
+        )?;
+        Some(MixEntry {
+            dh: blinded,
+            ct: next_ct,
+        })
+    }
+
+    /// Run the kernel over a chunk: batch-build the window tables (one
+    /// shared field inversion for the whole chunk, via
+    /// [`GroupTable::batch_new`]) then decrypt-and-blind each entry off
+    /// its table.  Slot `j` of the result corresponds to `entries[j]`;
+    /// `None` marks an authentication failure at that index.
+    pub fn process(&self, entries: &[MixEntry]) -> Vec<Option<MixEntry>> {
+        let dhs: Vec<GroupElement> = entries.iter().map(|e| e.dh).collect();
+        let tables = GroupTable::batch_new(&dhs);
+        entries
+            .iter()
+            .zip(&tables)
+            .map(|(entry, table)| self.decrypt_and_blind(entry, table))
+            .collect()
+    }
+
+    /// [`ChunkKernel::process`] fanned out across scoped OS threads for
+    /// large batches (the per-entry work is embarrassingly parallel —
+    /// two scalar multiplications plus one AEAD open, no shared
+    /// state).  Small batches run serially: thread spawn/join overhead
+    /// dwarfs per-entry cost only below `PARALLEL_HOP_THRESHOLD`.
+    pub fn process_parallel(&self, entries: &[MixEntry]) -> Vec<Option<MixEntry>> {
+        let n_workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if entries.len() < PARALLEL_HOP_THRESHOLD || n_workers == 1 {
+            return self.process(entries);
+        }
+        let chunk = entries.len().div_ceil(n_workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = entries
+                .chunks(chunk)
+                .map(|entries| scope.spawn(move || self.process(entries)))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("hop worker panicked"))
+                .collect()
+        })
+    }
+}
+
 impl MixServer {
     /// Create a server from its secrets plus the chain's public bundle.
     pub fn new(secrets: ServerSecrets, public: ChainPublicKeys) -> MixServer {
@@ -127,48 +220,16 @@ impl MixServer {
         &self.secrets
     }
 
-    /// Decrypt-and-blind one entry (§6.3 steps 1-2): the per-entry body
-    /// of the hop, shared by the serial and parallel paths.
-    ///
-    /// `table` is the entry's precomputed window table
-    /// ([`GroupTable::batch_new`] builds a whole batch's tables with one
-    /// shared field inversion); both the decrypt (`msk`) and blind
-    /// (`bsk`) exponentiations run off it with masked constant-time
-    /// scans, so the per-entry cost is two table ladders instead of two
-    /// from-scratch multiplications.
-    fn decrypt_and_blind(
-        &self,
-        round: u64,
-        entry: &MixEntry,
-        table: &GroupTable,
-    ) -> Option<MixEntry> {
-        let position = self.secrets.position;
-        // Steps 1+2 share the table: X_j^{msk_i} and X_j^{bsk_i}.
-        let (shared, blinded) = table.mul_pair(&self.secrets.msk, &self.secrets.bsk);
-        let key = outer_layer_key(&shared, round, position);
-        let next_ct = adec(
-            &key,
-            &round_nonce(round, domain_outer(position)),
-            b"",
-            &entry.ct,
-        )?;
-        Some(MixEntry {
-            dh: blinded,
-            ct: next_ct,
-        })
-    }
-
-    /// Run the hop kernel over a slice of entries: batch-build the
-    /// window tables (one shared inversion), then decrypt-and-blind
-    /// each entry off its table.
-    fn process_chunk(&self, round: u64, entries: &[MixEntry]) -> Vec<Option<MixEntry>> {
-        let dhs: Vec<GroupElement> = entries.iter().map(|e| e.dh).collect();
-        let tables = GroupTable::batch_new(&dhs);
-        entries
-            .iter()
-            .zip(&tables)
-            .map(|(entry, table)| self.decrypt_and_blind(round, entry, table))
-            .collect()
+    /// Snapshot this server's decrypt-and-blind kernel for `round` —
+    /// the cloneable compute half of a hop, for streamed (chunk-at-a-
+    /// time) processing off the serving thread.
+    pub fn chunk_kernel(&self, round: u64) -> ChunkKernel {
+        ChunkKernel {
+            msk: self.secrets.msk,
+            bsk: self.secrets.bsk,
+            position: self.secrets.position,
+            round,
+        }
     }
 
     /// Run the §6.3 hop on a batch.  On success returns shuffled outputs
@@ -186,31 +247,32 @@ impl MixServer {
         round: u64,
         inputs: Vec<MixEntry>,
     ) -> Result<HopResult, MixError> {
-        let position = self.secrets.position;
-        let n_workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-
         // Per-entry results in input order; `None` marks a decrypt
         // failure at that index.
-        let slots: Vec<Option<MixEntry>> =
-            if inputs.len() < PARALLEL_HOP_THRESHOLD || n_workers == 1 {
-                self.process_chunk(round, &inputs)
-            } else {
-                let chunk = inputs.len().div_ceil(n_workers);
-                let this = &*self;
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = inputs
-                        .chunks(chunk)
-                        .map(|entries| scope.spawn(move || this.process_chunk(round, entries)))
-                        .collect();
-                    handles
-                        .into_iter()
-                        .flat_map(|h| h.join().expect("hop worker panicked"))
-                        .collect()
-                })
-            };
+        let slots = self.chunk_kernel(round).process_parallel(&inputs);
+        self.finish_round(rng, round, inputs, slots)
+    }
 
+    /// Complete a hop whose decrypt-and-blind slots were computed
+    /// elsewhere — the assembly half of a *streamed* hop.  `slots[j]`
+    /// must be [`ChunkKernel::process`]'s result for `inputs[j]`
+    /// (`None` = authentication failure at `j`); any chunking of the
+    /// batch is acceptable as long as the reassembled slots are in
+    /// input order.  Shuffles, proves the aggregate blinding relation,
+    /// and retains the hop state for blame — exactly as
+    /// [`MixServer::process_round`] would have (which is implemented on
+    /// top of this).
+    pub fn finish_round<R: RngCore + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        round: u64,
+        inputs: Vec<MixEntry>,
+        slots: Vec<Option<MixEntry>>,
+    ) -> Result<HopResult, MixError> {
+        if slots.len() != inputs.len() {
+            return Err(MixError::Malformed);
+        }
+        let position = self.secrets.position;
         let mut processed = Vec::with_capacity(inputs.len());
         let mut failures = Vec::new();
         for (j, slot) in slots.into_iter().enumerate() {
@@ -327,8 +389,32 @@ pub fn verify_hop(
     if inputs.len() != outputs.len() {
         return false;
     }
-    let prod_in = GroupElement::product(inputs.iter().map(|e| &e.dh));
-    let prod_out = GroupElement::product(outputs.iter().map(|e| &e.dh));
+    verify_hop_keys(
+        public,
+        position,
+        round,
+        inputs.iter().map(|e| &e.dh),
+        outputs.iter().map(|e| &e.dh),
+        proof,
+    )
+}
+
+/// [`verify_hop`] over bare DH keys.  The §6.3 aggregate attestation
+/// states a relation between the *products of the DH keys* only — the
+/// ciphertexts never enter the proof statement — so a verifier that
+/// receives just the input/output key columns (what the streamed wire
+/// protocol ships, ~8× fewer bytes than full entries) checks exactly
+/// the same statement as one holding full entries.
+pub fn verify_hop_keys<'a>(
+    public: &ChainPublicKeys,
+    position: usize,
+    round: u64,
+    input_dhs: impl Iterator<Item = &'a GroupElement>,
+    output_dhs: impl Iterator<Item = &'a GroupElement>,
+    proof: &DleqProof,
+) -> bool {
+    let prod_in = GroupElement::product(input_dhs);
+    let prod_out = GroupElement::product(output_dhs);
     proof.verify(
         &hop_context(round, position),
         &prod_in,
@@ -585,9 +671,10 @@ mod tests {
             .collect();
         let server = MixServer::new(secrets.into_iter().next().unwrap(), public);
         let entries: Vec<MixEntry> = subs.iter().map(|s| s.to_entry()).collect();
+        let kernel = server.chunk_kernel(round);
         let expected: Vec<Option<MixEntry>> = entries
             .chunks(5) // deliberately different chunking than the workers
-            .flat_map(|chunk| server.process_chunk(round, chunk))
+            .flat_map(|chunk| kernel.process(chunk))
             .collect();
         // Re-run through process_round (parallel for this size) and undo
         // the shuffle via the recorded permutation.

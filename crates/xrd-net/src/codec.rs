@@ -108,6 +108,13 @@ const TAG_HOP_OUTPUT: u8 = 0x21;
 const TAG_HOP_FAILURE: u8 = 0x22;
 const TAG_VERIFY_HOP: u8 = 0x23;
 const TAG_VERIFY_RESULT: u8 = 0x24;
+const TAG_MIX_BATCH_START: u8 = 0x25;
+const TAG_MIX_BATCH_CHUNK: u8 = 0x26;
+const TAG_MIX_BATCH_END: u8 = 0x27;
+const TAG_HOP_OUTPUT_START: u8 = 0x28;
+const TAG_HOP_OUTPUT_CHUNK: u8 = 0x29;
+const TAG_HOP_OUTPUT_END: u8 = 0x2A;
+const TAG_VERIFY_HOP_KEYS: u8 = 0x2B;
 const TAG_REVEAL_INNER_KEY: u8 = 0x30;
 const TAG_INNER_KEY_REVEAL: u8 = 0x31;
 const TAG_PREPARE_ROTATION: u8 = 0x32;
@@ -240,6 +247,76 @@ pub enum Frame {
     VerifyResult {
         /// Whether the attestation verified.
         ok: bool,
+    },
+
+    /// Open a *streamed* hop: the batch for `round` will arrive as
+    /// [`Frame::MixBatchChunk`]s totalling `total` entries, closed by
+    /// [`Frame::MixBatchEnd`] (coordinator → mix).  The daemon starts
+    /// hop crypto on each chunk as it lands, while later chunks are
+    /// still in flight; the response is a [`Frame::HopOutputStart`]
+    /// stream (or [`Frame::HopFailure`]), emitted only after the End.
+    MixBatchStart {
+        /// Round number.
+        round: u64,
+        /// Total entries the stream will carry (≤ [`MAX_BATCH`]).
+        total: u32,
+    },
+    /// One chunk of a streamed batch, in stream order.  Payload-
+    /// compatible with [`Frame::HopOutputChunk`] (same bytes, different
+    /// tag), so a relay can forward a received output chunk to the next
+    /// hop by rewriting one byte.
+    MixBatchChunk {
+        /// The chunk's entries.
+        entries: Vec<MixEntry>,
+    },
+    /// Close a streamed batch.  `digest` is the [`StreamDigest`] over
+    /// every entry shipped, in stream order; a receiver whose own
+    /// running digest disagrees rejects the whole stream.
+    MixBatchEnd {
+        /// Stream digest over all entries.
+        digest: [u8; 32],
+    },
+    /// Start of a streamed hop response: `total` shuffled output
+    /// entries follow as [`Frame::HopOutputChunk`]s, closed by
+    /// [`Frame::HopOutputEnd`].
+    HopOutputStart {
+        /// Round number.
+        round: u64,
+        /// The prover's hop position.
+        position: u32,
+        /// Total entries the stream will carry.
+        total: u32,
+    },
+    /// One chunk of a streamed hop output (see [`Frame::MixBatchChunk`]
+    /// for the payload-compatibility guarantee).
+    HopOutputChunk {
+        /// The chunk's entries.
+        entries: Vec<MixEntry>,
+    },
+    /// End of a streamed hop response: the stream digest over the
+    /// output entries plus the hop's aggregate blinding attestation.
+    HopOutputEnd {
+        /// Stream digest over all output entries.
+        digest: [u8; 32],
+        /// Aggregate blinding attestation (§6.3 step 3).
+        proof: DleqProof,
+    },
+    /// [`Frame::VerifyHop`] shipping only the DH-key columns.  The
+    /// §6.3 attestation binds products of the DH keys — ciphertexts
+    /// never enter the statement — so this checks the same relation at
+    /// ~1/8 the wire cost.  The streamed round path uses it for its
+    /// end-of-chain cross-server verification.
+    VerifyHopKeys {
+        /// Round number.
+        round: u64,
+        /// The *prover's* position.
+        position: u32,
+        /// DH keys of the prover's inputs, in arrival order.
+        input_dhs: Vec<GroupElement>,
+        /// DH keys of the prover's outputs, in emission order.
+        output_dhs: Vec<GroupElement>,
+        /// The aggregate proof to check.
+        proof: DleqProof,
     },
 
     /// Ask a server to reveal its per-round inner key (after the last
@@ -412,6 +489,13 @@ impl Writer {
         }
     }
 
+    fn groups(&mut self, points: &[GroupElement]) {
+        self.seq_len(points.len());
+        for enc in GroupElement::batch_encode(points) {
+            self.raw(&enc);
+        }
+    }
+
     fn submission(&mut self, s: &Submission) {
         self.group(&s.dh);
         self.schnorr(&s.pok);
@@ -541,6 +625,11 @@ impl<'a> Reader<'a> {
     fn mix_entries(&mut self) -> Result<Vec<MixEntry>, CodecError> {
         let n = self.seq_len()?;
         (0..n).map(|_| self.mix_entry()).collect()
+    }
+
+    fn groups(&mut self) -> Result<Vec<GroupElement>, CodecError> {
+        let n = self.seq_len()?;
+        (0..n).map(|_| self.group()).collect()
     }
 
     fn submission(&mut self) -> Result<Submission, CodecError> {
@@ -753,6 +842,59 @@ impl Frame {
                 w.u8(*ok as u8);
                 w
             }
+            Frame::MixBatchStart { round, total } => {
+                let mut w = Writer::new(TAG_MIX_BATCH_START);
+                w.u64(*round);
+                w.u32(*total);
+                w
+            }
+            Frame::MixBatchChunk { entries } => {
+                let mut w = Writer::new(TAG_MIX_BATCH_CHUNK);
+                w.mix_entries(entries);
+                w
+            }
+            Frame::MixBatchEnd { digest } => {
+                let mut w = Writer::new(TAG_MIX_BATCH_END);
+                w.raw(digest);
+                w
+            }
+            Frame::HopOutputStart {
+                round,
+                position,
+                total,
+            } => {
+                let mut w = Writer::new(TAG_HOP_OUTPUT_START);
+                w.u64(*round);
+                w.u32(*position);
+                w.u32(*total);
+                w
+            }
+            Frame::HopOutputChunk { entries } => {
+                let mut w = Writer::new(TAG_HOP_OUTPUT_CHUNK);
+                w.mix_entries(entries);
+                w
+            }
+            Frame::HopOutputEnd { digest, proof } => {
+                let mut w = Writer::new(TAG_HOP_OUTPUT_END);
+                w.raw(digest);
+                w.dleq(proof);
+                w
+            }
+            Frame::VerifyHopKeys {
+                round,
+                position,
+                input_dhs,
+                output_dhs,
+                proof,
+            } => {
+                let mut w = Writer::new(TAG_VERIFY_HOP_KEYS);
+                w.u64(*round);
+                w.u32(*position);
+                w.groups(input_dhs);
+                w.groups(output_dhs);
+                w.dleq(proof);
+                w
+            }
             Frame::RevealInnerKey { round } => {
                 let mut w = Writer::new(TAG_REVEAL_INNER_KEY);
                 w.u64(*round);
@@ -916,6 +1058,35 @@ impl Frame {
                     _ => return Err(CodecError::BadLength),
                 },
             },
+            TAG_MIX_BATCH_START => Frame::MixBatchStart {
+                round: r.u64()?,
+                total: r.u32()?,
+            },
+            TAG_MIX_BATCH_CHUNK => Frame::MixBatchChunk {
+                entries: r.mix_entries()?,
+            },
+            TAG_MIX_BATCH_END => Frame::MixBatchEnd {
+                digest: r.array32()?,
+            },
+            TAG_HOP_OUTPUT_START => Frame::HopOutputStart {
+                round: r.u64()?,
+                position: r.u32()?,
+                total: r.u32()?,
+            },
+            TAG_HOP_OUTPUT_CHUNK => Frame::HopOutputChunk {
+                entries: r.mix_entries()?,
+            },
+            TAG_HOP_OUTPUT_END => Frame::HopOutputEnd {
+                digest: r.array32()?,
+                proof: r.dleq()?,
+            },
+            TAG_VERIFY_HOP_KEYS => Frame::VerifyHopKeys {
+                round: r.u64()?,
+                position: r.u32()?,
+                input_dhs: r.groups()?,
+                output_dhs: r.groups()?,
+                proof: r.dleq()?,
+            },
             TAG_REVEAL_INNER_KEY => Frame::RevealInnerKey { round: r.u64()? },
             TAG_INNER_KEY_REVEAL => Frame::InnerKeyReveal {
                 position: r.u32()?,
@@ -1015,6 +1186,415 @@ pub fn decode_server_config(
 }
 
 // ---------------------------------------------------------------------
+// Streamed batches: digest, builder, assembler
+// ---------------------------------------------------------------------
+
+/// The running digest a streamed batch is closed with
+/// ([`Frame::MixBatchEnd`] / [`Frame::HopOutputEnd`]): Blake2b-256 over
+/// the canonical wire encoding of every entry, in stream order.
+///
+/// Chunking-invariant by construction — the absorbed byte stream is the
+/// concatenation of per-entry encodings (`dh ‖ u32 ct-len ‖ ct`), which
+/// is independent of how the entries were cut into chunks.  A sender
+/// or relay that holds the encoded chunk frames absorbs their payload
+/// bytes for free ([`StreamDigest::absorb_chunk_payload`]); a receiver
+/// that only holds decoded entries re-derives the same bytes
+/// ([`StreamDigest::absorb_entries`], one batched encoding pass).
+///
+/// This is a *transport* integrity check (truncated, duplicated or
+/// re-ordered chunks fail fast, before any blame machinery engages);
+/// Byzantine tampering is caught by the hop attestations and the AEAD
+/// layers regardless.
+pub struct StreamDigest {
+    h: xrd_crypto::Blake2b,
+}
+
+impl Default for StreamDigest {
+    fn default() -> StreamDigest {
+        StreamDigest::new()
+    }
+}
+
+impl StreamDigest {
+    /// A fresh digest (domain-separated from every other hash in XRD).
+    pub fn new() -> StreamDigest {
+        let mut h = xrd_crypto::Blake2b::new(32);
+        h.update(b"xrd/stream-batch");
+        StreamDigest { h }
+    }
+
+    /// Absorb entries by re-deriving their canonical encodings (one
+    /// batched group-encoding pass for the chunk).
+    pub fn absorb_entries(&mut self, entries: &[MixEntry]) {
+        let dhs: Vec<GroupElement> = entries.iter().map(|e| e.dh).collect();
+        let encodings = GroupElement::batch_encode(&dhs);
+        for (e, enc) in entries.iter().zip(&encodings) {
+            self.h.update(enc);
+            self.h.update(&(e.ct.len() as u32).to_le_bytes());
+            self.h.update(&e.ct);
+        }
+    }
+
+    /// Absorb the payload bytes of an already-encoded chunk frame (the
+    /// bytes after the tag and entry count — see
+    /// [`ChunkedBatch::CHUNK_PAYLOAD_OFFSET`]).  Byte-identical to
+    /// [`StreamDigest::absorb_entries`] on the decoded entries, because
+    /// the wire only ever carries canonical encodings.
+    pub fn absorb_chunk_payload(&mut self, payload: &[u8]) {
+        self.h.update(payload);
+    }
+
+    /// The 32-byte stream digest.
+    pub fn finalize(self) -> [u8; 32] {
+        self.h.finalize_32()
+    }
+}
+
+/// Why a chunked batch stream failed to assemble.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StreamError {
+    /// The Start frame's round does not match the round the receiver
+    /// is assembling for.
+    WrongRound {
+        /// Round the Start frame declared.
+        got: u64,
+        /// Round the receiver expected.
+        want: u64,
+    },
+    /// The Start frame declared more entries than [`MAX_BATCH`].
+    TooLarge {
+        /// Declared entry total.
+        declared: usize,
+    },
+    /// Chunks carried more entries than the Start frame declared.
+    Overrun {
+        /// Entries received so far (after the offending chunk).
+        received: usize,
+        /// The declared total.
+        total: usize,
+    },
+    /// The End frame arrived before the declared total was received.
+    Incomplete {
+        /// Entries received.
+        received: usize,
+        /// The declared total.
+        total: usize,
+    },
+    /// The End frame's digest does not match the running digest over
+    /// the received entries.
+    DigestMismatch,
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::WrongRound { got, want } => {
+                write!(f, "stream for round {got}, expected round {want}")
+            }
+            StreamError::TooLarge { declared } => {
+                write!(f, "stream declares {declared} entries, cap {MAX_BATCH}")
+            }
+            StreamError::Overrun { received, total } => {
+                write!(f, "stream overran: {received} entries of {total} declared")
+            }
+            StreamError::Incomplete { received, total } => {
+                write!(f, "stream ended early: {received} entries of {total}")
+            }
+            StreamError::DigestMismatch => write!(f, "stream digest mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// A batch cut into encoded streaming frames: one
+/// [`Frame::MixBatchStart`], the [`Frame::MixBatchChunk`]s, and the
+/// closing [`Frame::MixBatchEnd`] carrying the stream digest — the
+/// sender half of a streamed hop.
+///
+/// Building encodes each entry exactly once and derives the digest
+/// from the already-encoded chunk payloads, so streaming costs the
+/// sender no more encoding work than one monolithic
+/// [`Frame::MixBatch`] would.
+///
+/// ```
+/// use xrd_net::codec::{ChunkedBatch, BatchAssembler, Frame};
+/// use xrd_mixnet::message::MixEntry;
+/// use xrd_crypto::{GroupElement, Scalar};
+///
+/// let entries: Vec<MixEntry> = (1..=5u64)
+///     .map(|i| MixEntry {
+///         dh: GroupElement::base_mul(&Scalar::from_u64(i)),
+///         ct: vec![i as u8; 8],
+///     })
+///     .collect();
+///
+/// // Sender: cut the batch into 2-entry chunks.
+/// let stream = ChunkedBatch::build(7, &entries, 2);
+/// assert_eq!(stream.frames().len(), 2 + entries.len().div_ceil(2));
+///
+/// // Receiver: reassemble — any chunking yields the same batch.
+/// let mut assembler: Option<BatchAssembler> = None;
+/// let mut rebuilt = None;
+/// for bytes in stream.frames() {
+///     match Frame::decode(&bytes[4..]).unwrap() {
+///         Frame::MixBatchStart { round, total } => {
+///             assembler = Some(BatchAssembler::begin(round, total).unwrap());
+///         }
+///         Frame::MixBatchChunk { entries } => {
+///             assembler.as_mut().unwrap().absorb(entries).unwrap();
+///         }
+///         Frame::MixBatchEnd { digest } => {
+///             rebuilt = Some(assembler.take().unwrap().finish(digest).unwrap());
+///         }
+///         other => panic!("unexpected {other:?}"),
+///     }
+/// }
+/// assert_eq!(rebuilt.unwrap(), entries);
+/// ```
+pub struct ChunkedBatch {
+    frames: Vec<Vec<u8>>,
+    digest: [u8; 32],
+    total: usize,
+}
+
+impl ChunkedBatch {
+    /// Offset of the digest-relevant payload inside an encoded chunk
+    /// frame: 4-byte length prefix + 1-byte tag + 4-byte entry count.
+    pub const CHUNK_PAYLOAD_OFFSET: usize = 9;
+
+    /// Cut `entries` into `chunk_size`-entry streaming frames for
+    /// `round`.  `chunk_size` is clamped to `1..=MAX_BATCH`; the batch
+    /// itself must fit [`MAX_BATCH`].
+    pub fn build(round: u64, entries: &[MixEntry], chunk_size: usize) -> ChunkedBatch {
+        assert!(entries.len() <= MAX_BATCH, "batch exceeds MAX_BATCH");
+        let (chunks, digest) = encode_chunk_frames(TAG_MIX_BATCH_CHUNK, entries, chunk_size);
+        let mut frames = Vec::with_capacity(2 + chunks.len());
+        frames.push(
+            Frame::MixBatchStart {
+                round,
+                total: entries.len() as u32,
+            }
+            .encode(),
+        );
+        frames.extend(chunks);
+        frames.push(Frame::MixBatchEnd { digest }.encode());
+        ChunkedBatch {
+            frames,
+            digest,
+            total: entries.len(),
+        }
+    }
+
+    /// The encoded frames (length prefix included), in send order.
+    pub fn frames(&self) -> &[Vec<u8>] {
+        &self.frames
+    }
+
+    /// The stream digest the End frame carries.
+    pub fn digest(&self) -> [u8; 32] {
+        self.digest
+    }
+
+    /// Total entries across all chunks.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+/// The receiver half of a streamed batch: created from a Start frame,
+/// fed each chunk's entries in arrival order, closed against the End
+/// frame's digest.  Enforces the declared total and the running
+/// digest, so any truncated, duplicated, over-long or re-ordered
+/// stream errors out cleanly instead of assembling a wrong batch.
+pub struct BatchAssembler {
+    round: u64,
+    total: usize,
+    entries: Vec<MixEntry>,
+    digest: StreamDigest,
+}
+
+impl BatchAssembler {
+    /// Begin assembling a stream declared as `total` entries for
+    /// `round` (from [`Frame::MixBatchStart`] /
+    /// [`Frame::HopOutputStart`] fields).
+    pub fn begin(round: u64, total: u32) -> Result<BatchAssembler, StreamError> {
+        let total = total as usize;
+        if total > MAX_BATCH {
+            return Err(StreamError::TooLarge { declared: total });
+        }
+        Ok(BatchAssembler {
+            round,
+            total,
+            entries: Vec::with_capacity(total),
+            digest: StreamDigest::new(),
+        })
+    }
+
+    /// [`BatchAssembler::begin`], additionally checking the stream's
+    /// declared round against the round the receiver is running.
+    pub fn begin_for_round(
+        round: u64,
+        total: u32,
+        want: u64,
+    ) -> Result<BatchAssembler, StreamError> {
+        if round != want {
+            return Err(StreamError::WrongRound { got: round, want });
+        }
+        BatchAssembler::begin(round, total)
+    }
+
+    /// The round this stream belongs to.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The declared entry total.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Entries received so far.
+    pub fn received(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Absorb one chunk.  Returns the chunk's start index within the
+    /// assembled batch (so callers can hand the exact slice to a
+    /// worker while the stream continues).
+    pub fn absorb(&mut self, entries: Vec<MixEntry>) -> Result<usize, StreamError> {
+        self.digest.absorb_entries(&entries);
+        self.absorb_predigested(entries)
+    }
+
+    /// [`BatchAssembler::absorb`] for callers that already hold the
+    /// chunk's raw payload bytes (a relay): absorbs those into the
+    /// digest instead of re-encoding the entries.  The caller is
+    /// responsible for `payload` actually being the encoding of
+    /// `entries` (true by construction when both came off one frame).
+    pub fn absorb_raw(
+        &mut self,
+        entries: Vec<MixEntry>,
+        payload: &[u8],
+    ) -> Result<usize, StreamError> {
+        self.digest.absorb_chunk_payload(payload);
+        self.absorb_predigested(entries)
+    }
+
+    fn absorb_predigested(&mut self, entries: Vec<MixEntry>) -> Result<usize, StreamError> {
+        let start = self.entries.len();
+        if start + entries.len() > self.total {
+            return Err(StreamError::Overrun {
+                received: start + entries.len(),
+                total: self.total,
+            });
+        }
+        self.entries.extend(entries);
+        Ok(start)
+    }
+
+    /// The entries assembled so far (in stream order).
+    pub fn assembled(&self) -> &[MixEntry] {
+        &self.entries
+    }
+
+    /// Close the stream against the End frame's digest, yielding the
+    /// full batch.
+    pub fn finish(self, digest: [u8; 32]) -> Result<Vec<MixEntry>, StreamError> {
+        if self.entries.len() != self.total {
+            return Err(StreamError::Incomplete {
+                received: self.entries.len(),
+                total: self.total,
+            });
+        }
+        if self.digest.finalize() != digest {
+            return Err(StreamError::DigestMismatch);
+        }
+        Ok(self.entries)
+    }
+}
+
+/// Encode `entries` as a run of `tag`-framed chunk frames, returning
+/// the encoded frames and the [`StreamDigest`] over their payloads —
+/// the one loop both chunk-stream producers
+/// ([`ChunkedBatch::build`], [`encode_hop_output_stream`]) share, so
+/// the payload layout and digest discipline cannot diverge.
+fn encode_chunk_frames(
+    tag: u8,
+    entries: &[MixEntry],
+    chunk_size: usize,
+) -> (Vec<Vec<u8>>, [u8; 32]) {
+    let chunk_size = chunk_size.clamp(1, MAX_BATCH);
+    let mut frames = Vec::with_capacity(entries.len().div_ceil(chunk_size));
+    let mut digest = StreamDigest::new();
+    for chunk in entries.chunks(chunk_size) {
+        let mut w = Writer::new(tag);
+        w.mix_entries(chunk);
+        let encoded = w.finish();
+        digest.absorb_chunk_payload(&encoded[ChunkedBatch::CHUNK_PAYLOAD_OFFSET..]);
+        frames.push(encoded);
+    }
+    (frames, digest.finalize())
+}
+
+/// Default entries per streamed chunk.  Small enough that the first
+/// chunk of a hop's output reaches the next hop (and its crypto
+/// starts) long before the last chunk is even encoded; large enough
+/// that per-chunk overheads (frame header, digest update, one job
+/// dispatch) stay well under 1% of the chunk's kernel cost.
+pub const STREAM_CHUNK: usize = 64;
+
+/// Encode a streamed hop response — [`Frame::HopOutputStart`], the
+/// [`Frame::HopOutputChunk`]s, and the closing [`Frame::HopOutputEnd`]
+/// carrying the stream digest plus the hop's aggregate attestation —
+/// as one contiguous byte string (what a deferred daemon job hands
+/// back to the reactor).  Each entry is encoded exactly once; the
+/// digest is derived from the encoded payloads.
+pub fn encode_hop_output_stream(
+    round: u64,
+    position: u32,
+    outputs: &[MixEntry],
+    proof: &DleqProof,
+    chunk_size: usize,
+) -> Vec<u8> {
+    let (chunks, digest) = encode_chunk_frames(TAG_HOP_OUTPUT_CHUNK, outputs, chunk_size);
+    let mut wire = Frame::HopOutputStart {
+        round,
+        position,
+        total: outputs.len() as u32,
+    }
+    .encode();
+    for chunk in &chunks {
+        wire.extend_from_slice(chunk);
+    }
+    wire.extend_from_slice(
+        &Frame::HopOutputEnd {
+            digest,
+            proof: *proof,
+        }
+        .encode(),
+    );
+    wire
+}
+
+/// Rewrite a received [`Frame::HopOutputChunk`] *body* (tag byte plus
+/// payload, as handed back by the raw receive path) into a complete
+/// [`Frame::MixBatchChunk`] wire frame for the next hop — the relay's
+/// forward path.  The two chunk frames are payload-compatible by
+/// construction, so forwarding costs one byte rewrite and no
+/// re-encoding.  Returns `None` if `body` is not a hop-output chunk.
+pub fn reframe_output_chunk(body: &[u8]) -> Option<Vec<u8>> {
+    if body.first() != Some(&TAG_HOP_OUTPUT_CHUNK) {
+        return None;
+    }
+    let mut wire = Vec::with_capacity(4 + body.len());
+    wire.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    wire.push(TAG_MIX_BATCH_CHUNK);
+    wire.extend_from_slice(&body[1..]);
+    Some(wire)
+}
+
+// ---------------------------------------------------------------------
 // Incremental decoding
 // ---------------------------------------------------------------------
 
@@ -1035,6 +1615,26 @@ pub fn decode_server_config(
 /// * a bad *length prefix* (zero or over [`MAX_FRAME_LEN`]) means the
 ///   stream is desynchronized; the decoder latches the error and
 ///   reports it from every subsequent [`FrameDecoder::try_frame`].
+///
+/// ```
+/// use xrd_net::codec::{Frame, FrameDecoder};
+///
+/// let wire: Vec<u8> = [Frame::Ping, Frame::OpenRound { round: 4 }]
+///     .iter()
+///     .flat_map(|f| f.encode())
+///     .collect();
+///
+/// let mut decoder = FrameDecoder::new();
+/// decoder.feed(&wire[..3]); // a partial length prefix…
+/// assert!(decoder.try_frame().is_none()); // …is not a frame yet
+/// decoder.feed(&wire[3..]);
+/// assert_eq!(decoder.try_frame().unwrap().unwrap(), Frame::Ping);
+/// assert_eq!(
+///     decoder.try_frame().unwrap().unwrap(),
+///     Frame::OpenRound { round: 4 }
+/// );
+/// assert!(decoder.try_frame().is_none());
+/// ```
 #[derive(Debug, Default)]
 pub struct FrameDecoder {
     buf: Vec<u8>,
@@ -1116,6 +1716,20 @@ pub fn read_frame<R: std::io::Read>(
 pub fn read_frame_with_len<R: std::io::Read>(
     stream: &mut R,
 ) -> std::io::Result<Option<Result<(Frame, u64), CodecError>>> {
+    Ok(
+        read_frame_with_body(stream)?
+            .map(|r| r.map(|(frame, body)| (frame, 4 + body.len() as u64))),
+    )
+}
+
+/// [`read_frame`], additionally returning the frame's *body* bytes
+/// (tag plus payload, without the length prefix) — for relays that
+/// forward a frame's payload verbatim (see [`reframe_output_chunk`])
+/// or digest it without re-encoding.
+#[allow(clippy::type_complexity)] // mirrors read_frame_with_len's shape
+pub fn read_frame_with_body<R: std::io::Read>(
+    stream: &mut R,
+) -> std::io::Result<Option<Result<(Frame, Vec<u8>), CodecError>>> {
     let mut len_bytes = [0u8; 4];
     let mut filled = 0;
     while filled < 4 {
@@ -1139,9 +1753,7 @@ pub fn read_frame_with_len<R: std::io::Read>(
     }
     let mut body = vec![0u8; len];
     stream.read_exact(&mut body)?;
-    Ok(Some(
-        Frame::decode(&body).map(|frame| (frame, 4 + len as u64)),
-    ))
+    Ok(Some(Frame::decode(&body).map(|frame| (frame, body))))
 }
 
 /// Write one frame to a stream (blocking).  Refuses (with

@@ -14,6 +14,13 @@
 //! `MixBatch`): the daemon stops reading until that response drains,
 //! and a client still blocked in `send` never reaches `recv` — both
 //! sides would wait on full buffers forever.
+//!
+//! Streamed batches (`MixBatchStart/Chunk…/End`) are the sanctioned
+//! exception to the one-request-one-response shape: many request
+//! frames, one multi-frame response that begins only after the End —
+//! so the sender never competes with its own response stream.  These
+//! rules are spec, not implementation detail: see `docs/PROTOCOL.md`
+//! §6 ("Connection semantics, backpressure and pipelining").
 
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -135,6 +142,32 @@ impl Conn {
                 Ok(frame)
             }
         }
+    }
+
+    /// Await one frame, also returning its raw *body* bytes (tag plus
+    /// payload) — what a relay needs to forward the frame's payload to
+    /// another daemon verbatim, or to digest it without re-encoding
+    /// (see [`crate::codec::reframe_output_chunk`]).
+    pub fn recv_with_body(&mut self) -> Result<(Frame, Vec<u8>), NetError> {
+        match crate::codec::read_frame_with_body(&mut self.reader)? {
+            None => Err(NetError::Disconnected),
+            Some(Err(e)) => Err(e.into()),
+            Some(Ok((frame, body))) => {
+                self.bytes_received += 4 + body.len() as u64;
+                Ok((frame, body))
+            }
+        }
+    }
+
+    /// Fire pre-encoded wire bytes (one or more complete frames,
+    /// length prefixes included) without awaiting responses — the send
+    /// half of the relay's raw-forward path, and of streamed batches
+    /// built once with [`crate::codec::ChunkedBatch`].
+    pub fn send_encoded(&mut self, bytes: &[u8]) -> Result<(), NetError> {
+        self.bytes_sent += bytes.len() as u64;
+        self.writer.write_all(bytes)?;
+        self.writer.flush()?;
+        Ok(())
     }
 
     /// One request/response exchange.  [`Frame::Error`] responses are

@@ -21,6 +21,21 @@
 //! The coordinator holds no key material beyond the public bundle; in a
 //! real deployment this role is played by the servers gossiping among
 //! themselves, and any party can replay the coordinator's checks.
+//!
+//! # Streamed hops
+//!
+//! Large batches are shipped as *chunk streams* ([`Transport`]): the
+//! coordinator cuts the hop-0 batch into `MixBatchChunk`s, and as each
+//! hop's output chunks come back it forwards them to the next hop
+//! **verbatim** (a one-byte tag rewrite, no re-encode) before the
+//! producing hop has finished emitting — the chain becomes a pipeline
+//! whose per-hop serial cost is the shuffle + proof, not the whole
+//! transfer.  Cross-server attestation checks then move to the end of
+//! the chain (they would otherwise re-serialize the pipeline) and ship
+//! only the DH-key columns ([`Frame::VerifyHopKeys`]); nothing is
+//! revealed or delivered until every hop has verified, so the security
+//! outcome is unchanged — inner keys stay sealed unless the whole
+//! chain checks out, exactly as in the whole-batch path.
 
 use std::net::SocketAddr;
 
@@ -35,8 +50,33 @@ use xrd_mixnet::server::{
 };
 use xrd_mixnet::{ChainRoundOutcome, ChainRoundStats};
 
-use crate::codec::Frame;
+use crate::codec::{reframe_output_chunk, BatchAssembler, ChunkedBatch, Frame, STREAM_CHUNK};
 use crate::conn::{Conn, NetError};
+
+/// How the coordinator ships batches hop to hop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transport {
+    /// Stream batches of at least [`Transport::AUTO_STREAM_MIN`]
+    /// entries, ship smaller ones whole (the default).
+    Auto,
+    /// Always one monolithic [`Frame::MixBatch`] per hop, with
+    /// per-hop cross-server verification — the pre-streaming wire
+    /// behavior, kept for small batches and backward compatibility.
+    Whole,
+    /// Always stream, in chunks of the given entry count (clamped to
+    /// ≥ 1; [`STREAM_CHUNK`] is the tuned default).
+    Streamed {
+        /// Entries per [`Frame::MixBatchChunk`].
+        chunk: usize,
+    },
+}
+
+impl Transport {
+    /// Smallest batch [`Transport::Auto`] streams: below two chunks
+    /// there is no pipeline to overlap, and the whole-batch path has
+    /// one fewer round trip.
+    pub const AUTO_STREAM_MIN: usize = 2 * STREAM_CHUNK;
+}
 
 /// Coordinator-side handle for one chain: persistent connections to its
 /// `k` mix daemons plus the active/pending key bundles.
@@ -44,6 +84,14 @@ pub struct ChainClient {
     conns: Vec<Conn>,
     public: ChainPublicKeys,
     pending: Option<ChainPublicKeys>,
+    transport: Transport,
+}
+
+/// What a hop failure resolved to: retry the mix with the convicted
+/// users removed, or abort the chain (a server misbehaved).
+enum FailureVerdict {
+    Retry,
+    Abort,
 }
 
 impl ChainClient {
@@ -58,7 +106,14 @@ impl ChainClient {
             conns,
             public,
             pending: None,
+            transport: Transport::Auto,
         })
+    }
+
+    /// Select how this chain ships batches hop to hop (default
+    /// [`Transport::Auto`]).
+    pub fn set_transport(&mut self, transport: Transport) {
+        self.transport = transport;
     }
 
     /// Chain length `k`.
@@ -143,8 +198,31 @@ impl ChainClient {
 
     /// Drive the mixing/blame/reveal phases for an agreed batch and
     /// return the outcome (delivered messages still need mailbox
-    /// delivery, which is deployment-level).
+    /// delivery, which is deployment-level).  Ships batches per the
+    /// configured [`Transport`].
     pub fn mix_round(
+        &mut self,
+        round: u64,
+        submissions: &[Submission],
+    ) -> Result<ChainRoundOutcome, NetError> {
+        match self.transport {
+            Transport::Whole => self.mix_round_whole(round, submissions),
+            Transport::Streamed { chunk } => self.mix_round_streamed(round, submissions, chunk),
+            Transport::Auto => {
+                if submissions.len() >= Transport::AUTO_STREAM_MIN {
+                    self.mix_round_streamed(round, submissions, STREAM_CHUNK)
+                } else {
+                    self.mix_round_whole(round, submissions)
+                }
+            }
+        }
+    }
+
+    /// [`ChainClient::mix_round`] over monolithic [`Frame::MixBatch`]s
+    /// with per-hop cross-server verification — each hop is fully
+    /// transferred, fully computed, fully verified before the next
+    /// begins.
+    pub fn mix_round_whole(
         &mut self,
         round: u64,
         submissions: &[Submission],
@@ -253,46 +331,28 @@ impl ChainClient {
                                 "hop failure for wrong round/position".into(),
                             ));
                         }
-                        stats.blame_rounds += 1;
-                        let active_subs: Vec<Submission> =
-                            active.iter().map(|&i| submissions[i].clone()).collect();
-                        let mut to_remove = Vec::new();
-                        for idx in failed {
-                            match self.run_blame_over_wire(
-                                round,
-                                pos,
-                                idx as usize,
-                                &active_subs,
-                            )? {
-                                BlameVerdict::MaliciousUser { submission_index } => {
-                                    to_remove.push(active[submission_index]);
-                                }
-                                BlameVerdict::ServerMisbehaved { position } => {
-                                    misbehaving_servers.push(position);
-                                }
-                            }
-                        }
-                        if !misbehaving_servers.is_empty() {
+                        match self.resolve_hop_failure(
+                            round,
+                            pos,
+                            failed,
+                            submissions,
+                            &mut active,
+                            &mut malicious_users,
+                            &mut misbehaving_servers,
+                            &mut stats,
+                        )? {
                             // A malicious server: halt with nothing
                             // delivered (§6.4).
-                            return Ok(ChainRoundOutcome {
-                                delivered: Vec::new(),
-                                malicious_users,
-                                misbehaving_servers,
-                                stats,
-                            });
+                            FailureVerdict::Abort => {
+                                return Ok(ChainRoundOutcome {
+                                    delivered: Vec::new(),
+                                    malicious_users,
+                                    misbehaving_servers,
+                                    stats,
+                                })
+                            }
+                            FailureVerdict::Retry => continue 'retry,
                         }
-                        if to_remove.is_empty() {
-                            return Err(NetError::Protocol(
-                                "blame identified no party for a failed slot".into(),
-                            ));
-                        }
-                        stats.removed_by_blame += to_remove.len();
-                        for bad in to_remove {
-                            malicious_users.push(bad);
-                            active.retain(|&i| i != bad);
-                        }
-                        continue 'retry;
                     }
                     other => {
                         return Err(NetError::Protocol(format!(
@@ -303,6 +363,279 @@ impl ChainClient {
             }
             break entries;
         };
+
+        self.conclude_round(
+            round,
+            hop_audit,
+            final_entries,
+            malicious_users,
+            misbehaving_servers,
+            stats,
+        )
+    }
+
+    /// [`ChainClient::mix_round`] as a chunked pipeline: hop `i+1`
+    /// receives (and starts decrypting) hop `i`'s output chunks while
+    /// hop `i` is still emitting later ones.  Output chunks are
+    /// forwarded *verbatim* (one-byte tag rewrite) — the relay decodes
+    /// each chunk once for its own audit but never re-encodes it.
+    /// Cross-server verification runs at end of chain over DH-key
+    /// columns only ([`Frame::VerifyHopKeys`]); the reveal still
+    /// happens only after every check passes.
+    pub fn mix_round_streamed(
+        &mut self,
+        round: u64,
+        submissions: &[Submission],
+        chunk: usize,
+    ) -> Result<ChainRoundOutcome, NetError> {
+        let k = self.conns.len();
+        let mut stats = ChainRoundStats::default();
+        let mut malicious_users: Vec<usize> = Vec::new();
+        let mut misbehaving_servers: Vec<usize> = Vec::new();
+        let mut active: Vec<usize> = (0..submissions.len()).collect();
+        let mut hop_audit: Vec<(usize, Vec<MixEntry>, Vec<MixEntry>, DleqProof)> = Vec::new();
+
+        // Mixing with blame-retry: repeat until a clean pass (§6.4).
+        let final_entries: Vec<MixEntry> = 'retry: loop {
+            hop_audit.clear();
+            let entries: Vec<MixEntry> =
+                active.iter().map(|&i| submissions[i].to_entry()).collect();
+
+            // Open the pipeline: hop 0's request stream, encoded once.
+            let stream = ChunkedBatch::build(round, &entries, chunk);
+            for bytes in stream.frames() {
+                self.conns[0].send_encoded(bytes)?;
+            }
+
+            // `current` is the batch entering the hop being received.
+            let mut current = entries;
+            for pos in 0..k {
+                match self.conns[pos].recv_with_body()? {
+                    (
+                        Frame::HopOutputStart {
+                            round: r,
+                            position,
+                            total,
+                        },
+                        _,
+                    ) => {
+                        if r != round || position as usize != pos {
+                            return Err(NetError::Protocol(
+                                "hop output for wrong round/position".into(),
+                            ));
+                        }
+                        if total as usize != current.len() {
+                            return Err(NetError::Protocol(format!(
+                                "hop {pos} answered {total} entries to a {}-entry batch",
+                                current.len()
+                            )));
+                        }
+                        // The next hop's stream opens before this one
+                        // has delivered a single chunk: the pipeline.
+                        if pos + 1 < k {
+                            self.conns[pos + 1].send(&Frame::MixBatchStart { round, total })?;
+                        }
+                        let mut assembler = BatchAssembler::begin(round, total)
+                            .map_err(|e| NetError::Protocol(format!("hop {pos}: {e}")))?;
+                        let outputs = loop {
+                            match self.conns[pos].recv_with_body()? {
+                                (Frame::HopOutputChunk { entries }, body) => {
+                                    // Forward first — the next hop's
+                                    // crypto starts while we digest.
+                                    if pos + 1 < k {
+                                        let wire = reframe_output_chunk(&body)
+                                            .expect("decoded as hop-output chunk");
+                                        self.conns[pos + 1].send_encoded(&wire)?;
+                                    }
+                                    let payload = &body[ChunkedBatch::CHUNK_PAYLOAD_OFFSET - 4..];
+                                    assembler.absorb_raw(entries, payload).map_err(|e| {
+                                        NetError::Protocol(format!("hop {pos}: {e}"))
+                                    })?;
+                                }
+                                (Frame::HopOutputEnd { digest, proof }, _) => {
+                                    let outputs = assembler.finish(digest).map_err(|e| {
+                                        NetError::Protocol(format!("hop {pos}: {e}"))
+                                    })?;
+                                    if pos + 1 < k {
+                                        self.conns[pos + 1].send(&Frame::MixBatchEnd { digest })?;
+                                    }
+                                    stats.proofs_generated += 1;
+                                    break (outputs, proof);
+                                }
+                                (other, _) => {
+                                    return Err(NetError::Protocol(format!(
+                                        "expected HopOutputChunk/End, got {other:?}"
+                                    )))
+                                }
+                            }
+                        };
+                        let (outputs, proof) = outputs;
+                        let inputs = std::mem::replace(&mut current, outputs);
+                        hop_audit.push((pos, inputs, current.clone(), proof));
+                    }
+                    (
+                        Frame::HopFailure {
+                            round: r,
+                            position,
+                            failed,
+                        },
+                        _,
+                    ) => {
+                        if r != round || position as usize != pos {
+                            return Err(NetError::Protocol(
+                                "hop failure for wrong round/position".into(),
+                            ));
+                        }
+                        match self.resolve_hop_failure(
+                            round,
+                            pos,
+                            failed,
+                            submissions,
+                            &mut active,
+                            &mut malicious_users,
+                            &mut misbehaving_servers,
+                            &mut stats,
+                        )? {
+                            FailureVerdict::Abort => {
+                                return Ok(ChainRoundOutcome {
+                                    delivered: Vec::new(),
+                                    malicious_users,
+                                    misbehaving_servers,
+                                    stats,
+                                })
+                            }
+                            FailureVerdict::Retry => continue 'retry,
+                        }
+                    }
+                    (Frame::Error { code, message }, _) => {
+                        return Err(NetError::Remote { code, message })
+                    }
+                    (other, _) => {
+                        return Err(NetError::Protocol(format!(
+                            "expected HopOutputStart/HopFailure, got {other:?}"
+                        )))
+                    }
+                }
+            }
+            break current;
+        };
+
+        // End-of-chain cross-server verification, keys only: each
+        // hop's attestation frame is encoded once and broadcast to the
+        // other k-1 servers, all requests pipelined before any verdict
+        // is collected (responses are one byte and cannot clog).
+        let mut expected: Vec<(usize, usize)> = Vec::new(); // (verifier, prover)
+        for (pos, inputs, outputs, proof) in &hop_audit {
+            let wire = Frame::VerifyHopKeys {
+                round,
+                position: *pos as u32,
+                input_dhs: inputs.iter().map(|e| e.dh).collect(),
+                output_dhs: outputs.iter().map(|e| e.dh).collect(),
+                proof: *proof,
+            }
+            .encode();
+            for (verifier, conn) in self.conns.iter_mut().enumerate() {
+                if verifier != *pos {
+                    conn.send_encoded(&wire)?;
+                    expected.push((verifier, *pos));
+                }
+            }
+        }
+        for (verifier, prover) in expected {
+            stats.proofs_verified += 1;
+            match self.conns[verifier].recv()? {
+                Frame::VerifyResult { ok: true } => {}
+                Frame::VerifyResult { ok: false } => {
+                    // A rejection over the wire could be a bad proof
+                    // *or* a lying verifier; re-check locally and
+                    // convict the right party.
+                    let (_, inputs, outputs, proof) = &hop_audit[prover];
+                    let really_bad =
+                        !verify_hop(&self.public, prover, round, inputs, outputs, proof);
+                    misbehaving_servers.push(if really_bad { prover } else { verifier });
+                    return Ok(ChainRoundOutcome {
+                        delivered: Vec::new(),
+                        malicious_users,
+                        misbehaving_servers,
+                        stats,
+                    });
+                }
+                Frame::Error { code, message } => return Err(NetError::Remote { code, message }),
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "expected VerifyResult, got {other:?}"
+                    )))
+                }
+            }
+        }
+
+        self.conclude_round(
+            round,
+            hop_audit,
+            final_entries,
+            malicious_users,
+            misbehaving_servers,
+            stats,
+        )
+    }
+
+    /// Resolve one hop's decrypt failures through the blame protocol:
+    /// convicted users are removed from `active` (retry), a convicted
+    /// server aborts the chain.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_hop_failure(
+        &mut self,
+        round: u64,
+        pos: usize,
+        failed: Vec<u64>,
+        submissions: &[Submission],
+        active: &mut Vec<usize>,
+        malicious_users: &mut Vec<usize>,
+        misbehaving_servers: &mut Vec<usize>,
+        stats: &mut ChainRoundStats,
+    ) -> Result<FailureVerdict, NetError> {
+        stats.blame_rounds += 1;
+        let active_subs: Vec<Submission> = active.iter().map(|&i| submissions[i].clone()).collect();
+        let mut to_remove = Vec::new();
+        for idx in failed {
+            match self.run_blame_over_wire(round, pos, idx as usize, &active_subs)? {
+                BlameVerdict::MaliciousUser { submission_index } => {
+                    to_remove.push(active[submission_index]);
+                }
+                BlameVerdict::ServerMisbehaved { position } => {
+                    misbehaving_servers.push(position);
+                }
+            }
+        }
+        if !misbehaving_servers.is_empty() {
+            return Ok(FailureVerdict::Abort);
+        }
+        if to_remove.is_empty() {
+            return Err(NetError::Protocol(
+                "blame identified no party for a failed slot".into(),
+            ));
+        }
+        stats.removed_by_blame += to_remove.len();
+        for bad in to_remove {
+            malicious_users.push(bad);
+            active.retain(|&i| i != bad);
+        }
+        Ok(FailureVerdict::Retry)
+    }
+
+    /// The shared end of a clean mixing pass: the coordinator's own
+    /// batched audit of every hop attestation, the inner-key reveal,
+    /// and the envelope opening.
+    fn conclude_round(
+        &mut self,
+        round: u64,
+        hop_audit: Vec<(usize, Vec<MixEntry>, Vec<MixEntry>, DleqProof)>,
+        final_entries: Vec<MixEntry>,
+        malicious_users: Vec<usize>,
+        mut misbehaving_servers: Vec<usize>,
+        mut stats: ChainRoundStats,
+    ) -> Result<ChainRoundOutcome, NetError> {
+        let k = self.conns.len();
 
         // The coordinator re-checks every hop attestation itself in one
         // batched DLEQ verification (a single multiscalar mul instead

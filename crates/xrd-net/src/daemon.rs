@@ -13,27 +13,38 @@
 //! readiness loop over nonblocking sockets — no async runtime, no
 //! per-connection threads, no external crates.  One daemon holds
 //! thousands of concurrent submitter connections at a constant thread
-//! count; batch-boundary crypto (`MixBatch`) still fans out across the
-//! scoped-thread pool inside `MixServer::process_round`.  A
-//! [`DaemonHandle`] owns the reactor thread and shuts the daemon down
-//! when asked (or on drop).
+//! count.
+//!
+//! Batch-boundary crypto never runs on the reactor thread: `MixBatch`
+//! hops, streamed `MixBatchStart/Chunk/End` sessions and `VerifyHop`
+//! attestation checks are **deferred** to the reactor's small
+//! fixed-size worker pool (the connection's pending response slot
+//! holds its place), so the event loop keeps accepting and verifying
+//! submissions while a hop's crypto is in flight.  Streamed chunks are
+//! dispatched to the pool *as they arrive* — a hop's compute overlaps
+//! the remainder of its own transfer.  A [`DaemonHandle`] owns the
+//! reactor thread and shuts the daemon down when asked (or on drop).
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
 use xrd_core::mailbox::shard_of;
+use xrd_crypto::nizk::DleqProof;
+use xrd_crypto::ristretto::GroupElement;
 use xrd_mixnet::chain_keys::{rotation_share, ChainPublicKeys, ServerSecrets};
 use xrd_mixnet::client::Submission;
-use xrd_mixnet::message::outer_ct_len;
-use xrd_mixnet::server::{input_digest, verify_hop, MixError, MixServer};
+use xrd_mixnet::message::{outer_ct_len, MixEntry};
+use xrd_mixnet::server::{input_digest, verify_hop_keys, ChunkKernel, MixError, MixServer};
 
-use crate::codec::{error_code, Frame};
-use crate::reactor::{FrameHandler, Reactor};
+use crate::codec::{
+    encode_hop_output_stream, error_code, Frame, StreamDigest, StreamError, STREAM_CHUNK,
+};
+use crate::reactor::{service_fn, ConnId, Outcome, Reactor, Service, WorkerPool};
 
 // ---------------------------------------------------------------------
 // Generic daemon plumbing
@@ -80,11 +91,14 @@ impl Drop for DaemonHandle {
     }
 }
 
-/// Serve `handler` on `addr` from one reactor thread.  The handler maps
-/// each request frame to a response frame; [`Frame::Shutdown`] (handled
+/// Serve `service` on `addr` from one reactor thread.  The service maps
+/// each request frame to a response; [`Frame::Shutdown`] (handled
 /// by the reactor itself) additionally stops the whole daemon.
-fn spawn_daemon<A: ToSocketAddrs>(addr: A, handler: FrameHandler) -> std::io::Result<DaemonHandle> {
-    let reactor = Reactor::bind(addr, handler)?;
+fn spawn_daemon<A: ToSocketAddrs>(
+    addr: A,
+    service: Arc<dyn Service>,
+) -> std::io::Result<DaemonHandle> {
+    let reactor = Reactor::bind(addr, service)?;
     let addr = reactor.local_addr();
     let stop = reactor.stop_flag();
     let reactor_thread = std::thread::spawn(move || reactor.run());
@@ -125,8 +139,68 @@ struct MixState {
     pending_subs: Vec<Submission>,
     /// Canonical (sorted) batches per closed round.
     batches: HashMap<u64, Vec<Submission>>,
+    /// In-flight streamed hop sessions, one per connection.
+    streams: HashMap<ConnId, HopStreamSession>,
     /// Daemon-local randomness (shuffles, proofs).
     rng: StdRng,
+}
+
+/// One connection's in-flight streamed hop.  The session itself holds
+/// only bookkeeping — every chunk's entries are *moved* into its
+/// worker job (no copy on the reactor thread) and handed back through
+/// the [`ChunkWork`] latch alongside the computed slots.
+struct HopStreamSession {
+    /// Entries the Start frame declared.
+    total: usize,
+    /// Entries received across chunks so far (overrun enforcement).
+    received: usize,
+    kernel: ChunkKernel,
+    work: Arc<ChunkWork>,
+    /// Chunk jobs dispatched so far (what the End job's latch waits
+    /// for).
+    jobs: usize,
+}
+
+/// Results of a session's chunk jobs: `(entry offset, entries, slots)`
+/// pieces plus a completion latch.  The End job is enqueued on the
+/// pool's FIFO *after* every chunk job of its session, so by the time
+/// it runs, each of them has at least started — `wait_collect` can
+/// only block on jobs already running on other workers, never on
+/// queued ones (no deadlock at any pool size).
+#[derive(Default)]
+struct ChunkWork {
+    #[allow(clippy::type_complexity)] // (offset, entries, slots) triples
+    done: Mutex<Vec<(usize, Vec<MixEntry>, Vec<Option<MixEntry>>)>>,
+    cv: Condvar,
+}
+
+impl ChunkWork {
+    fn push(&self, start: usize, entries: Vec<MixEntry>, slots: Vec<Option<MixEntry>>) {
+        self.done
+            .lock()
+            .expect("chunk work poisoned")
+            .push((start, entries, slots));
+        self.cv.notify_all();
+    }
+
+    /// Block until `jobs` pieces have landed, then reassemble the
+    /// batch and its per-entry slots into stream order.
+    fn wait_collect(&self, jobs: usize) -> (Vec<MixEntry>, Vec<Option<MixEntry>>) {
+        let mut done = self.done.lock().expect("chunk work poisoned");
+        while done.len() < jobs {
+            done = self.cv.wait(done).expect("chunk work poisoned");
+        }
+        let mut pieces = std::mem::take(&mut *done);
+        drop(done);
+        pieces.sort_by_key(|(start, _, _)| *start);
+        let mut inputs = Vec::new();
+        let mut slots = Vec::new();
+        for (_, entries, chunk_slots) in pieces {
+            inputs.extend(entries);
+            slots.extend(chunk_slots);
+        }
+        (inputs, slots)
+    }
 }
 
 impl MixState {
@@ -187,41 +261,6 @@ impl MixState {
                 },
                 None => err(error_code::UNKNOWN_ROUND, "no batch for round"),
             },
-            Frame::MixBatch { round, entries } => {
-                let position = self.secrets.position as u32;
-                match self.server.process_round(&mut self.rng, round, entries) {
-                    Ok(result) => Frame::HopOutput {
-                        round,
-                        position,
-                        outputs: result.outputs,
-                        proof: result.proof,
-                    },
-                    Err(MixError::DecryptFailure(failed)) => Frame::HopFailure {
-                        round,
-                        position,
-                        failed: failed.into_iter().map(|i| i as u64).collect(),
-                    },
-                    Err(MixError::Malformed) => err(error_code::BAD_STATE, "malformed batch"),
-                }
-            }
-            Frame::VerifyHop {
-                round,
-                position,
-                inputs,
-                outputs,
-                proof,
-            } => {
-                let ok = (position as usize) < self.public().len()
-                    && verify_hop(
-                        self.public(),
-                        position as usize,
-                        round,
-                        &inputs,
-                        &outputs,
-                        &proof,
-                    );
-                Frame::VerifyResult { ok }
-            }
             Frame::RevealInnerKey { round: _ } => Frame::InnerKeyReveal {
                 position: self.secrets.position as u32,
                 isk: self.server.reveal_inner_key(),
@@ -277,6 +316,256 @@ impl MixState {
     }
 }
 
+/// The mix daemon's [`Service`]: cheap frames (submissions, window
+/// control, key management, blame) are answered inline off
+/// [`MixState::handle`]; hop crypto and attestation verification are
+/// deferred to the worker pool so the reactor thread stays free to
+/// serve submissions while a hop is in flight.
+struct MixService {
+    state: Arc<Mutex<MixState>>,
+}
+
+impl MixService {
+    fn lock(&self) -> std::sync::MutexGuard<'_, MixState> {
+        self.state.lock().expect("mix state poisoned")
+    }
+
+    /// `MixBatchStart`: open a streamed hop session for this
+    /// connection.  A second Start on the same connection aborts and
+    /// replaces the previous incomplete session (self-healing after a
+    /// coordinator that gave up mid-stream).
+    fn stream_start(&self, conn: ConnId, round: u64, total: u32) -> Outcome {
+        let total = total as usize;
+        if total > crate::codec::MAX_BATCH {
+            return Outcome::reply(err(
+                error_code::BAD_STATE,
+                format!(
+                    "stream rejected: {}",
+                    StreamError::TooLarge { declared: total }
+                ),
+            ));
+        }
+        let mut state = self.lock();
+        let kernel = state.server.chunk_kernel(round);
+        state.streams.insert(
+            conn,
+            HopStreamSession {
+                total,
+                received: 0,
+                kernel,
+                work: Arc::new(ChunkWork::default()),
+                jobs: 0,
+            },
+        );
+        Outcome::Reply(Vec::new())
+    }
+
+    /// `MixBatchChunk`: dispatch the chunk's decrypt-and-blind to the
+    /// pool immediately — compute overlaps the rest of the transfer.
+    /// The entries move into the job (the reactor thread does only the
+    /// overrun bookkeeping) and come back through the session latch
+    /// for the End job to reassemble; the stream digest is likewise
+    /// verified there, off this thread.
+    fn stream_chunk(
+        &self,
+        conn: ConnId,
+        entries: Vec<MixEntry>,
+        workers: &Arc<WorkerPool>,
+    ) -> Outcome {
+        let mut state = self.lock();
+        let Some(session) = state.streams.get_mut(&conn) else {
+            return Outcome::reply(err(error_code::BAD_STATE, "chunk without MixBatchStart"));
+        };
+        if session.received + entries.len() > session.total {
+            let e = StreamError::Overrun {
+                received: session.received + entries.len(),
+                total: session.total,
+            };
+            state.streams.remove(&conn);
+            return Outcome::reply(err(error_code::BAD_STATE, format!("stream rejected: {e}")));
+        }
+        let start = session.received;
+        session.received += entries.len();
+        session.jobs += 1;
+        let kernel = session.kernel.clone();
+        let work = Arc::clone(&session.work);
+        workers.spawn_job(move || {
+            // A panicking kernel must still release the End job's
+            // latch: empty slots make the hop report a malformed batch
+            // (never blame) instead of wedging the session.
+            let slots =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| kernel.process(&entries)))
+                    .unwrap_or_default();
+            work.push(start, entries, slots);
+        });
+        Outcome::Reply(Vec::new())
+    }
+
+    /// `MixBatchEnd`: defer the hop's assembly — the job waits for the
+    /// session's chunk jobs, checks the stream digest, shuffles,
+    /// proves, and streams the output back in chunks.
+    fn stream_end(&self, conn: ConnId, digest: [u8; 32]) -> Outcome {
+        let Some(session) = self.lock().streams.remove(&conn) else {
+            return Outcome::reply(err(error_code::BAD_STATE, "end without MixBatchStart"));
+        };
+        let HopStreamSession {
+            total,
+            kernel,
+            work,
+            jobs,
+            ..
+        } = session;
+        let state = Arc::clone(&self.state);
+        Outcome::Defer(Box::new(move || {
+            let (inputs, slots) = work.wait_collect(jobs);
+            if inputs.len() != total {
+                let e = StreamError::Incomplete {
+                    received: inputs.len(),
+                    total,
+                };
+                return err(error_code::BAD_STATE, format!("stream rejected: {e}")).encode();
+            }
+            let mut computed = StreamDigest::new();
+            computed.absorb_entries(&inputs);
+            if computed.finalize() != digest {
+                let e = StreamError::DigestMismatch;
+                return err(error_code::BAD_STATE, format!("stream rejected: {e}")).encode();
+            }
+            let round = kernel.round();
+            let mut guard = state.lock().expect("mix state poisoned");
+            let st = &mut *guard;
+            let position = st.secrets.position as u32;
+            match st.server.finish_round(&mut st.rng, round, inputs, slots) {
+                Ok(result) => {
+                    // The proof and shuffle are done; release the lock
+                    // before the output encoding pass.
+                    drop(guard);
+                    encode_hop_output_stream(
+                        round,
+                        position,
+                        &result.outputs,
+                        &result.proof,
+                        STREAM_CHUNK,
+                    )
+                }
+                Err(MixError::DecryptFailure(failed)) => Frame::HopFailure {
+                    round,
+                    position,
+                    failed: failed.into_iter().map(|i| i as u64).collect(),
+                }
+                .encode(),
+                Err(MixError::Malformed) => err(error_code::BAD_STATE, "malformed batch").encode(),
+            }
+        }))
+    }
+
+    /// Whole-batch `MixBatch` (kept for small batches and
+    /// backward compatibility): same crypto, same offload, monolithic
+    /// framing.
+    fn defer_mix(&self, round: u64, entries: Vec<MixEntry>) -> Outcome {
+        let state = Arc::clone(&self.state);
+        Outcome::Defer(Box::new(move || {
+            // Heavy part first, without the state lock: the reactor
+            // thread keeps serving submissions off the same state.
+            let kernel = state
+                .lock()
+                .expect("mix state poisoned")
+                .server
+                .chunk_kernel(round);
+            let slots = kernel.process_parallel(&entries);
+            let mut guard = state.lock().expect("mix state poisoned");
+            let st = &mut *guard;
+            let position = st.secrets.position as u32;
+            match st.server.finish_round(&mut st.rng, round, entries, slots) {
+                Ok(result) => Frame::HopOutput {
+                    round,
+                    position,
+                    outputs: result.outputs,
+                    proof: result.proof,
+                }
+                .encode(),
+                Err(MixError::DecryptFailure(failed)) => Frame::HopFailure {
+                    round,
+                    position,
+                    failed: failed.into_iter().map(|i| i as u64).collect(),
+                }
+                .encode(),
+                Err(MixError::Malformed) => err(error_code::BAD_STATE, "malformed batch").encode(),
+            }
+        }))
+    }
+
+    /// Attestation checks (full-entry or keys-only): pure public-data
+    /// work off a snapshot of the bundle — no state lock held in the
+    /// job at all.
+    fn defer_verify(
+        &self,
+        round: u64,
+        position: u32,
+        input_dhs: Vec<GroupElement>,
+        output_dhs: Vec<GroupElement>,
+        proof: DleqProof,
+    ) -> Outcome {
+        let public = self.lock().server.public().clone();
+        Outcome::Defer(Box::new(move || {
+            let ok = (position as usize) < public.len()
+                && input_dhs.len() == output_dhs.len()
+                && verify_hop_keys(
+                    &public,
+                    position as usize,
+                    round,
+                    input_dhs.iter(),
+                    output_dhs.iter(),
+                    &proof,
+                );
+            Frame::VerifyResult { ok }.encode()
+        }))
+    }
+}
+
+impl Service for MixService {
+    fn handle(&self, conn: ConnId, frame: Frame, workers: &Arc<WorkerPool>) -> Outcome {
+        match frame {
+            Frame::MixBatchStart { round, total } => self.stream_start(conn, round, total),
+            Frame::MixBatchChunk { entries } => self.stream_chunk(conn, entries, workers),
+            Frame::MixBatchEnd { digest } => self.stream_end(conn, digest),
+            Frame::MixBatch { round, entries } => self.defer_mix(round, entries),
+            Frame::VerifyHop {
+                round,
+                position,
+                inputs,
+                outputs,
+                proof,
+            } => {
+                if inputs.len() != outputs.len() {
+                    return Outcome::reply(Frame::VerifyResult { ok: false });
+                }
+                self.defer_verify(
+                    round,
+                    position,
+                    inputs.iter().map(|e| e.dh).collect(),
+                    outputs.iter().map(|e| e.dh).collect(),
+                    proof,
+                )
+            }
+            Frame::VerifyHopKeys {
+                round,
+                position,
+                input_dhs,
+                output_dhs,
+                proof,
+            } => self.defer_verify(round, position, input_dhs, output_dhs, proof),
+            other => Outcome::reply(self.lock().handle(other)),
+        }
+    }
+
+    fn on_close(&self, conn: ConnId) {
+        // Drop any half-assembled stream; its already-dispatched chunk
+        // jobs finish into an orphaned latch and are freed with it.
+        self.lock().streams.remove(&conn);
+    }
+}
+
 /// A running mix-server daemon for one `(chain, position)`.
 pub struct MixServerDaemon;
 
@@ -297,12 +586,10 @@ impl MixServerDaemon {
             open_round: None,
             pending_subs: Vec::new(),
             batches: HashMap::new(),
+            streams: HashMap::new(),
             rng: StdRng::seed_from_u64(rng_seed),
         }));
-        spawn_daemon(
-            addr,
-            Arc::new(move |frame| state.lock().expect("mix state poisoned").handle(frame)),
-        )
+        spawn_daemon(addr, Arc::new(MixService { state }))
     }
 
     /// Spawn with a seed drawn from the OS RNG.
@@ -373,7 +660,7 @@ impl MailboxDaemon {
         }));
         spawn_daemon(
             addr,
-            Arc::new(move |frame| state.lock().expect("mailbox state poisoned").handle(frame)),
+            service_fn(move |frame| state.lock().expect("mailbox state poisoned").handle(frame)),
         )
     }
 }

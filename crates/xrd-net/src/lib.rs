@@ -6,21 +6,26 @@
 //! paper's EC2 testbed (§8).
 //!
 //! * [`codec`] — the length-prefixed binary wire protocol: submissions,
-//!   mix batches, hop attestations, inner-key reveals and rotations,
-//!   blame messages, mailbox delivery/fetch; hand-rolled, hard size
-//!   caps, canonical-encoding checks;
+//!   mix batches (whole and chunk-streamed, with a running stream
+//!   digest), hop attestations, inner-key reveals and rotations, blame
+//!   messages, mailbox delivery/fetch; hand-rolled, hard size caps,
+//!   canonical-encoding checks.  Spec: `docs/PROTOCOL.md`;
 //! * [`conn`] — the client side of a connection (request/response with
-//!   byte accounting);
+//!   byte accounting, raw-forward helpers for relays);
 //! * [`reactor`] — the event-driven core: a dependency-free
 //!   epoll-based readiness loop (raw syscalls on Linux/x86-64, sweep
 //!   fallback elsewhere) serving every connection of a daemon from one
 //!   thread, with per-connection incremental decode/encode state
-//!   machines;
+//!   machines, plus a small fixed-size worker pool that batch crypto
+//!   is deferred to (a pending response slot per connection keeps the
+//!   loop serving submissions while a hop runs);
 //! * [`daemon`] — [`MixServerDaemon`] (one hop of one chain) and
 //!   [`MailboxDaemon`] (one shard), each a single reactor thread
-//!   holding thousands of concurrent connections;
+//!   holding thousands of concurrent connections; streamed batch
+//!   chunks start hop crypto the moment they arrive;
 //! * [`coordinator`] — [`ChainClient`], driving one chain's round state
-//!   machine over the wire: submission window → k hops with
+//!   machine over the wire: submission window → k hops (whole-batch, or
+//!   chunk-streamed as a pipeline with verbatim next-hop forwarding) →
 //!   cross-server proof verification → blame → inner-key reveal;
 //! * [`remote`] — [`RemoteDeployment`] (implements
 //!   `xrd_core::RoundBackend`, so it is interchangeable with the
@@ -43,9 +48,9 @@ pub mod reactor;
 pub mod remote;
 pub mod swarm;
 
-pub use codec::{CodecError, Frame};
+pub use codec::{BatchAssembler, ChunkedBatch, CodecError, Frame, StreamDigest, StreamError};
 pub use conn::{Conn, NetError};
-pub use coordinator::ChainClient;
+pub use coordinator::{ChainClient, Transport};
 pub use daemon::{DaemonHandle, MailboxDaemon, MixServerDaemon};
 pub use remote::{launch_local, LocalCluster, RemoteDeployment};
 pub use swarm::{

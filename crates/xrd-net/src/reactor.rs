@@ -12,7 +12,7 @@
 //!   sweep poller on other unix targets, no external crates either
 //!   way — reports which sockets are ready;
 //! * each connection owns a tiny state machine: an incremental
-//!   [`FrameDecoder`](crate::codec::FrameDecoder) accumulating request
+//!   [`crate::codec::FrameDecoder`] accumulating request
 //!   bytes and an outbound buffer drained as the socket accepts them.
 //!
 //! A peer that dribbles a frame one byte at a time, stalls mid-frame,
@@ -23,24 +23,193 @@
 //! response has fully drained, so a slow reader throttles itself via
 //! TCP flow control instead of ballooning daemon memory.
 //!
-//! Frame handlers run inline on the reactor thread.  That is the right
-//! trade for XRD: per-frame work is either trivial (submission checks,
-//! mailbox ops) or a batch-boundary crypto call (`MixBatch`) that
-//! already fans out across the scoped-thread pool inside
-//! `MixServer::process_round` — an async executor would add latency and
-//! complexity for nothing.
+//! Cheap frames (submission checks, mailbox ops, stream bookkeeping)
+//! are handled inline on the reactor thread.  Heavy frames — hop
+//! crypto, attestation verification — are **offloaded**: the
+//! [`Service`] returns [`Outcome::Defer`] and the reactor runs the job
+//! on a small fixed-size [`WorkerPool`], parking that connection's
+//! request stream in a *pending response slot* until the job's frames
+//! come back (over a self-pipe wakeup, so completions are picked up
+//! immediately, not at the next poll timeout).  The loop itself never
+//! blocks on crypto: submissions keep flowing on other connections
+//! while a hop is in flight.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::codec::{error_code, Frame, FrameDecoder};
 
-/// A request→response frame handler shared by every connection of a
-/// daemon.
-pub type FrameHandler = Arc<dyn Fn(Frame) -> Frame + Send + Sync>;
+/// Identifies one connection for the lifetime of a reactor (tokens are
+/// never reused, so a stale id can never address a newer connection).
+pub type ConnId = u64;
+
+/// A deferred response computation, run on the [`WorkerPool`].  It
+/// returns *encoded* wire bytes (one or more complete frames,
+/// concatenated — see [`Frame::encode`]), which the reactor queues to
+/// the deferring connection verbatim.  Returning bytes rather than
+/// frames keeps response encoding — a per-entry batched group encode
+/// for hop outputs — off the reactor thread, and lets a streamed
+/// response derive its digest from the encoded payloads it just
+/// built.
+pub type Job = Box<dyn FnOnce() -> Vec<u8> + Send + 'static>;
+
+/// What a [`Service`] wants done with one request frame.
+pub enum Outcome {
+    /// Respond with these frames, in order.  An empty vector means "no
+    /// response; keep serving" — how streamed request chunks are
+    /// acknowledged (they aren't: the stream's End gets the response).
+    Reply(Vec<Frame>),
+    /// Produce the response asynchronously: the reactor parks this
+    /// connection's request stream (its *pending slot* is occupied),
+    /// runs the job on the worker pool, and queues whatever frames it
+    /// returns once complete.  Other connections are served
+    /// throughout.
+    Defer(Job),
+}
+
+impl Outcome {
+    /// Shorthand for a single-frame reply.
+    pub fn reply(frame: Frame) -> Outcome {
+        Outcome::Reply(vec![frame])
+    }
+}
+
+/// Per-daemon frame service: maps each request frame of a connection
+/// to an [`Outcome`].  `conn` distinguishes connections (for stateful
+/// exchanges like streamed batches); `workers` lets the service spawn
+/// fire-and-forget side jobs (chunk crypto) that feed its own state
+/// rather than producing response frames.
+pub trait Service: Send + Sync + 'static {
+    /// Handle one request frame from connection `conn`.
+    fn handle(&self, conn: ConnId, frame: Frame, workers: &Arc<WorkerPool>) -> Outcome;
+
+    /// Connection `conn` is gone (peer hung up, protocol error, or
+    /// reactor shutdown).  Drop any per-connection state.
+    fn on_close(&self, conn: ConnId) {
+        let _ = conn;
+    }
+}
+
+/// Wrap a plain request→response function as a [`Service`]: every
+/// response inline, no per-connection state, no deferral.
+pub fn service_fn<F>(f: F) -> Arc<dyn Service>
+where
+    F: Fn(Frame) -> Frame + Send + Sync + 'static,
+{
+    struct ServiceFn<F>(F);
+    impl<F: Fn(Frame) -> Frame + Send + Sync + 'static> Service for ServiceFn<F> {
+        fn handle(&self, _conn: ConnId, frame: Frame, _workers: &Arc<WorkerPool>) -> Outcome {
+            Outcome::reply((self.0)(frame))
+        }
+    }
+    Arc::new(ServiceFn(f))
+}
+
+// ---------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------
+
+/// A small fixed-size thread pool for batch-boundary crypto, so the
+/// reactor thread never runs a hop inline.  One FIFO queue: jobs run
+/// in submission order, which is a *correctness* property — a streamed
+/// hop's End job is enqueued after all of its chunk jobs, so by the
+/// time a worker dequeues it, every chunk job has at least started,
+/// and its completion latch cannot deadlock (at any pool size ≥ 1).
+///
+/// Threads are spawned lazily on the first submitted job: a daemon
+/// that never defers (a mailbox shard) stays a single-thread process.
+pub struct WorkerPool {
+    state: Mutex<PoolState>,
+    cv: Condvar,
+    size: usize,
+}
+
+struct PoolState {
+    queue: VecDeque<Box<dyn FnOnce() + Send + 'static>>,
+    spawned: bool,
+    shutdown: bool,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn new(size: usize) -> Arc<WorkerPool> {
+        Arc::new(WorkerPool {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                spawned: false,
+                shutdown: false,
+                threads: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            size: size.max(1),
+        })
+    }
+
+    /// Number of worker threads this pool runs at (once spawned).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Submit a fire-and-forget job.  Jobs are dequeued in FIFO order;
+    /// a job that needs results of previously submitted jobs may block
+    /// on them safely (see the type-level ordering argument).
+    pub fn spawn_job(self: &Arc<Self>, job: impl FnOnce() + Send + 'static) {
+        let mut state = self.state.lock().expect("pool poisoned");
+        if state.shutdown {
+            return; // reactor is tearing down; drop the work
+        }
+        if !state.spawned {
+            state.spawned = true;
+            for _ in 0..self.size {
+                let pool = Arc::clone(self);
+                state.threads.push(std::thread::spawn(move || pool.run()));
+            }
+        }
+        state.queue.push_back(Box::new(job));
+        drop(state);
+        self.cv.notify_one();
+    }
+
+    fn run(&self) {
+        loop {
+            let job = {
+                let mut state = self.state.lock().expect("pool poisoned");
+                loop {
+                    if let Some(job) = state.queue.pop_front() {
+                        break job;
+                    }
+                    if state.shutdown {
+                        return;
+                    }
+                    state = self.cv.wait(state).expect("pool poisoned");
+                }
+            };
+            // A panicking job must not take the worker thread with it:
+            // a shrunken pool would strand queued jobs forever (and
+            // the reactor's shutdown join with them).  Defer jobs are
+            // additionally wrapped by the reactor so the waiting
+            // connection gets an error response.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        }
+    }
+
+    /// Stop accepting work, let queued jobs finish (they may be
+    /// dependencies of running ones), and join the workers.
+    fn shutdown(&self) {
+        let threads = {
+            let mut state = self.state.lock().expect("pool poisoned");
+            state.shutdown = true;
+            std::mem::take(&mut state.threads)
+        };
+        self.cv.notify_all();
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
 
 /// How long one readiness wait may block before re-checking the stop
 /// flag (shutdown latency bound, not a busy-poll interval).
@@ -266,7 +435,13 @@ mod sys {
         pub fn wait(&mut self, out: &mut Vec<(u64, u32)>, timeout_ms: i32) -> io::Result<()> {
             std::thread::sleep(Duration::from_millis((timeout_ms as u64).min(1)));
             for &(_, token, events) in &self.registered {
-                out.push((token, events));
+                // A zero-interest registration solicits nothing (e.g. a
+                // half-closed connection awaiting its deferred
+                // response): reporting it would read as the unmaskable
+                // ERR/HUP, which this poller cannot actually detect.
+                if events != 0 {
+                    out.push((token, events));
+                }
             }
             Ok(())
         }
@@ -319,6 +494,15 @@ struct Connection {
     /// This connection carried [`Frame::Shutdown`]: stop the daemon
     /// once the acknowledgement is flushed.
     is_shutdown: bool,
+    /// The pending response slot: a deferred job is computing this
+    /// connection's next response on the worker pool.  While occupied,
+    /// no further requests are processed (or even read) — the job's
+    /// completion re-opens the slot and queues its frames.
+    pending: bool,
+    /// The peer closed its write half (EOF on read).  It may still be
+    /// reading: a half-closing request/response client must receive
+    /// its pending deferred response before the connection drops.
+    read_closed: bool,
 }
 
 impl Connection {
@@ -331,6 +515,8 @@ impl Connection {
             registered: interest::READ | interest::READ_HANGUP,
             closing: false,
             is_shutdown: false,
+            pending: false,
+            read_closed: false,
         }
     }
 
@@ -344,12 +530,23 @@ impl Connection {
 
     /// The readiness this connection should be registered for: drain
     /// output first; only solicit (and therefore read) new requests
-    /// once the previous response is fully on the wire.
+    /// once the previous response is fully on the wire.  While a
+    /// deferred response is pending, solicit nothing; once the peer
+    /// has half-closed, its hangup is old news — stop soliciting even
+    /// that, or the level-triggered poller re-reports it forever
+    /// (errors and full hangups are delivered regardless of the mask).
     fn wanted_interest(&self) -> u32 {
-        if self.has_pending_output() {
-            interest::WRITE | interest::READ_HANGUP
+        let hangup = if self.read_closed {
+            0
         } else {
-            interest::READ | interest::READ_HANGUP
+            interest::READ_HANGUP
+        };
+        if self.has_pending_output() {
+            interest::WRITE | hangup
+        } else if self.pending || self.read_closed {
+            hangup
+        } else {
+            interest::READ | hangup
         }
     }
 
@@ -357,8 +554,17 @@ impl Connection {
     /// budget permits: flush pending output, process buffered frames
     /// (one at a time — the next request is handled only after the
     /// previous response has drained), read newly arrived bytes,
-    /// repeat.
-    fn advance(&mut self, handler: &FrameHandler, read_buf: &mut [u8]) -> Action {
+    /// repeat.  Deferred jobs the service produced are appended to
+    /// `deferred` for the reactor to submit (the connection is already
+    /// marked pending).
+    fn advance(
+        &mut self,
+        token: ConnId,
+        service: &Arc<dyn Service>,
+        workers: &Arc<WorkerPool>,
+        read_buf: &mut [u8],
+        deferred: &mut Vec<(ConnId, Job)>,
+    ) -> Action {
         let mut frames_this_visit = 0;
         loop {
             // 1. Flush whatever output is pending.
@@ -380,6 +586,37 @@ impl Connection {
                     Action::Drop
                 };
             }
+            if self.pending {
+                // The response is still being computed on the pool.  A
+                // readiness visit in this state is connection trouble —
+                // we solicit no reads, but the level-triggered poller
+                // keeps re-reporting a hangup until acted on, which
+                // would busy-spin the loop for the length of the job.
+                if self.read_closed {
+                    // Interest is down to the unmaskable ERR/HUP: the
+                    // peer is gone in both directions, the response
+                    // has no reader.  (Its completion is discarded on
+                    // arrival.)
+                    return Action::Drop;
+                }
+                // Probe the socket: a *half*-closing request/response
+                // client (EOF here) still gets its response — only a
+                // write failure ends that connection; stray bytes are
+                // buffered, not processed.
+                return match self.stream.read(read_buf) {
+                    Ok(0) => {
+                        self.read_closed = true;
+                        Action::Keep
+                    }
+                    Ok(n) => {
+                        self.decoder.feed(&read_buf[..n]);
+                        Action::Keep
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Action::Keep,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => Action::Keep,
+                    Err(_) => Action::Drop,
+                };
+            }
 
             // 2. Process one buffered request, if complete — unless
             // this visit's budget is spent, in which case yield the
@@ -396,8 +633,17 @@ impl Connection {
                     continue;
                 }
                 Some(Ok(frame)) => {
-                    let response = handler(frame);
-                    self.queue(&response);
+                    match service.handle(token, frame, workers) {
+                        Outcome::Reply(frames) => {
+                            for frame in &frames {
+                                self.queue(frame);
+                            }
+                        }
+                        Outcome::Defer(job) => {
+                            self.pending = true;
+                            deferred.push((token, job));
+                        }
+                    }
                     continue;
                 }
                 Some(Err(e)) => {
@@ -432,8 +678,42 @@ impl Connection {
 // Reactor
 // ---------------------------------------------------------------------
 
-/// Token of the listening socket; connections get `1..`.
+/// Token of the listening socket.
 const LISTENER_TOKEN: u64 = 0;
+
+/// Token of the self-pipe's read end (worker-pool completions wake the
+/// poller through it); connections get `2..`.
+const WAKE_TOKEN: u64 = 1;
+
+/// Worker threads per daemon when not specified: enough to keep hop
+/// crypto off the reactor thread and use a few cores, capped so a
+/// many-daemon loopback deployment stays at O(daemons) threads.
+fn default_pool_size() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 4)
+}
+
+/// Wakes the reactor's poller from worker threads by writing a byte
+/// into its self-pipe (a loopback TCP pair — portable, std-only).  A
+/// full pipe means a wakeup is already pending, so `WouldBlock` is
+/// success.
+struct Waker {
+    tx: Mutex<TcpStream>,
+}
+
+impl Waker {
+    fn wake(&self) {
+        if let Ok(tx) = self.tx.lock() {
+            let _ = (&*tx).write(&[1u8]);
+        }
+    }
+}
+
+/// Completed deferred jobs awaiting delivery: `(connection, encoded
+/// response bytes)`.
+type Completions = Mutex<Vec<(ConnId, Vec<u8>)>>;
 
 /// The event loop serving every connection of one daemon from a single
 /// thread.  Built by [`Reactor::bind`], consumed by [`Reactor::run`]
@@ -444,7 +724,12 @@ pub struct Reactor {
     addr: SocketAddr,
     conns: HashMap<u64, Connection>,
     next_token: u64,
-    handler: FrameHandler,
+    service: Arc<dyn Service>,
+    workers: Arc<WorkerPool>,
+    /// Read end of the self-pipe; drained whenever it turns readable.
+    wake_rx: TcpStream,
+    waker: Arc<Waker>,
+    completions: Arc<Completions>,
     stop: Arc<AtomicBool>,
     /// A [`Frame::Shutdown`] is being acknowledged: refuse new
     /// connections while it drains.
@@ -453,8 +738,19 @@ pub struct Reactor {
 
 impl Reactor {
     /// Bind `addr` (nonblocking) and prepare the loop; no thread is
-    /// spawned here, so the bound address is known before `run`.
-    pub fn bind<A: ToSocketAddrs>(addr: A, handler: FrameHandler) -> std::io::Result<Reactor> {
+    /// spawned here, so the bound address is known before `run`.  The
+    /// worker pool defaults to `min(4, available_parallelism)` threads
+    /// (spawned lazily on the first deferred job).
+    pub fn bind<A: ToSocketAddrs>(addr: A, service: Arc<dyn Service>) -> std::io::Result<Reactor> {
+        Reactor::bind_with_workers(addr, service, default_pool_size())
+    }
+
+    /// [`Reactor::bind`] with an explicit worker-pool size.
+    pub fn bind_with_workers<A: ToSocketAddrs>(
+        addr: A,
+        service: Arc<dyn Service>,
+        workers: usize,
+    ) -> std::io::Result<Reactor> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         // Best-effort: absorb whole connect storms in the accept queue
@@ -463,13 +759,24 @@ impl Reactor {
         let _ = sys::widen_backlog(listener.as_raw_fd(), 4096);
         let addr = listener.local_addr()?;
         let poller = Poller::new()?;
+        // The self-pipe: a loopback TCP pair private to this reactor.
+        // The temporary listener closes as soon as the pair exists.
+        let pipe_listener = TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0))?;
+        let tx = TcpStream::connect(pipe_listener.local_addr()?)?;
+        let (wake_rx, _) = pipe_listener.accept()?;
+        wake_rx.set_nonblocking(true)?;
+        tx.set_nonblocking(true)?;
         Ok(Reactor {
             poller,
             listener,
             addr,
             conns: HashMap::new(),
-            next_token: LISTENER_TOKEN + 1,
-            handler,
+            next_token: WAKE_TOKEN + 1,
+            service,
+            workers: WorkerPool::new(workers),
+            wake_rx,
+            waker: Arc::new(Waker { tx: Mutex::new(tx) }),
+            completions: Arc::new(Mutex::new(Vec::new())),
             stop: Arc::new(AtomicBool::new(false)),
             draining: false,
         })
@@ -482,7 +789,7 @@ impl Reactor {
 
     /// The stop flag: set it and poke the listener (one throwaway
     /// connect) to make `run` return promptly; `run` also re-checks it
-    /// at least every [`WAIT_MS`] on its own.
+    /// at least every 100 ms (`WAIT_MS`) on its own.
     pub fn stop_flag(&self) -> Arc<AtomicBool> {
         Arc::clone(&self.stop)
     }
@@ -494,11 +801,18 @@ impl Reactor {
 
     /// Run the event loop until the stop flag is set or a peer's
     /// [`Frame::Shutdown`] is acknowledged.  Consumes the reactor; all
-    /// sockets close on return.
+    /// sockets close on return (the worker pool is drained and joined
+    /// first).
     pub fn run(mut self) {
         let mut poller = self.poller;
         if poller
             .add(self.listener.as_raw_fd(), LISTENER_TOKEN, interest::READ)
+            .is_err()
+        {
+            return;
+        }
+        if poller
+            .add(self.wake_rx.as_raw_fd(), WAKE_TOKEN, interest::READ)
             .is_err()
         {
             return;
@@ -509,6 +823,10 @@ impl Reactor {
         // work buffered in user space, so readiness may never fire for
         // it again — re-drive them every iteration until they block.
         let mut yielded: Vec<u64> = Vec::new();
+        // Jobs the service deferred during an `advance`, submitted to
+        // the pool right after (collected here to keep `advance`'s
+        // borrows simple).
+        let mut deferred: Vec<(ConnId, Job)> = Vec::new();
 
         'outer: while !self.stop.load(Ordering::SeqCst) {
             events.clear();
@@ -518,10 +836,35 @@ impl Reactor {
             if poller.wait(&mut events, timeout).is_err() {
                 break;
             }
+            // Deliver completed deferred responses: re-open each
+            // connection's pending slot, queue the job's frames, and
+            // drive the connection this iteration.
+            let done: Vec<(ConnId, Vec<u8>)> =
+                std::mem::take(&mut *self.completions.lock().expect("completions poisoned"));
+            for (token, bytes) in done {
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    continue; // connection died while its job ran
+                };
+                conn.pending = false;
+                conn.outbuf.extend_from_slice(&bytes);
+                events.push((token, 0));
+            }
             // Budget-limited connections first (fairness: they were cut
             // off last iteration), then fresh readiness.
             events.splice(0..0, yielded.drain(..).map(|t| (t, 0)));
             for &(token, _readiness) in &events {
+                if token == WAKE_TOKEN {
+                    // Drain the self-pipe; the completions it announced
+                    // were collected above (or will be next iteration).
+                    loop {
+                        match self.wake_rx.read(&mut read_buf[..64]) {
+                            Ok(0) => break,
+                            Ok(_) => continue,
+                            Err(_) => break,
+                        }
+                    }
+                    continue;
+                }
                 if token == LISTENER_TOKEN {
                     // Drain the whole accept backlog: nonblocking, so a
                     // connect storm costs one registration each, not a
@@ -555,7 +898,14 @@ impl Reactor {
                 let Some(conn) = self.conns.get_mut(&token) else {
                     continue; // already dropped this iteration
                 };
-                match conn.advance(&self.handler, &mut read_buf) {
+                let action = conn.advance(
+                    token,
+                    &self.service,
+                    &self.workers,
+                    &mut read_buf,
+                    &mut deferred,
+                );
+                match action {
                     Action::Keep => {
                         let wanted = conn.wanted_interest();
                         if wanted != conn.registered
@@ -573,13 +923,41 @@ impl Reactor {
                     Action::Drop => {
                         let conn = self.conns.remove(&token).expect("present");
                         let _ = poller.remove(conn.stream.as_raw_fd());
+                        self.service.on_close(token);
                     }
                     Action::Stop => {
                         self.stop.store(true, Ordering::SeqCst);
                         break 'outer;
                     }
                 }
+                // Ship whatever the service deferred: the job's frames
+                // come back through `completions` + the self-pipe.
+                for (token, job) in deferred.drain(..) {
+                    let completions = Arc::clone(&self.completions);
+                    let waker = Arc::clone(&self.waker);
+                    self.workers.spawn_job(move || {
+                        let bytes = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job))
+                            .unwrap_or_else(|_| {
+                                crate::daemon::err(
+                                    error_code::BAD_STATE,
+                                    "deferred handler panicked",
+                                )
+                                .encode()
+                            });
+                        completions
+                            .lock()
+                            .expect("completions poisoned")
+                            .push((token, bytes));
+                        waker.wake();
+                    });
+                }
             }
+        }
+        // Let in-flight and queued jobs finish, then join the workers —
+        // only then close the sockets (peers see EOF, not RST).
+        self.workers.shutdown();
+        for &token in self.conns.keys() {
+            self.service.on_close(token);
         }
         // Dropping `self.conns` and the listener closes every socket;
         // peers see EOF.

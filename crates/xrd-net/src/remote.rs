@@ -146,6 +146,15 @@ impl RemoteDeployment {
         self.submit_workers = n.max(1);
     }
 
+    /// Select how every chain ships batches hop to hop (default
+    /// [`crate::Transport::Auto`]: stream large batches, ship small
+    /// ones whole).
+    pub fn set_transport(&mut self, transport: crate::Transport) {
+        for chain in &mut self.chains {
+            chain.set_transport(transport);
+        }
+    }
+
     /// Queue a raw submission for the next round (simulating a user
     /// that does not follow the protocol).  Fault-injection hook for
     /// tests, mirroring `Deployment::inject_submission`.

@@ -23,7 +23,7 @@ use xrd_mixnet::client::{seal_ahs, Submission};
 use xrd_mixnet::message::{MailboxMessage, MixEntry, MAILBOX_MSG_LEN};
 use xrd_mixnet::server::verify_hop;
 
-use crate::codec::Frame;
+use crate::codec::{BatchAssembler, ChunkedBatch, Frame, STREAM_CHUNK};
 use crate::conn::{Conn, NetError};
 use crate::daemon::MixServerDaemon;
 use crate::remote::RemoteDeployment;
@@ -212,8 +212,13 @@ pub struct StormReport {
     /// Wall clock for the submission phase (every connection submits
     /// once, with its proof of knowledge verified by the daemon).
     pub submit_elapsed: Duration,
-    /// Wall clock for one mix hop over the full batch.
+    /// Wall clock for one *whole-batch* mix hop over the full batch
+    /// (one monolithic `MixBatch` frame, one monolithic response).
     pub hop_elapsed: Duration,
+    /// Wall clock for the same hop *streamed*: the batch shipped as
+    /// chunks the daemon starts decrypting on arrival, the output
+    /// streamed back in chunks.
+    pub hop_streamed_elapsed: Duration,
     /// Verified submissions per second during the submission phase.
     pub submits_per_sec: f64,
 }
@@ -405,12 +410,61 @@ pub fn submit_storm<R: RngCore + ?Sized>(
         }
     }
 
+    // The same hop *streamed*: chunks hit the daemon's worker pool as
+    // they arrive, the shuffled output streams back in chunks.
+    let stream = ChunkedBatch::build(round, &entries, STREAM_CHUNK);
+    let hop_streamed_start = Instant::now();
+    for bytes in stream.frames() {
+        control.send_encoded(bytes)?;
+    }
+    let total = match control.recv()? {
+        Frame::HopOutputStart {
+            round: r,
+            position: 0,
+            total,
+        } if r == round => total,
+        other => {
+            return Err(NetError::Protocol(format!(
+                "expected HopOutputStart, got {other:?}"
+            )))
+        }
+    };
+    let mut assembler = BatchAssembler::begin(round, total)
+        .map_err(|e| NetError::Protocol(format!("storm hop stream: {e}")))?;
+    let (outputs, proof) = loop {
+        match control.recv()? {
+            Frame::HopOutputChunk { entries } => {
+                assembler
+                    .absorb(entries)
+                    .map_err(|e| NetError::Protocol(format!("storm hop stream: {e}")))?;
+            }
+            Frame::HopOutputEnd { digest, proof } => {
+                let outputs = assembler
+                    .finish(digest)
+                    .map_err(|e| NetError::Protocol(format!("storm hop stream: {e}")))?;
+                break (outputs, proof);
+            }
+            other => {
+                return Err(NetError::Protocol(format!(
+                    "expected HopOutputChunk/End, got {other:?}"
+                )))
+            }
+        }
+    };
+    let hop_streamed_elapsed = hop_streamed_start.elapsed();
+    if !verify_hop(&public, 0, round, &entries, &outputs, &proof) {
+        return Err(NetError::Protocol(
+            "storm streamed-hop attestation failed verification".into(),
+        ));
+    }
+
     Ok(StormReport {
         n_conns: config.n_conns,
         accepted,
         connect_elapsed,
         submit_elapsed,
         hop_elapsed,
+        hop_streamed_elapsed,
         submits_per_sec: config.n_conns as f64 / submit_elapsed.as_secs_f64().max(1e-9),
     })
 }

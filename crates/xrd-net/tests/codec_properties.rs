@@ -14,8 +14,8 @@ use xrd_mixnet::chain_keys::{RotationShare, ServerKeyProofs, ServerSecrets};
 use xrd_mixnet::client::Submission;
 use xrd_mixnet::message::{MailboxMessage, MixEntry, MAILBOX_MSG_LEN};
 use xrd_net::codec::{
-    decode_server_config, encode_server_config, error_code, CodecError, Frame, FrameDecoder,
-    MAX_FRAME_LEN,
+    decode_server_config, encode_server_config, error_code, BatchAssembler, ChunkedBatch,
+    CodecError, Frame, FrameDecoder, StreamError, MAX_FRAME_LEN,
 };
 
 // ---- structural generators (random but well-formed values) ----
@@ -119,7 +119,7 @@ fn blame_reveal(rng: &mut StdRng) -> BlameReveal {
 }
 
 /// Number of distinct frame constructors below (keep in sync).
-const N_VARIANTS: usize = 25;
+const N_VARIANTS: usize = 32;
 
 /// A random well-formed frame of the chosen variant.
 fn arb_frame(rng: &mut StdRng, variant: usize) -> Frame {
@@ -220,6 +220,41 @@ fn arb_frame(rng: &mut StdRng, variant: usize) -> Frame {
             } else {
                 Some(Box::new(blame_reveal(rng)))
             },
+        },
+        25 => Frame::MixBatchStart {
+            round: rng.next_u64(),
+            total: rng.gen_range(0..=xrd_net::codec::MAX_BATCH as u32),
+        },
+        26 => Frame::MixBatchChunk {
+            entries: mix_entries(rng),
+        },
+        27 => {
+            let mut digest = [0u8; 32];
+            rng.fill_bytes(&mut digest);
+            Frame::MixBatchEnd { digest }
+        }
+        28 => Frame::HopOutputStart {
+            round: rng.next_u64(),
+            position: rng.gen_range(0..64u32),
+            total: rng.gen_range(0..=xrd_net::codec::MAX_BATCH as u32),
+        },
+        29 => Frame::HopOutputChunk {
+            entries: mix_entries(rng),
+        },
+        30 => {
+            let mut digest = [0u8; 32];
+            rng.fill_bytes(&mut digest);
+            Frame::HopOutputEnd {
+                digest,
+                proof: dleq(rng),
+            }
+        }
+        31 => Frame::VerifyHopKeys {
+            round: rng.next_u64(),
+            position: rng.gen_range(0..64u32),
+            input_dhs: (0..rng.gen_range(0..6)).map(|_| g(rng)).collect(),
+            output_dhs: (0..rng.gen_range(0..6)).map(|_| g(rng)).collect(),
+            proof: dleq(rng),
         },
         _ => match variant % 3 {
             0 => Frame::Deliver {
@@ -428,4 +463,152 @@ fn wrong_size_mailbox_message_rejected() {
     body.extend_from_slice(&3u32.to_le_bytes()); // sealed: 3 bytes (wrong)
     body.extend_from_slice(&[1, 2, 3]);
     assert_eq!(Frame::decode(&body), Err(CodecError::BadLength));
+}
+
+// ---- streamed-batch chunking properties ----
+
+/// Decode a [`ChunkedBatch`]'s frames and reassemble them, exercising
+/// both digest paths (re-encode and raw payload) deterministically by
+/// chunk index.
+fn reassemble(stream: &ChunkedBatch) -> Result<Vec<MixEntry>, StreamError> {
+    let mut assembler: Option<BatchAssembler> = None;
+    let mut out = Err(StreamError::DigestMismatch);
+    for (i, bytes) in stream.frames().iter().enumerate() {
+        match Frame::decode(&bytes[4..]).expect("built frames decode") {
+            Frame::MixBatchStart { round, total } => {
+                assembler = Some(BatchAssembler::begin(round, total)?);
+            }
+            Frame::MixBatchChunk { entries } => {
+                let a = assembler.as_mut().expect("start first");
+                if i % 2 == 0 {
+                    a.absorb(entries)?;
+                } else {
+                    // The relay path: digest from the raw payload.
+                    a.absorb_raw(entries, &bytes[ChunkedBatch::CHUNK_PAYLOAD_OFFSET..])?;
+                }
+            }
+            Frame::MixBatchEnd { digest } => {
+                out = assembler.take().expect("start first").finish(digest);
+            }
+            other => panic!("unexpected frame in stream: {other:?}"),
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any chunking of a batch — down to 1-entry chunks — reassembles
+    /// to exactly the entries a monolithic `MixBatch` frame carries.
+    #[test]
+    fn any_chunking_reassembles_to_the_monolithic_batch(
+        seed in any::<u64>(),
+        chunk_size in 1usize..40,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let entries = mix_entries(&mut rng);
+        let round = rng.next_u64();
+
+        let stream = ChunkedBatch::build(round, &entries, chunk_size);
+        prop_assert_eq!(stream.total(), entries.len());
+        prop_assert_eq!(reassemble(&stream).expect("clean stream"), entries.clone());
+
+        // The monolithic frame carries the identical batch.
+        let mono = Frame::MixBatch { round, entries: entries.clone() }.encode();
+        let Frame::MixBatch { entries: decoded, .. } =
+            Frame::decode(&mono[4..]).expect("monolithic decodes")
+        else { panic!("wrong frame") };
+        prop_assert_eq!(decoded, entries);
+    }
+
+    /// Two different chunkings of the same batch close with the same
+    /// stream digest (the digest binds entries, not framing).
+    #[test]
+    fn stream_digest_is_chunking_invariant(
+        seed in any::<u64>(),
+        a in 1usize..40,
+        b in 1usize..40,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let entries = mix_entries(&mut rng);
+        prop_assert_eq!(
+            ChunkedBatch::build(9, &entries, a).digest(),
+            ChunkedBatch::build(9, &entries, b).digest()
+        );
+    }
+
+    /// A truncated stream (End arrives before the declared total) is
+    /// rejected as Incomplete, never silently assembled.
+    #[test]
+    fn truncated_stream_is_incomplete(seed in any::<u64>(), chunk_size in 1usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut entries = mix_entries(&mut rng);
+        entries.push(mix_entry(&mut rng)); // ≥ 1 entry, ≥ 1 chunk
+        let stream = ChunkedBatch::build(3, &entries, chunk_size);
+
+        let mut assembler = BatchAssembler::begin(3, entries.len() as u32).unwrap();
+        // Feed every chunk but the last.
+        let chunks = stream.frames().len() - 2;
+        for bytes in &stream.frames()[1..1 + chunks - 1] {
+            let Frame::MixBatchChunk { entries } = Frame::decode(&bytes[4..]).unwrap()
+            else { panic!("wrong frame") };
+            assembler.absorb(entries).unwrap();
+        }
+        prop_assert!(matches!(
+            assembler.finish(stream.digest()),
+            Err(StreamError::Incomplete { .. })
+        ));
+    }
+
+    /// A flipped digest bit fails the close.
+    #[test]
+    fn digest_mismatch_is_rejected(seed in any::<u64>(), chunk_size in 1usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let entries = mix_entries(&mut rng);
+        let stream = ChunkedBatch::build(5, &entries, chunk_size);
+
+        let mut assembler = BatchAssembler::begin(5, entries.len() as u32).unwrap();
+        for bytes in &stream.frames()[1..stream.frames().len() - 1] {
+            let Frame::MixBatchChunk { entries } = Frame::decode(&bytes[4..]).unwrap()
+            else { panic!("wrong frame") };
+            assembler.absorb(entries).unwrap();
+        }
+        let mut digest = stream.digest();
+        digest[seed as usize % 32] ^= 1;
+        prop_assert_eq!(assembler.finish(digest), Err(StreamError::DigestMismatch));
+    }
+
+    /// More entries than the Start declared error out at the
+    /// offending chunk (Overrun), not at the End.
+    #[test]
+    fn overrun_rejected_at_the_chunk(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut entries = mix_entries(&mut rng);
+        entries.push(mix_entry(&mut rng));
+
+        let mut assembler =
+            BatchAssembler::begin(1, (entries.len() - 1) as u32).unwrap();
+        prop_assert!(matches!(
+            assembler.absorb(entries),
+            Err(StreamError::Overrun { .. })
+        ));
+    }
+}
+
+#[test]
+fn stream_for_the_wrong_round_is_rejected() {
+    assert_eq!(
+        BatchAssembler::begin_for_round(7, 4, 8).err(),
+        Some(StreamError::WrongRound { got: 7, want: 8 })
+    );
+    assert!(BatchAssembler::begin_for_round(8, 4, 8).is_ok());
+}
+
+#[test]
+fn oversized_stream_declaration_rejected() {
+    assert!(matches!(
+        BatchAssembler::begin(0, xrd_net::codec::MAX_BATCH as u32 + 1),
+        Err(StreamError::TooLarge { .. })
+    ));
 }

@@ -175,3 +175,136 @@ fn churned_connections_leave_daemon_serving_and_thread_count_flat() {
         );
     }
 }
+
+/// The handler-offload acceptance bar: while a large hop's crypto is
+/// in flight on the daemon's worker pool, the reactor thread keeps
+/// serving — a submission fired mid-hop on another connection is
+/// verified and acknowledged long before the hop's response lands.
+/// The pre-offload daemon ran `MixBatch` crypto inline on the reactor
+/// thread, so the submission would have waited out the whole hop.
+///
+/// The O(1)-thread assertion is adjusted for the offload: the daemon
+/// may now hold its fixed-size worker pool (≤ 4 threads, spawned
+/// lazily at the first hop) plus transient scoped hop workers — still
+/// O(1) in the number of clients.
+#[test]
+fn submissions_served_while_hop_crypto_in_flight() {
+    let _guard = THREAD_ACCOUNTING.lock().unwrap();
+    const N: usize = 1000;
+    let mut rng = StdRng::seed_from_u64(19);
+    let (mut secrets, mut public) = generate_chain_keys(&mut rng, 3, 0);
+    rotate_inner_keys(&mut rng, &mut secrets, &mut public, 0);
+    let daemon = MixServerDaemon::spawn("127.0.0.1:0", secrets.remove(0), public.clone(), 13)
+        .expect("daemon spawns");
+    let addr = daemon.addr();
+    let baseline = process_threads();
+
+    // Fill round 0's batch.
+    let mut control = Conn::connect(addr).expect("control connects");
+    control
+        .request_ok(&Frame::OpenRound { round: 0 })
+        .expect("window opens");
+    let submissions = sealed_submissions(&mut rng, &public, 0, N);
+    // Sealed for round 1: what the mid-hop submitters send (the PoK
+    // binds the round number).
+    let extra = sealed_submissions(&mut rng, &public, 1, 2);
+    for submission in &submissions[..N] {
+        control
+            .request_ok(&Frame::Submit {
+                round: 0,
+                submission: submission.clone(),
+            })
+            .expect("submission accepted");
+    }
+    let batch = match control
+        .request(&Frame::CloseSubmissions { round: 0 })
+        .and_then(|_| control.request(&Frame::GetBatch { round: 0 }))
+        .expect("batch fetched")
+    {
+        Frame::SubmissionBatch { submissions, .. } => submissions,
+        other => panic!("expected SubmissionBatch, got {other:?}"),
+    };
+    let entries: Vec<_> = batch.iter().map(|s| s.to_entry()).collect();
+
+    // Open round 1's window so a submission can land *during* the hop.
+    control
+        .request_ok(&Frame::OpenRound { round: 1 })
+        .expect("window reopens");
+
+    // Fire the hop on one connection without reading its response…
+    let hop_start = std::time::Instant::now();
+    control
+        .send(&Frame::MixBatch { round: 0, entries })
+        .expect("hop fires");
+
+    // …and submit on another connection while the hop is in flight.
+    let mut submitter = Conn::connect(addr).expect("submitter connects");
+    let submit_start = std::time::Instant::now();
+    submitter
+        .request_ok(&Frame::Submit {
+            round: 1,
+            submission: extra[0].clone(),
+        })
+        .expect("mid-hop submission accepted");
+    let submit_elapsed = submit_start.elapsed();
+
+    let threads_mid_hop = process_threads();
+
+    // Collect the hop.
+    match control.recv().expect("hop response") {
+        Frame::HopOutput { outputs, .. } => assert_eq!(outputs.len(), N),
+        other => panic!("expected HopOutput, got {other:?}"),
+    }
+    let hop_elapsed = hop_start.elapsed();
+
+    assert!(
+        submit_elapsed < hop_elapsed / 2,
+        "submission waited out the hop: submit {submit_elapsed:?} vs hop {hop_elapsed:?} \
+         — MixBatch crypto is blocking the reactor thread"
+    );
+
+    if let (Some(b), Some(mid)) = (baseline, threads_mid_hop) {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        // Worker pool (≤ 4) + transient scoped hop workers (≤ cores),
+        // never O(clients).
+        assert!(
+            mid <= b + 4 + cores + THREAD_SLACK,
+            "hop offload grew threads {b} -> {mid} (pool should be fixed-size)"
+        );
+    }
+
+    // The streamed path overlaps the same way: submissions interleave
+    // with the chunk stream of the *next* hop.
+    let stream = xrd_net::codec::ChunkedBatch::build(
+        0,
+        &batch.iter().map(|s| s.to_entry()).collect::<Vec<_>>(),
+        64,
+    );
+    let (head, tail) = stream.frames().split_at(stream.frames().len() / 2);
+    for bytes in head {
+        control.send_encoded(bytes).expect("chunk sends");
+    }
+    let submit_start = std::time::Instant::now();
+    // A fresh submission between two chunks of an in-flight stream.
+    submitter
+        .request_ok(&Frame::Submit {
+            round: 1,
+            submission: extra[1].clone(),
+        })
+        .expect("mid-stream submission accepted");
+    let mid_stream_submit = submit_start.elapsed();
+    for bytes in tail {
+        control.send_encoded(bytes).expect("chunk sends");
+    }
+    loop {
+        match control.recv().expect("stream response") {
+            Frame::HopOutputStart { .. } | Frame::HopOutputChunk { .. } => {}
+            Frame::HopOutputEnd { .. } => break,
+            other => panic!("expected hop output stream, got {other:?}"),
+        }
+    }
+    assert!(
+        mid_stream_submit < std::time::Duration::from_secs(2),
+        "mid-stream submission stalled: {mid_stream_submit:?}"
+    );
+}

@@ -1,0 +1,326 @@
+//! End-to-end tests for the streamed hop pipeline: equivalence with
+//! the whole-batch path, full chain rounds over forced streaming
+//! (including blame), and the daemon's handling of malformed streams.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use xrd_core::{DeploymentConfig, User};
+use xrd_mixnet::chain_keys::{generate_chain_keys, rotate_inner_keys};
+use xrd_mixnet::message::MixEntry;
+use xrd_mixnet::server::verify_hop;
+use xrd_net::codec::{error_code, BatchAssembler, ChunkedBatch, Frame, StreamDigest};
+use xrd_net::{launch_local, run_swarm, Conn, MixServerDaemon, NetError, SwarmConfig, Transport};
+use xrd_topology::ChainId;
+
+/// Drive one daemon through a streamed hop and return its outputs and
+/// proof.
+fn streamed_hop(
+    conn: &mut Conn,
+    round: u64,
+    entries: &[MixEntry],
+    chunk: usize,
+) -> Result<(Vec<MixEntry>, xrd_crypto::nizk::DleqProof), NetError> {
+    let stream = ChunkedBatch::build(round, entries, chunk);
+    for bytes in stream.frames() {
+        conn.send_encoded(bytes)?;
+    }
+    let total = match conn.recv()? {
+        Frame::HopOutputStart { total, .. } => total,
+        other => panic!("expected HopOutputStart, got {other:?}"),
+    };
+    let mut assembler = BatchAssembler::begin(round, total).expect("assembler");
+    loop {
+        match conn.recv()? {
+            Frame::HopOutputChunk { entries } => {
+                assembler.absorb(entries).expect("absorbs");
+            }
+            Frame::HopOutputEnd { digest, proof } => {
+                return Ok((assembler.finish(digest).expect("digest matches"), proof));
+            }
+            other => panic!("expected HopOutputChunk/End, got {other:?}"),
+        }
+    }
+}
+
+/// The streamed path computes *exactly* the whole-batch hop: two
+/// daemons with identical secrets and rng seeds, one driven by a
+/// monolithic `MixBatch`, one by a chunk stream — identical shuffled
+/// outputs, both attestations verify.
+#[test]
+fn streamed_and_whole_batch_hops_agree() {
+    let round = 0u64;
+    let mut rng = StdRng::seed_from_u64(11);
+    let (mut secrets, mut public) = generate_chain_keys(&mut rng, 3, 0);
+    rotate_inner_keys(&mut rng, &mut secrets, &mut public, round);
+    let secrets = secrets.remove(0);
+
+    let whole = MixServerDaemon::spawn("127.0.0.1:0", secrets.clone(), public.clone(), 42)
+        .expect("whole daemon spawns");
+    let streamed = MixServerDaemon::spawn("127.0.0.1:0", secrets, public.clone(), 42)
+        .expect("streamed daemon spawns");
+
+    let subs = xrd_net::swarm::sealed_submissions(&mut rng, &public, round, 37);
+    let entries: Vec<MixEntry> = subs.iter().map(|s| s.to_entry()).collect();
+
+    let mut whole_conn = Conn::connect(whole.addr()).expect("connects");
+    let (whole_out, whole_proof) = match whole_conn
+        .request(&Frame::MixBatch {
+            round,
+            entries: entries.clone(),
+        })
+        .expect("whole hop runs")
+    {
+        Frame::HopOutput { outputs, proof, .. } => (outputs, proof),
+        other => panic!("expected HopOutput, got {other:?}"),
+    };
+
+    let mut streamed_conn = Conn::connect(streamed.addr()).expect("connects");
+    let (streamed_out, streamed_proof) =
+        streamed_hop(&mut streamed_conn, round, &entries, 5).expect("streamed hop runs");
+
+    // Same rng seed, same rng consumption order (the kernel draws no
+    // randomness; only the shuffle and proof do): identical results.
+    assert_eq!(streamed_out, whole_out);
+    assert!(verify_hop(
+        &public,
+        0,
+        round,
+        &entries,
+        &whole_out,
+        &whole_proof
+    ));
+    assert!(verify_hop(
+        &public,
+        0,
+        round,
+        &entries,
+        &streamed_out,
+        &streamed_proof
+    ));
+}
+
+/// A full networked deployment with streaming forced down to 4-entry
+/// chunks: every round (mix, cross-verify, reveal, delivery, rotation)
+/// completes and every chat lands — the pipeline is a drop-in for the
+/// whole-batch path.
+#[test]
+fn streamed_chain_rounds_deliver() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let config = DeploymentConfig::small(4, 3);
+    let (mut cluster, mut deployment) = launch_local(&mut rng, &config).expect("cluster launches");
+    deployment.set_transport(Transport::Streamed { chunk: 4 });
+
+    let report = run_swarm(
+        &mut rng,
+        &mut deployment,
+        &SwarmConfig {
+            n_users: 16,
+            rounds: 2,
+            conversing_fraction: 0.5,
+            submit_workers: 4,
+        },
+    );
+    assert_eq!(report.rounds.len(), 2);
+    for round in &report.rounds {
+        assert!(
+            round.delivered > 0,
+            "round {} delivered nothing",
+            round.round
+        );
+    }
+    cluster.shutdown();
+}
+
+/// Blame still works when the batch streams: a garbage onion triggers
+/// `HopFailure` out of a streamed session, the §6.4 trace convicts the
+/// injected submission, and the retried (streamed) pass delivers every
+/// honest message.
+#[test]
+fn streamed_blame_removes_malicious_submission() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let config = DeploymentConfig::small(4, 3);
+    let (mut cluster, mut deployment) = launch_local(&mut rng, &config).expect("cluster launches");
+    deployment.set_transport(Transport::Streamed { chunk: 3 });
+    let ell = deployment.topology().ell();
+
+    let mut users: Vec<User> = (0..5).map(|_| User::new(&mut rng)).collect();
+    let bad = xrd_mixnet::testutil::malicious_submission(
+        &mut rng,
+        &deployment.chain_keys()[0],
+        0,
+        deployment.topology().chain_len() - 1,
+    );
+    deployment.inject_submission(ChainId(0), bad);
+
+    let (report, fetched) = deployment.run_round(&mut rng, &mut users);
+    assert!(report.aborted_chains.is_empty(), "no server is at fault");
+    assert_eq!(
+        report.malicious_by_chain.get(&0),
+        Some(&1),
+        "the injected submission is convicted"
+    );
+    assert_eq!(report.delivered, 5 * ell, "honest messages all survive");
+    for user in &users {
+        assert_eq!(fetched[&user.mailbox_id()].len(), ell);
+    }
+    cluster.shutdown();
+}
+
+/// Malformed streams are answered with `Error` frames and leave the
+/// daemon serving: chunks without a Start, overrunning the declared
+/// total, and a wrong closing digest.
+#[test]
+fn malformed_streams_rejected_cleanly() {
+    let round = 0u64;
+    let mut rng = StdRng::seed_from_u64(31);
+    let (mut secrets, mut public) = generate_chain_keys(&mut rng, 2, 0);
+    rotate_inner_keys(&mut rng, &mut secrets, &mut public, round);
+    let daemon = MixServerDaemon::spawn("127.0.0.1:0", secrets.remove(0), public.clone(), 7)
+        .expect("daemon spawns");
+
+    let subs = xrd_net::swarm::sealed_submissions(&mut rng, &public, round, 6);
+    let entries: Vec<MixEntry> = subs.iter().map(|s| s.to_entry()).collect();
+
+    let mut conn = Conn::connect(daemon.addr()).expect("connects");
+
+    // 1. A chunk with no session open.
+    match conn.request(&Frame::MixBatchChunk {
+        entries: entries.clone(),
+    }) {
+        Err(NetError::Remote { code, .. }) => assert_eq!(code, error_code::BAD_STATE),
+        other => panic!("chunk without start not rejected: {other:?}"),
+    }
+
+    // 2. An End with no session open.
+    match conn.request(&Frame::MixBatchEnd { digest: [0; 32] }) {
+        Err(NetError::Remote { code, .. }) => assert_eq!(code, error_code::BAD_STATE),
+        other => panic!("end without start not rejected: {other:?}"),
+    }
+
+    // 3. Overrun: declare 2 entries, ship 6.
+    conn.send(&Frame::MixBatchStart { round, total: 2 })
+        .expect("start sends");
+    match conn.request(&Frame::MixBatchChunk {
+        entries: entries.clone(),
+    }) {
+        Err(NetError::Remote { code, .. }) => assert_eq!(code, error_code::BAD_STATE),
+        other => panic!("overrun not rejected: {other:?}"),
+    }
+
+    // 4. Digest mismatch: correct count, wrong closing digest.
+    conn.send(&Frame::MixBatchStart {
+        round,
+        total: entries.len() as u32,
+    })
+    .expect("start sends");
+    conn.send(&Frame::MixBatchChunk {
+        entries: entries.clone(),
+    })
+    .expect("chunk sends");
+    match conn.request(&Frame::MixBatchEnd { digest: [9; 32] }) {
+        Err(NetError::Remote { code, .. }) => assert_eq!(code, error_code::BAD_STATE),
+        other => panic!("digest mismatch not rejected: {other:?}"),
+    }
+
+    // 5. A fresh Start replaces any aborted session, and the daemon
+    // still runs a clean streamed hop on this same connection.
+    let (outputs, proof) = streamed_hop(&mut conn, round, &entries, 2).expect("clean hop");
+    assert_eq!(outputs.len(), entries.len());
+    assert!(verify_hop(&public, 0, round, &entries, &outputs, &proof));
+}
+
+/// The stream digest really is what the daemon checks: a relay that
+/// recomputes it from decoded entries gets the same value the builder
+/// derived from its encoded payloads.
+#[test]
+fn builder_and_reencoded_digests_agree() {
+    let mut rng = StdRng::seed_from_u64(55);
+    let (_, public) = generate_chain_keys(&mut rng, 1, 0);
+    let subs = xrd_net::swarm::sealed_submissions(&mut rng, &public, 0, 9);
+    let entries: Vec<MixEntry> = subs.iter().map(|s| s.to_entry()).collect();
+
+    let built = ChunkedBatch::build(0, &entries, 4);
+    let mut digest = StreamDigest::new();
+    digest.absorb_entries(&entries);
+    assert_eq!(built.digest(), digest.finalize());
+}
+
+/// A client that fires a hop and vanishes mid-computation must not
+/// wedge (or spin) the daemon: the orphaned job's response is
+/// discarded and other connections keep being served immediately.
+#[test]
+fn disconnect_while_hop_pending_leaves_daemon_serving() {
+    let round = 0u64;
+    let mut rng = StdRng::seed_from_u64(77);
+    let (mut secrets, mut public) = generate_chain_keys(&mut rng, 2, 0);
+    rotate_inner_keys(&mut rng, &mut secrets, &mut public, round);
+    let daemon = MixServerDaemon::spawn("127.0.0.1:0", secrets.remove(0), public.clone(), 3)
+        .expect("daemon spawns");
+
+    let subs = xrd_net::swarm::sealed_submissions(&mut rng, &public, round, 200);
+    let entries: Vec<MixEntry> = subs.iter().map(|s| s.to_entry()).collect();
+
+    // Fire a ~15ms hop and hang up without reading the response.
+    let mut doomed = Conn::connect(daemon.addr()).expect("doomed connects");
+    doomed
+        .send(&Frame::MixBatch {
+            round,
+            entries: entries.clone(),
+        })
+        .expect("hop fires");
+    drop(doomed);
+
+    // While (and after) the orphaned job runs, the daemon serves.
+    let mut conn = Conn::connect(daemon.addr()).expect("reconnect");
+    let start = std::time::Instant::now();
+    for _ in 0..20 {
+        conn.request_ok(&Frame::Ping).expect("ping served");
+    }
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(2),
+        "daemon unresponsive after mid-hop disconnect"
+    );
+    // And a full hop still completes on the surviving connection.
+    let (outputs, proof) = streamed_hop(&mut conn, round, &entries, 50).expect("clean hop");
+    assert!(verify_hop(&public, 0, round, &entries, &outputs, &proof));
+}
+
+/// A request/response client that half-closes (shutdown write) right
+/// after firing a hop must still receive the deferred response — EOF
+/// on the daemon's read is not a disconnect while the peer's read
+/// half lives.
+#[test]
+fn half_closing_client_still_receives_deferred_response() {
+    use std::io::Write;
+    let round = 0u64;
+    let mut rng = StdRng::seed_from_u64(91);
+    let (mut secrets, mut public) = generate_chain_keys(&mut rng, 2, 0);
+    rotate_inner_keys(&mut rng, &mut secrets, &mut public, round);
+    let daemon = MixServerDaemon::spawn("127.0.0.1:0", secrets.remove(0), public.clone(), 5)
+        .expect("daemon spawns");
+
+    let subs = xrd_net::swarm::sealed_submissions(&mut rng, &public, round, 60);
+    let entries: Vec<MixEntry> = subs.iter().map(|s| s.to_entry()).collect();
+
+    let mut stream = std::net::TcpStream::connect(daemon.addr()).expect("connects");
+    stream
+        .write_all(
+            &Frame::MixBatch {
+                round,
+                entries: entries.clone(),
+            }
+            .encode(),
+        )
+        .expect("hop fires");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+
+    match xrd_net::codec::read_frame(&mut stream).expect("response readable") {
+        Some(Ok(Frame::HopOutput { outputs, proof, .. })) => {
+            assert!(verify_hop(&public, 0, round, &entries, &outputs, &proof));
+        }
+        other => panic!("expected HopOutput after half-close, got {other:?}"),
+    }
+}

@@ -47,8 +47,12 @@ fn stress(mut args: impl Iterator<Item = String>) {
         report.submit_elapsed, report.submits_per_sec
     );
     println!(
-        "mix hop  : {:>9.1?}  ({} entries, attestation verified)",
+        "mix hop  : {:>9.1?}  ({} entries whole-batch, attestation verified)",
         report.hop_elapsed, report.accepted
+    );
+    println!(
+        "streamed : {:>9.1?}  (same hop, chunked + overlapped with transfer)",
+        report.hop_streamed_elapsed
     );
     println!("STRESS OK: {} submissions accepted", report.accepted);
 }
