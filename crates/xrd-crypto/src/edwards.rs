@@ -9,6 +9,13 @@
 //! "P2" doublings, cached-Niels additions) so a scalar multiplication
 //! costs roughly half the field work of the naive extended-only ladder.
 //!
+//! The whole pipeline is generic over the field representation
+//! ([`FieldBackend`]): `EdwardsPoint<F>` defaults to the build-selected
+//! [`FieldElement`], which is what the rest of the crate (and the
+//! public API) uses, while benches and differential tests instantiate
+//! the *same* formulas over both backends in one build to compare them
+//! like for like.
+//!
 //! Three multiplication strategies coexist:
 //!
 //! * [`EdwardsPoint::scalar_mul`] — constant-time-style signed radix-16
@@ -25,32 +32,23 @@
 
 use std::sync::OnceLock;
 
-use crate::field::FieldElement;
+use crate::field::{FieldBackend, FieldElement};
 use crate::scalar::Scalar;
 
-/// The curve constant `d = -121665/121666`, derived at first use.
+/// The curve constant `d = -121665/121666` for the build-selected
+/// field backend, derived at first use.
 pub fn edwards_d() -> &'static FieldElement {
-    static D: OnceLock<FieldElement> = OnceLock::new();
-    D.get_or_init(|| {
-        FieldElement::from_u64(121665)
-            .neg()
-            .mul(&FieldElement::from_u64(121666).invert())
-    })
+    <FieldElement as FieldBackend>::edwards_d()
 }
 
-/// `2 * d`, used by the addition formula.
-fn edwards_d2() -> &'static FieldElement {
-    static D2: OnceLock<FieldElement> = OnceLock::new();
-    D2.get_or_init(|| edwards_d().add(edwards_d()))
-}
-
-/// A point on edwards25519 in extended coordinates.
+/// A point on edwards25519 in extended coordinates, generic over the
+/// field representation (defaulting to the build-selected backend).
 #[derive(Clone, Copy, Debug)]
-pub struct EdwardsPoint {
-    pub(crate) x: FieldElement,
-    pub(crate) y: FieldElement,
-    pub(crate) z: FieldElement,
-    pub(crate) t: FieldElement,
+pub struct EdwardsPoint<F: FieldBackend = FieldElement> {
+    pub(crate) x: F,
+    pub(crate) y: F,
+    pub(crate) z: F,
+    pub(crate) t: F,
 }
 
 /// The canonical compressed (curve25519 "y plus sign bit") encoding of the
@@ -71,48 +69,48 @@ const BASEPOINT_COMPRESSED: [u8; 32] = [
 
 /// A point in projective "P2" coordinates (no `T`): doubling input.
 #[derive(Clone, Copy, Debug)]
-struct ProjectivePoint {
-    x: FieldElement,
-    y: FieldElement,
-    z: FieldElement,
+struct ProjectivePoint<F: FieldBackend> {
+    x: F,
+    y: F,
+    z: F,
 }
 
 /// The output of an addition/doubling formula before renormalization:
 /// `x = X/Z`, `y = Y/T`.
 #[derive(Clone, Copy, Debug)]
-struct CompletedPoint {
-    x: FieldElement,
-    y: FieldElement,
-    z: FieldElement,
-    t: FieldElement,
+struct CompletedPoint<F: FieldBackend> {
+    x: F,
+    y: F,
+    z: F,
+    t: F,
 }
 
 /// Cached form of a point for repeated additions (projective).
 #[derive(Clone, Copy, Debug)]
-pub(crate) struct ProjectiveNielsPoint {
-    y_plus_x: FieldElement,
-    y_minus_x: FieldElement,
-    z: FieldElement,
-    t2d: FieldElement,
+pub(crate) struct ProjectiveNielsPoint<F: FieldBackend = FieldElement> {
+    y_plus_x: F,
+    y_minus_x: F,
+    z: F,
+    t2d: F,
 }
 
 /// Cached form of an *affine* (`Z = 1`) point: one multiplication
 /// cheaper to add than [`ProjectiveNielsPoint`], and 3 field elements
 /// instead of 4, so masked table scans touch less memory.
 #[derive(Clone, Copy, Debug)]
-pub(crate) struct AffineNielsPoint {
-    y_plus_x: FieldElement,
-    y_minus_x: FieldElement,
-    xy2d: FieldElement,
+pub(crate) struct AffineNielsPoint<F: FieldBackend = FieldElement> {
+    y_plus_x: F,
+    y_minus_x: F,
+    xy2d: F,
 }
 
-impl ProjectiveNielsPoint {
+impl<F: FieldBackend> ProjectiveNielsPoint<F> {
     /// The cached form of the identity.
-    const IDENTITY: ProjectiveNielsPoint = ProjectiveNielsPoint {
-        y_plus_x: FieldElement::ONE,
-        y_minus_x: FieldElement::ONE,
-        z: FieldElement::ONE,
-        t2d: FieldElement::ZERO,
+    const IDENTITY: ProjectiveNielsPoint<F> = ProjectiveNielsPoint {
+        y_plus_x: F::ONE,
+        y_minus_x: F::ONE,
+        z: F::ONE,
+        t2d: F::ZERO,
     };
 
     /// Negate iff `choice` is 1 (swaps the sum/difference caches and
@@ -120,8 +118,8 @@ impl ProjectiveNielsPoint {
     #[inline(always)]
     fn conditional_negate(&self, choice: u64) -> Self {
         ProjectiveNielsPoint {
-            y_plus_x: FieldElement::select(&self.y_plus_x, &self.y_minus_x, choice),
-            y_minus_x: FieldElement::select(&self.y_minus_x, &self.y_plus_x, choice),
+            y_plus_x: F::select(&self.y_plus_x, &self.y_minus_x, choice),
+            y_minus_x: F::select(&self.y_minus_x, &self.y_plus_x, choice),
             z: self.z,
             t2d: self.t2d.conditional_negate(choice),
         }
@@ -131,12 +129,11 @@ impl ProjectiveNielsPoint {
     #[inline(always)]
     fn masked(&self, choice: u64) -> Self {
         let m = choice.wrapping_neg();
-        let f = |x: &FieldElement| FieldElement(x.0.map(|l| l & m));
         ProjectiveNielsPoint {
-            y_plus_x: f(&self.y_plus_x),
-            y_minus_x: f(&self.y_minus_x),
-            z: f(&self.z),
-            t2d: f(&self.t2d),
+            y_plus_x: self.y_plus_x.and_mask(m),
+            y_minus_x: self.y_minus_x.and_mask(m),
+            z: self.z.and_mask(m),
+            t2d: self.t2d.and_mask(m),
         }
     }
 
@@ -144,29 +141,27 @@ impl ProjectiveNielsPoint {
     #[inline(always)]
     fn accumulate(&mut self, entry: &Self, choice: u64) {
         let m = choice.wrapping_neg();
-        for i in 0..5 {
-            self.y_plus_x.0[i] |= entry.y_plus_x.0[i] & m;
-            self.y_minus_x.0[i] |= entry.y_minus_x.0[i] & m;
-            self.z.0[i] |= entry.z.0[i] & m;
-            self.t2d.0[i] |= entry.t2d.0[i] & m;
-        }
+        self.y_plus_x.or_assign_masked(&entry.y_plus_x, m);
+        self.y_minus_x.or_assign_masked(&entry.y_minus_x, m);
+        self.z.or_assign_masked(&entry.z, m);
+        self.t2d.or_assign_masked(&entry.t2d, m);
     }
 }
 
-impl AffineNielsPoint {
+impl<F: FieldBackend> AffineNielsPoint<F> {
     /// The cached form of the identity.
-    const IDENTITY: AffineNielsPoint = AffineNielsPoint {
-        y_plus_x: FieldElement::ONE,
-        y_minus_x: FieldElement::ONE,
-        xy2d: FieldElement::ZERO,
+    const IDENTITY: AffineNielsPoint<F> = AffineNielsPoint {
+        y_plus_x: F::ONE,
+        y_minus_x: F::ONE,
+        xy2d: F::ZERO,
     };
 
     /// Negate iff `choice` is 1.
     #[inline(always)]
     fn conditional_negate(&self, choice: u64) -> Self {
         AffineNielsPoint {
-            y_plus_x: FieldElement::select(&self.y_plus_x, &self.y_minus_x, choice),
-            y_minus_x: FieldElement::select(&self.y_minus_x, &self.y_plus_x, choice),
+            y_plus_x: F::select(&self.y_plus_x, &self.y_minus_x, choice),
+            y_minus_x: F::select(&self.y_minus_x, &self.y_plus_x, choice),
             xy2d: self.xy2d.conditional_negate(choice),
         }
     }
@@ -175,11 +170,10 @@ impl AffineNielsPoint {
     #[inline(always)]
     fn masked(&self, choice: u64) -> Self {
         let m = choice.wrapping_neg();
-        let f = |x: &FieldElement| FieldElement(x.0.map(|l| l & m));
         AffineNielsPoint {
-            y_plus_x: f(&self.y_plus_x),
-            y_minus_x: f(&self.y_minus_x),
-            xy2d: f(&self.xy2d),
+            y_plus_x: self.y_plus_x.and_mask(m),
+            y_minus_x: self.y_minus_x.and_mask(m),
+            xy2d: self.xy2d.and_mask(m),
         }
     }
 
@@ -187,24 +181,25 @@ impl AffineNielsPoint {
     #[inline(always)]
     fn accumulate(&mut self, entry: &Self, choice: u64) {
         let m = choice.wrapping_neg();
-        for i in 0..5 {
-            self.y_plus_x.0[i] |= entry.y_plus_x.0[i] & m;
-            self.y_minus_x.0[i] |= entry.y_minus_x.0[i] & m;
-            self.xy2d.0[i] |= entry.xy2d.0[i] & m;
-        }
+        self.y_plus_x.or_assign_masked(&entry.y_plus_x, m);
+        self.y_minus_x.or_assign_masked(&entry.y_minus_x, m);
+        self.xy2d.or_assign_masked(&entry.xy2d, m);
     }
 }
 
-impl ProjectivePoint {
+impl<F: FieldBackend> ProjectivePoint<F> {
     /// Doubling: 4 squarings, no general multiplications.  Inputs are
     /// reduced (they come out of multiplications); the additive steps
-    /// are lazy, with bounds noted inline (see `field.rs` lazy rules).
+    /// are lazy where the backend supports it.  The bounds noted inline
+    /// are the 5×51 backend's (the 4×64 backend reduces eagerly and
+    /// satisfies them trivially; see `field/mod.rs`).
     #[inline(always)]
-    fn double(&self) -> CompletedPoint {
+    fn double(&self) -> CompletedPoint<F> {
         let xx = self.x.square();
         let yy = self.y.square();
-        let zz = self.z.square();
-        let zz2 = zz.lazy_add(&zz); // < 2^53
+        // 2Z^2 in one carry pass (reduced output, so also a valid
+        // `lazy_sub_wide` lhs below).
+        let zz2 = self.z.square2();
         let x_plus_y_sq = self.x.lazy_add(&self.y).square();
         let yy_plus_xx = yy.lazy_add(&xx); // < 2^53
         let yy_minus_xx = yy.lazy_sub(&xx); // < 2^55.4
@@ -217,10 +212,10 @@ impl ProjectivePoint {
     }
 }
 
-impl CompletedPoint {
+impl<F: FieldBackend> CompletedPoint<F> {
     /// Renormalize to "P2" (3 multiplications): enough to keep doubling.
     #[inline(always)]
-    fn to_projective(self) -> ProjectivePoint {
+    fn to_projective(self) -> ProjectivePoint<F> {
         ProjectivePoint {
             x: self.x.mul(&self.t),
             y: self.y.mul(&self.z),
@@ -231,7 +226,7 @@ impl CompletedPoint {
     /// Renormalize to extended coordinates (4 multiplications): needed
     /// before the next cached-Niels addition.
     #[inline(always)]
-    fn to_extended(self) -> EdwardsPoint {
+    fn to_extended(self) -> EdwardsPoint<F> {
         EdwardsPoint {
             x: self.x.mul(&self.t),
             y: self.y.mul(&self.z),
@@ -239,6 +234,105 @@ impl CompletedPoint {
             t: self.x.mul(&self.y),
         }
     }
+}
+
+/// Two independent doublings with their field operations interleaved
+/// in program order, so each chain's multiplies fill the other's
+/// pipeline bubbles (the out-of-order window cannot bridge two fully
+/// sequential doublings — a whole doubling is several hundred uops).
+/// Used by the two-scalar hop kernel; see
+/// [`PointTable::scalar_mul_pair`].
+#[inline(always)]
+fn double_pair<F: FieldBackend>(
+    pa: &ProjectivePoint<F>,
+    pb: &ProjectivePoint<F>,
+) -> (CompletedPoint<F>, CompletedPoint<F>) {
+    let xx_a = pa.x.square();
+    let xx_b = pb.x.square();
+    let yy_a = pa.y.square();
+    let yy_b = pb.y.square();
+    let zz2_a = pa.z.square2();
+    let zz2_b = pb.z.square2();
+    let xy_sq_a = pa.x.lazy_add(&pa.y).square();
+    let xy_sq_b = pb.x.lazy_add(&pb.y).square();
+    let yy_plus_xx_a = yy_a.lazy_add(&xx_a);
+    let yy_plus_xx_b = yy_b.lazy_add(&xx_b);
+    let yy_minus_xx_a = yy_a.lazy_sub(&xx_a);
+    let yy_minus_xx_b = yy_b.lazy_sub(&xx_b);
+    (
+        CompletedPoint {
+            x: xy_sq_a.lazy_sub(&yy_plus_xx_a),
+            y: yy_plus_xx_a,
+            z: yy_minus_xx_a,
+            t: zz2_a.lazy_sub_wide(&yy_minus_xx_a),
+        },
+        CompletedPoint {
+            x: xy_sq_b.lazy_sub(&yy_plus_xx_b),
+            y: yy_plus_xx_b,
+            z: yy_minus_xx_b,
+            t: zz2_b.lazy_sub_wide(&yy_minus_xx_b),
+        },
+    )
+}
+
+/// Two independent "P2" renormalizations, interleaved like
+/// [`double_pair`] (6 independent multiplies back to back).
+#[inline(always)]
+fn to_projective_pair<F: FieldBackend>(
+    ca: &CompletedPoint<F>,
+    cb: &CompletedPoint<F>,
+) -> (ProjectivePoint<F>, ProjectivePoint<F>) {
+    let xa = ca.x.mul(&ca.t);
+    let xb = cb.x.mul(&cb.t);
+    let ya = ca.y.mul(&ca.z);
+    let yb = cb.y.mul(&cb.z);
+    let za = ca.z.mul(&ca.t);
+    let zb = cb.z.mul(&cb.t);
+    (
+        ProjectivePoint {
+            x: xa,
+            y: ya,
+            z: za,
+        },
+        ProjectivePoint {
+            x: xb,
+            y: yb,
+            z: zb,
+        },
+    )
+}
+
+/// Two independent affine-Niels mixed additions, interleaved like
+/// [`double_pair`].
+#[inline(always)]
+fn add_affine_niels_pair<F: FieldBackend>(
+    ea: &EdwardsPoint<F>,
+    na: &AffineNielsPoint<F>,
+    eb: &EdwardsPoint<F>,
+    nb: &AffineNielsPoint<F>,
+) -> (CompletedPoint<F>, CompletedPoint<F>) {
+    let pp_a = ea.y.lazy_add(&ea.x).mul(&na.y_plus_x);
+    let pp_b = eb.y.lazy_add(&eb.x).mul(&nb.y_plus_x);
+    let mm_a = ea.y.lazy_sub(&ea.x).mul(&na.y_minus_x);
+    let mm_b = eb.y.lazy_sub(&eb.x).mul(&nb.y_minus_x);
+    let txy2d_a = ea.t.mul(&na.xy2d);
+    let txy2d_b = eb.t.mul(&nb.xy2d);
+    let z2_a = ea.z.lazy_add(&ea.z);
+    let z2_b = eb.z.lazy_add(&eb.z);
+    (
+        CompletedPoint {
+            x: pp_a.lazy_sub(&mm_a),
+            y: pp_a.lazy_add(&mm_a),
+            z: z2_a.lazy_add(&txy2d_a),
+            t: z2_a.lazy_sub(&txy2d_a),
+        },
+        CompletedPoint {
+            x: pp_b.lazy_sub(&mm_b),
+            y: pp_b.lazy_add(&mm_b),
+            z: z2_b.lazy_add(&txy2d_b),
+            t: z2_b.lazy_sub(&txy2d_b),
+        },
+    )
 }
 
 /// Constant-time-style `a == b` for small table indices: returns 1 iff
@@ -265,8 +359,8 @@ fn digit_sign_abs(d: i8) -> (u64, u64) {
 /// digit.  The window state is carried in completed form — the
 /// doubling chain only needs P2 (3-mul renormalization) and only the
 /// final pre-addition double pays for extended coordinates.  `$add`
-/// maps `(EdwardsPoint, digit)` to a `CompletedPoint` via the caller's
-/// table-scan-and-add (affine or projective Niels).
+/// maps `(EdwardsPoint<F>, digit)` to a `CompletedPoint<F>` via the
+/// caller's table-scan-and-add (affine or projective Niels).
 macro_rules! radix16_ladder {
     ($scalar:expr, $add:expr) => {{
         let add = $add;
@@ -285,10 +379,10 @@ macro_rules! radix16_ladder {
 
 /// One-shot signed radix-16 lookup table in projective Niels form,
 /// used by [`EdwardsPoint::scalar_mul`].  Built without any inversion.
-struct LookupTable([ProjectiveNielsPoint; 8]);
+struct LookupTable<F: FieldBackend>([ProjectiveNielsPoint<F>; 8]);
 
-impl LookupTable {
-    fn new(p: &EdwardsPoint) -> LookupTable {
+impl<F: FieldBackend> LookupTable<F> {
+    fn new(p: &EdwardsPoint<F>) -> LookupTable<F> {
         let mut multiples = [*p; 8];
         for i in 1..8 {
             multiples[i] = multiples[i - 1]
@@ -302,7 +396,7 @@ impl LookupTable {
     /// accumulating `mask AND limb` over every entry (plus the identity)
     /// so exactly one all-ones mask contributes.
     #[inline(always)]
-    fn select(&self, d: i8) -> ProjectiveNielsPoint {
+    fn select(&self, d: i8) -> ProjectiveNielsPoint<F> {
         let (sign, abs) = digit_sign_abs(d);
         let mut chosen = ProjectiveNielsPoint::IDENTITY.masked(ct_eq_index(0, abs));
         for (j, entry) in self.0.iter().enumerate() {
@@ -326,14 +420,14 @@ impl LookupTable {
 ///
 /// Scans are masked (uniform access pattern), so the table is safe to
 /// drive with secret scalars.
-pub struct PointTable {
-    entries: [AffineNielsPoint; 8],
+pub struct PointTable<F: FieldBackend = FieldElement> {
+    entries: [AffineNielsPoint<F>; 8],
 }
 
-impl PointTable {
+impl<F: FieldBackend> PointTable<F> {
     /// Build the table for one point (costs one field inversion; prefer
     /// [`PointTable::batch_new`] for more than one point).
-    pub fn new(point: &EdwardsPoint) -> PointTable {
+    pub fn new(point: &EdwardsPoint<F>) -> PointTable<F> {
         PointTable::batch_new(std::slice::from_ref(point))
             .pop()
             .expect("one table per point")
@@ -341,10 +435,10 @@ impl PointTable {
 
     /// Build tables for a batch of points, sharing a single field
     /// inversion across every table's affine normalization.
-    pub fn batch_new(points: &[EdwardsPoint]) -> Vec<PointTable> {
+    pub fn batch_new(points: &[EdwardsPoint<F>]) -> Vec<PointTable<F>> {
         // Multiples in extended coordinates; even multiples come from
         // the cheaper doubling pipeline.
-        let mut multiples: Vec<[EdwardsPoint; 8]> = Vec::with_capacity(points.len());
+        let mut multiples: Vec<[EdwardsPoint<F>; 8]> = Vec::with_capacity(points.len());
         for p in points {
             let cached = p.to_projective_niels();
             let mut row = [*p; 8];
@@ -367,7 +461,7 @@ impl PointTable {
     /// Masked scan for digit `d` in `[-8, 8)`: uniform access pattern,
     /// accumulating `mask AND limb` over every entry (plus the identity).
     #[inline(always)]
-    fn select(&self, d: i8) -> AffineNielsPoint {
+    fn select(&self, d: i8) -> AffineNielsPoint<F> {
         let (sign, abs) = digit_sign_abs(d);
         let mut chosen = AffineNielsPoint::IDENTITY.masked(ct_eq_index(0, abs));
         for (j, entry) in self.entries.iter().enumerate() {
@@ -377,43 +471,61 @@ impl PointTable {
     }
 
     /// `scalar * P` off the precomputed table (constant-time-style).
-    pub fn scalar_mul(&self, scalar: &Scalar) -> EdwardsPoint {
-        radix16_ladder!(scalar, |acc: EdwardsPoint, d: i8| acc
+    pub fn scalar_mul(&self, scalar: &Scalar) -> EdwardsPoint<F> {
+        radix16_ladder!(scalar, |acc: EdwardsPoint<F>, d: i8| acc
             .add_affine_niels(&self.select(d)))
     }
 
     /// `(a * P, b * P)`: two ladders off the same table — the §6.3
     /// per-entry hop kernel: `X^msk` (decrypt) and `X^bsk` (blind) from
-    /// one table build.  (The ladders run sequentially; an interleaved
-    /// variant measured no faster on throughput-bound hardware.)
-    pub fn scalar_mul_pair(&self, a: &Scalar, b: &Scalar) -> (EdwardsPoint, EdwardsPoint) {
-        (self.scalar_mul(a), self.scalar_mul(b))
+    /// one table build.
+    ///
+    /// The two ladders are *interleaved* window by window: the `a` and
+    /// `b` accumulators are independent dependency chains, so each
+    /// window's doublings and additions for one ladder fill the
+    /// pipeline bubbles of the other.  This matters most for the 4×64
+    /// backend, whose `adcx`/`adox` carry chains are latency-bound
+    /// when run alone (the 5×51 backend's wide-accumulator code has
+    /// more intrinsic instruction-level parallelism and gains less —
+    /// which is why the pre-backend PR measured sequential ≈
+    /// interleaved and kept sequential).
+    pub fn scalar_mul_pair(&self, a: &Scalar, b: &Scalar) -> (EdwardsPoint<F>, EdwardsPoint<F>) {
+        let da = a.to_radix_16();
+        let db = b.to_radix_16();
+        let mut ca = EdwardsPoint::identity().add_affine_niels(&self.select(da[63]));
+        let mut cb = EdwardsPoint::identity().add_affine_niels(&self.select(db[63]));
+        for i in (0..63).rev() {
+            let (mut pa, mut pb) = to_projective_pair(&ca, &cb);
+            for _ in 0..3 {
+                let (da_, db_) = double_pair(&pa, &pb);
+                (pa, pb) = to_projective_pair(&da_, &db_);
+            }
+            let (ea, eb) = double_pair(&pa, &pb);
+            (ca, cb) = add_affine_niels_pair(
+                &ea.to_extended(),
+                &self.select(da[i]),
+                &eb.to_extended(),
+                &self.select(db[i]),
+            );
+        }
+        (ca.to_extended(), cb.to_extended())
     }
 }
 
-impl EdwardsPoint {
+impl<F: FieldBackend> EdwardsPoint<F> {
     /// The identity element `(0, 1)`.
-    pub fn identity() -> EdwardsPoint {
+    pub fn identity() -> EdwardsPoint<F> {
         EdwardsPoint {
-            x: FieldElement::ZERO,
-            y: FieldElement::ONE,
-            z: FieldElement::ONE,
-            t: FieldElement::ZERO,
+            x: F::ZERO,
+            y: F::ONE,
+            z: F::ONE,
+            t: F::ZERO,
         }
-    }
-
-    /// The Ed25519 basepoint.
-    pub fn basepoint() -> &'static EdwardsPoint {
-        static B: OnceLock<EdwardsPoint> = OnceLock::new();
-        B.get_or_init(|| {
-            EdwardsPoint::decompress(&BASEPOINT_COMPRESSED)
-                .expect("basepoint constant decompresses")
-        })
     }
 
     /// View the extended point as "P2" (drop `T`) for doubling chains.
     #[inline(always)]
-    fn to_projective_view(self) -> ProjectivePoint {
+    fn to_projective_view(self) -> ProjectivePoint<F> {
         ProjectivePoint {
             x: self.x,
             y: self.y,
@@ -423,18 +535,18 @@ impl EdwardsPoint {
 
     /// Cache this point for repeated additions (1 multiplication).
     #[inline(always)]
-    pub(crate) fn to_projective_niels(self) -> ProjectiveNielsPoint {
+    pub(crate) fn to_projective_niels(self) -> ProjectiveNielsPoint<F> {
         ProjectiveNielsPoint {
             y_plus_x: self.y.add(&self.x),
             y_minus_x: self.y.sub(&self.x),
             z: self.z,
-            t2d: self.t.mul(edwards_d2()),
+            t2d: self.t.mul(F::edwards_d2()),
         }
     }
 
     /// Mixed addition against a projective Niels cache (4 muls).
     #[inline(always)]
-    fn add_projective_niels(&self, other: &ProjectiveNielsPoint) -> CompletedPoint {
+    fn add_projective_niels(&self, other: &ProjectiveNielsPoint<F>) -> CompletedPoint<F> {
         let pp = self.y.lazy_add(&self.x).mul(&other.y_plus_x);
         let mm = self.y.lazy_sub(&self.x).mul(&other.y_minus_x);
         let tt2d = self.t.mul(&other.t2d);
@@ -450,7 +562,7 @@ impl EdwardsPoint {
 
     /// Mixed subtraction against a projective Niels cache (4 muls).
     #[inline(always)]
-    fn sub_projective_niels(&self, other: &ProjectiveNielsPoint) -> CompletedPoint {
+    fn sub_projective_niels(&self, other: &ProjectiveNielsPoint<F>) -> CompletedPoint<F> {
         let pp = self.y.lazy_add(&self.x).mul(&other.y_minus_x);
         let mm = self.y.lazy_sub(&self.x).mul(&other.y_plus_x);
         let tt2d = self.t.mul(&other.t2d);
@@ -466,7 +578,7 @@ impl EdwardsPoint {
 
     /// Mixed addition against an affine Niels cache (3 muls).
     #[inline(always)]
-    fn add_affine_niels(&self, other: &AffineNielsPoint) -> CompletedPoint {
+    fn add_affine_niels(&self, other: &AffineNielsPoint<F>) -> CompletedPoint<F> {
         let pp = self.y.lazy_add(&self.x).mul(&other.y_plus_x);
         let mm = self.y.lazy_sub(&self.x).mul(&other.y_minus_x);
         let txy2d = self.t.mul(&other.xy2d);
@@ -481,7 +593,7 @@ impl EdwardsPoint {
 
     /// Mixed subtraction against an affine Niels cache (3 muls).
     #[inline(always)]
-    fn sub_affine_niels(&self, other: &AffineNielsPoint) -> CompletedPoint {
+    fn sub_affine_niels(&self, other: &AffineNielsPoint<F>) -> CompletedPoint<F> {
         let pp = self.y.lazy_add(&self.x).mul(&other.y_minus_x);
         let mm = self.y.lazy_sub(&self.x).mul(&other.y_plus_x);
         let txy2d = self.t.mul(&other.xy2d);
@@ -496,7 +608,7 @@ impl EdwardsPoint {
 
     /// `2^k * self` via the cheap projective doubling chain.
     #[inline(always)]
-    fn mul_by_pow_2(&self, k: u32) -> EdwardsPoint {
+    fn mul_by_pow_2(&self, k: u32) -> EdwardsPoint<F> {
         debug_assert!(k > 0);
         let mut p = self.to_projective_view();
         for _ in 0..k - 1 {
@@ -506,14 +618,14 @@ impl EdwardsPoint {
     }
 
     /// Point addition (unified: also correct for doubling and identity).
-    pub fn add(&self, other: &EdwardsPoint) -> EdwardsPoint {
+    pub fn add(&self, other: &EdwardsPoint<F>) -> EdwardsPoint<F> {
         let y1_plus_x1 = self.y.add(&self.x);
         let y1_minus_x1 = self.y.sub(&self.x);
         let y2_plus_x2 = other.y.add(&other.x);
         let y2_minus_x2 = other.y.sub(&other.x);
         let pp = y1_plus_x1.mul(&y2_plus_x2);
         let mm = y1_minus_x1.mul(&y2_minus_x2);
-        let tt2d = self.t.mul(&other.t).mul(edwards_d2());
+        let tt2d = self.t.mul(&other.t).mul(F::edwards_d2());
         let zz = self.z.mul(&other.z);
         let zz2 = zz.add(&zz);
 
@@ -531,12 +643,12 @@ impl EdwardsPoint {
     }
 
     /// Point doubling.
-    pub fn double(&self) -> EdwardsPoint {
+    pub fn double(&self) -> EdwardsPoint<F> {
         self.to_projective_view().double().to_extended()
     }
 
     /// Point negation.
-    pub fn neg(&self) -> EdwardsPoint {
+    pub fn neg(&self) -> EdwardsPoint<F> {
         EdwardsPoint {
             x: self.x.neg(),
             y: self.y,
@@ -546,15 +658,15 @@ impl EdwardsPoint {
     }
 
     /// Subtraction.
-    pub fn sub(&self, other: &EdwardsPoint) -> EdwardsPoint {
+    pub fn sub(&self, other: &EdwardsPoint<F>) -> EdwardsPoint<F> {
         self.add(&other.neg())
     }
 
     /// Scalar multiplication with a signed radix-16 fixed window and a
     /// masked table scan (uniform memory access pattern per window).
-    pub fn scalar_mul(&self, scalar: &Scalar) -> EdwardsPoint {
+    pub fn scalar_mul(&self, scalar: &Scalar) -> EdwardsPoint<F> {
         let table = LookupTable::new(self);
-        radix16_ladder!(scalar, |acc: EdwardsPoint, d: i8| acc
+        radix16_ladder!(scalar, |acc: EdwardsPoint<F>, d: i8| acc
             .add_projective_niels(&table.select(d)))
     }
 
@@ -563,7 +675,7 @@ impl EdwardsPoint {
     /// differential-testing reference and as the bench baseline for the
     /// optimized ladders; never called on a hot path.
     #[doc(hidden)]
-    pub fn scalar_mul_reference(&self, scalar: &Scalar) -> EdwardsPoint {
+    pub fn scalar_mul_reference(&self, scalar: &Scalar) -> EdwardsPoint<F> {
         let mut table = [*self; 8];
         for i in 1..8 {
             table[i] = table[i - 1].add(self);
@@ -581,10 +693,10 @@ impl EdwardsPoint {
             for (j, entry) in table.iter().enumerate() {
                 let hit = ((j + 1) == abs) as u64;
                 chosen = EdwardsPoint {
-                    x: FieldElement::select(&chosen.x, &entry.x, hit),
-                    y: FieldElement::select(&chosen.y, &entry.y, hit),
-                    z: FieldElement::select(&chosen.z, &entry.z, hit),
-                    t: FieldElement::select(&chosen.t, &entry.t, hit),
+                    x: F::select(&chosen.x, &entry.x, hit),
+                    y: F::select(&chosen.y, &entry.y, hit),
+                    z: F::select(&chosen.z, &entry.z, hit),
+                    t: F::select(&chosen.t, &entry.t, hit),
                 };
             }
             if d < 0 {
@@ -593,6 +705,140 @@ impl EdwardsPoint {
             acc = acc.add(&chosen);
         }
         acc
+    }
+
+    /// Multiply by the cofactor 8.
+    pub fn mul_by_cofactor(&self) -> EdwardsPoint<F> {
+        self.mul_by_pow_2(3)
+    }
+
+    /// Compress to the 32-byte "y plus sign of x" encoding.
+    pub fn compress(&self) -> [u8; 32] {
+        EdwardsPoint::batch_compress(std::slice::from_ref(self))[0]
+    }
+
+    /// Compress a batch of points, sharing one field inversion across
+    /// all the `Z` denominators ([`FieldElement::batch_invert`]): `n`
+    /// inversions become 1 inversion plus `3n` multiplications.
+    pub fn batch_compress(points: &[EdwardsPoint<F>]) -> Vec<[u8; 32]> {
+        let mut zs: Vec<F> = points.iter().map(|p| p.z).collect();
+        F::batch_invert(&mut zs);
+        points
+            .iter()
+            .zip(&zs)
+            .map(|(p, zinv)| {
+                let x = p.x.mul(zinv);
+                let y = p.y.mul(zinv);
+                let mut bytes = y.to_bytes();
+                bytes[31] |= (x.is_negative() as u8) << 7;
+                bytes
+            })
+            .collect()
+    }
+
+    /// Decompress a 32-byte encoding; `None` if not a curve point.
+    pub fn decompress(bytes: &[u8; 32]) -> Option<EdwardsPoint<F>> {
+        let y = F::from_bytes(bytes);
+        let sign = (bytes[31] >> 7) & 1;
+
+        // x^2 = (y^2 - 1) / (d y^2 + 1)
+        let yy = y.square();
+        let u = yy.sub(&F::ONE);
+        let v = yy.mul(F::edwards_d()).add(&F::ONE);
+        let (is_valid, mut x) = F::sqrt_ratio_i(&u, &v);
+        if !is_valid {
+            return None;
+        }
+        if x.is_zero() && sign == 1 {
+            return None; // "-0" is not a valid encoding
+        }
+        if (x.is_negative() as u8) != sign {
+            x = x.neg();
+        }
+        Some(EdwardsPoint {
+            x,
+            y,
+            z: F::ONE,
+            t: x.mul(&y),
+        })
+    }
+
+    /// Variable-time multi-scalar multiplication `sum_i scalars[i] *
+    /// points[i]`.
+    ///
+    /// **Variable time**: the memory access pattern and instruction
+    /// count depend on the scalars.  Only ever call this with *public*
+    /// data — batched proof verification, where scalars are
+    /// verifier-generated random coefficients and proof responses, all
+    /// of which travel in cleartext anyway.  Secret exponents
+    /// (`msk`/`bsk`/`isk`, sealing randomness) must use the masked-scan
+    /// ladders above.
+    ///
+    /// Strategy: Straus with width-5 NAF tables below
+    /// `PIPPENGER_THRESHOLD` points, Pippenger bucketing above it.
+    pub fn vartime_multiscalar_mul(
+        scalars: &[Scalar],
+        points: &[EdwardsPoint<F>],
+    ) -> EdwardsPoint<F> {
+        assert_eq!(scalars.len(), points.len(), "one scalar per point");
+        if points.is_empty() {
+            return EdwardsPoint::identity();
+        }
+        if points.len() < PIPPENGER_THRESHOLD {
+            vartime_straus(scalars, points)
+        } else {
+            vartime_pippenger(scalars, points)
+        }
+    }
+
+    /// Variable-time single-scalar multiplication (width-5 NAF).
+    ///
+    /// **Variable time** — public data only (see
+    /// [`EdwardsPoint::vartime_multiscalar_mul`]); the §6.3 batch-open
+    /// path uses it with the *revealed* inner keys.
+    pub fn vartime_scalar_mul(&self, scalar: &Scalar) -> EdwardsPoint<F> {
+        vartime_straus(std::slice::from_ref(scalar), std::slice::from_ref(self))
+    }
+
+    /// Projective equality: `X1 Z2 == X2 Z1 && Y1 Z2 == Y2 Z1`.
+    pub fn ct_eq(&self, other: &EdwardsPoint<F>) -> bool {
+        let lhs_x = self.x.mul(&other.z);
+        let rhs_x = other.x.mul(&self.z);
+        let lhs_y = self.y.mul(&other.z);
+        let rhs_y = other.y.mul(&self.z);
+        lhs_x.ct_eq(&rhs_x) && lhs_y.ct_eq(&rhs_y)
+    }
+
+    /// True iff this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.ct_eq(&EdwardsPoint::identity())
+    }
+
+    /// Debug check: the point satisfies the curve equation and the
+    /// extended-coordinate invariant `XY = ZT`.
+    pub fn is_on_curve(&self) -> bool {
+        let xx = self.x.square();
+        let yy = self.y.square();
+        let zz = self.z.square();
+        let zzzz = zz.square();
+        // (-X^2 + Y^2) Z^2 == Z^4 + d X^2 Y^2
+        let lhs = yy.sub(&xx).mul(&zz);
+        let rhs = zzzz.add(&F::edwards_d().mul(&xx).mul(&yy));
+        let ok_curve = lhs.ct_eq(&rhs);
+        let ok_t = self.x.mul(&self.y).ct_eq(&self.z.mul(&self.t));
+        ok_curve && ok_t
+    }
+}
+
+impl EdwardsPoint {
+    /// The Ed25519 basepoint (build-selected backend only: the cached
+    /// static and the precomputed `base_mul` table below are per-build).
+    pub fn basepoint() -> &'static EdwardsPoint {
+        static B: OnceLock<EdwardsPoint> = OnceLock::new();
+        B.get_or_init(|| {
+            EdwardsPoint::decompress(&BASEPOINT_COMPRESSED)
+                .expect("basepoint constant decompresses")
+        })
     }
 
     /// `scalar * basepoint`, using a precomputed radix-16 table (no
@@ -616,133 +862,14 @@ impl EdwardsPoint {
         }
         acc
     }
-
-    /// Multiply by the cofactor 8.
-    pub fn mul_by_cofactor(&self) -> EdwardsPoint {
-        self.mul_by_pow_2(3)
-    }
-
-    /// Compress to the 32-byte "y plus sign of x" encoding.
-    pub fn compress(&self) -> [u8; 32] {
-        EdwardsPoint::batch_compress(std::slice::from_ref(self))[0]
-    }
-
-    /// Compress a batch of points, sharing one field inversion across
-    /// all the `Z` denominators ([`FieldElement::batch_invert`]): `n`
-    /// inversions become 1 inversion plus `3n` multiplications.
-    pub fn batch_compress(points: &[EdwardsPoint]) -> Vec<[u8; 32]> {
-        let mut zs: Vec<FieldElement> = points.iter().map(|p| p.z).collect();
-        FieldElement::batch_invert(&mut zs);
-        points
-            .iter()
-            .zip(&zs)
-            .map(|(p, zinv)| {
-                let x = p.x.mul(zinv);
-                let y = p.y.mul(zinv);
-                let mut bytes = y.to_bytes();
-                bytes[31] |= (x.is_negative() as u8) << 7;
-                bytes
-            })
-            .collect()
-    }
-
-    /// Decompress a 32-byte encoding; `None` if not a curve point.
-    pub fn decompress(bytes: &[u8; 32]) -> Option<EdwardsPoint> {
-        let y = FieldElement::from_bytes(bytes);
-        let sign = (bytes[31] >> 7) & 1;
-
-        // x^2 = (y^2 - 1) / (d y^2 + 1)
-        let yy = y.square();
-        let u = yy.sub(&FieldElement::ONE);
-        let v = yy.mul(edwards_d()).add(&FieldElement::ONE);
-        let (is_valid, mut x) = FieldElement::sqrt_ratio_i(&u, &v);
-        if !is_valid {
-            return None;
-        }
-        if x.is_zero() && sign == 1 {
-            return None; // "-0" is not a valid encoding
-        }
-        if (x.is_negative() as u8) != sign {
-            x = x.neg();
-        }
-        Some(EdwardsPoint {
-            x,
-            y,
-            z: FieldElement::ONE,
-            t: x.mul(&y),
-        })
-    }
-
-    /// Variable-time multi-scalar multiplication `sum_i scalars[i] *
-    /// points[i]`.
-    ///
-    /// **Variable time**: the memory access pattern and instruction
-    /// count depend on the scalars.  Only ever call this with *public*
-    /// data — batched proof verification, where scalars are
-    /// verifier-generated random coefficients and proof responses, all
-    /// of which travel in cleartext anyway.  Secret exponents
-    /// (`msk`/`bsk`/`isk`, sealing randomness) must use the masked-scan
-    /// ladders above.
-    ///
-    /// Strategy: Straus with width-5 NAF tables below
-    /// `PIPPENGER_THRESHOLD` points, Pippenger bucketing above it.
-    pub fn vartime_multiscalar_mul(scalars: &[Scalar], points: &[EdwardsPoint]) -> EdwardsPoint {
-        assert_eq!(scalars.len(), points.len(), "one scalar per point");
-        if points.is_empty() {
-            return EdwardsPoint::identity();
-        }
-        if points.len() < PIPPENGER_THRESHOLD {
-            vartime_straus(scalars, points)
-        } else {
-            vartime_pippenger(scalars, points)
-        }
-    }
-
-    /// Variable-time single-scalar multiplication (width-5 NAF).
-    ///
-    /// **Variable time** — public data only (see
-    /// [`EdwardsPoint::vartime_multiscalar_mul`]); the §6.3 batch-open
-    /// path uses it with the *revealed* inner keys.
-    pub fn vartime_scalar_mul(&self, scalar: &Scalar) -> EdwardsPoint {
-        vartime_straus(std::slice::from_ref(scalar), std::slice::from_ref(self))
-    }
-
-    /// Projective equality: `X1 Z2 == X2 Z1 && Y1 Z2 == Y2 Z1`.
-    pub fn ct_eq(&self, other: &EdwardsPoint) -> bool {
-        let lhs_x = self.x.mul(&other.z);
-        let rhs_x = other.x.mul(&self.z);
-        let lhs_y = self.y.mul(&other.z);
-        let rhs_y = other.y.mul(&self.z);
-        lhs_x.ct_eq(&rhs_x) && lhs_y.ct_eq(&rhs_y)
-    }
-
-    /// True iff this is the identity.
-    pub fn is_identity(&self) -> bool {
-        self.ct_eq(&EdwardsPoint::identity())
-    }
-
-    /// Debug check: the point satisfies the curve equation and the
-    /// extended-coordinate invariant `XY = ZT`.
-    pub fn is_on_curve(&self) -> bool {
-        let xx = self.x.square();
-        let yy = self.y.square();
-        let zz = self.z.square();
-        let zzzz = zz.square();
-        // (-X^2 + Y^2) Z^2 == Z^4 + d X^2 Y^2
-        let lhs = yy.sub(&xx).mul(&zz);
-        let rhs = zzzz.add(&edwards_d().mul(&xx).mul(&yy));
-        let ok_curve = lhs.ct_eq(&rhs);
-        let ok_t = self.x.mul(&self.y).ct_eq(&self.z.mul(&self.t));
-        ok_curve && ok_t
-    }
 }
 
-impl PartialEq for EdwardsPoint {
+impl<F: FieldBackend> PartialEq for EdwardsPoint<F> {
     fn eq(&self, other: &Self) -> bool {
         self.ct_eq(other)
     }
 }
-impl Eq for EdwardsPoint {}
+impl<F: FieldBackend> Eq for EdwardsPoint<F> {}
 
 // ---------------------------------------------------------------------
 // Variable-time multi-scalar multiplication (public data only)
@@ -755,10 +882,10 @@ const PIPPENGER_THRESHOLD: usize = 190;
 
 /// Per-point table of odd multiples `[1P, 3P, 5P, ..., 15P]` for
 /// width-5 NAF (variable-time lookups: plain indexing, no masked scan).
-struct NafLookupTable5([ProjectiveNielsPoint; 8]);
+struct NafLookupTable5<F: FieldBackend>([ProjectiveNielsPoint<F>; 8]);
 
-impl NafLookupTable5 {
-    fn new(p: &EdwardsPoint) -> NafLookupTable5 {
+impl<F: FieldBackend> NafLookupTable5<F> {
+    fn new(p: &EdwardsPoint<F>) -> NafLookupTable5<F> {
         let p2 = p.double().to_projective_niels();
         let mut odd = [p.to_projective_niels(); 8];
         let mut current = *p;
@@ -771,16 +898,19 @@ impl NafLookupTable5 {
 
     /// Entry for odd positive `d` (variable time).
     #[inline(always)]
-    fn select(&self, d: i8) -> &ProjectiveNielsPoint {
+    fn select(&self, d: i8) -> &ProjectiveNielsPoint<F> {
         debug_assert!(d > 0 && d % 2 == 1);
         &self.0[(d as usize) / 2]
     }
 }
 
 /// Straus' interleaved method over width-5 NAFs.
-fn vartime_straus(scalars: &[Scalar], points: &[EdwardsPoint]) -> EdwardsPoint {
+fn vartime_straus<F: FieldBackend>(
+    scalars: &[Scalar],
+    points: &[EdwardsPoint<F>],
+) -> EdwardsPoint<F> {
     let nafs: Vec<[i8; 256]> = scalars.iter().map(|s| s.non_adjacent_form(5)).collect();
-    let tables: Vec<NafLookupTable5> = points.iter().map(NafLookupTable5::new).collect();
+    let tables: Vec<NafLookupTable5<F>> = points.iter().map(NafLookupTable5::new).collect();
 
     let mut acc = EdwardsPoint::identity();
     let mut started = false;
@@ -804,10 +934,10 @@ fn vartime_straus(scalars: &[Scalar], points: &[EdwardsPoint]) -> EdwardsPoint {
 
 /// Normalize a slice of extended points to affine Niels caches with a
 /// single shared field inversion.
-fn batch_to_affine_niels(points: &[EdwardsPoint]) -> Vec<AffineNielsPoint> {
-    let mut zs: Vec<FieldElement> = points.iter().map(|p| p.z).collect();
-    FieldElement::batch_invert(&mut zs);
-    let d2 = edwards_d2();
+fn batch_to_affine_niels<F: FieldBackend>(points: &[EdwardsPoint<F>]) -> Vec<AffineNielsPoint<F>> {
+    let mut zs: Vec<F> = points.iter().map(|p| p.z).collect();
+    F::batch_invert(&mut zs);
+    let d2 = F::edwards_d2();
     points
         .iter()
         .zip(&zs)
@@ -825,8 +955,10 @@ fn batch_to_affine_niels(points: &[EdwardsPoint]) -> Vec<AffineNielsPoint> {
 
 /// Normalize 8-wide rows of window multiples to affine Niels form,
 /// sharing a single field inversion across the whole table.
-fn rows_to_affine_niels(rows: &[[EdwardsPoint; 8]]) -> Vec<[AffineNielsPoint; 8]> {
-    let flat: Vec<EdwardsPoint> = rows.iter().flatten().copied().collect();
+fn rows_to_affine_niels<F: FieldBackend>(
+    rows: &[[EdwardsPoint<F>; 8]],
+) -> Vec<[AffineNielsPoint<F>; 8]> {
+    let flat: Vec<EdwardsPoint<F>> = rows.iter().flatten().copied().collect();
     batch_to_affine_niels(&flat)
         .chunks_exact(8)
         .map(|row| {
@@ -838,7 +970,10 @@ fn rows_to_affine_niels(rows: &[[EdwardsPoint; 8]]) -> Vec<[AffineNielsPoint; 8]
 }
 
 /// Pippenger's bucket method with signed radix-2^c digits.
-fn vartime_pippenger(scalars: &[Scalar], points: &[EdwardsPoint]) -> EdwardsPoint {
+fn vartime_pippenger<F: FieldBackend>(
+    scalars: &[Scalar],
+    points: &[EdwardsPoint<F>],
+) -> EdwardsPoint<F> {
     // Window size tuned by problem size (standard heuristic).
     let c: usize = if points.len() < 500 { 7 } else { 8 };
     let digits_count = 256usize.div_ceil(c);
@@ -847,7 +982,7 @@ fn vartime_pippenger(scalars: &[Scalar], points: &[EdwardsPoint]) -> EdwardsPoin
     let digits: Vec<Vec<i64>> = scalars.iter().map(|s| s.to_signed_radix_2w(c)).collect();
     // Affine caches (one shared inversion) make every digit placement a
     // 3-mul mixed addition instead of 4.
-    let cached: Vec<AffineNielsPoint> = batch_to_affine_niels(points);
+    let cached: Vec<AffineNielsPoint<F>> = batch_to_affine_niels(points);
 
     let mut total = EdwardsPoint::identity();
     let mut started = false;
@@ -956,6 +1091,27 @@ mod tests {
             to_hex(&b.scalar_mul(&Scalar::from_u64(9)).compress()),
             "c0f1225584444ec730446e231390781ffdd2f256e9fcbeb2f40dddc2c2233d7f"
         );
+    }
+
+    /// Both field backends must produce byte-identical curve behavior:
+    /// decompress → ladder → compress agrees limb-for-limb after
+    /// canonical encoding (the cross-backend proptests go further; this
+    /// is the smoke check that lives next to the formulas).
+    #[test]
+    fn backends_agree_on_scalar_mul() {
+        use crate::field::{fiat51, sat64};
+        let mut rng = StdRng::seed_from_u64(4242);
+        for _ in 0..4 {
+            let s = Scalar::random(&mut rng);
+            let enc = EdwardsPoint::basepoint()
+                .scalar_mul(&Scalar::random(&mut rng))
+                .compress();
+            let p51: EdwardsPoint<fiat51::FieldElement> =
+                EdwardsPoint::decompress(&enc).expect("valid point");
+            let p64: EdwardsPoint<sat64::FieldElement> =
+                EdwardsPoint::decompress(&enc).expect("valid point");
+            assert_eq!(p51.scalar_mul(&s).compress(), p64.scalar_mul(&s).compress());
+        }
     }
 
     #[test]
@@ -1142,7 +1298,7 @@ mod tests {
         for (p, enc) in points.iter().zip(&batch) {
             assert_eq!(*enc, p.compress());
         }
-        assert!(EdwardsPoint::batch_compress(&[]).is_empty());
+        assert!(EdwardsPoint::<FieldElement>::batch_compress(&[]).is_empty());
     }
 
     #[test]
@@ -1150,7 +1306,7 @@ mod tests {
         // y = 2 gives x^2 non-square on this curve.
         let mut bytes = [0u8; 32];
         bytes[0] = 2;
-        assert!(EdwardsPoint::decompress(&bytes).is_none());
+        assert!(EdwardsPoint::<FieldElement>::decompress(&bytes).is_none());
     }
 
     #[test]
@@ -1159,7 +1315,7 @@ mod tests {
         let mut bytes = [0u8; 32];
         bytes[0] = 1;
         bytes[31] = 0x80;
-        assert!(EdwardsPoint::decompress(&bytes).is_none());
+        assert!(EdwardsPoint::<FieldElement>::decompress(&bytes).is_none());
     }
 
     #[test]
@@ -1168,7 +1324,7 @@ mod tests {
         for _ in 0..8 {
             let p = EdwardsPoint::base_mul(&Scalar::random(&mut rng));
             let c = p.compress();
-            let q = EdwardsPoint::decompress(&c).unwrap();
+            let q = EdwardsPoint::<FieldElement>::decompress(&c).unwrap();
             assert!(p.ct_eq(&q));
             assert_eq!(q.compress(), c);
         }

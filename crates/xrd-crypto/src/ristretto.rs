@@ -158,61 +158,26 @@ impl GroupElement {
         den_inv.mul(&z0.sub(&y)).abs().to_bytes()
     }
 
-    /// Encode a batch of elements, sharing one field inversion across
-    /// all the `1/u2` denominators via [`FieldElement::batch_invert`].
+    /// Encode a slice of elements.
     ///
-    /// Produces exactly the same canonical encodings as per-point
-    /// [`GroupElement::encode`].  The per-point inverse square root is
-    /// inherent to the ristretto encoding (square roots do not batch
-    /// with Montgomery's trick), so the asymptotic win here is the
-    /// shared inversion plus the removal of a few per-point
-    /// multiplications; the wire path calls this so n-entry batch
-    /// frames pay one inversion instead of n hidden in the encodes.
-    pub fn batch_encode(points: &[GroupElement]) -> Vec<[u8; 32]> {
-        let c = constants();
-        let i = FieldElement::sqrt_m1();
-
-        // Per-point numerators/denominators; u2 inverses batched.
-        let u2s: Vec<FieldElement> = points.iter().map(|p| p.0.x.mul(&p.0.y)).collect();
-        let u2_invs = {
-            let mut tmp = u2s.clone();
-            FieldElement::batch_invert(&mut tmp);
-            tmp
-        };
-
-        points
-            .iter()
-            .zip(u2s.iter().zip(u2_invs))
-            .map(|(p, (u2, u2_inv))| {
-                let (x0, y0, z0, t0) = (p.0.x, p.0.y, p.0.z, p.0.t);
-                let u1 = z0.add(&y0).mul(&z0.sub(&y0));
-                // invsqrt(u1) = 1/sqrt(u1); u1*u2^2 is always square for
-                // a valid point, hence so is u1.
-                let (_, s1_inv) = u1.invsqrt();
-                // den1 = sqrt(u1)/u2, den2 = 1/sqrt(u1), z_inv = t0/u2:
-                // identical (up to the encoding-irrelevant root sign) to
-                // the serial r = invsqrt(u1*u2^2) formulation — except
-                // that the serial r vanishes whenever u2 = 0 (torsion
-                // representatives), which the mask reproduces.
-                let u2_zero = u2.is_zero() as u64;
-                let den1 = u1.mul(&s1_inv).mul(&u2_inv);
-                let den2 = FieldElement::select(&s1_inv, &FieldElement::ZERO, u2_zero);
-                let z_inv = t0.mul(&u2_inv);
-
-                let ix0 = x0.mul(i);
-                let iy0 = y0.mul(i);
-                let enchanted_denominator = den1.mul(&c.invsqrt_a_minus_d);
-                let rotate = t0.mul(&z_inv).is_negative() as u64;
-
-                let x = FieldElement::select(&x0, &iy0, rotate);
-                let mut y = FieldElement::select(&y0, &ix0, rotate);
-                let den_inv = FieldElement::select(&den2, &enchanted_denominator, rotate);
-
-                y = y.conditional_negate(x.mul(&z_inv).is_negative() as u64);
-
-                den_inv.mul(&z0.sub(&y)).abs().to_bytes()
-            })
-            .collect()
+    /// This is a plain per-point map — **there is no batch fast path
+    /// for ristretto encoding, by arithmetic, not by omission.**  Each
+    /// encode is dominated by one inverse square root (a fixed
+    /// ~254-squaring exponentiation), and square roots do not combine
+    /// under Montgomery's product trick the way inversions do
+    /// (`sqrt(ab)` relates to `sqrt(a)sqrt(b)` only up to a quadratic
+    /// character, which costs another per-element exponentiation to
+    /// resolve).  The serial encode also contains no discrete
+    /// inversion to amortize — every denominator already derives from
+    /// that single invsqrt.  A shared-inversion "batch" variant (PR 2)
+    /// measured 0.98× against this map and was removed; the name
+    /// `encode_all` states the intent (encode many) without promising
+    /// a speedup that cannot exist.  Batch wins on the wire path come
+    /// from [`EdwardsPoint::batch_compress`]-style shared inversions
+    /// (48× on table normalization), where a real per-point inversion
+    /// exists to amortize.
+    pub fn encode_all(points: &[GroupElement]) -> Vec<[u8; 32]> {
+        points.iter().map(|p| p.encode()).collect()
     }
 
     /// Decode a canonical 32-byte encoding; `None` for invalid encodings.
@@ -542,7 +507,7 @@ mod tests {
     }
 
     #[test]
-    fn batch_encode_matches_encode() {
+    fn encode_all_matches_encode() {
         let mut rng = StdRng::seed_from_u64(20);
         let mut points: Vec<GroupElement> =
             (0..10).map(|_| GroupElement::random(&mut rng)).collect();
@@ -554,11 +519,11 @@ mod tests {
         let torsion = e.scalar_mul(&l_minus_1).add(&e); // pure torsion
         points.push(GroupElement(GroupElement::identity().0.add(&torsion)));
         points.push(GroupElement(points[0].0.add(&torsion)));
-        let batch = GroupElement::batch_encode(&points);
+        let batch = GroupElement::encode_all(&points);
         for (p, enc) in points.iter().zip(&batch) {
             assert_eq!(*enc, p.encode());
         }
-        assert!(GroupElement::batch_encode(&[]).is_empty());
+        assert!(GroupElement::encode_all(&[]).is_empty());
     }
 
     #[test]

@@ -40,14 +40,14 @@ proptest! {
         }
     }
 
-    /// `batch_encode` agrees with per-point `encode`.
+    /// `encode_all` agrees with per-point `encode`.
     #[test]
-    fn batch_encode_matches_serial(seed in any::<u64>(), n in 0usize..16) {
+    fn encode_all_matches_serial(seed in any::<u64>(), n in 0usize..16) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut points: Vec<GroupElement> =
             (0..n).map(|_| GroupElement::random(&mut rng)).collect();
         points.push(GroupElement::identity());
-        let batch = GroupElement::batch_encode(&points);
+        let batch = GroupElement::encode_all(&points);
         prop_assert_eq!(batch.len(), points.len());
         for (p, enc) in points.iter().zip(&batch) {
             prop_assert_eq!(*enc, p.encode());

@@ -1,0 +1,330 @@
+//! Differential tests driving BOTH field backends from one workspace
+//! build (they are always compiled; the feature flags only choose
+//! which one the `FieldElement` alias points at — see
+//! `src/field/mod.rs`): random op sequences must agree limb for limb
+//! after canonical encoding, known-answer vectors around `p`, and the
+//! `sqrt_ratio` edge cases must match on both representations.  The
+//! sat64 backend's asm kernels are additionally diffed against its
+//! portable carry chains.
+
+use proptest::prelude::*;
+
+use xrd_crypto::field::{fiat51, sat64};
+
+/// A pair of elements, one per backend, constructed from the same
+/// canonical bytes and kept in lockstep through every operation.
+#[derive(Clone, Copy, Debug)]
+struct Pair {
+    a: fiat51::FieldElement,
+    b: sat64::FieldElement,
+}
+
+impl Pair {
+    fn from_bytes(bytes: &[u8; 32]) -> Pair {
+        Pair {
+            a: fiat51::FieldElement::from_bytes(bytes),
+            b: sat64::FieldElement::from_bytes(bytes),
+        }
+    }
+
+    fn from_u64(x: u64) -> Pair {
+        Pair {
+            a: fiat51::FieldElement::from_u64(x),
+            b: sat64::FieldElement::from_u64(x),
+        }
+    }
+
+    /// Both representations must canonicalize identically.
+    fn assert_agree(&self, what: &str) -> [u8; 32] {
+        let ea = self.a.to_bytes();
+        let eb = self.b.to_bytes();
+        assert_eq!(ea, eb, "backends disagree after {what}");
+        ea
+    }
+}
+
+/// The ops a random differential sequence draws from.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Add(usize),
+    Sub(usize),
+    Mul(usize),
+    Square,
+    Square2,
+    Neg,
+    Invert,
+    Abs,
+    CondNegate(bool),
+}
+
+/// Decode one sampled byte into an op — selector in the low bits,
+/// operand index and flag from the high bits (the vendored proptest
+/// shim has neither `prop_oneof!` nor tuple strategies).
+fn decode_op(sel: u8) -> Op {
+    let j = ((sel >> 4) % 4) as usize;
+    let flag = sel & 0x80 != 0;
+    match sel % 9 {
+        0 => Op::Add(j),
+        1 => Op::Sub(j),
+        2 => Op::Mul(j),
+        3 => Op::Square,
+        4 => Op::Square2,
+        5 => Op::Neg,
+        6 => Op::Invert,
+        7 => Op::Abs,
+        _ => Op::CondNegate(flag),
+    }
+}
+
+proptest! {
+    /// Random op sequences over random inputs: the two backends must
+    /// stay byte-identical at every step, not just at the end (an
+    /// intermediate divergence that later cancels would hide a bug).
+    #[test]
+    fn random_op_sequences_agree(
+        inputs in prop::collection::vec(prop::array::uniform32(any::<u8>()), 1..5),
+        raw_ops in prop::collection::vec(any::<u8>(), 1..24),
+    ) {
+        let ops: Vec<Op> = raw_ops.iter().map(|&sel| decode_op(sel)).collect();
+        let pairs: Vec<Pair> = inputs.iter().map(Pair::from_bytes).collect();
+        let mut acc = pairs[0];
+        for (i, op) in ops.iter().enumerate() {
+            let rhs = |j: usize| pairs[j % pairs.len()];
+            acc = match *op {
+                Op::Add(j) => Pair { a: acc.a.add(&rhs(j).a), b: acc.b.add(&rhs(j).b) },
+                Op::Sub(j) => Pair { a: acc.a.sub(&rhs(j).a), b: acc.b.sub(&rhs(j).b) },
+                Op::Mul(j) => Pair { a: acc.a.mul(&rhs(j).a), b: acc.b.mul(&rhs(j).b) },
+                Op::Square => Pair { a: acc.a.square(), b: acc.b.square() },
+                Op::Square2 => Pair { a: acc.a.square2(), b: acc.b.square2() },
+                Op::Neg => Pair { a: acc.a.neg(), b: acc.b.neg() },
+                Op::Invert => Pair { a: acc.a.invert(), b: acc.b.invert() },
+                Op::Abs => Pair { a: acc.a.abs(), b: acc.b.abs() },
+                Op::CondNegate(c) => Pair {
+                    a: acc.a.conditional_negate(c as u64),
+                    b: acc.b.conditional_negate(c as u64),
+                },
+            };
+            acc.assert_agree(&format!("step {i}: {op:?}"));
+            prop_assert_eq!(acc.a.is_negative(), acc.b.is_negative());
+            prop_assert_eq!(acc.a.is_zero(), acc.b.is_zero());
+        }
+    }
+
+    /// `sqrt_ratio_i` must agree on both the square/non-square verdict
+    /// and the (canonicalized) root for random ratios.
+    #[test]
+    fn sqrt_ratio_agrees(
+        u in prop::array::uniform32(any::<u8>()),
+        v in prop::array::uniform32(any::<u8>()),
+    ) {
+        let pu = Pair::from_bytes(&u);
+        let pv = Pair::from_bytes(&v);
+        let (ok_a, r_a) = fiat51::FieldElement::sqrt_ratio_i(&pu.a, &pv.a);
+        let (ok_b, r_b) = sat64::FieldElement::sqrt_ratio_i(&pu.b, &pv.b);
+        prop_assert_eq!(ok_a, ok_b);
+        prop_assert_eq!(r_a.to_bytes(), r_b.to_bytes());
+    }
+
+    /// The sat64 asm kernels vs the portable u128 carry chains on
+    /// arbitrary (not just canonical) limb patterns — `from_bytes`
+    /// never produces a limb-3 top bit, so drive the representation's
+    /// full `value < 2^256` input domain through multiplication first.
+    #[test]
+    fn sat64_asm_matches_portable(
+        x in prop::array::uniform32(any::<u8>()),
+        y in prop::array::uniform32(any::<u8>()),
+    ) {
+        // Products of parsed values roam the full representation range.
+        let a = sat64::FieldElement::from_bytes(&x).mul(&sat64::FieldElement::from_bytes(&y));
+        let b = sat64::FieldElement::from_bytes(&y).square();
+        prop_assert_eq!(a.mul(&b).to_bytes(), a.mul_portable_ref(&b).to_bytes());
+        prop_assert_eq!(a.square().to_bytes(), a.mul_portable_ref(&a).to_bytes());
+        prop_assert_eq!(
+            a.square2().to_bytes(),
+            a.mul_portable_ref(&a).add(&a.mul_portable_ref(&a)).to_bytes()
+        );
+    }
+
+    /// Batch inversion agrees across backends (zeros included).
+    #[test]
+    fn batch_invert_agrees(
+        inputs in prop::collection::vec(prop::array::uniform32(any::<u8>()), 0..12),
+        zero_at in any::<prop::sample::Index>(),
+    ) {
+        let mut va: Vec<fiat51::FieldElement> =
+            inputs.iter().map(fiat51::FieldElement::from_bytes).collect();
+        let mut vb: Vec<sat64::FieldElement> =
+            inputs.iter().map(sat64::FieldElement::from_bytes).collect();
+        if !va.is_empty() {
+            let i = zero_at.index(va.len());
+            va[i] = fiat51::FieldElement::ZERO;
+            vb[i] = sat64::FieldElement::ZERO;
+        }
+        fiat51::FieldElement::batch_invert(&mut va);
+        sat64::FieldElement::batch_invert(&mut vb);
+        for (a, b) in va.iter().zip(&vb) {
+            prop_assert_eq!(a.to_bytes(), b.to_bytes());
+        }
+    }
+
+    /// The full curve pipeline instantiated over each backend: a
+    /// decompress → scalar ladder → compress round trip must be
+    /// byte-identical (this exercises lazy-reduction behavior the
+    /// field-level sequences cannot reach, since `edwards.rs` is the
+    /// only caller of the lazy entry points).
+    #[test]
+    fn point_ladders_agree(seed in any::<u64>()) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use xrd_crypto::edwards::{EdwardsPoint, PointTable};
+        use xrd_crypto::Scalar;
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = EdwardsPoint::base_mul(&Scalar::random(&mut rng)).compress();
+        let s = Scalar::random(&mut rng);
+        let t = Scalar::random(&mut rng);
+
+        let p51: EdwardsPoint<fiat51::FieldElement> =
+            EdwardsPoint::decompress(&base).expect("valid");
+        let p64: EdwardsPoint<sat64::FieldElement> =
+            EdwardsPoint::decompress(&base).expect("valid");
+        prop_assert_eq!(p51.scalar_mul(&s).compress(), p64.scalar_mul(&s).compress());
+
+        let t51 = PointTable::new(&p51);
+        let t64 = PointTable::new(&p64);
+        let (a51, b51) = t51.scalar_mul_pair(&s, &t);
+        let (a64, b64) = t64.scalar_mul_pair(&s, &t);
+        prop_assert_eq!(a51.compress(), a64.compress());
+        prop_assert_eq!(b51.compress(), b64.compress());
+    }
+}
+
+/// Known-answer vectors around the modulus: `p ± {0, 1, 2}` and the
+/// `2^255 - 19` aliases that `from_bytes`'s top-bit masking admits.
+/// Every encodable alias of a small value must canonicalize to that
+/// value on both backends.
+#[test]
+fn known_answer_vectors_around_p() {
+    // p = 2^255 - 19, little-endian.
+    let mut p = [0xffu8; 32];
+    p[0] = 0xed;
+    p[31] = 0x7f;
+
+    let add_small = |base: &[u8; 32], delta: u8| {
+        let mut out = *base;
+        let (v, carry) = out[0].overflowing_add(delta);
+        out[0] = v;
+        assert!(!carry, "vector construction stays within a byte");
+        out
+    };
+    let sub_small = |base: &[u8; 32], delta: u8| {
+        let mut out = *base;
+        let (v, borrow) = out[0].overflowing_sub(delta);
+        out[0] = v;
+        assert!(!borrow, "vector construction stays within a byte");
+        out
+    };
+
+    // (encoding, canonical value as small integer) pairs.
+    let vectors: Vec<([u8; 32], Pair, &str)> = vec![
+        (p, Pair::from_u64(0), "p ≡ 0"),
+        (add_small(&p, 1), Pair::from_u64(1), "p + 1 ≡ 1"),
+        (add_small(&p, 2), Pair::from_u64(2), "p + 2 ≡ 2"),
+        (
+            sub_small(&p, 1),
+            Pair::from_u64(0).sub_pair(&Pair::from_u64(1)),
+            "p - 1 ≡ -1",
+        ),
+        (
+            sub_small(&p, 2),
+            Pair::from_u64(0).sub_pair(&Pair::from_u64(2)),
+            "p - 2 ≡ -2",
+        ),
+        (
+            {
+                let mut all = [0xffu8; 32];
+                all[31] = 0x7f; // 2^255 - 1
+                all
+            },
+            Pair::from_u64(18), // 2^255 - 1 - p = 18
+            "2^255 - 1 ≡ 18",
+        ),
+        (
+            {
+                let mut b = p;
+                b[31] |= 0x80; // top bit set: must be ignored
+                b
+            },
+            Pair::from_u64(0),
+            "p with sign bit ≡ 0",
+        ),
+    ];
+
+    for (bytes, expect, label) in vectors {
+        let pair = Pair::from_bytes(&bytes);
+        let enc = pair.assert_agree(label);
+        assert_eq!(enc, expect.assert_agree(label), "wrong value for {label}");
+    }
+}
+
+impl Pair {
+    fn sub_pair(&self, rhs: &Pair) -> Pair {
+        Pair {
+            a: self.a.sub(&rhs.a),
+            b: self.b.sub(&rhs.b),
+        }
+    }
+}
+
+/// The `sqrt_ratio_i` edge cases pinned by the Ristretto spec, on both
+/// backends: `u = 0` is a square with root 0; `v = 0` (u ≠ 0) is a
+/// non-square with root 0; a known square and a known non-square.
+#[test]
+fn sqrt_ratio_edge_cases_both_backends() {
+    fn check<F>(
+        zero: F,
+        one: F,
+        two: F,
+        four: F,
+        sqrt_ratio: impl Fn(&F, &F) -> (bool, F),
+        to_bytes: impl Fn(&F) -> [u8; 32],
+        name: &str,
+    ) {
+        let (ok, r) = sqrt_ratio(&zero, &four);
+        assert!(ok, "{name}: u=0 must report square");
+        assert_eq!(to_bytes(&r), [0u8; 32], "{name}: u=0 root is 0");
+
+        let (ok, r) = sqrt_ratio(&four, &zero);
+        assert!(!ok, "{name}: v=0 must report non-square");
+        assert_eq!(to_bytes(&r), [0u8; 32], "{name}: v=0 root is 0");
+
+        let (ok, r) = sqrt_ratio(&four, &one);
+        assert!(ok, "{name}: 4 is square");
+        let mut expect_two = [0u8; 32];
+        expect_two[0] = 2;
+        assert_eq!(to_bytes(&r), expect_two, "{name}: sqrt(4) = 2");
+
+        // 2 is a non-residue mod p (p ≡ 5 mod 8).
+        let (ok, _) = sqrt_ratio(&two, &one);
+        assert!(!ok, "{name}: 2 is a non-square");
+    }
+
+    check(
+        fiat51::FieldElement::ZERO,
+        fiat51::FieldElement::ONE,
+        fiat51::FieldElement::from_u64(2),
+        fiat51::FieldElement::from_u64(4),
+        fiat51::FieldElement::sqrt_ratio_i,
+        |x| x.to_bytes(),
+        "fiat51",
+    );
+    check(
+        sat64::FieldElement::ZERO,
+        sat64::FieldElement::ONE,
+        sat64::FieldElement::from_u64(2),
+        sat64::FieldElement::from_u64(4),
+        sat64::FieldElement::sqrt_ratio_i,
+        |x| x.to_bytes(),
+        "sat64",
+    );
+}

@@ -43,6 +43,7 @@ pub use client::{seal_ahs, seal_basic, Submission};
 pub use message::{MailboxMessage, MixEntry, MAILBOX_MSG_LEN, PAYLOAD_LEN};
 pub use runner::{ChainRoundOutcome, ChainRoundStats, ChainRunner};
 pub use server::{
-    input_digest, open_batch, verify_hop, verify_hop_keys, verify_hops_batched, verify_inner_key,
-    ChunkKernel, HopRecord, HopResult, HopState, MixError, MixServer,
+    input_digest, open_batch, verify_hop, verify_hop_keys, verify_hops_batched,
+    verify_hops_batched_multi, verify_inner_key, ChainAudit, ChunkKernel, HopRecord, HopResult,
+    HopState, MixError, MixServer,
 };

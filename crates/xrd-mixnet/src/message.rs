@@ -83,22 +83,12 @@ impl MixEntry {
         out
     }
 
-    /// Serialize a whole batch, sharing the group-encoding work across
-    /// entries via [`GroupElement::batch_encode`] (the per-entry wire
-    /// format is unchanged: DH key encoding followed by ciphertext).
+    /// Serialize a whole batch (the per-entry wire format is the same
+    /// as [`MixEntry::to_bytes`]: DH key encoding followed by
+    /// ciphertext; ristretto encoding has no batch fast path — see
+    /// `GroupElement::encode_all`).
     pub fn batch_to_bytes(entries: &[MixEntry]) -> Vec<Vec<u8>> {
-        let dhs: Vec<GroupElement> = entries.iter().map(|e| e.dh).collect();
-        let encodings = GroupElement::batch_encode(&dhs);
-        entries
-            .iter()
-            .zip(&encodings)
-            .map(|(e, enc)| {
-                let mut out = Vec::with_capacity(e.wire_len());
-                out.extend_from_slice(enc);
-                out.extend_from_slice(&e.ct);
-                out
-            })
-            .collect()
+        entries.iter().map(|e| e.to_bytes()).collect()
     }
 
     /// Parse; `ct_len` is the expected ciphertext length at this hop.

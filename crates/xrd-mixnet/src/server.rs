@@ -71,14 +71,15 @@ pub struct MixServer {
 
 /// Batches below this size are decrypted serially — thread spawn/join
 /// overhead (~tens of µs) dwarfs per-entry cost only for tiny batches.
-/// Tuned against the shared-table kernel: one entry now costs ~60-70µs
-/// (two table exponentiations off one batched table, ~1.7x faster than
-/// the pre-table path), so the spawn overhead amortizes a little later
-/// than before; at 24 entries a worker chunk still carries >100µs of
-/// work even split eight ways.  (Also the break-even of
-/// `GroupTable::batch_new`'s shared inversion: below this size the
-/// serial path batches the whole run in one call anyway.)
-const PARALLEL_HOP_THRESHOLD: usize = 24;
+/// Retuned for the 4×64 field backend: one entry now costs ~45-50µs
+/// (interleaved two-scalar ladders off one batched table; was ~60-70µs
+/// on the 5×51 field), so the fixed spawn cost amortizes later again —
+/// at 32 entries a worker chunk still carries >150µs of work even
+/// split eight ways, keeping the spawn overhead under a few percent.
+/// (Also the break-even of `GroupTable::batch_new`'s shared inversion:
+/// below this size the serial path batches the whole run in one call
+/// anyway.)
+const PARALLEL_HOP_THRESHOLD: usize = 32;
 
 /// Fiat–Shamir context for hop proofs: binds round and position.
 pub fn hop_context(round: u64, position: usize) -> Vec<u8> {
@@ -447,22 +448,68 @@ pub struct HopRecord<'a> {
 /// proof is invalid — callers wanting to identify *which* re-check
 /// hops individually with [`verify_hop`]).
 pub fn verify_hops_batched(public: &ChainPublicKeys, round: u64, hops: &[HopRecord]) -> bool {
-    if hops.iter().any(|hop| hop.inputs.len() != hop.outputs.len()) {
-        return false;
+    verify_hops_batched_multi(&[ChainAudit {
+        public,
+        round,
+        hops,
+    }])
+}
+
+/// One chain's clean-pass hop attestations plus the bundle to check
+/// them against: the per-chain unit of the deployment-level audit.
+#[derive(Clone, Debug)]
+pub struct ChainAudit<'a> {
+    /// The chain's active public key bundle.
+    pub public: &'a ChainPublicKeys,
+    /// The round being audited.
+    pub round: u64,
+    /// The chain's hop records in position order.
+    pub hops: &'a [HopRecord<'a>],
+}
+
+/// Fold the hop proofs of *several chains* — a whole deployment round,
+/// `n_chains × k` statements — into one batched DLEQ verification.
+/// Chains stay cryptographically independent because each statement
+/// carries its own bases and publics from its own bundle, all of which
+/// the DLEQ challenge absorbs — that base binding, not the
+/// [`hop_context`] (which two chains at the same round and position
+/// share), is what disambiguates chains in the combined batch.  A
+/// single random-linear-combination multiscalar mul then checks them
+/// all at once; the coordinator's per-round audit cost becomes one MSM
+/// for the entire deployment instead of one per chain.
+///
+/// Returns `false` if any hop anywhere is malformed or any proof in
+/// the combined batch is invalid.  Callers re-check per chain (or per
+/// hop, [`verify_hop`]) to localize a failure.
+pub fn verify_hops_batched_multi(chains: &[ChainAudit<'_>]) -> bool {
+    for chain in chains {
+        if chain
+            .hops
+            .iter()
+            .any(|hop| hop.inputs.len() != hop.outputs.len())
+        {
+            return false;
+        }
     }
-    let contexts: Vec<Vec<u8>> = hops
+    let contexts: Vec<Vec<u8>> = chains
         .iter()
-        .map(|hop| hop_context(round, hop.position))
+        .flat_map(|chain| {
+            chain
+                .hops
+                .iter()
+                .map(|hop| hop_context(chain.round, hop.position))
+        })
         .collect();
-    let statements: Vec<DleqBatchEntry> = hops
+    let statements: Vec<DleqBatchEntry> = chains
         .iter()
+        .flat_map(|chain| chain.hops.iter().map(move |hop| (chain, hop)))
         .zip(&contexts)
-        .map(|(hop, ctx)| DleqBatchEntry {
+        .map(|((chain, hop), ctx)| DleqBatchEntry {
             context: ctx,
             base1: GroupElement::product(hop.inputs.iter().map(|e| &e.dh)),
             public1: GroupElement::product(hop.outputs.iter().map(|e| &e.dh)),
-            base2: *public.blinding_base(hop.position),
-            public2: public.bpks[hop.position + 1],
+            base2: *chain.public.blinding_base(hop.position),
+            public2: chain.public.bpks[hop.position + 1],
             proof: hop.proof,
         })
         .collect();

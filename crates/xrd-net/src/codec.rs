@@ -477,21 +477,20 @@ impl Writer {
 
     fn mix_entries(&mut self, entries: &[MixEntry]) {
         self.seq_len(entries.len());
-        // Batch frames share the group-encoding work across all entries
-        // (one batched pass instead of n independent encodes), so the
-        // round path pays no per-point inversion work when serializing
-        // mix batches.
-        let dhs: Vec<GroupElement> = entries.iter().map(|e| e.dh).collect();
-        let encodings = GroupElement::batch_encode(&dhs);
-        for (e, enc) in entries.iter().zip(&encodings) {
-            self.raw(enc);
+        // Each DH key pays one per-point encode here (~one invsqrt):
+        // ristretto encoding has no batch fast path — see
+        // `GroupElement::encode_all` for the bound.  Senders that hold
+        // already-encoded wire bytes should forward those instead
+        // (the streamed relay path does exactly that).
+        for e in entries {
+            self.raw(&e.dh.encode());
             self.bytes(&e.ct);
         }
     }
 
     fn groups(&mut self, points: &[GroupElement]) {
         self.seq_len(points.len());
-        for enc in GroupElement::batch_encode(points) {
+        for enc in GroupElement::encode_all(points) {
             self.raw(&enc);
         }
     }
@@ -779,11 +778,8 @@ impl Frame {
                 let mut w = Writer::new(TAG_SUBMISSION_BATCH);
                 w.u64(*round);
                 w.seq_len(submissions.len());
-                // Share the DH-key encoding work across the batch.
-                let dhs: Vec<GroupElement> = submissions.iter().map(|s| s.dh).collect();
-                let encodings = GroupElement::batch_encode(&dhs);
-                for (s, enc) in submissions.iter().zip(&encodings) {
-                    w.raw(enc);
+                for s in submissions {
+                    w.raw(&s.dh.encode());
                     w.schnorr(&s.pok);
                     w.bytes(&s.ct);
                 }
@@ -1224,12 +1220,11 @@ impl StreamDigest {
     }
 
     /// Absorb entries by re-deriving their canonical encodings (one
-    /// batched group-encoding pass for the chunk).
+    /// per-point encode each; prefer [`BatchAssembler::absorb_raw`]
+    /// wherever the already-encoded wire bytes are at hand).
     pub fn absorb_entries(&mut self, entries: &[MixEntry]) {
-        let dhs: Vec<GroupElement> = entries.iter().map(|e| e.dh).collect();
-        let encodings = GroupElement::batch_encode(&dhs);
-        for (e, enc) in entries.iter().zip(&encodings) {
-            self.h.update(enc);
+        for e in entries {
+            self.h.update(&e.dh.encode());
             self.h.update(&(e.ct.len() as u32).to_le_bytes());
             self.h.update(&e.ct);
         }

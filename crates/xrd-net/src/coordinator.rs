@@ -94,6 +94,50 @@ enum FailureVerdict {
     Abort,
 }
 
+/// Result of the mixing/blame phases when the audit is deferred to the
+/// caller ([`ChainClient::mix_round_deferred`]).
+pub enum MixPhase {
+    /// The chain's outcome is already final (abort or conviction
+    /// mid-mix); no attestations to audit, nothing will be revealed.
+    Done(ChainRoundOutcome),
+    /// A clean pass: the hop attestations await the caller's audit
+    /// verdict before [`ChainClient::conclude_audited`] reveals keys.
+    AwaitingAudit(PendingChainRound),
+}
+
+/// A clean mixing pass whose attestations have not been audited yet:
+/// everything [`ChainClient::conclude_audited`] needs to finish the
+/// round once the caller has folded this chain's proofs into its
+/// (possibly deployment-wide) batched verification.
+pub struct PendingChainRound {
+    /// Per-hop `(position, inputs, outputs, proof)` of the clean pass.
+    hop_audit: Vec<(usize, Vec<MixEntry>, Vec<MixEntry>, DleqProof)>,
+    /// The chain's final mixed batch.
+    final_entries: Vec<MixEntry>,
+    /// Users convicted by blame during earlier (retried) passes.
+    malicious_users: Vec<usize>,
+    /// Servers convicted so far (empty on a clean pass).
+    misbehaving_servers: Vec<usize>,
+    /// Round statistics accumulated through the mix phase.
+    stats: ChainRoundStats,
+}
+
+impl PendingChainRound {
+    /// Borrow the clean pass's attestations as [`HopRecord`]s, the
+    /// form [`verify_hops_batched_multi`](xrd_mixnet::verify_hops_batched_multi) consumes.
+    pub fn records(&self) -> Vec<HopRecord<'_>> {
+        self.hop_audit
+            .iter()
+            .map(|(pos, inputs, outputs, proof)| HopRecord {
+                position: *pos,
+                inputs,
+                outputs,
+                proof: *proof,
+            })
+            .collect()
+    }
+}
+
 impl ChainClient {
     /// Connect to a chain's daemons (hop order) with its active bundle.
     pub fn connect(addrs: &[SocketAddr], public: ChainPublicKeys) -> Result<ChainClient, NetError> {
@@ -200,11 +244,38 @@ impl ChainClient {
     /// return the outcome (delivered messages still need mailbox
     /// delivery, which is deployment-level).  Ships batches per the
     /// configured [`Transport`].
+    ///
+    /// The coordinator's own end-of-chain audit runs here as one
+    /// batched DLEQ verification over this chain's `k` proofs.  A
+    /// deployment driving several chains should use
+    /// [`ChainClient::mix_round_deferred`] instead and fold *all*
+    /// chains' proofs into a single multiscalar mul
+    /// ([`verify_hops_batched_multi`](xrd_mixnet::verify_hops_batched_multi)) before concluding each chain.
     pub fn mix_round(
         &mut self,
         round: u64,
         submissions: &[Submission],
     ) -> Result<ChainRoundOutcome, NetError> {
+        match self.mix_round_deferred(round, submissions)? {
+            MixPhase::Done(outcome) => Ok(outcome),
+            MixPhase::AwaitingAudit(pending) => {
+                let ok = verify_hops_batched(&self.public, round, &pending.records());
+                self.conclude_audited(round, pending, ok)
+            }
+        }
+    }
+
+    /// The mixing/blame phases only: returns either a final outcome
+    /// (the chain aborted or convicted someone mid-mix) or a
+    /// [`PendingChainRound`] holding the clean pass's attestations.
+    /// The caller audits those — typically across every chain of the
+    /// round at once — and then calls
+    /// [`ChainClient::conclude_audited`] to reveal and open.
+    pub fn mix_round_deferred(
+        &mut self,
+        round: u64,
+        submissions: &[Submission],
+    ) -> Result<MixPhase, NetError> {
         match self.transport {
             Transport::Whole => self.mix_round_whole(round, submissions),
             Transport::Streamed { chunk } => self.mix_round_streamed(round, submissions, chunk),
@@ -222,11 +293,11 @@ impl ChainClient {
     /// with per-hop cross-server verification — each hop is fully
     /// transferred, fully computed, fully verified before the next
     /// begins.
-    pub fn mix_round_whole(
+    fn mix_round_whole(
         &mut self,
         round: u64,
         submissions: &[Submission],
-    ) -> Result<ChainRoundOutcome, NetError> {
+    ) -> Result<MixPhase, NetError> {
         let k = self.conns.len();
         let mut stats = ChainRoundStats::default();
         let mut malicious_users: Vec<usize> = Vec::new();
@@ -304,12 +375,12 @@ impl ChainClient {
                                     } else {
                                         verifier
                                     });
-                                    return Ok(ChainRoundOutcome {
+                                    return Ok(MixPhase::Done(ChainRoundOutcome {
                                         delivered: Vec::new(),
                                         malicious_users,
                                         misbehaving_servers,
                                         stats,
-                                    });
+                                    }));
                                 }
                                 other => {
                                     return Err(NetError::Protocol(format!(
@@ -344,12 +415,12 @@ impl ChainClient {
                             // A malicious server: halt with nothing
                             // delivered (§6.4).
                             FailureVerdict::Abort => {
-                                return Ok(ChainRoundOutcome {
+                                return Ok(MixPhase::Done(ChainRoundOutcome {
                                     delivered: Vec::new(),
                                     malicious_users,
                                     misbehaving_servers,
                                     stats,
-                                })
+                                }))
                             }
                             FailureVerdict::Retry => continue 'retry,
                         }
@@ -364,14 +435,13 @@ impl ChainClient {
             break entries;
         };
 
-        self.conclude_round(
-            round,
+        Ok(MixPhase::AwaitingAudit(PendingChainRound {
             hop_audit,
             final_entries,
             malicious_users,
             misbehaving_servers,
             stats,
-        )
+        }))
     }
 
     /// [`ChainClient::mix_round`] as a chunked pipeline: hop `i+1`
@@ -382,12 +452,12 @@ impl ChainClient {
     /// Cross-server verification runs at end of chain over DH-key
     /// columns only ([`Frame::VerifyHopKeys`]); the reveal still
     /// happens only after every check passes.
-    pub fn mix_round_streamed(
+    fn mix_round_streamed(
         &mut self,
         round: u64,
         submissions: &[Submission],
         chunk: usize,
-    ) -> Result<ChainRoundOutcome, NetError> {
+    ) -> Result<MixPhase, NetError> {
         let k = self.conns.len();
         let mut stats = ChainRoundStats::default();
         let mut malicious_users: Vec<usize> = Vec::new();
@@ -497,12 +567,12 @@ impl ChainClient {
                             &mut stats,
                         )? {
                             FailureVerdict::Abort => {
-                                return Ok(ChainRoundOutcome {
+                                return Ok(MixPhase::Done(ChainRoundOutcome {
                                     delivered: Vec::new(),
                                     malicious_users,
                                     misbehaving_servers,
                                     stats,
-                                })
+                                }))
                             }
                             FailureVerdict::Retry => continue 'retry,
                         }
@@ -553,12 +623,12 @@ impl ChainClient {
                     let really_bad =
                         !verify_hop(&self.public, prover, round, inputs, outputs, proof);
                     misbehaving_servers.push(if really_bad { prover } else { verifier });
-                    return Ok(ChainRoundOutcome {
+                    return Ok(MixPhase::Done(ChainRoundOutcome {
                         delivered: Vec::new(),
                         malicious_users,
                         misbehaving_servers,
                         stats,
-                    });
+                    }));
                 }
                 Frame::Error { code, message } => return Err(NetError::Remote { code, message }),
                 other => {
@@ -569,14 +639,13 @@ impl ChainClient {
             }
         }
 
-        self.conclude_round(
-            round,
+        Ok(MixPhase::AwaitingAudit(PendingChainRound {
             hop_audit,
             final_entries,
             malicious_users,
             misbehaving_servers,
             stats,
-        )
+        }))
     }
 
     /// Resolve one hop's decrypt failures through the blame protocol:
@@ -623,37 +692,36 @@ impl ChainClient {
         Ok(FailureVerdict::Retry)
     }
 
-    /// The shared end of a clean mixing pass: the coordinator's own
-    /// batched audit of every hop attestation, the inner-key reveal,
-    /// and the envelope opening.
-    fn conclude_round(
+    /// Conclude a clean mixing pass after its attestations have been
+    /// audited: on a failed audit, re-verify this chain's hops
+    /// individually to pin (or clear) an offender; then reveal the
+    /// inner keys and open the envelopes.
+    ///
+    /// `audit_ok` is the verdict of a batched verification that
+    /// *included* this chain's records — either this chain alone
+    /// ([`ChainClient::mix_round`]) or every chain of the deployment
+    /// round folded into one multiscalar mul
+    /// ([`verify_hops_batched_multi`](xrd_mixnet::verify_hops_batched_multi)).  A failed combined audit only
+    /// proves *some* statement in the batch was bad, so each chain
+    /// re-checks its own hops; a chain whose proofs all verify
+    /// individually proceeds to the reveal (the offender is in another
+    /// chain).
+    pub fn conclude_audited(
         &mut self,
         round: u64,
-        hop_audit: Vec<(usize, Vec<MixEntry>, Vec<MixEntry>, DleqProof)>,
-        final_entries: Vec<MixEntry>,
-        malicious_users: Vec<usize>,
-        mut misbehaving_servers: Vec<usize>,
-        mut stats: ChainRoundStats,
+        mut pending: PendingChainRound,
+        audit_ok: bool,
     ) -> Result<ChainRoundOutcome, NetError> {
         let k = self.conns.len();
 
-        // The coordinator re-checks every hop attestation itself in one
-        // batched DLEQ verification (a single multiscalar mul instead
-        // of k proof checks) rather than trusting the other servers'
-        // wire verdicts blindly.  On failure, per-hop re-verification
-        // pins the offending server.
-        let records: Vec<HopRecord> = hop_audit
-            .iter()
-            .map(|(pos, inputs, outputs, proof)| HopRecord {
-                position: *pos,
-                inputs,
-                outputs,
-                proof: *proof,
-            })
-            .collect();
-        stats.proofs_verified += records.len();
-        if !verify_hops_batched(&self.public, round, &records) {
-            for r in &records {
+        // The audit (batched, possibly deployment-wide) covered this
+        // chain's k statements: count them here, once, whatever the
+        // verdict — the per-hop re-checks below localize rather than
+        // re-audit (matching the pre-deferred accounting).
+        pending.stats.proofs_verified += pending.hop_audit.len();
+        if !audit_ok {
+            let mut convicted: Vec<usize> = Vec::new();
+            for r in &pending.records() {
                 if !verify_hop(
                     &self.public,
                     r.position,
@@ -662,9 +730,19 @@ impl ChainClient {
                     r.outputs,
                     &r.proof,
                 ) {
-                    misbehaving_servers.push(r.position);
+                    convicted.push(r.position);
                 }
             }
+            pending.misbehaving_servers.extend(convicted);
+        }
+        let PendingChainRound {
+            hop_audit: _,
+            final_entries,
+            malicious_users,
+            mut misbehaving_servers,
+            stats,
+        } = pending;
+        if !misbehaving_servers.is_empty() {
             return Ok(ChainRoundOutcome {
                 delivered: Vec::new(),
                 malicious_users,
@@ -672,6 +750,9 @@ impl ChainClient {
                 stats,
             });
         }
+        // On a failed combined audit with every hop of *this* chain
+        // verifying individually, the offender is in another chain:
+        // proceed to the reveal.
 
         // Inner-key reveal + verification, then open the envelopes.
         let mut inner_keys: Vec<Scalar> = Vec::with_capacity(k);

@@ -50,7 +50,7 @@ pub mod swarm;
 
 pub use codec::{BatchAssembler, ChunkedBatch, CodecError, Frame, StreamDigest, StreamError};
 pub use conn::{Conn, NetError};
-pub use coordinator::{ChainClient, Transport};
+pub use coordinator::{ChainClient, MixPhase, PendingChainRound, Transport};
 pub use daemon::{DaemonHandle, MailboxDaemon, MixServerDaemon};
 pub use remote::{launch_local, LocalCluster, RemoteDeployment};
 pub use swarm::{

@@ -16,12 +16,12 @@ use xrd_core::user::User;
 use xrd_mixnet::chain_keys::{generate_chain_keys, rotate_inner_keys, ChainPublicKeys};
 use xrd_mixnet::client::Submission;
 use xrd_mixnet::message::MailboxMessage;
-use xrd_mixnet::ChainRoundOutcome;
+use xrd_mixnet::{verify_hops_batched_multi, ChainAudit, ChainRoundOutcome, HopRecord};
 use xrd_topology::{Beacon, Topology};
 
 use crate::codec::Frame;
 use crate::conn::{Conn, NetError};
-use crate::coordinator::ChainClient;
+use crate::coordinator::{ChainClient, MixPhase, PendingChainRound};
 use crate::daemon::{DaemonHandle, MailboxDaemon, MixServerDaemon};
 
 /// A deployment whose chains and mailboxes live behind TCP endpoints.
@@ -207,34 +207,89 @@ impl RemoteDeployment {
         self.submit_concurrently(round, &per_chain)?;
 
         // Drive every chain's mix in parallel — each chain is an
-        // independent set of machines.
+        // independent set of machines.  The coordinator's own audit is
+        // deferred: each chain returns its clean pass's attestations,
+        // and all `n_chains × k` hop proofs of the round are folded
+        // into ONE batched multiscalar mul below before any chain
+        // reveals its inner keys.
         let mut report = RoundReport {
             round,
             ..Default::default()
         };
-        let outcomes: Vec<Result<(usize, ChainRoundOutcome), NetError>> =
+        let phases: Vec<Result<(usize, MixPhase), NetError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .chains
+                .iter_mut()
+                .map(|chain| {
+                    scope.spawn(move || {
+                        let batch = chain.close_and_agree(round)?;
+                        let phase = chain.mix_round_deferred(round, &batch)?;
+                        Ok((batch.len(), phase))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("chain coordinator panicked"))
+                .collect()
+        });
+
+        // Split final outcomes from audit-pending chains.
+        let mut outcomes: Vec<(usize, ChainRoundOutcome)> = Vec::new();
+        let mut pendings: Vec<(usize, PendingChainRound)> = Vec::new();
+        for (c, result) in phases.into_iter().enumerate() {
+            let (mixed, phase) = result?;
+            report.messages_mixed += mixed;
+            match phase {
+                MixPhase::Done(outcome) => outcomes.push((c, outcome)),
+                MixPhase::AwaitingAudit(pending) => pendings.push((c, pending)),
+            }
+        }
+
+        // The deployment-level audit: every pending chain's hop proofs
+        // in a single batched DLEQ verification.
+        let audit_ok = {
+            let record_sets: Vec<(usize, Vec<HopRecord>)> = pendings
+                .iter()
+                .map(|(c, pending)| (*c, pending.records()))
+                .collect();
+            let audits: Vec<ChainAudit> = record_sets
+                .iter()
+                .map(|(c, records)| ChainAudit {
+                    public: self.chains[*c].public(),
+                    round,
+                    hops: records,
+                })
+                .collect();
+            verify_hops_batched_multi(&audits)
+        };
+        // Conclude audited chains in parallel again (reveal RTTs +
+        // envelope opening are per-chain independent; only the audit
+        // itself needed the barrier).
+        let concluded: Vec<Result<(usize, ChainRoundOutcome), NetError>> =
             std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .chains
-                    .iter_mut()
-                    .map(|chain| {
+                let mut slots: Vec<Option<&mut ChainClient>> =
+                    self.chains.iter_mut().map(Some).collect();
+                let handles: Vec<_> = pendings
+                    .into_iter()
+                    .map(|(c, pending)| {
+                        let chain = slots[c].take().expect("one pending per chain");
                         scope.spawn(move || {
-                            let batch = chain.close_and_agree(round)?;
-                            let outcome = chain.mix_round(round, &batch)?;
-                            Ok((batch.len(), outcome))
+                            Ok((c, chain.conclude_audited(round, pending, audit_ok)?))
                         })
                     })
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("chain coordinator panicked"))
+                    .map(|h| h.join().expect("chain conclusion panicked"))
                     .collect()
             });
+        for result in concluded {
+            outcomes.push(result?);
+        }
 
         let mut delivered: Vec<MailboxMessage> = Vec::new();
-        for (c, result) in outcomes.into_iter().enumerate() {
-            let (mixed, outcome) = result?;
-            report.messages_mixed += mixed;
+        for (c, outcome) in outcomes {
             if !outcome.misbehaving_servers.is_empty() {
                 report.aborted_chains.push(c as u32);
             }

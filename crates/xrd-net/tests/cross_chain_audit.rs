@@ -1,0 +1,168 @@
+//! The deployment-level cross-chain audit: all `n_chains × k` hop
+//! proofs of a round folded into ONE batched multiscalar mul
+//! (`verify_hops_batched_multi`) must be equivalent to auditing each
+//! chain separately — accepting exactly when every per-chain audit
+//! accepts, rejecting when any chain's proof is bad, and (via
+//! `conclude_audited`'s per-hop re-check) never punishing an honest
+//! chain for another chain's offense.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use xrd_crypto::Scalar;
+use xrd_mixnet::chain_keys::{generate_chain_keys, rotate_inner_keys, ChainPublicKeys};
+use xrd_mixnet::client::Submission;
+use xrd_mixnet::{verify_hops_batched, verify_hops_batched_multi, ChainAudit, HopRecord};
+use xrd_net::codec::Frame;
+use xrd_net::swarm::sealed_submissions;
+use xrd_net::{ChainClient, Conn, DaemonHandle, MixPhase, MixServerDaemon};
+
+const K: usize = 2;
+const USERS: usize = 6;
+const ROUND: u64 = 0;
+
+/// One loopback chain: daemons, a connected client, and its bundle.
+struct TestChain {
+    // Held for their Drop (daemon shutdown).
+    _daemons: Vec<DaemonHandle>,
+    addrs: Vec<std::net::SocketAddr>,
+    client: ChainClient,
+    public: ChainPublicKeys,
+}
+
+fn launch_chain(rng: &mut StdRng, epoch: u64) -> TestChain {
+    let (mut secrets, mut public) = generate_chain_keys(rng, K, epoch);
+    rotate_inner_keys(rng, &mut secrets, &mut public, ROUND);
+    let mut daemons = Vec::with_capacity(K);
+    let mut addrs = Vec::with_capacity(K);
+    for server_secrets in secrets {
+        let daemon = MixServerDaemon::spawn("127.0.0.1:0", server_secrets, public.clone(), epoch)
+            .expect("daemon spawns");
+        addrs.push(daemon.addr());
+        daemons.push(daemon);
+    }
+    let client = ChainClient::connect(&addrs, public.clone()).expect("client connects");
+    TestChain {
+        _daemons: daemons,
+        addrs,
+        client,
+        public,
+    }
+}
+
+/// Open the window, submit to every daemon (input agreement fan-out),
+/// and run the mix with the audit deferred.
+fn mix_deferred(rng: &mut StdRng, chain: &mut TestChain) -> (Vec<Submission>, MixPhase) {
+    chain.client.open_round(ROUND).expect("window opens");
+    let subs = sealed_submissions(rng, &chain.public, ROUND, USERS);
+    for addr in &chain.addrs {
+        let mut conn = Conn::connect(*addr).expect("submitter connects");
+        for sub in &subs {
+            conn.request_ok(&Frame::Submit {
+                round: ROUND,
+                submission: sub.clone(),
+            })
+            .expect("submission accepted");
+        }
+    }
+    let batch = chain.client.close_and_agree(ROUND).expect("agreement");
+    assert_eq!(batch.len(), USERS);
+    let phase = chain
+        .client
+        .mix_round_deferred(ROUND, &batch)
+        .expect("mix runs");
+    (batch, phase)
+}
+
+#[test]
+fn multi_chain_audit_equivalent_to_per_chain() {
+    let mut rng = StdRng::seed_from_u64(4096);
+
+    // Two independent chains, each mixed through the wire with the
+    // coordinator audit deferred.
+    let mut chains: Vec<TestChain> = (0..2).map(|c| launch_chain(&mut rng, c as u64)).collect();
+    let mut pendings = Vec::new();
+    for chain in chains.iter_mut() {
+        let (_, phase) = mix_deferred(&mut rng, chain);
+        match phase {
+            MixPhase::AwaitingAudit(pending) => pendings.push(pending),
+            MixPhase::Done(_) => panic!("clean mix must defer its audit"),
+        }
+    }
+
+    // Per-chain audits and the single cross-chain audit must agree.
+    let record_sets: Vec<Vec<HopRecord>> = pendings.iter().map(|p| p.records()).collect();
+    for records in &record_sets {
+        assert_eq!(records.len(), K, "one record per hop");
+    }
+    let per_chain: Vec<bool> = chains
+        .iter()
+        .zip(&record_sets)
+        .map(|(chain, records)| verify_hops_batched(&chain.public, ROUND, records))
+        .collect();
+    assert_eq!(per_chain, vec![true, true]);
+
+    let audits: Vec<ChainAudit> = chains
+        .iter()
+        .zip(&record_sets)
+        .map(|(chain, records)| ChainAudit {
+            public: &chain.public,
+            round: ROUND,
+            hops: records,
+        })
+        .collect();
+    assert!(
+        verify_hops_batched_multi(&audits),
+        "cross-chain audit must accept when every per-chain audit accepts"
+    );
+
+    // Tamper with ONE chain's proof: the combined audit must reject,
+    // matching the per-chain verdicts (chain 1 bad, chain 0 still good).
+    let mut tampered_sets = record_sets.clone();
+    tampered_sets[1][0].proof.response = tampered_sets[1][0].proof.response.add(&Scalar::ONE);
+    let tampered_audits: Vec<ChainAudit> = chains
+        .iter()
+        .zip(&tampered_sets)
+        .map(|(chain, records)| ChainAudit {
+            public: &chain.public,
+            round: ROUND,
+            hops: records,
+        })
+        .collect();
+    assert!(
+        !verify_hops_batched_multi(&tampered_audits),
+        "one bad proof anywhere must fail the combined audit"
+    );
+    assert!(verify_hops_batched(
+        &chains[0].public,
+        ROUND,
+        &tampered_sets[0]
+    ));
+    assert!(!verify_hops_batched(
+        &chains[1].public,
+        ROUND,
+        &tampered_sets[1]
+    ));
+
+    // Conclude both chains under a FAILED combined verdict: the
+    // per-hop re-check must clear the honest chains (their own proofs
+    // are valid — the simulated offender is "another chain") and both
+    // must still deliver every message.
+    drop(record_sets);
+    drop(tampered_sets);
+    for (chain, pending) in chains.iter_mut().zip(pendings) {
+        let outcome = chain
+            .client
+            .conclude_audited(ROUND, pending, false)
+            .expect("conclusion runs");
+        assert!(
+            outcome.misbehaving_servers.is_empty(),
+            "honest chain must be cleared by per-hop re-verification"
+        );
+        assert_eq!(
+            outcome.delivered.len(),
+            USERS,
+            "cleared chain still delivers"
+        );
+    }
+}
