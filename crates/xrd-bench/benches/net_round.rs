@@ -66,6 +66,34 @@ fn bench_submit_storm(c: &mut Criterion) {
         );
     }
     group.finish();
+
+    // One un-timed storm whose report is printed from the wire-scraped
+    // registry snapshot: the numbers recorded next to the criterion
+    // output (and into the bench-smoke artifact) are the same series
+    // `xrd-netd stats` serves an operator, not bench-only bookkeeping.
+    let mut rng = StdRng::seed_from_u64(3);
+    let report = submit_storm(&mut rng, &StormConfig::default()).expect("storm completes");
+    let s = &report.stats;
+    println!(
+        "net_storm scrape @ {} conns: {} frames in ({} Submit), {} B in / {} B out",
+        report.n_conns,
+        s.counter("reactor.frames_in"),
+        s.counter("frames.in.Submit"),
+        s.counter("reactor.bytes_in"),
+        s.counter("reactor.bytes_out"),
+    );
+    for name in ["hop.decrypt_blind_us", "hop.shuffle_prove_us"] {
+        if let Some(h) = s.hist(name) {
+            println!(
+                "net_storm scrape {name}: n={} p50 {}µs p95 {}µs p99 {}µs max {}µs",
+                h.count,
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                h.max
+            );
+        }
+    }
 }
 
 /// The streamed-pipeline probe: one k=3 chain (three mix daemons on

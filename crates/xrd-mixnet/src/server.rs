@@ -81,6 +81,31 @@ pub struct MixServer {
 /// anyway.)
 const PARALLEL_HOP_THRESHOLD: usize = 32;
 
+/// Hop-kernel metric handles, resolved once per process (the kernels
+/// are cloned into worker threads per chunk; a registry lookup per
+/// chunk would serialize them on the registry mutex).
+fn hop_metrics() -> &'static HopMetrics {
+    static METRICS: std::sync::OnceLock<HopMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| HopMetrics {
+        decrypt_blind_us: xrd_obs::hist("hop.decrypt_blind_us"),
+        shuffle_prove_us: xrd_obs::hist("hop.shuffle_prove_us"),
+        entries: xrd_obs::counter("hop.entries"),
+        decrypt_failures: xrd_obs::counter("hop.err.decrypt_failures"),
+    })
+}
+
+struct HopMetrics {
+    /// Per-chunk decrypt-and-blind latency ([`ChunkKernel::process`]).
+    decrypt_blind_us: &'static xrd_obs::Histogram,
+    /// Shuffle + aggregate-proof latency per completed hop
+    /// ([`MixServer::finish_round`]).
+    shuffle_prove_us: &'static xrd_obs::Histogram,
+    /// Entries decrypted-and-blinded, total (rate = entries/s).
+    entries: &'static xrd_obs::Counter,
+    /// Entries whose authenticated decryption failed (blame triggers).
+    decrypt_failures: &'static xrd_obs::Counter,
+}
+
 /// Fiat–Shamir context for hop proofs: binds round and position.
 pub fn hop_context(round: u64, position: usize) -> Vec<u8> {
     let mut ctx = b"xrd/ahs-hop".to_vec();
@@ -147,13 +172,18 @@ impl ChunkKernel {
     /// its table.  Slot `j` of the result corresponds to `entries[j]`;
     /// `None` marks an authentication failure at that index.
     pub fn process(&self, entries: &[MixEntry]) -> Vec<Option<MixEntry>> {
+        let started = std::time::Instant::now();
         let dhs: Vec<GroupElement> = entries.iter().map(|e| e.dh).collect();
         let tables = GroupTable::batch_new(&dhs);
-        entries
+        let slots: Vec<Option<MixEntry>> = entries
             .iter()
             .zip(&tables)
             .map(|(entry, table)| self.decrypt_and_blind(entry, table))
-            .collect()
+            .collect();
+        let m = hop_metrics();
+        m.decrypt_blind_us.record_duration(started.elapsed());
+        m.entries.add(entries.len() as u64);
+        slots
     }
 
     /// [`ChunkKernel::process`] fanned out across scoped OS threads for
@@ -284,6 +314,7 @@ impl MixServer {
         }
 
         if !failures.is_empty() {
+            hop_metrics().decrypt_failures.add(failures.len() as u64);
             // Halt: retain inputs so blame can run against them.
             self.state = Some(HopState {
                 round,
@@ -293,6 +324,7 @@ impl MixServer {
             });
             return Err(MixError::DecryptFailure(failures));
         }
+        let started = std::time::Instant::now();
 
         // Step 3: shuffle keys and ciphertexts with one permutation.
         let mut perm: Vec<usize> = (0..processed.len()).collect();
@@ -326,6 +358,9 @@ impl MixServer {
             output_dhs: outputs.iter().map(|e| e.dh).collect(),
             perm,
         });
+        hop_metrics()
+            .shuffle_prove_us
+            .record_duration(started.elapsed());
         Ok(HopResult { outputs, proof })
     }
 

@@ -14,10 +14,15 @@
 //! * `stress [--conns N] [--workers W] [--chain-len K]` — storm one
 //!   mix daemon with N concurrent submitter connections (default
 //!   1000) and print connect/submit/hop wall clock — the
-//!   connection-scalability probe for the event-driven reactor.
+//!   connection-scalability probe for the event-driven reactor;
+//! * `stats ADDR` — scrape any running daemon's metrics over the wire
+//!   (a `StatsRequest` frame) and print the human-readable dump: frame
+//!   counters, hop-phase latency histograms, round span timeline.
 //!
 //! Daemons print `LISTENING <addr>` once bound, so launchers (and
-//! tests) binding port 0 can discover the assigned port.
+//! tests) binding port 0 can discover the assigned port.  Error paths
+//! log through the leveled `xrd-obs` logger (`XRD_LOG=warn|info|debug`,
+//! default `warn`).
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -37,7 +42,8 @@ fn usage() -> ExitCode {
          xrd-netd mix --config FILE [--listen ADDR]\n  \
          xrd-netd mailbox --shard S --shards N [--listen ADDR]\n  \
          xrd-netd demo [--servers N] [--chain-len K] [--shards S] [--users U] [--rounds R]\n  \
-         xrd-netd stress [--conns N] [--workers W] [--chain-len K]"
+         xrd-netd stress [--conns N] [--workers W] [--chain-len K]\n  \
+         xrd-netd stats ADDR"
     );
     ExitCode::FAILURE
 }
@@ -61,7 +67,43 @@ fn main() -> ExitCode {
         "mailbox" => mailbox(rest),
         "demo" => demo(rest),
         "stress" => stress(rest),
+        "stats" => stats(rest),
         _ => usage(),
+    }
+}
+
+/// Scrape one daemon's metrics over the wire and print the dump.
+fn stats(args: &[String]) -> ExitCode {
+    let Some(addr) = args.first() else {
+        return usage();
+    };
+    let addr: std::net::SocketAddr = match addr.parse() {
+        Ok(a) => a,
+        Err(e) => {
+            xrd_obs::error!("stats: bad address {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut conn = match xrd_net::Conn::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            xrd_obs::error!("stats: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match conn.request(&xrd_net::codec::Frame::StatsRequest) {
+        Ok(xrd_net::codec::Frame::StatsReport { snapshot }) => {
+            print!("{}", snapshot.render());
+            ExitCode::SUCCESS
+        }
+        Ok(other) => {
+            xrd_obs::error!("stats: {addr} answered {other:?} instead of a StatsReport");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            xrd_obs::error!("stats: scrape of {addr} failed: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -86,20 +128,34 @@ fn stress(args: &[String]) -> ExitCode {
     let report = match submit_storm(&mut rng, &config) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("stress: storm failed: {e}");
+            xrd_obs::error!("stress: storm failed: {e}");
             return ExitCode::FAILURE;
         }
     };
     if report.accepted != report.n_conns as u64 {
-        eprintln!(
+        xrd_obs::error!(
             "stress: only {} of {} submissions accepted",
-            report.accepted, report.n_conns
+            report.accepted,
+            report.n_conns
         );
         return ExitCode::FAILURE;
     }
     println!(
         "connect {:.1?} | submit {:.1?} ({:.0} verified submissions/s) | hop {:.1?}",
         report.connect_elapsed, report.submit_elapsed, report.submits_per_sec, report.hop_elapsed
+    );
+    // The same numbers an operator would get from `xrd-netd stats`,
+    // scraped over the wire while the storm was still connected.
+    let s = &report.stats;
+    println!(
+        "scrape: {} frames in ({} Submit), {} B in / {} B out, \
+         decrypt+blind p95 {}µs, shuffle+prove p95 {}µs",
+        s.counter("reactor.frames_in"),
+        s.counter("frames.in.Submit"),
+        s.counter("reactor.bytes_in"),
+        s.counter("reactor.bytes_out"),
+        s.hist("hop.decrypt_blind_us").map(|h| h.p95()).unwrap_or(0),
+        s.hist("hop.shuffle_prove_us").map(|h| h.p95()).unwrap_or(0),
     );
     ExitCode::SUCCESS
 }
@@ -119,14 +175,14 @@ fn keygen(args: &[String]) -> ExitCode {
     // Activate round-0 inner keys, exactly as deployments expect.
     xrd_mixnet::chain_keys::rotate_inner_keys(&mut rng, &mut secrets, &mut public, 0);
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
-        eprintln!("keygen: cannot create {out_dir}: {e}");
+        xrd_obs::error!("keygen: cannot create {out_dir}: {e}");
         return ExitCode::FAILURE;
     }
     for s in &secrets {
         let path = format!("{out_dir}/server-{}.cfg", s.position);
         let blob = encode_server_config(s, &public);
         if let Err(e) = std::fs::write(&path, blob) {
-            eprintln!("keygen: cannot write {path}: {e}");
+            xrd_obs::error!("keygen: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
         println!("wrote {path}");
@@ -142,21 +198,21 @@ fn mix(args: &[String]) -> ExitCode {
     let blob = match std::fs::read(&config_path) {
         Ok(b) => b,
         Err(e) => {
-            eprintln!("mix: cannot read {config_path}: {e}");
+            xrd_obs::error!("mix: cannot read {config_path}: {e}");
             return ExitCode::FAILURE;
         }
     };
     let (secrets, public) = match decode_server_config(&blob) {
         Ok(v) => v,
         Err(e) => {
-            eprintln!("mix: bad config: {e}");
+            xrd_obs::error!("mix: bad config: {e}");
             return ExitCode::FAILURE;
         }
     };
     let daemon = match MixServerDaemon::spawn_os_seeded(listen.as_str(), secrets, public) {
         Ok(d) => d,
         Err(e) => {
-            eprintln!("mix: cannot listen on {listen}: {e}");
+            xrd_obs::error!("mix: cannot listen on {listen}: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -175,7 +231,7 @@ fn mailbox(args: &[String]) -> ExitCode {
     let daemon = match MailboxDaemon::spawn(listen.as_str(), shard, shards) {
         Ok(d) => d,
         Err(e) => {
-            eprintln!("mailbox: cannot listen on {listen}: {e}");
+            xrd_obs::error!("mailbox: cannot listen on {listen}: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -222,7 +278,7 @@ fn demo(args: &[String]) -> ExitCode {
     let (mut cluster, mut deployment) = match launch_local(&mut rng, &config) {
         Ok(v) => v,
         Err(e) => {
-            eprintln!("demo: launch failed: {e}");
+            xrd_obs::error!("demo: launch failed: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -254,6 +310,20 @@ fn demo(args: &[String]) -> ExitCode {
         report.mean_throughput(),
         report.bytes_on_wire as f64 / (1024.0 * 1024.0)
     );
+    // Per-phase hop latency, from the same registry `xrd-netd stats`
+    // serves (the demo's daemons all run in this process).
+    for name in ["hop.decrypt_blind_us", "hop.shuffle_prove_us"] {
+        if let Some(h) = report.stats.hist(name) {
+            println!(
+                "{name}: n={} mean {}µs p50 {}µs p95 {}µs max {}µs",
+                h.count,
+                h.mean(),
+                h.p50(),
+                h.p95(),
+                h.max
+            );
+        }
+    }
     cluster.shutdown();
     ExitCode::SUCCESS
 }

@@ -44,6 +44,12 @@ pub const MAX_BYTES: usize = 1 << 16;
 /// Hard cap on chain length in key bundles.
 pub const MAX_CHAIN_LEN: usize = 256;
 
+/// Hard cap on metrics of one kind (counters, gauges, histograms) and
+/// on retained spans in a [`Frame::StatsReport`].  The in-repo
+/// instrumentation registers a few dozen names and the global span ring
+/// holds 1024 events; the cap only bounds hostile frames.
+pub const MAX_METRICS: usize = 4096;
+
 /// Why a frame failed to parse.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CodecError {
@@ -97,6 +103,8 @@ const TAG_OK: u8 = 0x01;
 const TAG_ERROR: u8 = 0x02;
 const TAG_PING: u8 = 0x03;
 const TAG_SHUTDOWN: u8 = 0x04;
+const TAG_STATS_REQUEST: u8 = 0x05;
+const TAG_STATS_REPORT: u8 = 0x06;
 const TAG_OPEN_ROUND: u8 = 0x10;
 const TAG_SUBMIT: u8 = 0x11;
 const TAG_CLOSE_SUBMISSIONS: u8 = 0x12;
@@ -160,6 +168,16 @@ pub enum Frame {
     Ping,
     /// Ask the daemon to exit after this connection.
     Shutdown,
+    /// Scrape the daemon's metrics (answered with
+    /// [`Frame::StatsReport`] by the reactor itself, so every daemon
+    /// kind serves it without touching its service logic).
+    StatsRequest,
+    /// A point-in-time copy of the daemon's process-wide metric
+    /// registry (boxed: it is bulky and rides the admin path only).
+    StatsReport {
+        /// Counters, gauges, histograms and the span ring.
+        snapshot: Box<xrd_obs::Snapshot>,
+    },
 
     /// Open the submission window for a round (coordinator → mix).
     OpenRound {
@@ -603,6 +621,17 @@ impl<'a> Reader<'a> {
         DleqProof::from_bytes(self.take(DLEQ_PROOF_LEN)?).ok_or(CodecError::InvalidProof)
     }
 
+    fn metrics_len(&mut self) -> Result<usize, CodecError> {
+        let n = self.u32()? as usize;
+        if n > MAX_METRICS {
+            return Err(CodecError::Oversized {
+                declared: n,
+                cap: MAX_METRICS,
+            });
+        }
+        Ok(n)
+    }
+
     fn seq_len(&mut self) -> Result<usize, CodecError> {
         let n = self.u32()? as usize;
         if n > MAX_BATCH {
@@ -711,6 +740,119 @@ impl<'a> Reader<'a> {
     }
 }
 
+fn write_snapshot(w: &mut Writer, s: &xrd_obs::Snapshot) {
+    debug_assert!(
+        s.counters.len() <= MAX_METRICS
+            && s.gauges.len() <= MAX_METRICS
+            && s.hists.len() <= MAX_METRICS
+            && s.spans.len() <= MAX_METRICS
+    );
+    w.u64(s.uptime_us);
+    w.u32(s.counters.len() as u32);
+    for (name, v) in &s.counters {
+        w.string(name);
+        w.u64(*v);
+    }
+    w.u32(s.gauges.len() as u32);
+    for (name, v) in &s.gauges {
+        w.string(name);
+        w.u64(*v as u64);
+    }
+    w.u32(s.hists.len() as u32);
+    for (name, h) in &s.hists {
+        w.string(name);
+        w.u64(h.count);
+        w.u64(h.sum);
+        w.u64(h.min);
+        w.u64(h.max);
+        // Buckets ship sparse: most of the 252 log-scale buckets are
+        // empty for any real latency distribution.
+        let nonzero: Vec<(usize, u64)> = h
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| (i, n))
+            .collect();
+        w.u32(nonzero.len() as u32);
+        for (i, n) in nonzero {
+            w.u16(i as u16);
+            w.u64(n);
+        }
+    }
+    w.u32(s.spans.len() as u32);
+    for span in &s.spans {
+        w.string(&span.name);
+        w.u64(span.round);
+        w.u64(span.start_us);
+        w.u64(span.dur_us);
+    }
+}
+
+fn read_snapshot(r: &mut Reader<'_>) -> Result<xrd_obs::Snapshot, CodecError> {
+    let uptime_us = r.u64()?;
+    let n = r.metrics_len()?;
+    let counters = (0..n)
+        .map(|_| Ok((r.string()?, r.u64()?)))
+        .collect::<Result<_, CodecError>>()?;
+    let n = r.metrics_len()?;
+    let gauges = (0..n)
+        .map(|_| Ok((r.string()?, r.u64()? as i64)))
+        .collect::<Result<_, CodecError>>()?;
+    let n = r.metrics_len()?;
+    let hists = (0..n)
+        .map(|_| {
+            let name = r.string()?;
+            let (count, sum, min, max) = (r.u64()?, r.u64()?, r.u64()?, r.u64()?);
+            let mut buckets = vec![0u64; xrd_obs::N_BUCKETS];
+            let pairs = r.metrics_len()?;
+            let mut last: Option<usize> = None;
+            for _ in 0..pairs {
+                let i = r.u16()? as usize;
+                // Canonical sparse form: strictly increasing indices,
+                // in range, no zero entries.
+                if i >= xrd_obs::N_BUCKETS || last.is_some_and(|p| i <= p) {
+                    return Err(CodecError::BadLength);
+                }
+                last = Some(i);
+                let v = r.u64()?;
+                if v == 0 {
+                    return Err(CodecError::BadLength);
+                }
+                buckets[i] = v;
+            }
+            Ok((
+                name,
+                xrd_obs::HistSnapshot {
+                    count,
+                    sum,
+                    min,
+                    max,
+                    buckets,
+                },
+            ))
+        })
+        .collect::<Result<_, CodecError>>()?;
+    let n = r.metrics_len()?;
+    let spans = (0..n)
+        .map(|_| {
+            Ok(xrd_obs::SpanEvent {
+                name: r.string()?,
+                round: r.u64()?,
+                start_us: r.u64()?,
+                dur_us: r.u64()?,
+            })
+        })
+        .collect::<Result<_, CodecError>>()?;
+    Ok(xrd_obs::Snapshot {
+        uptime_us,
+        counters,
+        gauges,
+        hists,
+        spans,
+    })
+}
+
 fn write_accusation(w: &mut Writer, a: &Accusation) {
     w.u32(a.position as u32);
     w.u64(a.input_index as u64);
@@ -742,6 +884,12 @@ impl Frame {
             }
             Frame::Ping => Writer::new(TAG_PING),
             Frame::Shutdown => Writer::new(TAG_SHUTDOWN),
+            Frame::StatsRequest => Writer::new(TAG_STATS_REQUEST),
+            Frame::StatsReport { snapshot } => {
+                let mut w = Writer::new(TAG_STATS_REPORT);
+                write_snapshot(&mut w, snapshot);
+                w
+            }
             Frame::OpenRound { round } => {
                 let mut w = Writer::new(TAG_OPEN_ROUND);
                 w.u64(*round);
@@ -1001,6 +1149,10 @@ impl Frame {
             },
             TAG_PING => Frame::Ping,
             TAG_SHUTDOWN => Frame::Shutdown,
+            TAG_STATS_REQUEST => Frame::StatsRequest,
+            TAG_STATS_REPORT => Frame::StatsReport {
+                snapshot: Box::new(read_snapshot(&mut r)?),
+            },
             TAG_OPEN_ROUND => Frame::OpenRound { round: r.u64()? },
             TAG_SUBMIT => Frame::Submit {
                 round: r.u64()?,
@@ -1140,6 +1292,93 @@ impl Frame {
         };
         r.finish()?;
         Ok(frame)
+    }
+
+    /// This frame's wire tag.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Frame::Ok => TAG_OK,
+            Frame::Error { .. } => TAG_ERROR,
+            Frame::Ping => TAG_PING,
+            Frame::Shutdown => TAG_SHUTDOWN,
+            Frame::StatsRequest => TAG_STATS_REQUEST,
+            Frame::StatsReport { .. } => TAG_STATS_REPORT,
+            Frame::OpenRound { .. } => TAG_OPEN_ROUND,
+            Frame::Submit { .. } => TAG_SUBMIT,
+            Frame::CloseSubmissions { .. } => TAG_CLOSE_SUBMISSIONS,
+            Frame::BatchDigest { .. } => TAG_BATCH_DIGEST,
+            Frame::GetBatch { .. } => TAG_GET_BATCH,
+            Frame::SubmissionBatch { .. } => TAG_SUBMISSION_BATCH,
+            Frame::MixBatch { .. } => TAG_MIX_BATCH,
+            Frame::HopOutput { .. } => TAG_HOP_OUTPUT,
+            Frame::HopFailure { .. } => TAG_HOP_FAILURE,
+            Frame::VerifyHop { .. } => TAG_VERIFY_HOP,
+            Frame::VerifyResult { .. } => TAG_VERIFY_RESULT,
+            Frame::MixBatchStart { .. } => TAG_MIX_BATCH_START,
+            Frame::MixBatchChunk { .. } => TAG_MIX_BATCH_CHUNK,
+            Frame::MixBatchEnd { .. } => TAG_MIX_BATCH_END,
+            Frame::HopOutputStart { .. } => TAG_HOP_OUTPUT_START,
+            Frame::HopOutputChunk { .. } => TAG_HOP_OUTPUT_CHUNK,
+            Frame::HopOutputEnd { .. } => TAG_HOP_OUTPUT_END,
+            Frame::VerifyHopKeys { .. } => TAG_VERIFY_HOP_KEYS,
+            Frame::RevealInnerKey { .. } => TAG_REVEAL_INNER_KEY,
+            Frame::InnerKeyReveal { .. } => TAG_INNER_KEY_REVEAL,
+            Frame::PrepareRotation { .. } => TAG_PREPARE_ROTATION,
+            Frame::RotationShare { .. } => TAG_ROTATION_SHARE,
+            Frame::ActivateRotation { .. } => TAG_ACTIVATE_ROTATION,
+            Frame::Accuse { .. } => TAG_ACCUSE,
+            Frame::Accusation { .. } => TAG_ACCUSATION,
+            Frame::RevealSlot { .. } => TAG_REVEAL_SLOT,
+            Frame::SlotReveal { .. } => TAG_SLOT_REVEAL,
+            Frame::Deliver { .. } => TAG_DELIVER,
+            Frame::Fetch { .. } => TAG_FETCH,
+            Frame::MailboxContents { .. } => TAG_MAILBOX_CONTENTS,
+        }
+    }
+
+    /// Human-readable name for a wire tag (the per-tag frame counters
+    /// in the metrics registry are keyed by these), or `None` for a tag
+    /// this protocol version does not know.
+    pub fn tag_name(tag: u8) -> Option<&'static str> {
+        Some(match tag {
+            TAG_OK => "Ok",
+            TAG_ERROR => "Error",
+            TAG_PING => "Ping",
+            TAG_SHUTDOWN => "Shutdown",
+            TAG_STATS_REQUEST => "StatsRequest",
+            TAG_STATS_REPORT => "StatsReport",
+            TAG_OPEN_ROUND => "OpenRound",
+            TAG_SUBMIT => "Submit",
+            TAG_CLOSE_SUBMISSIONS => "CloseSubmissions",
+            TAG_BATCH_DIGEST => "BatchDigest",
+            TAG_GET_BATCH => "GetBatch",
+            TAG_SUBMISSION_BATCH => "SubmissionBatch",
+            TAG_MIX_BATCH => "MixBatch",
+            TAG_HOP_OUTPUT => "HopOutput",
+            TAG_HOP_FAILURE => "HopFailure",
+            TAG_VERIFY_HOP => "VerifyHop",
+            TAG_VERIFY_RESULT => "VerifyResult",
+            TAG_MIX_BATCH_START => "MixBatchStart",
+            TAG_MIX_BATCH_CHUNK => "MixBatchChunk",
+            TAG_MIX_BATCH_END => "MixBatchEnd",
+            TAG_HOP_OUTPUT_START => "HopOutputStart",
+            TAG_HOP_OUTPUT_CHUNK => "HopOutputChunk",
+            TAG_HOP_OUTPUT_END => "HopOutputEnd",
+            TAG_VERIFY_HOP_KEYS => "VerifyHopKeys",
+            TAG_REVEAL_INNER_KEY => "RevealInnerKey",
+            TAG_INNER_KEY_REVEAL => "InnerKeyReveal",
+            TAG_PREPARE_ROTATION => "PrepareRotation",
+            TAG_ROTATION_SHARE => "RotationShare",
+            TAG_ACTIVATE_ROTATION => "ActivateRotation",
+            TAG_ACCUSE => "Accuse",
+            TAG_ACCUSATION => "Accusation",
+            TAG_REVEAL_SLOT => "RevealSlot",
+            TAG_SLOT_REVEAL => "SlotReveal",
+            TAG_DELIVER => "Deliver",
+            TAG_FETCH => "Fetch",
+            TAG_MAILBOX_CONTENTS => "MailboxContents",
+            _ => return None,
+        })
     }
 }
 

@@ -75,6 +75,28 @@ impl From<CodecError> for NetError {
     }
 }
 
+/// Client-side error counters, resolved once per process.  Every path
+/// that gives up on a connection (or a request) is counted by cause
+/// and debug-logs the peer — a client that silently drops a daemon
+/// connection is as opaque as a daemon that silently drops a client.
+fn conn_metrics() -> &'static ConnMetrics {
+    static METRICS: std::sync::OnceLock<ConnMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| ConnMetrics {
+        err_codec: xrd_obs::counter("conn.err.codec"),
+        err_disconnected: xrd_obs::counter("conn.err.disconnected"),
+        err_remote: xrd_obs::counter("conn.err.remote"),
+    })
+}
+
+struct ConnMetrics {
+    /// Responses that did not parse as a frame (stream desync).
+    err_codec: &'static xrd_obs::Counter,
+    /// Peers that hung up mid-exchange.
+    err_disconnected: &'static xrd_obs::Counter,
+    /// [`Frame::Error`] responses received.
+    err_remote: &'static xrd_obs::Counter,
+}
+
 /// A persistent request/response connection to one daemon.
 pub struct Conn {
     reader: BufReader<TcpStream>,
@@ -135,8 +157,16 @@ impl Conn {
     /// Await one frame.
     pub fn recv(&mut self) -> Result<Frame, NetError> {
         match crate::codec::read_frame_with_len(&mut self.reader)? {
-            None => Err(NetError::Disconnected),
-            Some(Err(e)) => Err(e.into()),
+            None => {
+                conn_metrics().err_disconnected.incr();
+                xrd_obs::debug!("peer {} disconnected mid-exchange", self.peer);
+                Err(NetError::Disconnected)
+            }
+            Some(Err(e)) => {
+                conn_metrics().err_codec.incr();
+                xrd_obs::debug!("peer {} sent an unparseable frame: {e}", self.peer);
+                Err(e.into())
+            }
             Some(Ok((frame, wire_len))) => {
                 self.bytes_received += wire_len;
                 Ok(frame)
@@ -150,8 +180,16 @@ impl Conn {
     /// (see [`crate::codec::reframe_output_chunk`]).
     pub fn recv_with_body(&mut self) -> Result<(Frame, Vec<u8>), NetError> {
         match crate::codec::read_frame_with_body(&mut self.reader)? {
-            None => Err(NetError::Disconnected),
-            Some(Err(e)) => Err(e.into()),
+            None => {
+                conn_metrics().err_disconnected.incr();
+                xrd_obs::debug!("peer {} disconnected mid-exchange", self.peer);
+                Err(NetError::Disconnected)
+            }
+            Some(Err(e)) => {
+                conn_metrics().err_codec.incr();
+                xrd_obs::debug!("peer {} sent an unparseable frame: {e}", self.peer);
+                Err(e.into())
+            }
             Some(Ok((frame, body))) => {
                 self.bytes_received += 4 + body.len() as u64;
                 Ok((frame, body))
@@ -175,7 +213,11 @@ impl Conn {
     pub fn request(&mut self, frame: &Frame) -> Result<Frame, NetError> {
         self.send(frame)?;
         match self.recv()? {
-            Frame::Error { code, message } => Err(NetError::Remote { code, message }),
+            Frame::Error { code, message } => {
+                conn_metrics().err_remote.incr();
+                xrd_obs::debug!("peer {} answered error {code}: {message}", self.peer);
+                Err(NetError::Remote { code, message })
+            }
             other => Ok(other),
         }
     }

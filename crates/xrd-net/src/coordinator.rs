@@ -314,6 +314,7 @@ impl ChainClient {
             let mut entries: Vec<MixEntry> =
                 active.iter().map(|&i| submissions[i].to_entry()).collect();
             for pos in 0..k {
+                let _span = xrd_obs::span_timer(format!("coord.hop{pos}"), round);
                 let inputs = entries.clone();
                 let response = self.conns[pos].request(&Frame::MixBatch {
                     round,
@@ -480,6 +481,10 @@ impl ChainClient {
             // `current` is the batch entering the hop being received.
             let mut current = entries;
             for pos in 0..k {
+                // Hop spans overlap under the pipeline: hop `i+1`'s
+                // clock starts while `i` is still emitting.  Each span
+                // measures receipt of that hop's full output.
+                let _span = xrd_obs::span_timer(format!("coord.hop{pos}"), round);
                 match self.conns[pos].recv_with_body()? {
                     (
                         Frame::HopOutputStart {
@@ -594,6 +599,7 @@ impl ChainClient {
         // hop's attestation frame is encoded once and broadcast to the
         // other k-1 servers, all requests pipelined before any verdict
         // is collected (responses are one byte and cannot clog).
+        let _span = xrd_obs::span_timer("coord.verify_chain", round);
         let mut expected: Vec<(usize, usize)> = Vec::new(); // (verifier, prover)
         for (pos, inputs, outputs, proof) in &hop_audit {
             let wire = Frame::VerifyHopKeys {
@@ -755,6 +761,7 @@ impl ChainClient {
         // proceed to the reveal.
 
         // Inner-key reveal + verification, then open the envelopes.
+        let _span = xrd_obs::span_timer("coord.reveal", round);
         let mut inner_keys: Vec<Scalar> = Vec::with_capacity(k);
         for (pos, conn) in self.conns.iter_mut().enumerate() {
             match conn.request(&Frame::RevealInnerKey { round })? {

@@ -109,6 +109,27 @@ fn spawn_daemon<A: ToSocketAddrs>(
     })
 }
 
+/// Hop-job metric handles, resolved once per process (the jobs run as
+/// move closures on the worker pool, so they cannot borrow handles
+/// from the service).
+fn hop_job_metrics() -> &'static HopJobMetrics {
+    static METRICS: std::sync::OnceLock<HopJobMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| HopJobMetrics {
+        wait_chunks_us: xrd_obs::hist("hop.wait_chunks_us"),
+        encode_us: xrd_obs::hist("hop.encode_us"),
+    })
+}
+
+struct HopJobMetrics {
+    /// How long a streamed hop's End job waited for the session's chunk
+    /// jobs to land (tail of the decrypt/blind phase still in flight
+    /// when the End frame arrived).
+    wait_chunks_us: &'static xrd_obs::Histogram,
+    /// Output-encoding latency per completed hop (chunked stream or
+    /// monolithic frame).
+    encode_us: &'static xrd_obs::Histogram,
+}
+
 pub(crate) fn err(code: u16, message: impl Into<String>) -> Frame {
     let mut message = message.into();
     // Error detail is advisory; keep it far below the codec's byte-string
@@ -417,7 +438,12 @@ impl MixService {
         } = session;
         let state = Arc::clone(&self.state);
         Outcome::Defer(Box::new(move || {
+            let _span = xrd_obs::span_timer("hop.stream", kernel.round());
+            let waited = std::time::Instant::now();
             let (inputs, slots) = work.wait_collect(jobs);
+            hop_job_metrics()
+                .wait_chunks_us
+                .record_duration(waited.elapsed());
             if inputs.len() != total {
                 let e = StreamError::Incomplete {
                     received: inputs.len(),
@@ -440,13 +466,18 @@ impl MixService {
                     // The proof and shuffle are done; release the lock
                     // before the output encoding pass.
                     drop(guard);
-                    encode_hop_output_stream(
+                    let encoding = std::time::Instant::now();
+                    let bytes = encode_hop_output_stream(
                         round,
                         position,
                         &result.outputs,
                         &result.proof,
                         STREAM_CHUNK,
-                    )
+                    );
+                    hop_job_metrics()
+                        .encode_us
+                        .record_duration(encoding.elapsed());
+                    bytes
                 }
                 Err(MixError::DecryptFailure(failed)) => Frame::HopFailure {
                     round,
@@ -465,6 +496,7 @@ impl MixService {
     fn defer_mix(&self, round: u64, entries: Vec<MixEntry>) -> Outcome {
         let state = Arc::clone(&self.state);
         Outcome::Defer(Box::new(move || {
+            let _span = xrd_obs::span_timer("hop.whole", round);
             // Heavy part first, without the state lock: the reactor
             // thread keeps serving submissions off the same state.
             let kernel = state
@@ -477,13 +509,21 @@ impl MixService {
             let st = &mut *guard;
             let position = st.secrets.position as u32;
             match st.server.finish_round(&mut st.rng, round, entries, slots) {
-                Ok(result) => Frame::HopOutput {
-                    round,
-                    position,
-                    outputs: result.outputs,
-                    proof: result.proof,
+                Ok(result) => {
+                    drop(guard);
+                    let encoding = std::time::Instant::now();
+                    let bytes = Frame::HopOutput {
+                        round,
+                        position,
+                        outputs: result.outputs,
+                        proof: result.proof,
+                    }
+                    .encode();
+                    hop_job_metrics()
+                        .encode_us
+                        .record_duration(encoding.elapsed());
+                    bytes
                 }
-                .encode(),
                 Err(MixError::DecryptFailure(failed)) => Frame::HopFailure {
                     round,
                     position,

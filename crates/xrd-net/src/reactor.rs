@@ -39,6 +39,9 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use xrd_obs::{Counter, Gauge, Histogram};
 
 use crate::codec::{error_code, Frame, FrameDecoder};
 
@@ -125,10 +128,18 @@ pub struct WorkerPool {
     state: Mutex<PoolState>,
     cv: Condvar,
     size: usize,
+    /// Jobs enqueued but not yet dequeued by a worker.
+    queue_depth: &'static Gauge,
+    /// Enqueue → dequeue latency, µs.
+    job_wait_us: &'static Histogram,
+    /// Dequeue → completion latency, µs.
+    job_run_us: &'static Histogram,
 }
 
 struct PoolState {
-    queue: VecDeque<Box<dyn FnOnce() + Send + 'static>>,
+    /// `(enqueued-at, job)` — the timestamp feeds the job-wait
+    /// histogram when a worker picks the job up.
+    queue: VecDeque<(Instant, Box<dyn FnOnce() + Send + 'static>)>,
     spawned: bool,
     shutdown: bool,
     threads: Vec<std::thread::JoinHandle<()>>,
@@ -145,6 +156,9 @@ impl WorkerPool {
             }),
             cv: Condvar::new(),
             size: size.max(1),
+            queue_depth: xrd_obs::gauge("pool.queue_depth"),
+            job_wait_us: xrd_obs::hist("pool.job_wait_us"),
+            job_run_us: xrd_obs::hist("pool.job_run_us"),
         })
     }
 
@@ -168,18 +182,19 @@ impl WorkerPool {
                 state.threads.push(std::thread::spawn(move || pool.run()));
             }
         }
-        state.queue.push_back(Box::new(job));
+        state.queue.push_back((Instant::now(), Box::new(job)));
+        self.queue_depth.incr();
         drop(state);
         self.cv.notify_one();
     }
 
     fn run(&self) {
         loop {
-            let job = {
+            let (enqueued, job) = {
                 let mut state = self.state.lock().expect("pool poisoned");
                 loop {
-                    if let Some(job) = state.queue.pop_front() {
-                        break job;
+                    if let Some(item) = state.queue.pop_front() {
+                        break item;
                     }
                     if state.shutdown {
                         return;
@@ -187,12 +202,16 @@ impl WorkerPool {
                     state = self.cv.wait(state).expect("pool poisoned");
                 }
             };
+            self.queue_depth.decr();
+            self.job_wait_us.record_duration(enqueued.elapsed());
+            let started = Instant::now();
             // A panicking job must not take the worker thread with it:
             // a shrunken pool would strand queued jobs forever (and
             // the reactor's shutdown join with them).  Defer jobs are
             // additionally wrapped by the reactor so the waiting
             // connection gets an error response.
             let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            self.job_run_us.record_duration(started.elapsed());
         }
     }
 
@@ -480,6 +499,84 @@ enum Action {
 /// starving every other connection.
 const FRAMES_PER_EVENT: usize = 64;
 
+/// The reactor's metric handles, resolved once at bind time so the
+/// per-event hot path is a relaxed atomic bump — never a registry
+/// lookup.  Per-tag frame counters are cached in a tag-indexed table,
+/// filled on first sight of each tag (one registry lookup per tag per
+/// reactor, ever).
+struct ReactorMetrics {
+    /// Poller wait returns.
+    wakes: &'static Counter,
+    /// Readiness events reported across all waits (events/wake =
+    /// `ready_events / wakes`).
+    ready_events: &'static Counter,
+    /// Connections accepted and registered.
+    accepts: &'static Counter,
+    /// Connections refused (draining, or socket setup failed).
+    accepts_rejected: &'static Counter,
+    /// Currently open connections.
+    conns_open: &'static Gauge,
+    /// Connections closed (any reason).
+    conns_closed: &'static Counter,
+    /// Payload bytes read off sockets.
+    bytes_in: &'static Counter,
+    /// Payload bytes written to sockets.
+    bytes_out: &'static Counter,
+    /// Complete frames decoded (sum of the per-tag counters).
+    frames_in: &'static Counter,
+    /// Visits that exhausted [`FRAMES_PER_EVENT`] and yielded.
+    budget_yields: &'static Counter,
+    /// Writes that hit `WouldBlock` — the peer is not draining its
+    /// responses and TCP backpressure is holding the connection.
+    write_stalls: &'static Counter,
+    /// Jobs deferred to the worker pool on behalf of a connection.
+    deferred_jobs: &'static Counter,
+    /// Connections dropped over an unparseable frame (the silent-drop
+    /// path: also debug-logged with the peer address).
+    err_malformed: &'static Counter,
+    /// Connections dropped on a socket read/write error.
+    err_io: &'static Counter,
+    /// Per-tag `frames.in.<TagName>` counters, tag-indexed.
+    by_tag: [Option<&'static Counter>; 256],
+}
+
+impl ReactorMetrics {
+    fn new() -> ReactorMetrics {
+        ReactorMetrics {
+            wakes: xrd_obs::counter("reactor.wakes"),
+            ready_events: xrd_obs::counter("reactor.ready_events"),
+            accepts: xrd_obs::counter("reactor.accepts"),
+            accepts_rejected: xrd_obs::counter("reactor.accepts_rejected"),
+            conns_open: xrd_obs::gauge("reactor.conns_open"),
+            conns_closed: xrd_obs::counter("reactor.conns_closed"),
+            bytes_in: xrd_obs::counter("reactor.bytes_in"),
+            bytes_out: xrd_obs::counter("reactor.bytes_out"),
+            frames_in: xrd_obs::counter("reactor.frames_in"),
+            budget_yields: xrd_obs::counter("reactor.budget_yields"),
+            write_stalls: xrd_obs::counter("reactor.write_stalls"),
+            deferred_jobs: xrd_obs::counter("reactor.deferred_jobs"),
+            err_malformed: xrd_obs::counter("reactor.err.malformed_frame"),
+            err_io: xrd_obs::counter("reactor.err.io"),
+            by_tag: [None; 256],
+        }
+    }
+
+    /// Count one decoded frame, total and per tag.
+    fn count_frame(&mut self, tag: u8) {
+        self.frames_in.incr();
+        let counter = match self.by_tag[tag as usize] {
+            Some(c) => c,
+            None => {
+                let name = Frame::tag_name(tag).unwrap_or("Unknown");
+                let c = xrd_obs::counter(&format!("frames.in.{name}"));
+                self.by_tag[tag as usize] = Some(c);
+                c
+            }
+        };
+        counter.incr();
+    }
+}
+
 struct Connection {
     stream: TcpStream,
     decoder: FrameDecoder,
@@ -564,6 +661,7 @@ impl Connection {
         workers: &Arc<WorkerPool>,
         read_buf: &mut [u8],
         deferred: &mut Vec<(ConnId, Job)>,
+        metrics: &mut ReactorMetrics,
     ) -> Action {
         let mut frames_this_visit = 0;
         loop {
@@ -571,10 +669,19 @@ impl Connection {
             while self.has_pending_output() {
                 match self.stream.write(&self.outbuf[self.outpos..]) {
                     Ok(0) => return Action::Drop,
-                    Ok(n) => self.outpos += n,
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Action::Keep,
+                    Ok(n) => {
+                        metrics.bytes_out.add(n as u64);
+                        self.outpos += n;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        metrics.write_stalls.incr();
+                        return Action::Keep;
+                    }
                     Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                    Err(_) => return Action::Drop,
+                    Err(_) => {
+                        metrics.err_io.incr();
+                        return Action::Drop;
+                    }
                 }
             }
             self.outbuf.clear();
@@ -609,12 +716,16 @@ impl Connection {
                         Action::Keep
                     }
                     Ok(n) => {
+                        metrics.bytes_in.add(n as u64);
                         self.decoder.feed(&read_buf[..n]);
                         Action::Keep
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Action::Keep,
                     Err(e) if e.kind() == std::io::ErrorKind::Interrupted => Action::Keep,
-                    Err(_) => Action::Drop,
+                    Err(_) => {
+                        metrics.err_io.incr();
+                        Action::Drop
+                    }
                 };
             }
 
@@ -622,17 +733,30 @@ impl Connection {
             // this visit's budget is spent, in which case yield the
             // thread to the other connections and resume next tick.
             if frames_this_visit >= FRAMES_PER_EVENT {
+                metrics.budget_yields.incr();
                 return Action::Yield;
             }
             frames_this_visit += 1;
             match self.decoder.try_frame() {
                 Some(Ok(Frame::Shutdown)) => {
+                    metrics.count_frame(Frame::Shutdown.tag());
                     self.queue(&Frame::Ok);
                     self.closing = true;
                     self.is_shutdown = true;
                     continue;
                 }
+                Some(Ok(Frame::StatsRequest)) => {
+                    // Answered by the reactor itself — like Shutdown —
+                    // so every daemon kind serves scrapes without its
+                    // service knowing the frame exists.
+                    metrics.count_frame(Frame::StatsRequest.tag());
+                    self.queue(&Frame::StatsReport {
+                        snapshot: Box::new(xrd_obs::global().snapshot()),
+                    });
+                    continue;
+                }
                 Some(Ok(frame)) => {
+                    metrics.count_frame(frame.tag());
                     match service.handle(token, frame, workers) {
                         Outcome::Reply(frames) => {
                             for frame in &frames {
@@ -641,14 +765,21 @@ impl Connection {
                         }
                         Outcome::Defer(job) => {
                             self.pending = true;
+                            metrics.deferred_jobs.incr();
                             deferred.push((token, job));
                         }
                     }
                     continue;
                 }
                 Some(Err(e)) => {
-                    // Unparseable bytes: report and close (the stream
-                    // may be desynchronized) — after the report drains.
+                    // Unparseable bytes: count, log the peer, report,
+                    // and close (the stream may be desynchronized) —
+                    // after the report drains.
+                    metrics.err_malformed.incr();
+                    xrd_obs::debug!(
+                        "dropping conn {token} ({:?}): bad frame: {e}",
+                        self.stream.peer_addr()
+                    );
                     self.queue(&crate::daemon::err(
                         error_code::BAD_STATE,
                         format!("bad frame: {e}"),
@@ -663,12 +794,16 @@ impl Connection {
             match self.stream.read(read_buf) {
                 Ok(0) => return Action::Drop, // peer hung up
                 Ok(n) => {
+                    metrics.bytes_in.add(n as u64);
                     self.decoder.feed(&read_buf[..n]);
                     continue;
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Action::Keep,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(_) => return Action::Drop,
+                Err(_) => {
+                    metrics.err_io.incr();
+                    return Action::Drop;
+                }
             }
         }
     }
@@ -734,6 +869,8 @@ pub struct Reactor {
     /// A [`Frame::Shutdown`] is being acknowledged: refuse new
     /// connections while it drains.
     draining: bool,
+    /// Pre-resolved metric handles (global registry) for the loop.
+    metrics: ReactorMetrics,
 }
 
 impl Reactor {
@@ -779,6 +916,7 @@ impl Reactor {
             completions: Arc::new(Mutex::new(Vec::new())),
             stop: Arc::new(AtomicBool::new(false)),
             draining: false,
+            metrics: ReactorMetrics::new(),
         })
     }
 
@@ -836,6 +974,8 @@ impl Reactor {
             if poller.wait(&mut events, timeout).is_err() {
                 break;
             }
+            self.metrics.wakes.incr();
+            self.metrics.ready_events.add(events.len() as u64);
             // Deliver completed deferred responses: re-open each
             // connection's pending slot, queue the job's frames, and
             // drive the connection this iteration.
@@ -876,6 +1016,7 @@ impl Reactor {
                                     || stream.set_nonblocking(true).is_err()
                                     || stream.set_nodelay(true).is_err()
                                 {
+                                    self.metrics.accepts_rejected.incr();
                                     continue; // drop it
                                 }
                                 let token = self.next_token;
@@ -886,6 +1027,10 @@ impl Reactor {
                                     .is_ok()
                                 {
                                     self.conns.insert(token, conn);
+                                    self.metrics.accepts.incr();
+                                    self.metrics.conns_open.incr();
+                                } else {
+                                    self.metrics.accepts_rejected.incr();
                                 }
                             }
                             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -904,6 +1049,7 @@ impl Reactor {
                     &self.workers,
                     &mut read_buf,
                     &mut deferred,
+                    &mut self.metrics,
                 );
                 match action {
                     Action::Keep => {
@@ -923,6 +1069,8 @@ impl Reactor {
                     Action::Drop => {
                         let conn = self.conns.remove(&token).expect("present");
                         let _ = poller.remove(conn.stream.as_raw_fd());
+                        self.metrics.conns_closed.incr();
+                        self.metrics.conns_open.decr();
                         self.service.on_close(token);
                     }
                     Action::Stop => {
@@ -959,6 +1107,10 @@ impl Reactor {
         for &token in self.conns.keys() {
             self.service.on_close(token);
         }
+        // The process-wide gauge must not keep counting sockets this
+        // (possibly in-process, as in tests) reactor is about to close.
+        self.metrics.conns_open.add(-(self.conns.len() as i64));
+        self.metrics.conns_closed.add(self.conns.len() as u64);
         // Dropping `self.conns` and the listener closes every socket;
         // peers see EOF.
     }

@@ -201,10 +201,13 @@ impl RemoteDeployment {
 
         // Submission window: open on every chain, submit concurrently,
         // then close and run input agreement.
-        for chain in &mut self.chains {
-            chain.open_round(round)?;
+        {
+            let _span = xrd_obs::span_timer("round.submit_window", round);
+            for chain in &mut self.chains {
+                chain.open_round(round)?;
+            }
+            self.submit_concurrently(round, &per_chain)?;
         }
-        self.submit_concurrently(round, &per_chain)?;
 
         // Drive every chain's mix in parallel — each chain is an
         // independent set of machines.  The coordinator's own audit is
@@ -216,6 +219,7 @@ impl RemoteDeployment {
             round,
             ..Default::default()
         };
+        let mix_span = xrd_obs::span_timer("round.mix", round);
         let phases: Vec<Result<(usize, MixPhase), NetError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .chains
@@ -234,6 +238,8 @@ impl RemoteDeployment {
                 .collect()
         });
 
+        drop(mix_span);
+
         // Split final outcomes from audit-pending chains.
         let mut outcomes: Vec<(usize, ChainRoundOutcome)> = Vec::new();
         let mut pendings: Vec<(usize, PendingChainRound)> = Vec::new();
@@ -249,6 +255,7 @@ impl RemoteDeployment {
         // The deployment-level audit: every pending chain's hop proofs
         // in a single batched DLEQ verification.
         let audit_ok = {
+            let _span = xrd_obs::span_timer("round.audit", round);
             let record_sets: Vec<(usize, Vec<HopRecord>)> = pendings
                 .iter()
                 .map(|(c, pending)| (*c, pending.records()))
@@ -266,6 +273,7 @@ impl RemoteDeployment {
         // Conclude audited chains in parallel again (reveal RTTs +
         // envelope opening are per-chain independent; only the audit
         // itself needed the barrier).
+        let reveal_span = xrd_obs::span_timer("round.reveal", round);
         let concluded: Vec<Result<(usize, ChainRoundOutcome), NetError>> =
             std::thread::scope(|scope| {
                 let mut slots: Vec<Option<&mut ChainClient>> =
@@ -284,6 +292,7 @@ impl RemoteDeployment {
                     .map(|h| h.join().expect("chain conclusion panicked"))
                     .collect()
             });
+        drop(reveal_span);
         for result in concluded {
             outcomes.push(result?);
         }
@@ -304,17 +313,21 @@ impl RemoteDeployment {
 
         // Deliver to mailbox shards.
         let n_shards = self.mailbox_conns.len();
-        let mut per_shard: Vec<Vec<MailboxMessage>> = vec![Vec::new(); n_shards];
-        for msg in delivered {
-            per_shard[shard_of(&msg.mailbox, n_shards)].push(msg);
-        }
-        for (conn, messages) in self.mailbox_conns.iter_mut().zip(per_shard) {
-            if !messages.is_empty() {
-                conn.request_ok(&Frame::Deliver { round, messages })?;
+        {
+            let _span = xrd_obs::span_timer("round.deliver", round);
+            let mut per_shard: Vec<Vec<MailboxMessage>> = vec![Vec::new(); n_shards];
+            for msg in delivered {
+                per_shard[shard_of(&msg.mailbox, n_shards)].push(msg);
+            }
+            for (conn, messages) in self.mailbox_conns.iter_mut().zip(per_shard) {
+                if !messages.is_empty() {
+                    conn.request_ok(&Frame::Deliver { round, messages })?;
+                }
             }
         }
 
         // Fetch and decrypt (client side again).
+        let fetch_span = xrd_obs::span_timer("round.fetch", round);
         let mailbox_conns = &mut self.mailbox_conns;
         let mut fetch_error: Option<NetError> = None;
         let fetched = open_fetched(&self.topo, round, users, |mailbox| {
@@ -336,6 +349,7 @@ impl RemoteDeployment {
                 }
             }
         });
+        drop(fetch_span);
         if let Some(e) = fetch_error {
             return Err(e);
         }

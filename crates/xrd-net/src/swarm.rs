@@ -79,6 +79,11 @@ pub struct SwarmReport {
     pub bytes_on_wire: u64,
     /// Total users driven.
     pub n_users: usize,
+    /// End-of-run snapshot of the process-wide metrics registry —
+    /// round spans, hop-phase histograms and reactor counters for the
+    /// rounds this swarm drove (the deployment's daemons run in this
+    /// process, so their series are all here).
+    pub stats: xrd_obs::Snapshot,
 }
 
 impl SwarmReport {
@@ -168,6 +173,7 @@ pub fn run_swarm<R: RngCore + ?Sized>(
         rounds,
         bytes_on_wire: deployment.bytes_on_wire(),
         n_users: config.n_users,
+        stats: xrd_obs::global().snapshot(),
     }
 }
 
@@ -221,6 +227,14 @@ pub struct StormReport {
     pub hop_streamed_elapsed: Duration,
     /// Verified submissions per second during the submission phase.
     pub submits_per_sec: f64,
+    /// The daemon's metrics, scraped *over the wire* (a
+    /// [`Frame::StatsRequest`] on the control connection) while the
+    /// storm's connections were still open — the very numbers
+    /// `xrd-netd stats` would show an operator mid-storm.  Because the
+    /// storm daemon runs in-process, the registry is process-wide:
+    /// client-side `conn.*` counters appear next to the daemon's
+    /// `reactor.*` and `hop.*` series.
+    pub stats: xrd_obs::Snapshot,
 }
 
 /// `n` distinct, fully valid sealed submissions for `round` (distinct
@@ -458,6 +472,18 @@ pub fn submit_storm<R: RngCore + ?Sized>(
         ));
     }
 
+    // Scrape the daemon before tearing the storm down, over the same
+    // wire path an operator would use.  The report's numbers *are* the
+    // registry's numbers — there is no separate bench-only accounting.
+    let stats = match control.request(&Frame::StatsRequest)? {
+        Frame::StatsReport { snapshot } => *snapshot,
+        other => {
+            return Err(NetError::Protocol(format!(
+                "expected StatsReport, got {other:?}"
+            )))
+        }
+    };
+
     Ok(StormReport {
         n_conns: config.n_conns,
         accepted,
@@ -466,5 +492,6 @@ pub fn submit_storm<R: RngCore + ?Sized>(
         hop_elapsed,
         hop_streamed_elapsed,
         submits_per_sec: config.n_conns as f64 / submit_elapsed.as_secs_f64().max(1e-9),
+        stats,
     })
 }

@@ -118,8 +118,46 @@ fn blame_reveal(rng: &mut StdRng) -> BlameReveal {
     }
 }
 
+fn hist_snapshot(rng: &mut StdRng) -> xrd_obs::HistSnapshot {
+    let mut buckets = vec![0u64; xrd_obs::N_BUCKETS];
+    for _ in 0..rng.gen_range(0..24) {
+        buckets[rng.gen_range(0..xrd_obs::N_BUCKETS)] = rng.next_u64().max(1);
+    }
+    xrd_obs::HistSnapshot {
+        count: rng.next_u64(),
+        sum: rng.next_u64(),
+        min: rng.next_u64(),
+        max: rng.next_u64(),
+        buckets,
+    }
+}
+
+fn obs_snapshot(rng: &mut StdRng) -> xrd_obs::Snapshot {
+    let name = |rng: &mut StdRng| format!("metric.{}", rng.gen_range(0..1000u32));
+    xrd_obs::Snapshot {
+        uptime_us: rng.next_u64(),
+        counters: (0..rng.gen_range(0..6))
+            .map(|_| (name(rng), rng.next_u64()))
+            .collect(),
+        gauges: (0..rng.gen_range(0..4))
+            .map(|_| (name(rng), rng.next_u64() as i64))
+            .collect(),
+        hists: (0..rng.gen_range(0..4))
+            .map(|_| (name(rng), hist_snapshot(rng)))
+            .collect(),
+        spans: (0..rng.gen_range(0..6))
+            .map(|_| xrd_obs::SpanEvent {
+                name: name(rng),
+                round: rng.next_u64(),
+                start_us: rng.next_u64(),
+                dur_us: rng.next_u64(),
+            })
+            .collect(),
+    }
+}
+
 /// Number of distinct frame constructors below (keep in sync).
-const N_VARIANTS: usize = 32;
+const N_VARIANTS: usize = 34;
 
 /// A random well-formed frame of the chosen variant.
 fn arb_frame(rng: &mut StdRng, variant: usize) -> Frame {
@@ -256,6 +294,10 @@ fn arb_frame(rng: &mut StdRng, variant: usize) -> Frame {
             output_dhs: (0..rng.gen_range(0..6)).map(|_| g(rng)).collect(),
             proof: dleq(rng),
         },
+        32 => Frame::StatsRequest,
+        33 => Frame::StatsReport {
+            snapshot: Box::new(obs_snapshot(rng)),
+        },
         _ => match variant % 3 {
             0 => Frame::Deliver {
                 round: rng.next_u64(),
@@ -288,6 +330,10 @@ proptest! {
         let len = u32::from_le_bytes(encoded[..4].try_into().unwrap()) as usize;
         prop_assert_eq!(len, encoded.len() - 4);
         prop_assert!(len <= MAX_FRAME_LEN);
+        // The tag byte on the wire is the one `Frame::tag` reports,
+        // and every shipped tag has a metrics name.
+        prop_assert_eq!(encoded[4], frame.tag());
+        prop_assert!(Frame::tag_name(frame.tag()).is_some());
         // Exact round-trip.
         let decoded = Frame::decode(&encoded[4..]).expect("well-formed frame decodes");
         prop_assert_eq!(decoded, frame);

@@ -1,0 +1,157 @@
+//! Wire-scrape acceptance tests for the observability layer: a
+//! [`Frame::StatsRequest`] against a live daemon must return a
+//! [`Frame::StatsReport`] whose counters match the frames *actually
+//! sent* on the wire, and a full connection storm must leave the
+//! registry telling the storm's own story (per-tag frame counts,
+//! hop-phase histograms, round spans).
+//!
+//! The metrics registry is process-wide, so these tests serialize on a
+//! shared lock and assert on *deltas* between snapshots, never on
+//! absolute values.
+
+#![cfg(not(feature = "obs-noop"))]
+
+use std::sync::Mutex;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use xrd_net::codec::Frame;
+use xrd_net::{submit_storm, Conn, MailboxDaemon, StormConfig};
+use xrd_obs::Snapshot;
+
+/// Serializes the registry-delta-sensitive tests.
+static REGISTRY_ACCOUNTING: Mutex<()> = Mutex::new(());
+
+/// Scrape a daemon over the wire.
+fn scrape(conn: &mut Conn) -> Snapshot {
+    match conn.request(&Frame::StatsRequest).expect("scrape answered") {
+        Frame::StatsReport { snapshot } => *snapshot,
+        other => panic!("expected StatsReport, got {other:?}"),
+    }
+}
+
+/// Counter delta between two snapshots (0 if the counter is absent or
+/// did not move).
+fn delta(after: &Snapshot, before: &Snapshot, name: &str) -> u64 {
+    after.counter(name) - before.counter(name)
+}
+
+/// The core contract: per-tag frame counters in a wire-scraped
+/// [`Frame::StatsReport`] advance by exactly the number of frames this
+/// test put on the wire between two scrapes — including the scrape
+/// traffic itself.
+#[test]
+fn scraped_counters_match_frames_actually_sent() {
+    let _guard = REGISTRY_ACCOUNTING.lock().unwrap();
+    let daemon = MailboxDaemon::spawn("127.0.0.1:0", 0, 1).expect("daemon spawns");
+    let mut scraper = Conn::connect(daemon.addr()).expect("scraper connects");
+    let mut traffic = Conn::connect(daemon.addr()).expect("traffic connects");
+
+    let before = scrape(&mut scraper);
+
+    // A known mix of frames, every one acknowledged before the second
+    // scrape — so by the time the daemon answers it, each frame below
+    // has been decoded and counted.
+    const PINGS: u64 = 7;
+    const FETCHES: u64 = 3;
+    let mut traffic_bytes = 0u64;
+    for _ in 0..PINGS {
+        traffic_bytes += Frame::Ping.encode().len() as u64;
+        traffic.request_ok(&Frame::Ping).expect("ping served");
+    }
+    for i in 0..FETCHES {
+        let fetch = Frame::Fetch {
+            mailbox: [i as u8; 32],
+        };
+        traffic_bytes += fetch.encode().len() as u64;
+        match traffic.request(&fetch).expect("fetch served") {
+            Frame::MailboxContents { sealed } => assert!(sealed.is_empty()),
+            other => panic!("expected MailboxContents, got {other:?}"),
+        }
+    }
+
+    let after = scrape(&mut scraper);
+
+    assert_eq!(delta(&after, &before, "frames.in.Ping"), PINGS);
+    assert_eq!(delta(&after, &before, "frames.in.Fetch"), FETCHES);
+    // The first scrape's own request is inside its snapshot (counted
+    // before the report is built), so between the two snapshots
+    // exactly one more StatsRequest landed: the second scrape's.
+    assert_eq!(delta(&after, &before, "frames.in.StatsRequest"), 1);
+    assert_eq!(
+        delta(&after, &before, "reactor.frames_in"),
+        PINGS + FETCHES + 1,
+        "the aggregate counter must equal the sum over tags"
+    );
+    // Byte accounting: at least the traffic frames' wire bytes landed
+    // (the scrape request adds a few more on the other connection).
+    assert!(
+        delta(&after, &before, "reactor.bytes_in") >= traffic_bytes,
+        "bytes_in advanced by {} for {traffic_bytes} bytes of traffic",
+        delta(&after, &before, "reactor.bytes_in"),
+    );
+    // No error path fired for this well-behaved exchange.
+    assert_eq!(delta(&after, &before, "reactor.err.malformed_frame"), 0);
+    // Both of this test's connections are open and counted.
+    assert!(after.gauge("reactor.conns_open").unwrap_or(0) >= 2);
+    // Everything in the report is structurally sound.
+    for (name, h) in &after.hists {
+        assert!(h.is_well_formed(), "histogram {name} is malformed");
+    }
+}
+
+/// The mid-storm acceptance test from the issue: scraping a live mix
+/// daemon that just served a full storm (submission window + a whole
+/// and a streamed hop) returns per-tag frame counters and hop-phase
+/// histograms consistent with the round actually driven.
+#[test]
+fn storm_scrape_tells_the_storm_story() {
+    let _guard = REGISTRY_ACCOUNTING.lock().unwrap();
+    let before = xrd_obs::global().snapshot();
+
+    const N: usize = 96;
+    let mut rng = StdRng::seed_from_u64(23);
+    let config = StormConfig {
+        n_conns: N,
+        workers: 4,
+        chain_len: 3,
+    };
+    let report = submit_storm(&mut rng, &config).expect("storm completes");
+    assert_eq!(report.accepted, N as u64);
+
+    // `report.stats` was scraped over the wire while the storm's
+    // connections were still open — it must agree with what the storm
+    // drove.  One Submit per connection, exactly once.
+    let s = &report.stats;
+    assert_eq!(delta(s, &before, "frames.in.Submit"), N as u64);
+    // The control connection's round-management traffic.
+    assert_eq!(delta(s, &before, "frames.in.OpenRound"), 1);
+    assert_eq!(delta(s, &before, "frames.in.CloseSubmissions"), 1);
+    assert_eq!(delta(s, &before, "frames.in.MixBatch"), 1);
+    // N submitters plus the control connection were accepted.
+    assert_eq!(delta(s, &before, "reactor.accepts"), N as u64 + 1);
+
+    // Hop-phase accounting: the batch was mixed twice (whole-batch,
+    // then the same entries streamed), so the kernel saw 2·N entries…
+    assert_eq!(delta(s, &before, "hop.entries"), 2 * N as u64);
+    assert_eq!(delta(s, &before, "hop.err.decrypt_failures"), 0);
+    // …and both phase histograms recorded real, well-formed samples.
+    for name in ["hop.decrypt_blind_us", "hop.shuffle_prove_us"] {
+        let h = s.hist(name).expect("hop histogram present");
+        assert!(h.is_well_formed(), "histogram {name} is malformed");
+        assert!(
+            h.count > before.hist(name).map(|h| h.count).unwrap_or(0),
+            "{name} recorded no new samples"
+        );
+        assert!(h.max >= h.p50(), "{name} percentile ordering broken");
+    }
+
+    // The span ring holds both hop flavors for the round driven.
+    for span_name in ["hop.whole", "hop.stream"] {
+        assert!(
+            s.spans.iter().any(|e| e.name == span_name && e.round == 0),
+            "span {span_name} missing from the scrape"
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Fixed-bucket log-scale histograms.
+//!
+//! The bucket layout is log₂ with **4 sub-buckets per octave** (the two
+//! bits after the leading one select the sub-bucket), so consecutive
+//! bucket boundaries are at most a factor 5/4 apart: any percentile
+//! read off the histogram is within +25% of the exact sample value
+//! (values 0..=7 are bucketed exactly). 252 buckets cover the whole
+//! `u64` range, so a histogram is ~2 KiB of atomics with no allocation
+//! or locking on record.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::snapshot::HistSnapshot;
+
+/// Number of buckets: indices 0..=3 exact, then 4 sub-buckets for each
+/// of the 62 octaves `[2^2, 2^3) .. [2^63, 2^64)`.
+pub const N_BUCKETS: usize = 4 + 62 * 4;
+
+/// Bucket index for a value (total order preserving).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < 4 {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros() as usize; // floor(log2 v) >= 2
+    let mantissa = ((v >> (octave - 2)) & 0b11) as usize;
+    4 + (octave - 2) * 4 + mantissa
+}
+
+/// Smallest value mapping to bucket `i`.
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    assert!(i < N_BUCKETS);
+    if i < 4 {
+        return i as u64;
+    }
+    let octave = 2 + (i - 4) / 4;
+    let mantissa = ((i - 4) % 4) as u64;
+    (1u64 << octave) + mantissa * (1u64 << (octave - 2))
+}
+
+/// Largest value mapping to bucket `i`.
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    assert!(i < N_BUCKETS);
+    if i + 1 < N_BUCKETS {
+        bucket_lower_bound(i + 1) - 1
+    } else {
+        u64::MAX
+    }
+}
+
+/// A concurrent log-scale histogram of `u64` samples (microseconds, by
+/// convention of every metric in this workspace).
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; N_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one sample (relaxed; five atomic RMWs).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        #[cfg(not(feature = "noop"))]
+        {
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+            self.min.fetch_min(v, Ordering::Relaxed);
+            self.max.fetch_max(v, Ordering::Relaxed);
+            self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        }
+        #[cfg(feature = "noop")]
+        let _ = v;
+    }
+
+    /// Record an elapsed [`std::time::Duration`] in microseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copy out the current state. Concurrent recorders may land
+    /// between the field loads, so the totals are only approximately
+    /// consistent with each other — fine for a scrape.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_u64_range() {
+        // (bucket arithmetic is unaffected by the noop feature)
+        // Every bucket's bounds are consistent and adjacent.
+        for i in 0..N_BUCKETS - 1 {
+            assert!(bucket_lower_bound(i) <= bucket_upper_bound(i), "bucket {i}");
+            assert_eq!(bucket_upper_bound(i) + 1, bucket_lower_bound(i + 1));
+            assert_eq!(bucket_index(bucket_lower_bound(i)), i);
+            assert_eq!(bucket_index(bucket_upper_bound(i)), i);
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(N_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_relative_error_is_bounded() {
+        // upper/lower <= 5/4 for every non-exact bucket.
+        for i in 8..N_BUCKETS - 1 {
+            let lo = bucket_lower_bound(i) as u128;
+            let hi = bucket_upper_bound(i) as u128;
+            assert!(hi * 4 < lo * 5, "bucket {i}: [{lo}, {hi}]");
+        }
+        // Values below 8 are bucketed exactly.
+        for v in 0..8 {
+            assert_eq!(bucket_lower_bound(bucket_index(v)), v);
+            assert_eq!(bucket_upper_bound(bucket_index(v)), v);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Atomic counters and gauges.
+//!
+//! All operations are `Relaxed`: metrics are monotone event counts or
+//! instantaneous levels, never used for synchronization, and a scrape
+//! that is a few events stale is fine. With the `noop` feature the
+//! mutating operations compile to nothing (reads still work, returning
+//! whatever was never written — zero).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(not(feature = "noop"))]
+        self.0.fetch_add(n, Ordering::Relaxed);
+        #[cfg(feature = "noop")]
+        let _ = n;
+    }
+
+    /// Count one event.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous level (open connections, queue depth): goes up
+/// *and* down, may be read as a signed value.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub const fn new() -> Gauge {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Add `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        #[cfg(not(feature = "noop"))]
+        self.0.fetch_add(delta, Ordering::Relaxed);
+        #[cfg(feature = "noop")]
+        let _ = delta;
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Decrement by one.
+    #[inline]
+    pub fn decr(&self) {
+        self.add(-1);
+    }
+
+    /// Set to an absolute value.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        #[cfg(not(feature = "noop"))]
+        self.0.store(value, Ordering::Relaxed);
+        #[cfg(feature = "noop")]
+        let _ = value;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(all(test, not(feature = "noop")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+
+        let g = Gauge::new();
+        g.incr();
+        g.incr();
+        g.decr();
+        assert_eq!(g.get(), 1);
+        g.add(-5);
+        assert_eq!(g.get(), -4);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+    }
+}

@@ -1,0 +1,247 @@
+//! Point-in-time registry snapshots: the scrape payload.
+//!
+//! A [`Snapshot`] is plain owned data — `xrd-net` encodes it as a
+//! `StatsReport` frame, benches embed it in reports, and
+//! [`Snapshot::render`] is the human-readable dump behind
+//! `xrd-netd stats <addr>`.
+
+use crate::hist::{bucket_upper_bound, N_BUCKETS};
+use crate::span::SpanEvent;
+
+/// Copied-out state of one [`crate::Histogram`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (µs by convention).
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Per-bucket sample counts; length [`N_BUCKETS`].
+    pub buckets: Vec<u64>,
+}
+
+impl HistSnapshot {
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            (self.sum as u128 / self.count as u128) as u64
+        }
+    }
+
+    /// Nearest-rank percentile (`0.0..=1.0`), reported as the upper
+    /// bound of the bucket holding that rank — so the true sample value
+    /// is ≤ the returned value and ≥ 4/5 of it (exact below 8).
+    /// Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p), "percentile out of range");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(n);
+            if seen >= rank {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`HistSnapshot::percentile`]).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.percentile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// Structural consistency: the bucket vector has the canonical
+    /// length, bucket counts sum to `count`, and the min/max bounds are
+    /// ordered. Scrape assertions in CI use this. (`sum` is excluded:
+    /// it wraps modulo 2⁶⁴ if fed absurd magnitudes, which is fine for
+    /// the µs-scale values every in-repo metric records.)
+    pub fn is_well_formed(&self) -> bool {
+        self.buckets.len() == N_BUCKETS
+            && self
+                .buckets
+                .iter()
+                .try_fold(0u64, |acc, &n| acc.checked_add(n))
+                == Some(self.count)
+            && (self.count == 0 || self.min <= self.max)
+    }
+}
+
+/// A point-in-time copy of a [`crate::Registry`]: what a `StatsReport`
+/// frame carries.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Microseconds the registry (≈ the process) had been up when the
+    /// snapshot was taken.
+    pub uptime_us: u64,
+    /// `(name, value)` for every counter, name-ordered.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge, name-ordered.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, state)` for every histogram, name-ordered.
+    pub hists: Vec<(String, HistSnapshot)>,
+    /// Retained span ring, oldest first.
+    pub spans: Vec<SpanEvent>,
+}
+
+impl Snapshot {
+    /// A counter's value (0 if absent — an untouched counter and a
+    /// missing one are indistinguishable, as with any scrape).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+
+    /// A gauge's value, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// A histogram's state, if present.
+    pub fn hist(&self, name: &str) -> Option<&HistSnapshot> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Counters that grew since `earlier`, as `(name, delta)` — the
+    /// tool for "what did this storm/round actually do" comparisons.
+    pub fn counters_since(&self, earlier: &Snapshot) -> Vec<(String, u64)> {
+        self.counters
+            .iter()
+            .filter_map(|(name, v)| {
+                let delta = v.saturating_sub(earlier.counter(name));
+                (delta > 0).then(|| (name.clone(), delta))
+            })
+            .collect()
+    }
+
+    /// The human-readable text dump (`xrd-netd stats <addr>` output).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "uptime: {:.3}s", self.uptime_us as f64 / 1e6);
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<44} {v:>12}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "gauges:");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {name:<44} {v:>12}");
+            }
+        }
+        if !self.hists.is_empty() {
+            let _ = writeln!(
+                out,
+                "histograms (µs): {:<28} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                "", "count", "mean", "p50", "p95", "p99", "max"
+            );
+            for (name, h) in &self.hists {
+                let _ = writeln!(
+                    out,
+                    "  {name:<42} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                    h.count,
+                    h.mean(),
+                    h.p50(),
+                    h.p95(),
+                    h.p99(),
+                    h.max
+                );
+            }
+        }
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "spans (oldest first, µs since start + duration):");
+            for s in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "  [round {:>5}] {:>12} +{:>9}  {}",
+                    s.round, s.start_us, s.dur_us, s.name
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(all(test, not(feature = "noop")))]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    #[test]
+    fn percentiles_track_recorded_values() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert!(snap.is_well_formed());
+        assert_eq!(snap.count, 1000);
+        assert_eq!(snap.min, 1);
+        assert_eq!(snap.max, 1000);
+        // Upper-bound semantics: exact <= reported <= exact * 5/4.
+        for (p, exact) in [(0.50, 500u64), (0.95, 950), (0.99, 990)] {
+            let got = snap.percentile(p);
+            assert!(got >= exact, "p{p}: {got} < {exact}");
+            assert!(got * 4 <= exact * 5, "p{p}: {got} too far above {exact}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_well_formed_and_zero() {
+        let snap = Histogram::new().snapshot();
+        assert!(snap.is_well_formed());
+        assert_eq!(snap.p50(), 0);
+        assert_eq!(snap.mean(), 0);
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        let reg = crate::Registry::new(4);
+        reg.counter("events").add(2);
+        reg.gauge("level").set(1);
+        reg.hist("lat_us").record(100);
+        reg.spans().record("phase", 1, 0, 42);
+        let text = reg.snapshot().render();
+        for needle in ["uptime:", "events", "level", "lat_us", "phase", "p95"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn counters_since_diffs() {
+        let a = Snapshot {
+            counters: vec![("x".into(), 3), ("y".into(), 5)],
+            ..Snapshot::default()
+        };
+        let b = Snapshot {
+            counters: vec![("x".into(), 10), ("y".into(), 5), ("z".into(), 1)],
+            ..Snapshot::default()
+        };
+        assert_eq!(
+            b.counters_since(&a),
+            vec![("x".to_string(), 7), ("z".to_string(), 1)]
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Round-timeline spans: a bounded ring of completed phase timings.
+//!
+//! Spans answer "where did round N spend its time" — submission window,
+//! each hop, verify, audit, reveal, delivery — at one record per phase
+//! per round, so a small ring (default 1024) holds many rounds of
+//! timeline. The ring is mutex-held: span recording happens a handful
+//! of times per round, never per frame or per entry.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One completed span: a named phase of a round, with its offset from
+/// process start and duration (both microseconds).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Phase name, e.g. `round.window` or `hop2.decrypt`.
+    pub name: String,
+    /// The round this phase belonged to (0 where not applicable).
+    pub round: u64,
+    /// Start offset from process (registry) start, µs.
+    pub start_us: u64,
+    /// Duration, µs.
+    pub dur_us: u64,
+}
+
+/// A fixed-capacity ring of the most recent [`SpanEvent`]s.
+#[derive(Debug)]
+pub struct SpanRecorder {
+    ring: Mutex<VecDeque<SpanEvent>>,
+    capacity: usize,
+    /// Total spans ever recorded (including ones the ring evicted).
+    recorded: std::sync::atomic::AtomicU64,
+}
+
+impl SpanRecorder {
+    /// A recorder keeping the latest `capacity` spans.
+    pub fn new(capacity: usize) -> SpanRecorder {
+        assert!(capacity > 0);
+        SpanRecorder {
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+            recorded: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Append a completed span, evicting the oldest when full.
+    pub fn record(&self, name: impl Into<String>, round: u64, start_us: u64, dur_us: u64) {
+        #[cfg(feature = "noop")]
+        {
+            let _ = (name.into(), round, start_us, dur_us);
+        }
+        #[cfg(not(feature = "noop"))]
+        {
+            let event = SpanEvent {
+                name: name.into(),
+                round,
+                start_us,
+                dur_us,
+            };
+            self.recorded
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let mut ring = self.ring.lock().expect("span ring poisoned");
+            if ring.len() == self.capacity {
+                ring.pop_front();
+            }
+            ring.push_back(event);
+        }
+    }
+
+    /// Spans ever recorded (monotone; exceeds the ring length once
+    /// eviction starts).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The retained spans, oldest first.
+    pub fn snapshot(&self) -> Vec<SpanEvent> {
+        self.ring
+            .lock()
+            .expect("span ring poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Maximum number of retained spans.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(all(test, not(feature = "noop")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_latest_in_order() {
+        let rec = SpanRecorder::new(3);
+        for i in 0..5u64 {
+            rec.record(format!("s{i}"), i, i * 10, 1);
+        }
+        let spans = rec.snapshot();
+        assert_eq!(rec.recorded(), 5);
+        assert_eq!(spans.len(), 3);
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["s2", "s3", "s4"]);
+    }
+}

@@ -54,6 +54,33 @@ fn stress(mut args: impl Iterator<Item = String>) {
         "streamed : {:>9.1?}  (same hop, chunked + overlapped with transfer)",
         report.hop_streamed_elapsed
     );
+    // The storm scrapes the daemon over the wire before tearing down;
+    // the report's registry snapshot must agree with the storm it just
+    // drove.  CI runs this mode, so a broken scrape path fails loudly.
+    let stats = &report.stats;
+    assert!(
+        stats.counter("frames.in.Submit") >= n_conns as u64,
+        "scrape must count every Submit frame ({} < {n_conns})",
+        stats.counter("frames.in.Submit"),
+    );
+    assert!(
+        stats.counter("reactor.accepts") >= n_conns as u64,
+        "scrape must count every accepted connection"
+    );
+    for (name, h) in &stats.hists {
+        assert!(h.is_well_formed(), "histogram {name} is malformed");
+    }
+    let hop = stats
+        .hist("hop.decrypt_blind_us")
+        .expect("hop kernel histogram present after a mix hop");
+    assert!(hop.count > 0, "hop kernel ran but recorded no samples");
+    println!(
+        "scrape   : {} frames in ({} Submit), decrypt+blind p95 {}µs over {} chunks",
+        stats.counter("reactor.frames_in"),
+        stats.counter("frames.in.Submit"),
+        hop.p95(),
+        hop.count,
+    );
     println!("STRESS OK: {} submissions accepted", report.accepted);
 }
 
@@ -122,6 +149,23 @@ fn main() {
                 .map(|r| r.delivered)
                 .sum::<usize>()
                 .max(1) as f64,
+    );
+    // Per-phase breakdown from the metrics registry — the same series
+    // `xrd-netd stats` scrapes from a production daemon.
+    for name in ["hop.decrypt_blind_us", "hop.shuffle_prove_us"] {
+        if let Some(h) = report.stats.hist(name) {
+            println!(
+                "{name:<24}: n={:<5} p50 {}µs  p95 {}µs  max {}µs",
+                h.count,
+                h.p50(),
+                h.p95(),
+                h.max
+            );
+        }
+    }
+    println!(
+        "round spans recorded  : {} (submit window, per-hop, audit, reveal, deliver, fetch)",
+        report.stats.spans.len()
     );
 
     cluster.shutdown();

@@ -20,6 +20,9 @@
 //!   performance models;
 //! * [`net`] — the networked deployment: wire codec, mix/mailbox
 //!   daemons over TCP, round coordinator, client swarm driver;
+//! * [`obs`] — counters, latency histograms, round-phase spans and the
+//!   process-wide registry the daemons report into (scrapable over the
+//!   wire as `StatsReport` frames);
 //! * [`sim`] — the discrete-event substrate standing in for the paper's
 //!   EC2 testbed;
 //! * [`baselines`] — Atom, Pung and Stadium comparison models/kernels.
@@ -54,5 +57,6 @@ pub use xrd_core as core;
 pub use xrd_crypto as crypto;
 pub use xrd_mixnet as mixnet;
 pub use xrd_net as net;
+pub use xrd_obs as obs;
 pub use xrd_sim as sim;
 pub use xrd_topology as topology;
