@@ -29,6 +29,47 @@ use crate::user::{Received, User};
 /// servers replay for a user who went offline after round ρ.
 pub type CoverStore = HashMap<[u8; 32], Vec<(ChainId, Submission)>>;
 
+/// A round that could not complete at all.
+///
+/// Per-chain trouble — a dead daemon, a convicted liar, a timed-out
+/// mix pass — does *not* produce a `RoundError`: the backend degrades
+/// the round to the surviving chains and reports the casualties in
+/// [`RoundReport::failed_chains`].  A `RoundError` means the round's
+/// outputs are unusable as a whole: the mailbox layer was unreachable
+/// (no user can fetch, so delivery cannot be claimed for anyone), or
+/// every chain failed before delivery.
+#[derive(Debug)]
+pub enum RoundError {
+    /// Shared infrastructure (mailbox shards, fetch path) failed.
+    Infrastructure {
+        /// The round that failed.
+        round: u64,
+        /// What broke, in human terms.
+        message: String,
+    },
+    /// Every chain in the deployment failed this round; nothing was
+    /// mixed or delivered.
+    AllChainsFailed {
+        /// The round that failed.
+        round: u64,
+    },
+}
+
+impl std::fmt::Display for RoundError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoundError::Infrastructure { round, message } => {
+                write!(f, "round {round} infrastructure failure: {message}")
+            }
+            RoundError::AllChainsFailed { round } => {
+                write!(f, "round {round}: every chain failed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoundError {}
+
 /// Anything that can run XRD rounds for a set of users.
 pub trait RoundBackend {
     /// The network shape this backend executes on.
@@ -43,11 +84,16 @@ pub trait RoundBackend {
 
     /// Execute one full round (Figure 1) and return the report plus
     /// each online user's decrypted mailbox contents.
+    ///
+    /// `Err` is reserved for failures that void the whole round (see
+    /// [`RoundError`]); chains that fail while others survive degrade
+    /// the round instead and are listed in
+    /// [`RoundReport::failed_chains`].
     fn run_round(
         &mut self,
         rng: &mut dyn RngCore,
         users: &mut [User],
-    ) -> (RoundReport, FetchResults);
+    ) -> Result<(RoundReport, FetchResults), RoundError>;
 }
 
 /// Build the per-chain submission batches for one round: online users

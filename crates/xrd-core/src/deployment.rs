@@ -61,6 +61,19 @@ pub struct RoundReport {
     pub malicious_by_chain: HashMap<u32, usize>,
     /// Chains that aborted due to a misbehaving server.
     pub aborted_chains: Vec<u32>,
+    /// Chains that failed for infrastructure reasons this round (a
+    /// daemon down, a timed-out pass) — the round degraded to the
+    /// surviving chains.  Networked backends only; the in-process
+    /// deployment never populates this.
+    pub failed_chains: Vec<u32>,
+    /// Server positions convicted by the dispute protocol, per chain.
+    /// A conviction does not imply the chain aborted: a lying verifier
+    /// is convicted and excluded while its chain's round completes.
+    pub convicted_by_chain: HashMap<u32, Vec<u32>>,
+    /// Server positions whose input-agreement digest dissented from
+    /// the majority, per chain — suspects (equivocation or a lossy
+    /// link), recorded but never convicted on digest evidence alone.
+    pub suspected_by_chain: HashMap<u32, Vec<u32>>,
 }
 
 /// What each user got back this round, keyed by mailbox id.
@@ -287,8 +300,9 @@ impl RoundBackend for Deployment {
         &mut self,
         rng: &mut dyn rand::RngCore,
         users: &mut [User],
-    ) -> (RoundReport, FetchResults) {
-        Deployment::run_round(self, rng, users)
+    ) -> Result<(RoundReport, FetchResults), crate::backend::RoundError> {
+        // In-process chains cannot fail for infrastructure reasons.
+        Ok(Deployment::run_round(self, rng, users))
     }
 }
 

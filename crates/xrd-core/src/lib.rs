@@ -31,7 +31,7 @@ pub mod payload;
 pub mod secgame;
 pub mod user;
 
-pub use backend::RoundBackend;
+pub use backend::{RoundBackend, RoundError};
 pub use deployment::{Deployment, DeploymentConfig, FetchResults, RoundReport};
 pub use mailbox::MailboxHub;
 pub use payload::{Payload, MAX_CHAT_LEN};

@@ -7,10 +7,19 @@
 //!   public bundle; distribute each to its server, keep it secret) —
 //!   in a real deployment each server would generate its own keys;
 //! * `mix --config FILE [--listen ADDR]` — serve one mix hop;
-//! * `mailbox --shard S --shards N [--listen ADDR]` — serve one shard;
-//! * `demo [--users N] [--rounds R]` — spin a full loopback deployment
-//!   (daemons, coordinator, client swarm) in one process and print
-//!   round latency/throughput;
+//! * `byzantine --config FILE --mode MODE [--listen ADDR]` — serve one
+//!   *misbehaving* mix hop (`lie-verify`, `equivocate-digest`,
+//!   `corrupt-hop`) for adversarial deployments; honest coordinators
+//!   are expected to localize and convict it via the dispute path;
+//! * `proxy --upstream ADDR [--listen ADDR] [--plan FILE]` — a
+//!   fault-injecting relay in front of any daemon, driven by a
+//!   [`FaultPlan`] config file (see
+//!   `docs/FAULTS.md`); with no plan it forwards faithfully;
+//! * `demo [--users N] [--rounds R] [--faults FILE]` — spin a full
+//!   loopback deployment (daemons, coordinator, client swarm) in one
+//!   process and print round latency/throughput; `--faults` inserts a
+//!   fault proxy (running the given plan) in front of every mix
+//!   daemon, turning the demo into a chaos run;
 //! * `stress [--conns N] [--workers W] [--chain-len K]` — storm one
 //!   mix daemon with N concurrent submitter connections (default
 //!   1000) and print connect/submit/hop wall clock — the
@@ -33,15 +42,20 @@ use rand::{RngCore, SeedableRng};
 use xrd_core::DeploymentConfig;
 use xrd_net::codec::{decode_server_config, encode_server_config};
 use xrd_net::{
-    launch_local, run_swarm, submit_storm, MailboxDaemon, MixServerDaemon, StormConfig, SwarmConfig,
+    launch_local, launch_local_faulty, run_swarm, submit_storm, ByzantineMode, FaultPlan,
+    FaultProxy, MailboxDaemon, MixServerDaemon, StormConfig, SwarmConfig,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  xrd-netd keygen --chain-len K [--epoch E] --out-dir DIR\n  \
          xrd-netd mix --config FILE [--listen ADDR]\n  \
+         xrd-netd byzantine --config FILE --mode lie-verify|equivocate-digest|corrupt-hop \
+         [--listen ADDR]\n  \
+         xrd-netd proxy --upstream ADDR [--listen ADDR] [--plan FILE]\n  \
          xrd-netd mailbox --shard S --shards N [--listen ADDR]\n  \
-         xrd-netd demo [--servers N] [--chain-len K] [--shards S] [--users U] [--rounds R]\n  \
+         xrd-netd demo [--servers N] [--chain-len K] [--shards S] [--users U] [--rounds R] \
+         [--faults FILE]\n  \
          xrd-netd stress [--conns N] [--workers W] [--chain-len K]\n  \
          xrd-netd stats ADDR"
     );
@@ -64,6 +78,8 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "keygen" => keygen(rest),
         "mix" => mix(rest),
+        "byzantine" => byzantine(rest),
+        "proxy" => proxy(rest),
         "mailbox" => mailbox(rest),
         "demo" => demo(rest),
         "stress" => stress(rest),
@@ -220,6 +236,102 @@ fn mix(args: &[String]) -> ExitCode {
     park(daemon)
 }
 
+/// Serve one deliberately-misbehaving mix hop: the adversary side of
+/// the chaos harness.  Same config as `mix`, plus `--mode`.
+fn byzantine(args: &[String]) -> ExitCode {
+    let Some(config_path) = flag(args, "--config") else {
+        return usage();
+    };
+    let Some(mode) = flag(args, "--mode") else {
+        return usage();
+    };
+    let mode: ByzantineMode = match mode.parse() {
+        Ok(m) => m,
+        Err(e) => {
+            xrd_obs::error!("byzantine: {e}");
+            return usage();
+        }
+    };
+    let listen = flag(args, "--listen").unwrap_or_else(|| "127.0.0.1:0".into());
+    let blob = match std::fs::read(&config_path) {
+        Ok(b) => b,
+        Err(e) => {
+            xrd_obs::error!("byzantine: cannot read {config_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (secrets, public) = match decode_server_config(&blob) {
+        Ok(v) => v,
+        Err(e) => {
+            xrd_obs::error!("byzantine: bad config: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let daemon = match MixServerDaemon::spawn_byzantine(
+        listen.as_str(),
+        secrets,
+        public,
+        rand::rngs::OsRng.next_u64(),
+        mode,
+    ) {
+        Ok(d) => d,
+        Err(e) => {
+            xrd_obs::error!("byzantine: cannot listen on {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    announce(daemon.addr());
+    park(daemon)
+}
+
+/// Relay all traffic for one daemon through a fault-injection plan.
+fn proxy(args: &[String]) -> ExitCode {
+    let Some(upstream) = flag(args, "--upstream") else {
+        return usage();
+    };
+    let upstream: std::net::SocketAddr = match upstream.parse() {
+        Ok(a) => a,
+        Err(e) => {
+            xrd_obs::error!("proxy: bad upstream address {upstream}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let listen = flag(args, "--listen").unwrap_or_else(|| "127.0.0.1:0".into());
+    let plan = match flag(args, "--plan") {
+        None => FaultPlan::new(0),
+        Some(path) => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    xrd_obs::error!("proxy: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match FaultPlan::parse(&text) {
+                Ok(p) => p,
+                Err(e) => {
+                    xrd_obs::error!("proxy: bad plan in {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    let n_rules = plan.rules.len();
+    let proxy = match FaultProxy::spawn(listen.as_str(), upstream, plan) {
+        Ok(p) => p,
+        Err(e) => {
+            xrd_obs::error!("proxy: cannot listen on {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    announce(proxy.addr());
+    println!("proxying to {upstream} under {n_rules} fault rule(s)");
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
 fn mailbox(args: &[String]) -> ExitCode {
     let Some(shard) = flag(args, "--shard").and_then(|v| v.parse::<usize>().ok()) else {
         return usage();
@@ -266,6 +378,25 @@ fn demo(args: &[String]) -> ExitCode {
     let rounds = flag(args, "--rounds")
         .and_then(|v| v.parse().ok())
         .unwrap_or(3u64);
+    let faults = match flag(args, "--faults") {
+        None => None,
+        Some(path) => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    xrd_obs::error!("demo: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match FaultPlan::parse(&text) {
+                Ok(p) => Some(p),
+                Err(e) => {
+                    xrd_obs::error!("demo: bad fault plan in {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
 
     let mut rng = StdRng::seed_from_u64(7);
     let config = DeploymentConfig {
@@ -275,21 +406,35 @@ fn demo(args: &[String]) -> ExitCode {
         n_mailbox_shards: shards,
         seed: 0,
     };
-    let (mut cluster, mut deployment) = match launch_local(&mut rng, &config) {
-        Ok(v) => v,
-        Err(e) => {
-            xrd_obs::error!("demo: launch failed: {e}");
-            return ExitCode::FAILURE;
-        }
+    let (mut cluster, _proxies, mut deployment) = match &faults {
+        None => match launch_local(&mut rng, &config) {
+            Ok((cluster, deployment)) => (cluster, Vec::new(), deployment),
+            Err(e) => {
+                xrd_obs::error!("demo: launch failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Some(plan) => match launch_local_faulty(&mut rng, &config, plan) {
+            Ok(v) => v,
+            Err(e) => {
+                xrd_obs::error!("demo: launch failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
     };
     println!(
-        "demo: {} daemons up ({} chains × {} hops + {} mailbox shards)",
+        "demo: {} daemons up ({} chains × {} hops + {} mailbox shards){}",
         cluster.n_daemons(),
         deployment.topology().n_chains(),
         chain_len,
-        shards
+        shards,
+        if faults.is_some() {
+            " — every mix daemon behind a fault proxy"
+        } else {
+            ""
+        }
     );
-    let report = run_swarm(
+    let report = match run_swarm(
         &mut rng,
         &mut deployment,
         &SwarmConfig {
@@ -297,7 +442,14 @@ fn demo(args: &[String]) -> ExitCode {
             rounds,
             ..Default::default()
         },
-    );
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            xrd_obs::error!("demo: {e}");
+            cluster.shutdown();
+            return ExitCode::FAILURE;
+        }
+    };
     for r in &report.rounds {
         println!(
             "round {:>3}: {:>8.1?}  mixed {:>5}  delivered {:>5}  {:>8.0} msg/s",
@@ -310,6 +462,30 @@ fn demo(args: &[String]) -> ExitCode {
         report.mean_throughput(),
         report.bytes_on_wire as f64 / (1024.0 * 1024.0)
     );
+    if faults.is_some() {
+        // The chaos ledger: injected faults and how the dispute/retry
+        // machinery absorbed them (same names as `xrd-netd stats`).
+        for name in [
+            "fault.injected.drop",
+            "fault.injected.corrupt",
+            "fault.injected.delay",
+            "fault.injected.truncate",
+            "fault.injected.reorder",
+            "fault.injected.stall",
+            "fault.injected.disconnect",
+            "chain.mix_retries",
+            "chain.reconnects",
+            "dispute.opened",
+            "dispute.convicted",
+            "round.degraded",
+            "round.chain_failures",
+        ] {
+            let n = report.stats.counter(name);
+            if n > 0 {
+                println!("{name}: {n}");
+            }
+        }
+    }
     // Per-phase hop latency, from the same registry `xrd-netd stats`
     // serves (the demo's daemons all run in this process).
     for name in ["hop.decrypt_blind_us", "hop.shuffle_prove_us"] {

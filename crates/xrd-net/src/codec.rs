@@ -132,6 +132,9 @@ const TAG_ACCUSE: u8 = 0x40;
 const TAG_ACCUSATION: u8 = 0x41;
 const TAG_REVEAL_SLOT: u8 = 0x42;
 const TAG_SLOT_REVEAL: u8 = 0x43;
+const TAG_DISPUTE_OPEN: u8 = 0x44;
+const TAG_DISPUTE_EVIDENCE: u8 = 0x45;
+const TAG_DISPUTE_VERDICT: u8 = 0x46;
 const TAG_DELIVER: u8 = 0x50;
 const TAG_FETCH: u8 = 0x51;
 const TAG_MAILBOX_CONTENTS: u8 = 0x52;
@@ -150,6 +153,21 @@ pub mod error_code {
     pub const NO_BLAME_STATE: u16 = 5;
     /// The peer sent a frame this daemon does not serve.
     pub const UNSUPPORTED: u16 = 6;
+    /// The client exceeded a submission quota or rate limit.
+    pub const QUOTA_EXCEEDED: u16 = 7;
+}
+
+/// Claim codes carried by [`Frame::DisputeVerdict`]: what the accused
+/// is alleged to have done.
+pub mod dispute_claim {
+    /// The accused published a hop attestation that does not verify.
+    pub const BAD_PROOF: u8 = 0;
+    /// The accused, acting as a verifier, rejected a valid attestation.
+    pub const FALSE_VERDICT: u8 = 1;
+    /// The accused's input-agreement digest dissented from the
+    /// majority (equivocation, or a lossy submission link — digest
+    /// evidence alone never convicts; see `docs/FAULTS.md`).
+    pub const EQUIVOCATION: u8 = 2;
 }
 
 /// One message of the XRD wire protocol.
@@ -398,6 +416,57 @@ pub enum Frame {
         /// The reveal, if the server produced one (boxed: it is by far
         /// the largest payload in the protocol).
         reveal: Option<Box<BlameReveal>>,
+    },
+
+    /// Open a dispute over one server's hop attestation (coordinator →
+    /// every other server of the chain; answered with
+    /// [`Frame::DisputeEvidence`]).  Carries the full disputed
+    /// statement — the prover's input/output DH key columns and its
+    /// aggregate DLEQ proof — so each witness re-checks it
+    /// independently of its own round state.
+    DisputeOpen {
+        /// Round number.
+        round: u64,
+        /// The accused prover's position.
+        accused: u32,
+        /// DH keys of the accused's inputs, in arrival order.
+        input_dhs: Vec<GroupElement>,
+        /// DH keys of the accused's outputs, in emission order.
+        output_dhs: Vec<GroupElement>,
+        /// The disputed aggregate proof.
+        proof: DleqProof,
+    },
+    /// One witness's signed verdict on a disputed attestation.
+    DisputeEvidence {
+        /// Round number.
+        round: u64,
+        /// The witness's position.
+        position: u32,
+        /// The accused prover's position (echoed from the open).
+        accused: u32,
+        /// `true` if the witness finds the attestation invalid (the
+        /// accusation upheld).
+        upheld: bool,
+        /// Schnorr signature under the witness's mix key `mpk` over
+        /// the dispute statement (see
+        /// [`dispute_context`]) — transferable evidence
+        /// another server can verify without trusting the collector.
+        sig: SchnorrProof,
+    },
+    /// The dispute's outcome, gossiped to every server of the chain
+    /// (answered with [`Frame::Ok`]).
+    DisputeVerdict {
+        /// Round number.
+        round: u64,
+        /// The convicted (or, for [`dispute_claim::EQUIVOCATION`],
+        /// suspected) server's position.
+        accused: u32,
+        /// One of [`dispute_claim`]'s constants.
+        claim: u8,
+        /// Whether the accusation was upheld against `accused`.
+        upheld: bool,
+        /// How many witnesses' valid evidence upheld the accusation.
+        votes: u32,
     },
 
     /// Deliver opened messages to a mailbox shard (answered with
@@ -1099,6 +1168,51 @@ impl Frame {
                 }
                 w
             }
+            Frame::DisputeOpen {
+                round,
+                accused,
+                input_dhs,
+                output_dhs,
+                proof,
+            } => {
+                let mut w = Writer::new(TAG_DISPUTE_OPEN);
+                w.u64(*round);
+                w.u32(*accused);
+                w.groups(input_dhs);
+                w.groups(output_dhs);
+                w.dleq(proof);
+                w
+            }
+            Frame::DisputeEvidence {
+                round,
+                position,
+                accused,
+                upheld,
+                sig,
+            } => {
+                let mut w = Writer::new(TAG_DISPUTE_EVIDENCE);
+                w.u64(*round);
+                w.u32(*position);
+                w.u32(*accused);
+                w.u8(*upheld as u8);
+                w.schnorr(sig);
+                w
+            }
+            Frame::DisputeVerdict {
+                round,
+                accused,
+                claim,
+                upheld,
+                votes,
+            } => {
+                let mut w = Writer::new(TAG_DISPUTE_VERDICT);
+                w.u64(*round);
+                w.u32(*accused);
+                w.u8(*claim);
+                w.u8(*upheld as u8);
+                w.u32(*votes);
+                w
+            }
             Frame::Deliver { round, messages } => {
                 let mut w = Writer::new(TAG_DELIVER);
                 w.u64(*round);
@@ -1272,6 +1386,35 @@ impl Frame {
                     _ => return Err(CodecError::BadLength),
                 },
             },
+            TAG_DISPUTE_OPEN => Frame::DisputeOpen {
+                round: r.u64()?,
+                accused: r.u32()?,
+                input_dhs: r.groups()?,
+                output_dhs: r.groups()?,
+                proof: r.dleq()?,
+            },
+            TAG_DISPUTE_EVIDENCE => Frame::DisputeEvidence {
+                round: r.u64()?,
+                position: r.u32()?,
+                accused: r.u32()?,
+                upheld: match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(CodecError::BadLength),
+                },
+                sig: r.schnorr()?,
+            },
+            TAG_DISPUTE_VERDICT => Frame::DisputeVerdict {
+                round: r.u64()?,
+                accused: r.u32()?,
+                claim: r.u8()?,
+                upheld: match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(CodecError::BadLength),
+                },
+                votes: r.u32()?,
+            },
             TAG_DELIVER => {
                 let round = r.u64()?;
                 let n = r.seq_len()?;
@@ -1330,6 +1473,9 @@ impl Frame {
             Frame::Accusation { .. } => TAG_ACCUSATION,
             Frame::RevealSlot { .. } => TAG_REVEAL_SLOT,
             Frame::SlotReveal { .. } => TAG_SLOT_REVEAL,
+            Frame::DisputeOpen { .. } => TAG_DISPUTE_OPEN,
+            Frame::DisputeEvidence { .. } => TAG_DISPUTE_EVIDENCE,
+            Frame::DisputeVerdict { .. } => TAG_DISPUTE_VERDICT,
             Frame::Deliver { .. } => TAG_DELIVER,
             Frame::Fetch { .. } => TAG_FETCH,
             Frame::MailboxContents { .. } => TAG_MAILBOX_CONTENTS,
@@ -1374,6 +1520,9 @@ impl Frame {
             TAG_ACCUSATION => "Accusation",
             TAG_REVEAL_SLOT => "RevealSlot",
             TAG_SLOT_REVEAL => "SlotReveal",
+            TAG_DISPUTE_OPEN => "DisputeOpen",
+            TAG_DISPUTE_EVIDENCE => "DisputeEvidence",
+            TAG_DISPUTE_VERDICT => "DisputeVerdict",
             TAG_DELIVER => "Deliver",
             TAG_FETCH => "Fetch",
             TAG_MAILBOX_CONTENTS => "MailboxContents",
@@ -1482,6 +1631,38 @@ impl StreamDigest {
     pub fn finalize(self) -> [u8; 32] {
         self.h.finalize_32()
     }
+}
+
+/// The signing context for [`Frame::DisputeEvidence`]: a
+/// domain-separated hash binding the witness's verdict to the exact
+/// disputed statement — round, accused position, the verdict bit, and
+/// the full attestation (key columns plus proof).  Both sides derive
+/// it independently: the witness signs it with its mix secret `msk`,
+/// and any server verifies the signature against the witness's `mpk`,
+/// so evidence is transferable without trusting the party relaying it.
+pub fn dispute_context(
+    round: u64,
+    accused: u32,
+    upheld: bool,
+    input_dhs: &[GroupElement],
+    output_dhs: &[GroupElement],
+    proof: &DleqProof,
+) -> [u8; 32] {
+    let mut h = xrd_crypto::Blake2b::new(32);
+    h.update(b"xrd/dispute-evidence");
+    h.update(&round.to_le_bytes());
+    h.update(&accused.to_le_bytes());
+    h.update(&[upheld as u8]);
+    h.update(&(input_dhs.len() as u32).to_le_bytes());
+    for enc in GroupElement::encode_all(input_dhs) {
+        h.update(&enc);
+    }
+    h.update(&(output_dhs.len() as u32).to_le_bytes());
+    for enc in GroupElement::encode_all(output_dhs) {
+        h.update(&enc);
+    }
+    h.update(&proof.to_bytes());
+    h.finalize_32()
 }
 
 /// Why a chunked batch stream failed to assemble.

@@ -24,6 +24,7 @@
 
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
 
 use crate::codec::{CodecError, Frame};
 
@@ -36,6 +37,13 @@ pub enum NetError {
     Codec(CodecError),
     /// The peer closed the connection mid-exchange.
     Disconnected,
+    /// A blocking socket operation exceeded its deadline (see
+    /// [`ConnTimeouts`]).  The stream may be mid-frame afterwards, so
+    /// the connection must be dropped or reconnected — not reused.
+    Timeout {
+        /// Which operation timed out (`"connect"`, `"read"`, `"write"`).
+        op: &'static str,
+    },
     /// The peer answered with [`Frame::Error`].
     Remote {
         /// Machine-readable error code.
@@ -47,12 +55,39 @@ pub enum NetError {
     Protocol(String),
 }
 
+impl NetError {
+    /// Whether retrying the enclosing exchange on a fresh connection
+    /// could plausibly succeed.  Transport-level trouble (socket
+    /// errors, desynced streams, hangups, deadlines) is retryable; a
+    /// daemon that *rejected* the request semantically is not — with
+    /// the exception of `BAD_STATE`, which a corrupted-in-flight
+    /// stream also produces (the daemon rejects the garbled chunk).
+    pub fn retryable(&self) -> bool {
+        match self {
+            NetError::Io(_) | NetError::Codec(_) | NetError::Disconnected => true,
+            NetError::Timeout { .. } => true,
+            NetError::Remote { code, .. } => *code == crate::codec::error_code::BAD_STATE,
+            NetError::Protocol(_) => false,
+        }
+    }
+
+    fn from_io(e: std::io::Error, op: &'static str) -> NetError {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                NetError::Timeout { op }
+            }
+            _ => NetError::Io(e),
+        }
+    }
+}
+
 impl std::fmt::Display for NetError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             NetError::Io(e) => write!(f, "io error: {e}"),
             NetError::Codec(e) => write!(f, "codec error: {e}"),
             NetError::Disconnected => write!(f, "peer disconnected"),
+            NetError::Timeout { op } => write!(f, "{op} deadline exceeded"),
             NetError::Remote { code, message } => {
                 write!(f, "remote error {code}: {message}")
             }
@@ -65,7 +100,34 @@ impl std::error::Error for NetError {}
 
 impl From<std::io::Error> for NetError {
     fn from(e: std::io::Error) -> NetError {
-        NetError::Io(e)
+        NetError::from_io(e, "read")
+    }
+}
+
+/// Deadlines for one connection's blocking socket operations.
+///
+/// Defaults are deliberately generous — they exist to turn a stalled
+/// or byzantine peer into an error instead of an eternal hang, not to
+/// police latency.  Debug-build crypto on large batches is slow, so
+/// the read deadline leaves ample headroom.
+#[derive(Clone, Copy, Debug)]
+pub struct ConnTimeouts {
+    /// Deadline for the TCP connect itself.
+    pub connect: Duration,
+    /// Deadline for each blocking read (time with *no* bytes arriving;
+    /// a slow-but-flowing peer resets it with every buffered refill).
+    pub read: Duration,
+    /// Deadline for each blocking write.
+    pub write: Duration,
+}
+
+impl Default for ConnTimeouts {
+    fn default() -> ConnTimeouts {
+        ConnTimeouts {
+            connect: Duration::from_secs(5),
+            read: Duration::from_secs(60),
+            write: Duration::from_secs(30),
+        }
     }
 }
 
@@ -102,24 +164,50 @@ pub struct Conn {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     peer: SocketAddr,
+    timeouts: ConnTimeouts,
     bytes_sent: u64,
     bytes_received: u64,
 }
 
 impl Conn {
-    /// Connect to a daemon.
+    /// Connect to a daemon with the default [`ConnTimeouts`].
     pub fn connect(addr: SocketAddr) -> Result<Conn, NetError> {
-        let stream = TcpStream::connect(addr)?;
+        Conn::connect_with(addr, ConnTimeouts::default())
+    }
+
+    /// Connect to a daemon with explicit deadlines.
+    pub fn connect_with(addr: SocketAddr, timeouts: ConnTimeouts) -> Result<Conn, NetError> {
+        let stream = TcpStream::connect_timeout(&addr, timeouts.connect)
+            .map_err(|e| NetError::from_io(e, "connect"))?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeouts.read))?;
+        stream.set_write_timeout(Some(timeouts.write))?;
         let reader = BufReader::new(stream.try_clone()?);
         let writer = BufWriter::new(stream);
         Ok(Conn {
             reader,
             writer,
             peer: addr,
+            timeouts,
             bytes_sent: 0,
             bytes_received: 0,
         })
+    }
+
+    /// The deadlines this connection was opened with.
+    pub fn timeouts(&self) -> ConnTimeouts {
+        self.timeouts
+    }
+
+    /// Drop the current stream and dial the same peer again with the
+    /// same deadlines, preserving byte accounting.  The recovery move
+    /// after a [`NetError::Timeout`] or codec desync left the old
+    /// stream unusable.
+    pub fn reconnect(&mut self) -> Result<(), NetError> {
+        let fresh = Conn::connect_with(self.peer, self.timeouts)?;
+        self.reader = fresh.reader;
+        self.writer = fresh.writer;
+        Ok(())
     }
 
     /// The daemon's address.
@@ -149,8 +237,12 @@ impl Conn {
             }));
         }
         self.bytes_sent += encoded.len() as u64;
-        self.writer.write_all(&encoded)?;
-        self.writer.flush()?;
+        self.writer
+            .write_all(&encoded)
+            .map_err(|e| NetError::from_io(e, "write"))?;
+        self.writer
+            .flush()
+            .map_err(|e| NetError::from_io(e, "write"))?;
         Ok(())
     }
 
@@ -203,8 +295,12 @@ impl Conn {
     /// built once with [`crate::codec::ChunkedBatch`].
     pub fn send_encoded(&mut self, bytes: &[u8]) -> Result<(), NetError> {
         self.bytes_sent += bytes.len() as u64;
-        self.writer.write_all(bytes)?;
-        self.writer.flush()?;
+        self.writer
+            .write_all(bytes)
+            .map_err(|e| NetError::from_io(e, "write"))?;
+        self.writer
+            .flush()
+            .map_err(|e| NetError::from_io(e, "write"))?;
         Ok(())
     }
 

@@ -37,21 +37,104 @@
 //! outcome is unchanged — inner keys stay sealed unless the whole
 //! chain checks out, exactly as in the whole-batch path.
 
+use std::collections::HashSet;
 use std::net::SocketAddr;
+use std::time::Duration;
 
 use xrd_crypto::nizk::DleqProof;
+use xrd_crypto::ristretto::GroupElement;
 use xrd_crypto::scalar::Scalar;
 use xrd_mixnet::blame::{trace_blame, BlameVerdict};
 use xrd_mixnet::chain_keys::{apply_rotation_shares, ChainPublicKeys, RotationShare};
 use xrd_mixnet::client::Submission;
 use xrd_mixnet::message::{MailboxMessage, MixEntry};
 use xrd_mixnet::server::{
-    input_digest, open_batch, verify_hop, verify_hops_batched, verify_inner_key, HopRecord,
+    input_digest, open_batch, verify_hop, verify_hop_keys, verify_hops_batched, verify_inner_key,
+    HopRecord,
 };
 use xrd_mixnet::{ChainRoundOutcome, ChainRoundStats};
 
-use crate::codec::{reframe_output_chunk, BatchAssembler, ChunkedBatch, Frame, STREAM_CHUNK};
-use crate::conn::{Conn, NetError};
+use crate::codec::{
+    dispute_claim, dispute_context, reframe_output_chunk, BatchAssembler, ChunkedBatch, Frame,
+    STREAM_CHUNK,
+};
+use crate::conn::{Conn, ConnTimeouts, NetError};
+
+/// Bounded retry-with-backoff for chain exchanges that fail for
+/// *transport* reasons (see [`NetError::retryable`]): the coordinator
+/// reconnects and repeats the exchange instead of writing the chain
+/// off over one dropped frame.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per exchange (1 = no retry).
+    pub attempts: u32,
+    /// Backoff before attempt `n+1`: `base_backoff << n`.
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 3,
+            base_backoff: Duration::from_millis(25),
+        }
+    }
+}
+
+impl RetryPolicy {
+    fn sleep(&self, attempt: u32) {
+        std::thread::sleep(self.base_backoff * 2u32.saturating_pow(attempt.min(8)));
+    }
+}
+
+/// Coordinator metric handles, resolved once per process.
+fn coord_metrics() -> &'static CoordMetrics {
+    static METRICS: std::sync::OnceLock<CoordMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| CoordMetrics {
+        disputes_opened: xrd_obs::counter("dispute.opened"),
+        disputes_convicted: xrd_obs::counter("dispute.convicted"),
+        digest_dissent: xrd_obs::counter("dispute.digest_dissent"),
+        mix_retries: xrd_obs::counter("chain.mix_retries"),
+        reconnects: xrd_obs::counter("chain.reconnects"),
+    })
+}
+
+struct CoordMetrics {
+    /// Disputes opened over rejected attestations.
+    disputes_opened: &'static xrd_obs::Counter,
+    /// Disputes that ended in a conviction (either party).
+    disputes_convicted: &'static xrd_obs::Counter,
+    /// Input-agreement digests that dissented from the majority.
+    digest_dissent: &'static xrd_obs::Counter,
+    /// Whole mix passes retried after a transport failure.
+    mix_retries: &'static xrd_obs::Counter,
+    /// Daemon connections re-dialed after a transport failure.
+    reconnects: &'static xrd_obs::Counter,
+}
+
+/// One request/response exchange with bounded retry: on a retryable
+/// failure the connection is re-dialed and the request repeated.
+/// Only safe for idempotent requests (every coordinator-side exchange
+/// is: window control, digest queries, reveals, rotation shares).
+fn request_retry(conn: &mut Conn, frame: &Frame, retry: RetryPolicy) -> Result<Frame, NetError> {
+    let mut attempt = 0;
+    loop {
+        match conn.request(frame) {
+            Err(e) if e.retryable() && attempt + 1 < retry.attempts => {
+                xrd_obs::debug!(
+                    "retrying {} to {} after: {e}",
+                    Frame::tag_name(frame.tag()).unwrap_or("?"),
+                    conn.peer()
+                );
+                attempt += 1;
+                retry.sleep(attempt);
+                coord_metrics().reconnects.incr();
+                let _ = conn.reconnect();
+            }
+            other => return other,
+        }
+    }
+}
 
 /// How the coordinator ships batches hop to hop.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -85,6 +168,34 @@ pub struct ChainClient {
     public: ChainPublicKeys,
     pending: Option<ChainPublicKeys>,
     transport: Transport,
+    retry: RetryPolicy,
+    /// Positions convicted by the dispute/blame machinery since the
+    /// last [`ChainClient::take_round_verdicts`].
+    convicted: Vec<usize>,
+    /// Positions whose input-agreement digest dissented from the
+    /// majority since the last [`ChainClient::take_round_verdicts`] —
+    /// suspects, not convictions (a dropped `Submit` frame produces
+    /// the same divergence as byzantine equivocation).
+    suspected: Vec<usize>,
+    /// Verifiers convicted of a false verdict: their future rejections
+    /// are ignored (the round continues without them).
+    excluded: HashSet<usize>,
+}
+
+/// Outcome of one gossip dispute: the coordinator's own ground-truth
+/// re-check plus the tally of signed witness evidence.
+struct DisputeOutcome {
+    /// The accused attestation really is invalid (local re-check).
+    proof_invalid: bool,
+    /// Witnesses whose signed evidence upheld the accusation.
+    votes_upheld: u32,
+    /// Witnesses that returned verifiable evidence at all.
+    votes_cast: u32,
+    /// Positions whose *signed* evidence upheld the accusation — a
+    /// rejecting verifier is only convicted of a false verdict if it
+    /// doubled down here, so a wire-corrupted `VerifyResult` (which an
+    /// honest verifier recants under oath) never convicts anyone.
+    upholders: Vec<usize>,
 }
 
 /// What a hop failure resolved to: retry the mix with the convicted
@@ -139,19 +250,64 @@ impl PendingChainRound {
 }
 
 impl ChainClient {
-    /// Connect to a chain's daemons (hop order) with its active bundle.
+    /// Connect to a chain's daemons (hop order) with its active bundle
+    /// and the default deadlines/retry policy.
     pub fn connect(addrs: &[SocketAddr], public: ChainPublicKeys) -> Result<ChainClient, NetError> {
+        ChainClient::connect_with(
+            addrs,
+            public,
+            ConnTimeouts::default(),
+            RetryPolicy::default(),
+        )
+    }
+
+    /// Connect with explicit per-connection deadlines and retry policy.
+    pub fn connect_with(
+        addrs: &[SocketAddr],
+        public: ChainPublicKeys,
+        timeouts: ConnTimeouts,
+        retry: RetryPolicy,
+    ) -> Result<ChainClient, NetError> {
         assert_eq!(addrs.len(), public.len(), "one daemon per hop");
         let conns = addrs
             .iter()
-            .map(|&a| Conn::connect(a))
+            .map(|&a| Conn::connect_with(a, timeouts))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(ChainClient {
             conns,
             public,
             pending: None,
             transport: Transport::Auto,
+            retry,
+            convicted: Vec::new(),
+            suspected: Vec::new(),
+            excluded: HashSet::new(),
         })
+    }
+
+    /// Drain the verdicts accumulated since the last call: positions
+    /// convicted (dispute or blame) and positions suspected (digest
+    /// dissent).  Deployment drivers fold these into the round report.
+    pub fn take_round_verdicts(&mut self) -> (Vec<usize>, Vec<usize>) {
+        let mut convicted = std::mem::take(&mut self.convicted);
+        convicted.sort_unstable();
+        convicted.dedup();
+        let mut suspected = std::mem::take(&mut self.suspected);
+        suspected.sort_unstable();
+        suspected.dedup();
+        (convicted, suspected)
+    }
+
+    /// Re-dial every daemon connection (same peers, same deadlines).
+    /// The recovery move after a transport failure mid-pass: streamed
+    /// sessions keyed by the old connections die with them and the
+    /// pass restarts clean.
+    fn reconnect_all(&mut self) -> Result<(), NetError> {
+        for conn in &mut self.conns {
+            coord_metrics().reconnects.incr();
+            conn.reconnect()?;
+        }
+        Ok(())
     }
 
     /// Select how this chain ships batches hop to hop (default
@@ -190,19 +346,31 @@ impl ChainClient {
 
     /// Open the submission window for `round` on every server.
     pub fn open_round(&mut self, round: u64) -> Result<(), NetError> {
+        let retry = self.retry;
         for conn in &mut self.conns {
-            conn.request_ok(&Frame::OpenRound { round })?;
+            match request_retry(conn, &Frame::OpenRound { round }, retry)? {
+                Frame::Ok => {}
+                other => {
+                    return Err(NetError::Protocol(format!("expected Ok, got {other:?}")));
+                }
+            }
         }
         Ok(())
     }
 
     /// Close the window and run input agreement: every server reports
-    /// its canonical-batch digest; all must match.  Returns the agreed
-    /// batch (fetched from server 0 and re-hashed locally).
+    /// its canonical-batch digest and the *majority* digest wins.  A
+    /// dissenting server is recorded as suspected (equivocation and a
+    /// dropped `Submit` frame are indistinguishable from here, so this
+    /// never convicts) and announced to the chain as an un-upheld
+    /// [`Frame::DisputeVerdict`].  Returns the agreed batch, fetched
+    /// from a majority server and re-hashed locally.  Fails only when
+    /// no strict majority exists.
     pub fn close_and_agree(&mut self, round: u64) -> Result<Vec<Submission>, NetError> {
+        let retry = self.retry;
         let mut digests = Vec::with_capacity(self.conns.len());
         for conn in &mut self.conns {
-            match conn.request(&Frame::CloseSubmissions { round })? {
+            match request_retry(conn, &Frame::CloseSubmissions { round }, retry)? {
                 Frame::BatchDigest {
                     round: r, digest, ..
                 } if r == round => digests.push(digest),
@@ -213,12 +381,41 @@ impl ChainClient {
                 }
             }
         }
-        if digests.windows(2).any(|w| w[0] != w[1]) {
+        // Majority digest: the most common value, needing > k/2 votes.
+        let majority = digests
+            .iter()
+            .max_by_key(|d| digests.iter().filter(|e| e == d).count())
+            .copied()
+            .expect("chain has at least one server");
+        let votes = digests.iter().filter(|d| **d == majority).count();
+        if votes * 2 <= digests.len() {
             return Err(NetError::Protocol(
-                "input agreement failed: servers hold different batches".into(),
+                "input agreement failed: no majority batch digest".into(),
             ));
         }
-        let batch = match self.conns[0].request(&Frame::GetBatch { round })? {
+        let dissenters: Vec<usize> = (0..digests.len())
+            .filter(|&i| digests[i] != majority)
+            .collect();
+        for &pos in &dissenters {
+            coord_metrics().digest_dissent.incr();
+            xrd_obs::info!(
+                "round {round}: server {pos} dissented from the majority input digest (suspect)"
+            );
+            self.suspected.push(pos);
+        }
+        if !dissenters.is_empty() {
+            // Tell the chain who dissented — suspicion, not conviction,
+            // so the verdict is announced as not upheld.
+            for &pos in &dissenters {
+                self.announce_verdict(round, pos, dispute_claim::EQUIVOCATION, false, votes as u32);
+            }
+        }
+        let source = digests
+            .iter()
+            .position(|d| *d == majority)
+            .expect("majority digest came from some server");
+        let batch = match request_retry(&mut self.conns[source], &Frame::GetBatch { round }, retry)?
+        {
             Frame::SubmissionBatch {
                 round: r,
                 submissions,
@@ -229,13 +426,13 @@ impl ChainClient {
                 )))
             }
         };
-        // Never trust server 0's transcript blindly: re-derive the
+        // Never trust one server's transcript blindly: re-derive the
         // digest locally and compare against the agreed one.
         let entries: Vec<MixEntry> = batch.iter().map(|s| s.to_entry()).collect();
-        if input_digest(&entries) != digests[0] {
-            return Err(NetError::Protocol(
-                "server 0 returned a batch that does not match the agreed digest".into(),
-            ));
+        if input_digest(&entries) != majority {
+            return Err(NetError::Protocol(format!(
+                "server {source} returned a batch that does not match the agreed digest"
+            )));
         }
         Ok(batch)
     }
@@ -276,15 +473,35 @@ impl ChainClient {
         round: u64,
         submissions: &[Submission],
     ) -> Result<MixPhase, NetError> {
-        match self.transport {
-            Transport::Whole => self.mix_round_whole(round, submissions),
-            Transport::Streamed { chunk } => self.mix_round_streamed(round, submissions, chunk),
-            Transport::Auto => {
-                if submissions.len() >= Transport::AUTO_STREAM_MIN {
-                    self.mix_round_streamed(round, submissions, STREAM_CHUNK)
-                } else {
-                    self.mix_round_whole(round, submissions)
+        let mut attempt = 0;
+        loop {
+            let result = match self.transport {
+                Transport::Whole => self.mix_round_whole(round, submissions),
+                Transport::Streamed { chunk } => self.mix_round_streamed(round, submissions, chunk),
+                Transport::Auto => {
+                    if submissions.len() >= Transport::AUTO_STREAM_MIN {
+                        self.mix_round_streamed(round, submissions, STREAM_CHUNK)
+                    } else {
+                        self.mix_round_whole(round, submissions)
+                    }
                 }
+            };
+            match result {
+                Err(e) if e.retryable() && attempt + 1 < self.retry.attempts => {
+                    attempt += 1;
+                    coord_metrics().mix_retries.incr();
+                    xrd_obs::info!(
+                        "round {round}: mix pass failed on transport ({e}), \
+                         reconnecting for attempt {}",
+                        attempt + 1
+                    );
+                    self.retry.sleep(attempt);
+                    // A fresh pass needs fresh connections: streamed
+                    // sessions and in-flight responses on the old ones
+                    // are unsalvageable.
+                    self.reconnect_all()?;
+                }
+                other => return other,
             }
         }
     }
@@ -335,14 +552,17 @@ impl ChainClient {
                         stats.proofs_generated += 1;
                         // Every other server verifies the attestation,
                         // concurrently (they are independent machines).
-                        let public = &self.public;
+                        // Verifiers already convicted of lying are out.
+                        let excluded = self.excluded.clone();
                         let verdicts: Vec<(usize, Result<Frame, NetError>)> =
                             std::thread::scope(|scope| {
                                 let handles: Vec<_> = self
                                     .conns
                                     .iter_mut()
                                     .enumerate()
-                                    .filter(|(verifier, _)| *verifier != pos)
+                                    .filter(|(verifier, _)| {
+                                        *verifier != pos && !excluded.contains(verifier)
+                                    })
                                     .map(|(verifier, conn)| {
                                         let request = Frame::VerifyHop {
                                             round,
@@ -359,35 +579,78 @@ impl ChainClient {
                                     .map(|h| h.join().expect("verifier thread panicked"))
                                     .collect()
                             });
+                        let mut rejecting: Vec<usize> = Vec::new();
                         for (verifier, verdict) in verdicts {
                             stats.proofs_verified += 1;
                             match verdict? {
                                 Frame::VerifyResult { ok: true } => {}
-                                Frame::VerifyResult { ok: false } => {
-                                    // A rejection over the wire could be a
-                                    // bad proof *or* a lying verifier; the
-                                    // coordinator holds everything needed
-                                    // to re-check locally and convict the
-                                    // right party.
-                                    let really_bad =
-                                        !verify_hop(public, pos, round, &inputs, &outputs, &proof);
-                                    misbehaving_servers.push(if really_bad {
-                                        pos
-                                    } else {
-                                        verifier
-                                    });
-                                    return Ok(MixPhase::Done(ChainRoundOutcome {
-                                        delivered: Vec::new(),
-                                        malicious_users,
-                                        misbehaving_servers,
-                                        stats,
-                                    }));
-                                }
+                                Frame::VerifyResult { ok: false } => rejecting.push(verifier),
                                 other => {
                                     return Err(NetError::Protocol(format!(
                                         "expected VerifyResult, got {other:?}"
                                     )))
                                 }
+                            }
+                        }
+                        if !rejecting.is_empty() {
+                            // A rejection over the wire could be a bad
+                            // proof *or* a lying verifier.  Instead of
+                            // aborting, run the dispute protocol to
+                            // convict the right party.
+                            let input_dhs: Vec<GroupElement> =
+                                inputs.iter().map(|e| e.dh).collect();
+                            let output_dhs: Vec<GroupElement> =
+                                outputs.iter().map(|e| e.dh).collect();
+                            let outcome =
+                                self.run_dispute(round, pos, &input_dhs, &output_dhs, &proof);
+                            if outcome.proof_invalid {
+                                self.announce_verdict(
+                                    round,
+                                    pos,
+                                    dispute_claim::BAD_PROOF,
+                                    true,
+                                    outcome.votes_upheld,
+                                );
+                                self.convicted.push(pos);
+                                misbehaving_servers.push(pos);
+                                return Ok(MixPhase::Done(ChainRoundOutcome {
+                                    delivered: Vec::new(),
+                                    malicious_users,
+                                    misbehaving_servers,
+                                    stats,
+                                }));
+                            }
+                            // The proof holds: a rejecting verifier that
+                            // *signed* an upholding affidavit committed
+                            // perjury — convict and exclude it; one that
+                            // recanted under oath is forgiven (its
+                            // rejection is attributed to transport).
+                            // Either way the hop stands and the round
+                            // continues.
+                            for verifier in rejecting {
+                                if !outcome.upholders.contains(&verifier) {
+                                    xrd_obs::info!(
+                                        "round {round}: verifier {verifier} rejected hop {pos} \
+                                         but did not uphold under oath; no conviction"
+                                    );
+                                    continue;
+                                }
+                                if !self.excluded.insert(verifier) {
+                                    continue;
+                                }
+                                xrd_obs::info!(
+                                    "round {round}: verifier {verifier} rejected a valid \
+                                     attestation for hop {pos}; convicted and excluded"
+                                );
+                                self.announce_verdict(
+                                    round,
+                                    verifier,
+                                    dispute_claim::FALSE_VERDICT,
+                                    true,
+                                    outcome.votes_cast - outcome.votes_upheld,
+                                );
+                                self.convicted.push(verifier);
+                                misbehaving_servers.push(verifier);
                             }
                         }
                         hop_audit.push((pos, inputs, outputs.clone(), proof));
@@ -600,6 +863,7 @@ impl ChainClient {
         // other k-1 servers, all requests pipelined before any verdict
         // is collected (responses are one byte and cannot clog).
         let _span = xrd_obs::span_timer("coord.verify_chain", round);
+        let excluded = self.excluded.clone();
         let mut expected: Vec<(usize, usize)> = Vec::new(); // (verifier, prover)
         for (pos, inputs, outputs, proof) in &hop_audit {
             let wire = Frame::VerifyHopKeys {
@@ -611,37 +875,82 @@ impl ChainClient {
             }
             .encode();
             for (verifier, conn) in self.conns.iter_mut().enumerate() {
-                if verifier != *pos {
+                if verifier != *pos && !excluded.contains(&verifier) {
                     conn.send_encoded(&wire)?;
                     expected.push((verifier, *pos));
                 }
             }
         }
+        let mut rejections: Vec<(usize, usize)> = Vec::new(); // (prover, verifier)
         for (verifier, prover) in expected {
             stats.proofs_verified += 1;
             match self.conns[verifier].recv()? {
                 Frame::VerifyResult { ok: true } => {}
-                Frame::VerifyResult { ok: false } => {
-                    // A rejection over the wire could be a bad proof
-                    // *or* a lying verifier; re-check locally and
-                    // convict the right party.
-                    let (_, inputs, outputs, proof) = &hop_audit[prover];
-                    let really_bad =
-                        !verify_hop(&self.public, prover, round, inputs, outputs, proof);
-                    misbehaving_servers.push(if really_bad { prover } else { verifier });
-                    return Ok(MixPhase::Done(ChainRoundOutcome {
-                        delivered: Vec::new(),
-                        malicious_users,
-                        misbehaving_servers,
-                        stats,
-                    }));
-                }
+                Frame::VerifyResult { ok: false } => rejections.push((prover, verifier)),
                 Frame::Error { code, message } => return Err(NetError::Remote { code, message }),
                 other => {
                     return Err(NetError::Protocol(format!(
                         "expected VerifyResult, got {other:?}"
                     )))
                 }
+            }
+        }
+        // Each rejected attestation becomes a dispute rather than an
+        // abort: the dispute convicts either the prover (bad proof —
+        // chain fails with the offender named) or every verifier that
+        // rejected a valid statement (excluded; round continues).
+        let mut disputed_provers: Vec<usize> = rejections.iter().map(|&(p, _)| p).collect();
+        disputed_provers.sort_unstable();
+        disputed_provers.dedup();
+        for prover in disputed_provers {
+            let (_, inputs, outputs, proof) = &hop_audit[prover];
+            let input_dhs: Vec<GroupElement> = inputs.iter().map(|e| e.dh).collect();
+            let output_dhs: Vec<GroupElement> = outputs.iter().map(|e| e.dh).collect();
+            let proof = *proof;
+            let outcome = self.run_dispute(round, prover, &input_dhs, &output_dhs, &proof);
+            if outcome.proof_invalid {
+                self.announce_verdict(
+                    round,
+                    prover,
+                    dispute_claim::BAD_PROOF,
+                    true,
+                    outcome.votes_upheld,
+                );
+                self.convicted.push(prover);
+                misbehaving_servers.push(prover);
+                return Ok(MixPhase::Done(ChainRoundOutcome {
+                    delivered: Vec::new(),
+                    malicious_users,
+                    misbehaving_servers,
+                    stats,
+                }));
+            }
+            for &(_, verifier) in rejections.iter().filter(|&&(p, _)| p == prover) {
+                if !outcome.upholders.contains(&verifier) {
+                    // Recanted under oath: the rejection is attributed
+                    // to transport, not malice.
+                    xrd_obs::info!(
+                        "round {round}: verifier {verifier} rejected hop {prover} \
+                         but did not uphold under oath; no conviction"
+                    );
+                    continue;
+                }
+                if !self.excluded.insert(verifier) {
+                    continue; // already convicted against another hop
+                }
+                xrd_obs::info!(
+                    "round {round}: verifier {verifier} rejected a valid attestation \
+                     for hop {prover}; convicted and excluded"
+                );
+                self.announce_verdict(
+                    round,
+                    verifier,
+                    dispute_claim::FALSE_VERDICT,
+                    true,
+                    outcome.votes_cast - outcome.votes_upheld,
+                );
+                self.convicted.push(verifier);
+                misbehaving_servers.push(verifier);
             }
         }
 
@@ -679,6 +988,7 @@ impl ChainClient {
                 }
                 BlameVerdict::ServerMisbehaved { position } => {
                     misbehaving_servers.push(position);
+                    self.convicted.push(position);
                 }
             }
         }
@@ -725,8 +1035,8 @@ impl ChainClient {
         // verdict — the per-hop re-checks below localize rather than
         // re-audit (matching the pre-deferred accounting).
         pending.stats.proofs_verified += pending.hop_audit.len();
+        let mut audit_convicted: Vec<usize> = Vec::new();
         if !audit_ok {
-            let mut convicted: Vec<usize> = Vec::new();
             for r in &pending.records() {
                 if !verify_hop(
                     &self.public,
@@ -736,10 +1046,30 @@ impl ChainClient {
                     r.outputs,
                     &r.proof,
                 ) {
-                    convicted.push(r.position);
+                    audit_convicted.push(r.position);
                 }
             }
-            pending.misbehaving_servers.extend(convicted);
+            // Each locally-refuted attestation is put through the
+            // dispute protocol so the conviction rests on gossiped,
+            // signed evidence rather than this coordinator's word.
+            for &pos in &audit_convicted {
+                let (_, inputs, outputs, proof) = &pending.hop_audit[pos];
+                let input_dhs: Vec<GroupElement> = inputs.iter().map(|e| e.dh).collect();
+                let output_dhs: Vec<GroupElement> = outputs.iter().map(|e| e.dh).collect();
+                let proof = *proof;
+                let outcome = self.run_dispute(round, pos, &input_dhs, &output_dhs, &proof);
+                self.announce_verdict(
+                    round,
+                    pos,
+                    dispute_claim::BAD_PROOF,
+                    true,
+                    outcome.votes_upheld,
+                );
+                self.convicted.push(pos);
+            }
+            pending
+                .misbehaving_servers
+                .extend(audit_convicted.iter().copied());
         }
         let PendingChainRound {
             hop_audit: _,
@@ -748,7 +1078,11 @@ impl ChainClient {
             mut misbehaving_servers,
             stats,
         } = pending;
-        if !misbehaving_servers.is_empty() {
+        // Only a *prover* conviction from the failed audit blocks the
+        // reveal; verifiers convicted of lying earlier in the pass are
+        // already excluded and must not cost the honest users their
+        // round.
+        if !audit_convicted.is_empty() {
             return Ok(ChainRoundOutcome {
                 delivered: Vec::new(),
                 malicious_users,
@@ -762,12 +1096,18 @@ impl ChainClient {
 
         // Inner-key reveal + verification, then open the envelopes.
         let _span = xrd_obs::span_timer("coord.reveal", round);
+        let retry = self.retry;
         let mut inner_keys: Vec<Scalar> = Vec::with_capacity(k);
-        for (pos, conn) in self.conns.iter_mut().enumerate() {
-            match conn.request(&Frame::RevealInnerKey { round })? {
+        for pos in 0..k {
+            match request_retry(
+                &mut self.conns[pos],
+                &Frame::RevealInnerKey { round },
+                retry,
+            )? {
                 Frame::InnerKeyReveal { position, isk } => {
                     if position as usize != pos || !verify_inner_key(&self.public, pos, &isk) {
                         misbehaving_servers.push(pos);
+                        self.convicted.push(pos);
                         return Ok(ChainRoundOutcome {
                             delivered: Vec::new(),
                             malicious_users,
@@ -795,6 +1135,123 @@ impl ChainClient {
             misbehaving_servers,
             stats,
         })
+    }
+
+    /// Run the gossip dispute protocol over one rejected hop
+    /// attestation: broadcast [`Frame::DisputeOpen`] to every server
+    /// except the accused, collect their signed
+    /// [`Frame::DisputeEvidence`], verify each signature against the
+    /// witness's mix public key, and tally.  The coordinator's own
+    /// re-check of the statement is the ground truth for the verdict;
+    /// the gossiped evidence makes the conviction transferable (any
+    /// party can replay the signatures) and is what the chaos harness
+    /// asserts on.  Witness transport failures count as abstentions —
+    /// a dispute never turns into a round failure.
+    fn run_dispute(
+        &mut self,
+        round: u64,
+        accused: usize,
+        input_dhs: &[GroupElement],
+        output_dhs: &[GroupElement],
+        proof: &DleqProof,
+    ) -> DisputeOutcome {
+        coord_metrics().disputes_opened.incr();
+        xrd_obs::info!("round {round}: dispute opened against server {accused}");
+        let proof_invalid = !verify_hop_keys(
+            &self.public,
+            accused,
+            round,
+            input_dhs.iter(),
+            output_dhs.iter(),
+            proof,
+        );
+        let open = Frame::DisputeOpen {
+            round,
+            accused: accused as u32,
+            input_dhs: input_dhs.to_vec(),
+            output_dhs: output_dhs.to_vec(),
+            proof: *proof,
+        };
+        let mut votes_upheld = 0;
+        let mut votes_cast = 0;
+        let mut upholders: Vec<usize> = Vec::new();
+        for witness in 0..self.conns.len() {
+            if witness == accused || self.excluded.contains(&witness) {
+                continue;
+            }
+            let evidence = match self.conns[witness].request(&open) {
+                Ok(Frame::DisputeEvidence {
+                    round: r,
+                    position,
+                    accused: a,
+                    upheld,
+                    sig,
+                }) if r == round && position as usize == witness && a as usize == accused => {
+                    Some((upheld, sig))
+                }
+                Ok(_) => None,
+                Err(e) => {
+                    xrd_obs::debug!("round {round}: witness {witness} abstained from dispute: {e}");
+                    None
+                }
+            };
+            if let Some((upheld, sig)) = evidence {
+                let ctx =
+                    dispute_context(round, accused as u32, upheld, input_dhs, output_dhs, proof);
+                // `mpk_i = bpk_i^msk`: verify over the witness's
+                // chained blinding base, not the group generator.
+                let mpk = &self.public.mpks[witness];
+                if sig.verify(&ctx, &self.public.bpks[witness], mpk) {
+                    votes_cast += 1;
+                    if upheld {
+                        votes_upheld += 1;
+                        upholders.push(witness);
+                    }
+                } else {
+                    xrd_obs::debug!(
+                        "round {round}: witness {witness} returned an unverifiable \
+                         dispute signature; ignoring"
+                    );
+                }
+            }
+        }
+        DisputeOutcome {
+            proof_invalid,
+            votes_upheld,
+            votes_cast,
+            upholders,
+        }
+    }
+
+    /// Broadcast a [`Frame::DisputeVerdict`] to every server except the
+    /// accused.  Best-effort: a server that cannot be told does not
+    /// change the verdict.
+    fn announce_verdict(
+        &mut self,
+        round: u64,
+        accused: usize,
+        claim: u8,
+        upheld: bool,
+        votes: u32,
+    ) {
+        if upheld {
+            coord_metrics().disputes_convicted.incr();
+            xrd_obs::info!(
+                "round {round}: server {accused} convicted (claim {claim}, {votes} votes)"
+            );
+        }
+        let verdict = Frame::DisputeVerdict {
+            round,
+            accused: accused as u32,
+            claim,
+            upheld,
+            votes,
+        };
+        for (pos, conn) in self.conns.iter_mut().enumerate() {
+            if pos != accused {
+                let _ = conn.request_ok(&verdict);
+            }
+        }
     }
 
     /// The §6.4 trace, with each reveal fetched over the wire.
@@ -865,9 +1322,10 @@ impl ChainClient {
     /// generates a fresh key and the assembled, verified bundle becomes
     /// this chain's pending bundle (what covers are sealed against).
     pub fn prepare_rotation(&mut self, inner_epoch: u64) -> Result<ChainPublicKeys, NetError> {
+        let retry = self.retry;
         let mut shares: Vec<RotationShare> = Vec::with_capacity(self.conns.len());
         for (pos, conn) in self.conns.iter_mut().enumerate() {
-            match conn.request(&Frame::PrepareRotation { inner_epoch })? {
+            match request_retry(conn, &Frame::PrepareRotation { inner_epoch }, retry)? {
                 Frame::RotationShare {
                     inner_epoch: e,
                     share,
@@ -892,12 +1350,17 @@ impl ChainClient {
     /// Activate the pending rotation on every server and switch the
     /// coordinator's active bundle.
     pub fn activate_rotation(&mut self) -> Result<(), NetError> {
-        let next = self
-            .pending
-            .take()
-            .expect("prepare_rotation must be called first");
+        let retry = self.retry;
+        let next = self.pending.take().ok_or_else(|| {
+            NetError::Protocol("activate_rotation without prepare_rotation".into())
+        })?;
         for conn in &mut self.conns {
-            conn.request_ok(&Frame::ActivateRotation { keys: next.clone() })?;
+            match request_retry(conn, &Frame::ActivateRotation { keys: next.clone() }, retry)? {
+                Frame::Ok => {}
+                other => {
+                    return Err(NetError::Protocol(format!("expected Ok, got {other:?}")));
+                }
+            }
         }
         self.public = next;
         Ok(())

@@ -34,7 +34,7 @@ use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
 use xrd_core::mailbox::shard_of;
-use xrd_crypto::nizk::DleqProof;
+use xrd_crypto::nizk::{DleqProof, SchnorrProof};
 use xrd_crypto::ristretto::GroupElement;
 use xrd_mixnet::chain_keys::{rotation_share, ChainPublicKeys, ServerSecrets};
 use xrd_mixnet::client::Submission;
@@ -42,7 +42,8 @@ use xrd_mixnet::message::{outer_ct_len, MixEntry};
 use xrd_mixnet::server::{input_digest, verify_hop_keys, ChunkKernel, MixError, MixServer};
 
 use crate::codec::{
-    encode_hop_output_stream, error_code, Frame, StreamDigest, StreamError, STREAM_CHUNK,
+    dispute_context, encode_hop_output_stream, error_code, Frame, StreamDigest, StreamError,
+    STREAM_CHUNK,
 };
 use crate::reactor::{service_fn, ConnId, Outcome, Reactor, Service, WorkerPool};
 
@@ -146,6 +147,56 @@ pub(crate) fn err(code: u16, message: impl Into<String>) -> Frame {
 // Mix-server daemon
 // ---------------------------------------------------------------------
 
+/// Submission-window abuse limits for one mix daemon.
+///
+/// Submissions are anonymous by design, so "per user" can only mean
+/// "per connection" at this layer: one client pumping one connection
+/// cannot fill the window past `max_per_conn`, and the window as a
+/// whole is capped at `max_pending` regardless of connection count —
+/// a flooding client costs bounded daemon memory and cannot starve
+/// the round.  Violations are rejected with
+/// [`error_code::QUOTA_EXCEEDED`] and counted under
+/// `submit.rejected.quota`.
+#[derive(Clone, Copy, Debug)]
+pub struct SubmissionPolicy {
+    /// Submissions accepted from one connection per window.
+    pub max_per_conn: u32,
+    /// Total submissions held for the open window.
+    pub max_pending: usize,
+}
+
+impl Default for SubmissionPolicy {
+    fn default() -> SubmissionPolicy {
+        SubmissionPolicy {
+            // Deployments fan many users' submissions through few
+            // connections (the coordinator's submit workers), so the
+            // per-connection cap is generous; the window cap is the
+            // codec's batch bound.
+            max_per_conn: 4096,
+            max_pending: crate::codec::MAX_BATCH,
+        }
+    }
+}
+
+/// Mix-daemon metric handles, resolved once per process.
+fn mix_metrics() -> &'static MixMetrics {
+    static METRICS: std::sync::OnceLock<MixMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| MixMetrics {
+        rejected_quota: xrd_obs::counter("submit.rejected.quota"),
+        evidence_served: xrd_obs::counter("dispute.evidence.served"),
+        verdicts_heard: xrd_obs::counter("dispute.verdicts.heard"),
+    })
+}
+
+struct MixMetrics {
+    /// Submissions rejected by [`SubmissionPolicy`].
+    rejected_quota: &'static xrd_obs::Counter,
+    /// [`Frame::DisputeOpen`]s answered with signed evidence.
+    evidence_served: &'static xrd_obs::Counter,
+    /// [`Frame::DisputeVerdict`]s received and recorded.
+    verdicts_heard: &'static xrd_obs::Counter,
+}
+
 /// Mutable state of one mix-server daemon.
 struct MixState {
     /// Long-term secrets (bsk/msk survive rotations; isk is per-round).
@@ -162,6 +213,13 @@ struct MixState {
     batches: HashMap<u64, Vec<Submission>>,
     /// In-flight streamed hop sessions, one per connection.
     streams: HashMap<ConnId, HopStreamSession>,
+    /// Submission-window abuse limits.
+    policy: SubmissionPolicy,
+    /// Submissions accepted per connection for the open window.
+    submitted: HashMap<ConnId, u32>,
+    /// Dispute verdicts gossiped to this server: `(round, accused,
+    /// claim)` triples, retained for operator inspection.
+    verdicts: Vec<(u64, u32, u8)>,
     /// Daemon-local randomness (shuffles, proofs).
     rng: StdRng,
 }
@@ -229,17 +287,31 @@ impl MixState {
         self.server.public()
     }
 
-    fn handle(&mut self, frame: Frame) -> Frame {
+    fn handle(&mut self, conn: ConnId, frame: Frame) -> Frame {
         match frame {
             Frame::Ping => Frame::Ok,
             Frame::OpenRound { round } => {
-                self.open_round = Some(round);
-                self.pending_subs.clear();
+                // Idempotent for the coordinator's retry path: a
+                // re-sent open for the already-open round must not
+                // discard submissions accepted in between.
+                if self.open_round != Some(round) {
+                    self.open_round = Some(round);
+                    self.pending_subs.clear();
+                    self.submitted.clear();
+                }
                 Frame::Ok
             }
             Frame::Submit { round, submission } => {
                 if self.open_round != Some(round) {
                     return err(error_code::UNKNOWN_ROUND, "no submission window open");
+                }
+                if self.pending_subs.len() >= self.policy.max_pending {
+                    mix_metrics().rejected_quota.incr();
+                    return err(error_code::QUOTA_EXCEEDED, "submission window full");
+                }
+                if self.submitted.get(&conn).copied().unwrap_or(0) >= self.policy.max_per_conn {
+                    mix_metrics().rejected_quota.incr();
+                    return err(error_code::QUOTA_EXCEEDED, "per-connection quota exhausted");
                 }
                 let k = self.public().len();
                 if submission.ct.len() != outer_ct_len(k) {
@@ -248,11 +320,23 @@ impl MixState {
                 if !submission.verify_pok(round) {
                     return err(error_code::REJECTED_SUBMISSION, "invalid PoK");
                 }
+                *self.submitted.entry(conn).or_insert(0) += 1;
                 self.pending_subs.push(submission);
                 Frame::Ok
             }
             Frame::CloseSubmissions { round } => {
                 if self.open_round != Some(round) {
+                    // Idempotent for the coordinator's retry path: a
+                    // window already fixed re-answers its digest (the
+                    // first response may have been lost in flight).
+                    if let Some(batch) = self.batches.get(&round) {
+                        let entries: Vec<_> = batch.iter().map(|s| s.to_entry()).collect();
+                        return Frame::BatchDigest {
+                            round,
+                            digest: input_digest(&entries),
+                            count: batch.len() as u64,
+                        };
+                    }
                     return err(error_code::UNKNOWN_ROUND, "window not open for round");
                 }
                 self.open_round = None;
@@ -329,6 +413,22 @@ impl MixState {
                     .blame_reveal(&mut self.rng, output_index as usize)
                     .map(Box::new),
             },
+            Frame::DisputeVerdict {
+                round,
+                accused,
+                claim,
+                upheld,
+                votes: _,
+            } => {
+                mix_metrics().verdicts_heard.incr();
+                if upheld {
+                    xrd_obs::info!(
+                        "dispute verdict: round {round} server {accused} convicted (claim {claim})"
+                    );
+                    self.verdicts.push((round, accused, claim));
+                }
+                Frame::Ok
+            }
             other => err(
                 error_code::UNSUPPORTED,
                 format!("mix daemon cannot serve {other:?}"),
@@ -535,6 +635,58 @@ impl MixService {
         }))
     }
 
+    /// `DisputeOpen`: re-check the disputed attestation against this
+    /// server's copy of the public bundle and answer with signed
+    /// evidence.  The verification is pure public-data work off a
+    /// bundle snapshot; the state lock is taken only for the signing
+    /// nonce at the end.  `force_upheld` is the byzantine hook: a
+    /// lying witness signs a fixed verdict instead of its honest
+    /// re-check — producing transferable evidence of its own lie.
+    fn defer_dispute(
+        &self,
+        round: u64,
+        accused: u32,
+        input_dhs: Vec<GroupElement>,
+        output_dhs: Vec<GroupElement>,
+        proof: DleqProof,
+        force_upheld: Option<bool>,
+    ) -> Outcome {
+        let public = self.lock().server.public().clone();
+        let state = Arc::clone(&self.state);
+        Outcome::Defer(Box::new(move || {
+            let valid = (accused as usize) < public.len()
+                && input_dhs.len() == output_dhs.len()
+                && verify_hop_keys(
+                    &public,
+                    accused as usize,
+                    round,
+                    input_dhs.iter(),
+                    output_dhs.iter(),
+                    &proof,
+                );
+            let upheld = force_upheld.unwrap_or(!valid);
+            let ctx = dispute_context(round, accused, upheld, &input_dhs, &output_dhs, &proof);
+            let mut guard = state.lock().expect("mix state poisoned");
+            let st = &mut *guard;
+            let position = st.secrets.position as u32;
+            // `mpk_i = bpk_i^msk` — the mix key lives over the chained
+            // blinding base for this position, not the group generator.
+            let mpk = st.server.public().mpks[st.secrets.position];
+            let base = st.server.public().bpks[st.secrets.position];
+            let sig = SchnorrProof::prove(&mut st.rng, &ctx, &base, &mpk, &st.secrets.msk);
+            drop(guard);
+            mix_metrics().evidence_served.incr();
+            Frame::DisputeEvidence {
+                round,
+                position,
+                accused,
+                upheld,
+                sig,
+            }
+            .encode()
+        }))
+    }
+
     /// Attestation checks (full-entry or keys-only): pure public-data
     /// work off a snapshot of the bundle — no state lock held in the
     /// job at all.
@@ -595,14 +747,162 @@ impl Service for MixService {
                 output_dhs,
                 proof,
             } => self.defer_verify(round, position, input_dhs, output_dhs, proof),
-            other => Outcome::reply(self.lock().handle(other)),
+            Frame::DisputeOpen {
+                round,
+                accused,
+                input_dhs,
+                output_dhs,
+                proof,
+            } => self.defer_dispute(round, accused, input_dhs, output_dhs, proof, None),
+            other => Outcome::reply(self.lock().handle(conn, other)),
         }
     }
 
     fn on_close(&self, conn: ConnId) {
         // Drop any half-assembled stream; its already-dispatched chunk
         // jobs finish into an orphaned latch and are freed with it.
-        self.lock().streams.remove(&conn);
+        let mut state = self.lock();
+        state.streams.remove(&conn);
+        state.submitted.remove(&conn);
+    }
+}
+
+/// How a byzantine mix daemon misbehaves (see `docs/FAULTS.md`).
+///
+/// Each mode is one concrete lie the dispute machinery must localize:
+/// the daemon otherwise runs the full honest protocol, so the lie is
+/// the *only* divergence a test observes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ByzantineMode {
+    /// Answer every attestation check with `ok: false`, and uphold
+    /// every dispute regardless of the evidence — a verifier trying
+    /// to frame honest provers.
+    LieVerify,
+    /// Corrupt the daemon's input-agreement digest, simulating a
+    /// server that equivocates about the batch it fixed.
+    EquivocateDigest,
+    /// Tamper with the daemon's own hop output after proving, so its
+    /// emitted key column no longer matches its attestation.
+    CorruptHop,
+}
+
+impl std::str::FromStr for ByzantineMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ByzantineMode, String> {
+        match s {
+            "lie-verify" => Ok(ByzantineMode::LieVerify),
+            "equivocate-digest" => Ok(ByzantineMode::EquivocateDigest),
+            "corrupt-hop" => Ok(ByzantineMode::CorruptHop),
+            other => Err(format!(
+                "unknown byzantine mode {other:?} \
+                 (expected lie-verify, equivocate-digest or corrupt-hop)"
+            )),
+        }
+    }
+}
+
+/// A [`MixService`] wrapper that injects one [`ByzantineMode`]'s lie
+/// and delegates everything else — the honest protocol with exactly
+/// one strategic deviation.
+struct ByzantineService {
+    inner: MixService,
+    mode: ByzantineMode,
+}
+
+impl ByzantineService {
+    /// Lies told so far (`byzantine.lies` counter).
+    fn metrics() -> &'static xrd_obs::Counter {
+        static LIES: std::sync::OnceLock<&'static xrd_obs::Counter> = std::sync::OnceLock::new();
+        LIES.get_or_init(|| xrd_obs::counter("byzantine.lies"))
+    }
+}
+
+impl Service for ByzantineService {
+    fn handle(&self, conn: ConnId, frame: Frame, workers: &Arc<WorkerPool>) -> Outcome {
+        match (self.mode, &frame) {
+            // A framing verifier: every attestation is "invalid".
+            (ByzantineMode::LieVerify, Frame::VerifyHop { .. })
+            | (ByzantineMode::LieVerify, Frame::VerifyHopKeys { .. }) => {
+                Self::metrics().incr();
+                Outcome::reply(Frame::VerifyResult { ok: false })
+            }
+            // ... and it perjures itself in disputes, signing `upheld`
+            // over statements it knows verify — transferable evidence
+            // of the lie.
+            (ByzantineMode::LieVerify, Frame::DisputeOpen { .. }) => {
+                let Frame::DisputeOpen {
+                    round,
+                    accused,
+                    input_dhs,
+                    output_dhs,
+                    proof,
+                } = frame
+                else {
+                    unreachable!()
+                };
+                Self::metrics().incr();
+                self.inner
+                    .defer_dispute(round, accused, input_dhs, output_dhs, proof, Some(true))
+            }
+            // An equivocator: its digest never matches the honest
+            // majority's.
+            (ByzantineMode::EquivocateDigest, Frame::CloseSubmissions { .. }) => {
+                match self.inner.handle(conn, frame, workers) {
+                    Outcome::Reply(mut frames) => {
+                        for f in &mut frames {
+                            if let Frame::BatchDigest { digest, .. } = f {
+                                Self::metrics().incr();
+                                digest[0] ^= 0xFF;
+                            }
+                        }
+                        Outcome::Reply(frames)
+                    }
+                    other => other,
+                }
+            }
+            // A tampering prover: its emitted key column diverges from
+            // the column it proved over, so every honest verifier
+            // rejects the attestation.
+            (ByzantineMode::CorruptHop, Frame::MixBatch { .. }) => {
+                match self.inner.handle(conn, frame, workers) {
+                    Outcome::Defer(job) => Outcome::Defer(Box::new(move || {
+                        let bytes = job();
+                        match Frame::decode(bytes.get(4..).unwrap_or_default()) {
+                            Ok(Frame::HopOutput {
+                                round,
+                                position,
+                                mut outputs,
+                                proof,
+                            }) if outputs.len() >= 2 => {
+                                Self::metrics().incr();
+                                // Swapping two DH keys (but not their
+                                // ciphertexts) breaks the proven
+                                // input/output correspondence while
+                                // every element still parses.
+                                let dh = outputs[0].dh;
+                                outputs[0].dh = outputs[1].dh;
+                                outputs[1].dh = dh;
+                                Frame::HopOutput {
+                                    round,
+                                    position,
+                                    outputs,
+                                    proof,
+                                }
+                                .encode()
+                            }
+                            _ => bytes,
+                        }
+                    })),
+                    other => other,
+                }
+            }
+            _ => self.inner.handle(conn, frame, workers),
+        }
+    }
+
+    fn on_close(&self, conn: ConnId) {
+        self.inner.on_close(conn);
     }
 }
 
@@ -610,6 +910,27 @@ impl Service for MixService {
 pub struct MixServerDaemon;
 
 impl MixServerDaemon {
+    fn state(
+        secrets: ServerSecrets,
+        public: ChainPublicKeys,
+        rng_seed: u64,
+        policy: SubmissionPolicy,
+    ) -> Arc<Mutex<MixState>> {
+        Arc::new(Mutex::new(MixState {
+            server: MixServer::new(secrets.clone(), public),
+            secrets,
+            pending_isk: None,
+            open_round: None,
+            pending_subs: Vec::new(),
+            batches: HashMap::new(),
+            streams: HashMap::new(),
+            policy,
+            submitted: HashMap::new(),
+            verdicts: Vec::new(),
+            rng: StdRng::seed_from_u64(rng_seed),
+        }))
+    }
+
     /// Spawn a daemon serving hop `secrets.position` of a chain whose
     /// active public bundle is `public`, listening on `addr` (use
     /// `127.0.0.1:0` for an OS-assigned port).
@@ -619,17 +940,39 @@ impl MixServerDaemon {
         public: ChainPublicKeys,
         rng_seed: u64,
     ) -> std::io::Result<DaemonHandle> {
-        let state = Arc::new(Mutex::new(MixState {
-            server: MixServer::new(secrets.clone(), public),
-            secrets,
-            pending_isk: None,
-            open_round: None,
-            pending_subs: Vec::new(),
-            batches: HashMap::new(),
-            streams: HashMap::new(),
-            rng: StdRng::seed_from_u64(rng_seed),
-        }));
+        Self::spawn_with_policy(addr, secrets, public, rng_seed, SubmissionPolicy::default())
+    }
+
+    /// Spawn with explicit submission-window limits.
+    pub fn spawn_with_policy<A: ToSocketAddrs>(
+        addr: A,
+        secrets: ServerSecrets,
+        public: ChainPublicKeys,
+        rng_seed: u64,
+        policy: SubmissionPolicy,
+    ) -> std::io::Result<DaemonHandle> {
+        let state = Self::state(secrets, public, rng_seed, policy);
         spawn_daemon(addr, Arc::new(MixService { state }))
+    }
+
+    /// Spawn a *byzantine* daemon: the honest protocol with exactly
+    /// one strategic lie injected (fault harness; see
+    /// [`ByzantineMode`] and `docs/FAULTS.md`).
+    pub fn spawn_byzantine<A: ToSocketAddrs>(
+        addr: A,
+        secrets: ServerSecrets,
+        public: ChainPublicKeys,
+        rng_seed: u64,
+        mode: ByzantineMode,
+    ) -> std::io::Result<DaemonHandle> {
+        let state = Self::state(secrets, public, rng_seed, SubmissionPolicy::default());
+        spawn_daemon(
+            addr,
+            Arc::new(ByzantineService {
+                inner: MixService { state },
+                mode,
+            }),
+        )
     }
 
     /// Spawn with a seed drawn from the OS RNG.

@@ -33,7 +33,12 @@
 //!   loopback, one port per daemon);
 //! * [`swarm`] — a concurrent client fleet with latency/throughput
 //!   reporting, plus [`submit_storm`]: ≥1000 concurrent submitter
-//!   connections against a single daemon.
+//!   connections against a single daemon;
+//! * [`faults`] — the adversarial deployment harness: a seeded,
+//!   frame-aware fault-injecting TCP proxy ([`FaultProxy`]) for chaos
+//!   testing, complementing the byzantine daemon modes of [`daemon`]
+//!   and the dispute-based liar localization in [`coordinator`].  See
+//!   `docs/FAULTS.md`.
 //!
 //! The `xrd-netd` binary wraps the daemons for standalone (multi-
 //! process or multi-machine) operation.
@@ -44,15 +49,19 @@ pub mod codec;
 pub mod conn;
 pub mod coordinator;
 pub mod daemon;
+pub mod faults;
 pub mod reactor;
 pub mod remote;
 pub mod swarm;
 
 pub use codec::{BatchAssembler, ChunkedBatch, CodecError, Frame, StreamDigest, StreamError};
-pub use conn::{Conn, NetError};
-pub use coordinator::{ChainClient, MixPhase, PendingChainRound, Transport};
-pub use daemon::{DaemonHandle, MailboxDaemon, MixServerDaemon};
-pub use remote::{launch_local, LocalCluster, RemoteDeployment};
+pub use conn::{Conn, ConnTimeouts, NetError};
+pub use coordinator::{ChainClient, MixPhase, PendingChainRound, RetryPolicy, Transport};
+pub use daemon::{ByzantineMode, DaemonHandle, MailboxDaemon, MixServerDaemon, SubmissionPolicy};
+pub use faults::{Direction, FaultKind, FaultPlan, FaultProxy, FaultRule};
+pub use remote::{
+    launch_local, launch_local_faulty, launch_local_faulty_with, LocalCluster, RemoteDeployment,
+};
 pub use swarm::{
     run_swarm, submit_storm, StormConfig, StormReport, SwarmConfig, SwarmReport, SwarmRoundStats,
 };

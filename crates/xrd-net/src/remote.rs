@@ -9,7 +9,7 @@ use std::net::SocketAddr;
 
 use rand::RngCore;
 
-use xrd_core::backend::{collect_submissions, open_fetched, CoverStore, RoundBackend};
+use xrd_core::backend::{collect_submissions, open_fetched, CoverStore, RoundBackend, RoundError};
 use xrd_core::deployment::{DeploymentConfig, FetchResults, RoundReport};
 use xrd_core::mailbox::shard_of;
 use xrd_core::user::User;
@@ -20,9 +20,31 @@ use xrd_mixnet::{verify_hops_batched_multi, ChainAudit, ChainRoundOutcome, HopRe
 use xrd_topology::{Beacon, Topology};
 
 use crate::codec::Frame;
-use crate::conn::{Conn, NetError};
-use crate::coordinator::{ChainClient, MixPhase, PendingChainRound};
+use crate::conn::{Conn, ConnTimeouts, NetError};
+use crate::coordinator::{ChainClient, MixPhase, PendingChainRound, RetryPolicy};
 use crate::daemon::{DaemonHandle, MailboxDaemon, MixServerDaemon};
+use crate::faults::{FaultPlan, FaultProxy};
+
+/// A chain's result from a scoped parallel phase: the outer `String`
+/// is a panicked worker thread, the inner `Result` the chain's own
+/// transport outcome.
+type ChainPhase<T> = Result<Result<T, NetError>, String>;
+
+/// Round-progress metric handles, resolved once per process.
+fn round_metrics() -> &'static RoundMetrics {
+    static METRICS: std::sync::OnceLock<RoundMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| RoundMetrics {
+        degraded: xrd_obs::counter("round.degraded"),
+        chain_failures: xrd_obs::counter("round.chain_failures"),
+    })
+}
+
+struct RoundMetrics {
+    /// Rounds that completed without one or more chains.
+    degraded: &'static xrd_obs::Counter,
+    /// Individual chain failures across all rounds.
+    chain_failures: &'static xrd_obs::Counter,
+}
 
 /// A deployment whose chains and mailboxes live behind TCP endpoints.
 pub struct RemoteDeployment {
@@ -43,6 +65,9 @@ pub struct RemoteDeployment {
     submit_workers: usize,
     /// Raw submissions injected for the next round (attack testing).
     injected: Vec<(xrd_topology::ChainId, Submission)>,
+    /// Chains whose key schedule fell out of sync after a failed
+    /// rotation: excluded from every subsequent round.
+    dead: Vec<bool>,
 }
 
 impl RemoteDeployment {
@@ -56,16 +81,46 @@ impl RemoteDeployment {
         chain_keys: Vec<ChainPublicKeys>,
         mailbox_addrs: Vec<SocketAddr>,
     ) -> Result<RemoteDeployment, NetError> {
+        RemoteDeployment::connect_with(
+            topo,
+            chain_addrs,
+            chain_keys,
+            mailbox_addrs,
+            ConnTimeouts::default(),
+            RetryPolicy::default(),
+        )
+    }
+
+    /// [`RemoteDeployment::connect`] with explicit per-connection
+    /// deadlines and retry policy, applied to every coordinator
+    /// connection (chain daemons and mailbox shards alike).  Chaos
+    /// tests and latency-sensitive deployments shrink the deadlines so
+    /// a stalled daemon is detected in milliseconds rather than the
+    /// defaults' minutes.
+    pub fn connect_with(
+        topo: Topology,
+        chain_addrs: Vec<Vec<SocketAddr>>,
+        chain_keys: Vec<ChainPublicKeys>,
+        mailbox_addrs: Vec<SocketAddr>,
+        timeouts: ConnTimeouts,
+        retry: RetryPolicy,
+    ) -> Result<RemoteDeployment, NetError> {
         assert_eq!(chain_addrs.len(), topo.n_chains());
         assert_eq!(chain_keys.len(), topo.n_chains());
+        let n_chains = topo.n_chains();
         let mut chains = Vec::with_capacity(chain_addrs.len());
         for (addrs, keys) in chain_addrs.iter().zip(chain_keys.iter()) {
             assert!(keys.verify(), "chain bundle must verify");
-            chains.push(ChainClient::connect(addrs, keys.clone())?);
+            chains.push(ChainClient::connect_with(
+                addrs,
+                keys.clone(),
+                timeouts,
+                retry,
+            )?);
         }
         let mailbox_conns = mailbox_addrs
             .iter()
-            .map(|&a| Conn::connect(a))
+            .map(|&a| Conn::connect_with(a, timeouts))
             .collect::<Result<Vec<_>, _>>()?;
 
         let mut deployment = RemoteDeployment {
@@ -86,6 +141,7 @@ impl RemoteDeployment {
                 .map(|n| (2 * n.get()).min(16))
                 .unwrap_or(4),
             injected: Vec::new(),
+            dead: vec![false; n_chains],
         };
         // Pre-publish round-1 inner keys (§5.3.3: covers for ρ+1 are
         // sealed while ρ runs).
@@ -163,27 +219,32 @@ impl RemoteDeployment {
         self.injected.push((chain, submission));
     }
 
-    /// Execute one full round over the wire; panics on infrastructure
-    /// failure (see [`RemoteDeployment::try_run_round`] for the fallible
-    /// version).
+    /// Execute one full round over the wire: submission window → k hops
+    /// with cross-server verification (and blame) → inner-key reveal →
+    /// mailbox delivery → fetch → key rotation.
+    ///
+    /// A chain that fails — transport trouble its bounded retries could
+    /// not heal, a convicted server, a coordinator-side panic — is
+    /// *dropped from the round*, recorded in
+    /// [`RoundReport::failed_chains`], and the round completes for the
+    /// surviving chains (`round.degraded` counter).  Only deployment-
+    /// wide trouble is an error: every chain failing at once
+    /// ([`RoundError::AllChainsFailed`]) or the shared mailbox layer
+    /// failing ([`RoundError::Infrastructure`]).
     pub fn run_round<R: RngCore + ?Sized>(
         &mut self,
         rng: &mut R,
         users: &mut [User],
-    ) -> (RoundReport, FetchResults) {
-        self.try_run_round(rng, users)
-            .expect("networked round failed")
-    }
-
-    /// Execute one full round over the wire: submission window → k hops
-    /// with cross-server verification (and blame) → inner-key reveal →
-    /// mailbox delivery → fetch → key rotation.
-    pub fn try_run_round<R: RngCore + ?Sized>(
-        &mut self,
-        rng: &mut R,
-        users: &mut [User],
-    ) -> Result<(RoundReport, FetchResults), NetError> {
+    ) -> Result<(RoundReport, FetchResults), RoundError> {
         let round = self.round;
+        let n_chains = self.chains.len();
+        // Per-chain failure slots for this round: a `Some` drops the
+        // chain from every later phase.
+        let mut failed: Vec<Option<String>> = (0..n_chains)
+            .map(|c| {
+                self.dead[c].then(|| "chain dead since an earlier failed rotation".to_string())
+            })
+            .collect();
 
         // Client side: seal ℓ submissions per user (+ covers for ρ+1).
         let mut per_chain = collect_submissions(
@@ -199,14 +260,19 @@ impl RemoteDeployment {
             per_chain[chain.0 as usize].push(sub);
         }
 
-        // Submission window: open on every chain, submit concurrently,
-        // then close and run input agreement.
+        // Submission window: open on every live chain, submit
+        // concurrently, then close and run input agreement.
         {
             let _span = xrd_obs::span_timer("round.submit_window", round);
-            for chain in &mut self.chains {
-                chain.open_round(round)?;
+            for (c, chain) in self.chains.iter_mut().enumerate() {
+                if failed[c].is_some() {
+                    continue;
+                }
+                if let Err(e) = chain.open_round(round) {
+                    failed[c] = Some(format!("opening the window: {e}"));
+                }
             }
-            self.submit_concurrently(round, &per_chain)?;
+            self.submit_concurrently(round, &per_chain, &mut failed);
         }
 
         // Drive every chain's mix in parallel — each chain is an
@@ -220,35 +286,52 @@ impl RemoteDeployment {
             ..Default::default()
         };
         let mix_span = xrd_obs::span_timer("round.mix", round);
-        let phases: Vec<Result<(usize, MixPhase), NetError>> = std::thread::scope(|scope| {
+        let phases: Vec<(usize, ChainPhase<(usize, MixPhase)>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .chains
                 .iter_mut()
-                .map(|chain| {
-                    scope.spawn(move || {
+                .enumerate()
+                .filter(|(c, _)| failed[*c].is_none())
+                .map(|(c, chain)| {
+                    let handle = scope.spawn(move || {
                         let batch = chain.close_and_agree(round)?;
                         let phase = chain.mix_round_deferred(round, &batch)?;
                         Ok((batch.len(), phase))
-                    })
+                    });
+                    (c, handle)
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("chain coordinator panicked"))
+                .map(|(c, h)| {
+                    // A panicking coordinator thread fails its
+                    // chain, not the process.
+                    (
+                        c,
+                        h.join()
+                            .map_err(|_| "chain coordinator thread panicked".to_string()),
+                    )
+                })
                 .collect()
         });
 
         drop(mix_span);
 
-        // Split final outcomes from audit-pending chains.
+        // Split final outcomes from audit-pending chains; transport
+        // failures and panics drop their chain from the round.
         let mut outcomes: Vec<(usize, ChainRoundOutcome)> = Vec::new();
         let mut pendings: Vec<(usize, PendingChainRound)> = Vec::new();
-        for (c, result) in phases.into_iter().enumerate() {
-            let (mixed, phase) = result?;
-            report.messages_mixed += mixed;
-            match phase {
-                MixPhase::Done(outcome) => outcomes.push((c, outcome)),
-                MixPhase::AwaitingAudit(pending) => pendings.push((c, pending)),
+        for (c, result) in phases {
+            match result {
+                Ok(Ok((mixed, phase))) => {
+                    report.messages_mixed += mixed;
+                    match phase {
+                        MixPhase::Done(outcome) => outcomes.push((c, outcome)),
+                        MixPhase::AwaitingAudit(pending) => pendings.push((c, pending)),
+                    }
+                }
+                Ok(Err(e)) => failed[c] = Some(format!("mix phase: {e}")),
+                Err(msg) => failed[c] = Some(msg),
             }
         }
 
@@ -274,32 +357,44 @@ impl RemoteDeployment {
         // envelope opening are per-chain independent; only the audit
         // itself needed the barrier).
         let reveal_span = xrd_obs::span_timer("round.reveal", round);
-        let concluded: Vec<Result<(usize, ChainRoundOutcome), NetError>> =
-            std::thread::scope(|scope| {
-                let mut slots: Vec<Option<&mut ChainClient>> =
-                    self.chains.iter_mut().map(Some).collect();
-                let handles: Vec<_> = pendings
-                    .into_iter()
-                    .map(|(c, pending)| {
-                        let chain = slots[c].take().expect("one pending per chain");
-                        scope.spawn(move || {
-                            Ok((c, chain.conclude_audited(round, pending, audit_ok)?))
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("chain conclusion panicked"))
-                    .collect()
-            });
+        let concluded: Vec<(usize, ChainPhase<ChainRoundOutcome>)> = std::thread::scope(|scope| {
+            let mut slots: Vec<Option<&mut ChainClient>> =
+                self.chains.iter_mut().map(Some).collect();
+            let handles: Vec<_> = pendings
+                .into_iter()
+                .map(|(c, pending)| {
+                    let chain = slots[c].take().expect("one pending per chain");
+                    let handle =
+                        scope.spawn(move || chain.conclude_audited(round, pending, audit_ok));
+                    (c, handle)
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|(c, h)| {
+                    (
+                        c,
+                        h.join()
+                            .map_err(|_| "chain conclusion thread panicked".to_string()),
+                    )
+                })
+                .collect()
+        });
         drop(reveal_span);
-        for result in concluded {
-            outcomes.push(result?);
+        for (c, result) in concluded {
+            match result {
+                Ok(Ok(outcome)) => outcomes.push((c, outcome)),
+                Ok(Err(e)) => failed[c] = Some(format!("concluding the round: {e}")),
+                Err(msg) => failed[c] = Some(msg),
+            }
         }
 
         let mut delivered: Vec<MailboxMessage> = Vec::new();
         for (c, outcome) in outcomes {
-            if !outcome.misbehaving_servers.is_empty() {
+            // A chain only counts as aborted if server misbehavior
+            // actually cost it the round; a chain that convicted a
+            // lying verifier and still delivered merely shrank.
+            if !outcome.misbehaving_servers.is_empty() && outcome.delivered.is_empty() {
                 report.aborted_chains.push(c as u32);
             }
             if !outcome.malicious_users.is_empty() {
@@ -311,7 +406,42 @@ impl RemoteDeployment {
             delivered.extend(outcome.delivered);
         }
 
-        // Deliver to mailbox shards.
+        // Fold the dispute/blame verdicts every chain accumulated into
+        // the report (chains that later failed still localized liars).
+        for (c, chain) in self.chains.iter_mut().enumerate() {
+            let (convicted, suspected) = chain.take_round_verdicts();
+            if !convicted.is_empty() {
+                report
+                    .convicted_by_chain
+                    .insert(c as u32, convicted.into_iter().map(|p| p as u32).collect());
+            }
+            if !suspected.is_empty() {
+                report
+                    .suspected_by_chain
+                    .insert(c as u32, suspected.into_iter().map(|p| p as u32).collect());
+            }
+        }
+
+        // Record this round's chain failures before touching the
+        // shared mailbox layer; an entirely failed round is an error,
+        // a partially failed one only degrades.
+        for (c, failure) in failed.iter().enumerate() {
+            if let Some(msg) = failure {
+                round_metrics().chain_failures.incr();
+                xrd_obs::error!("round {round}: chain {c} failed: {msg}");
+                report.failed_chains.push(c as u32);
+            }
+        }
+        if !report.failed_chains.is_empty() {
+            round_metrics().degraded.incr();
+            if report.failed_chains.len() == n_chains {
+                return Err(RoundError::AllChainsFailed { round });
+            }
+        }
+
+        // Deliver to mailbox shards.  The mailbox layer is shared by
+        // every chain, so trouble here is deployment infrastructure
+        // failure, not chain degradation.
         let n_shards = self.mailbox_conns.len();
         {
             let _span = xrd_obs::span_timer("round.deliver", round);
@@ -321,7 +451,11 @@ impl RemoteDeployment {
             }
             for (conn, messages) in self.mailbox_conns.iter_mut().zip(per_shard) {
                 if !messages.is_empty() {
-                    conn.request_ok(&Frame::Deliver { round, messages })?;
+                    conn.request_ok(&Frame::Deliver { round, messages })
+                        .map_err(|e| RoundError::Infrastructure {
+                            round,
+                            message: format!("mailbox delivery: {e}"),
+                        })?;
                 }
             }
         }
@@ -351,15 +485,41 @@ impl RemoteDeployment {
         });
         drop(fetch_span);
         if let Some(e) = fetch_error {
-            return Err(e);
+            return Err(RoundError::Infrastructure {
+                round,
+                message: format!("mailbox fetch: {e}"),
+            });
         }
 
         // Advance the key schedule: activate ρ+1, pre-publish ρ+2.
+        // Rotation is attempted even for chains that failed this round
+        // (their daemons may be healthy again); a chain whose rotation
+        // fails is out of sync with its daemons and stays dead.
         self.round += 1;
         for (c, chain) in self.chains.iter_mut().enumerate() {
-            chain.activate_rotation()?;
-            self.current_keys[c] = chain.public().clone();
-            self.next_keys[c] = chain.prepare_rotation(self.round + 1)?;
+            if self.dead[c] {
+                continue;
+            }
+            let rotated = chain
+                .activate_rotation()
+                .and_then(|()| chain.prepare_rotation(self.round + 1));
+            match rotated {
+                Ok(next) => {
+                    self.current_keys[c] = chain.public().clone();
+                    self.next_keys[c] = next;
+                }
+                Err(e) => {
+                    round_metrics().chain_failures.incr();
+                    xrd_obs::error!("round {round}: chain {c} failed to rotate, now dead: {e}");
+                    self.dead[c] = true;
+                    if !report.failed_chains.contains(&(c as u32)) {
+                        report.failed_chains.push(c as u32);
+                    }
+                }
+            }
+        }
+        if self.dead.iter().all(|&d| d) {
+            return Err(RoundError::AllChainsFailed { round });
         }
 
         Ok((report, fetched))
@@ -368,56 +528,92 @@ impl RemoteDeployment {
     /// Submit every sealed submission to every daemon of its chain (the
     /// paper's input-agreement fan-out), spread across
     /// `submit_workers` concurrent client connections.
+    ///
+    /// A chain whose daemons cannot be reached (after one reconnect
+    /// retry per failure) is marked failed in `failed` and its
+    /// remaining submissions skipped; a daemon *rejecting* one
+    /// submission (bad PoK, quota) skips that submission for that
+    /// chain without failing it.
     fn submit_concurrently(
         &self,
         round: u64,
         per_chain: &[Vec<Submission>],
-    ) -> Result<(), NetError> {
+        failed: &mut [Option<String>],
+    ) {
         let tasks: Vec<(usize, &Submission)> = per_chain
             .iter()
             .enumerate()
+            .filter(|(c, _)| failed[*c].is_none())
             .flat_map(|(c, subs)| subs.iter().map(move |s| (c, s)))
             .collect();
         if tasks.is_empty() {
-            return Ok(());
+            return;
         }
         let workers = self.submit_workers.min(tasks.len());
         let chunk = tasks.len().div_ceil(workers);
         let chain_addrs = &self.chain_addrs;
+        // Workers share the failure slate so one chain going down stops
+        // every worker's traffic to it, not just the discoverer's.
+        let shared: std::sync::Mutex<&mut [Option<String>]> = std::sync::Mutex::new(failed);
 
-        let results: Vec<Result<(), NetError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = tasks
-                .chunks(chunk)
-                .map(|chunk_tasks| {
-                    scope.spawn(move || {
-                        // Each worker keeps one connection per daemon it
-                        // talks to (a client device in miniature).
-                        let mut conns: HashMap<SocketAddr, Conn> = HashMap::new();
-                        for &(c, submission) in chunk_tasks {
-                            for &addr in &chain_addrs[c] {
-                                let conn = match conns.entry(addr) {
-                                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                                    std::collections::hash_map::Entry::Vacant(e) => {
-                                        e.insert(Conn::connect(addr)?)
-                                    }
-                                };
-                                conn.request_ok(&Frame::Submit {
-                                    round,
-                                    submission: submission.clone(),
-                                })?;
+        std::thread::scope(|scope| {
+            for chunk_tasks in tasks.chunks(chunk) {
+                let shared = &shared;
+                scope.spawn(move || {
+                    // Each worker keeps one connection per daemon it
+                    // talks to (a client device in miniature).
+                    let mut conns: HashMap<SocketAddr, Conn> = HashMap::new();
+                    'tasks: for &(c, submission) in chunk_tasks {
+                        if shared.lock().expect("failure slate poisoned")[c].is_some() {
+                            continue;
+                        }
+                        for &addr in &chain_addrs[c] {
+                            let frame = Frame::Submit {
+                                round,
+                                submission: submission.clone(),
+                            };
+                            let mut result = submit_once(&mut conns, addr, &frame);
+                            if matches!(&result, Err(e) if e.retryable()) {
+                                conns.remove(&addr);
+                                result = submit_once(&mut conns, addr, &frame);
+                            }
+                            match result {
+                                Ok(()) => {}
+                                Err(NetError::Remote { code, message }) => {
+                                    // The daemon rejected this one
+                                    // submission; the window stays up.
+                                    xrd_obs::debug!(
+                                        "round {round}: chain {c} daemon rejected a \
+                                         submission ({code}: {message})"
+                                    );
+                                    continue 'tasks;
+                                }
+                                Err(e) => {
+                                    shared.lock().expect("failure slate poisoned")[c]
+                                        .get_or_insert(format!("submission window: {e}"));
+                                    continue 'tasks;
+                                }
                             }
                         }
-                        Ok(())
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("submitter panicked"))
-                .collect()
+                    }
+                });
+            }
         });
-        results.into_iter().collect()
     }
+}
+
+/// One submission to one daemon over the worker's cached connection
+/// (dialing it first if needed).
+fn submit_once(
+    conns: &mut HashMap<SocketAddr, Conn>,
+    addr: SocketAddr,
+    frame: &Frame,
+) -> Result<(), NetError> {
+    let conn = match conns.entry(addr) {
+        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+        std::collections::hash_map::Entry::Vacant(e) => e.insert(Conn::connect(addr)?),
+    };
+    conn.request_ok(frame)
 }
 
 impl RoundBackend for RemoteDeployment {
@@ -437,7 +633,7 @@ impl RoundBackend for RemoteDeployment {
         &mut self,
         rng: &mut dyn RngCore,
         users: &mut [User],
-    ) -> (RoundReport, FetchResults) {
+    ) -> Result<(RoundReport, FetchResults), RoundError> {
         RemoteDeployment::run_round(self, rng, users)
     }
 }
@@ -481,6 +677,88 @@ pub fn launch_local<R: RngCore + ?Sized>(
     rng: &mut R,
     config: &DeploymentConfig,
 ) -> std::io::Result<(LocalCluster, RemoteDeployment)> {
+    let spawned = spawn_cluster(rng, config)?;
+    let deployment = RemoteDeployment::connect(
+        spawned.topo,
+        spawned.chain_addrs,
+        spawned.chain_keys,
+        spawned.mailbox_addrs,
+    )
+    .map_err(|e| std::io::Error::other(format!("connect failed: {e}")))?;
+    Ok((spawned.cluster, deployment))
+}
+
+/// Like [`launch_local`], but every mix daemon sits behind its own
+/// [`FaultProxy`] running a copy of `plan` (seeds offset per proxy so
+/// corrupt-byte choices differ), and the deployment dials the proxies.
+/// All coordinator and submission traffic crosses the fault layer;
+/// mailbox shards are left unproxied so delivered-mail assertions
+/// measure the mix path, not the fetch path.
+///
+/// Dropping the returned proxies severs the deployment from its
+/// daemons — keep them alive alongside the cluster.
+pub fn launch_local_faulty<R: RngCore + ?Sized>(
+    rng: &mut R,
+    config: &DeploymentConfig,
+    plan: &FaultPlan,
+) -> std::io::Result<(LocalCluster, Vec<FaultProxy>, RemoteDeployment)> {
+    launch_local_faulty_with(
+        rng,
+        config,
+        plan,
+        ConnTimeouts::default(),
+        RetryPolicy::default(),
+    )
+}
+
+/// [`launch_local_faulty`] with explicit coordinator deadlines and
+/// retry policy — chaos tests shrink both so injected stalls and drops
+/// are detected in milliseconds.
+pub fn launch_local_faulty_with<R: RngCore + ?Sized>(
+    rng: &mut R,
+    config: &DeploymentConfig,
+    plan: &FaultPlan,
+    timeouts: ConnTimeouts,
+    retry: RetryPolicy,
+) -> std::io::Result<(LocalCluster, Vec<FaultProxy>, RemoteDeployment)> {
+    let mut spawned = spawn_cluster(rng, config)?;
+    let mut proxies: Vec<FaultProxy> = Vec::new();
+    for chain in &mut spawned.chain_addrs {
+        for addr in chain.iter_mut() {
+            let mut plan = plan.clone();
+            plan.seed = plan.seed.wrapping_add(proxies.len() as u64);
+            let proxy = FaultProxy::spawn("127.0.0.1:0", *addr, plan)?;
+            *addr = proxy.addr();
+            proxies.push(proxy);
+        }
+    }
+    let deployment = RemoteDeployment::connect_with(
+        spawned.topo,
+        spawned.chain_addrs,
+        spawned.chain_keys,
+        spawned.mailbox_addrs,
+        timeouts,
+        retry,
+    )
+    .map_err(|e| std::io::Error::other(format!("connect failed: {e}")))?;
+    Ok((spawned.cluster, proxies, deployment))
+}
+
+/// The daemons of a loopback deployment before anything connects to
+/// them: handles plus the addresses/keys a [`RemoteDeployment`] (or a
+/// fault-proxy layer) needs.
+struct SpawnedCluster {
+    topo: Topology,
+    cluster: LocalCluster,
+    chain_addrs: Vec<Vec<SocketAddr>>,
+    chain_keys: Vec<ChainPublicKeys>,
+    mailbox_addrs: Vec<SocketAddr>,
+}
+
+fn spawn_cluster<R: RngCore + ?Sized>(
+    rng: &mut R,
+    config: &DeploymentConfig,
+) -> std::io::Result<SpawnedCluster> {
     let beacon = Beacon::from_u64(config.seed);
     let k = config
         .chain_len
@@ -521,8 +799,11 @@ pub fn launch_local<R: RngCore + ?Sized>(
         mailboxes.push(daemon);
     }
 
-    let cluster = LocalCluster { mix, mailboxes };
-    let deployment = RemoteDeployment::connect(topo, chain_addrs, chain_keys, mailbox_addrs)
-        .map_err(|e| std::io::Error::other(format!("connect failed: {e}")))?;
-    Ok((cluster, deployment))
+    Ok(SpawnedCluster {
+        topo,
+        cluster: LocalCluster { mix, mailboxes },
+        chain_addrs,
+        chain_keys,
+        mailbox_addrs,
+    })
 }

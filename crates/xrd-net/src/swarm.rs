@@ -106,6 +106,9 @@ impl SwarmReport {
 
 /// Drive a swarm of users through `config.rounds` rounds of the
 /// networked deployment, verifying chat delivery along the way.
+/// Returns an error if the deployment loses a whole round
+/// ([`xrd_core::RoundError`]); single-chain degradation only shows up
+/// in the per-round numbers.
 ///
 /// Panics if a conversing user fails to receive a queued chat — the
 /// swarm doubles as an end-to-end correctness check under load.
@@ -113,7 +116,7 @@ pub fn run_swarm<R: RngCore + ?Sized>(
     rng: &mut R,
     deployment: &mut RemoteDeployment,
     config: &SwarmConfig,
-) -> SwarmReport {
+) -> Result<SwarmReport, xrd_core::RoundError> {
     deployment.set_submit_workers(config.submit_workers);
 
     let mut users: Vec<User> = (0..config.n_users).map(|_| User::new(rng)).collect();
@@ -135,7 +138,7 @@ pub fn run_swarm<R: RngCore + ?Sized>(
         }
 
         let start = Instant::now();
-        let (report, fetched) = deployment.run_round(rng, &mut users);
+        let (report, fetched) = deployment.run_round(rng, &mut users)?;
         let latency = start.elapsed();
 
         // Verify: every paired user received their partner's tagged
@@ -169,12 +172,12 @@ pub fn run_swarm<R: RngCore + ?Sized>(
         });
     }
 
-    SwarmReport {
+    Ok(SwarmReport {
         rounds,
         bytes_on_wire: deployment.bytes_on_wire(),
         n_users: config.n_users,
         stats: xrd_obs::global().snapshot(),
-    }
+    })
 }
 
 // ---------------------------------------------------------------------

@@ -157,7 +157,7 @@ fn obs_snapshot(rng: &mut StdRng) -> xrd_obs::Snapshot {
 }
 
 /// Number of distinct frame constructors below (keep in sync).
-const N_VARIANTS: usize = 34;
+const N_VARIANTS: usize = 37;
 
 /// A random well-formed frame of the chosen variant.
 fn arb_frame(rng: &mut StdRng, variant: usize) -> Frame {
@@ -297,6 +297,27 @@ fn arb_frame(rng: &mut StdRng, variant: usize) -> Frame {
         32 => Frame::StatsRequest,
         33 => Frame::StatsReport {
             snapshot: Box::new(obs_snapshot(rng)),
+        },
+        34 => Frame::DisputeOpen {
+            round: rng.next_u64(),
+            accused: rng.gen_range(0..64u32),
+            input_dhs: (0..rng.gen_range(0..6)).map(|_| g(rng)).collect(),
+            output_dhs: (0..rng.gen_range(0..6)).map(|_| g(rng)).collect(),
+            proof: dleq(rng),
+        },
+        35 => Frame::DisputeEvidence {
+            round: rng.next_u64(),
+            position: rng.gen_range(0..64u32),
+            accused: rng.gen_range(0..64u32),
+            upheld: rng.gen_bool(0.5),
+            sig: schnorr(rng),
+        },
+        36 => Frame::DisputeVerdict {
+            round: rng.next_u64(),
+            accused: rng.gen_range(0..64u32),
+            claim: rng.gen_range(0..3u8),
+            upheld: rng.gen_bool(0.5),
+            votes: rng.gen_range(0..64u32),
         },
         _ => match variant % 3 {
             0 => Frame::Deliver {

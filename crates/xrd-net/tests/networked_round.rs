@@ -39,7 +39,9 @@ fn full_round_64_users_over_tcp() {
         users[i + 1].queue_chat(format!("hello {} from {}", i, i + 1).into_bytes());
     }
 
-    let (report, fetched) = deployment.run_round(&mut rng, &mut users);
+    let (report, fetched) = deployment
+        .run_round(&mut rng, &mut users)
+        .expect("round failed");
 
     // Uniformity: everyone's traffic is ℓ in, ℓ out.
     assert_eq!(report.messages_mixed, n_users * ell);
@@ -94,7 +96,9 @@ fn multi_round_conversation_over_tcp() {
     users[0].queue_chat(b"three".to_vec());
 
     for (round, expect) in [b"one".as_slice(), b"two", b"three"].iter().enumerate() {
-        let (report, fetched) = deployment.run_round(&mut rng, &mut users);
+        let (report, fetched) = deployment
+            .run_round(&mut rng, &mut users)
+            .expect("round failed");
         assert_eq!(report.round, round as u64);
         for user in &users {
             assert_eq!(fetched[&user.mailbox_id()].len(), ell, "round {round}");
@@ -127,10 +131,14 @@ fn offline_cover_replay_over_tcp() {
     users[0].start_conversation(b);
     users[1].start_conversation(a);
 
-    let (_, _) = deployment.run_round(&mut rng, &mut users);
+    let (_, _) = deployment
+        .run_round(&mut rng, &mut users)
+        .expect("round failed");
     users[0].online = false;
 
-    let (report, fetched) = deployment.run_round(&mut rng, &mut users);
+    let (report, fetched) = deployment
+        .run_round(&mut rng, &mut users)
+        .expect("round failed");
     assert_eq!(report.messages_mixed, 6 * ell, "covers replayed for user 0");
     let bob_got = &fetched[&users[1].mailbox_id()];
     assert_eq!(bob_got.len(), ell);
@@ -163,7 +171,9 @@ fn wire_blame_removes_malicious_submission() {
     );
     deployment.inject_submission(ChainId(0), bad);
 
-    let (report, fetched) = deployment.run_round(&mut rng, &mut users);
+    let (report, fetched) = deployment
+        .run_round(&mut rng, &mut users)
+        .expect("round failed");
     assert!(report.aborted_chains.is_empty(), "no server is at fault");
     assert_eq!(
         report.malicious_by_chain.get(&0),
@@ -177,7 +187,9 @@ fn wire_blame_removes_malicious_submission() {
     }
 
     // The next round is unaffected.
-    let (report2, _) = deployment.run_round(&mut rng, &mut users);
+    let (report2, _) = deployment
+        .run_round(&mut rng, &mut users)
+        .expect("round failed");
     assert!(report2.malicious_by_chain.is_empty());
 
     cluster.shutdown();

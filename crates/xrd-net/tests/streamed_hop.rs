@@ -120,7 +120,8 @@ fn streamed_chain_rounds_deliver() {
             conversing_fraction: 0.5,
             submit_workers: 4,
         },
-    );
+    )
+    .expect("streamed swarm round failed");
     assert_eq!(report.rounds.len(), 2);
     for round in &report.rounds {
         assert!(
@@ -153,7 +154,9 @@ fn streamed_blame_removes_malicious_submission() {
     );
     deployment.inject_submission(ChainId(0), bad);
 
-    let (report, fetched) = deployment.run_round(&mut rng, &mut users);
+    let (report, fetched) = deployment
+        .run_round(&mut rng, &mut users)
+        .expect("round failed");
     assert!(report.aborted_chains.is_empty(), "no server is at fault");
     assert_eq!(
         report.malicious_by_chain.get(&0),

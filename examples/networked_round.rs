@@ -122,7 +122,8 @@ fn main() {
             conversing_fraction: 0.5,
             submit_workers: 8,
         },
-    );
+    )
+    .expect("loopback swarm round failed");
 
     println!();
     println!("round   latency      mixed  delivered  chats      msg/s");

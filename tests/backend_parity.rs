@@ -22,7 +22,7 @@ fn round_protocol_suite(backend: &mut dyn RoundBackend, rng: &mut StdRng) {
     let mut users: Vec<User> = (0..6).map(|_| User::new(rng)).collect();
 
     // 1. Idle round.
-    let (report, fetched) = backend.run_round(rng, &mut users);
+    let (report, fetched) = backend.run_round(rng, &mut users).expect("round failed");
     assert_eq!(report.messages_mixed, 6 * ell);
     assert_eq!(report.delivered, 6 * ell);
     for user in &users {
@@ -39,7 +39,7 @@ fn round_protocol_suite(backend: &mut dyn RoundBackend, rng: &mut StdRng) {
     users[0].queue_chat(b"second".to_vec());
     users[1].queue_chat(b"reply".to_vec());
 
-    let (_, fetched) = backend.run_round(rng, &mut users);
+    let (_, fetched) = backend.run_round(rng, &mut users).expect("round failed");
     for user in &users {
         assert_eq!(fetched[&user.mailbox_id()].len(), ell, "uniformity");
     }
@@ -53,7 +53,7 @@ fn round_protocol_suite(backend: &mut dyn RoundBackend, rng: &mut StdRng) {
     }));
 
     // 3. Second queued chat arrives next round.
-    let (_, fetched) = backend.run_round(rng, &mut users);
+    let (_, fetched) = backend.run_round(rng, &mut users).expect("round failed");
     assert!(fetched[&users[1].mailbox_id()].contains(&Received::Chat {
         from: users[0].mailbox_id(),
         data: b"second".to_vec(),
@@ -62,7 +62,7 @@ fn round_protocol_suite(backend: &mut dyn RoundBackend, rng: &mut StdRng) {
     // 4. Churn: user 0 vanishes; her covers are replayed, user 1 is
     // notified and ends the conversation.
     users[0].online = false;
-    let (report, fetched) = backend.run_round(rng, &mut users);
+    let (report, fetched) = backend.run_round(rng, &mut users).expect("round failed");
     assert_eq!(report.messages_mixed, 6 * ell, "covers stand in");
     let partner_view = &fetched[&users[1].mailbox_id()];
     assert_eq!(partner_view.len(), ell);
@@ -125,8 +125,11 @@ fn backends_agree_on_round_state() {
             assert_eq!(keys.inner_epoch, round, "wire keys rotate per round");
             assert!(keys.verify());
         }
-        let (ra, _) = local.run_round(&mut rng_a, &mut users_a);
-        let (rb, _) = remote.run_round(&mut rng_b, &mut users_b);
+        let (ra, _) = RoundBackend::run_round(&mut local, &mut rng_a, &mut users_a)
+            .expect("local round failed");
+        let (rb, _) = remote
+            .run_round(&mut rng_b, &mut users_b)
+            .expect("remote round failed");
         assert_eq!(ra.messages_mixed, rb.messages_mixed);
         assert_eq!(ra.delivered, rb.delivered);
     }
