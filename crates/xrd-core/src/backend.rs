@@ -23,6 +23,7 @@ use xrd_mixnet::ChainPublicKeys;
 use xrd_topology::{ChainId, Topology};
 
 use crate::deployment::{FetchResults, RoundReport};
+use crate::mailbox::MailboxError;
 use crate::user::{Received, User};
 
 /// Stored §5.3.3 cover submissions, keyed by mailbox id: what the
@@ -40,12 +41,22 @@ pub type CoverStore = HashMap<[u8; 32], Vec<(ChainId, Submission)>>;
 /// every chain failed before delivery.
 #[derive(Debug)]
 pub enum RoundError {
-    /// Shared infrastructure (mailbox shards, fetch path) failed.
+    /// Shared infrastructure (mailbox shards, fetch path) failed at the
+    /// transport layer.
     Infrastructure {
         /// The round that failed.
         round: u64,
         /// What broke, in human terms.
         message: String,
+    },
+    /// The mailbox tier itself refused or failed an operation (typed:
+    /// an overfull shard, a storage failure, a client cursor bug) —
+    /// see [`MailboxError`].
+    Mailbox {
+        /// The round that failed.
+        round: u64,
+        /// The store's typed error.
+        error: MailboxError,
     },
     /// Every chain in the deployment failed this round; nothing was
     /// mixed or delivered.
@@ -61,6 +72,9 @@ impl std::fmt::Display for RoundError {
             RoundError::Infrastructure { round, message } => {
                 write!(f, "round {round} infrastructure failure: {message}")
             }
+            RoundError::Mailbox { round, error } => {
+                write!(f, "round {round} mailbox failure: {error}")
+            }
             RoundError::AllChainsFailed { round } => {
                 write!(f, "round {round}: every chain failed")
             }
@@ -68,7 +82,14 @@ impl std::fmt::Display for RoundError {
     }
 }
 
-impl std::error::Error for RoundError {}
+impl std::error::Error for RoundError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RoundError::Mailbox { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
 
 /// Anything that can run XRD rounds for a set of users.
 pub trait RoundBackend {
@@ -132,20 +153,29 @@ pub fn collect_submissions<R: RngCore + ?Sized>(
 /// sealed blobs `fetch` returns for her mailbox, conversation
 /// bookkeeping advances, and partners who signalled offline are dropped
 /// (§5.3.3).  `fetch` is the only backend-specific part — a local
-/// mailbox drain or a TCP exchange with a mailbox daemon.
+/// mailbox drain or a paginated exchange with a mailbox daemon — and is
+/// fallible: the first error aborts the fetch phase for the round.
+///
+/// Each fetched entry carries the **round it was delivered in**
+/// (mailbox sealing nonces are round-scoped): a user reconnecting
+/// after missing rounds opens each accumulated entry with its own
+/// delivery round, not the current one.
 pub fn open_fetched(
     topo: &Topology,
-    round: u64,
+    _round: u64,
     users: &mut [User],
-    mut fetch: impl FnMut(&[u8; 32]) -> Vec<Vec<u8>>,
-) -> FetchResults {
+    mut fetch: impl FnMut(&[u8; 32]) -> Result<Vec<(u64, Vec<u8>)>, RoundError>,
+) -> Result<FetchResults, RoundError> {
     let mut fetched: FetchResults = HashMap::new();
     for user in users.iter_mut() {
         if !user.online {
             continue;
         }
-        let sealed = fetch(&user.mailbox_id());
-        let received = user.open_mailbox(topo, round, &sealed);
+        let sealed = fetch(&user.mailbox_id())?;
+        let mut received = Vec::with_capacity(sealed.len());
+        for (delivery_round, blob) in &sealed {
+            received.extend(user.open_mailbox(topo, *delivery_round, std::slice::from_ref(blob)));
+        }
         // Conversation bookkeeping: consume the queued chats that went
         // out this round.
         if !user.partners().is_empty() {
@@ -165,5 +195,5 @@ pub fn open_fetched(
         }
         fetched.insert(user.mailbox_id(), received);
     }
-    fetched
+    Ok(fetched)
 }

@@ -15,9 +15,14 @@ use xrd_mixnet::client::Submission;
 use xrd_mixnet::{ChainPublicKeys, ChainRunner};
 use xrd_topology::{Beacon, ChainId, Topology};
 
-use crate::backend::{collect_submissions, open_fetched, CoverStore, RoundBackend};
-use crate::mailbox::MailboxHub;
+use crate::backend::{collect_submissions, open_fetched, CoverStore, RoundBackend, RoundError};
+use crate::mailbox::{drain, MailboxHub, MailboxStore};
 use crate::user::{Received, User};
+
+/// Page size the in-process deployment walks mailboxes with.  Small
+/// enough that multi-page walks are exercised by ordinary tests
+/// (ℓ ≥ 3 messages per user per round), large enough to be cheap.
+const FETCH_PAGE: usize = 64;
 
 /// Deployment parameters.
 #[derive(Clone, Debug)]
@@ -169,12 +174,21 @@ impl Deployment {
     /// covers are used if they're offline), chains mix, mailboxes are
     /// filled, online users fetch.  Returns the report plus each online
     /// user's decrypted mailbox contents.
+    ///
+    /// The default in-process mailbox tier is unbounded and in memory,
+    /// so its store operations cannot fail and this convenience wrapper
+    /// keeps the infallible signature.  A deployment given a capacity
+    /// cap ([`Deployment::set_mailbox_capacity`]) must run rounds
+    /// through [`RoundBackend::run_round`], which surfaces mailbox
+    /// trouble as a typed [`RoundError`] instead; this wrapper panics
+    /// on it.
     pub fn run_round<R: RngCore + ?Sized>(
         &mut self,
         rng: &mut R,
         users: &mut [User],
     ) -> (RoundReport, FetchResults) {
         self.run_round_inner(rng, users, false)
+            .expect("unbounded in-process mailbox tier cannot fail")
     }
 
     /// Like [`Deployment::run_round`] but mixes chains on OS threads —
@@ -187,6 +201,7 @@ impl Deployment {
         users: &mut [User],
     ) -> (RoundReport, FetchResults) {
         self.run_round_inner(rng, users, true)
+            .expect("unbounded in-process mailbox tier cannot fail")
     }
 
     fn run_round_inner<R: RngCore + ?Sized>(
@@ -194,7 +209,7 @@ impl Deployment {
         rng: &mut R,
         users: &mut [User],
         parallel: bool,
-    ) -> (RoundReport, FetchResults) {
+    ) -> Result<(RoundReport, FetchResults), RoundError> {
         let round = self.round;
 
         // Collect submissions: online users build fresh messages for ρ
@@ -259,13 +274,19 @@ impl Deployment {
             }
             for msg in outcome.delivered {
                 report.delivered += 1;
-                self.mailboxes.put(msg);
+                self.mailboxes
+                    .put(round, msg)
+                    .map_err(|error| RoundError::Mailbox { round, error })?;
             }
         }
 
-        // Online users fetch and decrypt.
+        // Online users fetch and decrypt — the same paginated,
+        // ack-driven walk the networked backend runs over the wire.
         let mailboxes = &mut self.mailboxes;
-        let fetched = open_fetched(&self.topo, round, users, |mailbox| mailboxes.fetch(mailbox));
+        let fetched = open_fetched(&self.topo, round, users, |mailbox| {
+            drain(mailboxes, mailbox, FETCH_PAGE)
+                .map_err(|error| RoundError::Mailbox { round, error })
+        })?;
 
         // Advance the key schedule: activate ρ+1, pre-publish ρ+2.
         self.round += 1;
@@ -274,12 +295,22 @@ impl Deployment {
             self.current_keys[c] = chain.public().clone();
             self.next_keys[c] = chain.prepare_inner_rotation(rng, self.round + 1);
         }
-        (report, fetched)
+        Ok((report, fetched))
     }
 
     /// Direct mailbox inspection (tests).
     pub fn mailboxes(&self) -> &MailboxHub {
         &self.mailboxes
+    }
+
+    /// Cap the un-acked messages each in-process mailbox shard will
+    /// hold; a round whose delivery would exceed it fails with
+    /// [`RoundError::Mailbox`] through [`RoundBackend::run_round`]
+    /// (tests of the fallible path).
+    #[doc(hidden)]
+    pub fn set_mailbox_capacity(&mut self, cap: usize) {
+        let n = self.mailboxes.n_shards();
+        self.mailboxes = MailboxHub::with_capacity(n, cap);
     }
 }
 

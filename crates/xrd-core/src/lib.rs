@@ -7,7 +7,10 @@
 //!
 //! * [`user::User`] — chain selection, loopback/conversation/cover
 //!   messages (§5.3), mailbox decryption;
-//! * [`mailbox::MailboxHub`] — sharded mailbox servers (§5.1);
+//! * [`mailbox::MailboxStore`] — the sharded mailbox tier (§5.1): a
+//!   paginated, ack-driven store API with an in-memory backend
+//!   ([`mailbox::MailboxHub`]) and a crash-recoverable log-structured
+//!   one ([`mailbox::LogMailboxStore`]);
 //! * [`deployment::Deployment`] — a faithful in-process deployment that
 //!   runs real rounds end to end (used by tests, examples, and scaled
 //!   experiments);
@@ -33,6 +36,8 @@ pub mod user;
 
 pub use backend::{RoundBackend, RoundError};
 pub use deployment::{Deployment, DeploymentConfig, FetchResults, RoundReport};
-pub use mailbox::MailboxHub;
+pub use mailbox::{
+    drain, LogMailboxStore, LogStoreConfig, MailboxError, MailboxHub, MailboxStore, Page, PageEntry,
+};
 pub use payload::{Payload, MAX_CHAT_LEN};
 pub use user::{Received, User};

@@ -24,6 +24,12 @@
 //!   mix daemon with N concurrent submitter connections (default
 //!   1000) and print connect/submit/hop wall clock — the
 //!   connection-scalability probe for the event-driven reactor;
+//! * `mailbox-storm [--shards S] [--mailboxes M] [--per-box P]
+//!   [--offline F] [--page-max N] [--dir DIR] [--seed X]` — drive the
+//!   mailbox tier at paper scale (default 100 000 mailboxes across 4
+//!   shards): serial vs shard-parallel deliver/paginated-fetch, with an
+//!   offline fraction draining a two-round backlog — fails on any lost
+//!   or duplicated entry;
 //! * `stats ADDR` — scrape any running daemon's metrics over the wire
 //!   (a `StatsRequest` frame) and print the human-readable dump: frame
 //!   counters, hop-phase latency histograms, round span timeline.
@@ -42,8 +48,9 @@ use rand::{RngCore, SeedableRng};
 use xrd_core::DeploymentConfig;
 use xrd_net::codec::{decode_server_config, encode_server_config};
 use xrd_net::{
-    launch_local, launch_local_faulty, run_swarm, submit_storm, ByzantineMode, FaultPlan,
-    FaultProxy, MailboxDaemon, MixServerDaemon, StormConfig, SwarmConfig,
+    launch_local, launch_local_faulty, mailbox_storm, run_swarm, submit_storm, ByzantineMode,
+    FaultPlan, FaultProxy, MailboxDaemon, MailboxStormConfig, MixServerDaemon, StormConfig,
+    SwarmConfig,
 };
 
 fn usage() -> ExitCode {
@@ -53,7 +60,9 @@ fn usage() -> ExitCode {
          xrd-netd byzantine --config FILE --mode lie-verify|equivocate-digest|corrupt-hop \
          [--listen ADDR]\n  \
          xrd-netd proxy --upstream ADDR [--listen ADDR] [--plan FILE]\n  \
-         xrd-netd mailbox --shard S --shards N [--listen ADDR]\n  \
+         xrd-netd mailbox --shard S --shards N [--listen ADDR] [--dir DIR]\n  \
+         xrd-netd mailbox-storm [--shards S] [--mailboxes M] [--per-box P] [--offline F] \
+         [--page-max N] [--dir DIR] [--seed X]\n  \
          xrd-netd demo [--servers N] [--chain-len K] [--shards S] [--users U] [--rounds R] \
          [--faults FILE]\n  \
          xrd-netd stress [--conns N] [--workers W] [--chain-len K]\n  \
@@ -81,6 +90,7 @@ fn main() -> ExitCode {
         "byzantine" => byzantine(rest),
         "proxy" => proxy(rest),
         "mailbox" => mailbox(rest),
+        "mailbox-storm" => mailbox_storm_cmd(rest),
         "demo" => demo(rest),
         "stress" => stress(rest),
         "stats" => stats(rest),
@@ -340,7 +350,17 @@ fn mailbox(args: &[String]) -> ExitCode {
         return usage();
     };
     let listen = flag(args, "--listen").unwrap_or_else(|| "127.0.0.1:0".into());
-    let daemon = match MailboxDaemon::spawn(listen.as_str(), shard, shards) {
+    let daemon = match flag(args, "--dir") {
+        Some(dir) => MailboxDaemon::spawn_persistent(
+            listen.as_str(),
+            shard,
+            shards,
+            std::path::PathBuf::from(dir),
+            xrd_core::mailbox::LogStoreConfig::default(),
+        ),
+        None => MailboxDaemon::spawn(listen.as_str(), shard, shards),
+    };
+    let daemon = match daemon {
         Ok(d) => d,
         Err(e) => {
             xrd_obs::error!("mailbox: cannot listen on {listen}: {e}");
@@ -349,6 +369,77 @@ fn mailbox(args: &[String]) -> ExitCode {
     };
     announce(daemon.addr());
     park(daemon)
+}
+
+fn mailbox_storm_cmd(args: &[String]) -> ExitCode {
+    let config = MailboxStormConfig {
+        shards: flag(args, "--shards")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(4),
+        mailboxes: flag(args, "--mailboxes")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100_000),
+        per_box: flag(args, "--per-box")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1),
+        offline_fraction: flag(args, "--offline")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.1),
+        page_max: flag(args, "--page-max")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256),
+        persist_dir: flag(args, "--dir").map(std::path::PathBuf::from),
+        seed: flag(args, "--seed")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(7),
+    };
+    let mut rng = StdRng::seed_from_u64(rand::rngs::OsRng.next_u64());
+    println!(
+        "mailbox-storm: {} mailboxes × {} msg/round across {} shard{} \
+         ({:.0}% offline round 0{})",
+        config.mailboxes,
+        config.per_box,
+        config.shards,
+        if config.shards == 1 { "" } else { "s" },
+        config.offline_fraction * 100.0,
+        if config.persist_dir.is_some() {
+            ", persistent store"
+        } else {
+            ""
+        },
+    );
+    let report = match mailbox_storm(&mut rng, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            xrd_obs::error!("mailbox-storm: failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if report.lost != 0 || report.duplicated != 0 {
+        xrd_obs::error!(
+            "mailbox-storm: accounting broken — {} lost, {} duplicated",
+            report.lost,
+            report.duplicated
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "deliver: serial {:.1?} | parallel {:.1?} ({:.2}x)",
+        report.deliver_serial,
+        report.deliver_parallel,
+        report.deliver_speedup(),
+    );
+    println!(
+        "fetch:   serial {:.1?} ({} entries) | parallel {:.1?} ({} entries, churn backlog \
+         included) — {:.2}x per entry",
+        report.fetch_serial,
+        report.fetched_serial,
+        report.fetch_parallel,
+        report.fetched_parallel,
+        report.fetch_speedup(),
+    );
+    println!("loss 0 | duplication 0");
+    ExitCode::SUCCESS
 }
 
 fn announce(addr: std::net::SocketAddr) {

@@ -136,8 +136,12 @@ const TAG_DISPUTE_OPEN: u8 = 0x44;
 const TAG_DISPUTE_EVIDENCE: u8 = 0x45;
 const TAG_DISPUTE_VERDICT: u8 = 0x46;
 const TAG_DELIVER: u8 = 0x50;
-const TAG_FETCH: u8 = 0x51;
-const TAG_MAILBOX_CONTENTS: u8 = 0x52;
+// 0x51 (Fetch) and 0x52 (MailboxContents) carried the old
+// drain-everything fetch API and are retired; the tags stay reserved
+// so a stale peer gets a clean UnknownTag instead of a misparse.
+const TAG_FETCH_PAGE: u8 = 0x53;
+const TAG_MAILBOX_PAGE: u8 = 0x54;
+const TAG_FETCH_ACK: u8 = 0x55;
 
 /// Error codes carried by [`Frame::Error`].
 pub mod error_code {
@@ -155,6 +159,14 @@ pub mod error_code {
     pub const UNSUPPORTED: u16 = 6;
     /// The client exceeded a submission quota or rate limit.
     pub const QUOTA_EXCEEDED: u16 = 7;
+    /// The fetched/acked mailbox has never been delivered to on this
+    /// shard (distinct from a known mailbox that is merely empty, which
+    /// answers with an empty [`Frame::MailboxPage`](super::Frame::MailboxPage)).
+    pub const UNKNOWN_MAILBOX: u16 = 8;
+    /// The mailbox shard refused a delivery because it is at capacity.
+    pub const MAILBOX_FULL: u16 = 9;
+    /// The mailbox shard's persistent store failed an operation.
+    pub const STORAGE: u16 = 10;
 }
 
 /// Claim codes carried by [`Frame::DisputeVerdict`]: what the accused
@@ -472,21 +484,51 @@ pub enum Frame {
     /// Deliver opened messages to a mailbox shard (answered with
     /// [`Frame::Ok`]).
     Deliver {
-        /// Round number (for logging/auditing).
+        /// Round number: the round these messages were mixed in, which
+        /// recipients need to derive the unsealing nonce.
         round: u64,
+        /// Sender-chosen batch id, unique per (round, sender, chunk).
+        /// The shard remembers recent ids and answers a retried
+        /// duplicate with [`Frame::Ok`] without re-storing, so a lost
+        /// reply cannot double-deliver.
+        batch: u64,
         /// The opened mailbox messages.
         messages: Vec<MailboxMessage>,
     },
-    /// Drain one mailbox (client → mailbox; answered with
-    /// [`Frame::MailboxContents`]).
-    Fetch {
-        /// Mailbox id to drain.
+    /// Read one page of a mailbox, non-destructively (client → mailbox;
+    /// answered with [`Frame::MailboxPage`]).  Fetching never removes
+    /// messages: the client retires what it has safely read with an
+    /// explicit [`Frame::FetchAck`], giving at-least-once delivery
+    /// across client crashes and lost replies.
+    FetchPage {
+        /// Mailbox id to read.
         mailbox: [u8; 32],
+        /// Resume token: 0 for the oldest un-acked entry, else the
+        /// `next_cursor` of the previous page.
+        cursor: u64,
+        /// Maximum entries the shard may return in this page.
+        max: u32,
     },
-    /// Everything a mailbox held.
-    MailboxContents {
-        /// Sealed payloads, in delivery order.
-        sealed: Vec<Vec<u8>>,
+    /// One page of a mailbox's un-acked entries, oldest first.
+    MailboxPage {
+        /// `(delivery_round, sealed)` per entry: each sealed payload
+        /// must be opened against the round it was delivered in.
+        sealed: Vec<(u64, Vec<u8>)>,
+        /// Pass as `cursor` to continue, or as `upto` in a
+        /// [`Frame::FetchAck`] to retire everything read so far.
+        next_cursor: u64,
+        /// Entries still pending past this page.
+        remaining: u64,
+    },
+    /// Retire every entry below `upto` (client → mailbox; answered
+    /// with [`Frame::Ok`]).  Idempotent: re-acking an already-acked
+    /// prefix is a no-op success.
+    FetchAck {
+        /// Mailbox id to ack.
+        mailbox: [u8; 32],
+        /// Exclusive upper bound: the `next_cursor` of the last page
+        /// the client has safely consumed.
+        upto: u64,
     },
 }
 
@@ -1213,26 +1255,50 @@ impl Frame {
                 w.u32(*votes);
                 w
             }
-            Frame::Deliver { round, messages } => {
+            Frame::Deliver {
+                round,
+                batch,
+                messages,
+            } => {
                 let mut w = Writer::new(TAG_DELIVER);
                 w.u64(*round);
+                w.u64(*batch);
                 w.seq_len(messages.len());
                 for m in messages {
                     w.mailbox_message(m);
                 }
                 w
             }
-            Frame::Fetch { mailbox } => {
-                let mut w = Writer::new(TAG_FETCH);
+            Frame::FetchPage {
+                mailbox,
+                cursor,
+                max,
+            } => {
+                let mut w = Writer::new(TAG_FETCH_PAGE);
                 w.raw(mailbox);
+                w.u64(*cursor);
+                w.u32(*max);
                 w
             }
-            Frame::MailboxContents { sealed } => {
-                let mut w = Writer::new(TAG_MAILBOX_CONTENTS);
+            Frame::MailboxPage {
+                sealed,
+                next_cursor,
+                remaining,
+            } => {
+                let mut w = Writer::new(TAG_MAILBOX_PAGE);
+                w.u64(*next_cursor);
+                w.u64(*remaining);
                 w.seq_len(sealed.len());
-                for s in sealed {
+                for (round, s) in sealed {
+                    w.u64(*round);
                     w.bytes(s);
                 }
+                w
+            }
+            Frame::FetchAck { mailbox, upto } => {
+                let mut w = Writer::new(TAG_FETCH_ACK);
+                w.raw(mailbox);
+                w.u64(*upto);
                 w
             }
         };
@@ -1417,20 +1483,46 @@ impl Frame {
             },
             TAG_DELIVER => {
                 let round = r.u64()?;
+                let batch = r.u64()?;
                 let n = r.seq_len()?;
                 let messages = (0..n)
                     .map(|_| r.mailbox_message())
                     .collect::<Result<_, _>>()?;
-                Frame::Deliver { round, messages }
+                Frame::Deliver {
+                    round,
+                    batch,
+                    messages,
+                }
             }
-            TAG_FETCH => Frame::Fetch {
+            TAG_FETCH_PAGE => Frame::FetchPage {
                 mailbox: r.array32()?,
+                cursor: r.u64()?,
+                max: r.u32()?,
             },
-            TAG_MAILBOX_CONTENTS => {
+            TAG_MAILBOX_PAGE => {
+                let next_cursor = r.u64()?;
+                let remaining = r.u64()?;
                 let n = r.seq_len()?;
-                let sealed = (0..n).map(|_| r.bytes()).collect::<Result<_, _>>()?;
-                Frame::MailboxContents { sealed }
+                let sealed = (0..n)
+                    .map(|_| {
+                        let round = r.u64()?;
+                        let s = r.bytes()?;
+                        if s.len() != MAILBOX_MSG_LEN - 32 {
+                            return Err(CodecError::BadLength);
+                        }
+                        Ok((round, s))
+                    })
+                    .collect::<Result<_, _>>()?;
+                Frame::MailboxPage {
+                    sealed,
+                    next_cursor,
+                    remaining,
+                }
             }
+            TAG_FETCH_ACK => Frame::FetchAck {
+                mailbox: r.array32()?,
+                upto: r.u64()?,
+            },
             other => return Err(CodecError::UnknownTag(other)),
         };
         r.finish()?;
@@ -1477,8 +1569,9 @@ impl Frame {
             Frame::DisputeEvidence { .. } => TAG_DISPUTE_EVIDENCE,
             Frame::DisputeVerdict { .. } => TAG_DISPUTE_VERDICT,
             Frame::Deliver { .. } => TAG_DELIVER,
-            Frame::Fetch { .. } => TAG_FETCH,
-            Frame::MailboxContents { .. } => TAG_MAILBOX_CONTENTS,
+            Frame::FetchPage { .. } => TAG_FETCH_PAGE,
+            Frame::MailboxPage { .. } => TAG_MAILBOX_PAGE,
+            Frame::FetchAck { .. } => TAG_FETCH_ACK,
         }
     }
 
@@ -1524,8 +1617,9 @@ impl Frame {
             TAG_DISPUTE_EVIDENCE => "DisputeEvidence",
             TAG_DISPUTE_VERDICT => "DisputeVerdict",
             TAG_DELIVER => "Deliver",
-            TAG_FETCH => "Fetch",
-            TAG_MAILBOX_CONTENTS => "MailboxContents",
+            TAG_FETCH_PAGE => "FetchPage",
+            TAG_MAILBOX_PAGE => "MailboxPage",
+            TAG_FETCH_ACK => "FetchAck",
             _ => return None,
         })
     }
@@ -2223,7 +2317,11 @@ mod tests {
         let frames = vec![
             Frame::OpenRound { round: 3 },
             Frame::Ok,
-            Frame::Fetch { mailbox: [9; 32] },
+            Frame::FetchPage {
+                mailbox: [9; 32],
+                cursor: 17,
+                max: 64,
+            },
         ];
         let mut wire = Vec::new();
         for f in &frames {
@@ -2260,7 +2358,10 @@ mod tests {
                 code: error_code::BAD_STATE,
                 message: "nope".into(),
             },
-            Frame::Fetch { mailbox: [4; 32] },
+            Frame::FetchAck {
+                mailbox: [4; 32],
+                upto: 9,
+            },
         ];
         let mut wire = Vec::new();
         for f in &frames {

@@ -246,6 +246,32 @@ impl Conn {
         Ok(())
     }
 
+    /// Queue one frame into the write buffer **without flushing** —
+    /// the pipelining fast path (one syscall per window instead of one
+    /// per frame).  Call [`Conn::flush`] before awaiting responses, or
+    /// the tail of the batch may never reach the peer.
+    pub fn send_buffered(&mut self, frame: &Frame) -> Result<(), NetError> {
+        let encoded = frame.encode();
+        if encoded.len() - 4 > crate::codec::MAX_FRAME_LEN {
+            return Err(NetError::Codec(CodecError::Oversized {
+                declared: encoded.len() - 4,
+                cap: crate::codec::MAX_FRAME_LEN,
+            }));
+        }
+        self.bytes_sent += encoded.len() as u64;
+        self.writer
+            .write_all(&encoded)
+            .map_err(|e| NetError::from_io(e, "write"))
+    }
+
+    /// Flush every frame queued with [`Conn::send_buffered`] to the
+    /// socket.
+    pub fn flush(&mut self) -> Result<(), NetError> {
+        self.writer
+            .flush()
+            .map_err(|e| NetError::from_io(e, "write"))
+    }
+
     /// Await one frame.
     pub fn recv(&mut self) -> Result<Frame, NetError> {
         match crate::codec::read_frame_with_len(&mut self.reader)? {

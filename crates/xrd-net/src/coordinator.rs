@@ -82,7 +82,7 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
-    fn sleep(&self, attempt: u32) {
+    pub(crate) fn sleep(&self, attempt: u32) {
         std::thread::sleep(self.base_backoff * 2u32.saturating_pow(attempt.min(8)));
     }
 }
@@ -115,8 +115,14 @@ struct CoordMetrics {
 /// One request/response exchange with bounded retry: on a retryable
 /// failure the connection is re-dialed and the request repeated.
 /// Only safe for idempotent requests (every coordinator-side exchange
-/// is: window control, digest queries, reveals, rotation shares).
-fn request_retry(conn: &mut Conn, frame: &Frame, retry: RetryPolicy) -> Result<Frame, NetError> {
+/// is: window control, digest queries, reveals, rotation shares — and
+/// the mailbox exchanges, which are idempotent by construction:
+/// batch-deduped delivery, non-destructive paging, watermark acks).
+pub(crate) fn request_retry(
+    conn: &mut Conn,
+    frame: &Frame,
+    retry: RetryPolicy,
+) -> Result<Frame, NetError> {
     let mut attempt = 0;
     loop {
         match conn.request(frame) {

@@ -5,8 +5,10 @@
 //!   user submissions during the round window, fixes the canonical
 //!   batch, runs AHS hops, verifies other servers' hop attestations,
 //!   answers blame requests, reveals inner keys and rotates them.
-//! * [`MailboxDaemon`] — one mailbox shard: accepts deliveries from the
-//!   mix layer and drains mailboxes for fetching clients.
+//! * [`MailboxDaemon`] — one mailbox shard: accepts (idempotent,
+//!   batch-deduped) deliveries from the mix layer and serves clients
+//!   paginated, ack-driven fetches over a pluggable
+//!   [`MailboxStore`] — in-memory or log-structured persistent.
 //!
 //! Both daemons are event-driven: all connections of a daemon are
 //! served by **one** reactor thread (see [`crate::reactor`]) running a
@@ -25,7 +27,7 @@
 //! the remainder of its own transfer.  A [`DaemonHandle`] owns the
 //! reactor thread and shuts the daemon down when asked (or on drop).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -33,7 +35,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
-use xrd_core::mailbox::shard_of;
+use xrd_core::mailbox::{
+    shard_of, LogMailboxStore, LogStoreConfig, MailboxError, MailboxHub, MailboxStore,
+};
 use xrd_crypto::nizk::{DleqProof, SchnorrProof};
 use xrd_crypto::ristretto::GroupElement;
 use xrd_mixnet::chain_keys::{rotation_share, ChainPublicKeys, ServerSecrets};
@@ -990,31 +994,121 @@ impl MixServerDaemon {
 // Mailbox daemon
 // ---------------------------------------------------------------------
 
+/// How many recent [`Frame::Deliver`] batch ids each shard remembers
+/// for retry dedup.  A sender retries a batch within (at most) a few
+/// connection lifetimes, so a small window is plenty; an id that has
+/// aged out of it would only be re-stored if a sender retried a batch
+/// thousands of batches later, which the coordinator never does.
+const DELIVER_DEDUP_WINDOW: usize = 4096;
+
+/// Mailbox-daemon metric handles, resolved once per process.  (The
+/// store itself counts `mailbox.puts/pages/acks`; these cover the wire
+/// layer in front of it.)
+fn mailbox_metrics() -> &'static MailboxMetrics {
+    static METRICS: std::sync::OnceLock<MailboxMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| MailboxMetrics {
+        batches: xrd_obs::counter("mailbox.deliver.batches"),
+        duplicates: xrd_obs::counter("mailbox.deliver.duplicates"),
+    })
+}
+
+struct MailboxMetrics {
+    /// Deliver batches stored.
+    batches: &'static xrd_obs::Counter,
+    /// Deliver batches answered from the dedup window (a retry whose
+    /// original reply was lost).
+    duplicates: &'static xrd_obs::Counter,
+}
+
+/// Map a store refusal onto the wire's error vocabulary.
+fn mailbox_err(e: MailboxError) -> Frame {
+    let code = match e {
+        MailboxError::UnknownMailbox { .. } => error_code::UNKNOWN_MAILBOX,
+        MailboxError::ShardFull { .. } => error_code::MAILBOX_FULL,
+        MailboxError::Storage { .. } => error_code::STORAGE,
+        // A wrong-shard put or an out-of-range cursor is a peer bug,
+        // not a store condition the peer can act on.
+        MailboxError::WrongShard { .. } | MailboxError::BadCursor { .. } => error_code::BAD_STATE,
+    };
+    err(code, e.to_string())
+}
+
 struct MailboxState {
     /// This daemon's shard index and the deployment's shard count, used
     /// to reject deliveries that belong elsewhere.
     shard: usize,
     n_shards: usize,
-    boxes: HashMap<[u8; 32], Vec<Vec<u8>>>,
+    store: Box<dyn MailboxStore + Send>,
+    /// Recently stored `(round, batch)` Deliver ids, plus their arrival
+    /// order for eviction.
+    seen_batches: HashSet<(u64, u64)>,
+    batch_order: VecDeque<(u64, u64)>,
 }
 
 impl MailboxState {
     fn handle(&mut self, frame: Frame) -> Frame {
         match frame {
             Frame::Ping => Frame::Ok,
-            Frame::Deliver { round: _, messages } => {
+            Frame::Deliver {
+                round,
+                batch,
+                messages,
+            } => {
+                if self.seen_batches.contains(&(round, batch)) {
+                    // A retry of a batch whose Ok got lost: it is
+                    // already stored (and flushed), so just re-ack.
+                    mailbox_metrics().duplicates.incr();
+                    return Frame::Ok;
+                }
                 for m in &messages {
                     if shard_of(&m.mailbox, self.n_shards) != self.shard {
                         return err(error_code::BAD_STATE, "message routed to wrong shard");
                     }
                 }
                 for m in messages {
-                    self.boxes.entry(m.mailbox).or_default().push(m.sealed);
+                    if let Err(e) = self.store.put(round, m) {
+                        return mailbox_err(e);
+                    }
                 }
+                // Durability point: the batch must survive a crash
+                // before the sender is told it landed (it won't retry).
+                if let Err(e) = self.store.flush() {
+                    return mailbox_err(e);
+                }
+                self.seen_batches.insert((round, batch));
+                self.batch_order.push_back((round, batch));
+                if self.batch_order.len() > DELIVER_DEDUP_WINDOW {
+                    let old = self.batch_order.pop_front().expect("len checked");
+                    self.seen_batches.remove(&old);
+                }
+                mailbox_metrics().batches.incr();
                 Frame::Ok
             }
-            Frame::Fetch { mailbox } => Frame::MailboxContents {
-                sealed: self.boxes.remove(&mailbox).unwrap_or_default(),
+            Frame::FetchPage {
+                mailbox,
+                cursor,
+                max,
+            } => match self.store.fetch_page(&mailbox, cursor, max as usize) {
+                Ok(page) => Frame::MailboxPage {
+                    sealed: page
+                        .entries
+                        .into_iter()
+                        .map(|e| (e.round, e.sealed))
+                        .collect(),
+                    next_cursor: page.next_cursor,
+                    remaining: page.remaining,
+                },
+                Err(e) => mailbox_err(e),
+            },
+            Frame::FetchAck { mailbox, upto } => match self.store.ack(&mailbox, upto) {
+                Ok(_) => match self.store.flush() {
+                    // Flush so acked retention survives a crash: a
+                    // recovered shard must not resurrect retired
+                    // entries for a client that already acked them.
+                    Ok(()) => Frame::Ok,
+                    Err(e) => mailbox_err(e),
+                },
+                Err(e) => mailbox_err(e),
             },
             other => err(
                 error_code::UNSUPPORTED,
@@ -1029,17 +1123,46 @@ pub struct MailboxDaemon;
 
 impl MailboxDaemon {
     /// Spawn the daemon owning `shard` of `n_shards`, listening on
-    /// `addr`.
+    /// `addr`, with in-memory (non-persistent) storage.
     pub fn spawn<A: ToSocketAddrs>(
         addr: A,
         shard: usize,
         n_shards: usize,
     ) -> std::io::Result<DaemonHandle> {
+        // The hub routes internally, so a single-shard hub is exactly
+        // one shard's worth of storage; cross-shard routing is checked
+        // at the daemon boundary above.
+        Self::with_store(addr, shard, n_shards, Box::new(MailboxHub::new(1)))
+    }
+
+    /// Spawn the daemon with the log-structured persistent store in
+    /// `dir` (created if absent, recovered if already populated).
+    pub fn spawn_persistent<A: ToSocketAddrs>(
+        addr: A,
+        shard: usize,
+        n_shards: usize,
+        dir: impl Into<std::path::PathBuf>,
+        cfg: LogStoreConfig,
+    ) -> std::io::Result<DaemonHandle> {
+        let store = LogMailboxStore::open(dir, shard, n_shards, cfg)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        Self::with_store(addr, shard, n_shards, Box::new(store))
+    }
+
+    /// Spawn the daemon over any [`MailboxStore`] backend.
+    pub fn with_store<A: ToSocketAddrs>(
+        addr: A,
+        shard: usize,
+        n_shards: usize,
+        store: Box<dyn MailboxStore + Send>,
+    ) -> std::io::Result<DaemonHandle> {
         assert!(shard < n_shards);
         let state = Arc::new(Mutex::new(MailboxState {
             shard,
             n_shards,
-            boxes: HashMap::new(),
+            store,
+            seen_batches: HashSet::new(),
+            batch_order: VecDeque::new(),
         }));
         spawn_daemon(
             addr,

@@ -60,8 +60,10 @@ pub use coordinator::{ChainClient, MixPhase, PendingChainRound, RetryPolicy, Tra
 pub use daemon::{ByzantineMode, DaemonHandle, MailboxDaemon, MixServerDaemon, SubmissionPolicy};
 pub use faults::{Direction, FaultKind, FaultPlan, FaultProxy, FaultRule};
 pub use remote::{
-    launch_local, launch_local_faulty, launch_local_faulty_with, LocalCluster, RemoteDeployment,
+    launch_local, launch_local_faulty, launch_local_faulty_with, launch_local_with_mailbox_faults,
+    LocalCluster, RemoteDeployment,
 };
 pub use swarm::{
-    run_swarm, submit_storm, StormConfig, StormReport, SwarmConfig, SwarmReport, SwarmRoundStats,
+    mailbox_storm, run_swarm, submit_storm, MailboxStormConfig, MailboxStormReport, StormConfig,
+    StormReport, SwarmConfig, SwarmReport, SwarmRoundStats,
 };

@@ -4,7 +4,7 @@
 //! up on loopback TCP (one daemon per mix-server hop and per mailbox
 //! shard, each on its own port).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::net::SocketAddr;
 
 use rand::RngCore;
@@ -19,9 +19,9 @@ use xrd_mixnet::message::MailboxMessage;
 use xrd_mixnet::{verify_hops_batched_multi, ChainAudit, ChainRoundOutcome, HopRecord};
 use xrd_topology::{Beacon, Topology};
 
-use crate::codec::Frame;
+use crate::codec::{error_code, Frame, MAX_BATCH};
 use crate::conn::{Conn, ConnTimeouts, NetError};
-use crate::coordinator::{ChainClient, MixPhase, PendingChainRound, RetryPolicy};
+use crate::coordinator::{request_retry, ChainClient, MixPhase, PendingChainRound, RetryPolicy};
 use crate::daemon::{DaemonHandle, MailboxDaemon, MixServerDaemon};
 use crate::faults::{FaultPlan, FaultProxy};
 
@@ -68,6 +68,11 @@ pub struct RemoteDeployment {
     /// Chains whose key schedule fell out of sync after a failed
     /// rotation: excluded from every subsequent round.
     dead: Vec<bool>,
+    /// Retry policy for mailbox exchanges (delivery batches, fetch
+    /// pages, acks) — all idempotent on the daemon side.
+    retry: RetryPolicy,
+    /// Largest page a fetch asks a shard for.
+    fetch_page_max: u32,
 }
 
 impl RemoteDeployment {
@@ -142,6 +147,8 @@ impl RemoteDeployment {
                 .unwrap_or(4),
             injected: Vec::new(),
             dead: vec![false; n_chains],
+            retry,
+            fetch_page_max: 256,
         };
         // Pre-publish round-1 inner keys (§5.3.3: covers for ρ+1 are
         // sealed while ρ runs).
@@ -200,6 +207,13 @@ impl RemoteDeployment {
     /// client-side threads against submission-window wall clock.
     pub fn set_submit_workers(&mut self, n: usize) {
         self.submit_workers = n.max(1);
+    }
+
+    /// Largest page a fetch asks a mailbox shard for (default 256
+    /// entries).  Tests shrink it to force multi-page walks; the wire
+    /// cost per round is unchanged either way.
+    pub fn set_fetch_page_max(&mut self, max: u32) {
+        self.fetch_page_max = max.max(1);
     }
 
     /// Select how every chain ships batches hop to hop (default
@@ -439,9 +453,9 @@ impl RemoteDeployment {
             }
         }
 
-        // Deliver to mailbox shards.  The mailbox layer is shared by
-        // every chain, so trouble here is deployment infrastructure
-        // failure, not chain degradation.
+        // Deliver to mailbox shards, one worker thread per shard.  The
+        // mailbox layer is shared by every chain, so trouble here is
+        // deployment infrastructure failure, not chain degradation.
         let n_shards = self.mailbox_conns.len();
         {
             let _span = xrd_obs::span_timer("round.deliver", round);
@@ -449,47 +463,67 @@ impl RemoteDeployment {
             for msg in delivered {
                 per_shard[shard_of(&msg.mailbox, n_shards)].push(msg);
             }
-            for (conn, messages) in self.mailbox_conns.iter_mut().zip(per_shard) {
-                if !messages.is_empty() {
-                    conn.request_ok(&Frame::Deliver { round, messages })
-                        .map_err(|e| RoundError::Infrastructure {
-                            round,
-                            message: format!("mailbox delivery: {e}"),
-                        })?;
-                }
+            let retry = self.retry;
+            let results: Vec<Result<(), NetError>> = std::thread::scope(|scope| {
+                self.mailbox_conns
+                    .iter_mut()
+                    .zip(per_shard)
+                    .map(|(conn, messages)| {
+                        scope.spawn(move || deliver_shard(conn, round, messages, retry))
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| {
+                        h.join().unwrap_or_else(|_| {
+                            Err(NetError::Protocol("delivery worker panicked".into()))
+                        })
+                    })
+                    .collect()
+            });
+            for result in results {
+                result.map_err(|e| RoundError::Infrastructure {
+                    round,
+                    message: format!("mailbox delivery: {e}"),
+                })?;
             }
         }
 
-        // Fetch and decrypt (client side again).
+        // Fetch, one worker thread per shard: every online user's
+        // mailbox is paged down (and acked once safely read) over that
+        // shard's connection, then decryption runs from the prefetched
+        // map.
         let fetch_span = xrd_obs::span_timer("round.fetch", round);
-        let mailbox_conns = &mut self.mailbox_conns;
-        let mut fetch_error: Option<NetError> = None;
-        let fetched = open_fetched(&self.topo, round, users, |mailbox| {
-            if fetch_error.is_some() {
-                return Vec::new();
-            }
-            let shard = shard_of(mailbox, n_shards);
-            match mailbox_conns[shard].request(&Frame::Fetch { mailbox: *mailbox }) {
-                Ok(Frame::MailboxContents { sealed }) => sealed,
-                Ok(other) => {
-                    fetch_error = Some(NetError::Protocol(format!(
-                        "expected MailboxContents, got {other:?}"
-                    )));
-                    Vec::new()
-                }
-                Err(e) => {
-                    fetch_error = Some(e);
-                    Vec::new()
-                }
-            }
+        let mut by_shard: Vec<Vec<[u8; 32]>> = vec![Vec::new(); n_shards];
+        for user in users.iter().filter(|u| u.online) {
+            let mailbox = user.mailbox_id();
+            by_shard[shard_of(&mailbox, n_shards)].push(mailbox);
+        }
+        let retry = self.retry;
+        let page_max = self.fetch_page_max;
+        let results: Vec<Result<Prefetched, NetError>> = std::thread::scope(|scope| {
+            self.mailbox_conns
+                .iter_mut()
+                .zip(by_shard)
+                .map(|(conn, boxes)| scope.spawn(move || fetch_shard(conn, boxes, page_max, retry)))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|_| Err(NetError::Protocol("fetch worker panicked".into())))
+                })
+                .collect()
         });
-        drop(fetch_span);
-        if let Some(e) = fetch_error {
-            return Err(RoundError::Infrastructure {
+        let mut prefetched: Prefetched = HashMap::new();
+        for result in results {
+            prefetched.extend(result.map_err(|e| RoundError::Infrastructure {
                 round,
                 message: format!("mailbox fetch: {e}"),
-            });
+            })?);
         }
+        let fetched = open_fetched(&self.topo, round, users, |mailbox| {
+            Ok(prefetched.remove(mailbox).unwrap_or_default())
+        })?;
+        drop(fetch_span);
 
         // Advance the key schedule: activate ρ+1, pre-publish ρ+2.
         // Rotation is attempted even for chains that failed this round
@@ -616,6 +650,323 @@ fn submit_once(
     conn.request_ok(frame)
 }
 
+/// What the shard-parallel fetch phase hands to decryption: each
+/// online mailbox's `(delivery_round, sealed)` entries, oldest first.
+type Prefetched = HashMap<[u8; 32], Vec<(u64, Vec<u8>)>>;
+
+/// Deliver one shard's messages, in codec-bounded chunks.  Each chunk
+/// carries a batch id unique within the round **on this shard's
+/// daemon**, so a retry after a lost `Ok` is answered from the dedup
+/// window instead of double-storing (which would break the per-user
+/// message-count uniformity the protocol relies on).
+pub(crate) fn deliver_shard(
+    conn: &mut Conn,
+    round: u64,
+    messages: Vec<MailboxMessage>,
+    retry: RetryPolicy,
+) -> Result<(), NetError> {
+    let mut messages = messages;
+    let mut batch = 0u64;
+    while !messages.is_empty() {
+        let rest = messages.split_off(messages.len().min(MAX_BATCH));
+        let frame = Frame::Deliver {
+            round,
+            batch,
+            messages,
+        };
+        match request_retry(conn, &frame, retry)? {
+            Frame::Ok => {}
+            other => {
+                return Err(NetError::Protocol(format!(
+                    "expected Ok to Deliver, got {other:?}"
+                )))
+            }
+        }
+        messages = rest;
+        batch += 1;
+    }
+    Ok(())
+}
+
+/// Requests a pipelined shard fetch keeps in flight at once.
+const FETCH_WINDOW: usize = 64;
+
+/// Why one pipelined pass over a shard connection did not complete.
+enum PassError {
+    /// The transport failed mid-pass.
+    Wire(NetError),
+    /// The response stream desynchronized from the request stream (a
+    /// dropped or mangled frame on a faulty wire): positional pairing
+    /// can no longer be trusted, so the pass's findings are discarded.
+    Desync(String),
+}
+
+impl PassError {
+    fn retryable(&self) -> bool {
+        match self {
+            PassError::Wire(e) => e.retryable(),
+            PassError::Desync(_) => true,
+        }
+    }
+
+    fn into_net(self) -> NetError {
+        match self {
+            PassError::Wire(e) => e,
+            PassError::Desync(why) => {
+                NetError::Protocol(format!("mailbox fetch pipeline desync: {why}"))
+            }
+        }
+    }
+}
+
+/// Page down (and then ack) every listed mailbox over one shard
+/// connection, **pipelined**: up to [`FETCH_WINDOW`] requests ride the
+/// wire before their first response is awaited.  The daemon answers a
+/// connection's requests strictly in order (PROTOCOL.md §6), so
+/// responses pair up positionally; with the requests batched, both
+/// sides coalesce small frames into few syscalls and the per-mailbox
+/// round-trip wait disappears — this, not thread count, is what makes
+/// the shard-parallel fetch beat the one-request-at-a-time baseline
+/// even on a single core.
+///
+/// Positional pairing is only as good as the wire, so the exchange is
+/// two-phase, each phase safe to restart wholesale:
+///
+/// 1. **Walk** — pipeline every mailbox's cursor walk (each mailbox
+///    has at most one request outstanding).  Reads are
+///    non-destructive, so a pass that does not finish cleanly — a
+///    transport error, a response that doesn't match its request, a
+///    missing response — is *discarded in full* and rerun; nothing a
+///    desynchronized pairing might have mis-attributed survives.
+/// 2. **Ack** — pipeline one `FetchAck` per non-empty mailbox.  All
+///    responses are `Ok`, so only the *count* matters: the daemon
+///    answers every request it receives, so a count-complete pass
+///    proves every ack was applied, and acks are idempotent watermarks
+///    so a failed pass is simply resent.
+pub(crate) fn fetch_shard(
+    conn: &mut Conn,
+    boxes: Vec<[u8; 32]>,
+    page_max: u32,
+    retry: RetryPolicy,
+) -> Result<Prefetched, NetError> {
+    let mut attempt = 0;
+    let walked = loop {
+        match fetch_pass(conn, &boxes, page_max) {
+            Ok(walked) => break walked,
+            Err(e) if e.retryable() && attempt + 1 < retry.attempts => {
+                xrd_obs::debug!("mailbox fetch pass retrying: {}", e.into_net());
+                attempt += 1;
+                retry.sleep(attempt);
+                let _ = conn.reconnect();
+            }
+            Err(e) => return Err(e.into_net()),
+        }
+    };
+
+    let acks: Vec<([u8; 32], u64)> = walked
+        .iter()
+        .filter(|(_, entries, _)| !entries.is_empty())
+        .map(|(mailbox, _, cursor)| (*mailbox, *cursor))
+        .collect();
+    let mut attempt = 0;
+    while !acks.is_empty() {
+        match ack_pass(conn, &acks) {
+            Ok(()) => break,
+            Err(e) if e.retryable() && attempt + 1 < retry.attempts => {
+                xrd_obs::debug!("mailbox ack pass retrying: {}", e.into_net());
+                attempt += 1;
+                retry.sleep(attempt);
+                let _ = conn.reconnect();
+            }
+            Err(e) => return Err(e.into_net()),
+        }
+    }
+
+    Ok(walked
+        .into_iter()
+        .map(|(mailbox, entries, _)| (mailbox, entries))
+        .collect())
+}
+
+/// One pipelined walk pass: every mailbox paged from cursor 0 to
+/// `remaining == 0`.  Returns `(mailbox, entries, end_cursor)` per
+/// mailbox, or the reason the whole pass must be discarded.
+#[allow(clippy::type_complexity)]
+fn fetch_pass(
+    conn: &mut Conn,
+    boxes: &[[u8; 32]],
+    page_max: u32,
+) -> Result<Vec<([u8; 32], Vec<(u64, Vec<u8>)>, u64)>, PassError> {
+    struct BoxWalk {
+        cursor: u64,
+        entries: Vec<(u64, Vec<u8>)>,
+        done: bool,
+    }
+    let mut state: Vec<BoxWalk> = boxes
+        .iter()
+        .map(|_| BoxWalk {
+            cursor: 0,
+            entries: Vec::new(),
+            done: false,
+        })
+        .collect();
+
+    let mut todo: VecDeque<usize> = (0..boxes.len()).collect();
+    let mut inflight: VecDeque<usize> = VecDeque::new();
+    loop {
+        // Refill the window in batches, one flush per refill.
+        if !todo.is_empty() && inflight.len() <= FETCH_WINDOW / 2 {
+            while inflight.len() < FETCH_WINDOW {
+                let Some(i) = todo.pop_front() else { break };
+                conn.send_buffered(&Frame::FetchPage {
+                    mailbox: boxes[i],
+                    cursor: state[i].cursor,
+                    max: page_max,
+                })
+                .map_err(PassError::Wire)?;
+                inflight.push_back(i);
+            }
+            conn.flush().map_err(PassError::Wire)?;
+        }
+        let Some(i) = inflight.pop_front() else {
+            break;
+        };
+        match conn.recv().map_err(PassError::Wire)? {
+            Frame::MailboxPage {
+                sealed,
+                next_cursor,
+                remaining,
+            } => {
+                let b = &mut state[i];
+                if next_cursor < b.cursor {
+                    return Err(PassError::Desync(format!(
+                        "cursor went backwards ({} < {})",
+                        next_cursor, b.cursor
+                    )));
+                }
+                b.entries.extend(sealed);
+                b.cursor = next_cursor;
+                if remaining > 0 {
+                    todo.push_back(i);
+                } else {
+                    b.done = true;
+                }
+            }
+            // Never delivered to: empty from the client's point of view.
+            Frame::Error { code, .. } if code == error_code::UNKNOWN_MAILBOX => {
+                state[i].done = true;
+            }
+            Frame::Error { code, message } => {
+                return Err(PassError::Wire(NetError::Remote { code, message }));
+            }
+            other => {
+                return Err(PassError::Desync(format!(
+                    "expected MailboxPage, got {other:?}"
+                )));
+            }
+        }
+    }
+    if state.iter().any(|b| !b.done) {
+        return Err(PassError::Desync("walk ended with unfinished boxes".into()));
+    }
+    Ok(boxes
+        .iter()
+        .zip(state)
+        .map(|(mailbox, b)| (*mailbox, b.entries, b.cursor))
+        .collect())
+}
+
+/// One pipelined ack pass: a `FetchAck` per mailbox, count-verified.
+fn ack_pass(conn: &mut Conn, acks: &[([u8; 32], u64)]) -> Result<(), PassError> {
+    let mut sent = 0;
+    let mut confirmed = 0;
+    while confirmed < acks.len() {
+        while sent < acks.len() && sent - confirmed < FETCH_WINDOW {
+            let (mailbox, upto) = acks[sent];
+            conn.send_buffered(&Frame::FetchAck { mailbox, upto })
+                .map_err(PassError::Wire)?;
+            sent += 1;
+        }
+        conn.flush().map_err(PassError::Wire)?;
+        match conn.recv().map_err(PassError::Wire)? {
+            Frame::Ok => confirmed += 1,
+            Frame::Error { code, message } => {
+                return Err(PassError::Wire(NetError::Remote { code, message }));
+            }
+            other => {
+                return Err(PassError::Desync(format!("expected Ok, got {other:?}")));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Fetch one mailbox completely: follow `next_cursor` until the shard
+/// reports nothing remaining, then ack everything read.  A mailbox the
+/// shard has never heard of is simply empty from the client's point of
+/// view (first round, or a user whose partners all went silent).
+///
+/// The ack goes out only after every page has safely arrived, so a
+/// client (or connection) dying mid-walk re-reads from its previous
+/// watermark next round instead of losing mail — at-least-once, with
+/// redelivery across failures.
+pub(crate) fn fetch_mailbox(
+    conn: &mut Conn,
+    mailbox: &[u8; 32],
+    page_max: u32,
+    retry: RetryPolicy,
+) -> Result<Vec<(u64, Vec<u8>)>, NetError> {
+    let mut out = Vec::new();
+    let mut cursor = 0u64;
+    loop {
+        let frame = Frame::FetchPage {
+            mailbox: *mailbox,
+            cursor,
+            max: page_max,
+        };
+        match request_retry(conn, &frame, retry) {
+            Ok(Frame::MailboxPage {
+                sealed,
+                next_cursor,
+                remaining,
+            }) => {
+                out.extend(sealed);
+                cursor = next_cursor;
+                if remaining == 0 {
+                    break;
+                }
+            }
+            Ok(other) => {
+                return Err(NetError::Protocol(format!(
+                    "expected MailboxPage, got {other:?}"
+                )))
+            }
+            Err(NetError::Remote { code, .. }) if code == error_code::UNKNOWN_MAILBOX => {
+                return Ok(Vec::new());
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    if !out.is_empty() {
+        match request_retry(
+            conn,
+            &Frame::FetchAck {
+                mailbox: *mailbox,
+                upto: cursor,
+            },
+            retry,
+        )? {
+            Frame::Ok => {}
+            other => {
+                return Err(NetError::Protocol(format!(
+                    "expected Ok to FetchAck, got {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
 impl RoundBackend for RemoteDeployment {
     fn topology(&self) -> &Topology {
         &self.topo
@@ -731,6 +1082,39 @@ pub fn launch_local_faulty_with<R: RngCore + ?Sized>(
             *addr = proxy.addr();
             proxies.push(proxy);
         }
+    }
+    let deployment = RemoteDeployment::connect_with(
+        spawned.topo,
+        spawned.chain_addrs,
+        spawned.chain_keys,
+        spawned.mailbox_addrs,
+        timeouts,
+        retry,
+    )
+    .map_err(|e| std::io::Error::other(format!("connect failed: {e}")))?;
+    Ok((spawned.cluster, proxies, deployment))
+}
+
+/// Like [`launch_local`], but every **mailbox shard** sits behind its
+/// own [`FaultProxy`] running a copy of `plan` (seeds offset per
+/// proxy), while mix daemons are dialed directly — the mirror image of
+/// [`launch_local_faulty`], for exercising the fetch/delivery path's
+/// loss and duplication tolerance in isolation from the mix path.
+pub fn launch_local_with_mailbox_faults<R: RngCore + ?Sized>(
+    rng: &mut R,
+    config: &DeploymentConfig,
+    plan: &FaultPlan,
+    timeouts: ConnTimeouts,
+    retry: RetryPolicy,
+) -> std::io::Result<(LocalCluster, Vec<FaultProxy>, RemoteDeployment)> {
+    let mut spawned = spawn_cluster(rng, config)?;
+    let mut proxies: Vec<FaultProxy> = Vec::new();
+    for addr in spawned.mailbox_addrs.iter_mut() {
+        let mut plan = plan.clone();
+        plan.seed = plan.seed.wrapping_add(proxies.len() as u64);
+        let proxy = FaultProxy::spawn("127.0.0.1:0", *addr, plan)?;
+        *addr = proxy.addr();
+        proxies.push(proxy);
     }
     let deployment = RemoteDeployment::connect_with(
         spawned.topo,

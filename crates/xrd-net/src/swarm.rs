@@ -10,7 +10,11 @@
 //! * [`submit_storm`] — a single-daemon connection storm: N concurrent
 //!   submitter connections (thousands) against *one* mix daemon,
 //!   measuring the submission window plus one mix hop.  This is the
-//!   connection-scalability probe for the event-driven daemons.
+//!   connection-scalability probe for the event-driven daemons;
+//! * [`mailbox_storm`] — the mailbox-tier probe: paper-scale mailbox
+//!   counts delivered to and paged back out of a set of shard daemons,
+//!   serial vs shard-parallel, with a user-churn leg exercising
+//!   ack-driven retention at scale.
 
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
@@ -496,5 +500,267 @@ pub fn submit_storm<R: RngCore + ?Sized>(
         hop_streamed_elapsed,
         submits_per_sec: config.n_conns as f64 / submit_elapsed.as_secs_f64().max(1e-9),
         stats,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Mailbox storm
+// ---------------------------------------------------------------------
+
+/// Shape of a [`mailbox_storm`] run.
+#[derive(Clone, Debug)]
+pub struct MailboxStormConfig {
+    /// Mailbox shard daemons to spawn.
+    pub shards: usize,
+    /// Distinct mailboxes (paper-scale runs use 100 000+).
+    pub mailboxes: usize,
+    /// Messages delivered per mailbox per round.
+    pub per_box: usize,
+    /// Fraction of mailboxes whose owner is offline for the serial
+    /// round: their mail is *not* fetched (so it must survive, acked by
+    /// nobody) until the parallel round fetches both rounds' worth.
+    pub offline_fraction: f64,
+    /// Largest page a fetch requests.
+    pub page_max: u32,
+    /// Spawn the shards on the log-structured persistent store rooted
+    /// here instead of in memory.
+    pub persist_dir: Option<std::path::PathBuf>,
+    /// Seed for the synthetic sealed payloads.
+    pub seed: u64,
+}
+
+impl Default for MailboxStormConfig {
+    fn default() -> MailboxStormConfig {
+        MailboxStormConfig {
+            shards: 4,
+            mailboxes: 100_000,
+            per_box: 1,
+            offline_fraction: 0.1,
+            page_max: 256,
+            persist_dir: None,
+            seed: 7,
+        }
+    }
+}
+
+/// What one [`mailbox_storm`] measured.
+#[derive(Clone, Debug)]
+pub struct MailboxStormReport {
+    /// Shards driven.
+    pub shards: usize,
+    /// Distinct mailboxes.
+    pub mailboxes: usize,
+    /// Messages delivered per round (mailboxes × per_box).
+    pub messages_per_round: usize,
+    /// Serial delivery: one thread walks the shards one at a time.
+    pub deliver_serial: Duration,
+    /// Shard-parallel delivery: one worker thread per shard.
+    pub deliver_parallel: Duration,
+    /// Serial fetch of the online mailboxes (one thread, shard by
+    /// shard), pagination and acks included.
+    pub fetch_serial: Duration,
+    /// Shard-parallel fetch of *every* mailbox — the churned ones
+    /// return two rounds of mail.
+    pub fetch_parallel: Duration,
+    /// Entries read by the serial fetch leg.
+    pub fetched_serial: u64,
+    /// Entries read by the parallel fetch leg.
+    pub fetched_parallel: u64,
+    /// Entries that should have arrived but did not (must be 0).
+    pub lost: u64,
+    /// Entries that arrived more than once (must be 0).
+    pub duplicated: u64,
+}
+
+impl MailboxStormReport {
+    /// Delivery speedup of the shard-parallel leg over the serial one.
+    pub fn deliver_speedup(&self) -> f64 {
+        self.deliver_serial.as_secs_f64() / self.deliver_parallel.as_secs_f64().max(1e-9)
+    }
+
+    /// Fetch speedup, normalized per entry read (the parallel leg reads
+    /// the churned backlog on top of its own round).
+    pub fn fetch_speedup(&self) -> f64 {
+        let serial = self.fetch_serial.as_secs_f64() / (self.fetched_serial.max(1) as f64);
+        let parallel = self.fetch_parallel.as_secs_f64() / (self.fetched_parallel.max(1) as f64);
+        serial / parallel.max(1e-12)
+    }
+}
+
+/// The `i`-th storm mailbox id.
+fn storm_mailbox(i: usize) -> [u8; 32] {
+    let mut id = [0u8; 32];
+    id[..8].copy_from_slice(&(i as u64).to_le_bytes());
+    id[8..16].copy_from_slice(&(!(i as u64)).to_le_bytes());
+    id
+}
+
+/// One round's synthetic deliveries, partitioned by owning shard.
+fn storm_deliveries(
+    config: &MailboxStormConfig,
+    rng: &mut impl RngCore,
+) -> Vec<Vec<MailboxMessage>> {
+    let mut per_shard: Vec<Vec<MailboxMessage>> = vec![Vec::new(); config.shards];
+    for i in 0..config.mailboxes {
+        let mailbox = storm_mailbox(i);
+        let shard = xrd_core::mailbox::shard_of(&mailbox, config.shards);
+        for _ in 0..config.per_box {
+            let mut sealed = vec![0u8; MAILBOX_MSG_LEN - 32];
+            rng.fill_bytes(&mut sealed);
+            per_shard[shard].push(MailboxMessage { mailbox, sealed });
+        }
+    }
+    per_shard
+}
+
+/// Drive the mailbox tier at paper scale: two rounds of `mailboxes ×
+/// per_box` deliveries into `shards` shard daemons, fetched back out
+/// with cursor pagination and acks — round 0 serial (the baseline),
+/// round 1 shard-parallel (the [`RemoteDeployment`] fast path) — while
+/// an `offline_fraction` of users sits out round 0 and drains a
+/// two-round backlog in round 1 (§5.3.3 churn at scale).
+///
+/// Every entry is accounted: the report's `lost`/`duplicated` are hard
+/// zeros or the storm's invariants are broken.
+pub fn mailbox_storm<R: RngCore + ?Sized>(
+    rng: &mut R,
+    config: &MailboxStormConfig,
+) -> Result<MailboxStormReport, NetError> {
+    use crate::coordinator::RetryPolicy;
+    use crate::daemon::MailboxDaemon;
+    use crate::remote::{deliver_shard, fetch_mailbox, fetch_shard};
+
+    assert!(config.shards >= 1 && config.mailboxes >= 1);
+    let retry = RetryPolicy::default();
+
+    // Spawn the shard daemons (in-memory or persistent).
+    let mut daemons = Vec::with_capacity(config.shards);
+    for shard in 0..config.shards {
+        let daemon = match &config.persist_dir {
+            Some(dir) => MailboxDaemon::spawn_persistent(
+                "127.0.0.1:0",
+                shard,
+                config.shards,
+                dir.join(format!("shard-{shard}")),
+                xrd_core::mailbox::LogStoreConfig::default(),
+            )?,
+            None => MailboxDaemon::spawn("127.0.0.1:0", shard, config.shards)?,
+        };
+        daemons.push(daemon);
+    }
+    let mut conns = daemons
+        .iter()
+        .map(|d| Conn::connect(d.addr()))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    // Offline set: the tail of the id space sits out round 0.
+    let n_offline = ((config.mailboxes as f64) * config.offline_fraction.clamp(0.0, 1.0)) as usize;
+    let first_offline = config.mailboxes - n_offline;
+
+    use rand::SeedableRng;
+    let mut rng_seeded = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let _ = rng.next_u64(); // caller rng participates only as entropy
+    let round0 = storm_deliveries(config, &mut rng_seeded);
+    let round1 = storm_deliveries(config, &mut rng_seeded);
+
+    // Round 0: serial deliver, then serial fetch of the online boxes.
+    let start = Instant::now();
+    for (conn, messages) in conns.iter_mut().zip(round0) {
+        deliver_shard(conn, 0, messages, retry)?;
+    }
+    let deliver_serial = start.elapsed();
+
+    let mut fetched_serial = 0u64;
+    let start = Instant::now();
+    for i in 0..first_offline {
+        let mailbox = storm_mailbox(i);
+        let shard = xrd_core::mailbox::shard_of(&mailbox, config.shards);
+        fetched_serial +=
+            fetch_mailbox(&mut conns[shard], &mailbox, config.page_max, retry)?.len() as u64;
+    }
+    let fetch_serial = start.elapsed();
+
+    // Round 1: shard-parallel deliver, then shard-parallel fetch of
+    // everything (the churned users drain their backlog too).
+    let start = Instant::now();
+    let results: Vec<Result<(), NetError>> = std::thread::scope(|scope| {
+        conns
+            .iter_mut()
+            .zip(round1)
+            .map(|(conn, messages)| scope.spawn(move || deliver_shard(conn, 1, messages, retry)))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err(NetError::Protocol("deliver worker panicked".into())))
+            })
+            .collect()
+    });
+    results.into_iter().collect::<Result<(), NetError>>()?;
+    let deliver_parallel = start.elapsed();
+
+    let mut by_shard: Vec<Vec<(usize, [u8; 32])>> = vec![Vec::new(); config.shards];
+    for i in 0..config.mailboxes {
+        let mailbox = storm_mailbox(i);
+        by_shard[xrd_core::mailbox::shard_of(&mailbox, config.shards)].push((i, mailbox));
+    }
+    let page_max = config.page_max;
+    let start = Instant::now();
+    let results: Vec<Result<Vec<(usize, u64)>, NetError>> = std::thread::scope(|scope| {
+        conns
+            .iter_mut()
+            .zip(by_shard)
+            .map(|(conn, boxes)| {
+                scope.spawn(move || {
+                    let ids: Vec<[u8; 32]> = boxes.iter().map(|(_, m)| *m).collect();
+                    let fetched = fetch_shard(conn, ids, page_max, retry)?;
+                    Ok(boxes
+                        .into_iter()
+                        .map(|(i, mailbox)| {
+                            (i, fetched.get(&mailbox).map_or(0, |v| v.len() as u64))
+                        })
+                        .collect())
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err(NetError::Protocol("fetch worker panicked".into())))
+            })
+            .collect()
+    });
+    let fetch_parallel = start.elapsed();
+
+    // Exact accounting: every entry once, churn backlog included.
+    let per_box = config.per_box as u64;
+    let mut lost = 0u64;
+    let mut duplicated = 0u64;
+    let mut fetched_parallel = 0u64;
+    for result in results {
+        for (i, got) in result? {
+            fetched_parallel += got;
+            let expected = if i < first_offline {
+                per_box
+            } else {
+                2 * per_box
+            };
+            lost += expected.saturating_sub(got);
+            duplicated += got.saturating_sub(expected);
+        }
+    }
+
+    Ok(MailboxStormReport {
+        shards: config.shards,
+        mailboxes: config.mailboxes,
+        messages_per_round: config.mailboxes * config.per_box,
+        deliver_serial,
+        deliver_parallel,
+        fetch_serial,
+        fetch_parallel,
+        fetched_serial,
+        fetched_parallel,
+        lost,
+        duplicated,
     })
 }

@@ -319,9 +319,10 @@ fn arb_frame(rng: &mut StdRng, variant: usize) -> Frame {
             upheld: rng.gen_bool(0.5),
             votes: rng.gen_range(0..64u32),
         },
-        _ => match variant % 3 {
+        _ => match variant % 4 {
             0 => Frame::Deliver {
                 round: rng.next_u64(),
+                batch: rng.next_u64(),
                 messages: (0..rng.gen_range(0..4))
                     .map(|_| mailbox_message(rng))
                     .collect(),
@@ -329,11 +330,27 @@ fn arb_frame(rng: &mut StdRng, variant: usize) -> Frame {
             1 => {
                 let mut mailbox = [0u8; 32];
                 rng.fill_bytes(&mut mailbox);
-                Frame::Fetch { mailbox }
+                Frame::FetchPage {
+                    mailbox,
+                    cursor: rng.next_u64(),
+                    max: rng.gen_range(1..512u32),
+                }
             }
-            _ => Frame::MailboxContents {
-                sealed: (0..rng.gen_range(0..4)).map(|_| bytes(rng, 300)).collect(),
+            2 => Frame::MailboxPage {
+                sealed: (0..rng.gen_range(0..4))
+                    .map(|_| (rng.next_u64(), mailbox_message(rng).sealed))
+                    .collect(),
+                next_cursor: rng.next_u64(),
+                remaining: rng.gen_range(0..1000u64),
             },
+            _ => {
+                let mut mailbox = [0u8; 32];
+                rng.fill_bytes(&mut mailbox);
+                Frame::FetchAck {
+                    mailbox,
+                    upto: rng.next_u64(),
+                }
+            }
         },
     }
 }
@@ -524,7 +541,8 @@ fn non_canonical_group_encoding_rejected() {
 fn wrong_size_mailbox_message_rejected() {
     // Deliver with a sealed payload of the wrong length.
     let mut body = vec![0x50]; // TAG_DELIVER
-    body.extend_from_slice(&0u64.to_le_bytes());
+    body.extend_from_slice(&0u64.to_le_bytes()); // round
+    body.extend_from_slice(&0u64.to_le_bytes()); // batch
     body.extend_from_slice(&1u32.to_le_bytes()); // one message
     body.extend_from_slice(&[7u8; 32]); // mailbox id
     body.extend_from_slice(&3u32.to_le_bytes()); // sealed: 3 bytes (wrong)

@@ -1,0 +1,422 @@
+//! The mailbox tier over real TCP: cursor pagination and ack
+//! idempotence on the wire, delivery-batch dedup under retry,
+//! persistent shards surviving daemon restarts, the offline-user
+//! retention regression (deliver round r, fetch at r+3), and a
+//! seeded churn-chaos sweep where faulty mailbox connections must
+//! never lose or duplicate a message.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use xrd_core::user::{Received, User};
+use xrd_core::DeploymentConfig;
+use xrd_mixnet::{MailboxMessage, MAILBOX_MSG_LEN};
+use xrd_net::codec::{error_code, Frame};
+use xrd_net::{
+    launch_local, launch_local_with_mailbox_faults, Conn, ConnTimeouts, Direction, FaultKind,
+    FaultPlan, FaultRule, MailboxDaemon, NetError, RetryPolicy,
+};
+
+fn msg(mailbox: u8, fill: u8) -> MailboxMessage {
+    MailboxMessage {
+        mailbox: [mailbox; 32],
+        sealed: vec![fill; MAILBOX_MSG_LEN - 32],
+    }
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("xrd-mbtier-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Fetch one page over the wire.
+fn page(
+    conn: &mut Conn,
+    mailbox: [u8; 32],
+    cursor: u64,
+    max: u32,
+) -> (Vec<(u64, Vec<u8>)>, u64, u64) {
+    match conn
+        .request(&Frame::FetchPage {
+            mailbox,
+            cursor,
+            max,
+        })
+        .expect("fetch answered")
+    {
+        Frame::MailboxPage {
+            sealed,
+            next_cursor,
+            remaining,
+        } => (sealed, next_cursor, remaining),
+        other => panic!("expected MailboxPage, got {other:?}"),
+    }
+}
+
+/// The paginated fetch contract over the wire: pages partition the
+/// mailbox, re-reading a cursor is non-destructive, acks retire
+/// exactly the prefix and are idempotent, and a fully-acked mailbox is
+/// *empty* — not unknown.
+#[test]
+fn wire_pagination_and_ack_idempotence() {
+    let daemon = MailboxDaemon::spawn("127.0.0.1:0", 0, 1).expect("daemon spawns");
+    let mut conn = Conn::connect(daemon.addr()).expect("connects");
+
+    let messages: Vec<MailboxMessage> = (0..5).map(|i| msg(1, i)).collect();
+    conn.request_ok(&Frame::Deliver {
+        round: 3,
+        batch: 0,
+        messages: messages.clone(),
+    })
+    .expect("delivery acknowledged");
+
+    // Page size 2 walks 5 entries as 2 + 2 + 1.
+    let (p0, c0, r0) = page(&mut conn, [1; 32], 0, 2);
+    assert_eq!(
+        p0,
+        vec![
+            (3, messages[0].sealed.clone()),
+            (3, messages[1].sealed.clone())
+        ]
+    );
+    assert_eq!((c0, r0), (2, 3));
+    let (p1, c1, r1) = page(&mut conn, [1; 32], c0, 2);
+    assert_eq!(
+        p1,
+        vec![
+            (3, messages[2].sealed.clone()),
+            (3, messages[3].sealed.clone())
+        ]
+    );
+    assert_eq!((c1, r1), (4, 1));
+    let (p2, c2, r2) = page(&mut conn, [1; 32], c1, 2);
+    assert_eq!(p2, vec![(3, messages[4].sealed.clone())]);
+    assert_eq!((c2, r2), (5, 0));
+
+    // Non-destructive: the first page re-reads identically.
+    assert_eq!(page(&mut conn, [1; 32], 0, 2).0, p0);
+
+    // Ack the first three; cursor 0 now starts at entry 3.
+    conn.request_ok(&Frame::FetchAck {
+        mailbox: [1; 32],
+        upto: 3,
+    })
+    .expect("ack acknowledged");
+    let (tail, _, rem) = page(&mut conn, [1; 32], 0, 16);
+    assert_eq!(
+        tail,
+        vec![
+            (3, messages[3].sealed.clone()),
+            (3, messages[4].sealed.clone())
+        ]
+    );
+    assert_eq!(rem, 0);
+
+    // Re-acking the same prefix is a no-op, not an error.
+    conn.request_ok(&Frame::FetchAck {
+        mailbox: [1; 32],
+        upto: 3,
+    })
+    .expect("duplicate ack still Ok");
+    assert_eq!(page(&mut conn, [1; 32], 0, 16).0, tail);
+
+    // Fully acked: the mailbox is known-but-empty…
+    conn.request_ok(&Frame::FetchAck {
+        mailbox: [1; 32],
+        upto: 5,
+    })
+    .expect("final ack");
+    let (empty, _, rem) = page(&mut conn, [1; 32], 0, 16);
+    assert!(empty.is_empty());
+    assert_eq!(rem, 0);
+
+    // …while a never-delivered mailbox is UNKNOWN_MAILBOX.
+    match conn.request(&Frame::FetchPage {
+        mailbox: [9; 32],
+        cursor: 0,
+        max: 16,
+    }) {
+        Err(NetError::Remote { code, .. }) => assert_eq!(code, error_code::UNKNOWN_MAILBOX),
+        other => panic!("expected UNKNOWN_MAILBOX, got {other:?}"),
+    }
+}
+
+/// A delivery batch retried after a lost acknowledgement (same round,
+/// same batch id) is deduplicated: the daemon re-acks without storing
+/// the copies, so ℓ-uniformity survives sender retries.
+#[test]
+fn retried_delivery_batch_is_not_stored_twice() {
+    let daemon = MailboxDaemon::spawn("127.0.0.1:0", 0, 1).expect("daemon spawns");
+    let mut conn = Conn::connect(daemon.addr()).expect("connects");
+
+    let deliver = Frame::Deliver {
+        round: 11,
+        batch: 4,
+        messages: vec![msg(2, 7), msg(2, 8)],
+    };
+    conn.request_ok(&deliver).expect("first delivery");
+    conn.request_ok(&deliver).expect("retry re-acked");
+    // A *different* batch id is new mail, not a retry.
+    conn.request_ok(&Frame::Deliver {
+        round: 11,
+        batch: 5,
+        messages: vec![msg(2, 9)],
+    })
+    .expect("next batch");
+
+    let (entries, _, rem) = page(&mut conn, [2; 32], 0, 16);
+    assert_eq!(
+        entries,
+        vec![
+            (11, msg(2, 7).sealed),
+            (11, msg(2, 8).sealed),
+            (11, msg(2, 9).sealed),
+        ],
+        "retry must not duplicate, new batch must land"
+    );
+    assert_eq!(rem, 0);
+}
+
+/// A persistent shard daemon restarted on the same directory serves
+/// everything it acknowledged before going down — including the ack
+/// watermark, which a second restart also remembers.
+#[test]
+fn persistent_shard_survives_restart() {
+    let dir = tmp("restart");
+    let cfg = xrd_core::mailbox::LogStoreConfig::default();
+
+    let mut daemon =
+        MailboxDaemon::spawn_persistent("127.0.0.1:0", 0, 1, &dir, cfg).expect("spawns");
+    let mut conn = Conn::connect(daemon.addr()).expect("connects");
+    conn.request_ok(&Frame::Deliver {
+        round: 7,
+        batch: 0,
+        messages: (0..3).map(|i| msg(4, i)).collect(),
+    })
+    .expect("delivery acknowledged");
+    conn.request_ok(&Frame::Shutdown).expect("shutdown");
+    daemon.wait();
+
+    // First restart: every acknowledged entry is back, with its round.
+    let mut daemon =
+        MailboxDaemon::spawn_persistent("127.0.0.1:0", 0, 1, &dir, cfg).expect("respawns");
+    let mut conn = Conn::connect(daemon.addr()).expect("reconnects");
+    let (entries, _, rem) = page(&mut conn, [4; 32], 0, 16);
+    assert_eq!(
+        entries,
+        (0..3).map(|i| (7, msg(4, i).sealed)).collect::<Vec<_>>()
+    );
+    assert_eq!(rem, 0);
+    conn.request_ok(&Frame::FetchAck {
+        mailbox: [4; 32],
+        upto: 2,
+    })
+    .expect("ack acknowledged");
+    conn.request_ok(&Frame::Shutdown).expect("shutdown");
+    daemon.wait();
+
+    // Second restart: the ack watermark survived too.
+    let daemon =
+        MailboxDaemon::spawn_persistent("127.0.0.1:0", 0, 1, &dir, cfg).expect("respawns again");
+    let mut conn = Conn::connect(daemon.addr()).expect("reconnects");
+    let (entries, _, _) = page(&mut conn, [4; 32], 0, 16);
+    assert_eq!(entries, vec![(7, msg(4, 2).sealed)]);
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The offline-retention regression from the issue: mail delivered in
+/// round r to a user who then stays offline must still be fetchable —
+/// and decryptable — at round r+3.  Under the old drain-everything
+/// fetch this mail was either lost (destructive read) or came back
+/// [`Received::Opaque`] (opened with the wrong round's nonce).
+#[test]
+fn offline_user_mail_survives_to_round_plus_three() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let config = DeploymentConfig::small(2, 2);
+    let (mut cluster, mut deployment) = launch_local(&mut rng, &config).expect("cluster launches");
+    let ell = deployment.topology().ell();
+
+    let n_users = 4;
+    let mut users: Vec<User> = (0..n_users).map(|_| User::new(&mut rng)).collect();
+    let claire = 3; // cover-traffic-only; about to churn
+
+    // Round 0: everyone online, everyone drains their mailbox.
+    let (_, fetched) = deployment.run_round(&mut rng, &mut users).expect("round 0");
+    assert_eq!(fetched[&users[claire].mailbox_id()].len(), ell);
+
+    // Round 1 = r: Claire is offline.  Her stored cover is submitted on
+    // her behalf, so ℓ messages land in her mailbox — which she cannot
+    // fetch.  Rounds 2 and 3: still offline, no cover left, nothing
+    // delivered for her, nothing fetched by her.
+    users[claire].online = false;
+    for round in 1..=3u64 {
+        let (report, fetched) = deployment
+            .run_round(&mut rng, &mut users)
+            .unwrap_or_else(|e| panic!("round {round}: {e}"));
+        let expect = if round == 1 {
+            n_users * ell
+        } else {
+            (n_users - 1) * ell
+        };
+        assert_eq!(report.delivered, expect, "round {round} delivery count");
+        assert!(
+            !fetched.contains_key(&users[claire].mailbox_id()),
+            "offline user must not be fetched in round {round}"
+        );
+    }
+
+    // Round 4 = r+3: Claire returns.  She must receive her round-1
+    // backlog *and* this round's fresh loopbacks, every one of them
+    // decrypted with its own delivery round — zero Opaque.
+    users[claire].online = true;
+    let (_, fetched) = deployment.run_round(&mut rng, &mut users).expect("round 4");
+    let got = &fetched[&users[claire].mailbox_id()];
+    assert_eq!(
+        got.len(),
+        2 * ell,
+        "round-1 mail must still be waiting at round 4"
+    );
+    assert!(
+        got.iter().all(|r| *r == Received::Loopback),
+        "every backlog entry must decrypt with its delivery round, got {got:?}"
+    );
+
+    cluster.shutdown();
+}
+
+fn fast_timeouts() -> ConnTimeouts {
+    ConnTimeouts {
+        connect: Duration::from_secs(2),
+        read: Duration::from_millis(700),
+        write: Duration::from_secs(2),
+    }
+}
+
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        attempts: 8,
+        base_backoff: Duration::from_millis(10),
+    }
+}
+
+/// Wire tag byte for a frame name.
+fn tag(name: &str) -> u8 {
+    (0..=u8::MAX)
+        .find(|&t| Frame::tag_name(t) == Some(name))
+        .unwrap_or_else(|| panic!("unknown frame name {name}"))
+}
+
+/// Seeded churn chaos on the mailbox wire: every mailbox shard sits
+/// behind a fault proxy dropping, delaying, stalling or cutting
+/// mailbox-phase frames while a user churns offline and back.  The
+/// at-least-once fetch protocol (retry + batch dedup + ack-after-read)
+/// must deliver every message exactly once: no loss, no duplication,
+/// no Opaque residue — across every seed.
+fn churn_chaos_sweep(seeds: std::ops::Range<u64>) {
+    let tags = ["Deliver", "FetchPage", "MailboxPage", "FetchAck", "Ok"];
+    let kinds = [
+        FaultKind::Drop,
+        FaultKind::Delay,
+        FaultKind::Disconnect,
+        FaultKind::Stall,
+    ];
+    for seed in seeds {
+        let mut rng = StdRng::seed_from_u64(0xB0C5 + seed);
+        let mut plan = FaultPlan::new(seed);
+        for _ in 0..1 + rng.gen_range(0..2) {
+            let kind = kinds[rng.gen_range(0..kinds.len())];
+            let dir = match rng.gen_range(0..3) {
+                0 => Direction::Up,
+                1 => Direction::Down,
+                _ => Direction::Both,
+            };
+            plan = plan.with(
+                FaultRule::new(kind)
+                    .tag(tag(tags[rng.gen_range(0..tags.len())]))
+                    .skip(rng.gen_range(0..2))
+                    .ms(150)
+                    .dir(dir),
+            );
+        }
+
+        let config = DeploymentConfig::small(2, 2);
+        let (mut cluster, _proxies, mut deployment) = launch_local_with_mailbox_faults(
+            &mut rng,
+            &config,
+            &plan,
+            fast_timeouts(),
+            fast_retry(),
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: launch failed: {e}"));
+        let ell = deployment.topology().ell();
+
+        let n_users = 6;
+        let mut users: Vec<User> = (0..n_users).map(|_| User::new(&mut rng)).collect();
+        let (a, b) = (users[0].pk(), users[1].pk());
+        users[0].start_conversation(b);
+        users[1].start_conversation(a);
+        let churner = 5; // cover-only; offline for round 1
+
+        for round in 0..3u64 {
+            users[churner].online = round != 1;
+            users[0].queue_chat(format!("r{round} storm chat").into_bytes());
+
+            let (report, fetched) =
+                deployment
+                    .run_round(&mut rng, &mut users)
+                    .unwrap_or_else(|e| {
+                        panic!("seed {seed}: round {round} failed under {plan:?}: {e}")
+                    });
+            assert_eq!(
+                report.delivered,
+                n_users * ell,
+                "seed {seed}: round {round} delivery shrank under {plan:?}"
+            );
+
+            for (i, user) in users.iter().enumerate() {
+                if !user.online {
+                    continue;
+                }
+                let got = &fetched[&user.mailbox_id()];
+                // Exactly-once: the churner's round-1 backlog arrives in
+                // round 2 on top of the fresh ℓ; everyone else gets ℓ.
+                let expect = if i == churner && round == 2 {
+                    2 * ell
+                } else {
+                    ell
+                };
+                assert_eq!(
+                    got.len(),
+                    expect,
+                    "seed {seed}: user {i} round {round} lost or duplicated mail under {plan:?}"
+                );
+                assert!(
+                    !got.contains(&Received::Opaque),
+                    "seed {seed}: user {i} round {round} has Opaque residue under {plan:?}"
+                );
+            }
+            assert!(
+                fetched[&users[1].mailbox_id()]
+                    .iter()
+                    .any(|r| matches!(r, Received::Chat { data, .. }
+                        if *data == format!("r{round} storm chat").into_bytes())),
+                "seed {seed}: round {round} chat lost under {plan:?}"
+            );
+        }
+        cluster.shutdown();
+    }
+}
+
+#[test]
+fn churn_chaos_sweep_seeds_0_to_10() {
+    churn_chaos_sweep(0..10);
+}
+
+#[test]
+fn churn_chaos_sweep_seeds_10_to_20() {
+    churn_chaos_sweep(10..20);
+}

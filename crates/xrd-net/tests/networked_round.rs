@@ -256,16 +256,44 @@ fn netd_process_serves_mailbox() {
     let mut conn = Conn::connect(addr).expect("connect to daemon process");
     let sealed = vec![9u8; xrd_mixnet::MAILBOX_MSG_LEN - 32];
     conn.request_ok(&Frame::Deliver {
-        round: 0,
+        round: 7,
+        batch: 0,
         messages: vec![xrd_mixnet::MailboxMessage {
             mailbox: [3u8; 32],
             sealed: sealed.clone(),
         }],
     })
     .expect("deliver");
-    match conn.request(&Frame::Fetch { mailbox: [3u8; 32] }).unwrap() {
-        Frame::MailboxContents { sealed: got } => assert_eq!(got, vec![sealed]),
-        other => panic!("expected contents, got {other:?}"),
+    let page = Frame::FetchPage {
+        mailbox: [3u8; 32],
+        cursor: 0,
+        max: 16,
+    };
+    match conn.request(&page).unwrap() {
+        Frame::MailboxPage {
+            sealed: got,
+            next_cursor,
+            remaining,
+        } => {
+            assert_eq!(got, vec![(7, sealed)]);
+            assert_eq!(next_cursor, 1);
+            assert_eq!(remaining, 0);
+        }
+        other => panic!("expected page, got {other:?}"),
+    }
+    // Un-acked entries stay: a second walk re-reads the same page.
+    match conn.request(&page).unwrap() {
+        Frame::MailboxPage { sealed: got, .. } => assert_eq!(got.len(), 1),
+        other => panic!("expected page, got {other:?}"),
+    }
+    conn.request_ok(&Frame::FetchAck {
+        mailbox: [3u8; 32],
+        upto: 1,
+    })
+    .expect("ack");
+    match conn.request(&page).unwrap() {
+        Frame::MailboxPage { sealed: got, .. } => assert!(got.is_empty(), "acked mail retired"),
+        other => panic!("expected page, got {other:?}"),
     }
     conn.request_ok(&Frame::Shutdown).expect("shutdown");
     let status = child.wait().expect("daemon exits");

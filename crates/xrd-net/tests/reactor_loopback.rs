@@ -34,7 +34,12 @@ fn byte_dribbling_peer_does_not_stall_other_connections() {
     let mut dribbler = TcpStream::connect(addr).expect("dribbler connects");
     let mut fast = Conn::connect(addr).expect("fast client connects");
 
-    let wire = Frame::Fetch { mailbox: [5; 32] }.encode();
+    let wire = Frame::FetchPage {
+        mailbox: [5; 32],
+        cursor: 0,
+        max: 8,
+    }
+    .encode();
     let (head, last) = wire.split_at(wire.len() - 1);
     for &byte in head {
         dribbler.write_all(&[byte]).expect("dribble one byte");
@@ -42,11 +47,12 @@ fn byte_dribbling_peer_does_not_stall_other_connections() {
         fast.request_ok(&Frame::Ping).expect("fast ping served");
     }
 
-    // A's frame completes only now — and gets its answer.
+    // A's frame completes only now — and gets its answer (the mailbox
+    // was never delivered to, which the shard reports as such).
     dribbler.write_all(last).expect("final byte");
     match read_frame(&mut dribbler).expect("response readable") {
-        Some(Ok(Frame::MailboxContents { sealed })) => assert!(sealed.is_empty()),
-        other => panic!("expected MailboxContents, got {other:?}"),
+        Some(Ok(Frame::Error { code, .. })) => assert_eq!(code, error_code::UNKNOWN_MAILBOX),
+        other => panic!("expected UNKNOWN_MAILBOX error, got {other:?}"),
     }
 }
 
@@ -100,20 +106,23 @@ fn pipelined_requests_on_one_connection_answered_in_order() {
 
     let msg = mailbox_message(9);
     conn.send(&Frame::Deliver {
-        round: 0,
+        round: 4,
+        batch: 0,
         messages: vec![msg.clone()],
     })
     .expect("deliver fired");
-    conn.send(&Frame::Fetch {
+    conn.send(&Frame::FetchPage {
         mailbox: msg.mailbox,
+        cursor: 0,
+        max: 8,
     })
     .expect("fetch fired");
     conn.send(&Frame::Ping).expect("ping fired");
 
     assert!(matches!(conn.recv().expect("ack 1"), Frame::Ok));
     match conn.recv().expect("ack 2") {
-        Frame::MailboxContents { sealed } => assert_eq!(sealed, vec![msg.sealed]),
-        other => panic!("expected MailboxContents, got {other:?}"),
+        Frame::MailboxPage { sealed, .. } => assert_eq!(sealed, vec![(4, msg.sealed)]),
+        other => panic!("expected MailboxPage, got {other:?}"),
     }
     assert!(matches!(conn.recv().expect("ack 3"), Frame::Ok));
 }

@@ -61,20 +61,26 @@ fn scraped_counters_match_frames_actually_sent() {
         traffic.request_ok(&Frame::Ping).expect("ping served");
     }
     for i in 0..FETCHES {
-        let fetch = Frame::Fetch {
+        let fetch = Frame::FetchPage {
             mailbox: [i as u8; 32],
+            cursor: 0,
+            max: 8,
         };
         traffic_bytes += fetch.encode().len() as u64;
-        match traffic.request(&fetch).expect("fetch served") {
-            Frame::MailboxContents { sealed } => assert!(sealed.is_empty()),
-            other => panic!("expected MailboxContents, got {other:?}"),
+        // Nothing was ever delivered to these mailboxes, so the shard
+        // distinguishes them from merely-empty ones with a typed error.
+        match traffic.request(&fetch) {
+            Err(xrd_net::NetError::Remote { code, .. }) => {
+                assert_eq!(code, xrd_net::codec::error_code::UNKNOWN_MAILBOX)
+            }
+            other => panic!("expected UNKNOWN_MAILBOX, got {other:?}"),
         }
     }
 
     let after = scrape(&mut scraper);
 
     assert_eq!(delta(&after, &before, "frames.in.Ping"), PINGS);
-    assert_eq!(delta(&after, &before, "frames.in.Fetch"), FETCHES);
+    assert_eq!(delta(&after, &before, "frames.in.FetchPage"), FETCHES);
     // The first scrape's own request is inside its snapshot (counted
     // before the report is built), so between the two snapshots
     // exactly one more StatsRequest landed: the second scrape's.
