@@ -30,6 +30,20 @@
 //!   shards): serial vs shard-parallel deliver/paginated-fetch, with an
 //!   offline fraction draining a two-round backlog — fails on any lost
 //!   or duplicated entry;
+//! * `launch --manifest FILE [--users N] [--rounds R] [--transport T]`
+//!   — spawn the deployment a manifest describes as real `xrd-netd`
+//!   child processes (key ceremony, config files, daemon-to-daemon
+//!   `--successor` wiring), drive a client-reactor swarm against it,
+//!   print per-round latency/throughput, and shut everything down over
+//!   the wire (see `docs/DEPLOYMENT.md`);
+//! * `scale [--users N[,N...]] [--rounds R]` — the §8 scaling curve:
+//!   for each population size, launch a fresh multi-process deployment
+//!   and drive the emulated-user swarm through `R` rounds under the
+//!   forwarded transport and again under coordinator-relayed
+//!   streaming, emitting one JSON object per size (round latency,
+//!   msgs/s, per-phase span timings).  Multiple sizes re-invoke this
+//!   binary once per size so each measurement gets a clean process-
+//!   global metrics registry;
 //! * `stats ADDR` — scrape any running daemon's metrics over the wire
 //!   (a `StatsRequest` frame) and print the human-readable dump: frame
 //!   counters, hop-phase latency histograms, round span timeline.
@@ -48,9 +62,9 @@ use rand::{RngCore, SeedableRng};
 use xrd_core::DeploymentConfig;
 use xrd_net::codec::{decode_server_config, encode_server_config};
 use xrd_net::{
-    launch_local, launch_local_faulty, mailbox_storm, run_swarm, submit_storm, ByzantineMode,
-    FaultPlan, FaultProxy, MailboxDaemon, MailboxStormConfig, MixServerDaemon, StormConfig,
-    SwarmConfig,
+    launch_local, launch_local_faulty, launch_manifest, mailbox_storm, run_swarm, submit_storm,
+    ByzantineMode, FaultPlan, FaultProxy, MailboxDaemon, MailboxStormConfig, Manifest,
+    MixServerDaemon, StormConfig, SwarmConfig, Transport,
 };
 
 fn usage() -> ExitCode {
@@ -65,6 +79,10 @@ fn usage() -> ExitCode {
          [--page-max N] [--dir DIR] [--seed X]\n  \
          xrd-netd demo [--servers N] [--chain-len K] [--shards S] [--users U] [--rounds R] \
          [--faults FILE]\n  \
+         xrd-netd launch --manifest FILE [--users N] [--rounds R] \
+         [--transport forwarded|streamed]\n  \
+         xrd-netd scale [--users N[,N...]] [--rounds R] [--servers S] [--chain-len K] \
+         [--shards M] [--json FILE]\n  \
          xrd-netd stress [--conns N] [--workers W] [--chain-len K]\n  \
          xrd-netd stats ADDR"
     );
@@ -92,6 +110,8 @@ fn main() -> ExitCode {
         "mailbox" => mailbox(rest),
         "mailbox-storm" => mailbox_storm_cmd(rest),
         "demo" => demo(rest),
+        "launch" => launch(rest),
+        "scale" => scale(rest),
         "stress" => stress(rest),
         "stats" => stats(rest),
         _ => usage(),
@@ -221,6 +241,16 @@ fn mix(args: &[String]) -> ExitCode {
         return usage();
     };
     let listen = flag(args, "--listen").unwrap_or_else(|| "127.0.0.1:0".into());
+    let successor = match flag(args, "--successor") {
+        None => None,
+        Some(addr) => match addr.parse::<std::net::SocketAddr>() {
+            Ok(a) => Some(a),
+            Err(e) => {
+                xrd_obs::error!("mix: bad successor address {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
     let blob = match std::fs::read(&config_path) {
         Ok(b) => b,
         Err(e) => {
@@ -235,7 +265,13 @@ fn mix(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let daemon = match MixServerDaemon::spawn_os_seeded(listen.as_str(), secrets, public) {
+    let daemon = match MixServerDaemon::spawn_with_successor(
+        listen.as_str(),
+        secrets,
+        public,
+        rand::rngs::OsRng.next_u64(),
+        successor,
+    ) {
         Ok(d) => d,
         Err(e) => {
             xrd_obs::error!("mix: cannot listen on {listen}: {e}");
@@ -592,5 +628,318 @@ fn demo(args: &[String]) -> ExitCode {
         }
     }
     cluster.shutdown();
+    ExitCode::SUCCESS
+}
+
+/// Spawn a manifest-described deployment as real child processes and
+/// drive a client swarm against it.
+fn launch(args: &[String]) -> ExitCode {
+    let Some(path) = flag(args, "--manifest") else {
+        return usage();
+    };
+    let users = flag(args, "--users")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256usize);
+    let rounds = flag(args, "--rounds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2u64);
+    let transport = match flag(args, "--transport").as_deref() {
+        None | Some("forwarded") => Transport::Forwarded { chunk: 64 },
+        Some("streamed") => Transport::Streamed { chunk: 64 },
+        Some(other) => {
+            xrd_obs::error!("launch: unknown transport `{other}` (forwarded|streamed)");
+            return usage();
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            xrd_obs::error!("launch: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let manifest = match Manifest::parse(&text) {
+        Ok(m) => m,
+        Err(e) => {
+            xrd_obs::error!("launch: bad manifest {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let netd = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            xrd_obs::error!("launch: cannot locate own binary: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut rng = StdRng::seed_from_u64(rand::rngs::OsRng.next_u64());
+    let mut cluster = match launch_manifest(&mut rng, &manifest, &netd) {
+        Ok(c) => c,
+        Err(e) => {
+            xrd_obs::error!("launch: spawn failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "launch: {} processes up ({} chains × {} hops + {} mailbox shards)",
+        cluster.n_processes(),
+        cluster.topology().n_chains(),
+        manifest.chain_len,
+        manifest.n_shards
+    );
+    let mut deployment = match cluster.connect() {
+        Ok(d) => d,
+        Err(e) => {
+            xrd_obs::error!("launch: cannot connect coordinator: {e}");
+            cluster.shutdown();
+            return ExitCode::FAILURE;
+        }
+    };
+    deployment.set_transport(transport);
+    let report = match run_swarm(
+        &mut rng,
+        &mut deployment,
+        &SwarmConfig {
+            n_users: users,
+            rounds,
+            ..Default::default()
+        },
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            xrd_obs::error!("launch: {e}");
+            cluster.shutdown();
+            return ExitCode::FAILURE;
+        }
+    };
+    for r in &report.rounds {
+        println!(
+            "round {:>3}: {:>8.1?}  mixed {:>5}  delivered {:>5}  {:>8.0} msg/s",
+            r.round, r.latency, r.messages_mixed, r.delivered, r.msgs_per_sec
+        );
+    }
+    println!(
+        "mean latency {:.1?}, mean throughput {:.0} msg/s, {:.2} MiB on the wire",
+        report.mean_latency(),
+        report.mean_throughput(),
+        report.bytes_on_wire as f64 / (1024.0 * 1024.0)
+    );
+    let killed = cluster.shutdown();
+    if killed > 0 {
+        xrd_obs::error!("launch: {killed} daemon(s) ignored Shutdown and were killed");
+        return ExitCode::FAILURE;
+    }
+    println!("launch: clean shutdown");
+    ExitCode::SUCCESS
+}
+
+/// Span durations (ms) of one named round phase, restricted to the
+/// given rounds.
+fn spans_ms(stats: &xrd_obs::Snapshot, name: &str, rounds: &[u64]) -> Vec<f64> {
+    stats
+        .spans
+        .iter()
+        .filter(|s| s.name == name && rounds.contains(&s.round))
+        .map(|s| s.dur_us as f64 / 1000.0)
+        .collect()
+}
+
+fn json_f64s(v: &[f64]) -> String {
+    let items: Vec<String> = v.iter().map(|x| format!("{x:.2}")).collect();
+    format!("[{}]", items.join(", "))
+}
+
+/// One transport pass's measurements as a JSON object.  `stats` is the
+/// snapshot to pull phase spans from (the final snapshot covers every
+/// pass; the per-report round numbers keep them separable).
+fn pass_json(report: &xrd_net::SwarmReport, stats: &xrd_obs::Snapshot) -> String {
+    let rounds: Vec<u64> = report.rounds.iter().map(|r| r.round).collect();
+    let latency_ms: Vec<f64> = report
+        .rounds
+        .iter()
+        .map(|r| r.latency.as_secs_f64() * 1000.0)
+        .collect();
+    let msgs: Vec<f64> = report.rounds.iter().map(|r| r.msgs_per_sec).collect();
+    format!(
+        "{{\"round_ms\": {}, \"msgs_per_sec\": {}, \"submit_ms\": {}, \"mix_ms\": {}, \
+         \"deliver_ms\": {}, \"fetch_ms\": {}}}",
+        json_f64s(&latency_ms),
+        json_f64s(&msgs),
+        json_f64s(&spans_ms(stats, "round.submit_window", &rounds)),
+        json_f64s(&spans_ms(stats, "round.mix", &rounds)),
+        json_f64s(&spans_ms(stats, "round.deliver", &rounds)),
+        json_f64s(&spans_ms(stats, "round.fetch", &rounds)),
+    )
+}
+
+/// The §8 scaling curve: per population size, a fresh multi-process
+/// deployment, the swarm under forwarded then streamed transport, one
+/// JSON object on stdout.  Multiple sizes run as child invocations so
+/// every measurement gets its own process-global metrics registry.
+fn scale(args: &[String]) -> ExitCode {
+    let users_arg = flag(args, "--users").unwrap_or_else(|| "1000,10000,50000".into());
+    let sizes: Vec<usize> = match users_arg
+        .split(',')
+        .map(|s| s.trim().parse::<usize>())
+        .collect::<Result<Vec<_>, _>>()
+    {
+        Ok(v) if !v.is_empty() => v,
+        _ => {
+            xrd_obs::error!("scale: bad --users list `{users_arg}`");
+            return usage();
+        }
+    };
+    let rounds = flag(args, "--rounds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2u64);
+    let servers = flag(args, "--servers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4usize);
+    let chain_len = flag(args, "--chain-len")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3usize);
+    let shards = flag(args, "--shards")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2usize);
+    let json_path = flag(args, "--json");
+
+    if sizes.len() > 1 {
+        // Driver mode: one child process per size, clean registry each.
+        let exe = match std::env::current_exe() {
+            Ok(p) => p,
+            Err(e) => {
+                xrd_obs::error!("scale: cannot locate own binary: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut objects = Vec::new();
+        for n in sizes {
+            eprintln!("scale: measuring {n} users × {rounds} rounds...");
+            let out = std::process::Command::new(&exe)
+                .arg("scale")
+                .arg("--users")
+                .arg(n.to_string())
+                .arg("--rounds")
+                .arg(rounds.to_string())
+                .arg("--servers")
+                .arg(servers.to_string())
+                .arg("--chain-len")
+                .arg(chain_len.to_string())
+                .arg("--shards")
+                .arg(shards.to_string())
+                .stderr(std::process::Stdio::inherit())
+                .output();
+            let out = match out {
+                Ok(o) => o,
+                Err(e) => {
+                    xrd_obs::error!("scale: child for {n} users failed to start: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if !out.status.success() {
+                xrd_obs::error!("scale: child for {n} users exited with {}", out.status);
+                return ExitCode::FAILURE;
+            }
+            let stdout = String::from_utf8_lossy(&out.stdout);
+            let Some(line) = stdout.lines().find(|l| l.starts_with('{')) else {
+                xrd_obs::error!("scale: child for {n} users printed no measurement");
+                return ExitCode::FAILURE;
+            };
+            objects.push(line.to_string());
+        }
+        let doc = format!("[\n{}\n]", objects.join(",\n"));
+        if let Some(path) = &json_path {
+            if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+                xrd_obs::error!("scale: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        println!("{doc}");
+        return ExitCode::SUCCESS;
+    }
+
+    // Single size: measure in this process.
+    let n_users = sizes[0];
+    let manifest = Manifest::single_host(
+        "local",
+        std::net::IpAddr::from([127, 0, 0, 1]),
+        9,
+        servers,
+        0.2,
+        chain_len,
+        shards,
+        0,
+    );
+    let netd = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            xrd_obs::error!("scale: cannot locate own binary: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut rng = StdRng::seed_from_u64(rand::rngs::OsRng.next_u64());
+    let mut cluster = match launch_manifest(&mut rng, &manifest, &netd) {
+        Ok(c) => c,
+        Err(e) => {
+            xrd_obs::error!("scale: spawn failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // A mix hop is legitimately silent while it decrypts its whole
+    // batch, and with every daemon timesharing this host that stretch
+    // grows with the population — size the read ceiling to it.
+    let timeouts = xrd_net::ConnTimeouts {
+        read: std::cmp::max(
+            std::time::Duration::from_secs(60),
+            std::time::Duration::from_millis(10) * n_users as u32,
+        ),
+        write: std::cmp::max(
+            std::time::Duration::from_secs(30),
+            std::time::Duration::from_millis(5) * n_users as u32,
+        ),
+        ..xrd_net::ConnTimeouts::default()
+    };
+    let mut deployment = match cluster.connect_timeouts(timeouts, Default::default()) {
+        Ok(d) => d,
+        Err(e) => {
+            xrd_obs::error!("scale: cannot connect coordinator: {e}");
+            cluster.shutdown();
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = SwarmConfig {
+        n_users,
+        rounds,
+        conversing_fraction: 0.5,
+        submit_workers: 8,
+    };
+    deployment.set_transport(Transport::Forwarded { chunk: 64 });
+    let forwarded = match run_swarm(&mut rng, &mut deployment, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            xrd_obs::error!("scale: forwarded pass failed: {e}");
+            cluster.shutdown();
+            return ExitCode::FAILURE;
+        }
+    };
+    deployment.set_transport(Transport::Streamed { chunk: 64 });
+    let streamed = match run_swarm(&mut rng, &mut deployment, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            xrd_obs::error!("scale: streamed pass failed: {e}");
+            cluster.shutdown();
+            return ExitCode::FAILURE;
+        }
+    };
+    cluster.shutdown();
+    // The final snapshot has both passes' spans; report round numbers
+    // keep them separable.
+    println!(
+        "{{\"users\": {n_users}, \"rounds\": {rounds}, \"servers\": {servers}, \
+         \"chain_len\": {chain_len}, \"shards\": {shards}, \
+         \"forwarded\": {}, \"streamed\": {}}}",
+        pass_json(&forwarded, &streamed.stats),
+        pass_json(&streamed, &streamed.stats),
+    );
     ExitCode::SUCCESS
 }

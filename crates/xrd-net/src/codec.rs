@@ -123,6 +123,8 @@ const TAG_HOP_OUTPUT_START: u8 = 0x28;
 const TAG_HOP_OUTPUT_CHUNK: u8 = 0x29;
 const TAG_HOP_OUTPUT_END: u8 = 0x2A;
 const TAG_VERIFY_HOP_KEYS: u8 = 0x2B;
+const TAG_MIX_FORWARD: u8 = 0x2C;
+const TAG_HOP_FORWARDED: u8 = 0x2D;
 const TAG_REVEAL_INNER_KEY: u8 = 0x30;
 const TAG_INNER_KEY_REVEAL: u8 = 0x31;
 const TAG_PREPARE_ROTATION: u8 = 0x32;
@@ -364,6 +366,35 @@ pub enum Frame {
         /// DH keys of the prover's outputs, in emission order.
         output_dhs: Vec<GroupElement>,
         /// The aggregate proof to check.
+        proof: DleqProof,
+    },
+    /// Coordinator → every hop of a chain, before streaming the round's
+    /// batch to hop 0: run this round in *forwarded* mode.  A hop with
+    /// a configured successor streams its output chunks straight to
+    /// that successor instead of replying with them, and reports only
+    /// its keys-only attestation ([`Frame::HopForwarded`]) on the
+    /// connection this frame arrived on; the last hop (no successor)
+    /// reports its full output stream there instead.  Answered with
+    /// [`Frame::Ok`]; the reports follow unsolicited once the hop
+    /// completes.
+    MixForward {
+        /// Round number.
+        round: u64,
+    },
+    /// A forwarding hop's keys-only attestation for a round it ran in
+    /// forwarded mode: the same statement as [`Frame::VerifyHopKeys`]
+    /// (§6.3 binds only the DH-key columns), pushed to the coordinator
+    /// while the full entries travel daemon-to-daemon.
+    HopForwarded {
+        /// Round number.
+        round: u64,
+        /// The reporting hop's position.
+        position: u32,
+        /// DH keys of the hop's inputs, in arrival order.
+        input_dhs: Vec<GroupElement>,
+        /// DH keys of the hop's outputs, in emission order.
+        output_dhs: Vec<GroupElement>,
+        /// Aggregate blinding attestation (§6.3 step 3).
         proof: DleqProof,
     },
 
@@ -1150,6 +1181,26 @@ impl Frame {
                 w.dleq(proof);
                 w
             }
+            Frame::MixForward { round } => {
+                let mut w = Writer::new(TAG_MIX_FORWARD);
+                w.u64(*round);
+                w
+            }
+            Frame::HopForwarded {
+                round,
+                position,
+                input_dhs,
+                output_dhs,
+                proof,
+            } => {
+                let mut w = Writer::new(TAG_HOP_FORWARDED);
+                w.u64(*round);
+                w.u32(*position);
+                w.groups(input_dhs);
+                w.groups(output_dhs);
+                w.dleq(proof);
+                w
+            }
             Frame::RevealInnerKey { round } => {
                 let mut w = Writer::new(TAG_REVEAL_INNER_KEY);
                 w.u64(*round);
@@ -1415,6 +1466,14 @@ impl Frame {
                 output_dhs: r.groups()?,
                 proof: r.dleq()?,
             },
+            TAG_MIX_FORWARD => Frame::MixForward { round: r.u64()? },
+            TAG_HOP_FORWARDED => Frame::HopForwarded {
+                round: r.u64()?,
+                position: r.u32()?,
+                input_dhs: r.groups()?,
+                output_dhs: r.groups()?,
+                proof: r.dleq()?,
+            },
             TAG_REVEAL_INNER_KEY => Frame::RevealInnerKey { round: r.u64()? },
             TAG_INNER_KEY_REVEAL => Frame::InnerKeyReveal {
                 position: r.u32()?,
@@ -1556,6 +1615,8 @@ impl Frame {
             Frame::HopOutputChunk { .. } => TAG_HOP_OUTPUT_CHUNK,
             Frame::HopOutputEnd { .. } => TAG_HOP_OUTPUT_END,
             Frame::VerifyHopKeys { .. } => TAG_VERIFY_HOP_KEYS,
+            Frame::MixForward { .. } => TAG_MIX_FORWARD,
+            Frame::HopForwarded { .. } => TAG_HOP_FORWARDED,
             Frame::RevealInnerKey { .. } => TAG_REVEAL_INNER_KEY,
             Frame::InnerKeyReveal { .. } => TAG_INNER_KEY_REVEAL,
             Frame::PrepareRotation { .. } => TAG_PREPARE_ROTATION,
@@ -1604,6 +1665,8 @@ impl Frame {
             TAG_HOP_OUTPUT_CHUNK => "HopOutputChunk",
             TAG_HOP_OUTPUT_END => "HopOutputEnd",
             TAG_VERIFY_HOP_KEYS => "VerifyHopKeys",
+            TAG_MIX_FORWARD => "MixForward",
+            TAG_HOP_FORWARDED => "HopForwarded",
             TAG_REVEAL_INNER_KEY => "RevealInnerKey",
             TAG_INNER_KEY_REVEAL => "InnerKeyReveal",
             TAG_PREPARE_ROTATION => "PrepareRotation",

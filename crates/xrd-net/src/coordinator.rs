@@ -158,6 +158,19 @@ pub enum Transport {
         /// Entries per [`Frame::MixBatchChunk`].
         chunk: usize,
     },
+    /// Daemon-to-daemon forwarding: the coordinator streams the batch
+    /// to hop 0 only, and each hop pushes its output straight to its
+    /// successor (configured at daemon spawn, typically from the
+    /// deployment manifest).  The coordinator receives one keys-only
+    /// [`Frame::HopForwarded`] attestation per intermediate hop and
+    /// the final hop's full output stream — intermediate batches never
+    /// cross the coordinator's wire at all.  Requires daemons spawned
+    /// with successors; a failed pass falls back to
+    /// [`Transport::Streamed`] on retry.
+    Forwarded {
+        /// Entries per [`Frame::MixBatchChunk`] on the hop-0 leg.
+        chunk: usize,
+    },
 }
 
 impl Transport {
@@ -480,10 +493,15 @@ impl ChainClient {
         submissions: &[Submission],
     ) -> Result<MixPhase, NetError> {
         let mut attempt = 0;
+        let mut transport = self.transport;
         loop {
-            let result = match self.transport {
+            let forwarded = matches!(transport, Transport::Forwarded { .. });
+            let result = match transport {
                 Transport::Whole => self.mix_round_whole(round, submissions),
                 Transport::Streamed { chunk } => self.mix_round_streamed(round, submissions, chunk),
+                Transport::Forwarded { chunk } => {
+                    self.mix_round_forwarded(round, submissions, chunk)
+                }
                 Transport::Auto => {
                     if submissions.len() >= Transport::AUTO_STREAM_MIN {
                         self.mix_round_streamed(round, submissions, STREAM_CHUNK)
@@ -493,14 +511,30 @@ impl ChainClient {
                 }
             };
             match result {
-                Err(e) if e.retryable() && attempt + 1 < self.retry.attempts => {
+                // Forwarded-mode failures always downgrade: whatever
+                // broke (a dead successor link, a decrypt failure the
+                // blame machinery must localize), the relayed pipeline
+                // can handle it — per-hop errors reach the coordinator
+                // directly there instead of cascading through daemons.
+                Err(e) if (e.retryable() || forwarded) && attempt + 1 < self.retry.attempts => {
                     attempt += 1;
                     coord_metrics().mix_retries.incr();
-                    xrd_obs::info!(
-                        "round {round}: mix pass failed on transport ({e}), \
-                         reconnecting for attempt {}",
-                        attempt + 1
-                    );
+                    if forwarded {
+                        transport = Transport::Streamed {
+                            chunk: STREAM_CHUNK,
+                        };
+                        xrd_obs::info!(
+                            "round {round}: forwarded mix pass failed ({e}), \
+                             falling back to relayed streaming for attempt {}",
+                            attempt + 1
+                        );
+                    } else {
+                        xrd_obs::info!(
+                            "round {round}: mix pass failed on transport ({e}), \
+                             reconnecting for attempt {}",
+                            attempt + 1
+                        );
+                    }
                     self.retry.sleep(attempt);
                     // A fresh pass needs fresh connections: streamed
                     // sessions and in-flight responses on the old ones
@@ -967,6 +1001,307 @@ impl ChainClient {
             misbehaving_servers,
             stats,
         }))
+    }
+
+    /// [`ChainClient::mix_round`] with daemon-to-daemon forwarding:
+    /// the coordinator streams the agreed batch to hop 0 once, each
+    /// hop pushes its output straight to its successor, and only
+    /// keys-only [`Frame::HopForwarded`] attestations plus the final
+    /// mixed batch come back — intermediate ciphertext batches never
+    /// cross the coordinator's wire.
+    ///
+    /// The chain is audited from DH-key columns alone: the §6.3
+    /// statement a hop proves involves only its input/output key
+    /// columns against the bundle's blinding bases, never the
+    /// ciphertexts, so the attested columns — stitched end to end by
+    /// continuity checks against the agreed batch and the final
+    /// stream — carry exactly the information every verification
+    /// needs.  The coordinator checks each hop locally, broadcasts the
+    /// columns for cross-server verification, and reveals inner keys
+    /// only after every check passes, the same bar as the relayed
+    /// paths.
+    ///
+    /// Blame needs full batches, so any failure here (a dead
+    /// successor link, a decrypt failure cascading up as an error, a
+    /// column seam mismatch) surfaces as an error for
+    /// [`ChainClient::mix_round_deferred`] to retry over relayed
+    /// streaming, where per-hop machinery has everything it needs.
+    fn mix_round_forwarded(
+        &mut self,
+        round: u64,
+        submissions: &[Submission],
+        chunk: usize,
+    ) -> Result<MixPhase, NetError> {
+        let k = self.conns.len();
+        let mut stats = ChainRoundStats::default();
+        let mut misbehaving_servers: Vec<usize> = Vec::new();
+        let entries: Vec<MixEntry> = submissions.iter().map(|s| s.to_entry()).collect();
+
+        // Mark the round forwarded on every hop; each daemon records
+        // this very connection as the round's report channel.
+        for conn in &mut self.conns {
+            match conn.request(&Frame::MixForward { round })? {
+                Frame::Ok => {}
+                Frame::Error { code, message } => return Err(NetError::Remote { code, message }),
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "expected Ok for MixForward, got {other:?}"
+                    )))
+                }
+            }
+        }
+
+        // Stream the agreed batch to hop 0 — the only batch transfer
+        // the coordinator performs in this mode.
+        let stream = ChunkedBatch::build(round, &entries, chunk);
+        for bytes in stream.frames() {
+            self.conns[0].send_encoded(bytes)?;
+        }
+
+        // Collect attestations.  Hops `0..k-1` each deliver one
+        // `HopForwarded` on their own connection — hop 0's doubles as
+        // the ack that the entire downstream cascade landed, since
+        // every hop's forward blocks on its successor's ack.
+        let mut columns: Vec<(Vec<GroupElement>, Vec<GroupElement>, DleqProof)> =
+            Vec::with_capacity(k);
+        for pos in 0..k.saturating_sub(1) {
+            let _span = xrd_obs::span_timer(format!("coord.hop{pos}"), round);
+            match self.conns[pos].recv()? {
+                Frame::HopForwarded {
+                    round: r,
+                    position,
+                    input_dhs,
+                    output_dhs,
+                    proof,
+                } if r == round && position as usize == pos => {
+                    if input_dhs.len() != output_dhs.len() {
+                        return Err(NetError::Protocol(format!(
+                            "hop {pos} attested mismatched column lengths"
+                        )));
+                    }
+                    stats.proofs_generated += 1;
+                    columns.push((input_dhs, output_dhs, proof));
+                }
+                Frame::Error { code, message } => return Err(NetError::Remote { code, message }),
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "expected HopForwarded from hop {pos}, got {other:?}"
+                    )))
+                }
+            }
+        }
+
+        // The last hop pushes its full output stream; its End frame
+        // carries the chain-final attestation.
+        let last = k - 1;
+        let final_entries: Vec<MixEntry>;
+        let last_proof: DleqProof;
+        {
+            let _span = xrd_obs::span_timer(format!("coord.hop{last}"), round);
+            let total = match self.conns[last].recv()? {
+                Frame::HopOutputStart {
+                    round: r,
+                    position,
+                    total,
+                } if r == round && position as usize == last => total,
+                Frame::Error { code, message } => return Err(NetError::Remote { code, message }),
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "expected HopOutputStart from hop {last}, got {other:?}"
+                    )))
+                }
+            };
+            if total as usize != entries.len() {
+                return Err(NetError::Protocol(format!(
+                    "chain answered {total} entries to a {}-entry batch",
+                    entries.len()
+                )));
+            }
+            let mut assembler = BatchAssembler::begin(round, total)
+                .map_err(|e| NetError::Protocol(format!("hop {last}: {e}")))?;
+            loop {
+                match self.conns[last].recv()? {
+                    Frame::HopOutputChunk { entries } => {
+                        assembler
+                            .absorb(entries)
+                            .map_err(|e| NetError::Protocol(format!("hop {last}: {e}")))?;
+                    }
+                    Frame::HopOutputEnd { digest, proof } => {
+                        final_entries = assembler
+                            .finish(digest)
+                            .map_err(|e| NetError::Protocol(format!("hop {last}: {e}")))?;
+                        last_proof = proof;
+                        break;
+                    }
+                    Frame::Error { code, message } => {
+                        return Err(NetError::Remote { code, message })
+                    }
+                    other => {
+                        return Err(NetError::Protocol(format!(
+                            "expected HopOutputChunk/End, got {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+        stats.proofs_generated += 1;
+
+        // Stitch the columns end to end: hop 0 must have consumed the
+        // agreed batch, and every seam must match — a mismatch means
+        // some daemon mixed a batch other than the one its predecessor
+        // emitted, which column auditing cannot localize; fail the
+        // pass and let the relayed retry sort it out.
+        let input_col: Vec<GroupElement> = entries.iter().map(|e| e.dh).collect();
+        let final_col: Vec<GroupElement> = final_entries.iter().map(|e| e.dh).collect();
+        let last_inputs = columns
+            .last()
+            .map(|(_, outputs, _)| outputs.clone())
+            .unwrap_or_else(|| input_col.clone());
+        columns.push((last_inputs, final_col, last_proof));
+        if columns[0].0 != input_col {
+            return Err(NetError::Protocol(
+                "hop 0 attested a different batch than the chain agreed on".into(),
+            ));
+        }
+        for pos in 1..k {
+            if columns[pos].0 != columns[pos - 1].1 {
+                return Err(NetError::Protocol(format!(
+                    "column seam mismatch between hops {} and {pos}",
+                    pos - 1
+                )));
+            }
+        }
+
+        // The coordinator's own audit, per hop over the key columns.
+        // A refuted attestation goes through the dispute protocol so
+        // the conviction rests on gossiped, signed evidence.
+        let _span = xrd_obs::span_timer("coord.verify_chain", round);
+        for (pos, column) in columns.iter().enumerate().take(k) {
+            let (input_dhs, output_dhs, proof) = column.clone();
+            stats.proofs_verified += 1;
+            if !verify_hop_keys(
+                &self.public,
+                pos,
+                round,
+                input_dhs.iter(),
+                output_dhs.iter(),
+                &proof,
+            ) {
+                let outcome = self.run_dispute(round, pos, &input_dhs, &output_dhs, &proof);
+                self.announce_verdict(
+                    round,
+                    pos,
+                    dispute_claim::BAD_PROOF,
+                    true,
+                    outcome.votes_upheld,
+                );
+                self.convicted.push(pos);
+                misbehaving_servers.push(pos);
+                return Ok(MixPhase::Done(ChainRoundOutcome {
+                    delivered: Vec::new(),
+                    malicious_users: Vec::new(),
+                    misbehaving_servers,
+                    stats,
+                }));
+            }
+        }
+
+        // Cross-server verification over the same columns, pipelined
+        // like the streamed path's end-of-chain audit.
+        let excluded = self.excluded.clone();
+        let mut expected: Vec<(usize, usize)> = Vec::new(); // (verifier, prover)
+        for (pos, (input_dhs, output_dhs, proof)) in columns.iter().enumerate() {
+            let wire = Frame::VerifyHopKeys {
+                round,
+                position: pos as u32,
+                input_dhs: input_dhs.clone(),
+                output_dhs: output_dhs.clone(),
+                proof: *proof,
+            }
+            .encode();
+            for (verifier, conn) in self.conns.iter_mut().enumerate() {
+                if verifier != pos && !excluded.contains(&verifier) {
+                    conn.send_encoded(&wire)?;
+                    expected.push((verifier, pos));
+                }
+            }
+        }
+        let mut rejections: Vec<(usize, usize)> = Vec::new(); // (prover, verifier)
+        for (verifier, prover) in expected {
+            stats.proofs_verified += 1;
+            match self.conns[verifier].recv()? {
+                Frame::VerifyResult { ok: true } => {}
+                Frame::VerifyResult { ok: false } => rejections.push((prover, verifier)),
+                Frame::Error { code, message } => return Err(NetError::Remote { code, message }),
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "expected VerifyResult, got {other:?}"
+                    )))
+                }
+            }
+        }
+        let mut disputed_provers: Vec<usize> = rejections.iter().map(|&(p, _)| p).collect();
+        disputed_provers.sort_unstable();
+        disputed_provers.dedup();
+        for prover in disputed_provers {
+            let (input_dhs, output_dhs, proof) = columns[prover].clone();
+            let outcome = self.run_dispute(round, prover, &input_dhs, &output_dhs, &proof);
+            if outcome.proof_invalid {
+                self.announce_verdict(
+                    round,
+                    prover,
+                    dispute_claim::BAD_PROOF,
+                    true,
+                    outcome.votes_upheld,
+                );
+                self.convicted.push(prover);
+                misbehaving_servers.push(prover);
+                return Ok(MixPhase::Done(ChainRoundOutcome {
+                    delivered: Vec::new(),
+                    malicious_users: Vec::new(),
+                    misbehaving_servers,
+                    stats,
+                }));
+            }
+            for &(_, verifier) in rejections.iter().filter(|&&(p, _)| p == prover) {
+                if !outcome.upholders.contains(&verifier) {
+                    xrd_obs::info!(
+                        "round {round}: verifier {verifier} rejected hop {prover} \
+                         but did not uphold under oath; no conviction"
+                    );
+                    continue;
+                }
+                if !self.excluded.insert(verifier) {
+                    continue;
+                }
+                xrd_obs::info!(
+                    "round {round}: verifier {verifier} rejected a valid attestation \
+                     for hop {prover}; convicted and excluded"
+                );
+                self.announce_verdict(
+                    round,
+                    verifier,
+                    dispute_claim::FALSE_VERDICT,
+                    true,
+                    outcome.votes_cast - outcome.votes_upheld,
+                );
+                self.convicted.push(verifier);
+                misbehaving_servers.push(verifier);
+            }
+        }
+
+        // Audited locally and cross-server: go straight to the reveal
+        // (the empty audit record makes `conclude_audited` skip the
+        // re-check and reveal immediately).
+        let pending = PendingChainRound {
+            hop_audit: Vec::new(),
+            final_entries,
+            malicious_users: Vec::new(),
+            misbehaving_servers,
+            stats,
+        };
+        self.conclude_audited(round, pending, true)
+            .map(MixPhase::Done)
     }
 
     /// Resolve one hop's decrypt failures through the blame protocol:

@@ -1,0 +1,330 @@
+//! Launch real `xrd-netd` processes from a deployment manifest.
+//!
+//! [`launch_manifest`] turns a validated [`Manifest`] into a running
+//! multi-process deployment: it runs the §6.1 key ceremony in-process,
+//! writes each mix server's config (secrets + public bundle) to a
+//! private scratch directory, spawns one OS process per declared
+//! daemon, wires the daemon-to-daemon forwarding links (each hop's
+//! `--successor` flag, spawned in reverse hop order so every successor
+//! address is known before its predecessor starts), and collects the
+//! actual bound addresses from the daemons' `LISTENING <addr>` lines —
+//! so `port 0` manifests work on any machine.
+//!
+//! The result, a [`LaunchedCluster`], is the multi-process analogue of
+//! [`crate::remote::LocalCluster`]: connect a coordinator with
+//! [`LaunchedCluster::connect`], tear everything down with
+//! [`LaunchedCluster::shutdown`] (a wire [`Frame::Shutdown`] per
+//! daemon, escalating to SIGKILL only for processes that ignore it).
+//!
+//! The launcher always spawns locally — for a multi-host manifest it
+//! is run once per host, and each invocation can be restricted to
+//! that host's processes.  See `docs/DEPLOYMENT.md` for the operator
+//! walkthrough.
+
+use std::collections::HashMap;
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use rand::RngCore;
+
+use xrd_mixnet::chain_keys::{generate_chain_keys, rotate_inner_keys, ChainPublicKeys};
+use xrd_topology::Topology;
+
+use crate::codec::{encode_server_config, Frame};
+use crate::conn::{Conn, NetError};
+use crate::manifest::{Manifest, ProcessSpec, Role};
+use crate::remote::RemoteDeployment;
+
+/// One spawned daemon process and where it is actually listening.
+struct ManagedProcess {
+    child: Child,
+    addr: SocketAddr,
+    label: String,
+}
+
+/// A running multi-process deployment spawned by [`launch_manifest`]:
+/// every declared daemon as its own OS process, addresses resolved,
+/// keys generated.  Dropping the cluster kills any process still
+/// running; prefer [`LaunchedCluster::shutdown`] for a clean wire-level
+/// stop.
+pub struct LaunchedCluster {
+    processes: Vec<ManagedProcess>,
+    /// Actual daemon addresses per chain, hop order.
+    chain_addrs: Vec<Vec<SocketAddr>>,
+    /// Every chain's public key bundle (round-0 inner keys active).
+    chain_keys: Vec<ChainPublicKeys>,
+    /// Actual mailbox shard addresses, shard order.
+    mailbox_addrs: Vec<SocketAddr>,
+    topo: Topology,
+    config_dir: PathBuf,
+}
+
+impl LaunchedCluster {
+    /// Daemon processes running (mix hops + mailbox shards).
+    pub fn n_processes(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// The deployment's topology (derived from the manifest seed).
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Actual daemon addresses per chain, hop order.
+    pub fn chain_addrs(&self) -> &[Vec<SocketAddr>] {
+        &self.chain_addrs
+    }
+
+    /// Actual mailbox shard addresses, shard order.
+    pub fn mailbox_addrs(&self) -> &[SocketAddr] {
+        &self.mailbox_addrs
+    }
+
+    /// Connect a coordinator to the running cluster.
+    pub fn connect(&self) -> Result<RemoteDeployment, NetError> {
+        self.connect_timeouts(
+            crate::conn::ConnTimeouts::default(),
+            crate::coordinator::RetryPolicy::default(),
+        )
+    }
+
+    /// Connect a coordinator with explicit deadlines.  Scale runs size
+    /// the read ceiling to the population: a loaded mix hop stays
+    /// legitimately silent for however long decrypting its whole batch
+    /// takes, and on an oversubscribed host that can be minutes.
+    pub fn connect_timeouts(
+        &self,
+        timeouts: crate::conn::ConnTimeouts,
+        retry: crate::coordinator::RetryPolicy,
+    ) -> Result<RemoteDeployment, NetError> {
+        RemoteDeployment::connect_with(
+            self.topo.clone(),
+            self.chain_addrs.clone(),
+            self.chain_keys.clone(),
+            self.mailbox_addrs.clone(),
+            timeouts,
+            retry,
+        )
+    }
+
+    /// Stop every daemon: a [`Frame::Shutdown`] over the wire, then up
+    /// to five seconds for each process to exit on its own before it
+    /// is killed.  Returns the number of processes that needed the
+    /// kill.
+    pub fn shutdown(&mut self) -> usize {
+        for p in &self.processes {
+            if let Ok(mut conn) = Conn::connect(p.addr) {
+                let _ = conn.send(&Frame::Shutdown);
+            }
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut killed = 0;
+        for p in &mut self.processes {
+            loop {
+                match p.child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    _ => {
+                        xrd_obs::warn!("launcher: {} ignored Shutdown; killing", p.label);
+                        let _ = p.child.kill();
+                        let _ = p.child.wait();
+                        killed += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&self.config_dir);
+        killed
+    }
+}
+
+impl Drop for LaunchedCluster {
+    fn drop(&mut self) {
+        for p in &mut self.processes {
+            if let Ok(None) = p.child.try_wait() {
+                let _ = p.child.kill();
+                let _ = p.child.wait();
+            }
+        }
+        let _ = std::fs::remove_dir_all(&self.config_dir);
+    }
+}
+
+/// Spawn the deployment a manifest describes, using the `xrd-netd`
+/// binary at `netd`.  `rng` seeds the key ceremony (every chain's
+/// keys are generated here and written, per server, to a scratch
+/// directory the cluster owns).
+///
+/// Mix daemons are spawned chain by chain in **reverse hop order**:
+/// the last hop first (no successor), then each predecessor with
+/// `--successor` pointing at the *actual* bound address of the hop it
+/// feeds — unless the manifest pins one explicitly — so forwarding
+/// links survive `port 0` manifests.  Every spawn blocks until the
+/// daemon announces `LISTENING <addr>`; a child that exits without
+/// announcing aborts the launch (and tears down everything already
+/// spawned).
+pub fn launch_manifest<R: RngCore + ?Sized>(
+    rng: &mut R,
+    manifest: &Manifest,
+    netd: &Path,
+) -> std::io::Result<LaunchedCluster> {
+    manifest
+        .validate()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+    let topo = manifest.topology();
+    let k = manifest.chain_len;
+
+    static LAUNCH_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let config_dir = std::env::temp_dir().join(format!(
+        "xrd-launch-{}-{}",
+        std::process::id(),
+        LAUNCH_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&config_dir)?;
+
+    // Index the manifest's processes by role coordinates.
+    let mut mix_specs: HashMap<(usize, usize), &ProcessSpec> = HashMap::new();
+    let mut shard_specs: HashMap<usize, &ProcessSpec> = HashMap::new();
+    for p in &manifest.processes {
+        match p.role {
+            Role::Mix { chain, hop, .. } => {
+                mix_specs.insert((chain, hop), p);
+            }
+            Role::Mailbox { shard } => {
+                shard_specs.insert(shard, p);
+            }
+        }
+    }
+
+    let mut cluster = LaunchedCluster {
+        processes: Vec::new(),
+        chain_addrs: Vec::new(),
+        chain_keys: Vec::new(),
+        mailbox_addrs: Vec::new(),
+        topo,
+        config_dir: config_dir.clone(),
+    };
+
+    // Key ceremony + mix daemons, chain by chain.
+    for chain in 0..cluster.topo.n_chains() {
+        let (mut secrets, mut public) = generate_chain_keys(rng, k, chain as u64);
+        rotate_inner_keys(rng, &mut secrets, &mut public, 0);
+
+        let mut addrs: Vec<SocketAddr> = vec![SocketAddr::from(([0, 0, 0, 0], 0)); k];
+        for (hop, server_secrets) in secrets.into_iter().enumerate().rev() {
+            let spec = mix_specs[&(chain, hop)];
+            let listen = manifest.addr_of(spec).expect("validated");
+            let config_path = config_dir.join(format!("chain-{chain}-hop-{hop}.cfg"));
+            std::fs::write(&config_path, encode_server_config(&server_secrets, &public))?;
+
+            let pinned = match spec.role {
+                Role::Mix { successor, .. } => successor,
+                Role::Mailbox { .. } => unreachable!("mix index holds mix specs"),
+            };
+            let successor = if hop + 1 < k {
+                Some(pinned.unwrap_or(addrs[hop + 1]))
+            } else {
+                None
+            };
+
+            let label = format!("mix chain={chain} hop={hop}");
+            let mut command = Command::new(netd);
+            command
+                .arg("mix")
+                .arg("--config")
+                .arg(&config_path)
+                .arg("--listen")
+                .arg(listen.to_string());
+            if let Some(successor) = successor {
+                command.arg("--successor").arg(successor.to_string());
+            }
+            let addr = spawn_announced(&mut cluster, command, &label)?;
+            addrs[hop] = addr;
+        }
+        cluster.chain_addrs.push(addrs);
+        cluster.chain_keys.push(public);
+    }
+
+    // Mailbox shards.
+    for shard in 0..manifest.n_shards {
+        let spec = shard_specs[&shard];
+        let listen = manifest.addr_of(spec).expect("validated");
+        let label = format!("mailbox shard={shard}");
+        let mut command = Command::new(netd);
+        command
+            .arg("mailbox")
+            .arg("--shard")
+            .arg(shard.to_string())
+            .arg("--shards")
+            .arg(manifest.n_shards.to_string())
+            .arg("--listen")
+            .arg(listen.to_string());
+        let addr = spawn_announced(&mut cluster, command, &label)?;
+        cluster.mailbox_addrs.push(addr);
+    }
+
+    Ok(cluster)
+}
+
+/// Spawn one daemon process and block until it prints `LISTENING
+/// <addr>`.  On any failure the already-running cluster is left to the
+/// caller's `Drop` (which kills it).
+fn spawn_announced(
+    cluster: &mut LaunchedCluster,
+    mut command: Command,
+    label: &str,
+) -> std::io::Result<SocketAddr> {
+    let mut child = command
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .stdin(Stdio::null())
+        .spawn()?;
+    let stdout = child.stdout.take().expect("stdout was piped");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let addr = loop {
+        match lines.next() {
+            Some(Ok(line)) => {
+                if let Some(rest) = line.strip_prefix("LISTENING ") {
+                    match rest.trim().parse::<SocketAddr>() {
+                        Ok(addr) => break addr,
+                        Err(e) => {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            return Err(std::io::Error::other(format!(
+                                "{label}: unparseable announcement `{line}`: {e}"
+                            )));
+                        }
+                    }
+                }
+            }
+            Some(Err(e)) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(std::io::Error::other(format!(
+                    "{label}: reading announcement: {e}"
+                )));
+            }
+            None => {
+                let status = child.wait();
+                return Err(std::io::Error::other(format!(
+                    "{label}: exited before announcing its address ({status:?})"
+                )));
+            }
+        }
+    };
+    // Keep draining the child's stdout so it never blocks on a full
+    // pipe (daemons are quiet after the announcement, but stay safe).
+    std::thread::spawn(move || for _line in lines {});
+    cluster.processes.push(ManagedProcess {
+        child,
+        addr,
+        label: label.to_string(),
+    });
+    Ok(addr)
+}

@@ -31,9 +31,19 @@
 //!   `xrd_core::RoundBackend`, so it is interchangeable with the
 //!   in-process deployment) and [`launch_local`] (a whole deployment on
 //!   loopback, one port per daemon);
-//! * [`swarm`] — a concurrent client fleet with latency/throughput
-//!   reporting, plus [`submit_storm`]: ≥1000 concurrent submitter
-//!   connections against a single daemon;
+//! * [`swarm`] — the emulated client fleet: a single-threaded client
+//!   reactor ([`swarm::reactor`]) pumping 10k–100k per-user connection
+//!   state machines (submit → ack, fetch pages → ack) from one epoll
+//!   loop, with latency/throughput reporting; [`submit_storm`] storms
+//!   one daemon with tens of thousands of concurrent submitters;
+//! * [`manifest`] — parsed, validated deployment manifests: hosts,
+//!   per-process chain/hop/shard placement, ports, and the
+//!   daemon-to-daemon forwarding links, all checked against the
+//!   seed-derived topology;
+//! * [`launcher`] — spawn real `xrd-netd` processes from a manifest
+//!   (key ceremony, config files, `--successor` wiring, address
+//!   discovery) and connect a [`RemoteDeployment`] to them.  See
+//!   `docs/DEPLOYMENT.md`;
 //! * [`faults`] — the adversarial deployment harness: a seeded,
 //!   frame-aware fault-injecting TCP proxy ([`FaultProxy`]) for chaos
 //!   testing, complementing the byzantine daemon modes of [`daemon`]
@@ -50,6 +60,8 @@ pub mod conn;
 pub mod coordinator;
 pub mod daemon;
 pub mod faults;
+pub mod launcher;
+pub mod manifest;
 pub mod reactor;
 pub mod remote;
 pub mod swarm;
@@ -59,6 +71,8 @@ pub use conn::{Conn, ConnTimeouts, NetError};
 pub use coordinator::{ChainClient, MixPhase, PendingChainRound, RetryPolicy, Transport};
 pub use daemon::{ByzantineMode, DaemonHandle, MailboxDaemon, MixServerDaemon, SubmissionPolicy};
 pub use faults::{Direction, FaultKind, FaultPlan, FaultProxy, FaultRule};
+pub use launcher::{launch_manifest, LaunchedCluster};
+pub use manifest::{Manifest, ManifestError};
 pub use remote::{
     launch_local, launch_local_faulty, launch_local_faulty_with, launch_local_with_mailbox_faults,
     LocalCluster, RemoteDeployment,

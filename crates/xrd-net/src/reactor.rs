@@ -94,6 +94,46 @@ pub trait Service: Send + Sync + 'static {
     fn on_close(&self, conn: ConnId) {
         let _ = conn;
     }
+
+    /// Called once at bind time with a [`ReactorHandle`] the service
+    /// may keep to push unsolicited frames to live connections (e.g. a
+    /// forwarding mix hop reporting its attestation back to the
+    /// coordinator when the triggering request arrived on a *different*
+    /// connection).  Default: ignore it.
+    fn attach(&self, handle: ReactorHandle) {
+        let _ = handle;
+    }
+}
+
+/// Pushes encoded frames to a reactor connection from any thread.
+///
+/// Bytes land in the connection's output buffer at the reactor's next
+/// loop iteration (a self-pipe wakeup makes that immediate) and are
+/// flushed under the usual backpressure rules.  A push to a connection
+/// that has since closed is silently discarded — the token is never
+/// reused, so it cannot reach a newer peer.  Unlike a deferred-job
+/// completion, a push does **not** re-open the connection's pending
+/// slot: it rides alongside whatever request/response exchange the
+/// connection is in.
+#[derive(Clone)]
+pub struct ReactorHandle {
+    completions: Arc<Completions>,
+    waker: Arc<Waker>,
+}
+
+impl ReactorHandle {
+    /// Queue `bytes` (one or more complete encoded frames) for `conn`.
+    pub fn push(&self, conn: ConnId, bytes: Vec<u8>) {
+        self.completions
+            .lock()
+            .expect("completions poisoned")
+            .push(Completion {
+                conn,
+                bytes,
+                reopens_slot: false,
+            });
+        self.waker.wake();
+    }
 }
 
 /// Wrap a plain request→response function as a [`Service`]: every
@@ -258,10 +298,12 @@ pub mod interest {
 }
 
 #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
-mod sys {
+pub(crate) mod sys {
     //! `epoll` via raw x86-64 Linux syscalls — the workspace links no
     //! libc-style crate, and `std` does not expose readiness APIs, so
     //! the three syscalls the reactor needs are issued directly.
+    //! `pub(crate)`: the client-side swarm reactor drives its own loop
+    //! over the same poller.
 
     use std::io;
     use std::os::fd::RawFd;
@@ -409,7 +451,7 @@ compile_error!(
 );
 
 #[cfg(all(unix, not(all(target_os = "linux", target_arch = "x86_64"))))]
-mod sys {
+pub(crate) mod sys {
     //! Portable fallback: a sweep poller.  With no readiness syscall
     //! available dependency-free, every registered socket is reported
     //! ready each tick and the reactor's nonblocking I/O turns
@@ -846,9 +888,17 @@ impl Waker {
     }
 }
 
-/// Completed deferred jobs awaiting delivery: `(connection, encoded
-/// response bytes)`.
-type Completions = Mutex<Vec<(ConnId, Vec<u8>)>>;
+/// Bytes awaiting delivery to a connection: a deferred job's response
+/// (which re-opens the pending slot) or a [`ReactorHandle`] push
+/// (which does not).
+struct Completion {
+    conn: ConnId,
+    bytes: Vec<u8>,
+    reopens_slot: bool,
+}
+
+/// Completed deferred jobs and handle pushes awaiting delivery.
+type Completions = Mutex<Vec<Completion>>;
 
 /// The event loop serving every connection of one daemon from a single
 /// thread.  Built by [`Reactor::bind`], consumed by [`Reactor::run`]
@@ -903,6 +953,12 @@ impl Reactor {
         let (wake_rx, _) = pipe_listener.accept()?;
         wake_rx.set_nonblocking(true)?;
         tx.set_nonblocking(true)?;
+        let waker = Arc::new(Waker { tx: Mutex::new(tx) });
+        let completions: Arc<Completions> = Arc::new(Mutex::new(Vec::new()));
+        service.attach(ReactorHandle {
+            completions: Arc::clone(&completions),
+            waker: Arc::clone(&waker),
+        });
         Ok(Reactor {
             poller,
             listener,
@@ -912,8 +968,8 @@ impl Reactor {
             service,
             workers: WorkerPool::new(workers),
             wake_rx,
-            waker: Arc::new(Waker { tx: Mutex::new(tx) }),
-            completions: Arc::new(Mutex::new(Vec::new())),
+            waker,
+            completions,
             stop: Arc::new(AtomicBool::new(false)),
             draining: false,
             metrics: ReactorMetrics::new(),
@@ -976,18 +1032,21 @@ impl Reactor {
             }
             self.metrics.wakes.incr();
             self.metrics.ready_events.add(events.len() as u64);
-            // Deliver completed deferred responses: re-open each
-            // connection's pending slot, queue the job's frames, and
-            // drive the connection this iteration.
-            let done: Vec<(ConnId, Vec<u8>)> =
+            // Deliver completed deferred responses (re-opening each
+            // connection's pending slot) and handle pushes (which ride
+            // alongside): queue the bytes and drive the connection this
+            // iteration.
+            let done: Vec<Completion> =
                 std::mem::take(&mut *self.completions.lock().expect("completions poisoned"));
-            for (token, bytes) in done {
-                let Some(conn) = self.conns.get_mut(&token) else {
+            for completion in done {
+                let Some(conn) = self.conns.get_mut(&completion.conn) else {
                     continue; // connection died while its job ran
                 };
-                conn.pending = false;
-                conn.outbuf.extend_from_slice(&bytes);
-                events.push((token, 0));
+                if completion.reopens_slot {
+                    conn.pending = false;
+                }
+                conn.outbuf.extend_from_slice(&completion.bytes);
+                events.push((completion.conn, 0));
             }
             // Budget-limited connections first (fairness: they were cut
             // off last iteration), then fresh readiness.
@@ -1095,7 +1154,11 @@ impl Reactor {
                         completions
                             .lock()
                             .expect("completions poisoned")
-                            .push((token, bytes));
+                            .push(Completion {
+                                conn: token,
+                                bytes,
+                                reopens_slot: true,
+                            });
                         waker.wake();
                     });
                 }

@@ -24,6 +24,7 @@ use crate::conn::{Conn, ConnTimeouts, NetError};
 use crate::coordinator::{request_retry, ChainClient, MixPhase, PendingChainRound, RetryPolicy};
 use crate::daemon::{DaemonHandle, MailboxDaemon, MixServerDaemon};
 use crate::faults::{FaultPlan, FaultProxy};
+use crate::swarm::reactor as client_reactor;
 
 /// A chain's result from a scoped parallel phase: the outer `String`
 /// is a panicked worker thread, the inner `Result` the chain's own
@@ -71,8 +72,15 @@ pub struct RemoteDeployment {
     /// Retry policy for mailbox exchanges (delivery batches, fetch
     /// pages, acks) — all idempotent on the daemon side.
     retry: RetryPolicy,
+    /// Per-connection deadlines, shared by the blocking coordinator
+    /// conns and (as connect/idle ceilings) the client reactor.
+    timeouts: ConnTimeouts,
     /// Largest page a fetch asks a shard for.
     fetch_page_max: u32,
+    /// Drive client-side exchanges (submissions, mailbox fetches) from
+    /// the single-threaded client reactor instead of blocking worker
+    /// threads.
+    reactor_clients: bool,
 }
 
 impl RemoteDeployment {
@@ -148,7 +156,9 @@ impl RemoteDeployment {
             injected: Vec::new(),
             dead: vec![false; n_chains],
             retry,
+            timeouts,
             fetch_page_max: 256,
+            reactor_clients: true,
         };
         // Pre-publish round-1 inner keys (§5.3.3: covers for ρ+1 are
         // sealed while ρ runs).
@@ -204,9 +214,24 @@ impl RemoteDeployment {
     /// Set the number of concurrent submitter connections.  The
     /// event-driven daemons hold thousands of connections each (see
     /// `submit_storm` for the single-daemon probe), so this only trades
-    /// client-side threads against submission-window wall clock.
+    /// client-side threads against submission-window wall clock.  Only
+    /// meaningful for the legacy blocking client path
+    /// ([`RemoteDeployment::set_reactor_clients`]`(false)`); the
+    /// reactor drives every session from one thread regardless.
     pub fn set_submit_workers(&mut self, n: usize) {
         self.submit_workers = n.max(1);
+    }
+
+    /// Choose the client-side driver for submissions and mailbox
+    /// fetches.  `true` (the default) pumps one state machine per
+    /// emulated client connection from a single epoll thread —
+    /// [`crate::swarm::reactor`] — which is what lets one process
+    /// emulate a 10k–100k-user population.  `false` restores the
+    /// blocking drivers: a thread-pool fan-out for submissions and the
+    /// pipelined per-shard walk for fetches (the latter is stricter
+    /// about desync detection, so fault-injection tests still use it).
+    pub fn set_reactor_clients(&mut self, on: bool) {
+        self.reactor_clients = on;
     }
 
     /// Largest page a fetch asks a mailbox shard for (default 256
@@ -286,7 +311,11 @@ impl RemoteDeployment {
                     failed[c] = Some(format!("opening the window: {e}"));
                 }
             }
-            self.submit_concurrently(round, &per_chain, &mut failed);
+            if self.reactor_clients {
+                self.submit_reactor(round, &per_chain, &mut failed);
+            } else {
+                self.submit_concurrently(round, &per_chain, &mut failed);
+            }
         }
 
         // Drive every chain's mix in parallel — each chain is an
@@ -493,33 +522,41 @@ impl RemoteDeployment {
         // shard's connection, then decryption runs from the prefetched
         // map.
         let fetch_span = xrd_obs::span_timer("round.fetch", round);
-        let mut by_shard: Vec<Vec<[u8; 32]>> = vec![Vec::new(); n_shards];
-        for user in users.iter().filter(|u| u.online) {
-            let mailbox = user.mailbox_id();
-            by_shard[shard_of(&mailbox, n_shards)].push(mailbox);
-        }
-        let retry = self.retry;
-        let page_max = self.fetch_page_max;
-        let results: Vec<Result<Prefetched, NetError>> = std::thread::scope(|scope| {
-            self.mailbox_conns
-                .iter_mut()
-                .zip(by_shard)
-                .map(|(conn, boxes)| scope.spawn(move || fetch_shard(conn, boxes, page_max, retry)))
-                .collect::<Vec<_>>()
-                .into_iter()
-                .map(|h| {
-                    h.join()
-                        .unwrap_or_else(|_| Err(NetError::Protocol("fetch worker panicked".into())))
-                })
-                .collect()
-        });
-        let mut prefetched: Prefetched = HashMap::new();
-        for result in results {
-            prefetched.extend(result.map_err(|e| RoundError::Infrastructure {
-                round,
-                message: format!("mailbox fetch: {e}"),
-            })?);
-        }
+        let mut prefetched: Prefetched = if self.reactor_clients {
+            self.fetch_reactor(round, users)?
+        } else {
+            let mut by_shard: Vec<Vec<[u8; 32]>> = vec![Vec::new(); n_shards];
+            for user in users.iter().filter(|u| u.online) {
+                let mailbox = user.mailbox_id();
+                by_shard[shard_of(&mailbox, n_shards)].push(mailbox);
+            }
+            let retry = self.retry;
+            let page_max = self.fetch_page_max;
+            let results: Vec<Result<Prefetched, NetError>> = std::thread::scope(|scope| {
+                self.mailbox_conns
+                    .iter_mut()
+                    .zip(by_shard)
+                    .map(|(conn, boxes)| {
+                        scope.spawn(move || fetch_shard(conn, boxes, page_max, retry))
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| {
+                        h.join().unwrap_or_else(|_| {
+                            Err(NetError::Protocol("fetch worker panicked".into()))
+                        })
+                    })
+                    .collect()
+            });
+            let mut prefetched: Prefetched = HashMap::new();
+            for result in results {
+                prefetched.extend(result.map_err(|e| RoundError::Infrastructure {
+                    round,
+                    message: format!("mailbox fetch: {e}"),
+                })?);
+            }
+            prefetched
+        };
         let fetched = open_fetched(&self.topo, round, users, |mailbox| {
             Ok(prefetched.remove(mailbox).unwrap_or_default())
         })?;
@@ -633,6 +670,156 @@ impl RemoteDeployment {
                 });
             }
         });
+    }
+
+    /// The reactor-driven submission window: one
+    /// [`client_reactor::SubmitSession`] per sealed submission, each
+    /// fanning out to every daemon of its chain, all pumped
+    /// concurrently from a single epoll thread.  Failure semantics
+    /// match [`RemoteDeployment::submit_concurrently`]: a daemon
+    /// *rejecting* a submission (bad PoK, quota) skips that submission
+    /// without failing the chain; transport trouble the session's
+    /// bounded retries could not heal fails the chain.
+    /// The reactor drive knobs, derived from the deployment's own
+    /// deadlines and retry policy so reactor-driven clients fail (and
+    /// heal) on the same clock as the blocking coordinator conns: the
+    /// connect/read deadlines become the dial and idle ceilings, the
+    /// retry budget matches the request policy.  Chaos tests shrink
+    /// the deployment's timeouts to milliseconds — a dropped response
+    /// must redial immediately, not stall until the reactor's
+    /// whole-run deadline.  `fd_limit` is the achieved
+    /// `RLIMIT_NOFILE` (what [`client_reactor::raise_nofile_limit`]
+    /// returned): the in-flight cap stays under it with headroom for
+    /// the coordinator's own connections, so a population larger than
+    /// the fd budget drains in waves instead of dying on `EMFILE`.
+    fn drive_config_within(&self, fd_limit: u64) -> client_reactor::DriveConfig {
+        let headroom = fd_limit.saturating_sub(256).max(64) as usize;
+        let defaults = client_reactor::DriveConfig::default();
+        client_reactor::DriveConfig {
+            max_retries: self.retry.attempts.saturating_sub(1),
+            connect_timeout: self.timeouts.connect,
+            exchange_timeout: self.timeouts.read,
+            max_in_flight: defaults.max_in_flight.min(headroom),
+            // A deployment configured for long silent stretches (scale
+            // runs on oversubscribed hosts) needs the whole-run cap to
+            // sit above its own idle ceiling, or healthy-but-slow runs
+            // die on the deadline instead.
+            deadline: defaults.deadline.max(self.timeouts.read * 4),
+            ..defaults
+        }
+    }
+
+    fn submit_reactor(
+        &self,
+        round: u64,
+        per_chain: &[Vec<Submission>],
+        failed: &mut [Option<String>],
+    ) {
+        let mut chain_of: Vec<usize> = Vec::new();
+        let mut sessions: Vec<client_reactor::SubmitSession> = Vec::new();
+        for (c, subs) in per_chain.iter().enumerate() {
+            if failed[c].is_some() {
+                continue;
+            }
+            for submission in subs {
+                let exchanges: Vec<(SocketAddr, Frame)> = self.chain_addrs[c]
+                    .iter()
+                    .map(|&addr| {
+                        (
+                            addr,
+                            Frame::Submit {
+                                round,
+                                submission: submission.clone(),
+                            },
+                        )
+                    })
+                    .collect();
+                chain_of.push(c);
+                sessions.push(client_reactor::SubmitSession::new(exchanges));
+            }
+        }
+        if sessions.is_empty() {
+            return;
+        }
+        let limit = client_reactor::raise_nofile_limit(sessions.len() as u64 + 64);
+        match client_reactor::drive_sessions(sessions, &self.drive_config_within(limit)) {
+            Ok(outcome) => {
+                for (i, e) in outcome.failed {
+                    let c = chain_of[i];
+                    match e {
+                        // The daemon refusing a *malformed* onion is
+                        // the protocol working: only injected attack
+                        // traffic can trip it (the coordinator seals
+                        // real users' onions correctly), and the
+                        // round must proceed without the reject.
+                        NetError::Remote {
+                            code: error_code::REJECTED_SUBMISSION,
+                            message,
+                        } => {
+                            xrd_obs::debug!(
+                                "round {round}: chain {c} daemon rejected a \
+                                 submission ({message})"
+                            );
+                        }
+                        // Any other rejection of well-formed traffic
+                        // (quota, closed window) means the message
+                        // definitively did NOT land — swallowing it
+                        // would be silent per-user message loss at
+                        // fetch time.  An undersized submission
+                        // window surfaces as a failed chain instead.
+                        e => {
+                            failed[c].get_or_insert(format!("submission window: {e}"));
+                        }
+                    }
+                }
+            }
+            // Only the poller itself failing to come up lands here;
+            // without it no chain got any traffic.
+            Err(e) => {
+                for slot in failed.iter_mut() {
+                    slot.get_or_insert(format!("submission reactor: {e}"));
+                }
+            }
+        }
+    }
+
+    /// The reactor-driven fetch phase: one
+    /// [`client_reactor::FetchSession`] per online user — page down the
+    /// mailbox from its owning shard, ack the watermark — all pumped
+    /// from a single epoll thread.  The mailbox tier is shared
+    /// infrastructure, so any session failing beyond its bounded
+    /// retries is a round-level [`RoundError::Infrastructure`].
+    fn fetch_reactor(&self, round: u64, users: &[User]) -> Result<Prefetched, RoundError> {
+        let n_shards = self.mailbox_addrs.len();
+        let sessions: Vec<client_reactor::FetchSession> = users
+            .iter()
+            .filter(|u| u.online)
+            .map(|user| {
+                let mailbox = user.mailbox_id();
+                let shard = self.mailbox_addrs[shard_of(&mailbox, n_shards)];
+                client_reactor::FetchSession::new(shard, mailbox, self.fetch_page_max)
+            })
+            .collect();
+        if sessions.is_empty() {
+            return Ok(HashMap::new());
+        }
+        let limit = client_reactor::raise_nofile_limit(sessions.len() as u64 + 64);
+        let outcome = client_reactor::drive_sessions(sessions, &self.drive_config_within(limit))
+            .map_err(|e| RoundError::Infrastructure {
+                round,
+                message: format!("mailbox fetch reactor: {e}"),
+            })?;
+        if let Some((i, e)) = outcome.failed.into_iter().next() {
+            return Err(RoundError::Infrastructure {
+                round,
+                message: format!("mailbox fetch session {i}: {e}"),
+            });
+        }
+        Ok(outcome
+            .sessions
+            .into_iter()
+            .map(|s| (s.mailbox(), s.into_entries()))
+            .collect())
     }
 }
 
@@ -1158,18 +1345,26 @@ fn spawn_cluster<R: RngCore + ?Sized>(
         // deployment.
         let (mut secrets, mut public) = generate_chain_keys(rng, k, c as u64);
         rotate_inner_keys(rng, &mut secrets, &mut public, 0);
+        // Spawn in reverse hop order so each daemon knows its
+        // successor's bound address; the links sit unused until a
+        // round runs under [`crate::Transport::Forwarded`].
         let mut daemons = Vec::with_capacity(k);
         let mut addrs = Vec::with_capacity(k);
-        for server_secrets in secrets {
-            let daemon = MixServerDaemon::spawn(
+        let mut successor: Option<SocketAddr> = None;
+        for server_secrets in secrets.into_iter().rev() {
+            let daemon = MixServerDaemon::spawn_with_successor(
                 "127.0.0.1:0",
                 server_secrets,
                 public.clone(),
                 rng.next_u64(),
+                successor,
             )?;
+            successor = Some(daemon.addr());
             addrs.push(daemon.addr());
             daemons.push(daemon);
         }
+        daemons.reverse();
+        addrs.reverse();
         mix.push(daemons);
         chain_addrs.push(addrs);
         chain_keys.push(public);

@@ -3,20 +3,25 @@
 //! latency and throughput reporting — the reproduction's stand-in for
 //! the paper's §8 client fleet.
 //!
-//! Two drivers live here:
+//! Three drivers live here:
 //!
 //! * [`run_swarm`] — a full-deployment swarm: real users, whole rounds,
 //!   delivery verification;
 //! * [`submit_storm`] — a single-daemon connection storm: N concurrent
-//!   submitter connections (thousands) against *one* mix daemon,
-//!   measuring the submission window plus one mix hop.  This is the
-//!   connection-scalability probe for the event-driven daemons;
+//!   submitter connections (tens of thousands) against *one* mix
+//!   daemon, measuring the submission window plus one mix hop.  This is
+//!   the connection-scalability probe for the event-driven daemons;
 //! * [`mailbox_storm`] — the mailbox-tier probe: paper-scale mailbox
 //!   counts delivered to and paged back out of a set of shard daemons,
 //!   serial vs shard-parallel, with a user-churn leg exercising
 //!   ack-driven retention at scale.
+//!
+//! All client connections are pumped by the single-threaded client
+//! reactor in [`reactor`] — one epoll loop emulating the whole user
+//! population — rather than a pool of blocking worker threads.
 
-use std::sync::Barrier;
+pub mod reactor;
+
 use std::time::{Duration, Instant};
 
 use rand::RngCore;
@@ -194,9 +199,10 @@ pub struct StormConfig {
     /// Concurrent submitter connections (one submission each).  All of
     /// them are open against the daemon at the same time.
     pub n_conns: usize,
-    /// OS threads pumping the blocking client sockets.  This is a
-    /// *client-side* cost knob only; the daemon serves every connection
-    /// from its one event loop regardless.
+    /// Legacy knob from the blocking thread-pool driver, kept so
+    /// existing configs still parse.  The storm now runs every
+    /// connection from one client reactor thread; this field changes
+    /// nothing.
     pub workers: usize,
     /// Chain length `k` the submissions are sealed for.
     pub chain_len: usize,
@@ -305,88 +311,40 @@ pub fn submit_storm<R: RngCore + ?Sized>(
     // client-side sealing.
     let submissions = sealed_submissions(rng, &public, round, config.n_conns);
 
-    let workers = config.workers.clamp(1, config.n_conns);
-    let chunk = config.n_conns.div_ceil(workers);
-    // `chunks(chunk)` can yield fewer pieces than `workers` (e.g. 5
-    // connections across 4 workers → 3 chunks of 2), so the barriers
-    // must be sized by the thread count actually spawned or nobody
-    // ever gets past them.
-    let n_workers = config.n_conns.div_ceil(chunk);
-    // Two rendezvous points: one after every connection is open (so the
-    // full population is concurrently connected before anyone submits),
-    // one before submitting (so the submit phase is timed alone).
-    let connected = Barrier::new(n_workers + 1);
-    let submitting = Barrier::new(n_workers + 1);
-
-    let connect_start = Instant::now();
-    let mut connect_elapsed = Duration::ZERO;
-    let mut submit_elapsed = Duration::ZERO;
-    let results: Vec<Result<(), NetError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = submissions
-            .chunks(chunk)
-            .map(|subs| {
-                let connected = &connected;
-                let submitting = &submitting;
-                scope.spawn(move || -> Result<(), NetError> {
-                    // Whatever happens, this thread must reach both
-                    // barriers — an early `?` here would leave the
-                    // other workers (and the main thread) parked on a
-                    // barrier that can never fill, turning one failed
-                    // connect into a permanent hang.
-                    let mut conns = Vec::with_capacity(subs.len());
-                    let mut failure: Option<NetError> = None;
-                    for _ in 0..subs.len() {
-                        match Conn::connect(addr) {
-                            Ok(conn) => conns.push(conn),
-                            Err(e) => {
-                                failure = Some(e);
-                                break;
-                            }
-                        }
-                    }
-                    connected.wait();
-                    submitting.wait();
-                    if let Some(e) = failure {
-                        return Err(e);
-                    }
-                    // Pipeline: fire every submission, then collect the
-                    // acknowledgements — all connections have a request
-                    // in flight at once.
-                    for (conn, submission) in conns.iter_mut().zip(subs) {
-                        conn.send(&Frame::Submit {
-                            round,
-                            submission: submission.clone(),
-                        })?;
-                    }
-                    for conn in &mut conns {
-                        match conn.recv()? {
-                            Frame::Ok => {}
-                            Frame::Error { code, message } => {
-                                return Err(NetError::Remote { code, message })
-                            }
-                            other => {
-                                return Err(NetError::Protocol(format!(
-                                    "expected Ok for submission, got {other:?}"
-                                )))
-                            }
-                        }
-                    }
-                    Ok(())
-                })
-            })
-            .collect();
-        connected.wait();
-        connect_elapsed = connect_start.elapsed();
-        let submit_start = Instant::now();
-        submitting.wait();
-        let results = handles
-            .into_iter()
-            .map(|h| h.join().expect("storm worker panicked"))
-            .collect();
-        submit_elapsed = submit_start.elapsed();
-        results
-    });
-    results.into_iter().collect::<Result<(), NetError>>()?;
+    // One session machine per emulated user, all driven from *this*
+    // thread by the client reactor.  `connect_first` keeps the old
+    // phase semantics — the whole population concurrently connected
+    // before anyone submits — without the barrier choreography the
+    // thread-pool driver needed (whose sizing was a standing footgun:
+    // a barrier sized by `workers` instead of threads-actually-spawned
+    // parked the storm forever, and a panicking worker stranded the
+    // rest at the rendezvous).  Here a failed or panicking session
+    // fails alone; the loop keeps draining the others.
+    reactor::raise_nofile_limit(config.n_conns as u64 + 256);
+    let sessions: Vec<reactor::SubmitSession> = submissions
+        .iter()
+        .map(|submission| {
+            reactor::SubmitSession::new(vec![(
+                addr,
+                Frame::Submit {
+                    round,
+                    submission: submission.clone(),
+                },
+            )])
+        })
+        .collect();
+    let drive = reactor::DriveConfig {
+        connect_first: true,
+        ..reactor::DriveConfig::default()
+    };
+    let outcome = reactor::drive_sessions(sessions, &drive).map_err(NetError::Io)?;
+    if let Some((i, e)) = outcome.failed.into_iter().next() {
+        return Err(NetError::Protocol(format!(
+            "storm submitter {i} failed: {e}"
+        )));
+    }
+    let connect_elapsed = outcome.connect_elapsed;
+    let submit_elapsed = outcome.drive_elapsed;
 
     // Close the window: the digest count is the daemon's own statement
     // of how many distinct submissions landed.

@@ -1,0 +1,872 @@
+//! The client-side reactor: one thread driving tens of thousands of
+//! per-user connection state machines — the §8-scale counterpart of the
+//! daemon reactor in [`crate::reactor`].
+//!
+//! The swarm used to pump blocking client sockets from a worker-thread
+//! pool, which caps one load-generator process at a few thousand
+//! emulated users (a thread apiece, or coarse chunking that serializes
+//! them).  Here a single event loop owns every user's connection:
+//!
+//! * each session is a [`SessionMachine`] — a pure state machine fed
+//!   one decoded response [`Frame`] at a time, answering with what to
+//!   send next ([`Step`]);
+//! * the loop reuses the daemon reactor's syscall layer (`epoll` on
+//!   Linux/x86-64, the sweep poller elsewhere) and the incremental
+//!   [`FrameDecoder`], so a daemon that dribbles responses or stalls
+//!   mid-frame costs the client nothing but a buffer;
+//! * writes are buffered and flushed as the socket accepts them, so a
+//!   full kernel send buffer never blocks the loop;
+//! * a session whose machine panics fails *that session* — the loop
+//!   and every other session keep running (the storm cannot deadlock
+//!   on one bad worker, which the old barrier-synchronized thread pool
+//!   could);
+//! * a session whose connection is lost mid-exchange is retried from
+//!   the top of its current exchange, a bounded number of times.
+//!
+//! Sessions are sequential dialers: a machine talks to one address at
+//! a time (submit to hop 0, then hop 1, …, then page its mailbox
+//! shard), which mirrors a real client device and keeps the file
+//! descriptor count at one per *user*, not one per (user, daemon)
+//! pair.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::os::fd::AsRawFd;
+use std::time::{Duration, Instant};
+
+use crate::codec::{error_code, Frame, FrameDecoder};
+use crate::conn::NetError;
+use crate::reactor::interest;
+use crate::reactor::sys::Poller;
+
+/// What a [`SessionMachine`] wants done after handling one frame.
+#[derive(Debug)]
+pub enum Step {
+    /// Send these frames on the current connection, then keep reading.
+    Send(Vec<Frame>),
+    /// Nothing to send; keep reading.
+    Continue,
+    /// The current exchange is complete: hang up and dial
+    /// [`SessionMachine::target`]'s next address (session complete if
+    /// it returns `None`).
+    NextTarget,
+    /// The session failed; the error is recorded and the connection
+    /// dropped.
+    Fail(NetError),
+}
+
+/// One emulated client: a state machine the reactor drives through a
+/// sequence of connect → request/response exchanges.
+///
+/// The driver calls [`target`](SessionMachine::target) to learn where
+/// to dial, [`on_connect`](SessionMachine::on_connect) once the
+/// connection is up (the frames it returns are the exchange's opening
+/// requests), then [`on_frame`](SessionMachine::on_frame) per decoded
+/// response.  After a [`Step::NextTarget`], `target` is consulted
+/// again — a new address continues the session, `None` completes it.
+///
+/// **Restart discipline**: a connection lost mid-exchange is retried
+/// by reconnecting and calling `on_connect` again, so an exchange must
+/// be written to be restartable from its opening requests (the XRD
+/// client exchanges all are: submissions are deduplicated server-side,
+/// fetch pages are non-destructive reads, acks are idempotent
+/// watermarks).
+pub trait SessionMachine {
+    /// Where the session wants to dial now (`None`: session complete).
+    fn target(&self) -> Option<SocketAddr>;
+
+    /// The connection to [`target`](SessionMachine::target) is up;
+    /// returns the exchange's opening request frames.
+    fn on_connect(&mut self) -> Vec<Frame>;
+
+    /// One response frame arrived.
+    fn on_frame(&mut self, frame: Frame) -> Step;
+}
+
+/// Knobs for one [`drive_sessions`] run.
+#[derive(Clone, Debug)]
+pub struct DriveConfig {
+    /// Reconnect attempts per session after a lost connection (each
+    /// retry restarts the session's current exchange).
+    pub max_retries: u32,
+    /// Per-dial connect timeout.
+    pub connect_timeout: Duration,
+    /// Whole-run deadline: sessions still incomplete when it expires
+    /// fail with [`NetError::Timeout`].
+    pub deadline: Duration,
+    /// Per-connection idle ceiling: a wire that moves no bytes in
+    /// either direction for this long mid-exchange is torn down and the
+    /// session redialed against its retry budget — the event-loop
+    /// analog of [`crate::ConnTimeouts::read`].  Without it a response
+    /// lost in transit (a lossy network, a wedged daemon) leaves the
+    /// socket open but forever silent, and the session hangs until the
+    /// whole-run `deadline` fails it outright instead of retrying.
+    pub exchange_timeout: Duration,
+    /// Most sessions concurrently holding a live connection.  Sessions
+    /// beyond the cap wait in the dial queue until completions free
+    /// slots, so a population larger than the process's fd budget
+    /// drains in waves instead of dying on `EMFILE` mid-storm.  The
+    /// default leaves comfortable headroom under the common 16k–64k
+    /// `RLIMIT_NOFILE` hard caps; [`drive_sessions`] callers that
+    /// raise the limit can raise this to match.
+    pub max_in_flight: usize,
+    /// Dial every session's first target up front — the whole
+    /// population concurrently connected — before any frame is sent,
+    /// and report the connect wall clock separately.  The connection
+    /// storm measurement mode.  The `max_in_flight` cap applies to the
+    /// up-front dial too; a population beyond it dials the remainder
+    /// during the drive phase.
+    pub connect_first: bool,
+    /// New dials per loop iteration (staggers reconnect bursts so the
+    /// daemon's accept backlog absorbs them).
+    pub connects_per_tick: usize,
+}
+
+impl Default for DriveConfig {
+    fn default() -> DriveConfig {
+        DriveConfig {
+            max_retries: 3,
+            connect_timeout: Duration::from_secs(5),
+            deadline: Duration::from_secs(300),
+            exchange_timeout: Duration::from_secs(60),
+            max_in_flight: 12_000,
+            connect_first: false,
+            connects_per_tick: 512,
+        }
+    }
+}
+
+/// What one [`drive_sessions`] run produced.  The driven machines come
+/// back in input order so callers can harvest per-session results.
+pub struct RunOutcome<S> {
+    /// The machines, in the order they were passed in.
+    pub sessions: Vec<S>,
+    /// Sessions that ran to completion.
+    pub completed: usize,
+    /// `(session index, error)` for every failed session.
+    pub failed: Vec<(usize, NetError)>,
+    /// Wall clock dialing the initial population (only meaningful with
+    /// [`DriveConfig::connect_first`]; zero otherwise).
+    pub connect_elapsed: Duration,
+    /// Wall clock driving the event loop to quiescence.
+    pub drive_elapsed: Duration,
+}
+
+/// How long one poller wait may block (shutdown/deadline latency
+/// bound).
+const WAIT_MS: i32 = 100;
+
+/// Socket read chunk (mailbox pages are the largest client-bound
+/// frames; 64 KiB amortizes syscalls on them).
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Frames one session may consume per visit before yielding the loop
+/// to the other sessions.
+const FRAMES_PER_VISIT: usize = 32;
+
+/// How often the idle sweep walks the active wires.  Bounds how much a
+/// wire can overstay [`DriveConfig::exchange_timeout`]; the walk is a
+/// tag-match and clock compare per slot, noise even at 50k sessions.
+const SWEEP_EVERY: Duration = Duration::from_millis(100);
+
+/// Run a session's callback, converting a panic into a session
+/// failure instead of a crashed (and, with the old thread-pool driver,
+/// deadlocked) storm.
+fn guard<T>(f: impl FnOnce() -> T) -> Result<T, NetError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+        .map_err(|_| NetError::Protocol("session state machine panicked".into()))
+}
+
+/// One live client connection.
+struct Wire {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    outbuf: Vec<u8>,
+    outpos: usize,
+    registered: u32,
+    /// Last instant any byte moved on this wire (either direction);
+    /// the idle sweep compares it against
+    /// [`DriveConfig::exchange_timeout`].
+    last_progress: Instant,
+}
+
+impl Wire {
+    fn new(stream: TcpStream) -> Wire {
+        Wire {
+            stream,
+            decoder: FrameDecoder::new(),
+            outbuf: Vec::new(),
+            outpos: 0,
+            registered: 0,
+            last_progress: Instant::now(),
+        }
+    }
+
+    fn queue(&mut self, frame: &Frame) {
+        self.outbuf.extend_from_slice(&frame.encode());
+    }
+
+    fn has_pending_output(&self) -> bool {
+        self.outpos < self.outbuf.len()
+    }
+
+    fn wanted_interest(&self) -> u32 {
+        let base = interest::READ | interest::READ_HANGUP;
+        if self.has_pending_output() {
+            base | interest::WRITE
+        } else {
+            base
+        }
+    }
+}
+
+enum SlotState {
+    /// Waiting in the dial queue.
+    Dialing,
+    Active(Wire),
+    Finished,
+    Failed,
+}
+
+struct Slot<S> {
+    session: S,
+    state: SlotState,
+    retries_left: u32,
+}
+
+/// What driving one connection as far as its socket allows concluded.
+enum Drove {
+    /// Blocked on readiness.
+    Keep,
+    /// Frame budget spent with bytes still buffered; revisit next tick.
+    Yield,
+    /// The machine finished its exchange; consult `target` and redial
+    /// (or complete).
+    StageDone,
+    /// The connection died mid-exchange (candidate for a retry).
+    Lost(NetError),
+    /// The machine failed the session.
+    Failed(NetError),
+}
+
+/// Drive every session to completion (or failure) on the calling
+/// thread — one poller, zero spawned threads, any number of sessions.
+///
+/// Failures are per-session: a machine that panics, a daemon that
+/// rejects a request, a connection that dies past its retry budget —
+/// each marks *its* session failed in [`RunOutcome::failed`] and the
+/// rest of the swarm keeps running.  Only a poller-level error (fd
+/// exhaustion at registration time, say) aborts the run as a whole.
+pub fn drive_sessions<S: SessionMachine>(
+    sessions: Vec<S>,
+    config: &DriveConfig,
+) -> std::io::Result<RunOutcome<S>> {
+    let started = Instant::now();
+    let mut poller = Poller::new()?;
+    let mut slots: Vec<Slot<S>> = sessions
+        .into_iter()
+        .map(|session| Slot {
+            session,
+            state: SlotState::Dialing,
+            retries_left: config.max_retries,
+        })
+        .collect();
+
+    let mut completed = 0usize;
+    let mut failed: Vec<(usize, NetError)> = Vec::new();
+    let mut dial_queue: VecDeque<usize> = VecDeque::new();
+    // Live connections right now; the `max_in_flight` dial gate.
+    let mut active = 0usize;
+
+    // Sessions with no target at all complete on the spot.
+    for (i, slot) in slots.iter_mut().enumerate() {
+        match guard(|| slot.session.target()) {
+            Ok(Some(_)) => dial_queue.push_back(i),
+            Ok(None) => {
+                slot.state = SlotState::Finished;
+                completed += 1;
+            }
+            Err(e) => {
+                slot.state = SlotState::Failed;
+                failed.push((i, e));
+            }
+        }
+    }
+
+    // The connection-storm mode: the entire population is dialed (and
+    // held) before a single request goes out, so the connect and
+    // request phases are measured separately — without a barrier in
+    // sight.
+    let mut connect_elapsed = Duration::ZERO;
+    if config.connect_first {
+        let connect_start = Instant::now();
+        while active < config.max_in_flight {
+            let Some(i) = dial_queue.pop_front() else {
+                break;
+            };
+            dial(
+                &mut poller,
+                &mut slots,
+                i,
+                config,
+                &mut dial_queue,
+                &mut completed,
+                &mut failed,
+                &mut active,
+            );
+        }
+        connect_elapsed = connect_start.elapsed();
+        // The held population spent the connect phase deliberately
+        // silent; the idle clock starts with the drive phase.
+        for slot in &mut slots {
+            if let SlotState::Active(wire) = &mut slot.state {
+                wire.last_progress = Instant::now();
+            }
+        }
+    }
+
+    let drive_start = Instant::now();
+    let mut read_buf = vec![0u8; READ_CHUNK];
+    let mut events: Vec<(u64, u32)> = Vec::with_capacity(1024);
+    let mut yielded: Vec<u64> = Vec::new();
+    let mut last_sweep = Instant::now();
+
+    loop {
+        // Dial (and redial) in bounded batches per tick, gated by the
+        // in-flight cap so the wave never outruns the fd budget.
+        for _ in 0..config.connects_per_tick {
+            if active >= config.max_in_flight {
+                break;
+            }
+            let Some(i) = dial_queue.pop_front() else {
+                break;
+            };
+            dial(
+                &mut poller,
+                &mut slots,
+                i,
+                config,
+                &mut dial_queue,
+                &mut completed,
+                &mut failed,
+                &mut active,
+            );
+        }
+
+        let live = slots
+            .iter()
+            .any(|s| matches!(s.state, SlotState::Active(_)));
+        if !live && dial_queue.is_empty() {
+            break;
+        }
+
+        if started.elapsed() > config.deadline {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                if matches!(slot.state, SlotState::Active(_) | SlotState::Dialing) {
+                    if let SlotState::Active(wire) = &slot.state {
+                        let _ = poller.remove(wire.stream.as_raw_fd());
+                    }
+                    slot.state = SlotState::Failed;
+                    failed.push((
+                        i,
+                        NetError::Timeout {
+                            op: "swarm reactor deadline",
+                        },
+                    ));
+                }
+            }
+            break;
+        }
+
+        // The idle sweep: a silent wire gets no readiness events, so
+        // only a clock can notice it.  Idle past the exchange timeout
+        // is handled exactly like a lost connection — tear down,
+        // charge a retry, redial (the machines restart their current
+        // exchange) — so a dropped response heals instead of pinning
+        // its session until the whole-run deadline.
+        if last_sweep.elapsed() >= SWEEP_EVERY {
+            last_sweep = Instant::now();
+            for (i, slot) in slots.iter_mut().enumerate() {
+                let SlotState::Active(wire) = &mut slot.state else {
+                    continue;
+                };
+                if wire.last_progress.elapsed() <= config.exchange_timeout {
+                    continue;
+                }
+                let _ = poller.remove(wire.stream.as_raw_fd());
+                active -= 1;
+                if slot.retries_left > 0 {
+                    slot.retries_left -= 1;
+                    slot.state = SlotState::Dialing;
+                    dial_queue.push_back(i);
+                } else {
+                    slot.state = SlotState::Failed;
+                    failed.push((
+                        i,
+                        NetError::Timeout {
+                            op: "client exchange idle",
+                        },
+                    ));
+                }
+            }
+        }
+
+        events.clear();
+        // Ready dials and yielded sessions demand an immediate pass;
+        // a dial queue blocked on the in-flight cap does not — only a
+        // completion (a readiness event) can unblock it.
+        let dials_ready = !dial_queue.is_empty() && active < config.max_in_flight;
+        let timeout = if yielded.is_empty() && !dials_ready {
+            WAIT_MS
+        } else {
+            0
+        };
+        poller.wait(&mut events, timeout)?;
+        events.splice(0..0, yielded.drain(..).map(|t| (t, 0)));
+
+        for &(token, _readiness) in &events {
+            let i = token as usize;
+            let Some(slot) = slots.get_mut(i) else {
+                continue;
+            };
+            let SlotState::Active(wire) = &mut slot.state else {
+                continue; // stale readiness for a closed connection
+            };
+            match drive_wire(wire, &mut slot.session, &mut read_buf) {
+                Drove::Keep => {
+                    let wanted = wire.wanted_interest();
+                    if wanted != wire.registered
+                        && poller
+                            .modify(wire.stream.as_raw_fd(), token, wanted)
+                            .is_ok()
+                    {
+                        wire.registered = wanted;
+                    }
+                }
+                Drove::Yield => yielded.push(token),
+                Drove::StageDone => {
+                    let _ = poller.remove(wire.stream.as_raw_fd());
+                    active -= 1;
+                    match guard(|| slot.session.target()) {
+                        Ok(Some(_)) => {
+                            slot.state = SlotState::Dialing;
+                            dial_queue.push_back(i);
+                        }
+                        Ok(None) => {
+                            slot.state = SlotState::Finished;
+                            completed += 1;
+                        }
+                        Err(e) => {
+                            slot.state = SlotState::Failed;
+                            failed.push((i, e));
+                        }
+                    }
+                }
+                Drove::Lost(e) => {
+                    let _ = poller.remove(wire.stream.as_raw_fd());
+                    active -= 1;
+                    if slot.retries_left > 0 {
+                        slot.retries_left -= 1;
+                        slot.state = SlotState::Dialing;
+                        dial_queue.push_back(i);
+                    } else {
+                        slot.state = SlotState::Failed;
+                        failed.push((i, e));
+                    }
+                }
+                Drove::Failed(e) => {
+                    let _ = poller.remove(wire.stream.as_raw_fd());
+                    active -= 1;
+                    slot.state = SlotState::Failed;
+                    failed.push((i, e));
+                }
+            }
+        }
+    }
+
+    failed.sort_by_key(|(i, _)| *i);
+    Ok(RunOutcome {
+        sessions: slots.into_iter().map(|s| s.session).collect(),
+        completed,
+        failed,
+        connect_elapsed,
+        drive_elapsed: drive_start.elapsed(),
+    })
+}
+
+/// Dial slot `i`'s current target and register the connection (or
+/// charge a retry / fail the session).  `active` counts live
+/// connections; a successful dial increments it.
+#[allow(clippy::too_many_arguments)]
+fn dial<S: SessionMachine>(
+    poller: &mut Poller,
+    slots: &mut [Slot<S>],
+    i: usize,
+    config: &DriveConfig,
+    dial_queue: &mut VecDeque<usize>,
+    completed: &mut usize,
+    failed: &mut Vec<(usize, NetError)>,
+    active: &mut usize,
+) {
+    let slot = &mut slots[i];
+    let addr = match guard(|| slot.session.target()) {
+        Ok(Some(addr)) => addr,
+        Ok(None) => {
+            slot.state = SlotState::Finished;
+            *completed += 1;
+            return;
+        }
+        Err(e) => {
+            slot.state = SlotState::Failed;
+            failed.push((i, e));
+            return;
+        }
+    };
+    let stream = TcpStream::connect_timeout(&addr, config.connect_timeout).and_then(|s| {
+        s.set_nonblocking(true)?;
+        s.set_nodelay(true)?;
+        Ok(s)
+    });
+    let stream = match stream {
+        Ok(s) => s,
+        Err(e) => {
+            if slot.retries_left > 0 {
+                slot.retries_left -= 1;
+                dial_queue.push_back(i);
+            } else {
+                slot.state = SlotState::Failed;
+                failed.push((i, NetError::Io(e)));
+            }
+            return;
+        }
+    };
+    let mut wire = Wire::new(stream);
+    match guard(|| slot.session.on_connect()) {
+        Ok(frames) => {
+            for frame in &frames {
+                wire.queue(frame);
+            }
+        }
+        Err(e) => {
+            slot.state = SlotState::Failed;
+            failed.push((i, e));
+            return;
+        }
+    }
+    let wanted = wire.wanted_interest();
+    if poller
+        .add(wire.stream.as_raw_fd(), i as u64, wanted)
+        .is_err()
+    {
+        slot.state = SlotState::Failed;
+        failed.push((
+            i,
+            NetError::Protocol("poller registration failed (fd limit?)".into()),
+        ));
+        return;
+    }
+    wire.registered = wanted;
+    slot.state = SlotState::Active(wire);
+    *active += 1;
+}
+
+/// Drive one connection as far as its socket and frame budget allow:
+/// flush, process decoded frames through the machine, read, repeat.
+fn drive_wire<S: SessionMachine>(wire: &mut Wire, session: &mut S, read_buf: &mut [u8]) -> Drove {
+    let mut frames_this_visit = 0;
+    loop {
+        // 1. Flush pending output.
+        while wire.has_pending_output() {
+            match wire.stream.write(&wire.outbuf[wire.outpos..]) {
+                Ok(0) => return Drove::Lost(NetError::Disconnected),
+                Ok(n) => {
+                    wire.outpos += n;
+                    wire.last_progress = Instant::now();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Drove::Keep,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Drove::Lost(NetError::Io(e)),
+            }
+        }
+        wire.outbuf.clear();
+        wire.outpos = 0;
+
+        // 2. Hand one decoded frame to the machine.
+        if frames_this_visit >= FRAMES_PER_VISIT {
+            return Drove::Yield;
+        }
+        match wire.decoder.try_frame() {
+            Some(Ok(frame)) => {
+                frames_this_visit += 1;
+                match guard(|| session.on_frame(frame)) {
+                    Ok(Step::Send(frames)) => {
+                        for frame in &frames {
+                            wire.queue(frame);
+                        }
+                        continue;
+                    }
+                    Ok(Step::Continue) => continue,
+                    Ok(Step::NextTarget) => return Drove::StageDone,
+                    Ok(Step::Fail(e)) => return Drove::Failed(e),
+                    Err(e) => return Drove::Failed(e),
+                }
+            }
+            Some(Err(e)) => return Drove::Failed(NetError::Codec(e)),
+            None => {}
+        }
+
+        // 3. Pull newly arrived bytes off the socket.
+        match wire.stream.read(read_buf) {
+            Ok(0) => return Drove::Lost(NetError::Disconnected),
+            Ok(n) => {
+                wire.decoder.feed(&read_buf[..n]);
+                wire.last_progress = Instant::now();
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Drove::Keep,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Drove::Lost(NetError::Io(e)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The XRD client machines
+// ---------------------------------------------------------------------
+
+/// A user's submission leg: one sealed submission delivered to every
+/// daemon of its chain (the §4 input-agreement fan-out), for each of
+/// the user's submissions, one exchange at a time.
+pub struct SubmitSession {
+    /// `(daemon, Submit frame)` exchanges, in order; each awaits `Ok`.
+    exchanges: Vec<(SocketAddr, Frame)>,
+    next: usize,
+}
+
+impl SubmitSession {
+    /// A session delivering each `(addr, frame)` exchange in order.
+    pub fn new(exchanges: Vec<(SocketAddr, Frame)>) -> SubmitSession {
+        SubmitSession { exchanges, next: 0 }
+    }
+
+    /// Exchanges acknowledged so far.
+    pub fn acknowledged(&self) -> usize {
+        self.next
+    }
+}
+
+impl SessionMachine for SubmitSession {
+    fn target(&self) -> Option<SocketAddr> {
+        self.exchanges.get(self.next).map(|(addr, _)| *addr)
+    }
+
+    fn on_connect(&mut self) -> Vec<Frame> {
+        match self.exchanges.get(self.next) {
+            Some((_, frame)) => vec![frame.clone()],
+            None => Vec::new(),
+        }
+    }
+
+    fn on_frame(&mut self, frame: Frame) -> Step {
+        match frame {
+            Frame::Ok => {
+                self.next += 1;
+                Step::NextTarget
+            }
+            Frame::Error { code, message } => Step::Fail(NetError::Remote { code, message }),
+            other => Step::Fail(NetError::Protocol(format!(
+                "expected Ok for submission, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// A user's fetch leg: page the mailbox down from its shard with
+/// cursor-bounded [`Frame::FetchPage`]s, then ack the watermark —
+/// restartable at any point (reads are non-destructive, acks are
+/// idempotent).
+pub struct FetchSession {
+    shard: SocketAddr,
+    mailbox: [u8; 32],
+    page_max: u32,
+    cursor: u64,
+    entries: Vec<(u64, Vec<u8>)>,
+    /// The ack went out; only its `Ok` is outstanding.
+    acked: bool,
+    done: bool,
+}
+
+impl FetchSession {
+    /// A session draining `mailbox` from the shard daemon at `shard`.
+    pub fn new(shard: SocketAddr, mailbox: [u8; 32], page_max: u32) -> FetchSession {
+        FetchSession {
+            shard,
+            mailbox,
+            page_max,
+            cursor: 0,
+            entries: Vec::new(),
+            acked: false,
+            done: false,
+        }
+    }
+
+    /// The mailbox this session drains.
+    pub fn mailbox(&self) -> [u8; 32] {
+        self.mailbox
+    }
+
+    /// The fetched `(delivery_round, sealed)` entries, oldest first.
+    pub fn into_entries(self) -> Vec<(u64, Vec<u8>)> {
+        self.entries
+    }
+}
+
+impl SessionMachine for FetchSession {
+    fn target(&self) -> Option<SocketAddr> {
+        if self.done {
+            None
+        } else {
+            Some(self.shard)
+        }
+    }
+
+    fn on_connect(&mut self) -> Vec<Frame> {
+        if self.acked {
+            // The walk finished and the ack may or may not have been
+            // applied before the connection died: resend it (an
+            // idempotent watermark).
+            return vec![Frame::FetchAck {
+                mailbox: self.mailbox,
+                upto: self.cursor,
+            }];
+        }
+        // (Re)start the walk from the shard's watermark: nothing has
+        // been acked, so a retry re-reads everything.
+        self.cursor = 0;
+        self.entries.clear();
+        vec![Frame::FetchPage {
+            mailbox: self.mailbox,
+            cursor: 0,
+            max: self.page_max,
+        }]
+    }
+
+    fn on_frame(&mut self, frame: Frame) -> Step {
+        match frame {
+            Frame::MailboxPage {
+                sealed,
+                next_cursor,
+                remaining,
+            } => {
+                if self.acked || next_cursor < self.cursor {
+                    return Step::Fail(NetError::Protocol("mailbox page out of sequence".into()));
+                }
+                self.entries.extend(sealed);
+                self.cursor = next_cursor;
+                if remaining > 0 {
+                    Step::Send(vec![Frame::FetchPage {
+                        mailbox: self.mailbox,
+                        cursor: self.cursor,
+                        max: self.page_max,
+                    }])
+                } else if self.entries.is_empty() {
+                    self.done = true;
+                    Step::NextTarget
+                } else {
+                    self.acked = true;
+                    Step::Send(vec![Frame::FetchAck {
+                        mailbox: self.mailbox,
+                        upto: self.cursor,
+                    }])
+                }
+            }
+            Frame::Ok if self.acked => {
+                self.done = true;
+                Step::NextTarget
+            }
+            Frame::Error { code, .. } if code == error_code::UNKNOWN_MAILBOX => {
+                // Never delivered to: empty from this user's point of
+                // view.
+                self.done = true;
+                Step::NextTarget
+            }
+            Frame::Error { code, message } => Step::Fail(NetError::Remote { code, message }),
+            other => Step::Fail(NetError::Protocol(format!(
+                "unexpected fetch response: {other:?}"
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// File-descriptor headroom
+// ---------------------------------------------------------------------
+
+/// Best-effort `RLIMIT_NOFILE` raise (a 50k-user reactor wants 50k+
+/// descriptors; typical soft limits sit far lower).  Returns the
+/// resulting soft limit — unchanged if the raise was refused — via raw
+/// `prlimit64`, mirroring the reactor's no-libc discipline.  On
+/// targets without the syscall, a no-op returning `want`.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+pub fn raise_nofile_limit(want: u64) -> u64 {
+    const SYS_PRLIMIT64: i64 = 302;
+    const RLIMIT_NOFILE: i64 = 7;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct RLimit64 {
+        cur: u64,
+        max: u64,
+    }
+
+    /// `prlimit64(0, RLIMIT_NOFILE, new, old)` — pid 0 is "this
+    /// process".
+    unsafe fn prlimit(new: *const RLimit64, old: *mut RLimit64) -> i64 {
+        let ret: i64;
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") SYS_PRLIMIT64 => ret,
+            in("rdi") 0i64,
+            in("rsi") RLIMIT_NOFILE,
+            in("rdx") new as i64,
+            in("r10") old as i64,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    let mut current = RLimit64 { cur: 0, max: 0 };
+    if unsafe { prlimit(std::ptr::null(), &mut current) } < 0 {
+        return 0;
+    }
+    if current.cur >= want {
+        return current.cur;
+    }
+    // Privileged processes may raise the hard limit too; unprivileged
+    // ones can still lift the soft limit to the hard cap.
+    let attempts = [
+        RLimit64 {
+            cur: want,
+            max: current.max.max(want),
+        },
+        RLimit64 {
+            cur: want.min(current.max),
+            max: current.max,
+        },
+    ];
+    for attempt in &attempts {
+        if unsafe { prlimit(attempt, std::ptr::null_mut()) } == 0 {
+            return attempt.cur;
+        }
+    }
+    current.cur
+}
+
+/// Best-effort `RLIMIT_NOFILE` raise — no-op on this target.
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+pub fn raise_nofile_limit(want: u64) -> u64 {
+    want
+}

@@ -1,0 +1,461 @@
+//! Deterministic client-reactor state-machine tests against a
+//! scripted in-process peer.
+//!
+//! The swarm tests exercise the reactor against real daemons at
+//! volume; these tests pin down the per-connection byte-level
+//! behaviors that volume hides: responses dribbled a byte at a time,
+//! frames split mid length-prefix, connections dropped mid-exchange
+//! (bounded retry, restartable fetch walks), malformed bytes (a typed
+//! codec failure, never a retry), and a machine that panics taking
+//! down its own session and nothing else — the regression that used to
+//! deadlock the thread-pool submit storm.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use xrd_net::codec::FrameDecoder;
+use xrd_net::swarm::reactor::{
+    drive_sessions, DriveConfig, FetchSession, SessionMachine, Step, SubmitSession,
+};
+use xrd_net::{CodecError, Frame, NetError};
+
+/// Serve each accepted connection with `script(conn_index, stream)`,
+/// serially, on a background thread.  Returns the listen address and a
+/// counter of accepted connections.
+fn scripted_peer<F>(script: F) -> (SocketAddr, Arc<AtomicUsize>)
+where
+    F: Fn(usize, TcpStream) + Send + 'static,
+{
+    let listener = TcpListener::bind("127.0.0.1:0").expect("peer binds");
+    let addr = listener.local_addr().expect("peer addr");
+    let conns = Arc::new(AtomicUsize::new(0));
+    let counter = Arc::clone(&conns);
+    std::thread::spawn(move || {
+        for (n, stream) in listener.incoming().enumerate() {
+            let Ok(stream) = stream else { break };
+            counter.fetch_add(1, Ordering::SeqCst);
+            script(n, stream);
+        }
+    });
+    (addr, conns)
+}
+
+/// A wire-legal sealed mailbox payload (the codec enforces the exact
+/// sealed length), distinguishable by its fill byte.
+fn sealed(fill: u8) -> Vec<u8> {
+    vec![fill; xrd_mixnet::MAILBOX_MSG_LEN - 32]
+}
+
+/// Read one complete frame off `stream` (blocking).
+fn read_frame(stream: &mut TcpStream, decoder: &mut FrameDecoder) -> Frame {
+    let mut buf = [0u8; 4096];
+    loop {
+        if let Some(result) = decoder.try_frame() {
+            return result.expect("peer received a well-formed frame");
+        }
+        let n = stream.read(&mut buf).expect("peer reads");
+        assert!(n > 0, "client hung up mid-request");
+        decoder.feed(&buf[..n]);
+    }
+}
+
+/// Write `frame` one byte at a time with a scheduling gap between
+/// bytes, so the client's decoder sees the worst possible framing.
+fn dribble(stream: &mut TcpStream, frame: &Frame) {
+    stream.set_nodelay(true).expect("nodelay");
+    for byte in frame.encode() {
+        stream.write_all(&[byte]).expect("dribbled byte");
+        std::thread::sleep(Duration::from_micros(200));
+    }
+}
+
+/// A full mailbox walk: two pages then the ack, every response byte
+/// dribbled individually — the client must reassemble frames from
+/// arbitrarily small reads.
+#[test]
+fn dribbled_responses_reassemble_into_a_complete_fetch() {
+    let mailbox = [7u8; 32];
+    let (addr, conns) = scripted_peer(move |_, mut stream| {
+        let mut decoder = FrameDecoder::new();
+        match read_frame(&mut stream, &mut decoder) {
+            Frame::FetchPage {
+                cursor: 0, max: 2, ..
+            } => {}
+            other => panic!("expected opening FetchPage, got {other:?}"),
+        }
+        dribble(
+            &mut stream,
+            &Frame::MailboxPage {
+                sealed: vec![(3, sealed(0xA1)), (4, sealed(0xB2))],
+                next_cursor: 2,
+                remaining: 1,
+            },
+        );
+        match read_frame(&mut stream, &mut decoder) {
+            Frame::FetchPage { cursor: 2, .. } => {}
+            other => panic!("expected continuation FetchPage, got {other:?}"),
+        }
+        dribble(
+            &mut stream,
+            &Frame::MailboxPage {
+                sealed: vec![(5, sealed(0xC3))],
+                next_cursor: 3,
+                remaining: 0,
+            },
+        );
+        match read_frame(&mut stream, &mut decoder) {
+            Frame::FetchAck { upto: 3, .. } => {}
+            other => panic!("expected FetchAck, got {other:?}"),
+        }
+        dribble(&mut stream, &Frame::Ok);
+    });
+
+    let outcome = drive_sessions(
+        vec![FetchSession::new(addr, mailbox, 2)],
+        &DriveConfig::default(),
+    )
+    .expect("reactor runs");
+    assert_eq!(outcome.completed, 1, "failures: {:?}", outcome.failed);
+    let entries = outcome.sessions.into_iter().next().unwrap().into_entries();
+    assert_eq!(
+        entries,
+        vec![(3, sealed(0xA1)), (4, sealed(0xB2)), (5, sealed(0xC3)),]
+    );
+    assert_eq!(conns.load(Ordering::SeqCst), 1);
+}
+
+/// A response split in the middle of its 4-byte length prefix, with a
+/// real delay between the halves: the decoder must hold the partial
+/// prefix across reads.
+#[test]
+fn response_split_mid_length_prefix_still_decodes() {
+    let (addr, _) = scripted_peer(|_, mut stream| {
+        let mut decoder = FrameDecoder::new();
+        let _ = read_frame(&mut stream, &mut decoder);
+        stream.set_nodelay(true).expect("nodelay");
+        let bytes = Frame::Ok.encode();
+        stream.write_all(&bytes[..2]).expect("first half");
+        std::thread::sleep(Duration::from_millis(30));
+        stream.write_all(&bytes[2..]).expect("second half");
+    });
+
+    let outcome = drive_sessions(
+        vec![SubmitSession::new(vec![(addr, Frame::Ping)])],
+        &DriveConfig::default(),
+    )
+    .expect("reactor runs");
+    assert_eq!(outcome.completed, 1, "failures: {:?}", outcome.failed);
+    assert_eq!(outcome.sessions[0].acknowledged(), 1);
+}
+
+/// A peer that eats the request and hangs up twice before serving:
+/// the session retries within its budget and completes — and the
+/// retry re-sends the exchange's opening request from scratch.
+#[test]
+fn mid_exchange_disconnect_is_retried_within_budget() {
+    let (addr, conns) = scripted_peer(|n, mut stream| {
+        let mut decoder = FrameDecoder::new();
+        let _ = read_frame(&mut stream, &mut decoder);
+        if n < 2 {
+            return; // drop with the exchange mid-flight
+        }
+        stream.write_all(&Frame::Ok.encode()).expect("ack");
+    });
+
+    let outcome = drive_sessions(
+        vec![SubmitSession::new(vec![(addr, Frame::Ping)])],
+        &DriveConfig::default(),
+    )
+    .expect("reactor runs");
+    assert_eq!(outcome.completed, 1, "failures: {:?}", outcome.failed);
+    assert_eq!(
+        conns.load(Ordering::SeqCst),
+        3,
+        "two dropped attempts plus the served one"
+    );
+}
+
+/// A peer that always hangs up: the session fails with a transport
+/// error after exactly `max_retries` reconnects — never an unbounded
+/// retry loop.
+#[test]
+fn disconnects_past_the_retry_budget_fail_the_session() {
+    let (addr, conns) = scripted_peer(|_, mut stream| {
+        let mut decoder = FrameDecoder::new();
+        let _ = read_frame(&mut stream, &mut decoder);
+        // drop: every exchange dies mid-flight
+    });
+
+    let outcome = drive_sessions(
+        vec![SubmitSession::new(vec![(addr, Frame::Ping)])],
+        &DriveConfig {
+            max_retries: 2,
+            ..Default::default()
+        },
+    )
+    .expect("reactor runs");
+    assert_eq!(outcome.completed, 0);
+    assert_eq!(outcome.failed.len(), 1);
+    let (i, err) = &outcome.failed[0];
+    assert_eq!(*i, 0);
+    assert!(
+        matches!(err, NetError::Disconnected | NetError::Io(_)),
+        "expected a transport error, got {err:?}"
+    );
+    assert_eq!(
+        conns.load(Ordering::SeqCst),
+        3,
+        "initial attempt plus max_retries reconnects, then stop"
+    );
+}
+
+/// A response dropped in transit — the peer eats the request and goes
+/// silent *without closing the socket* (what a lossy network or a
+/// frame-dropping middlebox looks like).  No readiness event will ever
+/// fire, so only the idle sweep can save the session: past the
+/// exchange timeout it must redial and the retry completes.  This
+/// was a real regression: before the sweep, such a session pinned the
+/// whole run until the 300 s drive deadline failed it outright.
+#[test]
+fn dropped_response_heals_through_the_idle_timeout() {
+    let (addr, conns) = scripted_peer(|n, mut stream| {
+        let mut decoder = FrameDecoder::new();
+        let _ = read_frame(&mut stream, &mut decoder);
+        if n == 0 {
+            // Swallow the request, hold the socket open and silent
+            // past the client's idle ceiling — but not so long that
+            // the redialed attempt (parked in the accept backlog
+            // until this script returns) idles out too.
+            std::thread::sleep(Duration::from_millis(500));
+            return;
+        }
+        stream.write_all(&Frame::Ok.encode()).expect("ack");
+    });
+
+    let outcome = drive_sessions(
+        vec![SubmitSession::new(vec![(addr, Frame::Ping)])],
+        &DriveConfig {
+            exchange_timeout: Duration::from_millis(300),
+            ..Default::default()
+        },
+    )
+    .expect("reactor runs");
+    assert_eq!(outcome.completed, 1, "failures: {:?}", outcome.failed);
+    assert_eq!(outcome.sessions[0].acknowledged(), 1);
+    assert_eq!(
+        conns.load(Ordering::SeqCst),
+        2,
+        "the silent attempt plus the redialed one"
+    );
+}
+
+/// A peer that is silent on every connection exhausts the retry budget
+/// and fails with a *typed* idle timeout — bounded by
+/// `(max_retries + 1) × exchange_timeout`, never the whole-run
+/// deadline.
+#[test]
+fn silence_past_the_retry_budget_is_a_typed_idle_timeout() {
+    let (addr, conns) = scripted_peer(|_, mut stream| {
+        let mut decoder = FrameDecoder::new();
+        let _ = read_frame(&mut stream, &mut decoder);
+        std::thread::sleep(Duration::from_millis(600));
+    });
+
+    let outcome = drive_sessions(
+        vec![SubmitSession::new(vec![(addr, Frame::Ping)])],
+        &DriveConfig {
+            max_retries: 1,
+            exchange_timeout: Duration::from_millis(200),
+            ..Default::default()
+        },
+    )
+    .expect("reactor runs");
+    assert_eq!(outcome.completed, 0);
+    assert_eq!(outcome.failed.len(), 1);
+    let (i, err) = &outcome.failed[0];
+    assert_eq!(*i, 0);
+    assert!(
+        matches!(
+            err,
+            NetError::Timeout {
+                op: "client exchange idle"
+            }
+        ),
+        "expected the idle timeout, got {err:?}"
+    );
+    // The redialed connection sits in the accept backlog until the
+    // first script's hold expires; give the serial accept loop time to
+    // count it before asserting the attempt total.
+    std::thread::sleep(Duration::from_millis(1500));
+    assert_eq!(
+        conns.load(Ordering::SeqCst),
+        2,
+        "initial attempt plus max_retries reconnects, then stop"
+    );
+}
+
+/// A fetch walk whose connection dies between pages restarts from
+/// cursor 0 on the retry (nothing was acked) — and the final entry set
+/// has no duplicates from the abandoned first walk.
+#[test]
+fn fetch_walk_restarts_from_scratch_after_disconnect() {
+    let mailbox = [9u8; 32];
+    let (addr, conns) = scripted_peer(move |n, mut stream| {
+        let mut decoder = FrameDecoder::new();
+        match read_frame(&mut stream, &mut decoder) {
+            Frame::FetchPage { cursor, .. } => {
+                assert_eq!(cursor, 0, "every (re)start must page from the watermark")
+            }
+            other => panic!("expected FetchPage, got {other:?}"),
+        }
+        stream
+            .write_all(
+                &Frame::MailboxPage {
+                    sealed: vec![(3, sealed(0xA1))],
+                    next_cursor: 1,
+                    remaining: 1,
+                }
+                .encode(),
+            )
+            .expect("first page");
+        if n == 0 {
+            return; // die mid-walk, page 2 never sent
+        }
+        match read_frame(&mut stream, &mut decoder) {
+            Frame::FetchPage { cursor: 1, .. } => {}
+            other => panic!("expected continuation, got {other:?}"),
+        }
+        stream
+            .write_all(
+                &Frame::MailboxPage {
+                    sealed: vec![(3, sealed(0xB2))],
+                    next_cursor: 2,
+                    remaining: 0,
+                }
+                .encode(),
+            )
+            .expect("second page");
+        match read_frame(&mut stream, &mut decoder) {
+            Frame::FetchAck { upto: 2, .. } => {}
+            other => panic!("expected FetchAck, got {other:?}"),
+        }
+        stream.write_all(&Frame::Ok.encode()).expect("ack ok");
+    });
+
+    let outcome = drive_sessions(
+        vec![FetchSession::new(addr, mailbox, 1)],
+        &DriveConfig::default(),
+    )
+    .expect("reactor runs");
+    assert_eq!(outcome.completed, 1, "failures: {:?}", outcome.failed);
+    let entries = outcome.sessions.into_iter().next().unwrap().into_entries();
+    assert_eq!(
+        entries,
+        vec![(3, sealed(0xA1)), (3, sealed(0xB2))],
+        "the abandoned first walk must not leave duplicate entries"
+    );
+    assert_eq!(conns.load(Ordering::SeqCst), 2);
+}
+
+/// Bytes that do not parse as any frame are a typed
+/// [`NetError::Codec`] failure — immediately, with no retry: a peer
+/// speaking a different protocol will not get retried into.
+#[test]
+fn malformed_frame_is_a_typed_codec_error_not_a_retry() {
+    let (addr, conns) = scripted_peer(|_, mut stream| {
+        let mut decoder = FrameDecoder::new();
+        let _ = read_frame(&mut stream, &mut decoder);
+        // Length 1, tag 0xEE: well-framed, meaningless.
+        stream.write_all(&[1, 0, 0, 0, 0xEE]).expect("garbage");
+        // Hold the socket open so the failure is the bytes, not EOF.
+        std::thread::sleep(Duration::from_millis(200));
+    });
+
+    let outcome = drive_sessions(
+        vec![SubmitSession::new(vec![(addr, Frame::Ping)])],
+        &DriveConfig::default(),
+    )
+    .expect("reactor runs");
+    assert_eq!(outcome.completed, 0);
+    assert_eq!(outcome.failed.len(), 1);
+    match &outcome.failed[0] {
+        (0, NetError::Codec(CodecError::UnknownTag(0xEE))) => {}
+        other => panic!("expected UnknownTag(0xEE), got {other:?}"),
+    }
+    assert_eq!(
+        conns.load(Ordering::SeqCst),
+        1,
+        "a codec failure must not be retried"
+    );
+}
+
+/// A storm machine for the panic-regression test: honest sessions run
+/// one Ping→Ok exchange; the bomb panics on its first response.
+enum StormMachine {
+    Honest { addr: SocketAddr, done: bool },
+    Bomb { addr: SocketAddr },
+}
+
+impl SessionMachine for StormMachine {
+    fn target(&self) -> Option<SocketAddr> {
+        match self {
+            StormMachine::Honest { done: true, .. } => None,
+            StormMachine::Honest { addr, .. } | StormMachine::Bomb { addr } => Some(*addr),
+        }
+    }
+
+    fn on_connect(&mut self) -> Vec<Frame> {
+        vec![Frame::Ping]
+    }
+
+    fn on_frame(&mut self, frame: Frame) -> Step {
+        match self {
+            StormMachine::Honest { done, .. } => match frame {
+                Frame::Ok => {
+                    *done = true;
+                    Step::NextTarget
+                }
+                other => Step::Fail(NetError::Protocol(format!("expected Ok, got {other:?}"))),
+            },
+            StormMachine::Bomb { .. } => panic!("deliberate state-machine bug"),
+        }
+    }
+}
+
+/// The submit-storm regression: one machine with a bug that panics
+/// fails *its own* session and nothing else — the rest of the storm
+/// completes and the run returns.  The old thread-pool storm sized a
+/// completion barrier by worker count; a panicking worker left the
+/// barrier short and every other worker deadlocked behind it.
+#[test]
+fn panicking_machine_fails_alone_and_the_storm_completes() {
+    let (addr, _) = scripted_peer(|_, mut stream| {
+        let mut decoder = FrameDecoder::new();
+        let _ = read_frame(&mut stream, &mut decoder);
+        let _ = stream.write_all(&Frame::Ok.encode());
+    });
+
+    const BOMB: usize = 4;
+    let sessions: Vec<StormMachine> = (0..9)
+        .map(|i| {
+            if i == BOMB {
+                StormMachine::Bomb { addr }
+            } else {
+                StormMachine::Honest { addr, done: false }
+            }
+        })
+        .collect();
+
+    let outcome = drive_sessions(sessions, &DriveConfig::default()).expect("reactor runs");
+    assert_eq!(outcome.completed, 8, "failures: {:?}", outcome.failed);
+    assert_eq!(outcome.failed.len(), 1);
+    let (i, err) = &outcome.failed[0];
+    assert_eq!(*i, BOMB);
+    match err {
+        NetError::Protocol(msg) => assert!(msg.contains("panicked"), "got: {msg}"),
+        other => panic!("expected the panic converted to a Protocol error, got {other:?}"),
+    }
+}

@@ -156,8 +156,9 @@ fn obs_snapshot(rng: &mut StdRng) -> xrd_obs::Snapshot {
     }
 }
 
-/// Number of distinct frame constructors below (keep in sync).
-const N_VARIANTS: usize = 37;
+/// Number of distinct frame constructors below (keep in sync; the one
+/// index with no explicit arm falls through to the mailbox frames).
+const N_VARIANTS: usize = 39;
 
 /// A random well-formed frame of the chosen variant.
 fn arb_frame(rng: &mut StdRng, variant: usize) -> Frame {
@@ -259,6 +260,9 @@ fn arb_frame(rng: &mut StdRng, variant: usize) -> Frame {
                 Some(Box::new(blame_reveal(rng)))
             },
         },
+        24 => Frame::MixForward {
+            round: rng.next_u64(),
+        },
         25 => Frame::MixBatchStart {
             round: rng.next_u64(),
             total: rng.gen_range(0..=xrd_net::codec::MAX_BATCH as u32),
@@ -318,6 +322,13 @@ fn arb_frame(rng: &mut StdRng, variant: usize) -> Frame {
             claim: rng.gen_range(0..3u8),
             upheld: rng.gen_bool(0.5),
             votes: rng.gen_range(0..64u32),
+        },
+        37 => Frame::HopForwarded {
+            round: rng.next_u64(),
+            position: rng.gen_range(0..64u32),
+            input_dhs: (0..rng.gen_range(0..6)).map(|_| g(rng)).collect(),
+            output_dhs: (0..rng.gen_range(0..6)).map(|_| g(rng)).collect(),
+            proof: dleq(rng),
         },
         _ => match variant % 4 {
             0 => Frame::Deliver {

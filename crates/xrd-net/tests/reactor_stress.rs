@@ -1,14 +1,15 @@
 //! Connection-scalability acceptance tests for the event-driven
-//! daemons: one `MixServerDaemon` holding ≥1000 concurrent submitter
-//! connections on O(1) I/O threads, and connection churn that leaves
-//! the daemon's thread count flat.
+//! reactors, daemon side and client side: one `MixServerDaemon`
+//! holding ≥1000 concurrent submitter connections on O(1) I/O threads,
+//! connection churn that leaves the daemon's thread count flat, and a
+//! 10 000-user client swarm driven from a single calling thread.
 //!
-//! These two tests live alone in this binary on purpose: they assert
-//! on `/proc/self/status` thread counts, and sibling tests spawning
+//! These tests live alone in this binary on purpose: they assert on
+//! `/proc/self/status` thread counts, and sibling tests spawning
 //! daemons of their own would perturb the accounting.  A shared lock
 //! additionally serializes them against each other.
 
-use std::io::Write;
+use std::io::{BufRead, Write};
 use std::net::TcpStream;
 use std::sync::Mutex;
 
@@ -17,6 +18,7 @@ use rand::SeedableRng;
 
 use xrd_mixnet::chain_keys::{generate_chain_keys, rotate_inner_keys};
 use xrd_net::codec::Frame;
+use xrd_net::swarm::reactor::{drive_sessions, raise_nofile_limit, DriveConfig, SubmitSession};
 use xrd_net::swarm::sealed_submissions;
 use xrd_net::{Conn, MixServerDaemon};
 
@@ -106,6 +108,115 @@ fn one_daemon_serves_1000_concurrent_submitters_on_o1_io_threads() {
             "{N} in-flight requests grew threads {b} -> {f}: I/O threading is O(clients)"
         );
     }
+}
+
+/// The client-side counterpart of the acceptance bar above, at §8
+/// scale: ten thousand emulated users — every one a real verified
+/// submission over its own TCP connection, the whole population
+/// concurrently connected before a single request goes out — driven to
+/// completion by [`drive_sessions`] on the *calling* thread, with the
+/// process's thread count flat.  The pre-reactor swarm needed a worker
+/// thread per concurrent submitter.
+///
+/// The daemon runs as a real `xrd-netd` child process: the load
+/// generator is measured alone (one descriptor and zero threads per
+/// user on the client side), exactly as it would face a remote
+/// deployment.
+#[test]
+fn ten_thousand_user_reactor_runs_on_the_calling_thread() {
+    let _guard = THREAD_ACCOUNTING.lock().unwrap();
+    const N: usize = 10_000;
+    let round = 0u64;
+    let mut rng = StdRng::seed_from_u64(21);
+    let (mut secrets, mut public) = generate_chain_keys(&mut rng, 3, 0);
+    rotate_inner_keys(&mut rng, &mut secrets, &mut public, round);
+
+    let config_dir =
+        std::env::temp_dir().join(format!("xrd-reactor-stress-{}", std::process::id()));
+    std::fs::create_dir_all(&config_dir).expect("scratch dir");
+    let config_path = config_dir.join("hop.cfg");
+    std::fs::write(
+        &config_path,
+        xrd_net::codec::encode_server_config(&secrets.remove(0), &public),
+    )
+    .expect("config writes");
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_xrd-netd"))
+        .arg("mix")
+        .arg("--config")
+        .arg(&config_path)
+        .arg("--listen")
+        .arg("127.0.0.1:0")
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("xrd-netd child spawns");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let addr: std::net::SocketAddr = loop {
+        let line = lines
+            .next()
+            .expect("daemon announces before exiting")
+            .expect("announcement reads");
+        if let Some(rest) = line.strip_prefix("LISTENING ") {
+            break rest.trim().parse().expect("announced address parses");
+        }
+    };
+    std::thread::spawn(move || for _line in lines {});
+
+    let mut control = Conn::connect(addr).expect("control connects");
+    control
+        .request_ok(&Frame::OpenRound { round })
+        .expect("window opens");
+
+    let submissions = sealed_submissions(&mut rng, &public, round, N);
+    let sessions: Vec<SubmitSession> = submissions
+        .into_iter()
+        .map(|submission| SubmitSession::new(vec![(addr, Frame::Submit { round, submission })]))
+        .collect();
+
+    let got = raise_nofile_limit(N as u64 + 512);
+    assert!(
+        got >= N as u64 + 64,
+        "cannot hold {N} concurrent connections (RLIMIT_NOFILE {got})"
+    );
+    let baseline = process_threads();
+    let outcome = drive_sessions(
+        sessions,
+        &DriveConfig {
+            connect_first: true,
+            ..Default::default()
+        },
+    )
+    .expect("reactor runs");
+    let after = process_threads();
+
+    assert_eq!(
+        outcome.completed,
+        N,
+        "first failures: {:?}",
+        &outcome.failed[..outcome.failed.len().min(3)]
+    );
+    assert!(outcome.sessions.iter().all(|s| s.acknowledged() == 1));
+    if let (Some(b), Some(a)) = (baseline, after) {
+        assert!(
+            a <= b + THREAD_SLACK,
+            "client reactor spawned threads: {b} -> {a} — the swarm must \
+             drive all {N} users from the calling thread"
+        );
+    }
+
+    // The daemon's statement: every one of the 10k submissions was
+    // verified into the canonical batch.
+    match control
+        .request(&Frame::CloseSubmissions { round })
+        .expect("window closes")
+    {
+        Frame::BatchDigest { count, .. } => assert_eq!(count, N as u64),
+        other => panic!("expected BatchDigest, got {other:?}"),
+    }
+
+    let _ = control.send(&Frame::Shutdown);
+    child.wait().expect("daemon child exits");
+    let _ = std::fs::remove_dir_all(&config_dir);
 }
 
 /// §"connection churn": clients that connect, dribble half a

@@ -133,6 +133,78 @@ fn streamed_chain_rounds_deliver() {
     cluster.shutdown();
 }
 
+/// Daemon-to-daemon forwarding is a drop-in for the relayed paths: the
+/// coordinator streams the batch to hop 0 once, hops forward output
+/// chunks directly to their successors, and only keys-only
+/// attestations plus the last hop's stream come back — yet every
+/// round completes and every chat lands, across rotations.
+#[test]
+fn forwarded_chain_rounds_deliver() {
+    let mut rng = StdRng::seed_from_u64(29);
+    let config = DeploymentConfig::small(4, 3);
+    let (mut cluster, mut deployment) = launch_local(&mut rng, &config).expect("cluster launches");
+    deployment.set_transport(Transport::Forwarded { chunk: 8 });
+
+    let report = run_swarm(
+        &mut rng,
+        &mut deployment,
+        &SwarmConfig {
+            n_users: 16,
+            rounds: 2,
+            conversing_fraction: 0.5,
+            submit_workers: 4,
+        },
+    )
+    .expect("forwarded swarm round failed");
+    assert_eq!(report.rounds.len(), 2);
+    for round in &report.rounds {
+        assert!(
+            round.delivered > 0,
+            "round {} delivered nothing",
+            round.round
+        );
+    }
+    cluster.shutdown();
+}
+
+/// Forwarded mode cannot localize a bad onion (blame needs the full
+/// intermediate batches), so a decrypt failure mid-cascade must make
+/// the coordinator *fall back to relayed streaming*, where the §6.4
+/// trace convicts the injected submission and the honest messages all
+/// deliver — forwarding degrades, never loses a round.
+#[test]
+fn forwarded_falls_back_to_streaming_for_blame() {
+    let mut rng = StdRng::seed_from_u64(37);
+    let config = DeploymentConfig::small(4, 3);
+    let (mut cluster, mut deployment) = launch_local(&mut rng, &config).expect("cluster launches");
+    deployment.set_transport(Transport::Forwarded { chunk: 8 });
+    let ell = deployment.topology().ell();
+
+    let mut users: Vec<User> = (0..5).map(|_| User::new(&mut rng)).collect();
+    let bad = xrd_mixnet::testutil::malicious_submission(
+        &mut rng,
+        &deployment.chain_keys()[0],
+        0,
+        deployment.topology().chain_len() - 1,
+    );
+    deployment.inject_submission(ChainId(0), bad);
+
+    let (report, fetched) = deployment
+        .run_round(&mut rng, &mut users)
+        .expect("round failed");
+    assert!(report.aborted_chains.is_empty(), "no server is at fault");
+    assert_eq!(
+        report.malicious_by_chain.get(&0),
+        Some(&1),
+        "the injected submission is convicted on the fallback path"
+    );
+    assert_eq!(report.delivered, 5 * ell, "honest messages all survive");
+    for user in &users {
+        assert_eq!(fetched[&user.mailbox_id()].len(), ell);
+    }
+    cluster.shutdown();
+}
+
 /// Blame still works when the batch streams: a garbage onion triggers
 /// `HopFailure` out of a streamed session, the §6.4 trace convicts the
 /// injected submission, and the retried (streamed) pass delivers every
