@@ -29,6 +29,7 @@ pub mod churn;
 pub mod cost;
 pub mod deployment;
 pub mod dialing;
+pub mod journal;
 pub mod mailbox;
 pub mod payload;
 pub mod secgame;
@@ -36,6 +37,7 @@ pub mod user;
 
 pub use backend::{RoundBackend, RoundError};
 pub use deployment::{Deployment, DeploymentConfig, FetchResults, RoundReport};
+pub use journal::Journal;
 pub use mailbox::{
     drain, LogMailboxStore, LogStoreConfig, MailboxError, MailboxHub, MailboxStore, Page, PageEntry,
 };

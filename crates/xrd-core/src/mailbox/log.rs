@@ -7,13 +7,26 @@
 //! by checksummed records:
 //!
 //! ```text
-//! PUT  = [0x01][mailbox:32][seq:u64][round:u64][len:u32][sealed:len][fnv64]
-//! ACK  = [0x02][mailbox:32][upto:u64][fnv64]
+//! PUT    = [0x01][mailbox:32][seq:u64][round:u64][len:u32][sealed:len][fnv64]
+//! ACK    = [0x02][mailbox:32][upto:u64][fnv64]
+//! BEGIN  = [0x03][round:u64][batch:u64][fnv64]
+//! COMMIT = [0x04][round:u64][batch:u64][fnv64]
+//! ABORT  = [0x05][round:u64][batch:u64][fnv64]
 //! ```
 //!
 //! All integers little-endian; `fnv64` is FNV-1a over every preceding
 //! byte of the record (torn-write detection, not adversarial
 //! integrity — the payloads are already AEAD-sealed for their owners).
+//! BEGIN/COMMIT/ABORT bracket one wire `Deliver` batch
+//! ([`MailboxStore::begin_batch`]): PUTs between a BEGIN and its COMMIT
+//! belong to that delivery and are only applied on recovery if the
+//! COMMIT landed — a crash mid-batch rolls the partial batch back (an
+//! ABORT is appended on reopen), so the sender's retry stores it
+//! exactly once.  Committed `(round, batch)` ids double as the durable
+//! delivery-dedup window: `begin_batch` answers `false` for an id whose
+//! COMMIT is already on disk.  Bare PUTs outside any bracket
+//! (compaction copies, direct store users) are committed by
+//! construction.
 //! Exactly one segment (the highest id) is *active* and appended to;
 //! when it exceeds [`LogStoreConfig::segment_bytes`] it is sealed and a
 //! fresh one started (**rotation**).
@@ -46,10 +59,18 @@ use std::path::{Path, PathBuf};
 use xrd_mixnet::MailboxMessage;
 
 use super::{page_bounds, shard_of, store_metrics, MailboxError, MailboxStore, Page, PageEntry};
+use crate::journal::fnv64;
 
 const MAGIC: &[u8; 8] = b"XRDMBOX1";
 const KIND_PUT: u8 = 1;
 const KIND_ACK: u8 = 2;
+const KIND_TXN_BEGIN: u8 = 3;
+const KIND_TXN_COMMIT: u8 = 4;
+const KIND_TXN_ABORT: u8 = 5;
+/// Committed delivery-batch ids retained for dedup (matches the wire
+/// layer's in-memory window; a sender retries a batch within a few
+/// connection lifetimes, never thousands of batches later).
+const BATCH_DEDUP_WINDOW: usize = 4096;
 /// Sanity cap on a record's sealed payload during replay: anything
 /// larger than this is a torn length field, not a real message.
 const MAX_SEALED: usize = 1 << 20;
@@ -72,16 +93,6 @@ impl Default for LogStoreConfig {
             sync: true,
         }
     }
-}
-
-/// FNV-1a 64 — torn-write detection for log records.
-fn fnv64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
 }
 
 /// Where one live entry's sealed bytes sit on disk.
@@ -134,6 +145,30 @@ pub struct LogMailboxStore {
     index: HashMap<[u8; 32], BoxIndex>,
     /// Appends since the last fsync.
     dirty: bool,
+    /// Recently committed delivery-batch ids (the durable dedup
+    /// window), plus their order for eviction.
+    committed: HashSet<(u64, u64)>,
+    committed_order: VecDeque<(u64, u64)>,
+    /// Replay-only: the delivery transaction currently open, with the
+    /// PUTs staged since its BEGIN.
+    replay_txn: Option<ReplayTxn>,
+}
+
+/// One open delivery transaction during recovery replay.
+struct ReplayTxn {
+    round: u64,
+    batch: u64,
+    staged: Vec<StagedPut>,
+}
+
+/// A PUT held back during replay until its transaction commits.
+struct StagedPut {
+    mailbox: [u8; 32],
+    seq: u64,
+    round: u64,
+    seg: u64,
+    offset: u64,
+    len: u32,
 }
 
 /// Persistence metric handles, resolved once per process.
@@ -144,6 +179,7 @@ fn log_metrics() -> &'static LogMetrics {
         compactions: xrd_obs::counter("mailbox.compactions"),
         recovery_us: xrd_obs::hist("mailbox.recovery_us"),
         torn_tails: xrd_obs::counter("mailbox.recovery.torn_tails"),
+        aborted_batches: xrd_obs::counter("mailbox.recovery.aborted_batches"),
     })
 }
 
@@ -156,6 +192,9 @@ struct LogMetrics {
     recovery_us: &'static xrd_obs::Histogram,
     /// Torn record tails truncated during recovery.
     torn_tails: &'static xrd_obs::Counter,
+    /// Delivery batches rolled back during recovery (crash before
+    /// their COMMIT landed; the sender's retry re-stores them).
+    aborted_batches: &'static xrd_obs::Counter,
 }
 
 fn io_err(what: &str, e: std::io::Error) -> MailboxError {
@@ -201,6 +240,9 @@ impl LogMailboxStore {
             segments: BTreeMap::new(),
             index: HashMap::new(),
             dirty: false,
+            committed: HashSet::new(),
+            committed_order: VecDeque::new(),
+            replay_txn: None,
         };
         for id in ids {
             store.replay_segment(id)?;
@@ -211,6 +253,19 @@ impl LogMailboxStore {
                 store.create_segment(0)?;
                 store.active_id = 0;
             }
+        }
+        // A transaction still open at the end of replay is the
+        // crash-mid-batch case: its staged PUTs are dropped (the
+        // sender never got an ack, so it retries the whole batch) and
+        // an ABORT record is appended so the dangling BEGIN can never
+        // resurrect them on a later recovery.
+        if let Some(txn) = store.replay_txn.take() {
+            log_metrics().aborted_batches.incr();
+            store.append(
+                &Self::encode_txn(KIND_TXN_ABORT, txn.round, txn.batch),
+                false,
+            )?;
+            store.flush()?;
         }
         log_metrics().recovery_us.record_duration(start.elapsed());
         Ok(store)
@@ -326,24 +381,75 @@ impl LogMailboxStore {
                 } => {
                     seg.touched.insert(mailbox);
                     seg.put_bytes += payload_len as u64;
-                    let b = self.index.entry(mailbox).or_default();
-                    b.next = b.next.max(seq + 1);
-                    let dup = b.entries.iter().any(|e| e.seq == seq);
-                    if seq >= b.acked && !dup {
-                        let loc = EntryLoc {
-                            seq,
-                            round,
-                            seg: id,
-                            offset: payload_offset as u64,
-                            len: payload_len,
-                        };
-                        // Replay order is append order, which is seq
-                        // order per mailbox except for compaction
-                        // copies; insert sorted.
-                        let pos = b.entries.partition_point(|e| e.seq < seq);
-                        b.entries.insert(pos, loc);
-                        seg.live += 1;
-                        seg.live_bytes += payload_len as u64;
+                    let staged = StagedPut {
+                        mailbox,
+                        seq,
+                        round,
+                        seg: id,
+                        offset: payload_offset as u64,
+                        len: payload_len,
+                    };
+                    match &mut self.replay_txn {
+                        // Inside a delivery bracket: held back until its
+                        // COMMIT proves the batch landed.
+                        Some(txn) => txn.staged.push(staged),
+                        // Bare PUT (compaction copy, direct store user):
+                        // committed by construction.
+                        None => apply_staged(
+                            &mut self.index,
+                            &mut self.segments,
+                            &mut seg,
+                            id,
+                            vec![staged],
+                        ),
+                    }
+                    o = end;
+                }
+                Record::Txn {
+                    end,
+                    kind,
+                    round,
+                    batch,
+                } => {
+                    match kind {
+                        KIND_TXN_BEGIN => {
+                            // A BEGIN while a bracket is open cannot be
+                            // produced by the runtime (every batch ends
+                            // in COMMIT or ABORT, and open() closes a
+                            // dangling one); if it ever appears, apply
+                            // the staged PUTs rather than lose data.
+                            if let Some(prev) = self.replay_txn.take() {
+                                apply_staged(
+                                    &mut self.index,
+                                    &mut self.segments,
+                                    &mut seg,
+                                    id,
+                                    prev.staged,
+                                );
+                            }
+                            self.replay_txn = Some(ReplayTxn {
+                                round,
+                                batch,
+                                staged: Vec::new(),
+                            });
+                        }
+                        KIND_TXN_COMMIT => {
+                            if let Some(txn) = self.replay_txn.take() {
+                                apply_staged(
+                                    &mut self.index,
+                                    &mut self.segments,
+                                    &mut seg,
+                                    id,
+                                    txn.staged,
+                                );
+                            }
+                            self.record_committed(round, batch);
+                        }
+                        // ABORT: the batch never completed; its staged
+                        // PUTs are rolled back (the sender retries).
+                        _ => {
+                            self.replay_txn = None;
+                        }
                     }
                     o = end;
                 }
@@ -423,6 +529,28 @@ impl LogMailboxStore {
         rec.extend_from_slice(sealed);
         rec.extend_from_slice(&fnv64(&rec).to_le_bytes());
         rec
+    }
+
+    fn encode_txn(kind: u8, round: u64, batch: u64) -> Vec<u8> {
+        let mut rec = Vec::with_capacity(1 + 8 + 8 + 8);
+        rec.push(kind);
+        rec.extend_from_slice(&round.to_le_bytes());
+        rec.extend_from_slice(&batch.to_le_bytes());
+        rec.extend_from_slice(&fnv64(&rec).to_le_bytes());
+        rec
+    }
+
+    /// Remember a committed delivery-batch id for dedup, evicting the
+    /// oldest beyond [`BATCH_DEDUP_WINDOW`].
+    fn record_committed(&mut self, round: u64, batch: u64) {
+        if self.committed.insert((round, batch)) {
+            self.committed_order.push_back((round, batch));
+            while self.committed_order.len() > BATCH_DEDUP_WINDOW {
+                if let Some(old) = self.committed_order.pop_front() {
+                    self.committed.remove(&old);
+                }
+            }
+        }
     }
 
     fn encode_ack(mailbox: &[u8; 32], upto: u64) -> Vec<u8> {
@@ -632,6 +760,28 @@ impl MailboxStore for LogMailboxStore {
         self.dirty = false;
         Ok(())
     }
+
+    fn begin_batch(&mut self, round: u64, batch: u64) -> Result<bool, MailboxError> {
+        if self.committed.contains(&(round, batch)) {
+            return Ok(false); // durably committed: dedup hit
+        }
+        self.append(&Self::encode_txn(KIND_TXN_BEGIN, round, batch), true)?;
+        Ok(true)
+    }
+
+    fn commit_batch(&mut self, round: u64, batch: u64) -> Result<(), MailboxError> {
+        // Not durable until the caller's flush(); one fsync covers the
+        // whole bracket, and recovery rolls back anything uncommitted.
+        self.append(&Self::encode_txn(KIND_TXN_COMMIT, round, batch), false)?;
+        self.record_committed(round, batch);
+        Ok(())
+    }
+
+    fn abort_batch(&mut self, round: u64, batch: u64) -> Result<(), MailboxError> {
+        self.append(&Self::encode_txn(KIND_TXN_ABORT, round, batch), false)?;
+        // Make the rollback durable before the error reply goes out.
+        self.flush()
+    }
 }
 
 enum Record {
@@ -647,6 +797,12 @@ enum Record {
         end: usize,
         mailbox: [u8; 32],
         upto: u64,
+    },
+    Txn {
+        end: usize,
+        kind: u8,
+        round: u64,
+        batch: u64,
     },
 }
 
@@ -701,7 +857,62 @@ fn parse_record(bytes: &[u8], o: usize) -> Option<Record> {
                 upto: u64_at(o + 33),
             })
         }
+        KIND_TXN_BEGIN | KIND_TXN_COMMIT | KIND_TXN_ABORT => {
+            let end = o + 1 + 8 + 8 + 8;
+            if bytes.len() < end {
+                return None;
+            }
+            let stored = u64_at(end - 8);
+            if fnv64(&bytes[o..end - 8]) != stored {
+                return None;
+            }
+            Some(Record::Txn {
+                end,
+                kind,
+                round: u64_at(o + 1),
+                batch: u64_at(o + 9),
+            })
+        }
         _ => None,
+    }
+}
+
+/// Apply replayed (or staged-then-committed) PUTs to the index with the
+/// standard idempotence rules: duplicate sequence numbers and already
+/// acked entries are skipped, everything else is inserted in seq order
+/// and counted live against its segment.  `current` is the segment
+/// being replayed (not yet inserted into `segments`).
+fn apply_staged(
+    index: &mut HashMap<[u8; 32], BoxIndex>,
+    segments: &mut BTreeMap<u64, Segment>,
+    current: &mut Segment,
+    current_id: u64,
+    staged: Vec<StagedPut>,
+) {
+    for p in staged {
+        let b = index.entry(p.mailbox).or_default();
+        b.next = b.next.max(p.seq + 1);
+        let dup = b.entries.iter().any(|e| e.seq == p.seq);
+        if p.seq >= b.acked && !dup {
+            let loc = EntryLoc {
+                seq: p.seq,
+                round: p.round,
+                seg: p.seg,
+                offset: p.offset,
+                len: p.len,
+            };
+            // Replay order is append order, which is seq order per
+            // mailbox except for compaction copies; insert sorted.
+            let pos = b.entries.partition_point(|e| e.seq < p.seq);
+            b.entries.insert(pos, loc);
+            let owner = if p.seg == current_id {
+                &mut *current
+            } else {
+                segments.get_mut(&p.seg).expect("segment replayed")
+            };
+            owner.live += 1;
+            owner.live_bytes += p.len as u64;
+        }
     }
 }
 
@@ -817,6 +1028,97 @@ mod tests {
             s.put(0, msg(other, b"x")),
             Err(MailboxError::WrongShard { expected: 0, .. })
         ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The crash the delivery-transaction bracket exists for: a batch
+    /// whose BEGIN and PUTs hit the log but whose COMMIT never did is
+    /// rolled back on reopen, and the redelivered batch stores exactly
+    /// once with the same sequence numbers.
+    #[test]
+    fn uncommitted_batch_rolls_back_on_reopen() {
+        let dir = tmp("txn-rollback");
+        {
+            let mut s = LogMailboxStore::open(&dir, 0, 1, LogStoreConfig::default()).unwrap();
+            assert!(s.begin_batch(7, 1).unwrap(), "fresh batch id is accepted");
+            s.put(7, msg(1, b"aaaa")).unwrap();
+            s.put(7, msg(1, b"bbbb")).unwrap();
+            // No commit: the daemon died between Deliver and its ack.
+        }
+        let mut s = LogMailboxStore::open(&dir, 0, 1, LogStoreConfig::default()).unwrap();
+        // The batch never committed, so the retry is *not* a duplicate.
+        assert!(
+            s.begin_batch(7, 1).unwrap(),
+            "rolled-back batch must be redeliverable"
+        );
+        s.put(7, msg(1, b"aaaa")).unwrap();
+        s.put(7, msg(1, b"bbbb")).unwrap();
+        s.commit_batch(7, 1).unwrap();
+        s.flush().unwrap();
+        drop(s);
+        let mut s = LogMailboxStore::open(&dir, 0, 1, LogStoreConfig::default()).unwrap();
+        assert_eq!(s.pending(&[1u8; 32]), Ok(2), "exactly one copy stored");
+        let p = s.fetch_page(&[1u8; 32], 0, 16).unwrap();
+        assert_eq!(p.entries.len(), 2);
+        // The rolled-back puts never consumed sequence numbers.
+        assert_eq!(p.entries[0].seq, 0);
+        assert_eq!(p.entries[1].seq, 1);
+        assert!(!s.begin_batch(7, 1).unwrap(), "now it *is* a duplicate");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A committed (round, batch) id is remembered across restart: the
+    /// client whose ack was lost retries the identical Deliver and the
+    /// shard refuses to double-store it.
+    #[test]
+    fn committed_batch_dedups_across_reopen() {
+        let dir = tmp("txn-dedup");
+        {
+            let mut s = LogMailboxStore::open(&dir, 0, 1, LogStoreConfig::default()).unwrap();
+            assert!(s.begin_batch(5, 9).unwrap());
+            s.put(5, msg(1, b"once")).unwrap();
+            s.commit_batch(5, 9).unwrap();
+            s.flush().unwrap();
+        }
+        let mut s = LogMailboxStore::open(&dir, 0, 1, LogStoreConfig::default()).unwrap();
+        assert!(
+            !s.begin_batch(5, 9).unwrap(),
+            "committed batch id survives restart"
+        );
+        // A different batch id in the same round still stores.
+        assert!(s.begin_batch(5, 10).unwrap());
+        s.put(5, msg(1, b"more")).unwrap();
+        s.commit_batch(5, 10).unwrap();
+        s.flush().unwrap();
+        assert_eq!(s.pending(&[1u8; 32]), Ok(2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A delivery batch large enough to straddle a segment rotation
+    /// still replays atomically: the staged puts carry their segment
+    /// ids and land in the right files.
+    #[test]
+    fn batch_spanning_rotation_replays_atomically() {
+        let dir = tmp("txn-span");
+        let cfg = LogStoreConfig {
+            segment_bytes: 256,
+            sync: false,
+        };
+        {
+            let mut s = LogMailboxStore::open(&dir, 0, 1, cfg).unwrap();
+            assert!(s.begin_batch(2, 3).unwrap());
+            for i in 0..12u8 {
+                s.put(2, msg(1, &[i; 64])).unwrap();
+            }
+            s.commit_batch(2, 3).unwrap();
+            s.flush().unwrap();
+            assert!(s.segment_count() > 1, "batch must span a rotation");
+        }
+        let mut s = LogMailboxStore::open(&dir, 0, 1, cfg).unwrap();
+        assert_eq!(s.pending(&[1u8; 32]), Ok(12));
+        let p = s.fetch_page(&[1u8; 32], 0, 32).unwrap();
+        assert!(p.entries.iter().enumerate().all(|(i, e)| e.seq == i as u64));
+        assert!(!s.begin_batch(2, 3).unwrap());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -190,6 +190,27 @@ pub trait MailboxStore {
     /// Make everything accepted so far durable (fsync for the
     /// persistent backend; a no-op in memory).
     fn flush(&mut self) -> Result<(), MailboxError>;
+
+    /// Open a delivery batch identified by `(round, batch)`.  Returns
+    /// `Ok(false)` if that batch id has already been durably committed
+    /// — a retried delivery the caller must ack without re-storing.
+    /// Backends without durable batch tracking accept every batch.
+    fn begin_batch(&mut self, _round: u64, _batch: u64) -> Result<bool, MailboxError> {
+        Ok(true)
+    }
+
+    /// Close the delivery batch opened by [`MailboxStore::begin_batch`].
+    /// Durable once the following [`MailboxStore::flush`] returns: a
+    /// crash before then rolls the whole batch back on recovery.
+    fn commit_batch(&mut self, _round: u64, _batch: u64) -> Result<(), MailboxError> {
+        Ok(())
+    }
+
+    /// Abandon a delivery batch after a mid-batch failure, so recovery
+    /// rolls back whatever parts of it reached disk.
+    fn abort_batch(&mut self, _round: u64, _batch: u64) -> Result<(), MailboxError> {
+        Ok(())
+    }
 }
 
 /// Walk a whole mailbox in pages of `page` entries and ack what was

@@ -6,7 +6,9 @@
 //!   ceremony for one chain and write `server-<i>.cfg` (secrets +
 //!   public bundle; distribute each to its server, keep it secret) —
 //!   in a real deployment each server would generate its own keys;
-//! * `mix --config FILE [--listen ADDR]` — serve one mix hop;
+//! * `mix --config FILE [--listen ADDR] [--journal FILE]` — serve one
+//!   mix hop, optionally with a durable state journal it resumes from
+//!   after a crash;
 //! * `byzantine --config FILE --mode MODE [--listen ADDR]` — serve one
 //!   *misbehaving* mix hop (`lie-verify`, `equivocate-digest`,
 //!   `corrupt-hop`) for adversarial deployments; honest coordinators
@@ -70,7 +72,7 @@ use xrd_net::{
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  xrd-netd keygen --chain-len K [--epoch E] --out-dir DIR\n  \
-         xrd-netd mix --config FILE [--listen ADDR]\n  \
+         xrd-netd mix --config FILE [--listen ADDR] [--successor ADDR] [--journal FILE]\n  \
          xrd-netd byzantine --config FILE --mode lie-verify|equivocate-digest|corrupt-hop \
          [--listen ADDR]\n  \
          xrd-netd proxy --upstream ADDR [--listen ADDR] [--plan FILE]\n  \
@@ -265,13 +267,24 @@ fn mix(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let daemon = match MixServerDaemon::spawn_with_successor(
-        listen.as_str(),
-        secrets,
-        public,
-        rand::rngs::OsRng.next_u64(),
-        successor,
-    ) {
+    let daemon = match flag(args, "--journal") {
+        Some(journal) => MixServerDaemon::spawn_with_journal(
+            listen.as_str(),
+            secrets,
+            public,
+            rand::rngs::OsRng.next_u64(),
+            successor,
+            journal,
+        ),
+        None => MixServerDaemon::spawn_with_successor(
+            listen.as_str(),
+            secrets,
+            public,
+            rand::rngs::OsRng.next_u64(),
+            successor,
+        ),
+    };
+    let daemon = match daemon {
         Ok(d) => d,
         Err(e) => {
             xrd_obs::error!("mix: cannot listen on {listen}: {e}");

@@ -105,6 +105,7 @@ const TAG_PING: u8 = 0x03;
 const TAG_SHUTDOWN: u8 = 0x04;
 const TAG_STATS_REQUEST: u8 = 0x05;
 const TAG_STATS_REPORT: u8 = 0x06;
+const TAG_PONG: u8 = 0x07;
 const TAG_OPEN_ROUND: u8 = 0x10;
 const TAG_SUBMIT: u8 = 0x11;
 const TAG_CLOSE_SUBMISSIONS: u8 = 0x12;
@@ -196,8 +197,13 @@ pub enum Frame {
         /// Human-readable context.
         message: String,
     },
-    /// Liveness probe (answered with [`Frame::Ok`]).
+    /// Liveness probe (answered with [`Frame::Pong`]): the cheapest
+    /// possible health check, served by the reactor before any service
+    /// logic so a wedged handler still distinguishes "process up" from
+    /// "process gone".
     Ping,
+    /// Reply to [`Frame::Ping`].
+    Pong,
     /// Ask the daemon to exit after this connection.
     Shutdown,
     /// Scrape the daemon's metrics (answered with
@@ -1025,6 +1031,7 @@ impl Frame {
                 w
             }
             Frame::Ping => Writer::new(TAG_PING),
+            Frame::Pong => Writer::new(TAG_PONG),
             Frame::Shutdown => Writer::new(TAG_SHUTDOWN),
             Frame::StatsRequest => Writer::new(TAG_STATS_REQUEST),
             Frame::StatsReport { snapshot } => {
@@ -1379,6 +1386,7 @@ impl Frame {
                 message: r.string()?,
             },
             TAG_PING => Frame::Ping,
+            TAG_PONG => Frame::Pong,
             TAG_SHUTDOWN => Frame::Shutdown,
             TAG_STATS_REQUEST => Frame::StatsRequest,
             TAG_STATS_REPORT => Frame::StatsReport {
@@ -1594,6 +1602,7 @@ impl Frame {
             Frame::Ok => TAG_OK,
             Frame::Error { .. } => TAG_ERROR,
             Frame::Ping => TAG_PING,
+            Frame::Pong => TAG_PONG,
             Frame::Shutdown => TAG_SHUTDOWN,
             Frame::StatsRequest => TAG_STATS_REQUEST,
             Frame::StatsReport { .. } => TAG_STATS_REPORT,
@@ -1644,6 +1653,7 @@ impl Frame {
             TAG_OK => "Ok",
             TAG_ERROR => "Error",
             TAG_PING => "Ping",
+            TAG_PONG => "Pong",
             TAG_SHUTDOWN => "Shutdown",
             TAG_STATS_REQUEST => "StatsRequest",
             TAG_STATS_REPORT => "StatsReport",

@@ -351,4 +351,13 @@ impl Conn {
             other => Err(NetError::Protocol(format!("expected Ok, got {other:?}"))),
         }
     }
+
+    /// One [`Frame::Ping`]→[`Frame::Pong`] liveness probe (served by
+    /// the daemon's reactor itself, so it answers even mid-round).
+    pub fn ping(&mut self) -> Result<(), NetError> {
+        match self.request(&Frame::Ping)? {
+            Frame::Pong => Ok(()),
+            other => Err(NetError::Protocol(format!("expected Pong, got {other:?}"))),
+        }
+    }
 }

@@ -82,6 +82,18 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
+    /// Policy for supervised deployments ([`crate::launcher`] with a
+    /// `restart` budget): a refused connection is a daemon being
+    /// respawned from its journal, not a dead peer.  More attempts and
+    /// a longer base backoff ride out the supervisor's respawn backoff
+    /// plus the daemon's recovery and re-announcement.
+    pub fn crash_recovery() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 8,
+            base_backoff: Duration::from_millis(50),
+        }
+    }
+
     pub(crate) fn sleep(&self, attempt: u32) {
         std::thread::sleep(self.base_backoff * 2u32.saturating_pow(attempt.min(8)));
     }
@@ -538,8 +550,22 @@ impl ChainClient {
                     self.retry.sleep(attempt);
                     // A fresh pass needs fresh connections: streamed
                     // sessions and in-flight responses on the old ones
-                    // are unsalvageable.
-                    self.reconnect_all()?;
+                    // are unsalvageable.  A refused re-dial is a
+                    // daemon mid-reincarnation under supervision —
+                    // burn the remaining retry attempts waiting for it
+                    // to come back instead of aborting the pass.
+                    while let Err(e) = self.reconnect_all() {
+                        attempt += 1;
+                        if !e.retryable() || attempt + 1 >= self.retry.attempts {
+                            return Err(e);
+                        }
+                        xrd_obs::info!(
+                            "round {round}: re-dial failed ({e}), waiting for \
+                             daemon restart (attempt {})",
+                            attempt + 1
+                        );
+                        self.retry.sleep(attempt);
+                    }
                 }
                 other => return other,
             }

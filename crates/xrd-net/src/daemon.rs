@@ -45,9 +45,11 @@ use xrd_mixnet::client::Submission;
 use xrd_mixnet::message::{outer_ct_len, MixEntry};
 use xrd_mixnet::server::{input_digest, verify_hop_keys, ChunkKernel, MixError, MixServer};
 
+use xrd_core::Journal;
+
 use crate::codec::{
-    dispute_context, encode_hop_output_stream, error_code, ChunkedBatch, Frame, StreamDigest,
-    StreamError, STREAM_CHUNK,
+    decode_server_config, dispute_context, encode_hop_output_stream, encode_server_config,
+    error_code, ChunkedBatch, Frame, StreamDigest, StreamError, STREAM_CHUNK,
 };
 use crate::conn::{Conn, NetError};
 use crate::reactor::{service_fn, ConnId, Outcome, Reactor, ReactorHandle, Service, WorkerPool};
@@ -100,7 +102,7 @@ impl Drop for DaemonHandle {
 /// Serve `service` on `addr` from one reactor thread.  The service maps
 /// each request frame to a response; [`Frame::Shutdown`] (handled
 /// by the reactor itself) additionally stops the whole daemon.
-fn spawn_daemon<A: ToSocketAddrs>(
+pub(crate) fn spawn_daemon<A: ToSocketAddrs>(
     addr: A,
     service: Arc<dyn Service>,
 ) -> std::io::Result<DaemonHandle> {
@@ -233,7 +235,25 @@ struct MixState {
     forward_reports: HashMap<u64, ConnId>,
     /// Daemon-local randomness (shuffles, proofs).
     rng: StdRng,
+    /// Durable control state (rotation epoch + shares, open window):
+    /// what a respawned process must recover to rejoin its chain with
+    /// the keys its peers expect.  `None` = this daemon is disposable
+    /// only in the "whole deployment restarts" sense.
+    journal: Option<Journal>,
 }
+
+// Journal record kinds for [`MixState`]'s control state.  One byte of
+// kind followed by the payload; unknown kinds are skipped on restore
+// (forward compatibility for rolling restarts).
+/// `[kind][round:u64]` — a submission window opened.
+const JREC_OPEN_ROUND: u8 = 1;
+/// `[kind][inner_epoch:u64][isk:32]` — a rotation share was prepared
+/// (and promised to the coordinator) for this epoch.
+const JREC_PREPARE: u8 = 2;
+/// `[kind][server config]` — a rotation activated; the payload is the
+/// full [`encode_server_config`] bundle (secrets + active public keys),
+/// replacing launch-time state wholesale on restore.
+const JREC_ACTIVATE: u8 = 3;
 
 /// One connection's in-flight streamed hop.  The session itself holds
 /// only bookkeeping — every chunk's entries are *moved* into its
@@ -452,9 +472,22 @@ impl MixState {
         self.server.public()
     }
 
+    /// Append one control record durably (fsync) before the state
+    /// change it describes is acknowledged.  A journal failure is
+    /// answered as a storage error: promising durability we cannot
+    /// deliver would break the respawn contract.
+    fn journal_record(&mut self, payload: &[u8]) -> Option<Frame> {
+        if let Some(j) = &mut self.journal {
+            if let Err(e) = j.append_sync(payload) {
+                return Some(err(error_code::STORAGE, format!("state journal: {e}")));
+            }
+        }
+        None
+    }
+
     fn handle(&mut self, conn: ConnId, frame: Frame) -> Frame {
         match frame {
-            Frame::Ping => Frame::Ok,
+            Frame::Ping => Frame::Pong,
             Frame::OpenRound { round } => {
                 // Idempotent for the coordinator's retry path: a
                 // re-sent open for the already-open round must not
@@ -463,6 +496,11 @@ impl MixState {
                     self.open_round = Some(round);
                     self.pending_subs.clear();
                     self.submitted.clear();
+                    let mut rec = vec![JREC_OPEN_ROUND];
+                    rec.extend_from_slice(&round.to_le_bytes());
+                    if let Some(e) = self.journal_record(&rec) {
+                        return e;
+                    }
                 }
                 Frame::Ok
             }
@@ -539,9 +577,24 @@ impl MixState {
                 let (isk, share) =
                     rotation_share(&mut self.rng, self.secrets.position, inner_epoch);
                 self.pending_isk = Some((inner_epoch, isk));
+                // The share is a promise to the coordinator: if this
+                // process dies before activation, its replacement must
+                // still hold the isk the assembled bundle will carry.
+                let mut rec = vec![JREC_PREPARE];
+                rec.extend_from_slice(&inner_epoch.to_le_bytes());
+                rec.extend_from_slice(&isk.to_bytes());
+                if let Some(e) = self.journal_record(&rec) {
+                    return e;
+                }
                 Frame::RotationShare { inner_epoch, share }
             }
             Frame::ActivateRotation { keys } => {
+                if self.server.public() == &keys {
+                    // Already running this bundle: a retry of an
+                    // activation whose Ok was lost, or a respawned
+                    // process that restored it from its journal.
+                    return Frame::Ok;
+                }
                 let Some((epoch, isk)) = self.pending_isk.take() else {
                     return err(error_code::BAD_ROTATION, "no rotation prepared");
                 };
@@ -560,6 +613,26 @@ impl MixState {
                 }
                 self.secrets.isk = isk;
                 self.server = MixServer::new(self.secrets.clone(), keys);
+                // Activation obsoletes every earlier record: compact
+                // the journal down to the new bundle (plus the open
+                // window, if one is in flight).
+                if let Some(j) = &mut self.journal {
+                    let mut act = vec![JREC_ACTIVATE];
+                    act.extend_from_slice(&encode_server_config(
+                        &self.secrets,
+                        self.server.public(),
+                    ));
+                    let mut open = Vec::new();
+                    let mut records: Vec<&[u8]> = vec![&act];
+                    if let Some(round) = self.open_round {
+                        open.push(JREC_OPEN_ROUND);
+                        open.extend_from_slice(&round.to_le_bytes());
+                        records.push(&open);
+                    }
+                    if let Err(e) = j.rewrite(&records) {
+                        return err(error_code::STORAGE, format!("state journal: {e}"));
+                    }
+                }
                 Frame::Ok
             }
             Frame::Accuse {
@@ -1152,12 +1225,18 @@ impl MixServerDaemon {
         public: ChainPublicKeys,
         rng_seed: u64,
         policy: SubmissionPolicy,
+        journal: Option<(Journal, Vec<Vec<u8>>)>,
     ) -> Arc<Mutex<MixState>> {
+        let (journal, records) = match journal {
+            Some((j, records)) => (Some(j), records),
+            None => (None, Vec::new()),
+        };
+        let (secrets, public, pending_isk, open_round) = Self::restore(secrets, public, &records);
         Arc::new(Mutex::new(MixState {
             server: MixServer::new(secrets.clone(), public),
             secrets,
-            pending_isk: None,
-            open_round: None,
+            pending_isk,
+            open_round,
             pending_subs: Vec::new(),
             batches: HashMap::new(),
             streams: HashMap::new(),
@@ -1166,7 +1245,52 @@ impl MixServerDaemon {
             verdicts: Vec::new(),
             forward_reports: HashMap::new(),
             rng: StdRng::seed_from_u64(rng_seed),
+            journal,
         }))
+    }
+
+    /// Fold recovered journal records over the launch-time config: the
+    /// latest activation replaces the key bundle wholesale, a prepared
+    /// share after it re-arms `pending_isk`, and the open window id is
+    /// whatever was last opened.  Unknown kinds and short payloads are
+    /// skipped (the checksum already proved they were written whole).
+    fn restore(
+        secrets: ServerSecrets,
+        public: ChainPublicKeys,
+        records: &[Vec<u8>],
+    ) -> (
+        ServerSecrets,
+        ChainPublicKeys,
+        Option<(u64, xrd_crypto::Scalar)>,
+        Option<u64>,
+    ) {
+        let mut secrets = secrets;
+        let mut public = public;
+        let mut pending_isk = None;
+        let mut open_round = None;
+        for rec in records {
+            match rec.first() {
+                Some(&JREC_OPEN_ROUND) if rec.len() == 9 => {
+                    open_round = Some(u64::from_le_bytes(rec[1..9].try_into().expect("8 bytes")));
+                }
+                Some(&JREC_PREPARE) if rec.len() == 41 => {
+                    let epoch = u64::from_le_bytes(rec[1..9].try_into().expect("8 bytes"));
+                    let isk = xrd_crypto::Scalar::from_bytes_mod_order(
+                        &rec[9..41].try_into().expect("32 bytes"),
+                    );
+                    pending_isk = Some((epoch, isk));
+                }
+                Some(&JREC_ACTIVATE) => {
+                    if let Ok((s, p)) = decode_server_config(&rec[1..]) {
+                        secrets = s;
+                        public = p;
+                        pending_isk = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+        (secrets, public, pending_isk, open_round)
     }
 
     /// Spawn a daemon serving hop `secrets.position` of a chain whose
@@ -1189,7 +1313,7 @@ impl MixServerDaemon {
         rng_seed: u64,
         policy: SubmissionPolicy,
     ) -> std::io::Result<DaemonHandle> {
-        let state = Self::state(secrets, public, rng_seed, policy);
+        let state = Self::state(secrets, public, rng_seed, policy, None);
         spawn_daemon(addr, Arc::new(MixService::new(state, None)))
     }
 
@@ -1205,7 +1329,31 @@ impl MixServerDaemon {
         rng_seed: u64,
         successor: Option<SocketAddr>,
     ) -> std::io::Result<DaemonHandle> {
-        let state = Self::state(secrets, public, rng_seed, SubmissionPolicy::default());
+        let state = Self::state(secrets, public, rng_seed, SubmissionPolicy::default(), None);
+        spawn_daemon(addr, Arc::new(MixService::new(state, successor)))
+    }
+
+    /// Spawn with a durable state journal at `journal` (created if
+    /// absent, replayed if populated): rotation epochs/shares and the
+    /// open submission window survive `kill -9`, so a supervisor can
+    /// respawn this daemon from its on-disk config + journal and it
+    /// rejoins the chain with the keys its peers expect.
+    pub fn spawn_with_journal<A: ToSocketAddrs>(
+        addr: A,
+        secrets: ServerSecrets,
+        public: ChainPublicKeys,
+        rng_seed: u64,
+        successor: Option<SocketAddr>,
+        journal: impl Into<std::path::PathBuf>,
+    ) -> std::io::Result<DaemonHandle> {
+        let (journal, records) = Journal::open(journal)?;
+        let state = Self::state(
+            secrets,
+            public,
+            rng_seed,
+            SubmissionPolicy::default(),
+            Some((journal, records)),
+        );
         spawn_daemon(addr, Arc::new(MixService::new(state, successor)))
     }
 
@@ -1219,7 +1367,7 @@ impl MixServerDaemon {
         rng_seed: u64,
         mode: ByzantineMode,
     ) -> std::io::Result<DaemonHandle> {
-        let state = Self::state(secrets, public, rng_seed, SubmissionPolicy::default());
+        let state = Self::state(secrets, public, rng_seed, SubmissionPolicy::default(), None);
         spawn_daemon(
             addr,
             Arc::new(ByzantineService {
@@ -1298,7 +1446,7 @@ struct MailboxState {
 impl MailboxState {
     fn handle(&mut self, frame: Frame) -> Frame {
         match frame {
-            Frame::Ping => Frame::Ok,
+            Frame::Ping => Frame::Pong,
             Frame::Deliver {
                 round,
                 batch,
@@ -1315,10 +1463,29 @@ impl MailboxState {
                         return err(error_code::BAD_STATE, "message routed to wrong shard");
                     }
                 }
+                // Open a durable delivery bracket.  A persistent store
+                // that committed this id before a crash-restart answers
+                // `false` — the batch is already on disk even though
+                // this process's in-memory window never saw it.
+                match self.store.begin_batch(round, batch) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        mailbox_metrics().duplicates.incr();
+                        return Frame::Ok;
+                    }
+                    Err(e) => return mailbox_err(e),
+                }
                 for m in messages {
                     if let Err(e) = self.store.put(round, m) {
+                        // Roll the partial batch back so recovery never
+                        // applies half a delivery; the sender retries
+                        // the whole batch.
+                        let _ = self.store.abort_batch(round, batch);
                         return mailbox_err(e);
                     }
+                }
+                if let Err(e) = self.store.commit_batch(round, batch) {
+                    return mailbox_err(e);
                 }
                 // Durability point: the batch must survive a crash
                 // before the sender is told it landed (it won't retry).

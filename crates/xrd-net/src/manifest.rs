@@ -116,6 +116,12 @@ pub struct Manifest {
     pub chain_len: usize,
     /// Mailbox shards.
     pub n_shards: usize,
+    /// Crash-restart budget per daemon process: how many times the
+    /// launcher's supervisor will respawn a crashed daemon before
+    /// declaring it dead.  `0` (the default) disables supervision —
+    /// daemons run unjournaled and a crash is permanent, the
+    /// pre-supervision behavior.
+    pub restart: u32,
     /// Declared machines.
     pub hosts: Vec<Host>,
     /// Declared daemon processes.
@@ -166,6 +172,7 @@ impl Manifest {
         let mut f: Option<f64> = None;
         let mut chain_len: Option<usize> = None;
         let mut n_shards: Option<usize> = None;
+        let mut restart: u32 = 0;
         let mut hosts: Vec<Host> = Vec::new();
         let mut processes: Vec<ProcessSpec> = Vec::new();
 
@@ -183,6 +190,7 @@ impl Manifest {
                 "faults" => f = Some(parse_value(n, "faults", words.next())?),
                 "chain-len" => chain_len = Some(parse_value(n, "chain-len", words.next())?),
                 "shards" => n_shards = Some(parse_value(n, "shards", words.next())?),
+                "restart" => restart = parse_value(n, "restart", words.next())?,
                 "host" => {
                     let name = words
                         .next()
@@ -209,6 +217,7 @@ impl Manifest {
             f: f.ok_or_else(|| ManifestError::global("missing `faults`"))?,
             chain_len: chain_len.ok_or_else(|| ManifestError::global("missing `chain-len`"))?,
             n_shards: n_shards.ok_or_else(|| ManifestError::global("missing `shards`"))?,
+            restart,
             hosts,
             processes,
         };
@@ -271,6 +280,7 @@ impl Manifest {
             f,
             chain_len,
             n_shards,
+            restart: 0,
             hosts: vec![Host {
                 name: name.to_string(),
                 addr,
@@ -606,6 +616,9 @@ impl fmt::Display for Manifest {
         writeln!(out, "faults {}", self.f)?;
         writeln!(out, "chain-len {}", self.chain_len)?;
         writeln!(out, "shards {}", self.n_shards)?;
+        if self.restart > 0 {
+            writeln!(out, "restart {}", self.restart)?;
+        }
         for host in &self.hosts {
             writeln!(out, "host {} {}", host.name, host.addr)?;
         }

@@ -787,6 +787,14 @@ impl Connection {
                     self.is_shutdown = true;
                     continue;
                 }
+                Some(Ok(Frame::Ping)) => {
+                    // Liveness probe, answered by the reactor itself so
+                    // "process up and reading its socket" is observable
+                    // even while the service is busy in a deferred job.
+                    metrics.count_frame(Frame::Ping.tag());
+                    self.queue(&Frame::Pong);
+                    continue;
+                }
                 Some(Ok(Frame::StatsRequest)) => {
                     // Answered by the reactor itself — like Shutdown —
                     // so every daemon kind serves scrapes without its

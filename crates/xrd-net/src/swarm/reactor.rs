@@ -670,7 +670,9 @@ impl SessionMachine for SubmitSession {
 
     fn on_frame(&mut self, frame: Frame) -> Step {
         match frame {
-            Frame::Ok => {
+            // Pong closes an exchange too: tests (and health sweeps)
+            // drive sessions of bare Pings through the same machinery.
+            Frame::Ok | Frame::Pong => {
                 self.next += 1;
                 Step::NextTarget
             }

@@ -158,7 +158,7 @@ fn obs_snapshot(rng: &mut StdRng) -> xrd_obs::Snapshot {
 
 /// Number of distinct frame constructors below (keep in sync; the one
 /// index with no explicit arm falls through to the mailbox frames).
-const N_VARIANTS: usize = 39;
+const N_VARIANTS: usize = 40;
 
 /// A random well-formed frame of the chosen variant.
 fn arb_frame(rng: &mut StdRng, variant: usize) -> Frame {
@@ -330,6 +330,7 @@ fn arb_frame(rng: &mut StdRng, variant: usize) -> Frame {
             output_dhs: (0..rng.gen_range(0..6)).map(|_| g(rng)).collect(),
             proof: dleq(rng),
         },
+        38 => Frame::Pong,
         _ => match variant % 4 {
             0 => Frame::Deliver {
                 round: rng.next_u64(),

@@ -44,7 +44,7 @@ fn byte_dribbling_peer_does_not_stall_other_connections() {
     for &byte in head {
         dribbler.write_all(&[byte]).expect("dribble one byte");
         // While A is mid-frame, B's requests fly.
-        fast.request_ok(&Frame::Ping).expect("fast ping served");
+        fast.ping().expect("fast ping served");
     }
 
     // A's frame completes only now — and gets its answer (the mailbox
@@ -124,7 +124,7 @@ fn pipelined_requests_on_one_connection_answered_in_order() {
         Frame::MailboxPage { sealed, .. } => assert_eq!(sealed, vec![(4, msg.sealed)]),
         other => panic!("expected MailboxPage, got {other:?}"),
     }
-    assert!(matches!(conn.recv().expect("ack 3"), Frame::Ok));
+    assert!(matches!(conn.recv().expect("ack 3"), Frame::Pong));
 }
 
 /// Regression: a connection/worker split where `chunks()` yields fewer
@@ -169,7 +169,7 @@ fn pipelined_flooder_does_not_monopolize_reactor() {
                 in_flight += 1;
             }
             while in_flight > 128 {
-                assert!(matches!(conn.recv().expect("flood ack"), Frame::Ok));
+                assert!(matches!(conn.recv().expect("flood ack"), Frame::Pong));
                 in_flight -= 1;
             }
         }
@@ -182,8 +182,7 @@ fn pipelined_flooder_does_not_monopolize_reactor() {
     // Mid-flood, a second connection's requests all complete.
     let mut fast = Conn::connect(addr).expect("fast client connects");
     for _ in 0..50 {
-        fast.request_ok(&Frame::Ping)
-            .expect("fast ping served mid-flood");
+        fast.ping().expect("fast ping served mid-flood");
     }
     stop.store(true, Ordering::Relaxed);
     flooder.join().expect("flooder exits cleanly");
@@ -202,7 +201,7 @@ fn shutdown_acknowledged_and_open_connections_see_eof() {
         .collect();
     // Prove they are live connections, not half-open sockets.
     for conn in &mut idle {
-        conn.request_ok(&Frame::Ping).expect("idle conn serves");
+        conn.ping().expect("idle conn serves");
     }
 
     let mut closer = Conn::connect(addr).expect("closer connects");

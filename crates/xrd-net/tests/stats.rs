@@ -58,7 +58,7 @@ fn scraped_counters_match_frames_actually_sent() {
     let mut traffic_bytes = 0u64;
     for _ in 0..PINGS {
         traffic_bytes += Frame::Ping.encode().len() as u64;
-        traffic.request_ok(&Frame::Ping).expect("ping served");
+        traffic.ping().expect("ping served");
     }
     for i in 0..FETCHES {
         let fetch = Frame::FetchPage {

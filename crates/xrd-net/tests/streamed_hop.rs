@@ -350,7 +350,7 @@ fn disconnect_while_hop_pending_leaves_daemon_serving() {
     let mut conn = Conn::connect(daemon.addr()).expect("reconnect");
     let start = std::time::Instant::now();
     for _ in 0..20 {
-        conn.request_ok(&Frame::Ping).expect("ping served");
+        conn.ping().expect("ping served");
     }
     assert!(
         start.elapsed() < std::time::Duration::from_secs(2),
